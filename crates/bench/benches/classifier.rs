@@ -1,0 +1,97 @@
+//! Feature extraction and classifier train/predict costs, including the
+//! random-forest size sweep from the DESIGN.md ablation list.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use squatphi::train::build_ground_truth;
+use squatphi::FeatureExtractor;
+use squatphi_bench::sample_phishing_page;
+use squatphi_ml::{Classifier, Dataset, GaussianNb, Knn, RandomForest, RandomForestConfig};
+use squatphi_squat::BrandRegistry;
+use squatphi_web::pages;
+
+fn fixture() -> (FeatureExtractor, Dataset) {
+    let registry = BrandRegistry::with_size(40);
+    let fx = FeatureExtractor::new(&registry);
+    let mut phishing = Vec::new();
+    let mut benign = Vec::new();
+    for (i, brand) in registry.brands().iter().enumerate() {
+        phishing.push(pages::non_squatting_phishing_page(
+            brand,
+            i % 2 == 0,
+            &format!("{}-x.com", brand.label),
+            i as u64,
+        ));
+        benign.push(pages::benign_page(&format!("b{i}.com"), i as u64));
+        benign.push(pages::confusing_benign_page(&format!("c{i}.com"), Some(&brand.label), i as u64));
+    }
+    let p: Vec<&str> = phishing.iter().map(String::as_str).collect();
+    let n: Vec<&str> = benign.iter().map(String::as_str).collect();
+    let data = build_ground_truth(&fx, &p, &n, 8);
+    (fx, data)
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let registry = BrandRegistry::paper();
+    let fx = FeatureExtractor::new(&registry);
+    let html = sample_phishing_page();
+    c.bench_function("features/extract_one_page", |b| {
+        b.iter(|| black_box(fx.extract(black_box(&html))).nnz())
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (_fx, data) = fixture();
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    group.bench_function("gaussian_nb", |b| {
+        b.iter(|| {
+            let mut m = GaussianNb::new();
+            m.fit(black_box(&data));
+            black_box(m.score(data.x(0)))
+        })
+    });
+    group.bench_function("random_forest_60_trees", |b| {
+        b.iter(|| {
+            let mut m = RandomForest::new(RandomForestConfig { trees: 60, ..Default::default() });
+            m.fit(black_box(&data));
+            black_box(m.score(data.x(0)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let (_fx, data) = fixture();
+    let mut rf = RandomForest::new(RandomForestConfig::default());
+    rf.fit(&data);
+    let mut knn = Knn::new(5);
+    knn.fit(&data);
+    let x = data.x(0);
+    c.bench_function("predict/random_forest", |b| b.iter(|| black_box(rf.score(black_box(x)))));
+    c.bench_function("predict/knn", |b| b.iter(|| black_box(knn.score(black_box(x)))));
+}
+
+fn bench_forest_size_ablation(c: &mut Criterion) {
+    let (_fx, data) = fixture();
+    let mut group = c.benchmark_group("ablation/forest_size");
+    group.sample_size(10);
+    for trees in [10usize, 30, 60, 120] {
+        group.bench_with_input(BenchmarkId::from_parameter(trees), &trees, |b, &trees| {
+            b.iter(|| {
+                let mut m = RandomForest::new(RandomForestConfig { trees, ..Default::default() });
+                m.fit(black_box(&data));
+                black_box(m.tree_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feature_extraction,
+    bench_training,
+    bench_prediction,
+    bench_forest_size_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! End-to-end pipeline cost at test scale, plus the crawl-transport
+//! ablation (in-process vs the threaded worker pool at different widths).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use squatphi::{SimConfig, SquatPhi};
+use squatphi_crawler::{crawl_all, CrawlConfig, InProcessTransport};
+use squatphi_squat::{BrandRegistry, SquatType};
+use squatphi_web::{WebWorld, WorldConfig};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("tiny_full_run", |b| {
+        b.iter(|| {
+            let result = SquatPhi::run(&SimConfig::tiny());
+            black_box(result.confirmed_domains().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_crawl_width(c: &mut Criterion) {
+    let registry = BrandRegistry::with_size(20);
+    let mut squats = Vec::new();
+    for (i, brand) in registry.brands().iter().enumerate() {
+        for j in 0..30 {
+            squats.push((
+                format!("{}-w{j}.com", brand.label),
+                i,
+                SquatType::Combo,
+                Ipv4Addr::new(198, 51, i as u8, j as u8),
+            ));
+        }
+    }
+    let world = Arc::new(WebWorld::build(
+        &squats,
+        &registry,
+        &WorldConfig { phishing_domains: 60, seed: 5, ..WorldConfig::default() },
+    ));
+    let transport = InProcessTransport::new(world);
+    let jobs: Vec<_> = squats.iter().map(|(d, b, t, _)| (d.clone(), *b, *t)).collect();
+
+    let mut group = c.benchmark_group("ablation/crawl_workers");
+    group.sample_size(10);
+    for workers in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            b.iter(|| {
+                let cfg = CrawlConfig { workers, ..CrawlConfig::default() };
+                let (records, _) = crawl_all(&jobs, &registry, &transport, &cfg);
+                black_box(records.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_crawl_width);
+criterion_main!(benches);

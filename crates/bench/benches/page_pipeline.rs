@@ -1,0 +1,58 @@
+//! Per-page pipeline costs: HTML parsing, rendering, OCR, image hashing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use squatphi_bench::sample_phishing_page;
+use squatphi_html::parse;
+use squatphi_imghash::{average_hash, difference_hash, perceptual_hash};
+use squatphi_ocr::{recognize, OcrConfig};
+use squatphi_render::{render_page, RenderOptions};
+
+fn bench_html(c: &mut Criterion) {
+    let html = sample_phishing_page();
+    let mut group = c.benchmark_group("html");
+    group.throughput(Throughput::Bytes(html.len() as u64));
+    group.bench_function("parse_phishing_page", |b| {
+        b.iter(|| black_box(parse(black_box(&html))).len())
+    });
+    group.finish();
+
+    let doc = parse(&html);
+    c.bench_function("html/extract_text_and_forms", |b| {
+        b.iter(|| {
+            let t = squatphi_html::extract::extract_text(black_box(&doc));
+            let f = squatphi_html::extract::extract_forms(black_box(&doc));
+            black_box((t.headers.len(), f.len()))
+        })
+    });
+    c.bench_function("html/js_indicator_scan", |b| {
+        b.iter(|| black_box(squatphi_html::js::scan_document(black_box(&doc))).eval_calls)
+    });
+}
+
+fn bench_render_and_ocr(c: &mut Criterion) {
+    let doc = parse(&sample_phishing_page());
+    let opts = RenderOptions::default();
+    c.bench_function("render/phishing_page_360x520", |b| {
+        b.iter(|| black_box(render_page(black_box(&doc), &opts)).mean())
+    });
+
+    let bmp = render_page(&doc, &opts);
+    let ocr_cfg = OcrConfig::default();
+    c.bench_function("ocr/recognize_phishing_page", |b| {
+        b.iter(|| black_box(recognize(black_box(&bmp), &ocr_cfg)).lines.len())
+    });
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let bmp = render_page(&parse(&sample_phishing_page()), &RenderOptions::default());
+    c.bench_function("imghash/average", |b| b.iter(|| black_box(average_hash(black_box(&bmp)))));
+    c.bench_function("imghash/difference", |b| {
+        b.iter(|| black_box(difference_hash(black_box(&bmp))))
+    });
+    c.bench_function("imghash/perceptual_dct", |b| {
+        b.iter(|| black_box(perceptual_hash(black_box(&bmp))))
+    });
+}
+
+criterion_group!(benches, bench_html, bench_render_and_ocr, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Squatting generation and detection throughput, plus the ablation the
+//! DESIGN.md calls out: per-record normalization lookups (our detector)
+//! vs pre-generating every candidate per brand (the DNSTwist approach).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use squatphi_domain::DomainName;
+use squatphi_squat::gen::{generate_all, GenBudget};
+use squatphi_squat::{BrandRegistry, SquatDetector};
+
+fn bench_generation(c: &mut Criterion) {
+    let registry = BrandRegistry::with_size(50);
+    let brand = registry.by_label("facebook").expect("facebook");
+    let budget = GenBudget::default();
+    c.bench_function("gen/candidates_per_brand", |b| {
+        b.iter(|| black_box(generate_all(black_box(brand), budget)).len())
+    });
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let registry = BrandRegistry::paper();
+    let detector = SquatDetector::new(&registry);
+
+    // A realistic record mix: mostly misses, some hits of each type.
+    let domains: Vec<DomainName> = [
+        "winterpillow.net",
+        "almond-harvest.com",
+        "cobble123.de",
+        "faceb00k.pw",
+        "goofle.com.ua",
+        "paypal-cash.com",
+        "facebook.audi",
+        "fcaebook.org",
+        "bakerydonut.ru",
+        "squirrelgarden.org",
+    ]
+    .iter()
+    .map(|s| DomainName::parse(s).expect("valid"))
+    .collect();
+
+    let mut group = c.benchmark_group("detect");
+    group.throughput(Throughput::Elements(domains.len() as u64));
+    group.bench_function("classify_mixed_batch", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for d in &domains {
+                if detector.classify(black_box(d)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+
+    c.bench_function("detect/build_index_702_brands", |b| {
+        b.iter(|| black_box(SquatDetector::new(black_box(&registry))))
+    });
+}
+
+fn bench_dnstwist_style_ablation(c: &mut Criterion) {
+    // The pre-generate-everything strategy (DNSTwist's): build the full
+    // candidate table for every brand and hash-join records against it.
+    // The build cost dwarfs the probing detector's index build; per-record
+    // classification is then a single hash lookup for both.
+    use squatphi_squat::pregen::PregeneratedDetector;
+    let registry = BrandRegistry::with_size(50);
+    let mut group = c.benchmark_group("ablation/strategy");
+    group.sample_size(10);
+    group.bench_function("pregenerate_build_50_brands", |b| {
+        b.iter(|| {
+            black_box(PregeneratedDetector::build(&registry, GenBudget::default()))
+                .candidate_count()
+        })
+    });
+    group.bench_function("probing_build_50_brands", |b| {
+        b.iter(|| black_box(SquatDetector::new(black_box(&registry))))
+    });
+
+    let pregen = PregeneratedDetector::build(&registry, GenBudget::default());
+    let probing = SquatDetector::new(&registry);
+    let hit = DomainName::parse("facebook-account.com").expect("valid");
+    let miss = DomainName::parse("winterpillow.net").expect("valid");
+    group.bench_function("pregenerate_classify", |b| {
+        b.iter(|| {
+            black_box(pregen.classify(black_box(&hit)));
+            black_box(pregen.classify(black_box(&miss)))
+        })
+    });
+    group.bench_function("probing_classify", |b| {
+        b.iter(|| {
+            black_box(probing.classify(black_box(&hit)));
+            black_box(probing.classify(black_box(&miss)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_detection, bench_dnstwist_style_ablation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Shared fixtures for the benchmark suite.
+
+#![forbid(unsafe_code)]
+
+use squatphi_squat::BrandRegistry;
+use squatphi_web::behavior::{Cloaking, LifetimePattern, PhishingProfile, ScamKind};
+use squatphi_web::pages;
+
+/// A mid-sized registry shared by benches (full 702 where scan realism
+/// matters, smaller where per-item cost is measured).
+pub fn registry() -> BrandRegistry {
+    BrandRegistry::paper()
+}
+
+/// A representative phishing page for page-pipeline benches.
+pub fn sample_phishing_page() -> String {
+    let registry = BrandRegistry::with_size(10);
+    let brand = registry.by_label("paypal").expect("paypal");
+    let profile = PhishingProfile {
+        brand: brand.id,
+        scam: ScamKind::FakeLogin,
+        layout_obfuscation: 2,
+        string_obfuscation: true,
+        code_obfuscation: true,
+        cloaking: Cloaking::None,
+        lifetime: LifetimePattern::Stable,
+    };
+    pages::phishing_page(brand, &profile, "paypal-cash.com", 3)
+}

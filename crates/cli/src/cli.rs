@@ -1,0 +1,251 @@
+//! Argument parsing for the `squatphi` binary (std-only, no clap).
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `squatphi gen <brand> [--limit N]` — candidate squatting domains.
+    Gen {
+        /// Brand label to generate for.
+        brand: String,
+        /// Max candidates per squatting type.
+        limit: usize,
+    },
+    /// `squatphi classify <domain>...` — squatting classification.
+    Classify {
+        /// Domains to classify.
+        domains: Vec<String>,
+    },
+    /// `squatphi scan <zonefile> [--type TYPE] [--threads N]` — scan a
+    /// zone file for squatting domains.
+    Scan {
+        /// Zone file path.
+        path: String,
+        /// Only print matches of this type (paper name, e.g. `Combo`).
+        type_filter: Option<String>,
+        /// Scan worker threads.
+        threads: usize,
+    },
+    /// `squatphi page <file.html> [--brand LABEL]` — audit one page:
+    /// forms, OCR text, JS indicators, evasion vs the brand page, and a
+    /// phishing score.
+    Page {
+        /// HTML file path.
+        path: String,
+        /// Brand to measure evasion against.
+        brand: Option<String>,
+    },
+    /// `squatphi render <file.html> [--width N]` — ASCII screenshot.
+    Render {
+        /// HTML file path.
+        path: String,
+        /// Output columns.
+        width: usize,
+    },
+    /// `squatphi help`.
+    Help,
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+squatphi — squatting-phishing tooling (IMC '18 reproduction)
+
+USAGE:
+  squatphi gen <brand> [--limit N]          candidate squatting domains
+  squatphi classify <domain>...             classify domains against 702 brands
+  squatphi scan <zone-file> [--type T] [--threads N]
+                                            scan a zone file for squatting
+  squatphi page <file.html> [--brand L]     audit a page (forms/OCR/JS/score)
+  squatphi render <file.html> [--width N]   ASCII screenshot of a page
+  squatphi help                             this text
+";
+
+/// Parses argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "gen" => {
+            let mut brand = None;
+            let mut limit = 10usize;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--limit" => {
+                        i += 1;
+                        limit = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("--limit needs a positive integer"))?;
+                    }
+                    other if brand.is_none() => brand = Some(other.to_string()),
+                    other => return Err(err(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Gen { brand: brand.ok_or_else(|| err("gen needs a brand label"))?, limit })
+        }
+        "classify" => {
+            let domains: Vec<String> = it.cloned().collect();
+            if domains.is_empty() {
+                return Err(err("classify needs at least one domain"));
+            }
+            Ok(Command::Classify { domains })
+        }
+        "scan" => {
+            let mut path = None;
+            let mut type_filter = None;
+            let mut threads = 8usize;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--type" => {
+                        i += 1;
+                        type_filter =
+                            Some(rest.get(i).ok_or_else(|| err("--type needs a value"))?.to_string());
+                    }
+                    "--threads" => {
+                        i += 1;
+                        threads = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("--threads needs a positive integer"))?;
+                    }
+                    other if path.is_none() => path = Some(other.to_string()),
+                    other => return Err(err(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Scan {
+                path: path.ok_or_else(|| err("scan needs a zone-file path"))?,
+                type_filter,
+                threads: threads.max(1),
+            })
+        }
+        "page" => {
+            let mut path = None;
+            let mut brand = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--brand" => {
+                        i += 1;
+                        brand =
+                            Some(rest.get(i).ok_or_else(|| err("--brand needs a label"))?.to_string());
+                    }
+                    other if path.is_none() => path = Some(other.to_string()),
+                    other => return Err(err(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Page { path: path.ok_or_else(|| err("page needs an HTML file path"))?, brand })
+        }
+        "render" => {
+            let mut path = None;
+            let mut width = 80usize;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--width" => {
+                        i += 1;
+                        width = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("--width needs a positive integer"))?;
+                    }
+                    other if path.is_none() => path = Some(other.to_string()),
+                    other => return Err(err(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Render {
+                path: path.ok_or_else(|| err("render needs an HTML file path"))?,
+                width: width.max(8),
+            })
+        }
+        other => Err(err(format!("unknown subcommand {other:?} (try `squatphi help`)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_gen() {
+        assert_eq!(
+            parse_args(&args("gen facebook --limit 5")).unwrap(),
+            Command::Gen { brand: "facebook".into(), limit: 5 }
+        );
+        assert_eq!(
+            parse_args(&args("gen paypal")).unwrap(),
+            Command::Gen { brand: "paypal".into(), limit: 10 }
+        );
+        assert!(parse_args(&args("gen")).is_err());
+        assert!(parse_args(&args("gen a b")).is_err());
+    }
+
+    #[test]
+    fn parses_classify() {
+        assert_eq!(
+            parse_args(&args("classify faceb00k.pw goofle.com.ua")).unwrap(),
+            Command::Classify { domains: vec!["faceb00k.pw".into(), "goofle.com.ua".into()] }
+        );
+        assert!(parse_args(&args("classify")).is_err());
+    }
+
+    #[test]
+    fn parses_scan() {
+        assert_eq!(
+            parse_args(&args("scan zone.txt --type Combo --threads 4")).unwrap(),
+            Command::Scan { path: "zone.txt".into(), type_filter: Some("Combo".into()), threads: 4 }
+        );
+        assert!(parse_args(&args("scan --type Combo")).is_err());
+    }
+
+    #[test]
+    fn parses_page_and_render() {
+        assert_eq!(
+            parse_args(&args("page p.html --brand paypal")).unwrap(),
+            Command::Page { path: "p.html".into(), brand: Some("paypal".into()) }
+        );
+        assert_eq!(
+            parse_args(&args("render p.html --width 60")).unwrap(),
+            Command::Render { path: "p.html".into(), width: 60 }
+        );
+        assert!(parse_args(&args("render --width 60")).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
+        assert!(parse_args(&args("bogus")).is_err());
+    }
+}

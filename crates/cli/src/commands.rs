@@ -1,0 +1,283 @@
+//! Subcommand implementations. Every function writes its report into a
+//! `String` so tests can assert on output without process spawning.
+
+use crate::cli::Command;
+use squatphi::FeatureExtractor;
+use squatphi_domain::{idna, DomainName};
+use squatphi_dnsdb::{scan, RecordStore};
+use squatphi_feeds::{FeedConfig, GroundTruthFeed};
+use squatphi_ml::Classifier;
+use squatphi_squat::gen::{generate_all, GenBudget};
+use squatphi_squat::{BrandRegistry, SquatDetector};
+use std::fmt::Write as _;
+
+/// Runs a parsed command, returning the report text.
+pub fn run(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(crate::cli::USAGE.to_string()),
+        Command::Gen { brand, limit } => gen(brand, *limit),
+        Command::Classify { domains } => classify(domains),
+        Command::Scan { path, type_filter, threads } => scan_zone(path, type_filter.as_deref(), *threads),
+        Command::Page { path, brand } => page(path, brand.as_deref()),
+        Command::Render { path, width } => render(path, *width),
+    }
+}
+
+fn registry() -> BrandRegistry {
+    BrandRegistry::paper()
+}
+
+fn gen(brand_label: &str, limit: usize) -> Result<String, String> {
+    let registry = registry();
+    let brand = registry
+        .by_label(brand_label)
+        .ok_or_else(|| format!("unknown brand {brand_label:?} (702 brands monitored; try `facebook`)"))?;
+    let budget = GenBudget {
+        homograph: limit,
+        bits: limit,
+        typo: limit,
+        combo: limit,
+        wrong_tld: limit,
+    };
+    let mut out = format!("candidates for {} ({}):\n", brand.label, brand.domain);
+    for c in generate_all(brand, budget) {
+        let shown = if c.domain.is_idn() {
+            format!("{} (shown as {})", c.domain, idna::to_unicode(c.domain.as_str()))
+        } else {
+            c.domain.to_string()
+        };
+        let _ = writeln!(out, "  {:<50} {}", shown, c.squat_type);
+    }
+    Ok(out)
+}
+
+fn classify(domains: &[String]) -> Result<String, String> {
+    let registry = registry();
+    let detector = SquatDetector::new(&registry);
+    let mut out = String::new();
+    for raw in domains {
+        let ascii = idna::to_ascii(raw).map_err(|e| format!("{raw}: {e}"))?;
+        match DomainName::parse(&ascii) {
+            Ok(d) => match detector.classify(&d) {
+                Some(m) => {
+                    let _ = writeln!(
+                        out,
+                        "{raw}: SQUATTING ({}) on {}",
+                        m.squat_type,
+                        registry.get(m.brand).expect("valid brand id").label
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{raw}: clean");
+                }
+            },
+            Err(e) => {
+                let _ = writeln!(out, "{raw}: invalid domain ({e})");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn scan_zone(path: &str, type_filter: Option<&str>, threads: usize) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let store = RecordStore::from_zone(&text).map_err(|e| format!("{path}: {e}"))?;
+    let registry = registry();
+    let detector = SquatDetector::new(&registry);
+    let outcome = scan(&store, &registry, &detector, threads);
+    let mut out = format!(
+        "scanned {} records: {} squatting domains ({} invalid records skipped)\n",
+        outcome.scanned,
+        outcome.total_matches(),
+        outcome.invalid
+    );
+    let names = ["Homograph", "Bits", "Typo", "Combo", "WrongTLD"];
+    for (i, n) in outcome.by_type.iter().enumerate() {
+        let _ = writeln!(out, "  {:<10} {n}", names[i]);
+    }
+    for m in &outcome.matches {
+        let ty = m.squat_type.to_string();
+        if type_filter.map(|f| f.eq_ignore_ascii_case(&ty)).unwrap_or(true) {
+            let _ = writeln!(
+                out,
+                "  {:<40} {:<10} {}",
+                m.domain,
+                ty,
+                registry.get(m.brand).expect("valid brand id").label
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn page(path: &str, brand_label: Option<&str>) -> Result<String, String> {
+    let html = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let registry = registry();
+    let extractor = FeatureExtractor::new(&registry);
+    let doc = squatphi_html::parse(&html);
+
+    let mut out = String::new();
+
+    // Structure.
+    let text = squatphi_html::extract::extract_text(&doc);
+    let forms = squatphi_html::extract::extract_forms(&doc);
+    let js = squatphi_html::js::scan_document(&doc);
+    let _ = writeln!(out, "title: {:?}", text.title.first().map(String::as_str).unwrap_or(""));
+    let _ = writeln!(
+        out,
+        "forms: {} (password inputs: {})",
+        forms.len(),
+        forms.iter().flat_map(|f| &f.input_types).filter(|t| *t == "password").count()
+    );
+    let _ = writeln!(
+        out,
+        "js indicators: eval={} fromCharCode={} obfuscated={}",
+        js.eval_calls,
+        js.from_char_code,
+        js.is_obfuscated()
+    );
+
+    // OCR channel.
+    let bmp = squatphi_render::render_page(&doc, &squatphi_render::RenderOptions::default());
+    let ocr = squatphi_ocr::recognize(&bmp, &squatphi_ocr::OcrConfig::default());
+    let _ = writeln!(out, "ocr text: {}", truncate(&ocr.joined(), 160));
+
+    // Evasion vs a brand, if requested.
+    if let Some(label) = brand_label {
+        let brand = registry
+            .by_label(label)
+            .ok_or_else(|| format!("unknown brand {label:?}"))?;
+        let brand_page = squatphi_web::pages::brand_login_page(brand);
+        let m = squatphi::evasion::measure(&html, &brand_page, &brand.label);
+        let _ = writeln!(
+            out,
+            "evasion vs {}: layout distance {}, string obfuscated {}, code obfuscated {}",
+            brand.label, m.layout_distance, m.string_obfuscated, m.code_obfuscated
+        );
+    }
+
+    // Classifier score (model trained on the synthetic ground-truth feed;
+    // a real deployment would load a persisted model instead).
+    let feed = GroundTruthFeed::generate(&registry, &FeedConfig { total_urls: 1_200, seed: 77 });
+    let pages: Vec<(&str, bool)> = feed
+        .entries
+        .iter()
+        .map(|e| (e.html.as_str(), e.still_phishing))
+        .collect();
+    let data = extractor.build_dataset(&pages, 8);
+    let model = squatphi::train::fit_final_model(&data, 7);
+    let score = model.score(&extractor.extract(&html));
+    let _ = writeln!(
+        out,
+        "phishing score: {score:.2} -> {}",
+        if score >= 0.5 { "FLAGGED" } else { "not flagged" }
+    );
+    Ok(out)
+}
+
+fn render(path: &str, width: usize) -> Result<String, String> {
+    let html = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = squatphi_html::parse(&html);
+    let bmp = squatphi_render::render_page(&doc, &squatphi_render::RenderOptions::default());
+    Ok(squatphi_render::ascii::to_ascii(&bmp, width))
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_lists_candidates() {
+        let out = run(&Command::Gen { brand: "facebook".into(), limit: 2 }).expect("runs");
+        assert!(out.contains("Combo") || out.contains("combo"));
+        assert!(out.contains("facebook"));
+    }
+
+    #[test]
+    fn gen_rejects_unknown_brand() {
+        assert!(run(&Command::Gen { brand: "definitelynotabrand".into(), limit: 2 }).is_err());
+    }
+
+    #[test]
+    fn classify_reports_each_domain() {
+        let out = run(&Command::Classify {
+            domains: vec![
+                "faceb00k.pw".into(),
+                "winterpillow.net".into(),
+                "fàcebook.com".into(), // unicode input goes through IDNA
+                "not a domain".into(),
+            ],
+        })
+        .expect("runs");
+        assert!(out.contains("faceb00k.pw: SQUATTING (Homograph) on facebook"));
+        assert!(out.contains("winterpillow.net: clean"));
+        assert!(out.contains("fàcebook.com: SQUATTING (Homograph) on facebook"));
+        assert!(out.contains("invalid domain"));
+    }
+
+    #[test]
+    fn scan_reads_zone_files() {
+        let dir = std::env::temp_dir().join("squatphi-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("zone.txt");
+        std::fs::write(
+            &path,
+            "faceb00k.pw.\t300\tIN\tA\t203.0.113.1\n\
+             pepper-garden.net.\t300\tIN\tA\t203.0.113.2\n\
+             paypal-cash.com.\t300\tIN\tA\t203.0.113.3\n",
+        )
+        .expect("write");
+        let out = run(&Command::Scan {
+            path: path.to_string_lossy().into_owned(),
+            type_filter: None,
+            threads: 2,
+        })
+        .expect("runs");
+        assert!(out.contains("2 squatting domains"), "{out}");
+        assert!(out.contains("faceb00k.pw"));
+        assert!(out.contains("paypal-cash.com"));
+        assert!(!out.contains("pepper-garden"));
+        // Type filter narrows the listing.
+        let combo_only = run(&Command::Scan {
+            path: path.to_string_lossy().into_owned(),
+            type_filter: Some("Combo".into()),
+            threads: 2,
+        })
+        .expect("runs");
+        assert!(combo_only.contains("paypal-cash.com"));
+        assert!(!combo_only.lines().any(|l| l.contains("faceb00k.pw") && l.contains("Homograph")));
+    }
+
+    #[test]
+    fn render_produces_ascii() {
+        let dir = std::env::temp_dir().join("squatphi-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("page.html");
+        std::fs::write(&path, "<html><body><h1>paypal</h1></body></html>").expect("write");
+        let out = run(&Command::Render {
+            path: path.to_string_lossy().into_owned(),
+            width: 40,
+        })
+        .expect("runs");
+        assert!(out.lines().count() > 5);
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        assert!(run(&Command::Scan {
+            path: "/nonexistent/zone".into(),
+            type_filter: None,
+            threads: 1
+        })
+        .is_err());
+        assert!(run(&Command::Render { path: "/nonexistent/page".into(), width: 40 }).is_err());
+    }
+}

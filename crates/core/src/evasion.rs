@@ -1,0 +1,176 @@
+//! Evasion characterization (paper §4.2, Figures 8-9, Tables 6 and 11).
+
+use squatphi_html::{extract, js, parse};
+use squatphi_imghash::{perceptual_hash, ImageHash};
+use squatphi_render::{render_page, RenderOptions};
+
+/// Per-page evasion measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvasionMeasurement {
+    /// pHash Hamming distance between this page and the brand's real page.
+    pub layout_distance: u32,
+    /// Brand name absent from the HTML-level text (string obfuscation).
+    pub string_obfuscated: bool,
+    /// Obfuscation indicators present in the page's JavaScript.
+    pub code_obfuscated: bool,
+}
+
+/// Measures one page against its target brand.
+///
+/// * layout — render both pages, hash, Hamming distance (§4.2 "Layout
+///   Obfuscation"),
+/// * string — extract all HTML text; the page is string-obfuscated when
+///   the brand label does not appear (§4.2 "String Obfuscation"),
+/// * code — FrameHanger-style indicator scan (§4.2 "Code Obfuscation").
+pub fn measure(page_html: &str, brand_html: &str, brand_label: &str) -> EvasionMeasurement {
+    let page_doc = parse(page_html);
+    let brand_doc = parse(brand_html);
+    let opts = RenderOptions::default();
+    let page_hash = perceptual_hash(&render_page(&page_doc, &opts));
+    let brand_hash = perceptual_hash(&render_page(&brand_doc, &opts));
+
+    let text = extract::extract_text(&page_doc).joined_lower();
+    let string_obfuscated = !text.contains(&brand_label.to_ascii_lowercase());
+
+    let code_obfuscated = js::scan_document(&page_doc).is_obfuscated();
+
+    EvasionMeasurement {
+        layout_distance: page_hash.distance(&brand_hash),
+        string_obfuscated,
+        code_obfuscated,
+    }
+}
+
+/// Precomputed brand-page hash for bulk measurement.
+pub fn brand_hash(brand_html: &str) -> ImageHash {
+    perceptual_hash(&render_page(&parse(brand_html), &RenderOptions::default()))
+}
+
+/// Layout distance of a page against a precomputed brand hash.
+pub fn layout_distance(page_html: &str, brand: &ImageHash) -> u32 {
+    let h = perceptual_hash(&render_page(&parse(page_html), &RenderOptions::default()));
+    h.distance(brand)
+}
+
+/// Aggregate of a set of measurements (one Table 11 row).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvasionSummary {
+    /// Mean layout distance.
+    pub layout_mean: f64,
+    /// Standard deviation of layout distance.
+    pub layout_std: f64,
+    /// Fraction of string-obfuscated pages.
+    pub string_rate: f64,
+    /// Fraction of code-obfuscated pages.
+    pub code_rate: f64,
+    /// Pages measured.
+    pub count: usize,
+}
+
+impl EvasionSummary {
+    /// Summarizes a set of measurements.
+    pub fn from_measurements(ms: &[EvasionMeasurement]) -> Self {
+        if ms.is_empty() {
+            return EvasionSummary::default();
+        }
+        let n = ms.len() as f64;
+        let mean = ms.iter().map(|m| m.layout_distance as f64).sum::<f64>() / n;
+        let var = ms
+            .iter()
+            .map(|m| (m.layout_distance as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        EvasionSummary {
+            layout_mean: mean,
+            layout_std: var.sqrt(),
+            string_rate: ms.iter().filter(|m| m.string_obfuscated).count() as f64 / n,
+            code_rate: ms.iter().filter(|m| m.code_obfuscated).count() as f64 / n,
+            count: ms.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squatphi_squat::BrandRegistry;
+    use squatphi_web::behavior::{Cloaking, LifetimePattern, PhishingProfile, ScamKind};
+    use squatphi_web::pages;
+
+    fn profile(layout: u8, string_obf: bool, code_obf: bool) -> PhishingProfile {
+        PhishingProfile {
+            brand: 0,
+            scam: ScamKind::FakeLogin,
+            layout_obfuscation: layout,
+            string_obfuscation: string_obf,
+            code_obfuscation: code_obf,
+            cloaking: Cloaking::None,
+            lifetime: LifetimePattern::Stable,
+        }
+    }
+
+    #[test]
+    fn layout_distance_grows_with_intensity() {
+        let reg = BrandRegistry::with_size(5);
+        let brand = reg.by_label("paypal").unwrap();
+        let brand_page = pages::brand_login_page(brand);
+        let close = pages::phishing_page(brand, &profile(0, false, false), "h.com", 1);
+        let far = pages::phishing_page(brand, &profile(3, false, false), "h.com", 1);
+        let d_close = measure(&close, &brand_page, "paypal").layout_distance;
+        let d_far = measure(&far, &brand_page, "paypal").layout_distance;
+        assert!(
+            d_far > d_close,
+            "intensity 3 ({d_far}) should be farther than 0 ({d_close})"
+        );
+    }
+
+    #[test]
+    fn string_obfuscation_detected() {
+        let reg = BrandRegistry::with_size(5);
+        let brand = reg.by_label("paypal").unwrap();
+        let brand_page = pages::brand_login_page(brand);
+        let plain = pages::phishing_page(brand, &profile(1, false, false), "h.com", 2);
+        let obf = pages::phishing_page(brand, &profile(1, true, false), "h.com", 2);
+        assert!(!measure(&plain, &brand_page, "paypal").string_obfuscated);
+        assert!(measure(&obf, &brand_page, "paypal").string_obfuscated);
+    }
+
+    #[test]
+    fn code_obfuscation_detected() {
+        let reg = BrandRegistry::with_size(5);
+        let brand = reg.by_label("paypal").unwrap();
+        let brand_page = pages::brand_login_page(brand);
+        let obf = pages::phishing_page(brand, &profile(1, false, true), "h.com", 2);
+        assert!(measure(&obf, &brand_page, "paypal").code_obfuscated);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let ms = vec![
+            EvasionMeasurement { layout_distance: 10, string_obfuscated: true, code_obfuscated: false },
+            EvasionMeasurement { layout_distance: 30, string_obfuscated: false, code_obfuscated: true },
+        ];
+        let s = EvasionSummary::from_measurements(&ms);
+        assert_eq!(s.layout_mean, 20.0);
+        assert_eq!(s.layout_std, 10.0);
+        assert_eq!(s.string_rate, 0.5);
+        assert_eq!(s.code_rate, 0.5);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        assert_eq!(EvasionSummary::from_measurements(&[]), EvasionSummary::default());
+    }
+
+    #[test]
+    fn bulk_hash_path_matches_measure() {
+        let reg = BrandRegistry::with_size(5);
+        let brand = reg.by_label("facebook").unwrap();
+        let brand_page = pages::brand_login_page(brand);
+        let page = pages::phishing_page(brand, &profile(2, false, false), "faceb00k.pw", 5);
+        let via_measure = measure(&page, &brand_page, "facebook").layout_distance;
+        let via_bulk = layout_distance(&page, &brand_hash(&brand_page));
+        assert_eq!(via_measure, via_bulk);
+    }
+}

@@ -1,0 +1,35 @@
+//! `squatphi` — the paper's primary contribution: an end-to-end system
+//! that searches for and detects *squatting phishing* domains.
+//!
+//! The pipeline mirrors the paper's architecture exactly:
+//!
+//! 1. **Squatting detection** (§3.1) — scan a DNS snapshot for domains
+//!    squatting on 702 monitored brands ([`pipeline`] stage 1, built on
+//!    `squatphi-dnsdb` / `squatphi-squat`),
+//! 2. **Crawling** (§3.2) — fetch web + mobile pages of every squatting
+//!    domain (stage 2, built on `squatphi-crawler` / `squatphi-web`),
+//! 3. **Evasion characterization** (§4) — [`evasion`]: layout (image
+//!    hash), string (brand-in-text), and code (JS indicator) obfuscation
+//!    measurements on ground-truth phishing,
+//! 4. **Classification** (§5) — [`features`] (OCR + lexical + form
+//!    features) and [`train`] (NB / KNN / RF with 10-fold CV),
+//! 5. **In-the-wild detection** (§6) — stage 3: classify every crawled
+//!    page, simulate manual verification, and run all the §6 analyses
+//!    ([`analysis`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod evasion;
+pub mod features;
+pub mod pipeline;
+pub mod reinforce;
+pub mod snapshots;
+pub mod train;
+
+pub use config::SimConfig;
+pub use features::FeatureExtractor;
+pub use pipeline::{PipelineResult, SquatPhi};
+pub use train::{train_and_evaluate, EvalReport, ModelEval};

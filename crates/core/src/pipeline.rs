@@ -1,0 +1,328 @@
+//! The end-to-end SquatPhi pipeline (paper §3-§6).
+
+use crate::config::SimConfig;
+use crate::features::FeatureExtractor;
+use crate::train::{self, EvalReport};
+use squatphi_crawler::{crawl_all, CrawlConfig, CrawlRecord, CrawlStats, InProcessTransport};
+use squatphi_dnsdb::{scan, synth, ScanOutcome};
+use squatphi_feeds::{FeedConfig, GroundTruthFeed};
+use squatphi_ml::{Classifier, RandomForest};
+use squatphi_squat::{BrandRegistry, SquatDetector, SquatType};
+use squatphi_web::{Device, SiteBehavior, WebWorld};
+use std::sync::Arc;
+
+/// One page flagged by the classifier.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Squatting domain.
+    pub domain: String,
+    /// Impersonated brand.
+    pub brand: usize,
+    /// Squatting type.
+    pub squat_type: SquatType,
+    /// Device profile the page was captured with.
+    pub device: Device,
+    /// Classifier score.
+    pub score: f64,
+    /// Survived manual verification (i.e. is truly phishing).
+    pub confirmed: bool,
+}
+
+/// Everything the pipeline produced — the inputs to every §6 table and
+/// figure.
+pub struct PipelineResult {
+    /// The monitored brands.
+    pub registry: BrandRegistry,
+    /// The squatting-scan outcome over the DNS snapshot (Figures 2-4).
+    pub scan: ScanOutcome,
+    /// The synthetic web the crawl ran against (ground truth oracle).
+    pub world: Arc<WebWorld>,
+    /// Per-domain crawl records, snapshot 0 (Tables 2-4).
+    pub crawl: Vec<CrawlRecord>,
+    /// Crawl aggregate stats.
+    pub crawl_stats: CrawlStats,
+    /// The ground-truth feed (Figures 5-7, Table 5).
+    pub feed: GroundTruthFeed,
+    /// Classifier cross-validation report (Table 7, Figure 10).
+    pub eval: EvalReport,
+    /// The deployed model.
+    pub model: RandomForest,
+    /// The shared feature extractor.
+    pub extractor: FeatureExtractor,
+    /// Web-profile detections after manual verification (Table 8).
+    pub web_detections: Vec<Detection>,
+    /// Mobile-profile detections.
+    pub mobile_detections: Vec<Detection>,
+}
+
+impl PipelineResult {
+    /// Confirmed phishing domains (union of web and mobile).
+    pub fn confirmed_domains(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .web_detections
+            .iter()
+            .chain(&self.mobile_detections)
+            .filter(|d| d.confirmed)
+            .map(|d| d.domain.as_str())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Confirmed detections for one device.
+    pub fn confirmed(&self, device: Device) -> Vec<&Detection> {
+        let set = match device {
+            Device::Web => &self.web_detections,
+            Device::Mobile => &self.mobile_detections,
+        };
+        set.iter().filter(|d| d.confirmed).collect()
+    }
+}
+
+/// The system façade.
+pub struct SquatPhi;
+
+impl SquatPhi {
+    /// Runs the full pipeline under `config`.
+    pub fn run(config: &SimConfig) -> PipelineResult {
+        let registry = BrandRegistry::with_size(config.brands);
+
+        // Stage 1 — squatting detection over the DNS snapshot (§3.1).
+        let (store, _stats) = synth::generate(&config.snapshot, &registry);
+        let detector = SquatDetector::new(&registry);
+        let scan_outcome = scan(&store, &registry, &detector, config.threads);
+
+        // Stage 2 — build the web world over the scan hits and crawl it
+        // (§3.2).
+        let squats: Vec<(String, usize, SquatType, std::net::Ipv4Addr)> = scan_outcome
+            .matches
+            .iter()
+            .map(|m| (m.domain.registrable(), m.brand, m.squat_type, m.ip))
+            .collect();
+        let world = Arc::new(WebWorld::build(&squats, &registry, &config.world));
+        let transport = InProcessTransport::new(world.clone());
+        let jobs: Vec<(String, usize, SquatType)> =
+            squats.iter().map(|(d, b, t, _)| (d.clone(), *b, *t)).collect();
+        let crawl_cfg = CrawlConfig { workers: config.threads, snapshot: 0, ..CrawlConfig::default() };
+        let (crawl_records, crawl_stats) = crawl_all(&jobs, &registry, &transport, &crawl_cfg);
+
+        // Stage 3 — ground truth (§4.1) and classifier training (§5).
+        let feed = GroundTruthFeed::generate(
+            &registry,
+            &FeedConfig { total_urls: config.feed.total_urls, seed: config.feed.seed },
+        );
+        let extractor = FeatureExtractor::new(&registry);
+        let (dataset, _split) = build_training_set(&extractor, &feed, &crawl_records, &world, config);
+        let eval = train::train_and_evaluate(&dataset, config.cv_folds, config.seed);
+        let model = train::fit_final_model(&dataset, config.seed);
+
+        // Stage 4 — in-the-wild detection (§6.1) with manual-verification
+        // simulation.
+        let web_detections =
+            detect_device(&crawl_records, &extractor, &model, &world, Device::Web, config.threads);
+        let mobile_detections =
+            detect_device(&crawl_records, &extractor, &model, &world, Device::Mobile, config.threads);
+
+        PipelineResult {
+            registry,
+            scan: scan_outcome,
+            world,
+            crawl: crawl_records,
+            crawl_stats,
+            feed,
+            eval,
+            model,
+            extractor,
+            web_detections,
+            mobile_detections,
+        }
+    }
+}
+
+/// Assembles the training set: the top-8 manually-verified feed pages
+/// (positives = still-phishing, negatives = taken-down/benign) plus
+/// `sampled_benign` easy-to-confuse live squatting pages (§5.3's 1,565).
+fn build_training_set(
+    extractor: &FeatureExtractor,
+    feed: &GroundTruthFeed,
+    crawl: &[CrawlRecord],
+    world: &WebWorld,
+    config: &SimConfig,
+) -> (squatphi_ml::Dataset, (usize, usize)) {
+    let mut pages: Vec<(&str, bool)> = Vec::new();
+    let top8 = feed.top8(&world_registry_view(feed, config));
+    for e in &top8 {
+        pages.push((e.html.as_str(), e.still_phishing));
+    }
+    // Sampled benign squatting pages: live, not phishing per the world's
+    // ground truth (the paper manually verified these).
+    let mut sampled = 0usize;
+    for r in crawl {
+        if sampled >= config.sampled_benign {
+            break;
+        }
+        let Some(web) = &r.web else { continue };
+        if web.html.is_empty() {
+            continue;
+        }
+        let is_phishing = world
+            .site(&r.domain)
+            .map(|s| s.behavior.is_phishing())
+            .unwrap_or(false);
+        if !is_phishing {
+            pages.push((web.html.as_str(), false));
+            sampled += 1;
+        }
+    }
+    let pos = pages.iter().filter(|(_, y)| *y).count();
+    let neg = pages.len() - pos;
+    (extractor.build_dataset(&pages, config.threads), (pos, neg))
+}
+
+// The feed keeps brand ids from the same registry the pipeline built; this
+// helper rebuilds a registry of the right size for `top8` lookups.
+fn world_registry_view(_feed: &GroundTruthFeed, config: &SimConfig) -> BrandRegistry {
+    BrandRegistry::with_size(config.brands)
+}
+
+/// Classifies every crawled page of one device profile and simulates the
+/// manual verification pass (§6.1: "we manually examined each of the
+/// detected phishing pages" — our oracle is the world's ground truth).
+fn detect_device(
+    crawl: &[CrawlRecord],
+    extractor: &FeatureExtractor,
+    model: &RandomForest,
+    world: &WebWorld,
+    device: Device,
+    threads: usize,
+) -> Vec<Detection> {
+    // Collect candidate pages.
+    let mut candidates: Vec<(&CrawlRecord, &str)> = Vec::new();
+    for r in crawl {
+        let cap = match device {
+            Device::Web => r.web.as_ref(),
+            Device::Mobile => r.mobile.as_ref(),
+        };
+        if let Some(cap) = cap {
+            // Pages that redirected off-domain are the destination's
+            // content, not the squat's — the paper still records them; we
+            // classify whatever HTML was captured.
+            if !cap.html.is_empty() {
+                candidates.push((r, cap.html.as_str()));
+            }
+        }
+    }
+    let htmls: Vec<&str> = candidates.iter().map(|(_, h)| *h).collect();
+    let vectors = extractor.extract_batch(&htmls, threads);
+    let mut out = Vec::new();
+    for ((record, _), v) in candidates.iter().zip(vectors) {
+        let score = model.score(&v);
+        if score >= 0.5 {
+            // Manual verification: flag survives iff the page is truly a
+            // phishing page serving this device at snapshot 0.
+            let confirmed = world
+                .site(&record.domain)
+                .map(|s| match &s.behavior {
+                    SiteBehavior::Phishing(p) => {
+                        p.lifetime.phishing_live(0)
+                            && match (p.cloaking, device) {
+                                (squatphi_web::Cloaking::MobileOnly, Device::Web) => false,
+                                (squatphi_web::Cloaking::WebOnly, Device::Mobile) => false,
+                                _ => true,
+                            }
+                    }
+                    _ => false,
+                })
+                .unwrap_or(false);
+            out.push(Detection {
+                domain: record.domain.clone(),
+                brand: record.brand,
+                squat_type: record.squat_type,
+                device,
+                score,
+                confirmed,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One shared tiny run: the pipeline is the expensive object, so the
+    // integration-style assertions share it.
+    fn run() -> &'static PipelineResult {
+        use std::sync::OnceLock;
+        static RESULT: OnceLock<PipelineResult> = OnceLock::new();
+        RESULT.get_or_init(|| SquatPhi::run(&SimConfig::tiny()))
+    }
+
+    #[test]
+    fn scan_finds_squatting_domains() {
+        let r = run();
+        assert!(r.scan.total_matches() > 400, "only {} matches", r.scan.total_matches());
+        assert!(r.scan.count(SquatType::Combo) > r.scan.count(SquatType::Homograph));
+    }
+
+    #[test]
+    fn crawl_covers_scan() {
+        let r = run();
+        assert_eq!(r.crawl.len(), r.scan.total_matches());
+        assert!(r.crawl_stats.web_live > 0);
+    }
+
+    #[test]
+    fn classifier_quality() {
+        let r = run();
+        let rf = r.eval.models.iter().find(|m| m.name == "RandomForest").unwrap();
+        assert!(rf.metrics.auc > 0.85, "RF AUC {}", rf.metrics.auc);
+        assert!(rf.metrics.fpr < 0.15, "RF FPR {}", rf.metrics.fpr);
+    }
+
+    #[test]
+    fn detections_exist_and_confirmed_subset() {
+        let r = run();
+        assert!(!r.web_detections.is_empty() || !r.mobile_detections.is_empty());
+        let confirmed = r.confirmed_domains().len();
+        let flagged: std::collections::HashSet<&str> = r
+            .web_detections
+            .iter()
+            .chain(&r.mobile_detections)
+            .map(|d| d.domain.as_str())
+            .collect();
+        assert!(confirmed <= flagged.len());
+        assert!(confirmed > 0, "no confirmed phishing at all");
+    }
+
+    #[test]
+    fn confirmed_detections_match_world_truth() {
+        let r = run();
+        for d in r.confirmed(Device::Web) {
+            let site = r.world.site(&d.domain).expect("site exists");
+            assert!(site.behavior.is_phishing(), "{} confirmed but not phishing", d.domain);
+        }
+    }
+
+    #[test]
+    fn detection_recall_reasonable() {
+        let r = run();
+        // How many live, uncloaked phishing pages did the classifier+
+        // verification pipeline recover?
+        let mut live_phish = 0usize;
+        for s in r.world.sites() {
+            if let SiteBehavior::Phishing(p) = &s.behavior {
+                if p.lifetime.phishing_live(0) {
+                    live_phish += 1;
+                }
+            }
+        }
+        let confirmed = r.confirmed_domains().len();
+        assert!(
+            confirmed * 2 >= live_phish,
+            "recovered {confirmed} of {live_phish} live phishing domains"
+        );
+    }
+}

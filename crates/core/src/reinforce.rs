@@ -1,0 +1,161 @@
+//! Classifier reinforcement — the paper's stated follow-up (§6.1):
+//! *"A potential way of improvement is to feed the newly confirmed
+//! phishing pages back to the training data to re-enforce the classifier
+//! training (future work)."*
+//!
+//! After the manual-verification pass, two new labeled sets exist:
+//! confirmed in-the-wild phishing pages (fresh positives drawn from the
+//! *squatting* distribution, which the feed-based ground truth barely
+//! covers) and rejected detections (hard negatives — the exact pages the
+//! current model gets wrong). This module augments the training set with
+//! both and refits.
+
+use crate::features::FeatureExtractor;
+use crate::pipeline::PipelineResult;
+use crate::train;
+use squatphi_ml::{Classifier, Dataset, RandomForest};
+use squatphi_web::Device;
+
+/// Outcome of one reinforcement round.
+pub struct ReinforceOutcome {
+    /// The refitted model.
+    pub model: RandomForest,
+    /// Confirmed pages added as positives.
+    pub added_positives: usize,
+    /// Rejected detections added as negatives.
+    pub added_negatives: usize,
+}
+
+/// Builds the augmented dataset and refits the production forest.
+///
+/// `base` is the original ground-truth dataset the pipeline trained on;
+/// the augmentation pulls the verified in-the-wild pages out of
+/// `result`'s crawl captures.
+pub fn reinforce(
+    result: &PipelineResult,
+    extractor: &FeatureExtractor,
+    base: &Dataset,
+    threads: usize,
+    seed: u64,
+) -> ReinforceOutcome {
+    let mut pages: Vec<(&str, bool)> = Vec::new();
+
+    // Index crawl captures by domain for page lookup.
+    let by_domain: std::collections::HashMap<&str, &squatphi_crawler::CrawlRecord> =
+        result.crawl.iter().map(|r| (r.domain.as_str(), r)).collect();
+
+    let mut added_pos = 0usize;
+    let mut added_neg = 0usize;
+    for device in [Device::Web, Device::Mobile] {
+        let detections = match device {
+            Device::Web => &result.web_detections,
+            Device::Mobile => &result.mobile_detections,
+        };
+        for d in detections {
+            let Some(record) = by_domain.get(d.domain.as_str()) else { continue };
+            let cap = match device {
+                Device::Web => record.web.as_ref(),
+                Device::Mobile => record.mobile.as_ref(),
+            };
+            let Some(cap) = cap else { continue };
+            if cap.html.is_empty() {
+                continue;
+            }
+            pages.push((cap.html.as_str(), d.confirmed));
+            if d.confirmed {
+                added_pos += 1;
+            } else {
+                added_neg += 1;
+            }
+        }
+    }
+
+    let augmentation = extractor.build_dataset(&pages, threads);
+    let mut combined = Dataset::new(base.dim());
+    for (x, y) in base.iter() {
+        combined.push(x.clone(), y);
+    }
+    for (x, y) in augmentation.iter() {
+        combined.push(x.clone(), y);
+    }
+    let model = train::fit_final_model(&combined, seed);
+    ReinforceOutcome { model, added_positives: added_pos, added_negatives: added_neg }
+}
+
+/// Counts in-the-wild classification errors of `model` against the
+/// world's ground truth (flagged-but-benign plus missed-live-phishing),
+/// for before/after comparisons.
+pub fn wild_error_count(
+    result: &PipelineResult,
+    extractor: &FeatureExtractor,
+    model: &RandomForest,
+    threads: usize,
+) -> usize {
+    let mut errors = 0usize;
+    for device in [Device::Web, Device::Mobile] {
+        let captures: Vec<(&squatphi_crawler::CrawlRecord, &str)> = result
+            .crawl
+            .iter()
+            .filter_map(|r| {
+                let cap = match device {
+                    Device::Web => r.web.as_ref(),
+                    Device::Mobile => r.mobile.as_ref(),
+                }?;
+                (!cap.html.is_empty()).then_some((r, cap.html.as_str()))
+            })
+            .collect();
+        let htmls: Vec<&str> = captures.iter().map(|(_, h)| *h).collect();
+        let vectors = extractor.extract_batch(&htmls, threads);
+        for ((record, _), v) in captures.iter().zip(vectors) {
+            let predicted = model.score(&v) >= 0.5;
+            let truth = result
+                .world
+                .site(&record.domain)
+                .map(|s| match &s.behavior {
+                    squatphi_web::SiteBehavior::Phishing(p) => {
+                        p.lifetime.phishing_live(0)
+                            && !matches!(
+                                (p.cloaking, device),
+                                (squatphi_web::Cloaking::MobileOnly, Device::Web)
+                                    | (squatphi_web::Cloaking::WebOnly, Device::Mobile)
+                            )
+                    }
+                    _ => false,
+                })
+                .unwrap_or(false);
+            if predicted != truth {
+                errors += 1;
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, SquatPhi};
+
+    #[test]
+    fn reinforcement_does_not_hurt_and_usually_helps() {
+        let config = SimConfig::tiny();
+        let result = SquatPhi::run(&config);
+
+        // Rebuild the base ground-truth set the pipeline trained on.
+        let top8 = result.feed.top8(&result.registry);
+        let pages: Vec<(&str, bool)> =
+            top8.iter().map(|e| (e.html.as_str(), e.still_phishing)).collect();
+        let base = result.extractor.build_dataset(&pages, config.threads);
+
+        let before = wild_error_count(&result, &result.extractor, &result.model, config.threads);
+        let out = reinforce(&result, &result.extractor, &base, config.threads, 5);
+        assert!(out.added_positives > 0, "no confirmed pages to feed back");
+        let after = wild_error_count(&result, &result.extractor, &out.model, config.threads);
+        // In-sample by construction, so the reinforced model must not be
+        // worse on the wild set; typically it fixes the FP/FN stragglers.
+        assert!(
+            after <= before,
+            "reinforcement increased wild errors: {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! The crawl loop: work queue, worker pool, redirect following,
+//! destination classification.
+
+use crate::stats::CrawlStats;
+use crate::transport::Transport;
+use crossbeam::channel;
+use squatphi_domain::url::host_of;
+use squatphi_html::parse;
+use squatphi_render::{render_page, Bitmap, RenderOptions};
+use squatphi_squat::{BrandId, BrandRegistry, SquatType};
+use squatphi_web::world::MARKETPLACES;
+use squatphi_web::{Device, ServeResult};
+use std::collections::HashMap;
+
+/// Crawl parameters.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Redirect budget per page.
+    pub max_redirects: usize,
+    /// Snapshot index being crawled.
+    pub snapshot: u8,
+    /// Additional fetch attempts on `Unreachable` (0 = no retry). The
+    /// paper's crawler sends "1-2 requests for each scan" — transient
+    /// failures get one more chance before a domain is recorded dead.
+    pub retries: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig { workers: 8, max_redirects: 5, snapshot: 0, retries: 1 }
+    }
+}
+
+/// Where a redirect chain ends, classified as in Tables 2-4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedirectClass {
+    /// No redirect at all.
+    None,
+    /// Ends on the impersonated brand's own domain.
+    Original,
+    /// Ends on a known domain marketplace.
+    Market,
+    /// Ends somewhere else.
+    Other,
+}
+
+/// One captured page (per device profile).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageCapture {
+    /// Host that finally served the page.
+    pub final_host: String,
+    /// The HTML body.
+    pub html: String,
+    /// Redirect hops taken (hosts).
+    pub redirects: Vec<String>,
+}
+
+impl PageCapture {
+    /// Renders the screenshot for this capture (lazily — bitmaps are too
+    /// large to keep for a full crawl).
+    pub fn render(&self) -> Bitmap {
+        render_page(&parse(&self.html), &RenderOptions::default())
+    }
+}
+
+/// Everything the crawler learned about one squatting domain.
+#[derive(Debug, Clone)]
+pub struct CrawlRecord {
+    /// The squatting domain.
+    pub domain: String,
+    /// Impersonated brand.
+    pub brand: BrandId,
+    /// Squatting type.
+    pub squat_type: SquatType,
+    /// Web (desktop) capture, `None` when unreachable.
+    pub web: Option<PageCapture>,
+    /// Mobile capture.
+    pub mobile: Option<PageCapture>,
+    /// Redirect classification of the web fetch.
+    pub web_redirect: RedirectClass,
+    /// Redirect classification of the mobile fetch.
+    pub mobile_redirect: RedirectClass,
+}
+
+impl CrawlRecord {
+    /// Whether either profile got any page.
+    pub fn is_live(&self) -> bool {
+        self.web.is_some() || self.mobile.is_some()
+    }
+}
+
+/// Crawls every `(domain, brand, type)` job with a worker pool over the
+/// transport. Returns records in input order plus aggregate stats.
+pub fn crawl_all(
+    jobs: &[(String, BrandId, SquatType)],
+    registry: &BrandRegistry,
+    transport: &dyn Transport,
+    config: &CrawlConfig,
+) -> (Vec<CrawlRecord>, CrawlStats) {
+    let brand_domains: HashMap<usize, String> = registry
+        .brands()
+        .iter()
+        .map(|b| (b.id, b.domain.as_str().to_string()))
+        .collect();
+    let markets: std::collections::HashSet<&str> = MARKETPLACES.iter().copied().collect();
+
+    let workers = config.workers.max(1);
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    for i in 0..jobs.len() {
+        job_tx.send(i).expect("queue open");
+    }
+    drop(job_tx);
+
+    let records: Vec<CrawlRecord> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let brand_domains = &brand_domains;
+            let markets = &markets;
+            handles.push(s.spawn(move |_| {
+                let mut out = Vec::new();
+                while let Ok(i) = job_rx.recv() {
+                    let (domain, brand, squat_type) = &jobs[i];
+                    let (web, web_redirect) = fetch_one(
+                        transport,
+                        domain,
+                        Device::Web,
+                        config,
+                        brand_domains.get(brand).map(String::as_str),
+                        markets,
+                    );
+                    let (mobile, mobile_redirect) = fetch_one(
+                        transport,
+                        domain,
+                        Device::Mobile,
+                        config,
+                        brand_domains.get(brand).map(String::as_str),
+                        markets,
+                    );
+                    out.push((
+                        i,
+                        CrawlRecord {
+                            domain: domain.clone(),
+                            brand: *brand,
+                            squat_type: *squat_type,
+                            web,
+                            mobile,
+                            web_redirect,
+                            mobile_redirect,
+                        },
+                    ));
+                }
+                out
+            }));
+        }
+        let mut indexed: Vec<(usize, CrawlRecord)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("crawl worker panicked"))
+            .collect();
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    })
+    .expect("crawl scope");
+
+    let stats = CrawlStats::from_records(&records);
+    (records, stats)
+}
+
+fn fetch_one(
+    transport: &dyn Transport,
+    domain: &str,
+    device: Device,
+    config: &CrawlConfig,
+    brand_domain: Option<&str>,
+    markets: &std::collections::HashSet<&str>,
+) -> (Option<PageCapture>, RedirectClass) {
+    let mut host = domain.to_string();
+    let mut redirects: Vec<String> = Vec::new();
+    let mut retries_left = config.retries;
+    for _ in 0..=(config.max_redirects + config.retries) {
+        match transport.fetch(&host, device, config.snapshot) {
+            ServeResult::Page(html) => {
+                let class = classify_chain(&redirects, &host, domain, brand_domain, markets);
+                return (
+                    Some(PageCapture { final_host: host, html, redirects }),
+                    class,
+                );
+            }
+            ServeResult::Redirect(url) => {
+                let next = host_of(&url).unwrap_or(url);
+                redirects.push(next.clone());
+                host = next;
+            }
+            ServeResult::Unreachable => {
+                // Transient failures get retried before the domain is
+                // written off; a failure mid-chain still classifies the
+                // chain seen so far.
+                if retries_left > 0 {
+                    retries_left -= 1;
+                    continue;
+                }
+                if redirects.is_empty() {
+                    return (None, RedirectClass::None);
+                }
+                let class = classify_chain(&redirects, &host, domain, brand_domain, markets);
+                return (
+                    Some(PageCapture { final_host: host, html: String::new(), redirects }),
+                    class,
+                );
+            }
+        }
+    }
+    (None, RedirectClass::Other) // redirect loop
+}
+
+fn classify_chain(
+    redirects: &[String],
+    final_host: &str,
+    origin: &str,
+    brand_domain: Option<&str>,
+    markets: &std::collections::HashSet<&str>,
+) -> RedirectClass {
+    if redirects.is_empty() || final_host == origin {
+        return RedirectClass::None;
+    }
+    if Some(final_host) == brand_domain {
+        return RedirectClass::Original;
+    }
+    if markets.contains(final_host) {
+        return RedirectClass::Market;
+    }
+    RedirectClass::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcessTransport;
+    use squatphi_web::{WebWorld, WorldConfig};
+    use std::net::Ipv4Addr;
+    use std::sync::Arc;
+
+    fn setup(n_brands: usize, per_brand: usize, phishing: usize, seed: u64) -> (Vec<(String, BrandId, SquatType)>, BrandRegistry, InProcessTransport) {
+        let registry = BrandRegistry::with_size(n_brands);
+        let mut squats = Vec::new();
+        for (i, b) in registry.brands().iter().enumerate() {
+            for j in 0..per_brand {
+                squats.push((
+                    format!("{}-sq{}.com", b.label, j),
+                    i,
+                    SquatType::Combo,
+                    Ipv4Addr::new(203, 0, (i % 200) as u8, j as u8),
+                ));
+            }
+        }
+        let cfg = WorldConfig { phishing_domains: phishing, seed, ..WorldConfig::default() };
+        let world = Arc::new(WebWorld::build(&squats, &registry, &cfg));
+        let jobs: Vec<(String, BrandId, SquatType)> =
+            squats.iter().map(|(d, b, t, _)| (d.clone(), *b, *t)).collect();
+        (jobs, registry, InProcessTransport::new(world))
+    }
+
+    #[test]
+    fn crawl_covers_all_jobs_in_order() {
+        let (jobs, registry, transport) = setup(10, 20, 10, 1);
+        let (records, stats) = crawl_all(&jobs, &registry, &transport, &CrawlConfig::default());
+        assert_eq!(records.len(), jobs.len());
+        for (r, j) in records.iter().zip(&jobs) {
+            assert_eq!(r.domain, j.0);
+        }
+        assert_eq!(stats.total, jobs.len());
+    }
+
+    #[test]
+    fn live_fraction_reasonable() {
+        let (jobs, registry, transport) = setup(10, 30, 5, 2);
+        let (records, stats) = crawl_all(&jobs, &registry, &transport, &CrawlConfig::default());
+        let live = records.iter().filter(|r| r.is_live()).count();
+        assert!(live > 0 && live < records.len());
+        assert_eq!(stats.web_live + stats.mobile_live > 0, true);
+    }
+
+    #[test]
+    fn redirects_classified() {
+        let (jobs, registry, transport) = setup(20, 40, 5, 3);
+        let (records, stats) = crawl_all(&jobs, &registry, &transport, &CrawlConfig::default());
+        // With 800 domains the original/market/other buckets should all
+        // be populated (1.7% / 3% / 8% of live).
+        assert!(stats.web_redirect_market > 0, "no marketplace redirects");
+        assert!(stats.web_redirect_other > 0, "no other redirects");
+        let any_original = records.iter().any(|r| r.web_redirect == RedirectClass::Original);
+        assert!(any_original, "no original redirects");
+    }
+
+    #[test]
+    fn single_threaded_matches_parallel() {
+        let (jobs, registry, transport) = setup(5, 10, 3, 4);
+        let (a, _) = crawl_all(&jobs, &registry, &transport, &CrawlConfig { workers: 1, ..Default::default() });
+        let (b, _) = crawl_all(&jobs, &registry, &transport, &CrawlConfig { workers: 8, ..Default::default() });
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.web.is_some(), y.web.is_some());
+            assert_eq!(x.web_redirect, y.web_redirect);
+        }
+    }
+
+    #[test]
+    fn retries_absorb_transient_failures() {
+        use crate::transport::FlakyTransport;
+        let (jobs, registry, transport) = setup(5, 10, 3, 9);
+        // Baseline without flakiness.
+        let (clean, _) = crawl_all(
+            &jobs,
+            &registry,
+            &transport,
+            &CrawlConfig { workers: 1, retries: 0, ..Default::default() },
+        );
+        // Every host fails its first attempt; one retry must recover the
+        // same liveness picture (each domain is fetched twice — web and
+        // mobile — so the first device's retry absorbs the failure).
+        let flaky = FlakyTransport::new(transport, 1);
+        let (retried, _) = crawl_all(
+            &jobs,
+            &registry,
+            &flaky,
+            &CrawlConfig { workers: 1, retries: 1, ..Default::default() },
+        );
+        for (a, b) in clean.iter().zip(&retried) {
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.web.is_some(), b.web.is_some(), "{} liveness changed", a.domain);
+        }
+    }
+
+    #[test]
+    fn without_retries_flaky_hosts_look_dead() {
+        use crate::transport::FlakyTransport;
+        let (jobs, registry, transport) = setup(5, 10, 3, 9);
+        let flaky = FlakyTransport::new(transport, 99);
+        let (records, stats) = crawl_all(
+            &jobs,
+            &registry,
+            &flaky,
+            &CrawlConfig { workers: 2, retries: 0, ..Default::default() },
+        );
+        assert_eq!(stats.web_live, 0);
+        assert!(records.iter().all(|r| !r.is_live()));
+    }
+
+    #[test]
+    fn captures_render_lazily() {
+        let (jobs, registry, transport) = setup(5, 5, 3, 5);
+        let (records, _) = crawl_all(&jobs, &registry, &transport, &CrawlConfig::default());
+        let live = records.iter().find(|r| r.web.is_some()).expect("some live page");
+        let bmp = live.web.as_ref().unwrap().render();
+        assert!(bmp.width() > 0);
+    }
+}

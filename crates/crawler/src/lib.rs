@@ -1,0 +1,28 @@
+//! Distributed crawler substitute (paper §3.2).
+//!
+//! The paper crawls 657K squatting domains with a fleet of Puppeteer
+//! instances (5 machines × 20 browsers), capturing web and mobile pages
+//! plus screenshots and following every redirect. Our crawler keeps that
+//! architecture — a work queue drained by a worker pool — over a
+//! pluggable [`Transport`]:
+//!
+//! * [`transport::InProcessTransport`] — direct calls into the
+//!   [`squatphi_web::WebWorld`] (used for bulk scale),
+//! * a real-TCP transport lives in the `squatphi-http` crate's client and
+//!   can be adapted to [`Transport`] by callers that want socket-level
+//!   fidelity (see the `active_probe` example).
+//!
+//! Captured pages keep the HTML; screenshots are rendered lazily through
+//! [`PageCapture::render`] so a million-page crawl does not hold a
+//! million bitmaps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crawl;
+pub mod stats;
+pub mod transport;
+
+pub use crawl::{crawl_all, CrawlConfig, CrawlRecord, PageCapture, RedirectClass};
+pub use stats::CrawlStats;
+pub use transport::{InProcessTransport, Transport};

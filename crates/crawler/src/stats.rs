@@ -1,0 +1,111 @@
+//! Crawl aggregate statistics (the Table 2 numbers).
+
+use crate::crawl::{CrawlRecord, RedirectClass};
+
+/// Aggregate crawl counters, web and mobile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrawlStats {
+    /// Jobs crawled.
+    pub total: usize,
+    /// Domains with a live web page.
+    pub web_live: usize,
+    /// Domains with a live mobile page.
+    pub mobile_live: usize,
+    /// Web fetches without redirects.
+    pub web_no_redirect: usize,
+    /// Web fetches redirecting to the brand's original site.
+    pub web_redirect_original: usize,
+    /// Web fetches redirecting to a marketplace.
+    pub web_redirect_market: usize,
+    /// Web fetches redirecting elsewhere.
+    pub web_redirect_other: usize,
+    /// Mobile fetches without redirects.
+    pub mobile_no_redirect: usize,
+    /// Mobile fetches redirecting to the brand's original site.
+    pub mobile_redirect_original: usize,
+    /// Mobile fetches redirecting to a marketplace.
+    pub mobile_redirect_market: usize,
+    /// Mobile fetches redirecting elsewhere.
+    pub mobile_redirect_other: usize,
+}
+
+impl CrawlStats {
+    /// Aggregates over crawl records.
+    pub fn from_records(records: &[CrawlRecord]) -> Self {
+        let mut s = CrawlStats { total: records.len(), ..CrawlStats::default() };
+        for r in records {
+            if r.web.is_some() {
+                s.web_live += 1;
+                match r.web_redirect {
+                    RedirectClass::None => s.web_no_redirect += 1,
+                    RedirectClass::Original => s.web_redirect_original += 1,
+                    RedirectClass::Market => s.web_redirect_market += 1,
+                    RedirectClass::Other => s.web_redirect_other += 1,
+                }
+            }
+            if r.mobile.is_some() {
+                s.mobile_live += 1;
+                match r.mobile_redirect {
+                    RedirectClass::None => s.mobile_no_redirect += 1,
+                    RedirectClass::Original => s.mobile_redirect_original += 1,
+                    RedirectClass::Market => s.mobile_redirect_market += 1,
+                    RedirectClass::Other => s.mobile_redirect_other += 1,
+                }
+            }
+        }
+        s
+    }
+
+    /// Fraction of live web domains with no redirect (paper: 87.3%).
+    pub fn web_no_redirect_ratio(&self) -> f64 {
+        if self.web_live == 0 {
+            0.0
+        } else {
+            self.web_no_redirect as f64 / self.web_live as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawl::PageCapture;
+    use squatphi_squat::SquatType;
+
+    fn rec(domain: &str, live: bool, class: RedirectClass) -> CrawlRecord {
+        CrawlRecord {
+            domain: domain.into(),
+            brand: 0,
+            squat_type: SquatType::Combo,
+            web: live.then(|| PageCapture {
+                final_host: domain.into(),
+                html: "<html></html>".into(),
+                redirects: vec![],
+            }),
+            mobile: None,
+            web_redirect: class,
+            mobile_redirect: RedirectClass::None,
+        }
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let records = vec![
+            rec("a.com", true, RedirectClass::None),
+            rec("b.com", true, RedirectClass::Market),
+            rec("c.com", false, RedirectClass::None),
+            rec("d.com", true, RedirectClass::Original),
+        ];
+        let s = CrawlStats::from_records(&records);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.web_live, 3);
+        assert_eq!(s.web_no_redirect, 1);
+        assert_eq!(s.web_redirect_market, 1);
+        assert_eq!(s.web_redirect_original, 1);
+    }
+
+    #[test]
+    fn ratio_handles_empty() {
+        assert_eq!(CrawlStats::default().web_no_redirect_ratio(), 0.0);
+    }
+}

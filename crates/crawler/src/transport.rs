@@ -1,0 +1,130 @@
+//! Pluggable fetch transports.
+
+use squatphi_web::{Device, ServeResult, WebWorld};
+use std::sync::Arc;
+
+/// A blocking fetch of one host for one device profile at one snapshot.
+/// Implementations must be `Send + Sync`: the worker pool shares one
+/// transport across threads.
+pub trait Transport: Send + Sync {
+    /// Fetches `http://host/`; returns the raw serve result (redirects are
+    /// followed by the crawler, not the transport).
+    fn fetch(&self, host: &str, device: Device, snapshot: u8) -> ServeResult;
+}
+
+/// Direct in-process calls into the world — the bulk-scale transport.
+#[derive(Clone)]
+pub struct InProcessTransport {
+    world: Arc<WebWorld>,
+}
+
+impl InProcessTransport {
+    /// Wraps a shared world.
+    pub fn new(world: Arc<WebWorld>) -> Self {
+        InProcessTransport { world }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn fetch(&self, host: &str, device: Device, snapshot: u8) -> ServeResult {
+        self.world.serve(host, device, snapshot)
+    }
+}
+
+/// Failure-injection wrapper: every k-th fetch of a host fails with
+/// `Unreachable`, deterministically per (host, attempt) pair. Used to test
+/// the crawler's retry path; also handy for chaos-style integration tests.
+pub struct FlakyTransport<T> {
+    inner: T,
+    /// Fail the first `fail_first` attempts per host.
+    fail_first: usize,
+    attempts: parking_lot::Mutex<std::collections::HashMap<String, usize>>,
+}
+
+impl<T: Transport> FlakyTransport<T> {
+    /// Wraps `inner`; the first `fail_first` fetches of each host fail.
+    pub fn new(inner: T, fail_first: usize) -> Self {
+        FlakyTransport {
+            inner,
+            fail_first,
+            attempts: parking_lot::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Total fetch attempts observed (all hosts).
+    pub fn total_attempts(&self) -> usize {
+        self.attempts.lock().values().sum()
+    }
+}
+
+impl<T: Transport> Transport for FlakyTransport<T> {
+    fn fetch(&self, host: &str, device: Device, snapshot: u8) -> ServeResult {
+        let n = {
+            let mut map = self.attempts.lock();
+            let e = map.entry(host.to_string()).or_insert(0);
+            *e += 1;
+            *e
+        };
+        if n <= self.fail_first {
+            return ServeResult::Unreachable;
+        }
+        self.inner.fetch(host, device, snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squatphi_squat::{BrandRegistry, SquatType};
+    use squatphi_web::WorldConfig;
+    use std::net::Ipv4Addr;
+
+    fn tiny_world() -> Arc<WebWorld> {
+        let registry = BrandRegistry::with_size(5);
+        let squats = vec![(
+            "paypal-login.com".to_string(),
+            0usize,
+            SquatType::Combo,
+            Ipv4Addr::new(9, 9, 9, 9),
+        )];
+        let cfg = WorldConfig { phishing_domains: 1, ..WorldConfig::default() };
+        Arc::new(WebWorld::build(&squats, &registry, &cfg))
+    }
+
+    #[test]
+    fn flaky_transport_fails_then_recovers() {
+        let t = FlakyTransport::new(InProcessTransport::new(tiny_world()), 2);
+        assert!(matches!(
+            t.fetch("paypal-login.com", Device::Web, 0),
+            ServeResult::Unreachable
+        ));
+        assert!(matches!(
+            t.fetch("paypal-login.com", Device::Web, 0),
+            ServeResult::Unreachable
+        ));
+        assert!(matches!(t.fetch("paypal-login.com", Device::Web, 0), ServeResult::Page(_)));
+        assert_eq!(t.total_attempts(), 3);
+    }
+
+    #[test]
+    fn in_process_transport_serves() {
+        let registry = BrandRegistry::with_size(5);
+        let squats = vec![(
+            "paypal-login.com".to_string(),
+            0usize,
+            SquatType::Combo,
+            Ipv4Addr::new(9, 9, 9, 9),
+        )];
+        let cfg = WorldConfig { phishing_domains: 1, ..WorldConfig::default() };
+        let world = Arc::new(WebWorld::build(&squats, &registry, &cfg));
+        let t = InProcessTransport::new(world);
+        assert!(matches!(
+            t.fetch("paypal-login.com", Device::Web, 0),
+            ServeResult::Page(_)
+        ));
+        assert!(matches!(
+            t.fetch("missing.example", Device::Web, 0),
+            ServeResult::Unreachable
+        ));
+    }
+}

@@ -1,0 +1,28 @@
+//! ActiveDNS substitute: the DNS-records haystack and the tools that search
+//! it (paper §3.1).
+//!
+//! The paper scans a 224.8M-record ActiveDNS snapshot for squatting
+//! domains. That dataset is proprietary, so this crate rebuilds the whole
+//! path on synthetic data with the same statistical structure:
+//!
+//! * [`synth`] — deterministic snapshot generator: a haystack of benign
+//!   domains with planted squatting populations drawn with the paper's
+//!   brand skew and type mix (combo 56%, typo 25%, …),
+//! * [`store`] — the in-memory record store (domain → A record),
+//! * [`mod@scan`] — multi-threaded scan engine running the
+//!   [`squatphi_squat::SquatDetector`] over every record (Figure 2),
+//! * [`probe`] — the active-probing path: an async authoritative UDP
+//!   server serving the snapshot zone plus a concurrent probing client,
+//!   mirroring how ActiveDNS actually produces its records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod probe;
+pub mod scan;
+pub mod store;
+pub mod synth;
+
+pub use scan::{scan, ScanOutcome, SquatRecord};
+pub use store::{DnsRecord, RecordStore};
+pub use synth::{SnapshotConfig, SnapshotStats};

@@ -1,0 +1,318 @@
+//! The active-probing path: how ActiveDNS-style records come to exist.
+//!
+//! An authoritative UDP server answers A queries out of the snapshot index,
+//! and a concurrent prober re-validates candidate domains against it over
+//! real sockets. The pipeline uses the offline [`mod@crate::scan`] for bulk
+//! work; the prober exists because the paper's dataset is *produced* by
+//! active probing, and re-validation of scan hits is part of a production
+//! deployment (§7 "monitoring newly registered domain names").
+//!
+//! Networking follows the tokio idioms from the session guides: one task
+//! per in-flight query bounded by a semaphore, graceful shutdown via a
+//! watch channel, and no blocking calls on the runtime.
+
+use squatphi_dnswire::{Message, RData, Rcode, RecordType, ResourceRecord};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::{watch, Semaphore};
+use tokio::time::{timeout, Duration};
+
+/// Handle to a running authoritative server.
+pub struct AuthServer {
+    addr: SocketAddr,
+    shutdown: watch::Sender<bool>,
+    task: tokio::task::JoinHandle<()>,
+}
+
+impl AuthServer {
+    /// Spawns an authoritative server on an ephemeral localhost port,
+    /// serving A records from `zone`.
+    pub async fn spawn(zone: HashMap<String, Ipv4Addr>) -> std::io::Result<AuthServer> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
+        let addr = socket.local_addr()?;
+        let (tx, mut rx) = watch::channel(false);
+        let zone = Arc::new(zone);
+        let task = tokio::spawn(async move {
+            let mut buf = vec![0u8; 1500];
+            loop {
+                tokio::select! {
+                    _ = rx.changed() => break,
+                    r = socket.recv_from(&mut buf) => {
+                        let Ok((n, peer)) = r else { continue };
+                        if let Some(reply) = answer(&zone, &buf[..n]) {
+                            let _ = socket.send_to(&reply, peer).await;
+                        }
+                    }
+                }
+            }
+        });
+        Ok(AuthServer { addr, shutdown: tx, task })
+    }
+
+    /// The server's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and waits for the task to finish.
+    pub async fn shutdown(self) {
+        let _ = self.shutdown.send(true);
+        let _ = self.task.await;
+    }
+}
+
+/// Builds the wire reply for one query packet, or `None` for junk input
+/// (an authoritative server stays silent rather than amplifying garbage).
+fn answer(zone: &HashMap<String, Ipv4Addr>, packet: &[u8]) -> Option<Vec<u8>> {
+    let query = Message::decode(packet).ok()?;
+    let q = query.questions.first()?;
+    let mut resp = match (q.rtype, zone.get(&q.name.to_ascii_lowercase())) {
+        (RecordType::A, Some(&ip)) => {
+            let mut m = Message::response_to(&query, Rcode::NoError);
+            m.answers.push(ResourceRecord { name: q.name.clone(), ttl: 300, rdata: RData::A(ip) });
+            m
+        }
+        _ => Message::response_to(&query, Rcode::NxDomain),
+    };
+    resp.header.flags.recursion_available = false;
+    resp.encode().ok()
+}
+
+/// Result of probing one domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// Resolved to an address.
+    Resolved(Ipv4Addr),
+    /// Authoritative NXDOMAIN.
+    NxDomain,
+    /// No reply within the per-query timeout (after retries).
+    TimedOut,
+}
+
+/// Configuration for the prober.
+#[derive(Debug, Clone)]
+pub struct ProberConfig {
+    /// Maximum in-flight queries.
+    pub concurrency: usize,
+    /// Per-attempt timeout.
+    pub timeout: Duration,
+    /// Attempts per domain (1 = no retry).
+    pub attempts: usize,
+}
+
+impl Default for ProberConfig {
+    fn default() -> Self {
+        ProberConfig { concurrency: 64, timeout: Duration::from_millis(500), attempts: 2 }
+    }
+}
+
+/// Probes `domains` against the authoritative server at `server`.
+/// Returns one result per input domain, order-preserving.
+pub async fn probe_all(
+    server: SocketAddr,
+    domains: &[String],
+    config: &ProberConfig,
+) -> std::io::Result<Vec<ProbeResult>> {
+    let sem = Arc::new(Semaphore::new(config.concurrency.max(1)));
+    let mut handles = Vec::with_capacity(domains.len());
+    for (i, d) in domains.iter().enumerate() {
+        let sem = sem.clone();
+        let d = d.clone();
+        let cfg = config.clone();
+        handles.push(tokio::spawn(async move {
+            let _permit = sem.acquire().await.expect("semaphore closed");
+            probe_one(server, &d, i as u16, &cfg).await
+        }));
+    }
+    let mut out = Vec::with_capacity(domains.len());
+    for h in handles {
+        out.push(h.await.expect("probe task panicked")?);
+    }
+    Ok(out)
+}
+
+async fn probe_one(
+    server: SocketAddr,
+    domain: &str,
+    id: u16,
+    config: &ProberConfig,
+) -> std::io::Result<ProbeResult> {
+    let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
+    socket.connect(server).await?;
+    let query = Message::query(id, domain, RecordType::A)
+        .encode()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+    let mut buf = vec![0u8; 1500];
+    for _ in 0..config.attempts.max(1) {
+        socket.send(&query).await?;
+        match timeout(config.timeout, socket.recv(&mut buf)).await {
+            Ok(Ok(n)) => {
+                let Ok(msg) = Message::decode(&buf[..n]) else { continue };
+                if msg.header.id != id || !msg.header.flags.response {
+                    continue;
+                }
+                for rr in &msg.answers {
+                    if let RData::A(ip) = rr.rdata {
+                        return Ok(ProbeResult::Resolved(ip));
+                    }
+                }
+                return Ok(match msg.rcode() {
+                    Rcode::NxDomain => ProbeResult::NxDomain,
+                    _ => ProbeResult::TimedOut,
+                });
+            }
+            // recv errors (e.g. ICMP port-unreachable surfacing as
+            // ConnectionRefused on a connected UDP socket) count as a failed
+            // attempt, same as silence.
+            Ok(Err(_)) => continue,
+            Err(_elapsed) => continue,
+        }
+    }
+    Ok(ProbeResult::TimedOut)
+}
+
+/// Re-validates scan hits over the wire: serves the snapshot zone from an
+/// authoritative server and probes every matched domain, returning
+/// `(resolved, nxdomain, timed_out)` counts. A production deployment runs
+/// this between the offline scan and the crawl so the crawler only visits
+/// domains that still resolve.
+pub async fn validate_scan(
+    store: &crate::store::RecordStore,
+    matches: &[crate::scan::SquatRecord],
+    config: &ProberConfig,
+) -> std::io::Result<(usize, usize, usize)> {
+    let server = AuthServer::spawn(store.index()).await?;
+    let domains: Vec<String> = matches.iter().map(|m| m.domain.as_str().to_string()).collect();
+    let results = probe_all(server.addr(), &domains, config).await?;
+    server.shutdown().await;
+    let mut counts = (0usize, 0usize, 0usize);
+    for r in &results {
+        match r {
+            ProbeResult::Resolved(_) => counts.0 += 1,
+            ProbeResult::NxDomain => counts.1 += 1,
+            ProbeResult::TimedOut => counts.2 += 1,
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone() -> HashMap<String, Ipv4Addr> {
+        let mut z = HashMap::new();
+        z.insert("faceb00k.pw".to_string(), Ipv4Addr::new(203, 0, 113, 1));
+        z.insert("goofle.com.ua".to_string(), Ipv4Addr::new(203, 0, 113, 2));
+        z.insert("paypal-cash.com".to_string(), Ipv4Addr::new(203, 0, 113, 3));
+        z
+    }
+
+    #[tokio::test]
+    async fn resolves_known_names() {
+        let server = AuthServer::spawn(zone()).await.unwrap();
+        let domains = vec!["faceb00k.pw".to_string(), "goofle.com.ua".to_string()];
+        let res = probe_all(server.addr(), &domains, &ProberConfig::default()).await.unwrap();
+        assert_eq!(res[0], ProbeResult::Resolved(Ipv4Addr::new(203, 0, 113, 1)));
+        assert_eq!(res[1], ProbeResult::Resolved(Ipv4Addr::new(203, 0, 113, 2)));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn nxdomain_for_unknown_names() {
+        let server = AuthServer::spawn(zone()).await.unwrap();
+        let domains = vec!["not-in-zone.example".to_string()];
+        let res = probe_all(server.addr(), &domains, &ProberConfig::default()).await.unwrap();
+        assert_eq!(res[0], ProbeResult::NxDomain);
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn bulk_probe_with_bounded_concurrency() {
+        let server = AuthServer::spawn(zone()).await.unwrap();
+        let mut domains: Vec<String> = Vec::new();
+        for i in 0..200 {
+            domains.push(if i % 3 == 0 {
+                "paypal-cash.com".to_string()
+            } else {
+                format!("missing{i}.example")
+            });
+        }
+        let cfg = ProberConfig { concurrency: 16, ..ProberConfig::default() };
+        let res = probe_all(server.addr(), &domains, &cfg).await.unwrap();
+        assert_eq!(res.len(), 200);
+        for (i, r) in res.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(*r, ProbeResult::Resolved(Ipv4Addr::new(203, 0, 113, 3)));
+            } else {
+                assert_eq!(*r, ProbeResult::NxDomain);
+            }
+        }
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn timeout_when_no_server() {
+        // Bind a socket and drop it so nothing listens on the port.
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let dead = sock.local_addr().unwrap();
+        drop(sock);
+        let cfg = ProberConfig {
+            concurrency: 1,
+            timeout: Duration::from_millis(50),
+            attempts: 1,
+        };
+        let res = probe_all(dead, &["x.com".to_string()], &cfg).await.unwrap();
+        assert_eq!(res[0], ProbeResult::TimedOut);
+    }
+
+    #[tokio::test]
+    async fn server_ignores_garbage_packets() {
+        let server = AuthServer::spawn(zone()).await.unwrap();
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        sock.connect(server.addr()).await.unwrap();
+        sock.send(b"\x00\x01garbage").await.unwrap();
+        // Then a real query still works.
+        let res = probe_all(server.addr(), &["faceb00k.pw".to_string()], &ProberConfig::default())
+            .await
+            .unwrap();
+        assert!(matches!(res[0], ProbeResult::Resolved(_)));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn validate_scan_round_trips_the_snapshot() {
+        use crate::synth::{generate, SnapshotConfig};
+        use squatphi_squat::{BrandRegistry, SquatDetector};
+        let registry = BrandRegistry::with_size(15);
+        let cfg = SnapshotConfig {
+            benign_records: 300,
+            squatting_records: 80,
+            subdomain_fraction: 0.0,
+            seed: 4,
+        };
+        let (store, _) = generate(&cfg, &registry);
+        let detector = SquatDetector::new(&registry);
+        let outcome = crate::scan(&store, &registry, &detector, 2);
+        assert!(outcome.total_matches() > 0);
+        let (resolved, nx, timeout) =
+            validate_scan(&store, &outcome.matches, &ProberConfig::default())
+                .await
+                .expect("probe");
+        // Every scan match came out of the snapshot, so everything must
+        // re-resolve against the same zone.
+        assert_eq!(resolved, outcome.total_matches(), "nx={nx} timeout={timeout}");
+    }
+
+    #[tokio::test]
+    async fn case_insensitive_lookup() {
+        let server = AuthServer::spawn(zone()).await.unwrap();
+        let res = probe_all(server.addr(), &["FaCeB00k.PW".to_string()], &ProberConfig::default())
+            .await
+            .unwrap();
+        assert!(matches!(res[0], ProbeResult::Resolved(_)));
+        server.shutdown().await;
+    }
+}

@@ -1,0 +1,135 @@
+//! The in-memory DNS record store.
+//!
+//! An ActiveDNS record is essentially `(domain, IP)`; the store keeps the
+//! snapshot as a flat vector (the scan is a linear pass) plus an optional
+//! hash index for the probe server's point lookups.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One DNS record of the snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsRecord {
+    /// Fully-qualified ASCII domain (possibly with subdomain labels).
+    pub domain: String,
+    /// The A record the probe resolved to.
+    pub ip: Ipv4Addr,
+}
+
+/// The snapshot: a flat, scan-friendly collection of records.
+#[derive(Debug, Default, Clone)]
+pub struct RecordStore {
+    records: Vec<DnsRecord>,
+}
+
+impl RecordStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        RecordStore { records: Vec::with_capacity(n) }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, domain: String, ip: Ipv4Addr) {
+        self.records.push(DnsRecord { domain, ip });
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[DnsRecord] {
+        &self.records
+    }
+
+    /// Builds a point-lookup index (domain → IP) for the probe server.
+    pub fn index(&self) -> HashMap<String, Ipv4Addr> {
+        self.records.iter().map(|r| (r.domain.clone(), r.ip)).collect()
+    }
+
+    /// Exports the snapshot as zone-file text (A records, fixed TTL) —
+    /// human-diffable fixtures for tests and offline analysis.
+    pub fn to_zone(&self) -> String {
+        let records: Vec<squatphi_dnswire::ResourceRecord> = self
+            .records
+            .iter()
+            .map(|r| squatphi_dnswire::ResourceRecord {
+                name: r.domain.clone(),
+                ttl: 300,
+                rdata: squatphi_dnswire::RData::A(r.ip),
+            })
+            .collect();
+        squatphi_dnswire::zone::format_zone(&records)
+    }
+
+    /// Imports a snapshot from zone-file text. Non-A records are ignored
+    /// (the scan only consumes name/IP pairs).
+    pub fn from_zone(text: &str) -> Result<Self, squatphi_dnswire::zone::ZoneError> {
+        let mut store = RecordStore::new();
+        for rr in squatphi_dnswire::zone::parse_zone(text)? {
+            if let squatphi_dnswire::RData::A(ip) = rr.rdata {
+                store.push(rr.name, ip);
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut s = RecordStore::new();
+        assert!(s.is_empty());
+        s.push("a.com".into(), Ipv4Addr::new(1, 2, 3, 4));
+        s.push("b.com".into(), Ipv4Addr::new(5, 6, 7, 8));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.records()[1].domain, "b.com");
+    }
+
+    #[test]
+    fn index_maps_domains() {
+        let mut s = RecordStore::new();
+        s.push("x.org".into(), Ipv4Addr::new(9, 9, 9, 9));
+        let idx = s.index();
+        assert_eq!(idx.get("x.org"), Some(&Ipv4Addr::new(9, 9, 9, 9)));
+        assert_eq!(idx.get("y.org"), None);
+    }
+
+    #[test]
+    fn zone_round_trip() {
+        let mut s = RecordStore::new();
+        s.push("faceb00k.pw".into(), Ipv4Addr::new(203, 0, 113, 1));
+        s.push("www.goofle.com.ua".into(), Ipv4Addr::new(203, 0, 113, 2));
+        let text = s.to_zone();
+        assert!(text.contains("faceb00k.pw.\t300\tIN\tA\t203.0.113.1"));
+        let back = RecordStore::from_zone(&text).expect("parse own output");
+        assert_eq!(back.records(), s.records());
+    }
+
+    #[test]
+    fn from_zone_skips_non_a_records() {
+        let text = "a.com.\t60\tIN\tA\t1.2.3.4\nb.com.\t60\tIN\tCNAME\tc.com.\n";
+        let s = RecordStore::from_zone(text).expect("valid zone");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.records()[0].domain, "a.com");
+    }
+
+    #[test]
+    fn from_zone_propagates_errors() {
+        assert!(RecordStore::from_zone("broken").is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! A small zone-file text format (RFC 1035 §5 master-file subset).
+//!
+//! The ActiveDNS pipeline persists snapshots; this codec lets `dnsdb`
+//! export/import its synthetic zone in the familiar
+//! `name TTL IN TYPE rdata` shape so fixtures can live on disk and be
+//! diffed by humans.
+
+use crate::rdata::RData;
+use crate::ResourceRecord;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Errors produced by [`parse_zone`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneError {
+    /// A line did not have the `name ttl IN type rdata` shape.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for ZoneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZoneError::BadLine { line, reason } => write!(f, "zone line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ZoneError {}
+
+/// Serializes records to zone-file text. Comments and unsupported RDATA
+/// variants are skipped (SOA is emitted with its serial only — the fixed
+/// timers are implementation details).
+pub fn format_zone(records: &[ResourceRecord]) -> String {
+    let mut out = String::new();
+    for rr in records {
+        let (ty, rdata) = match &rr.rdata {
+            RData::A(ip) => ("A", ip.to_string()),
+            RData::Aaaa(ip) => ("AAAA", ip.to_string()),
+            RData::Ns(n) => ("NS", format!("{n}.")),
+            RData::Cname(n) => ("CNAME", format!("{n}.")),
+            RData::Mx { preference, exchange } => ("MX", format!("{preference} {exchange}.")),
+            RData::Txt(s) => ("TXT", format!("\"{}\"", s.replace('"', ""))),
+            RData::Soa { mname, rname, serial } => {
+                ("SOA", format!("{mname}. {rname}. {serial}"))
+            }
+            RData::Raw(_) => continue,
+        };
+        out.push_str(&format!("{}.\t{}\tIN\t{}\t{}\n", rr.name, rr.ttl, ty, rdata));
+    }
+    out
+}
+
+/// Parses zone-file text produced by [`format_zone`] (plus `;` comments
+/// and blank lines).
+pub fn parse_zone(text: &str) -> Result<Vec<ResourceRecord>, ZoneError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split(';').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        if fields.len() < 5 {
+            return Err(ZoneError::BadLine { line, reason: "expected 5+ fields" });
+        }
+        let name = fields[0].trim_end_matches('.').to_string();
+        let ttl: u32 = fields[1]
+            .parse()
+            .map_err(|_| ZoneError::BadLine { line, reason: "bad TTL" })?;
+        if !fields[2].eq_ignore_ascii_case("IN") {
+            return Err(ZoneError::BadLine { line, reason: "only class IN supported" });
+        }
+        let rdata = match fields[3].to_ascii_uppercase().as_str() {
+            "A" => RData::A(
+                fields[4]
+                    .parse::<Ipv4Addr>()
+                    .map_err(|_| ZoneError::BadLine { line, reason: "bad A address" })?,
+            ),
+            "AAAA" => RData::Aaaa(
+                fields[4]
+                    .parse::<Ipv6Addr>()
+                    .map_err(|_| ZoneError::BadLine { line, reason: "bad AAAA address" })?,
+            ),
+            "NS" => RData::Ns(fields[4].trim_end_matches('.').to_string()),
+            "CNAME" => RData::Cname(fields[4].trim_end_matches('.').to_string()),
+            "MX" => {
+                if fields.len() < 6 {
+                    return Err(ZoneError::BadLine { line, reason: "MX needs pref + host" });
+                }
+                RData::Mx {
+                    preference: fields[4]
+                        .parse()
+                        .map_err(|_| ZoneError::BadLine { line, reason: "bad MX preference" })?,
+                    exchange: fields[5].trim_end_matches('.').to_string(),
+                }
+            }
+            "TXT" => RData::Txt(
+                content
+                    .split_once('"')
+                    .and_then(|(_, rest)| rest.rsplit_once('"'))
+                    .map(|(body, _)| body.to_string())
+                    .ok_or(ZoneError::BadLine { line, reason: "TXT needs quotes" })?,
+            ),
+            "SOA" => {
+                if fields.len() < 7 {
+                    return Err(ZoneError::BadLine { line, reason: "SOA needs mname rname serial" });
+                }
+                RData::Soa {
+                    mname: fields[4].trim_end_matches('.').to_string(),
+                    rname: fields[5].trim_end_matches('.').to_string(),
+                    serial: fields[6]
+                        .parse()
+                        .map_err(|_| ZoneError::BadLine { line, reason: "bad SOA serial" })?,
+                }
+            }
+            _ => return Err(ZoneError::BadLine { line, reason: "unsupported record type" }),
+        };
+        out.push(ResourceRecord { name, ttl, rdata });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ResourceRecord> {
+        vec![
+            ResourceRecord {
+                name: "faceb00k.pw".into(),
+                ttl: 300,
+                rdata: RData::A(Ipv4Addr::new(203, 0, 113, 9)),
+            },
+            ResourceRecord {
+                name: "goofle.com.ua".into(),
+                ttl: 60,
+                rdata: RData::Cname("lander.ads.example".into()),
+            },
+            ResourceRecord {
+                name: "paypal-cash.com".into(),
+                ttl: 3600,
+                rdata: RData::Mx { preference: 10, exchange: "mx.paypal-cash.com".into() },
+            },
+            ResourceRecord {
+                name: "zone.example".into(),
+                ttl: 86400,
+                rdata: RData::Soa {
+                    mname: "ns1.zone.example".into(),
+                    rname: "hostmaster.zone.example".into(),
+                    serial: 2018_09_06,
+                },
+            },
+            ResourceRecord {
+                name: "note.example".into(),
+                ttl: 30,
+                rdata: RData::Txt("squatting phishing fixture".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let records = sample();
+        let text = format_zone(&records);
+        let parsed = parse_zone(&text).expect("parse what we formatted");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "; a comment\n\nfaceb00k.pw.\t300\tIN\tA\t203.0.113.9 ; trailing\n";
+        let parsed = parse_zone(text).expect("valid");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "faceb00k.pw");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_zone("good.example.\t60\tIN\tA\t1.2.3.4\nbad line here\n").unwrap_err();
+        assert_eq!(err, ZoneError::BadLine { line: 2, reason: "expected 5+ fields" });
+        let err = parse_zone("x.example.\tNaN\tIN\tA\t1.2.3.4\n").unwrap_err();
+        assert!(matches!(err, ZoneError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_types_and_classes() {
+        assert!(parse_zone("x.example.\t60\tCH\tA\t1.2.3.4\n").is_err());
+        assert!(parse_zone("x.example.\t60\tIN\tSRV\t1 2 3 t.example.\n").is_err());
+    }
+}

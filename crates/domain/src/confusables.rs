@@ -1,0 +1,241 @@
+//! Homoglyph (confusables) table.
+//!
+//! The paper points out that DNSTwist maps only a fraction of the Unicode
+//! confusables (13 of 23 for the letter `a`) and builds a more complete
+//! table from the Unicode consortium's `confusablesSummary.txt`. This module
+//! embeds a table with the same structure: for each ASCII letter/digit, a
+//! set of look-alike *single* Unicode characters plus multi-character ASCII
+//! sequences (`rn` → `m`, `vv` → `w`, `cl` → `d` …) and ASCII digit/letter
+//! swaps (`0` ↔ `o`, `1` ↔ `l`).
+
+/// Confusable substitutions for one ASCII source character.
+#[derive(Debug, Clone)]
+pub struct ConfusableEntry {
+    /// The ASCII character being imitated.
+    pub source: char,
+    /// Unicode characters that render like `source`.
+    pub unicode: &'static [char],
+    /// Pure-ASCII look-alikes (single char), e.g. `0` for `o`.
+    pub ascii: &'static [char],
+    /// Multi-character ASCII sequences that render like `source`.
+    pub sequences: &'static [&'static str],
+}
+
+/// The embedded confusables table.
+///
+/// Unicode variants are drawn from the Latin/Greek/Cyrillic blocks that
+/// dominate real-world homograph abuse (the full consortium table also maps
+/// exotic scripts; those add recall but not behavior, so a representative
+/// subset per letter suffices for the reproduction — importantly *more than
+/// one* variant per letter, which is the gap the paper calls out).
+pub const CONFUSABLES: &[ConfusableEntry] = &[
+    ConfusableEntry { source: 'a', unicode: &['à', 'á', 'â', 'ã', 'ä', 'å', 'ā', 'ă', 'ą', 'α', 'а', 'ạ', 'ả', 'ǎ', 'ȁ', 'ȃ', 'ḁ', 'ẚ', 'ɑ', 'ά', 'ӑ', 'ӓ', 'ᾳ'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'b', unicode: &['ƀ', 'ḃ', 'ḅ', 'ḇ', 'Ь', 'ƅ', 'ь'], ascii: &[], sequences: &["lo"] },
+    ConfusableEntry { source: 'c', unicode: &['ç', 'ć', 'ĉ', 'ċ', 'č', 'с', 'ϲ', 'ȼ', 'ḉ'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'd', unicode: &['ď', 'đ', 'ḋ', 'ḍ', 'ḏ', 'ḑ', 'ḓ', 'ɗ'], ascii: &[], sequences: &["cl"] },
+    ConfusableEntry { source: 'e', unicode: &['è', 'é', 'ê', 'ë', 'ē', 'ĕ', 'ė', 'ę', 'ě', 'е', 'ε', 'ѐ', 'ё', 'ḕ', 'ḗ', 'ẹ', 'ẻ', 'ẽ'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'f', unicode: &['ƒ', 'ḟ', 'ꞙ'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'g', unicode: &['ĝ', 'ğ', 'ġ', 'ģ', 'ǵ', 'ɡ', 'ḡ', 'ԍ'], ascii: &['q'], sequences: &[] },
+    ConfusableEntry { source: 'h', unicode: &['ĥ', 'ħ', 'ḣ', 'ḥ', 'ḧ', 'ḩ', 'һ', 'ɦ'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'i', unicode: &['ì', 'í', 'î', 'ï', 'ĩ', 'ī', 'ĭ', 'į', 'ι', 'і', 'ї', 'ɩ', 'ḭ', 'ḯ', 'ỉ', 'ị'], ascii: &['1', 'l'], sequences: &[] },
+    ConfusableEntry { source: 'j', unicode: &['ĵ', 'ϳ', 'ј', 'ɉ'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'k', unicode: &['ķ', 'ǩ', 'ḱ', 'ḳ', 'ḵ', 'κ', 'к'], ascii: &[], sequences: &["lc"] },
+    ConfusableEntry { source: 'l', unicode: &['ĺ', 'ļ', 'ľ', 'ŀ', 'ł', 'ḷ', 'ḹ', 'ḻ', 'ḽ', 'ǀ', 'ӏ'], ascii: &['1', 'i'], sequences: &[] },
+    ConfusableEntry { source: 'm', unicode: &['ḿ', 'ṁ', 'ṃ', 'м', 'ɱ'], ascii: &[], sequences: &["rn", "nn"] },
+    ConfusableEntry { source: 'n', unicode: &['ñ', 'ń', 'ņ', 'ň', 'ǹ', 'ṅ', 'ṇ', 'ṉ', 'ṋ', 'п', 'η'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'o', unicode: &['ò', 'ó', 'ô', 'õ', 'ö', 'ø', 'ō', 'ŏ', 'ő', 'ο', 'о', 'σ', 'ѳ', 'ṍ', 'ṏ', 'ṑ', 'ṓ', 'ọ', 'ỏ'], ascii: &['0'], sequences: &[] },
+    ConfusableEntry { source: 'p', unicode: &['ṕ', 'ṗ', 'ρ', 'р', 'ƥ'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'q', unicode: &['ʠ', 'ԛ'], ascii: &['g'], sequences: &[] },
+    ConfusableEntry { source: 'r', unicode: &['ŕ', 'ŗ', 'ř', 'ȑ', 'ȓ', 'ṙ', 'ṛ', 'ṝ', 'ṟ', 'г'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 's', unicode: &['ś', 'ŝ', 'ş', 'š', 'ș', 'ṡ', 'ṣ', 'ѕ'], ascii: &['5'], sequences: &[] },
+    ConfusableEntry { source: 't', unicode: &['ţ', 'ť', 'ŧ', 'ț', 'ṫ', 'ṭ', 'ṯ', 'ṱ', 'т', 'τ'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'u', unicode: &['ù', 'ú', 'û', 'ü', 'ũ', 'ū', 'ŭ', 'ů', 'ű', 'ų', 'υ', 'ս', 'ṳ', 'ṵ', 'ṷ', 'ụ', 'ủ'], ascii: &['v'], sequences: &[] },
+    ConfusableEntry { source: 'v', unicode: &['ṽ', 'ṿ', 'ν', 'ѵ', 'ʋ'], ascii: &['u'], sequences: &[] },
+    ConfusableEntry { source: 'w', unicode: &['ŵ', 'ẁ', 'ẃ', 'ẅ', 'ẇ', 'ẉ', 'ω', 'ш', 'ѡ'], ascii: &[], sequences: &["vv"] },
+    ConfusableEntry { source: 'x', unicode: &['ẋ', 'ẍ', 'х', 'χ'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'y', unicode: &['ý', 'ÿ', 'ŷ', 'ȳ', 'ẏ', 'ỳ', 'ỵ', 'ỷ', 'ỹ', 'у', 'γ'], ascii: &[], sequences: &[] },
+    ConfusableEntry { source: 'z', unicode: &['ź', 'ż', 'ž', 'ẑ', 'ẓ', 'ẕ', 'ȥ'], ascii: &['2'], sequences: &[] },
+    ConfusableEntry { source: '0', unicode: &['Ο', 'о'], ascii: &['o'], sequences: &[] },
+    ConfusableEntry { source: '1', unicode: &[], ascii: &['l', 'i'], sequences: &[] },
+    ConfusableEntry { source: '5', unicode: &[], ascii: &['s'], sequences: &[] },
+];
+
+/// Lookup-oriented view over [`CONFUSABLES`].
+///
+/// Provides forward lookup (ASCII char → variants) for generation and a
+/// *folding* operation (Unicode string → ASCII skeleton) for detection.
+#[derive(Debug, Clone)]
+pub struct ConfusableTable {
+    // Forward index: ASCII byte -> entry index; 255 = none.
+    forward: [u8; 128],
+}
+
+impl Default for ConfusableTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConfusableTable {
+    /// Builds the lookup structures from the embedded table.
+    pub fn new() -> Self {
+        let mut forward = [255u8; 128];
+        for (i, e) in CONFUSABLES.iter().enumerate() {
+            forward[e.source as usize] = i as u8;
+        }
+        ConfusableTable { forward }
+    }
+
+    /// All confusable variants of an ASCII character: Unicode look-alikes
+    /// followed by single-char ASCII look-alikes.
+    pub fn variants(&self, c: char) -> impl Iterator<Item = char> + '_ {
+        let entry = self.entry(c);
+        entry
+            .map(|e| e.unicode.iter().chain(e.ascii.iter()).copied())
+            .into_iter()
+            .flatten()
+    }
+
+    /// Multi-character ASCII sequences that imitate `c` (e.g. `rn` for `m`).
+    pub fn sequences(&self, c: char) -> &'static [&'static str] {
+        self.entry(c).map(|e| e.sequences).unwrap_or(&[])
+    }
+
+    /// Number of variants known for `c` (used by coverage tests and the
+    /// generator's budget logic).
+    pub fn variant_count(&self, c: char) -> usize {
+        self.entry(c)
+            .map(|e| e.unicode.len() + e.ascii.len())
+            .unwrap_or(0)
+    }
+
+    fn entry(&self, c: char) -> Option<&'static ConfusableEntry> {
+        if !c.is_ascii() {
+            return None;
+        }
+        match self.forward[c as usize] {
+            255 => None,
+            i => Some(&CONFUSABLES[i as usize]),
+        }
+    }
+
+    /// Folds a (possibly Unicode) label to its ASCII *skeleton*: every
+    /// confusable character is replaced by the ASCII character it imitates.
+    /// Multi-char sequences are **not** folded here (that is a separate,
+    /// quadratic pass done by the detector only for near-miss candidates).
+    ///
+    /// ```
+    /// use squatphi_domain::ConfusableTable;
+    /// let t = ConfusableTable::new();
+    /// assert_eq!(t.skeleton("fàcebook"), "facebook");
+    /// assert_eq!(t.skeleton("faceb00k"), "facebook");
+    /// assert_eq!(t.skeleton("plain"), "plain");
+    /// ```
+    pub fn skeleton(&self, label: &str) -> String {
+        let mut out = String::with_capacity(label.len());
+        'chars: for c in label.chars() {
+            if c.is_ascii() {
+                // ASCII digit/letter swaps: fold 0->o, 1->l, 5->s only when
+                // they sit among letters; the detector re-checks context, so
+                // a straight fold is acceptable here.
+                out.push(match c {
+                    '0' => 'o',
+                    '5' => 's',
+                    _ => c,
+                });
+                continue;
+            }
+            for e in CONFUSABLES {
+                if e.unicode.contains(&c) {
+                    out.push(e.source);
+                    continue 'chars;
+                }
+            }
+            out.push(c); // unknown non-ASCII: keep, detector will reject
+        }
+        out
+    }
+
+    /// Whether the label contains at least one non-source character that
+    /// folds back to ASCII (i.e. the label is a *candidate* homograph).
+    pub fn has_confusable(&self, label: &str) -> bool {
+        label.chars().any(|c| {
+            !c.is_ascii() && CONFUSABLES.iter().any(|e| e.unicode.contains(&c))
+        }) || label.contains('0')
+            || label.contains('5')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_has_at_least_23_unicode_variants() {
+        // The paper: "there are 23 different unicode characters that look
+        // similar to the letter a, but DNSTwist only catches 13 of them."
+        let t = ConfusableTable::new();
+        let count = CONFUSABLES[0].unicode.len();
+        assert_eq!(CONFUSABLES[0].source, 'a');
+        assert!(count >= 23, "need >= 23 variants for 'a', have {count}");
+        assert!(t.variant_count('a') >= 23);
+    }
+
+    #[test]
+    fn every_letter_has_variants() {
+        let t = ConfusableTable::new();
+        for c in 'a'..='z' {
+            assert!(
+                t.variant_count(c) + t.sequences(c).len() > 0,
+                "letter {c} has no confusables"
+            );
+        }
+    }
+
+    #[test]
+    fn skeleton_folds_paper_examples() {
+        let t = ConfusableTable::new();
+        assert_eq!(t.skeleton("fàcebook"), "facebook");
+        assert_eq!(t.skeleton("faceb00k"), "facebook");
+        assert_eq!(t.skeleton("facebooκ"), "facebook");
+        assert_eq!(t.skeleton("gооgle"), "google"); // Cyrillic о
+        assert_eq!(t.skeleton(&"paypaI".to_ascii_lowercase()), "paypai"); // I->i handled by lowering
+    }
+
+    #[test]
+    fn sequences_cover_rn_for_m() {
+        let t = ConfusableTable::new();
+        assert!(t.sequences('m').contains(&"rn"));
+        assert!(t.sequences('w').contains(&"vv"));
+    }
+
+    #[test]
+    fn skeleton_keeps_unknown_chars() {
+        let t = ConfusableTable::new();
+        assert_eq!(t.skeleton("漢字"), "漢字");
+    }
+
+    #[test]
+    fn has_confusable_detects_candidates() {
+        let t = ConfusableTable::new();
+        assert!(t.has_confusable("fàcebook"));
+        assert!(t.has_confusable("faceb00k"));
+        assert!(!t.has_confusable("facebook"));
+    }
+
+    #[test]
+    fn variants_iterator_matches_count() {
+        let t = ConfusableTable::new();
+        for c in 'a'..='z' {
+            assert_eq!(t.variants(c).count(), t.variant_count(c));
+        }
+    }
+
+    #[test]
+    fn no_source_appears_in_own_variants() {
+        for e in CONFUSABLES {
+            assert!(!e.unicode.contains(&e.source));
+            assert!(!e.ascii.contains(&e.source));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! String distances used by squatting detection.
+
+/// Classic Levenshtein edit distance (insert / delete / substitute, unit
+/// cost) over Unicode scalars, O(|a|·|b|) time, O(min) space.
+///
+/// ```
+/// use squatphi_domain::distance::levenshtein;
+/// assert_eq!(levenshtein("facebook", "facebok"), 1);
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Damerau–Levenshtein distance (restricted: adjacent transposition counts
+/// as one edit). Typo squatting's *vowel swap / reorder* operation is one
+/// Damerau edit but two Levenshtein edits, so the detector uses this.
+///
+/// ```
+/// use squatphi_domain::distance::damerau_levenshtein;
+/// assert_eq!(damerau_levenshtein("fcaebook", "facebook"), 1);
+/// assert_eq!(damerau_levenshtein("facebook", "facebook"), 0);
+/// ```
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut d = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for j in 0..=m {
+        d[0][j] = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[i - 2][j - 2] + 1);
+            }
+            d[i][j] = best;
+        }
+    }
+    d[n][m]
+}
+
+/// Hamming distance between equal-length ASCII strings; `None` if lengths
+/// differ.
+pub fn hamming(a: &str, b: &str) -> Option<usize> {
+    if a.len() != b.len() {
+        return None;
+    }
+    Some(a.bytes().zip(b.bytes()).filter(|(x, y)| x != y).count())
+}
+
+/// Bit-flip distance for bitsquatting: if `a` and `b` have equal length and
+/// differ in exactly one byte, returns the number of differing *bits* in
+/// that byte when it equals 1 — i.e. `Some(1)` exactly when `b` is a single
+/// one-bit corruption of `a`. Returns `Some(0)` for identical strings and
+/// `None` otherwise.
+///
+/// ```
+/// use squatphi_domain::distance::bit_flip_distance;
+/// // 'o' (0x6f) vs 'n' (0x6e) differ in exactly one bit.
+/// assert_eq!(bit_flip_distance("facebook", "facebnok"), Some(1));
+/// // 'e' (0x65) vs 'w' (0x77) differ in two bits: not a bitsquat.
+/// assert_eq!(bit_flip_distance("google", "googlw"), None);
+/// ```
+pub fn bit_flip_distance(a: &str, b: &str) -> Option<usize> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut diff_pos = None;
+    for (i, (x, y)) in a.bytes().zip(b.bytes()).enumerate() {
+        if x != y {
+            if diff_pos.is_some() {
+                return None; // more than one differing byte
+            }
+            diff_pos = Some(i);
+        }
+    }
+    match diff_pos {
+        None => Some(0),
+        Some(i) => {
+            let x = a.as_bytes()[i];
+            let y = b.as_bytes()[i];
+            let bits = (x ^ y).count_ones() as usize;
+            if bits == 1 {
+                Some(1)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Whether `b` is exactly one one-bit flip away from `a` (both valid-label
+/// ASCII, same length).
+pub fn is_one_bit_flip(a: &str, b: &str) -> bool {
+    bit_flip_distance(a, b) == Some(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("facebook", "facebok"), 1); // omission
+        assert_eq!(levenshtein("facebook", "faceboook"), 1); // repetition
+        assert_eq!(levenshtein("facebook", "facebo0ok"), 1); // insertion
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein("paypal", "paypals"), levenshtein("paypals", "paypal"));
+    }
+
+    #[test]
+    fn damerau_counts_swap_as_one() {
+        assert_eq!(damerau_levenshtein("fcaebook", "facebook"), 1);
+        assert_eq!(levenshtein("fcaebook", "facebook"), 2);
+        assert_eq!(damerau_levenshtein("ab", "ba"), 1);
+        assert_eq!(damerau_levenshtein("abc", "cab"), 2);
+    }
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming("abc", "abd"), Some(1));
+        assert_eq!(hamming("abc", "abcd"), None);
+        assert_eq!(hamming("", ""), Some(0));
+    }
+
+    #[test]
+    fn bit_flip_detects_paper_example() {
+        // facebnok: 'o' -> 'n' — 0x6f ^ 0x6e = 0x01, one bit.
+        assert!(is_one_bit_flip("facebook", "facebnok"));
+        // goofle: 'g' -> 'f'? paper says goofle is bits for google:
+        // 'g'(0x67) ^ 'f'(0x66) = 0x01 — one bit.
+        assert!(is_one_bit_flip("google", "goofle"));
+        // googlw: 'e'(0x65) -> 'w'(0x77) = 0x12, two bits — NOT bitsquat.
+        assert!(!is_one_bit_flip("google", "googlw"));
+    }
+
+    #[test]
+    fn bit_flip_rejects_multi_byte_diff() {
+        assert_eq!(bit_flip_distance("facebook", "facebnnk"), None);
+        assert_eq!(bit_flip_distance("abc", "abcd"), None);
+        assert_eq!(bit_flip_distance("same", "same"), Some(0));
+    }
+}

@@ -1,0 +1,37 @@
+//! Domain-name substrate for the SquatPhi reproduction.
+//!
+//! This crate owns everything about domain *names* (not DNS records — see
+//! `squatphi-dnswire` / `squatphi-dnsdb` for those):
+//!
+//! * [`DomainName`] — a validated, lower-cased domain with label access and
+//!   registrable-domain ("brand label") extraction,
+//! * [`tld`] — a built-in registry of legacy TLDs, ccTLDs, multi-label public
+//!   suffixes (`com.ua`, `co.uk`, …) and new gTLDs such as `audi`,
+//! * [`punycode`] — a from-scratch RFC 3492 encoder/decoder,
+//! * [`idna`] — `xn--`-aware conversions between Unicode and ASCII forms,
+//! * [`confusables`] — the homoglyph table used by homograph squatting
+//!   (Unicode confusables plus multi-character ASCII look-alikes like
+//!   `rn` → `m`),
+//! * [`distance`] — Levenshtein / Damerau / bit-flip distances used by the
+//!   squatting detector.
+//!
+//! The paper ("Needle in a Haystack", IMC '18, §3.1) builds its squatting
+//! search on exactly these primitives; the upstream tools it extends
+//! (DNSTwist, URLCrazy) are reimplemented on top of this crate in
+//! `squatphi-squat`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusables;
+pub mod distance;
+pub mod idna;
+pub mod name;
+pub mod punycode;
+pub mod tld;
+pub mod url;
+
+pub use confusables::ConfusableTable;
+pub use distance::{bit_flip_distance, damerau_levenshtein, hamming, levenshtein};
+pub use name::{DomainError, DomainName};
+pub use tld::{is_known_tld, split_suffix, TLDS};

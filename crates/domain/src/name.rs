@@ -1,0 +1,238 @@
+//! Validated domain names.
+
+use crate::tld::split_suffix;
+
+/// Errors produced when parsing a [`DomainName`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// The string was empty or consisted only of dots.
+    Empty,
+    /// A label was empty (`a..b`), too long (>63 bytes) or the whole name
+    /// exceeded 253 bytes.
+    BadLength(String),
+    /// A label contained a character outside `[a-z0-9-]` (after lowering)
+    /// and was not valid UTF-8 IDN material.
+    BadCharacter(char),
+    /// A label started or ended with a hyphen.
+    HyphenEdge(String),
+    /// No known public suffix — the name cannot be split into
+    /// (prefix, suffix).
+    UnknownSuffix(String),
+}
+
+impl std::fmt::Display for DomainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DomainError::Empty => write!(f, "empty domain"),
+            DomainError::BadLength(l) => write!(f, "label or name too long: {l:?}"),
+            DomainError::BadCharacter(c) => write!(f, "invalid character {c:?}"),
+            DomainError::HyphenEdge(l) => write!(f, "label has leading/trailing hyphen: {l:?}"),
+            DomainError::UnknownSuffix(d) => write!(f, "no known public suffix in {d:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// A validated, lower-cased, fully-qualified domain name.
+///
+/// The name is stored in its ASCII (possibly punycoded) form. Use
+/// [`crate::idna::to_unicode`] for the display form. Squatting analysis
+/// operates on the *core label* — the left-most label of the registrable
+/// domain — mirroring the paper's rule of ignoring subdomains
+/// (`mail.google-app.de` is matched via `google-app`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName {
+    full: String,
+    /// Byte offset where the public suffix starts (after the final dot).
+    suffix_start: usize,
+    /// Byte range of the core (registrable) label.
+    core_start: usize,
+    core_end: usize,
+}
+
+impl DomainName {
+    /// Parses and validates a domain name.
+    ///
+    /// Accepts ASCII names (including `xn--` punycode labels); the input is
+    /// lower-cased. Unicode input should first go through
+    /// [`crate::idna::to_ascii`].
+    ///
+    /// ```
+    /// use squatphi_domain::DomainName;
+    /// let d = DomainName::parse("Mail.Google-App.de").unwrap();
+    /// assert_eq!(d.as_str(), "mail.google-app.de");
+    /// assert_eq!(d.core_label(), "google-app");
+    /// assert_eq!(d.suffix(), "de");
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, DomainError> {
+        let lowered = input.trim().trim_matches('.').to_ascii_lowercase();
+        if lowered.is_empty() {
+            return Err(DomainError::Empty);
+        }
+        if lowered.len() > 253 {
+            return Err(DomainError::BadLength(lowered));
+        }
+        for label in lowered.split('.') {
+            if label.is_empty() || label.len() > 63 {
+                return Err(DomainError::BadLength(label.to_string()));
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(DomainError::HyphenEdge(label.to_string()));
+            }
+            for c in label.chars() {
+                if !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-') {
+                    return Err(DomainError::BadCharacter(c));
+                }
+            }
+        }
+        let (prefix, suffix) =
+            split_suffix(&lowered).ok_or_else(|| DomainError::UnknownSuffix(lowered.clone()))?;
+        let suffix_start = lowered.len() - suffix.len();
+        // Core label: the last label of the prefix.
+        let core_start = match prefix.rfind('.') {
+            Some(p) => p + 1,
+            None => 0,
+        };
+        let core_end = prefix.len();
+        Ok(DomainName {
+            full: lowered,
+            suffix_start,
+            core_start,
+            core_end,
+        })
+    }
+
+    /// The full lower-cased ASCII name, e.g. `mail.google-app.de`.
+    pub fn as_str(&self) -> &str {
+        &self.full
+    }
+
+    /// The public suffix, e.g. `de` or `com.ua`.
+    pub fn suffix(&self) -> &str {
+        &self.full[self.suffix_start..]
+    }
+
+    /// The core (registrable) label used for squatting analysis,
+    /// e.g. `google-app` for `mail.google-app.de`.
+    pub fn core_label(&self) -> &str {
+        &self.full[self.core_start..self.core_end]
+    }
+
+    /// The registrable domain (`core_label.suffix`),
+    /// e.g. `google-app.de` for `mail.google-app.de`.
+    pub fn registrable(&self) -> String {
+        format!("{}.{}", self.core_label(), self.suffix())
+    }
+
+    /// Whether the name has labels left of the registrable domain.
+    pub fn has_subdomain(&self) -> bool {
+        self.core_start > 0
+    }
+
+    /// Whether the core label is an IDN (punycode) label.
+    pub fn is_idn(&self) -> bool {
+        self.core_label().starts_with("xn--")
+    }
+
+    /// Builds a registrable domain from a core label and suffix without
+    /// re-validating the suffix membership (used by generators that iterate
+    /// over known suffixes).
+    pub fn from_parts(core: &str, suffix: &str) -> Result<Self, DomainError> {
+        Self::parse(&format!("{core}.{suffix}"))
+    }
+}
+
+impl std::fmt::Display for DomainName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+impl std::str::FromStr for DomainName {
+    type Err = DomainError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple() {
+        let d = DomainName::parse("facebook.com").unwrap();
+        assert_eq!(d.core_label(), "facebook");
+        assert_eq!(d.suffix(), "com");
+        assert_eq!(d.registrable(), "facebook.com");
+        assert!(!d.has_subdomain());
+    }
+
+    #[test]
+    fn parses_multi_suffix() {
+        let d = DomainName::parse("goofle.com.ua").unwrap();
+        assert_eq!(d.core_label(), "goofle");
+        assert_eq!(d.suffix(), "com.ua");
+    }
+
+    #[test]
+    fn subdomains_are_ignored_for_core() {
+        let d = DomainName::parse("mail.google-app.de").unwrap();
+        assert_eq!(d.core_label(), "google-app");
+        assert!(d.has_subdomain());
+        assert_eq!(d.registrable(), "google-app.de");
+    }
+
+    #[test]
+    fn lowercases_and_trims() {
+        let d = DomainName::parse(" FaceBook.COM. ").unwrap();
+        assert_eq!(d.as_str(), "facebook.com");
+    }
+
+    #[test]
+    fn idn_detection() {
+        let d = DomainName::parse("xn--fcebook-8va.com").unwrap();
+        assert!(d.is_idn());
+        assert_eq!(d.core_label(), "xn--fcebook-8va");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(DomainName::parse(""), Err(DomainError::Empty)));
+        assert!(matches!(DomainName::parse("..."), Err(DomainError::Empty)));
+        assert!(matches!(
+            DomainName::parse("exa mple.com"),
+            Err(DomainError::BadCharacter(' '))
+        ));
+        assert!(matches!(
+            DomainName::parse("-bad.com"),
+            Err(DomainError::HyphenEdge(_))
+        ));
+        assert!(matches!(
+            DomainName::parse("bad-.com"),
+            Err(DomainError::HyphenEdge(_))
+        ));
+        assert!(matches!(
+            DomainName::parse("noval.notatld"),
+            Err(DomainError::UnknownSuffix(_))
+        ));
+        let long = format!("{}.com", "a".repeat(64));
+        assert!(matches!(DomainName::parse(&long), Err(DomainError::BadLength(_))));
+        let too_long = format!("{}.com", ["abcdefgh"; 40].join("."));
+        assert!(matches!(DomainName::parse(&too_long), Err(DomainError::BadLength(_))));
+    }
+
+    #[test]
+    fn rejects_bare_suffix() {
+        assert!(DomainName::parse("com").is_err());
+        assert!(DomainName::parse("com.ua").is_err());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_full_name() {
+        let a = DomainName::parse("a.com").unwrap();
+        let b = DomainName::parse("b.com").unwrap();
+        assert!(a < b);
+    }
+}

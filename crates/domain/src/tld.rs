@@ -1,0 +1,131 @@
+//! Built-in TLD / public-suffix registry.
+//!
+//! The ActiveDNS snapshot used by the paper covers COM/NET/ORG plus the long
+//! tail of ccTLDs and new gTLDs (the paper's wrongTLD examples include
+//! `facebook.audi`, and its detection tables mention domains under `.pw`,
+//! `.tk`, `.ml`, `.ga`, `.bid`, `.top`, `.mobi`, `com.ua`, `com.uy` …).
+//! A full public-suffix list is overkill for the reproduction; this module
+//! embeds the suffixes that actually occur in the paper together with a broad
+//! set of common TLDs so the generators and the detector have a realistic
+//! alphabet to draw from.
+
+/// Single-label TLDs known to the registry, sorted for binary search.
+///
+/// Mix of legacy gTLDs, ccTLDs seen in the paper's examples, and new gTLDs
+/// used by wrongTLD squatting.
+pub const TLDS: &[&str] = &[
+    "app", "audi", "be", "bid", "biz", "br", "ca", "cc", "ch", "click", "club", "cn", "co",
+    "com", "de", "download", "es", "eu", "fr", "ga", "gov", "gq", "icu", "id", "ie", "in",
+    "info", "io", "it", "jp", "kr", "link", "live", "ml", "mobi", "net", "nl", "nu", "online",
+    "org", "pl", "pro", "pw", "ru", "se", "shop", "site", "store", "tech", "tk", "top", "tv",
+    "ua", "uk", "us", "uy", "vip", "win", "xyz",
+];
+
+/// Multi-label public suffixes (most-specific first match wins).
+pub const MULTI_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "com.ua", "com.uy", "com.br", "com.cn", "co.jp", "co.kr", "co.in",
+    "com.au", "net.ua", "gov.uk",
+];
+
+/// TLDs that are plausible *wrongTLD* substitution targets — the subset an
+/// attacker can actually register under cheaply (the paper's Fig 2 finds
+/// 39K wrongTLD domains, mostly under new gTLDs and free ccTLDs).
+pub const WRONG_TLD_POOL: &[&str] = &[
+    "audi", "bid", "click", "club", "download", "ga", "gq", "icu", "link", "live", "ml",
+    "mobi", "net", "online", "org", "pw", "shop", "site", "store", "tech", "tk", "top",
+    "vip", "win", "xyz",
+];
+
+/// Returns `true` if `s` (no dots) is a known single-label TLD.
+pub fn is_known_tld(s: &str) -> bool {
+    TLDS.binary_search(&s).is_ok()
+}
+
+/// Splits a dotted, lower-case domain string into `(prefix, suffix)` where
+/// `suffix` is the registered public suffix (multi-label suffixes are
+/// preferred over single-label ones). Returns `None` when no known suffix
+/// matches or nothing precedes the suffix.
+///
+/// ```
+/// use squatphi_domain::tld::split_suffix;
+/// assert_eq!(split_suffix("goofle.com.ua"), Some(("goofle", "com.ua")));
+/// assert_eq!(split_suffix("mail.google.com"), Some(("mail.google", "com")));
+/// assert_eq!(split_suffix("com"), None);
+/// ```
+pub fn split_suffix(domain: &str) -> Option<(&str, &str)> {
+    // A bare public suffix (e.g. "com.ua") is not a registrable domain.
+    if MULTI_SUFFIXES.contains(&domain) {
+        return None;
+    }
+    for suffix in MULTI_SUFFIXES {
+        if let Some(prefix) = domain.strip_suffix(suffix) {
+            if let Some(prefix) = prefix.strip_suffix('.') {
+                if !prefix.is_empty() {
+                    return Some((prefix, suffix));
+                }
+            }
+        }
+    }
+    let dot = domain.rfind('.')?;
+    let (prefix, tld) = (&domain[..dot], &domain[dot + 1..]);
+    if prefix.is_empty() || !is_known_tld(tld) {
+        return None;
+    }
+    Some((prefix, tld))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tld_table_is_sorted_and_unique() {
+        let mut sorted = TLDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, TLDS, "TLDS must stay sorted/unique for binary search");
+    }
+
+    #[test]
+    fn known_tlds_resolve() {
+        for t in ["com", "audi", "tk", "ua"] {
+            assert!(is_known_tld(t), "{t} should be known");
+        }
+        assert!(!is_known_tld("notatld"));
+        assert!(!is_known_tld(""));
+    }
+
+    #[test]
+    fn multi_label_suffix_preferred() {
+        assert_eq!(split_suffix("goofle.com.ua"), Some(("goofle", "com.ua")));
+        assert_eq!(split_suffix("gooogle.com.uy"), Some(("gooogle", "com.uy")));
+        assert_eq!(split_suffix("bbc.co.uk"), Some(("bbc", "co.uk")));
+    }
+
+    #[test]
+    fn single_label_suffix() {
+        assert_eq!(split_suffix("facebook.audi"), Some(("facebook", "audi")));
+        assert_eq!(split_suffix("faceb00k.pw"), Some(("faceb00k", "pw")));
+    }
+
+    #[test]
+    fn subdomains_stay_in_prefix() {
+        assert_eq!(split_suffix("mail.google-app.de"), Some(("mail.google-app", "de")));
+    }
+
+    #[test]
+    fn rejects_bare_or_unknown_suffix() {
+        assert_eq!(split_suffix("com"), None);
+        assert_eq!(split_suffix("com.ua"), None);
+        assert_eq!(split_suffix("example.notatld"), None);
+        assert_eq!(split_suffix(""), None);
+        assert_eq!(split_suffix(".com"), None);
+    }
+
+    #[test]
+    fn wrong_tld_pool_members_are_known() {
+        for t in WRONG_TLD_POOL {
+            assert!(is_known_tld(t), "{t} in WRONG_TLD_POOL but not in TLDS");
+        }
+    }
+}

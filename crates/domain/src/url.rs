@@ -1,0 +1,131 @@
+//! Minimal absolute-URL handling.
+//!
+//! The crawler and the HTTP client both need to pull hosts out of
+//! `Location:` headers and page links; this module is the single owner of
+//! that logic (full RFC 3986 parsing is out of scope — phishing URLs in
+//! the dataset are plain `http(s)://host[:port]/path?query` shapes).
+
+/// A parsed absolute http/https URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Url {
+    /// `http` or `https`.
+    pub scheme: String,
+    /// Host (no port).
+    pub host: String,
+    /// Port, if one was written.
+    pub port: Option<u16>,
+    /// Path including the leading `/` (defaults to `/`).
+    pub path: String,
+}
+
+impl Url {
+    /// Parses an absolute http/https URL. Returns `None` for anything
+    /// else (relative references, other schemes, empty hosts).
+    pub fn parse(input: &str) -> Option<Url> {
+        let (scheme, rest) = if let Some(r) = input.strip_prefix("https://") {
+            ("https", r)
+        } else if let Some(r) = input.strip_prefix("http://") {
+            ("http", r)
+        } else {
+            return None;
+        };
+        let end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
+        let authority = &rest[..end];
+        let path_part = &rest[end..];
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) if !p.is_empty() && p.bytes().all(|b| b.is_ascii_digit()) => {
+                (h, p.parse::<u16>().ok())
+            }
+            _ => (authority, None),
+        };
+        if host.is_empty() {
+            return None;
+        }
+        let path = if path_part.is_empty() || path_part.starts_with(['?', '#']) {
+            "/".to_string()
+        } else {
+            // Strip the fragment, keep the query.
+            path_part.split('#').next().unwrap_or("/").to_string()
+        };
+        Some(Url {
+            scheme: scheme.to_string(),
+            host: host.to_ascii_lowercase(),
+            port,
+            path,
+        })
+    }
+
+    /// Re-serializes the URL.
+    pub fn to_string_full(&self) -> String {
+        match self.port {
+            Some(p) => format!("{}://{}:{}{}", self.scheme, self.host, p, self.path),
+            None => format!("{}://{}{}", self.scheme, self.host, self.path),
+        }
+    }
+}
+
+/// Convenience: the host of an absolute http/https URL, if any.
+///
+/// ```
+/// use squatphi_domain::url::host_of;
+/// assert_eq!(host_of("https://paypal.com/signin"), Some("paypal.com".to_string()));
+/// assert_eq!(host_of("ftp://nope"), None);
+/// ```
+pub fn host_of(input: &str) -> Option<String> {
+    Url::parse(input).map(|u| u.host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_urls() {
+        let u = Url::parse("http://go-uberfreight.com/driver?src=mail#top").expect("valid");
+        assert_eq!(u.scheme, "http");
+        assert_eq!(u.host, "go-uberfreight.com");
+        assert_eq!(u.port, None);
+        assert_eq!(u.path, "/driver?src=mail");
+    }
+
+    #[test]
+    fn parses_ports() {
+        let u = Url::parse("http://localhost:8080/x").expect("valid");
+        assert_eq!(u.host, "localhost");
+        assert_eq!(u.port, Some(8080));
+    }
+
+    #[test]
+    fn defaults_path_to_root() {
+        assert_eq!(Url::parse("https://a.com").expect("valid").path, "/");
+        assert_eq!(Url::parse("https://a.com?q=1").expect("valid").path, "/");
+    }
+
+    #[test]
+    fn lowercases_host() {
+        assert_eq!(host_of("http://PayPal.COM/x"), Some("paypal.com".to_string()));
+    }
+
+    #[test]
+    fn rejects_non_http() {
+        assert_eq!(Url::parse("ftp://x.com"), None);
+        assert_eq!(Url::parse("//x.com"), None);
+        assert_eq!(Url::parse("/relative/path"), None);
+        assert_eq!(Url::parse("http://"), None);
+        assert_eq!(Url::parse(""), None);
+    }
+
+    #[test]
+    fn round_trips() {
+        for s in ["http://a.com/", "https://b.org:444/p", "http://c.net/x?y=z"] {
+            let u = Url::parse(s).expect("valid");
+            assert_eq!(Url::parse(&u.to_string_full()), Some(u));
+        }
+    }
+
+    #[test]
+    fn ipv6ish_garbage_does_not_panic() {
+        let _ = Url::parse("http://[::1]:80/");
+        let _ = Url::parse("http://:::/");
+    }
+}

@@ -1,0 +1,39 @@
+//! Dump feature-vector diff between a two-step phishing page and a fan
+//! forum benign page to find residual template leaks.
+use squatphi::{FeatureExtractor, SimConfig};
+use squatphi_squat::BrandRegistry;
+use squatphi_web::pages;
+
+fn main() {
+    let config = SimConfig::tiny();
+    let registry = BrandRegistry::with_size(config.brands);
+    let fx = FeatureExtractor::new(&registry);
+    let brand = registry.by_label("paypal").unwrap();
+    let phish = pages::non_squatting_phishing_page(brand, false, "h.com", 7);
+    let fan = pages::confusing_benign_page("h.com", Some("paypal"), 7);
+    let vp = fx.extract(&phish);
+    let vf = fx.extract(&fan);
+    let dims: std::collections::BTreeSet<usize> =
+        vp.entries().iter().chain(vf.entries()).map(|(i, _)| *i).collect();
+    for d in dims {
+        let (a, b) = (vp.get(d), vf.get(d));
+        if (a - b).abs() > 0.5 {
+            println!("dim {d:4} {:24} phish {a:4.1} fan {b:4.1}", name_of(&fx, d));
+        }
+    }
+    println!("--- phish html ---\n{phish}\n--- fan html ---\n{fan}");
+}
+
+fn name_of(fx: &FeatureExtractor, d: usize) -> String {
+    for w in squatphi_nlp::spell::BASE_DICTIONARY {
+        if fx.space().keyword(w) == Some(d) { return (*w).to_string(); }
+    }
+    let reg = BrandRegistry::paper();
+    for b in reg.brands() {
+        if fx.space().keyword(&b.label) == Some(d) { return format!("brand:{}", b.label); }
+    }
+    for n in ["form_count", "password_inputs", "text_inputs", "submit_controls", "js_obfuscated"] {
+        if fx.space().numeric(n) == Some(d) { return format!("num:{n}"); }
+    }
+    format!("keyword#{d}")
+}

@@ -1,0 +1,40 @@
+//! Debug harness: planted vs detected type mix, plus benign-word
+//! collision check against the squat detector.
+
+fn main() {
+    let reg = squatphi_squat::BrandRegistry::paper();
+    let det = squatphi_squat::SquatDetector::new(&reg);
+
+    // Benign-word collision check.
+    for w in squatphi_squat::words::BENIGN_WORDS {
+        for tld in ["com", "net", "de", "org"] {
+            for pattern in [
+                format!("{w}.{tld}"),
+                format!("{w}-almond.{tld}"),
+                format!("almond-{w}.{tld}"),
+            ] {
+                if let Ok(d) = squatphi_domain::DomainName::parse(&pattern) {
+                    if let Some(m) = det.classify(&d) {
+                        println!(
+                            "COLLISION {pattern} -> {:?} {}",
+                            m.squat_type,
+                            reg.get(m.brand).unwrap().label
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Planted vs detected mix.
+    let cfg = squatphi_dnsdb::SnapshotConfig::paper_scale(2000);
+    let (store, stats) = squatphi_dnsdb::synth::generate(&cfg, &reg);
+    let out = squatphi_dnsdb::scan(&store, &reg, &det, 8);
+    println!("planted {:?}", stats.planted_by_type);
+    println!("scanned {:?}", out.by_type);
+    let mut top: Vec<(usize, usize)> = stats.planted_by_brand.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1));
+    for (b, n) in top.iter().take(8) {
+        println!("brand {} planted {}", reg.get(*b).unwrap().label, n);
+    }
+}

@@ -1,0 +1,62 @@
+//! Debug harness: RF score distribution per page-template group, to see
+//! which templates the classifier separates trivially.
+
+use squatphi::train::{fit_final_model, build_ground_truth};
+use squatphi::{FeatureExtractor, SimConfig};
+use squatphi_feeds::{FeedConfig, GroundTruthFeed};
+use squatphi_ml::Classifier;
+use squatphi_squat::BrandRegistry;
+use squatphi_web::pages;
+
+fn main() {
+    let config = SimConfig::tiny();
+    let registry = BrandRegistry::with_size(config.brands);
+    let feed = GroundTruthFeed::generate(&registry, &FeedConfig { total_urls: 700, seed: 13 });
+    let fx = FeatureExtractor::new(&registry);
+
+    let top8 = feed.top8(&registry);
+    let phishing: Vec<&str> = top8.iter().filter(|e| e.still_phishing).map(|e| e.html.as_str()).collect();
+    let benign: Vec<&str> = top8.iter().filter(|e| !e.still_phishing).map(|e| e.html.as_str()).collect();
+    let data = build_ground_truth(&fx, &phishing, &benign, 8);
+    let model = fit_final_model(&data, 1);
+
+    let brand = registry.by_label("paypal").unwrap();
+    let groups: Vec<(&str, Vec<String>)> = vec![
+        (
+            "phish:full-login",
+            (0..20).map(|k| pages::non_squatting_phishing_page(brand, false, "h.com", k * 16)).collect(),
+        ),
+        (
+            "phish:two-step",
+            (0..20).map(|k| pages::non_squatting_phishing_page(brand, false, "h.com", k * 16 + 7)).collect(),
+        ),
+        (
+            "phish:evasive",
+            (0..20).map(|k| pages::non_squatting_phishing_page(brand, true, "h.com", k)).collect(),
+        ),
+        (
+            "benign:login",
+            (0..20).map(|k| pages::benign_login_page("h.com", Some("paypal"), k)).collect(),
+        ),
+        (
+            "benign:fanforum",
+            (0..20).map(|k| pages::confusing_benign_page("h.com", Some("paypal"), k * 12 + 7)).collect(),
+        ),
+        (
+            "benign:federated",
+            (0..20).map(|k| pages::confusing_benign_page("h.com", Some("paypal"), k * 12 + 6)).collect(),
+        ),
+        (
+            "benign:survey",
+            (0..20).map(|k| pages::confusing_benign_page("h.com", Some("paypal"), k * 12)).collect(),
+        ),
+    ];
+    for (name, htmls) in groups {
+        let scores: Vec<f64> = htmls.iter().map(|h| model.score(&fx.extract(h))).collect();
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let min = scores.iter().cloned().fold(f64::MAX, f64::min);
+        let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+        let flagged = scores.iter().filter(|&&s| s >= 0.5).count();
+        println!("{name:18} mean {mean:.2} min {min:.2} max {max:.2} flagged {flagged}/20");
+    }
+}

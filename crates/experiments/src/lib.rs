@@ -1,0 +1,12 @@
+//! Experiment regeneration library: one function per table/figure of the
+//! paper's evaluation. The `repro` binary dispatches to these; tests call
+//! them directly on a tiny pipeline run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod summary;
+
+pub use experiments::{run_experiment, EXPERIMENT_IDS};

@@ -1,0 +1,97 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all                 # everything, default 1/100 haystack scale
+//! repro table7 fig10        # specific experiments
+//! repro --scale 400 all     # faster, smaller haystack
+//! repro --json out.json all # also dump a machine-readable summary
+//! repro --list              # list experiment ids
+//! ```
+
+use squatphi::{SimConfig, SquatPhi};
+use squatphi_experiments::summary::RunSummary;
+use squatphi_experiments::{run_experiment, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 100usize;
+    let mut ids: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for id in EXPERIMENT_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive integer"));
+                if scale == 0 {
+                    die("--scale must be >= 1")
+                }
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs an output path")),
+                );
+            }
+            "all" => ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect(),
+            other if EXPERIMENT_IDS.contains(&other) => ids.push(other.to_string()),
+            other => die(&format!(
+                "unknown argument {other:?} (use --list to see experiment ids)"
+            )),
+        }
+        i += 1;
+    }
+    if ids.is_empty() && json_path.is_none() {
+        die("nothing to run: pass experiment ids or `all`");
+    }
+
+    eprintln!("[repro] running pipeline at 1/{scale} haystack scale …");
+    let started = std::time::Instant::now();
+    let config = SimConfig::paper_scale(scale);
+    let result = SquatPhi::run(&config);
+    eprintln!(
+        "[repro] pipeline done in {:.1}s: {} DNS records scanned, {} squatting domains, {} confirmed phishing domains",
+        started.elapsed().as_secs_f64(),
+        result.scan.scanned,
+        result.scan.total_matches(),
+        result.confirmed_domains().len(),
+    );
+
+    for id in &ids {
+        match run_experiment(id, &result) {
+            Some(text) => {
+                println!("{text}");
+            }
+            None => eprintln!("[repro] unknown experiment {id}"),
+        }
+    }
+
+    if let Some(path) = json_path {
+        let summary = RunSummary::collect(&result);
+        match serde_json::to_string_pretty(&summary) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    die(&format!("cannot write {path}: {e}"));
+                }
+                eprintln!("[repro] summary written to {path}");
+            }
+            Err(e) => die(&format!("cannot serialize summary: {e}")),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

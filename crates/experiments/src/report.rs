@@ -1,0 +1,88 @@
+//! Plain-text table/series formatting helpers.
+
+/// Renders an aligned text table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let mut header_line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        header_line.push_str(&format!("{h:<w$}  ", w = w));
+    }
+    out.push_str(header_line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(header_line.trim_end().len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (c, w) in row.iter().zip(&widths) {
+            line.push_str(&format!("{c:<w$}  ", w = w));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an (x, y) series as aligned columns (our "figure" format).
+pub fn series(title: &str, x_label: &str, y_label: &str, points: &[(String, String)]) -> String {
+    let rows: Vec<Vec<String>> = points.iter().map(|(x, y)| vec![x.clone(), y.clone()]).collect();
+    table(title, &[x_label, y_label], &rows)
+}
+
+/// Percent formatting.
+pub fn pct(num: usize, den: usize) -> String {
+    if den == 0 {
+        "0.0%".to_string()
+    } else {
+        format!("{:.1}%", num as f64 * 100.0 / den as f64)
+    }
+}
+
+/// Two-decimal float.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            "Demo",
+            &["name", "count"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("== Demo =="));
+        assert!(t.contains("longer-name"));
+        let lines: Vec<&str> = t.lines().collect();
+        // Header, separator, two rows, plus title.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn pct_and_f2() {
+        assert_eq!(pct(1, 4), "25.0%");
+        assert_eq!(pct(0, 0), "0.0%");
+        assert_eq!(f2(0.975), "0.97"); // round-half-even is fine
+    }
+
+    #[test]
+    fn series_renders() {
+        let s = series("Fig", "x", "y", &[("1".into(), "2".into())]);
+        assert!(s.contains("Fig"));
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,117 @@
+//! Machine-readable run summary (serialized by `repro --json`).
+
+use serde::Serialize;
+use squatphi::analysis;
+use squatphi::pipeline::PipelineResult;
+use squatphi_web::Device;
+
+/// Headline numbers of one pipeline run — everything a dashboard or a
+/// regression check needs without re-parsing the text tables.
+#[derive(Debug, Serialize)]
+pub struct RunSummary {
+    /// DNS records scanned.
+    pub records_scanned: usize,
+    /// Squatting domains found.
+    pub squatting_domains: usize,
+    /// Squatting counts per type, paper order.
+    pub squatting_by_type: [usize; 5],
+    /// Live domains crawled (web profile).
+    pub web_live: usize,
+    /// Classifier metrics per model: (name, fpr, fnr, auc, acc).
+    pub models: Vec<ModelSummary>,
+    /// Pages flagged per device.
+    pub flagged: DeviceCounts,
+    /// Confirmed after manual verification.
+    pub confirmed: DeviceCounts,
+    /// Unique confirmed phishing domains (union).
+    pub confirmed_domains: usize,
+    /// Brands with at least one confirmed phishing domain.
+    pub targeted_brands: usize,
+    /// Blacklist coverage at day 30: phishtank / virustotal / ecrimex /
+    /// undetected.
+    pub blacklist: (usize, usize, usize, usize),
+}
+
+/// One classifier row.
+#[derive(Debug, Serialize)]
+pub struct ModelSummary {
+    /// Model name.
+    pub name: String,
+    /// False-positive rate.
+    pub fpr: f64,
+    /// False-negative rate.
+    pub fnr: f64,
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// Accuracy.
+    pub accuracy: f64,
+}
+
+/// Web/mobile pair.
+#[derive(Debug, Serialize)]
+pub struct DeviceCounts {
+    /// Desktop profile.
+    pub web: usize,
+    /// Mobile profile.
+    pub mobile: usize,
+}
+
+impl RunSummary {
+    /// Collects the summary from a pipeline result.
+    pub fn collect(result: &PipelineResult) -> Self {
+        let brands: std::collections::HashSet<usize> = result
+            .web_detections
+            .iter()
+            .chain(&result.mobile_detections)
+            .filter(|d| d.confirmed)
+            .map(|d| d.brand)
+            .collect();
+        RunSummary {
+            records_scanned: result.scan.scanned,
+            squatting_domains: result.scan.total_matches(),
+            squatting_by_type: result.scan.by_type,
+            web_live: result.crawl_stats.web_live,
+            models: result
+                .eval
+                .models
+                .iter()
+                .map(|m| ModelSummary {
+                    name: m.name.to_string(),
+                    fpr: m.metrics.fpr,
+                    fnr: m.metrics.fnr,
+                    auc: m.metrics.auc,
+                    accuracy: m.metrics.accuracy,
+                })
+                .collect(),
+            flagged: DeviceCounts {
+                web: result.web_detections.len(),
+                mobile: result.mobile_detections.len(),
+            },
+            confirmed: DeviceCounts {
+                web: result.confirmed(Device::Web).len(),
+                mobile: result.confirmed(Device::Mobile).len(),
+            },
+            confirmed_domains: result.confirmed_domains().len(),
+            targeted_brands: brands.len(),
+            blacklist: analysis::blacklist_coverage(result),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squatphi::{SimConfig, SquatPhi};
+
+    #[test]
+    fn summary_serializes_and_is_consistent() {
+        let result = SquatPhi::run(&SimConfig::tiny());
+        let summary = RunSummary::collect(&result);
+        assert_eq!(summary.squatting_domains, result.scan.total_matches());
+        assert_eq!(summary.models.len(), 3);
+        assert!(summary.confirmed.web <= summary.flagged.web);
+        let json = serde_json::to_string_pretty(&summary).expect("serializable");
+        assert!(json.contains("\"records_scanned\""));
+        assert!(json.contains("RandomForest"));
+    }
+}

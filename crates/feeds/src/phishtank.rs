@@ -1,0 +1,307 @@
+//! The crowdsourced ground-truth feed (PhishTank substitute, §4.1).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use squatphi_squat::{BrandId, BrandRegistry, SquatType};
+use squatphi_web::pages;
+
+/// Alexa-rank buckets of reported phishing hosts (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankBucket {
+    /// Rank 1..=1000.
+    Top1K,
+    /// Rank 1001..=10_000.
+    To10K,
+    /// Rank 10_001..=100_000.
+    To100K,
+    /// Rank 100_001..=1_000_000.
+    To1M,
+    /// Beyond the top million (the 70% bulk).
+    Beyond1M,
+}
+
+/// One reported URL in the feed.
+#[derive(Debug, Clone)]
+pub struct FeedEntry {
+    /// The reported host.
+    pub host: String,
+    /// The targeted brand.
+    pub brand: BrandId,
+    /// Hosting popularity bucket.
+    pub rank: RankBucket,
+    /// Squatting type of the host, if any (91% have none — Figure 7).
+    pub squat_type: Option<SquatType>,
+    /// Whether the page still serves phishing when *our* crawler gets to
+    /// it (43.2% for the top-8 brands — Table 5).
+    pub still_phishing: bool,
+    /// The crawled HTML (phishing page or its benign replacement).
+    pub html: String,
+    /// Whether the page uses heavier evasion (drives Table 11's
+    /// non-squatting column).
+    pub evasive: bool,
+}
+
+/// Feed-shape parameters.
+#[derive(Debug, Clone)]
+pub struct FeedConfig {
+    /// Total reported URLs (paper: 6,755).
+    pub total_urls: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FeedConfig {
+    fn default() -> Self {
+        FeedConfig { total_urls: 6_755, seed: 0xF15D }
+    }
+}
+
+/// Per-brand shares of the top-8 (Table 5): (label, URL share of total,
+/// still-phishing rate).
+const TOP8: &[(&str, f64, f64)] = &[
+    ("paypal", 0.193, 348.0 / 1306.0),
+    ("facebook", 0.156, 734.0 / 1059.0),
+    ("microsoft", 0.086, 285.0 / 580.0),
+    ("santander", 0.050, 30.0 / 336.0),
+    ("google", 0.032, 95.0 / 218.0),
+    ("ebay", 0.028, 90.0 / 189.0),
+    ("adobe", 0.024, 79.0 / 166.0),
+    ("dropbox", 0.022, 70.0 / 150.0),
+];
+
+/// Hosting-domain patterns for non-squatting phishing (free hosting
+/// dominates — 000webhostapp was the paper's top host).
+const HOSTS: &[&str] = &[
+    "site{i}.000webhostapp.com",
+    "files-{i}.sites.google.example",
+    "share-{i}.drive.google.example",
+    "login-update{i}.web.example",
+    "verify{i}.hostfree.example",
+    "account-{i}.securehost.example",
+];
+
+/// The generated ground-truth feed.
+#[derive(Debug, Clone)]
+pub struct GroundTruthFeed {
+    /// All reported entries.
+    pub entries: Vec<FeedEntry>,
+}
+
+impl GroundTruthFeed {
+    /// Generates the feed deterministically.
+    pub fn generate(registry: &BrandRegistry, config: &FeedConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut entries = Vec::with_capacity(config.total_urls);
+
+        // Brand plan: top-8 fixed shares; remainder spread over the other
+        // PhishTank-target brands (138 brands got submissions in total).
+        let mut plan: Vec<(BrandId, usize, f64)> = Vec::new();
+        let mut used = 0usize;
+        for (label, share, valid_rate) in TOP8 {
+            let brand = registry
+                .by_label(label)
+                .unwrap_or_else(|| panic!("brand {label} missing from registry"));
+            let n = (config.total_urls as f64 * share).round() as usize;
+            plan.push((brand.id, n, *valid_rate));
+            used += n;
+        }
+        let rest_brands: Vec<BrandId> = registry
+            .phishtank_targets()
+            .filter(|b| !TOP8.iter().any(|(l, ..)| *l == b.label))
+            .take(130)
+            .map(|b| b.id)
+            .collect();
+        let remaining = config.total_urls.saturating_sub(used);
+        if !rest_brands.is_empty() {
+            // Skewed tail: earlier brands get more.
+            let weights: Vec<f64> = (0..rest_brands.len()).map(|i| 1.0 / (i as f64 + 2.0)).collect();
+            let total_w: f64 = weights.iter().sum();
+            for (i, &b) in rest_brands.iter().enumerate() {
+                let n = ((weights[i] / total_w) * remaining as f64).round() as usize;
+                plan.push((b, n.max(1), 0.45));
+            }
+        }
+
+        for (brand_id, count, valid_rate) in plan {
+            let brand = registry.get(brand_id).expect("planned brand exists");
+            for k in 0..count {
+                let rank = sample_rank(&mut rng);
+                // Figure 7: ~8.8% combo, a whisper of homograph/typo.
+                let squat_type = match rng.gen_range(0..10000u32) {
+                    0..=5 => Some(SquatType::Homograph),
+                    6..=10 => Some(SquatType::Typo),
+                    11..=887 => Some(SquatType::Combo),
+                    _ => None,
+                };
+                let host = match squat_type {
+                    Some(SquatType::Combo) => {
+                        format!("{}-{}{k}.com", brand.label, ["secure", "login", "verify"][k % 3])
+                    }
+                    Some(SquatType::Homograph) => format!(
+                        "{}.online",
+                        pages::obfuscate_brand_text(&brand.label)
+                    ),
+                    Some(SquatType::Typo) => format!("{}s.center", brand.label),
+                    _ => {
+                        let tpl = HOSTS[rng.gen_range(0..HOSTS.len())];
+                        tpl.replace("{i}", &format!("{}{k}", &brand.label[..2]))
+                    }
+                };
+                let still_phishing = rng.gen_bool(valid_rate);
+                let evasive = rng.gen_bool(0.36); // Table 11 string-obf rate
+                let html = if still_phishing {
+                    pages::non_squatting_phishing_page(brand, evasive, &host, k as u64)
+                } else if rng.gen_bool(0.5) {
+                    pages::benign_page(&host, k as u64)
+                } else {
+                    pages::confusing_benign_page(&host, Some(&brand.label), k as u64)
+                };
+                entries.push(FeedEntry {
+                    host,
+                    brand: brand_id,
+                    rank,
+                    squat_type,
+                    still_phishing,
+                    html,
+                    evasive,
+                });
+            }
+        }
+        GroundTruthFeed { entries }
+    }
+
+    /// Entries for the top-8 brands (the manually-verified subset).
+    pub fn top8(&self, registry: &BrandRegistry) -> Vec<&FeedEntry> {
+        let ids: Vec<BrandId> = TOP8
+            .iter()
+            .filter_map(|(l, ..)| registry.by_label(l).map(|b| b.id))
+            .collect();
+        self.entries.iter().filter(|e| ids.contains(&e.brand)).collect()
+    }
+
+    /// The top-8 labels in feed order.
+    pub fn top8_labels() -> Vec<&'static str> {
+        TOP8.iter().map(|(l, ..)| *l).collect()
+    }
+}
+
+fn sample_rank(rng: &mut StdRng) -> RankBucket {
+    // Figure 6 bucket weights: 246 / 1042 / 444 / 274 / 4749.
+    match rng.gen_range(0..6755u32) {
+        0..=245 => RankBucket::Top1K,
+        246..=1287 => RankBucket::To10K,
+        1288..=1731 => RankBucket::To100K,
+        1732..=2005 => RankBucket::To1M,
+        _ => RankBucket::Beyond1M,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed() -> (GroundTruthFeed, BrandRegistry) {
+        let registry = BrandRegistry::paper();
+        let feed = GroundTruthFeed::generate(&registry, &FeedConfig::default());
+        (feed, registry)
+    }
+
+    #[test]
+    fn feed_size_near_paper() {
+        let (f, _) = feed();
+        let n = f.entries.len();
+        assert!((6400..=7100).contains(&n), "feed size {n}");
+    }
+
+    #[test]
+    fn top8_share_is_59_percent() {
+        let (f, reg) = feed();
+        let share = f.top8(&reg).len() as f64 / f.entries.len() as f64;
+        assert!((share - 0.591).abs() < 0.03, "top8 share {share}");
+    }
+
+    #[test]
+    fn most_entries_are_not_squatting() {
+        let (f, _) = feed();
+        let none = f.entries.iter().filter(|e| e.squat_type.is_none()).count();
+        let frac = none as f64 / f.entries.len() as f64;
+        assert!((frac - 0.91).abs() < 0.03, "non-squatting fraction {frac}");
+    }
+
+    #[test]
+    fn combo_dominates_squatting_entries() {
+        let (f, _) = feed();
+        let combo = f
+            .entries
+            .iter()
+            .filter(|e| e.squat_type == Some(SquatType::Combo))
+            .count();
+        let other_squat = f
+            .entries
+            .iter()
+            .filter(|e| e.squat_type.is_some() && e.squat_type != Some(SquatType::Combo))
+            .count();
+        assert!(combo > other_squat * 20, "combo {combo} vs other {other_squat}");
+    }
+
+    #[test]
+    fn rank_mix_matches_figure6() {
+        let (f, _) = feed();
+        let beyond = f.entries.iter().filter(|e| e.rank == RankBucket::Beyond1M).count();
+        let frac = beyond as f64 / f.entries.len() as f64;
+        assert!((frac - 0.70).abs() < 0.04, "beyond-1M fraction {frac}");
+    }
+
+    #[test]
+    fn still_phishing_rate_top8_near_43_percent() {
+        let (f, reg) = feed();
+        let top8 = f.top8(&reg);
+        let valid = top8.iter().filter(|e| e.still_phishing).count();
+        let rate = valid as f64 / top8.len() as f64;
+        assert!((rate - 0.432).abs() < 0.05, "valid rate {rate}");
+    }
+
+    #[test]
+    fn facebook_more_durable_than_paypal() {
+        // Table 5: facebook 69% valid vs paypal 27%.
+        let (f, reg) = feed();
+        let rate = |label: &str| {
+            let id = reg.by_label(label).unwrap().id;
+            let all: Vec<_> = f.entries.iter().filter(|e| e.brand == id).collect();
+            all.iter().filter(|e| e.still_phishing).count() as f64 / all.len() as f64
+        };
+        assert!(rate("facebook") > rate("paypal") + 0.2);
+    }
+
+    #[test]
+    fn phishing_entries_have_forms_and_mostly_passwords() {
+        let (f, _) = feed();
+        let sample: Vec<_> = f.entries.iter().filter(|e| e.still_phishing).take(50).collect();
+        let mut with_password = 0usize;
+        for e in &sample {
+            let doc = squatphi_html::parse(&e.html);
+            let forms = squatphi_html::extract::extract_forms(&doc);
+            assert!(!forms.is_empty(), "phishing entry {} has no form at all", e.host);
+            if forms.iter().any(|fm| fm.has_password()) {
+                with_password += 1;
+            }
+        }
+        // A small slice are two-step logins (email first, password later);
+        // the rest must ask for a password directly.
+        assert!(
+            with_password * 10 >= sample.len() * 8,
+            "only {with_password}/{} phishing entries have password forms",
+            sample.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let registry = BrandRegistry::paper();
+        let a = GroundTruthFeed::generate(&registry, &FeedConfig::default());
+        let b = GroundTruthFeed::generate(&registry, &FeedConfig::default());
+        assert_eq!(a.entries.len(), b.entries.len());
+        assert_eq!(a.entries[0].host, b.entries[0].host);
+        assert_eq!(a.entries[100].html, b.entries[100].html);
+    }
+}

@@ -1,0 +1,238 @@
+//! A small owned DOM: arena of nodes with parent/child links.
+
+/// Index of a node inside a [`Document`] arena.
+pub type NodeId = usize;
+
+/// An element node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Lower-cased tag name.
+    pub name: String,
+    /// Attributes in source order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Element {
+    /// First value of attribute `name` (lower-case), if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Element with children.
+    Element(Element),
+    /// Text run.
+    Text(String),
+    /// Comment.
+    Comment(String),
+    /// Raw script/style body.
+    Raw {
+        /// `script` or `style`.
+        container: String,
+        /// Body text.
+        body: String,
+    },
+}
+
+/// The parsed document: an arena with implicit root (id 0).
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+    children: Vec<Vec<NodeId>>,
+    parent: Vec<Option<NodeId>>,
+}
+
+impl Document {
+    /// Creates a document containing only the synthetic root.
+    pub fn new() -> Self {
+        let mut d = Document::default();
+        d.nodes.push(Node::Element(Element { name: "#root".into(), attrs: Vec::new() }));
+        d.children.push(Vec::new());
+        d.parent.push(None);
+        d
+    }
+
+    /// The synthetic root id.
+    pub const ROOT: NodeId = 0;
+
+    /// Appends `node` as the last child of `parent`, returning its id.
+    pub fn append(&mut self, parent: NodeId, node: Node) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        self.children.push(Vec::new());
+        self.parent.push(Some(parent));
+        self.children[parent].push(id);
+        id
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Children ids of a node.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id]
+    }
+
+    /// Parent id of a node.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.parent[id]
+    }
+
+    /// Total node count (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Depth-first pre-order traversal from the root.
+    pub fn walk(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let mut stack = vec![Self::ROOT];
+        std::iter::from_fn(move || {
+            let id = stack.pop()?;
+            for &c in self.children[id].iter().rev() {
+                stack.push(c);
+            }
+            Some(id)
+        })
+    }
+
+    /// All element ids with the given tag name.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+        self.walk().filter(move |&id| {
+            matches!(self.node(id), Node::Element(e) if e.name == name)
+        })
+    }
+
+    /// Concatenated text of the subtree under `id` (single spaces between
+    /// runs).
+    pub fn subtree_text(&self, id: NodeId) -> String {
+        let mut parts = Vec::new();
+        self.collect_text(id, &mut parts);
+        parts.join(" ")
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut Vec<String>) {
+        match self.node(id) {
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    out.push(t.to_string());
+                }
+            }
+            Node::Element(_) => {
+                for &c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Serializes the subtree back to HTML (useful for round-trip tests and
+    /// for the synthetic web world's storage).
+    pub fn serialize(&self, id: NodeId) -> String {
+        let mut s = String::new();
+        self.serialize_into(id, &mut s);
+        s
+    }
+
+    fn serialize_into(&self, id: NodeId, out: &mut String) {
+        match self.node(id) {
+            Node::Element(e) => {
+                let root = e.name == "#root";
+                if !root {
+                    out.push('<');
+                    out.push_str(&e.name);
+                    for (k, v) in &e.attrs {
+                        out.push(' ');
+                        out.push_str(k);
+                        out.push_str("=\"");
+                        out.push_str(&v.replace('"', "&quot;"));
+                        out.push('"');
+                    }
+                    out.push('>');
+                }
+                for &c in self.children(id) {
+                    self.serialize_into(c, out);
+                }
+                if !root {
+                    out.push_str("</");
+                    out.push_str(&e.name);
+                    out.push('>');
+                }
+            }
+            Node::Text(t) => out.push_str(t),
+            Node::Comment(c) => {
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+            Node::Raw { container, body } => {
+                out.push('<');
+                out.push_str(container);
+                out.push('>');
+                out.push_str(body);
+                out.push_str("</");
+                out.push_str(container);
+                out.push('>');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_walk() {
+        let mut d = Document::new();
+        let body = d.append(Document::ROOT, Node::Element(Element { name: "body".into(), attrs: vec![] }));
+        let p = d.append(body, Node::Element(Element { name: "p".into(), attrs: vec![] }));
+        d.append(p, Node::Text("hello".into()));
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.walk().count(), 4);
+        assert_eq!(d.parent(p), Some(body));
+        assert_eq!(d.subtree_text(Document::ROOT), "hello");
+    }
+
+    #[test]
+    fn elements_named_filters() {
+        let mut d = Document::new();
+        let b = d.append(Document::ROOT, Node::Element(Element { name: "body".into(), attrs: vec![] }));
+        d.append(b, Node::Element(Element { name: "form".into(), attrs: vec![] }));
+        d.append(b, Node::Element(Element { name: "form".into(), attrs: vec![] }));
+        assert_eq!(d.elements_named("form").count(), 2);
+        assert_eq!(d.elements_named("input").count(), 0);
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let e = Element {
+            name: "input".into(),
+            attrs: vec![("type".into(), "password".into())],
+        };
+        assert_eq!(e.attr("type"), Some("password"));
+        assert_eq!(e.attr("name"), None);
+    }
+
+    #[test]
+    fn serialize_round_structure() {
+        let mut d = Document::new();
+        let p = d.append(Document::ROOT, Node::Element(Element {
+            name: "p".into(),
+            attrs: vec![("class".into(), "x".into())],
+        }));
+        d.append(p, Node::Text("hi".into()));
+        assert_eq!(d.serialize(Document::ROOT), "<p class=\"x\">hi</p>");
+    }
+}

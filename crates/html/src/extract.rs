@@ -1,0 +1,213 @@
+//! Text and form extraction (paper §5.1 "Text-based Lexical Features" and
+//! "Form-based Features").
+
+use crate::dom::{Document, Node};
+
+/// Visible text grouped by the tag classes the paper uses: `h*` headers,
+/// `p` plaintext, `a` hyperlink text, `title`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageText {
+    /// Text inside `h1`..`h6`.
+    pub headers: Vec<String>,
+    /// Text inside `p`.
+    pub paragraphs: Vec<String>,
+    /// Text inside `a`.
+    pub links: Vec<String>,
+    /// Text inside `title`.
+    pub title: Vec<String>,
+}
+
+impl PageText {
+    /// Every extracted string, flattened.
+    pub fn all(&self) -> impl Iterator<Item = &str> {
+        self.headers
+            .iter()
+            .chain(&self.paragraphs)
+            .chain(&self.links)
+            .chain(&self.title)
+            .map(String::as_str)
+    }
+
+    /// Whole-page lower-cased text blob (for substring checks like the
+    /// string-obfuscation measurement in §4.2).
+    pub fn joined_lower(&self) -> String {
+        self.all().collect::<Vec<_>>().join(" ").to_ascii_lowercase()
+    }
+}
+
+/// One submission form and the attributes the paper features on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FormInfo {
+    /// `action` attribute of the form.
+    pub action: String,
+    /// `type` attributes of the form's inputs/buttons.
+    pub input_types: Vec<String>,
+    /// `name` attributes of inputs/buttons.
+    pub input_names: Vec<String>,
+    /// `placeholder` attributes of inputs.
+    pub placeholders: Vec<String>,
+    /// Text/value of submit controls.
+    pub submit_texts: Vec<String>,
+}
+
+impl FormInfo {
+    /// Whether the form asks for a password.
+    pub fn has_password(&self) -> bool {
+        self.input_types.iter().any(|t| t == "password")
+    }
+}
+
+/// Extracts [`PageText`] from a parsed document.
+pub fn extract_text(doc: &Document) -> PageText {
+    let mut out = PageText::default();
+    for id in doc.walk() {
+        if let Node::Element(e) = doc.node(id) {
+            let bucket = match e.name.as_str() {
+                "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => Some(&mut out.headers),
+                "p" => Some(&mut out.paragraphs),
+                "a" => Some(&mut out.links),
+                "title" => Some(&mut out.title),
+                _ => None,
+            };
+            if let Some(bucket) = bucket {
+                let text = doc.subtree_text(id);
+                if !text.is_empty() {
+                    bucket.push(text);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts every form on the page.
+pub fn extract_forms(doc: &Document) -> Vec<FormInfo> {
+    let form_ids: Vec<_> = doc.elements_named("form").collect();
+    let mut out = Vec::with_capacity(form_ids.len());
+    for fid in form_ids {
+        let mut info = FormInfo::default();
+        if let Node::Element(e) = doc.node(fid) {
+            info.action = e.attr("action").unwrap_or("").to_string();
+        }
+        collect_form(doc, fid, &mut info);
+        out.push(info);
+    }
+    out
+}
+
+fn collect_form(doc: &Document, id: usize, info: &mut FormInfo) {
+    for &c in doc.children(id) {
+        if let Node::Element(e) = doc.node(c) {
+            match e.name.as_str() {
+                "input" => {
+                    let ty = e.attr("type").unwrap_or("text").to_ascii_lowercase();
+                    if ty == "submit" {
+                        if let Some(v) = e.attr("value") {
+                            info.submit_texts.push(v.to_string());
+                        }
+                    }
+                    info.input_types.push(ty);
+                    if let Some(n) = e.attr("name") {
+                        info.input_names.push(n.to_string());
+                    }
+                    if let Some(p) = e.attr("placeholder") {
+                        info.placeholders.push(p.to_string());
+                    }
+                }
+                "button" => {
+                    let ty = e.attr("type").unwrap_or("submit").to_ascii_lowercase();
+                    if ty == "submit" {
+                        info.submit_texts.push(doc.subtree_text(c));
+                    }
+                    info.input_types.push(ty);
+                    if let Some(n) = e.attr("name") {
+                        info.input_names.push(n.to_string());
+                    }
+                }
+                "select" | "textarea" => {
+                    info.input_types.push(e.name.clone());
+                    if let Some(n) = e.attr("name") {
+                        info.input_names.push(n.to_string());
+                    }
+                    if let Some(p) = e.attr("placeholder") {
+                        info.placeholders.push(p.to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        collect_form(doc, c, info);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const LOGIN: &str = r#"
+        <html><head><title>Log in to PayPal</title></head><body>
+        <h1>PayPal</h1>
+        <p>Welcome back</p>
+        <a href="/help">Need help?</a>
+        <form action="/signin.php">
+          <input type="email" name="login_email" placeholder="Email or mobile number">
+          <input type="password" name="login_password" placeholder="Password">
+          <button type="submit">Log In</button>
+        </form>
+        </body></html>"#;
+
+    #[test]
+    fn text_buckets_filled() {
+        let t = extract_text(&parse(LOGIN));
+        assert_eq!(t.title, vec!["Log in to PayPal"]);
+        assert_eq!(t.headers, vec!["PayPal"]);
+        assert_eq!(t.paragraphs, vec!["Welcome back"]);
+        assert_eq!(t.links, vec!["Need help?"]);
+        assert!(t.joined_lower().contains("paypal"));
+    }
+
+    #[test]
+    fn form_attributes_extracted() {
+        let forms = extract_forms(&parse(LOGIN));
+        assert_eq!(forms.len(), 1);
+        let f = &forms[0];
+        assert_eq!(f.action, "/signin.php");
+        assert!(f.has_password());
+        assert_eq!(f.input_types, vec!["email", "password", "submit"]);
+        assert_eq!(f.input_names, vec!["login_email", "login_password"]);
+        assert_eq!(f.placeholders, vec!["Email or mobile number", "Password"]);
+        assert_eq!(f.submit_texts, vec!["Log In"]);
+    }
+
+    #[test]
+    fn multiple_forms_counted() {
+        let html = "<form><input type='text'></form><form><input type='password'></form>";
+        let forms = extract_forms(&parse(html));
+        assert_eq!(forms.len(), 2);
+        assert!(!forms[0].has_password());
+        assert!(forms[1].has_password());
+    }
+
+    #[test]
+    fn page_without_forms_or_text() {
+        let d = parse("<div><span>just a span</span></div>");
+        assert!(extract_forms(&d).is_empty());
+        let t = extract_text(&d);
+        assert!(t.headers.is_empty() && t.paragraphs.is_empty());
+    }
+
+    #[test]
+    fn submit_input_value_captured() {
+        let forms = extract_forms(&parse(
+            "<form><input type='submit' value='Sign in'></form>",
+        ));
+        assert_eq!(forms[0].submit_texts, vec!["Sign in"]);
+    }
+
+    #[test]
+    fn nested_h_tags_all_counted() {
+        let t = extract_text(&parse("<h1>A</h1><h2>B</h2><h3>C</h3>"));
+        assert_eq!(t.headers, vec!["A", "B", "C"]);
+    }
+}

@@ -1,0 +1,283 @@
+//! JavaScript obfuscation indicators (paper §4.2 "Code Obfuscation").
+//!
+//! The paper parses page JavaScript into an AST and extracts well-known
+//! obfuscation indicators after FrameHanger: heavy use of string-building
+//! functions (`fromCharCode`, `charCodeAt`), dynamic evaluation (`eval`),
+//! and special-character density. We implement a lightweight JS scanner —
+//! a string-literal-aware tokenizer plus indicator counters — which is all
+//! the measurement needs (and keeps the whole analysis dependency-free).
+
+/// Counters for one script body (or a whole page's scripts combined).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsIndicators {
+    /// `String.fromCharCode` call sites.
+    pub from_char_code: usize,
+    /// `charCodeAt` call sites.
+    pub char_code_at: usize,
+    /// `eval(` call sites.
+    pub eval_calls: usize,
+    /// `unescape(` / `decodeURIComponent(` call sites.
+    pub unescape_calls: usize,
+    /// `document.write(` call sites (classic injection vector).
+    pub document_write: usize,
+    /// Fraction of non-alphanumeric, non-whitespace characters outside
+    /// string literals.
+    pub special_char_ratio: f64,
+    /// Mean Shannon entropy (bits/char) of string literals ≥ 16 chars.
+    pub string_entropy: f64,
+    /// Length of the longest string literal.
+    pub longest_string: usize,
+    /// Total scanned length in bytes.
+    pub code_len: usize,
+}
+
+impl JsIndicators {
+    /// The paper counts a page as code-obfuscated when it carries strong,
+    /// well-known indicators. We use: any dynamic-eval or char-code
+    /// string building, or very high-entropy long literals.
+    pub fn is_obfuscated(&self) -> bool {
+        self.eval_calls > 0
+            || self.from_char_code > 0
+            || self.char_code_at > 0
+            || self.unescape_calls > 0
+            || (self.longest_string >= 64 && self.string_entropy > 5.2)
+    }
+
+    /// Merges counters from another script on the same page.
+    pub fn merge(&mut self, other: &JsIndicators) {
+        let total_len = (self.code_len + other.code_len).max(1) as f64;
+        self.special_char_ratio = (self.special_char_ratio * self.code_len as f64
+            + other.special_char_ratio * other.code_len as f64)
+            / total_len;
+        self.string_entropy = self.string_entropy.max(other.string_entropy);
+        self.from_char_code += other.from_char_code;
+        self.char_code_at += other.char_code_at;
+        self.eval_calls += other.eval_calls;
+        self.unescape_calls += other.unescape_calls;
+        self.document_write += other.document_write;
+        self.longest_string = self.longest_string.max(other.longest_string);
+        self.code_len += other.code_len;
+    }
+}
+
+/// Scans one script body.
+pub fn scan_js(code: &str) -> JsIndicators {
+    let mut ind = JsIndicators { code_len: code.len(), ..JsIndicators::default() };
+    let mut outside = String::with_capacity(code.len());
+    let mut literals: Vec<String> = Vec::new();
+
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            q @ (b'"' | b'\'' | b'`') => {
+                let mut j = i + 1;
+                let mut lit = String::new();
+                while j < bytes.len() && bytes[j] != q {
+                    if bytes[j] == b'\\' && j + 1 < bytes.len() {
+                        lit.push(bytes[j + 1] as char);
+                        j += 2;
+                    } else {
+                        lit.push(bytes[j] as char);
+                        j += 1;
+                    }
+                }
+                literals.push(lit);
+                i = (j + 1).min(bytes.len());
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            c => {
+                outside.push(c as char);
+                i += 1;
+            }
+        }
+    }
+
+    // Call-site counters on code outside string literals.
+    ind.from_char_code = outside.matches("fromCharCode").count();
+    ind.char_code_at = outside.matches("charCodeAt").count();
+    ind.eval_calls = count_calls(&outside, "eval");
+    ind.unescape_calls = count_calls(&outside, "unescape") + count_calls(&outside, "decodeURIComponent");
+    ind.document_write = outside.matches("document.write").count();
+
+    // Special-character density.
+    let total = outside.chars().filter(|c| !c.is_whitespace()).count().max(1);
+    let special = outside
+        .chars()
+        .filter(|c| !c.is_whitespace() && !c.is_ascii_alphanumeric())
+        .count();
+    ind.special_char_ratio = special as f64 / total as f64;
+
+    // String-literal entropy.
+    let mut entropies = Vec::new();
+    for lit in &literals {
+        ind.longest_string = ind.longest_string.max(lit.len());
+        if lit.len() >= 16 {
+            entropies.push(shannon_entropy(lit));
+        }
+    }
+    if !entropies.is_empty() {
+        ind.string_entropy = entropies.iter().sum::<f64>() / entropies.len() as f64;
+    }
+    ind
+}
+
+/// Counts `ident(` call sites with a word boundary before `ident`.
+fn count_calls(code: &str, ident: &str) -> usize {
+    let mut count = 0;
+    let mut from = 0;
+    while let Some(p) = code[from..].find(ident) {
+        let at = from + p;
+        let before_ok = at == 0
+            || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_'
+                && code.as_bytes()[at - 1] != b'.';
+        let after = at + ident.len();
+        let after_ok = code[after..].trim_start().starts_with('(');
+        if before_ok && after_ok {
+            count += 1;
+        }
+        from = after;
+    }
+    count
+}
+
+/// Shannon entropy in bits per character.
+pub fn shannon_entropy(s: &str) -> f64 {
+    if s.is_empty() {
+        return 0.0;
+    }
+    let mut counts = std::collections::HashMap::new();
+    for c in s.chars() {
+        *counts.entry(c).or_insert(0usize) += 1;
+    }
+    let n = s.chars().count() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Scans every script body in a parsed document and merges the counters.
+pub fn scan_document(doc: &crate::dom::Document) -> JsIndicators {
+    let mut merged = JsIndicators::default();
+    for id in doc.walk() {
+        if let crate::dom::Node::Raw { container, body } = doc.node(id) {
+            if container == "script" {
+                merged.merge(&scan_js(body));
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn plain_code_is_clean() {
+        let ind = scan_js("function greet(name) { return 'hello ' + name; }");
+        assert!(!ind.is_obfuscated());
+        assert_eq!(ind.eval_calls, 0);
+    }
+
+    #[test]
+    fn detects_charcode_obfuscation() {
+        let ind = scan_js("var s = String.fromCharCode(112,97,121,112,97,108);");
+        assert_eq!(ind.from_char_code, 1);
+        assert!(ind.is_obfuscated());
+    }
+
+    #[test]
+    fn detects_eval() {
+        let ind = scan_js("eval(atob('cGF5bG9hZA=='));");
+        assert_eq!(ind.eval_calls, 1);
+        assert!(ind.is_obfuscated());
+    }
+
+    #[test]
+    fn eval_inside_string_not_counted() {
+        let ind = scan_js("var msg = 'do not eval(this)';");
+        assert_eq!(ind.eval_calls, 0);
+        assert!(!ind.is_obfuscated());
+    }
+
+    #[test]
+    fn eval_in_identifier_not_counted() {
+        let ind = scan_js("medieval(1); x.prevalent(2); retrieval(3);");
+        assert_eq!(ind.eval_calls, 0);
+    }
+
+    #[test]
+    fn method_eval_not_counted() {
+        // foo.eval( — property access, FrameHanger counts direct eval.
+        let ind = scan_js("sandbox.eval('x')");
+        assert_eq!(ind.eval_calls, 0);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let ind = scan_js("// eval(hidden)\n/* fromCharCode */ var x = 1;");
+        assert_eq!(ind.eval_calls, 0);
+        assert_eq!(ind.from_char_code, 0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_string_is_high() {
+        let h = shannon_entropy("abcdefghijklmnopqrstuvwxyz0123456789");
+        assert!(h > 5.0, "got {h}");
+        assert_eq!(shannon_entropy(""), 0.0);
+        assert_eq!(shannon_entropy("aaaa"), 0.0);
+    }
+
+    #[test]
+    fn high_entropy_long_literal_flags() {
+        let blob: String = (0..200)
+            .map(|i| char::from_u32(33 + (i * 7 % 90) as u32).unwrap())
+            .collect();
+        let ind = scan_js(&format!("var payload = \"{}\";", blob.replace('"', "x").replace('\\', "y")));
+        assert!(ind.longest_string >= 64);
+        assert!(ind.string_entropy > 5.2, "entropy {}", ind.string_entropy);
+        assert!(ind.is_obfuscated());
+    }
+
+    #[test]
+    fn document_scan_merges_scripts() {
+        let doc = parse(
+            "<script>var a = 1;</script><div></div><script>eval('b');</script>",
+        );
+        let ind = scan_document(&doc);
+        assert_eq!(ind.eval_calls, 1);
+        assert!(ind.is_obfuscated());
+    }
+
+    #[test]
+    fn special_char_ratio_sane() {
+        let low = scan_js("var alpha = beta");
+        let high = scan_js("!@#$%^&*(){}[];:<>?");
+        assert!(low.special_char_ratio < high.special_char_ratio);
+        assert!(high.special_char_ratio > 0.9);
+    }
+
+    #[test]
+    fn unescape_and_docwrite_counted() {
+        let ind = scan_js("document.write(unescape('%3Cscript%3E'));");
+        assert_eq!(ind.unescape_calls, 1);
+        assert_eq!(ind.document_write, 1);
+    }
+}

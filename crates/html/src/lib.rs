@@ -1,0 +1,31 @@
+//! HTML substrate: parsing and analysis of (synthetic) web pages.
+//!
+//! The paper's feature pipeline (§4.2, §5.1) reads three things out of a
+//! page's HTML: visible text per tag class, submission-form structure, and
+//! JavaScript obfuscation indicators. This crate implements all three on
+//! top of a permissive from-scratch tokenizer/parser:
+//!
+//! * [`token`] — HTML tokenizer (tags, attributes, text, comments,
+//!   script/style raw-text modes),
+//! * [`dom`] — a small owned DOM tree,
+//! * [`mod@parse`] — tokenizer → DOM with HTML5-ish implicit tag closing,
+//! * [`extract`] — text per tag class (`h*`, `p`, `a`, `title`) and form
+//!   attribute extraction (`type`, `name`, `placeholder`, submit),
+//! * [`js`] — JavaScript scanner for the FrameHanger-style obfuscation
+//!   indicators used in §4.2 (`fromCharCode`, `charCodeAt`, `eval`,
+//!   escape density, string entropy).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod extract;
+pub mod js;
+pub mod parse;
+pub mod token;
+
+pub use dom::{Document, Element, Node, NodeId};
+pub use extract::{FormInfo, PageText};
+pub use js::JsIndicators;
+pub use parse::parse;
+pub use token::{tokenize, Token};

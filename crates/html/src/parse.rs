@@ -1,0 +1,119 @@
+//! Tokenizer → DOM with forgiving tag matching.
+
+use crate::dom::{Document, Element, Node, NodeId};
+use crate::token::{tokenize, Token};
+
+/// Elements that never hold children (void elements).
+fn is_void(name: &str) -> bool {
+    matches!(
+        name,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
+            | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// Parses an HTML string into a [`Document`]. Mismatched or stray close
+/// tags are tolerated: a close tag pops up to its nearest matching open
+/// element, or is ignored if none is open.
+pub fn parse(input: &str) -> Document {
+    let mut doc = Document::new();
+    let mut stack: Vec<(String, NodeId)> = vec![("#root".to_string(), Document::ROOT)];
+    for tok in tokenize(input) {
+        let top = stack.last().expect("stack never empty").1;
+        match tok {
+            Token::StartTag { name, attrs, self_closing } => {
+                let id = doc.append(top, Node::Element(Element { name: name.clone(), attrs }));
+                if !self_closing && !is_void(&name) {
+                    stack.push((name, id));
+                }
+            }
+            Token::EndTag { name } => {
+                if let Some(pos) = stack.iter().rposition(|(n, _)| *n == name) {
+                    if pos > 0 {
+                        stack.truncate(pos);
+                    }
+                }
+            }
+            Token::Text(t) => {
+                doc.append(top, Node::Text(t));
+            }
+            Token::Comment(c) => {
+                doc.append(top, Node::Comment(c));
+            }
+            Token::RawText { container, body } => {
+                // The tokenizer emits StartTag(script) / RawText / EndTag,
+                // so the raw body lands inside the open script element.
+                doc.append(top, Node::Raw { container, body });
+            }
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nests_elements() {
+        let d = parse("<html><body><div><p>one</p><p>two</p></div></body></html>");
+        assert_eq!(d.elements_named("p").count(), 2);
+        let div = d.elements_named("div").next().unwrap();
+        assert_eq!(d.children(div).len(), 2);
+        assert_eq!(d.subtree_text(div), "one two");
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let d = parse("<p>a<br>b<input type='text'>c</p>");
+        let p = d.elements_named("p").next().unwrap();
+        // br, input and three text nodes are siblings under <p>.
+        assert_eq!(d.children(p).len(), 5);
+    }
+
+    #[test]
+    fn recovers_from_unclosed_tags() {
+        let d = parse("<div><p>unclosed<div>inner</div>");
+        assert_eq!(d.elements_named("div").count(), 2);
+        assert!(d.subtree_text(Document::ROOT).contains("inner"));
+    }
+
+    #[test]
+    fn stray_close_tags_ignored() {
+        let d = parse("</div><p>hello</p></span>");
+        assert_eq!(d.elements_named("p").count(), 1);
+        assert_eq!(d.subtree_text(Document::ROOT), "hello");
+    }
+
+    #[test]
+    fn script_raw_body_attached() {
+        let d = parse("<body><script>eval('<p>not markup</p>')</script></body>");
+        assert_eq!(d.elements_named("p").count(), 0, "script body must not parse as HTML");
+        let script = d.elements_named("script").next().unwrap();
+        let raw = d.children(script).first().copied().unwrap();
+        assert!(matches!(d.node(raw), Node::Raw { body, .. } if body.contains("eval")));
+    }
+
+    #[test]
+    fn forms_with_inputs_parse() {
+        let d = parse(
+            "<form action='login.php'><input type='email' placeholder='Email'>\
+             <input type='password' placeholder='Password'>\
+             <button type='submit'>Log In</button></form>",
+        );
+        let form = d.elements_named("form").next().unwrap();
+        assert_eq!(d.elements_named("input").count(), 2);
+        assert_eq!(d.subtree_text(form), "Log In");
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow() {
+        let mut s = String::new();
+        for _ in 0..2000 {
+            s.push_str("<div>");
+        }
+        s.push_str("deep");
+        let d = parse(&s);
+        assert!(d.subtree_text(Document::ROOT).contains("deep"));
+    }
+}

@@ -1,0 +1,290 @@
+//! HTML tokenizer.
+//!
+//! Permissive, allocation-light tokenization: tags with attributes, text,
+//! comments, and raw-text mode for `<script>`/`<style>` contents (whose
+//! bodies must not be parsed as markup).
+
+/// One token of the input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v" ...>` — `self_closing` covers `<br/>`.
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes in source order (names lower-cased).
+        attrs: Vec<(String, String)>,
+        /// `<img/>`-style self-closing syntax.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// Text between tags (entity-decoded for the basic five entities).
+    Text(String),
+    /// `<!-- ... -->` contents.
+    Comment(String),
+    /// `<script>` or `<style>` raw body, tagged with the container name.
+    RawText {
+        /// `script` or `style`.
+        container: String,
+        /// The raw body.
+        body: String,
+    },
+}
+
+/// Decodes the few entities our pipeline meets.
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&nbsp;", " ")
+}
+
+/// Tokenizes an HTML document.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            // Comment?
+            if input[i..].starts_with("<!--") {
+                let end = input[i + 4..].find("-->").map(|p| i + 4 + p);
+                let (body, next) = match end {
+                    Some(e) => (&input[i + 4..e], e + 3),
+                    None => (&input[i + 4..], input.len()),
+                };
+                out.push(Token::Comment(body.to_string()));
+                i = next;
+                continue;
+            }
+            // Doctype / processing instruction: skip to '>'.
+            if input[i..].starts_with("<!") || input[i..].starts_with("<?") {
+                i = input[i..].find('>').map(|p| i + p + 1).unwrap_or(input.len());
+                continue;
+            }
+            // Tag.
+            if let Some((tok, next)) = read_tag(input, i) {
+                let raw_container = match &tok {
+                    Token::StartTag { name, self_closing: false, .. }
+                        if name == "script" || name == "style" =>
+                    {
+                        Some(name.clone())
+                    }
+                    _ => None,
+                };
+                out.push(tok);
+                i = next;
+                if let Some(container) = raw_container {
+                    // Raw-text mode until the matching close tag.
+                    let close = format!("</{container}");
+                    let lower = input[i..].to_ascii_lowercase();
+                    let (body_end, resume) = match lower.find(&close) {
+                        Some(p) => {
+                            let after = input[i + p..]
+                                .find('>')
+                                .map(|q| i + p + q + 1)
+                                .unwrap_or(input.len());
+                            (i + p, after)
+                        }
+                        None => (input.len(), input.len()),
+                    };
+                    out.push(Token::RawText {
+                        container: container.clone(),
+                        body: input[i..body_end].to_string(),
+                    });
+                    out.push(Token::EndTag { name: container });
+                    i = resume;
+                }
+                continue;
+            }
+            // Lone '<' that is not a tag: treat as text.
+            out.push(Token::Text("<".to_string()));
+            i += 1;
+        } else {
+            let end = input[i..].find('<').map(|p| i + p).unwrap_or(input.len());
+            let text = decode_entities(&input[i..end]);
+            if !text.trim().is_empty() {
+                out.push(Token::Text(text));
+            }
+            i = end;
+        }
+    }
+    out
+}
+
+/// Reads a tag starting at `input[start] == '<'`. Returns the token and the
+/// index just past '>'. `None` if this is not a well-formed-enough tag.
+fn read_tag(input: &str, start: usize) -> Option<(Token, usize)> {
+    let rest = &input[start + 1..];
+    let closing = rest.starts_with('/');
+    let name_start = start + 1 + usize::from(closing);
+    let mut j = name_start;
+    let bytes = input.as_bytes();
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'-') {
+        j += 1;
+    }
+    if j == name_start {
+        return None;
+    }
+    let name = input[name_start..j].to_ascii_lowercase();
+    // Scan to '>', respecting quoted attribute values.
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+    let mut k = j;
+    loop {
+        // Skip whitespace.
+        while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if k >= bytes.len() {
+            return Some((finish_tag(name, attrs, closing, self_closing), k));
+        }
+        match bytes[k] {
+            b'>' => return Some((finish_tag(name, attrs, closing, self_closing), k + 1)),
+            b'/' => {
+                self_closing = true;
+                k += 1;
+            }
+            _ => {
+                // Attribute name.
+                let an_start = k;
+                while k < bytes.len()
+                    && !bytes[k].is_ascii_whitespace()
+                    && bytes[k] != b'='
+                    && bytes[k] != b'>'
+                    && bytes[k] != b'/'
+                {
+                    k += 1;
+                }
+                let aname = input[an_start..k].to_ascii_lowercase();
+                // Optional value.
+                while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                let mut avalue = String::new();
+                if k < bytes.len() && bytes[k] == b'=' {
+                    k += 1;
+                    while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                        k += 1;
+                    }
+                    if k < bytes.len() && (bytes[k] == b'"' || bytes[k] == b'\'') {
+                        let quote = bytes[k];
+                        k += 1;
+                        let v_start = k;
+                        while k < bytes.len() && bytes[k] != quote {
+                            k += 1;
+                        }
+                        avalue = decode_entities(&input[v_start..k.min(input.len())]);
+                        k = (k + 1).min(input.len());
+                    } else {
+                        let v_start = k;
+                        while k < bytes.len()
+                            && !bytes[k].is_ascii_whitespace()
+                            && bytes[k] != b'>'
+                        {
+                            k += 1;
+                        }
+                        avalue = decode_entities(&input[v_start..k]);
+                    }
+                }
+                if !aname.is_empty() {
+                    attrs.push((aname, avalue));
+                }
+            }
+        }
+    }
+}
+
+fn finish_tag(name: String, attrs: Vec<(String, String)>, closing: bool, self_closing: bool) -> Token {
+    if closing {
+        Token::EndTag { name }
+    } else {
+        Token::StartTag { name, attrs, self_closing }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_markup() {
+        let toks = tokenize("<html><body><p>Hello</p></body></html>");
+        assert_eq!(toks.len(), 7);
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "html"));
+        assert!(matches!(&toks[3], Token::Text(t) if t == "Hello"));
+        assert!(matches!(&toks[4], Token::EndTag { name } if name == "p"));
+    }
+
+    #[test]
+    fn parses_attributes_all_quote_styles() {
+        let toks = tokenize(r#"<input type="password" name='pw' placeholder=Enter required>"#);
+        let Token::StartTag { name, attrs, .. } = &toks[0] else { panic!("want start tag") };
+        assert_eq!(name, "input");
+        assert_eq!(attrs[0], ("type".into(), "password".into()));
+        assert_eq!(attrs[1], ("name".into(), "pw".into()));
+        assert_eq!(attrs[2], ("placeholder".into(), "Enter".into()));
+        assert_eq!(attrs[3], ("required".into(), "".into()));
+    }
+
+    #[test]
+    fn script_body_is_raw_text() {
+        let toks = tokenize("<script>if (a<b) { eval('x'); }</script><p>after</p>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "script"));
+        let Token::RawText { container, body } = &toks[1] else { panic!("want raw text") };
+        assert_eq!(container, "script");
+        assert!(body.contains("a<b"));
+        assert!(matches!(&toks[2], Token::EndTag { name } if name == "script"));
+        assert!(matches!(&toks[3], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- hidden --><p>x</p>");
+        assert!(matches!(&toks[0], Token::Comment(c) if c.trim() == "hidden"));
+        assert!(matches!(&toks[1], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn self_closing_tags() {
+        let toks = tokenize("<br/><img src='a.png' />");
+        assert!(matches!(&toks[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attrs() {
+        let toks = tokenize("<p title=\"a&amp;b\">x &lt; y</p>");
+        let Token::StartTag { attrs, .. } = &toks[0] else { panic!() };
+        assert_eq!(attrs[0].1, "a&b");
+        assert!(matches!(&toks[1], Token::Text(t) if t == "x < y"));
+    }
+
+    #[test]
+    fn survives_malformed_input() {
+        // Unterminated tag, stray '<', unclosed script.
+        for bad in ["<p", "a < b", "<script>never closed", "<>", "< >", "<p class="] {
+            let _ = tokenize(bad); // must not panic
+        }
+    }
+
+    #[test]
+    fn unclosed_script_consumes_rest() {
+        let toks = tokenize("<script>var x = 1;");
+        assert!(toks.iter().any(|t| matches!(t, Token::RawText { body, .. } if body.contains("var x"))));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let toks = tokenize("<p>  </p>\n  <div>x</div>");
+        assert!(!toks.iter().any(|t| matches!(t, Token::Text(s) if s.trim().is_empty())));
+    }
+}

@@ -1,0 +1,164 @@
+//! Virtual-host HTTP server fronting a [`WebWorld`].
+
+use crate::codec::{find_head_end, Request, Response};
+use squatphi_web::{Device, ServeResult, WebWorld};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::watch;
+
+/// A running world server.
+pub struct WorldServer {
+    addr: SocketAddr,
+    shutdown: watch::Sender<bool>,
+    task: tokio::task::JoinHandle<()>,
+}
+
+impl WorldServer {
+    /// Spawns the server on an ephemeral localhost port. The server keys
+    /// every request on its `Host` header and the user-agent's device
+    /// profile; `snapshot` fixes the point in time being served.
+    pub async fn spawn(world: Arc<WebWorld>, snapshot: u8) -> std::io::Result<WorldServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).await?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = watch::channel(false);
+        let task = tokio::spawn(async move {
+            loop {
+                let mut rx_accept = rx.clone();
+                tokio::select! {
+                    _ = rx_accept.changed() => break,
+                    accepted = listener.accept() => {
+                        let Ok((stream, _)) = accepted else { continue };
+                        let world = world.clone();
+                        tokio::spawn(async move {
+                            let _ = handle_connection(stream, &world, snapshot).await;
+                        });
+                    }
+                }
+            }
+        });
+        Ok(WorldServer { addr, shutdown: tx, task })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and waits for the accept loop to end.
+    pub async fn shutdown(self) {
+        let _ = self.shutdown.send(true);
+        let _ = self.task.await;
+    }
+}
+
+async fn handle_connection(
+    mut stream: TcpStream,
+    world: &WebWorld,
+    snapshot: u8,
+) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        let n = stream.read(&mut chunk).await?;
+        if n == 0 {
+            return Ok(());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if let Some(e) = find_head_end(&buf) {
+            break e;
+        }
+        if buf.len() > 16 * 1024 {
+            return Ok(()); // header flood, drop
+        }
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Ok(()),
+    };
+    let response = match Request::parse(head) {
+        Some(req) => {
+            let device = if req.user_agent.contains("iPhone") || req.user_agent.contains("Mobile")
+            {
+                Device::Mobile
+            } else {
+                Device::Web
+            };
+            match world.serve(&req.host, device, snapshot) {
+                ServeResult::Page(html) => Response::ok(html),
+                ServeResult::Redirect(url) => Response::redirect(url),
+                ServeResult::Unreachable => Response::not_found(),
+            }
+        }
+        None => Response { status: crate::codec::Status::BadRequest, location: None, body: String::new() },
+    };
+    stream.write_all(&response.encode()).await?;
+    stream.shutdown().await.ok();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{fetch, FetchOutcome};
+    use crate::ua;
+    use squatphi_squat::{BrandRegistry, SquatType};
+    use squatphi_web::WorldConfig;
+    use std::net::Ipv4Addr;
+
+    fn world() -> Arc<WebWorld> {
+        let registry = BrandRegistry::with_size(10);
+        let squats = vec![
+            ("paypal-cash.com".to_string(), 0, SquatType::Combo, Ipv4Addr::new(1, 1, 1, 1)),
+            ("faceb00k.pw".to_string(), 1, SquatType::Homograph, Ipv4Addr::new(1, 1, 1, 2)),
+        ];
+        let cfg = WorldConfig { phishing_domains: 2, seed: 3, ..WorldConfig::default() };
+        Arc::new(WebWorld::build(&squats, &registry, &cfg))
+    }
+
+    #[tokio::test]
+    async fn serves_phishing_page_over_tcp() {
+        let server = WorldServer::spawn(world(), 0).await.unwrap();
+        let out = fetch(server.addr(), "paypal-cash.com", ua::WEB, 5).await.unwrap();
+        match out {
+            FetchOutcome::Page { body, .. } => assert!(body.contains("form")),
+            other => panic!("expected page, got {other:?}"),
+        }
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn unknown_host_404s() {
+        let server = WorldServer::spawn(world(), 0).await.unwrap();
+        let out = fetch(server.addr(), "nosuchhost.example", ua::WEB, 5).await.unwrap();
+        assert!(matches!(out, FetchOutcome::Unreachable));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn brand_sites_served() {
+        let server = WorldServer::spawn(world(), 0).await.unwrap();
+        let out = fetch(server.addr(), "paypal.com", ua::MOBILE, 5).await.unwrap();
+        match out {
+            FetchOutcome::Page { body, .. } => assert!(body.contains("paypal")),
+            other => panic!("expected page, got {other:?}"),
+        }
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn parallel_requests_served() {
+        let server = WorldServer::spawn(world(), 0).await.unwrap();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for i in 0..50 {
+            let host = if i % 2 == 0 { "paypal-cash.com" } else { "faceb00k.pw" };
+            handles.push(tokio::spawn(async move { fetch(addr, host, ua::WEB, 5).await }));
+        }
+        for h in handles {
+            assert!(h.await.unwrap().is_ok());
+        }
+        server.shutdown().await;
+    }
+}

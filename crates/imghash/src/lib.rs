@@ -1,0 +1,199 @@
+//! Perceptual image hashing (paper §4.2 "Layout Obfuscation").
+//!
+//! The paper measures layout obfuscation as the Hamming distance between
+//! perceptual hashes of the phishing screenshot and the brand's real page
+//! (Figures 8-9). This crate implements the three classic hashes from
+//! scratch on our [`squatphi_render::Bitmap`]:
+//!
+//! * [`average_hash`] — 8×8 mean-threshold (64-bit),
+//! * [`difference_hash`] — 9×8 horizontal-gradient (64-bit),
+//! * [`perceptual_hash`] — 32×32 2-D DCT, top-left 8×8 low-frequency
+//!   block thresholded at its median (64-bit).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use squatphi_render::Bitmap;
+
+/// A 64-bit perceptual hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ImageHash(pub u64);
+
+impl ImageHash {
+    /// Hamming distance to another hash (0..=64).
+    pub fn distance(&self, other: &ImageHash) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+}
+
+impl std::fmt::Display for ImageHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// 8×8 average hash: each bit is 1 when the cell exceeds the mean.
+pub fn average_hash(bmp: &Bitmap) -> ImageHash {
+    let small = bmp.resample(8, 8);
+    let mean = small.mean();
+    let mut bits = 0u64;
+    for y in 0..8 {
+        for x in 0..8 {
+            if small.get(x, y) as f64 > mean {
+                bits |= 1 << (y * 8 + x);
+            }
+        }
+    }
+    ImageHash(bits)
+}
+
+/// 9×8 difference hash: each bit is 1 when a cell is brighter than its
+/// right neighbor.
+pub fn difference_hash(bmp: &Bitmap) -> ImageHash {
+    let small = bmp.resample(9, 8);
+    let mut bits = 0u64;
+    for y in 0..8 {
+        for x in 0..8 {
+            if small.get(x, y) > small.get(x + 1, y) {
+                bits |= 1 << (y * 8 + x);
+            }
+        }
+    }
+    ImageHash(bits)
+}
+
+/// 2-D DCT-II of an n×n matrix (naive O(n³), fine for n = 32).
+fn dct2d(input: &[f64], n: usize) -> Vec<f64> {
+    // Separable: rows then columns.
+    let mut rows = vec![0.0; n * n];
+    for y in 0..n {
+        for u in 0..n {
+            let mut sum = 0.0;
+            for x in 0..n {
+                sum += input[y * n + x]
+                    * ((std::f64::consts::PI / n as f64) * (x as f64 + 0.5) * u as f64).cos();
+            }
+            rows[y * n + u] = sum;
+        }
+    }
+    let mut out = vec![0.0; n * n];
+    for u in 0..n {
+        for v in 0..n {
+            let mut sum = 0.0;
+            for y in 0..n {
+                sum += rows[y * n + u]
+                    * ((std::f64::consts::PI / n as f64) * (y as f64 + 0.5) * v as f64).cos();
+            }
+            out[v * n + u] = sum;
+        }
+    }
+    out
+}
+
+/// 32×32 DCT perceptual hash. Robust to small translations/rescaling;
+/// the paper's distances (7 / 24 / 38 for increasingly obfuscated pages)
+/// are produced by this family of hashes.
+pub fn perceptual_hash(bmp: &Bitmap) -> ImageHash {
+    const N: usize = 32;
+    let small = bmp.resample(N, N);
+    let input: Vec<f64> = small.pixels().iter().map(|&p| p as f64).collect();
+    let coeffs = dct2d(&input, N);
+    // Top-left 8×8 block, skipping the DC coefficient for the median.
+    let mut block = [0.0f64; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            block[y * 8 + x] = coeffs[y * N + x];
+        }
+    }
+    let mut sorted: Vec<f64> = block[1..].to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite DCT coefficients"));
+    let median = sorted[sorted.len() / 2];
+    let mut bits = 0u64;
+    for (i, &c) in block.iter().enumerate() {
+        if c > median {
+            bits |= 1 << i;
+        }
+    }
+    ImageHash(bits)
+}
+
+/// Convenience: pHash distance between two bitmaps.
+pub fn phash_distance(a: &Bitmap, b: &Bitmap) -> u32 {
+    perceptual_hash(a).distance(&perceptual_hash(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(seed: u8) -> Bitmap {
+        let mut b = Bitmap::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                let v = ((x * 7 + y * 13 + seed as usize * 31) % 256) as u8;
+                b.put(x, y, v);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn identical_images_distance_zero() {
+        let a = textured(1);
+        for h in [average_hash(&a), difference_hash(&a), perceptual_hash(&a)] {
+            assert_eq!(h.distance(&h), 0);
+        }
+    }
+
+    #[test]
+    fn small_perturbation_small_distance() {
+        let a = textured(1);
+        let mut b = a.clone();
+        b.fill_rect(0, 0, 4, 4, 255); // tiny blotch
+        let d = phash_distance(&a, &b);
+        assert!(d <= 10, "tiny change moved hash by {d}");
+    }
+
+    #[test]
+    fn different_textures_large_distance() {
+        let mut a = Bitmap::new(64, 64);
+        a.fill_rect(0, 0, 32, 64, 255); // left half dark
+        let mut b = Bitmap::new(64, 64);
+        b.fill_rect(0, 0, 64, 32, 255); // top half dark
+        let d = phash_distance(&a, &b);
+        assert!(d >= 12, "structurally different images only {d} apart");
+    }
+
+    #[test]
+    fn phash_robust_to_rescale() {
+        let a = textured(3);
+        let bigger = a.resample(128, 128);
+        let d = perceptual_hash(&a).distance(&perceptual_hash(&bigger));
+        assert!(d <= 6, "rescale moved pHash by {d}");
+    }
+
+    #[test]
+    fn ahash_and_dhash_disagree_with_phash_sometimes() {
+        // Not a correctness property, just ensures the three functions are
+        // actually distinct computations.
+        let a = textured(5);
+        let h1 = average_hash(&a).0;
+        let h2 = difference_hash(&a).0;
+        let h3 = perceptual_hash(&a).0;
+        assert!(h1 != h2 || h2 != h3);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let s = ImageHash(0xDEAD_BEEF).to_string();
+        assert_eq!(s, "00000000deadbeef");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let a = perceptual_hash(&textured(1));
+        let b = perceptual_hash(&textured(9));
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert!(a.distance(&b) <= 64);
+    }
+}

@@ -1,0 +1,277 @@
+//! CART decision trees and a seeded random forest.
+//!
+//! Gini-impurity splits on densified features, bagging over bootstrap
+//! samples, and sqrt-feature subsampling per split — the standard Breiman
+//! recipe, which is what Table 7's winning model runs.
+
+use crate::{Classifier, Dataset};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use squatphi_nlp::SparseVec;
+
+/// Random forest hyperparameters.
+#[derive(Debug, Clone)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_split: usize,
+    /// Features tried per split; 0 = sqrt(dim).
+    pub features_per_split: usize,
+    /// Seed for bagging and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig { trees: 50, max_depth: 12, min_split: 4, features_per_split: 0, seed: 97 }
+    }
+}
+
+/// One node of a CART tree, stored in an arena.
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf {
+        /// Positive-class probability at this leaf.
+        p_pos: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A single fitted CART tree.
+#[derive(Debug, Clone, Default)]
+struct Tree {
+    nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    fn score(&self, x: &SparseVec) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.5;
+        }
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                TreeNode::Leaf { p_pos } => return *p_pos,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    at = if x.get(*feature) <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Index-based view of the training data used during tree construction.
+struct Builder<'a> {
+    data: &'a Dataset,
+    cfg: &'a RandomForestConfig,
+    features: usize,
+}
+
+impl Builder<'_> {
+    fn gini(pos: usize, total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let p = pos as f64 / total as f64;
+        2.0 * p * (1.0 - p)
+    }
+
+    fn build(&self, idx: &mut Vec<usize>, depth: usize, rng: &mut StdRng, nodes: &mut Vec<TreeNode>) -> usize {
+        let pos = idx.iter().filter(|&&i| self.data.y(i)).count();
+        let total = idx.len();
+        let make_leaf = |nodes: &mut Vec<TreeNode>| {
+            nodes.push(TreeNode::Leaf { p_pos: if total == 0 { 0.5 } else { pos as f64 / total as f64 } });
+            nodes.len() - 1
+        };
+        if depth >= self.cfg.max_depth || total < self.cfg.min_split || pos == 0 || pos == total {
+            return make_leaf(nodes);
+        }
+        // Feature subsample.
+        let m = if self.cfg.features_per_split == 0 {
+            (self.features as f64).sqrt().ceil() as usize
+        } else {
+            self.cfg.features_per_split
+        }
+        .clamp(1, self.features);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
+        let parent_gini = Self::gini(pos, total);
+        for _ in 0..m {
+            let f = rng.gen_range(0..self.features);
+            // Candidate thresholds: a few sample values of this feature.
+            let mut values: Vec<f64> = idx.iter().take(32).map(|&i| self.data.x(i).get(f)).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            for w in values.windows(2) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let (mut lp, mut lt) = (0usize, 0usize);
+                for &i in idx.iter() {
+                    if self.data.x(i).get(f) <= threshold {
+                        lt += 1;
+                        if self.data.y(i) {
+                            lp += 1;
+                        }
+                    }
+                }
+                let (rt, rp) = (total - lt, pos - lp);
+                if lt == 0 || rt == 0 {
+                    continue;
+                }
+                let impurity = (lt as f64 * Self::gini(lp, lt) + rt as f64 * Self::gini(rp, rt))
+                    / total as f64;
+                if impurity + 1e-12 < best.map(|b| b.2).unwrap_or(parent_gini) {
+                    best = Some((f, threshold, impurity));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            return make_leaf(nodes);
+        };
+        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| self.data.x(i).get(feature) <= threshold);
+        let at = nodes.len();
+        nodes.push(TreeNode::Leaf { p_pos: 0.5 }); // placeholder
+        let left = self.build(&mut left_idx, depth + 1, rng, nodes);
+        let right = self.build(&mut right_idx, depth + 1, rng, nodes);
+        nodes[at] = TreeNode::Split { feature, threshold, left, right };
+        at
+    }
+}
+
+/// The random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    cfg: RandomForestConfig,
+    trees: Vec<Tree>,
+}
+
+impl RandomForest {
+    /// New, unfitted forest.
+    pub fn new(cfg: RandomForestConfig) -> Self {
+        RandomForest { cfg, trees: Vec::new() }
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) {
+        self.trees.clear();
+        if data.is_empty() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        for _ in 0..self.cfg.trees {
+            let bag = data.bootstrap(&mut rng);
+            let builder = Builder { data: &bag, cfg: &self.cfg, features: data.dim() };
+            let mut idx: Vec<usize> = (0..bag.len()).collect();
+            let mut nodes = Vec::new();
+            // The root lands at index 0 because build pushes it first (the
+            // placeholder trick keeps child order stable for splits).
+            builder.build(&mut idx, 0, &mut rng, &mut nodes);
+            self.trees.push(Tree { nodes });
+        }
+    }
+
+    fn score(&self, x: &SparseVec) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        self.trees.iter().map(|t| t.score(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomForest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_ish() -> Dataset {
+        // Positive iff dim0 high XOR dim1 high — needs depth > 1.
+        let mut d = Dataset::new(2);
+        for i in 0..25 {
+            let jitter = (i % 5) as f64 * 0.01;
+            let mut a = SparseVec::new();
+            a.add(0, 1.0 + jitter);
+            d.push(a, true);
+            let mut b = SparseVec::new();
+            b.add(1, 1.0 + jitter);
+            d.push(b, true);
+            let mut c = SparseVec::new();
+            c.add(0, 1.0 + jitter);
+            c.add(1, 1.0 + jitter);
+            d.push(c, false);
+            d.push(SparseVec::new(), false);
+        }
+        d
+    }
+
+    #[test]
+    fn forest_learns_xor() {
+        let mut m = RandomForest::new(RandomForestConfig { trees: 30, ..Default::default() });
+        m.fit(&xor_ish());
+        let mut a = SparseVec::new();
+        a.add(0, 1.0);
+        assert!(m.predict(&a), "dim0-only should be positive");
+        let mut both = SparseVec::new();
+        both.add(0, 1.0);
+        both.add(1, 1.0);
+        assert!(!m.predict(&both), "both-high should be negative");
+        assert!(!m.predict(&SparseVec::new()), "empty should be negative");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = xor_ish();
+        let mut a = RandomForest::new(RandomForestConfig { trees: 10, seed: 5, ..Default::default() });
+        let mut b = RandomForest::new(RandomForestConfig { trees: 10, seed: 5, ..Default::default() });
+        a.fit(&data);
+        b.fit(&data);
+        let mut q = SparseVec::new();
+        q.add(0, 0.7);
+        assert_eq!(a.score(&q), b.score(&q));
+    }
+
+    #[test]
+    fn empty_data_scores_half() {
+        let mut m = RandomForest::new(RandomForestConfig::default());
+        m.fit(&Dataset::new(3));
+        assert_eq!(m.score(&SparseVec::new()), 0.5);
+    }
+
+    #[test]
+    fn pure_class_data_yields_constant() {
+        let mut d = Dataset::new(2);
+        for _ in 0..10 {
+            let mut v = SparseVec::new();
+            v.add(0, 1.0);
+            d.push(v, true);
+        }
+        let mut m = RandomForest::new(RandomForestConfig { trees: 5, ..Default::default() });
+        m.fit(&d);
+        assert!(m.score(&SparseVec::new()) > 0.9);
+    }
+
+    #[test]
+    fn tree_count_matches_config() {
+        let mut m = RandomForest::new(RandomForestConfig { trees: 7, ..Default::default() });
+        m.fit(&xor_ish());
+        assert_eq!(m.tree_count(), 7);
+    }
+}

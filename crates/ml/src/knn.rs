@@ -1,0 +1,113 @@
+//! K-nearest-neighbors with distance-weighted voting.
+
+use crate::{Classifier, Dataset};
+use squatphi_nlp::SparseVec;
+
+/// KNN classifier: memorizes the training set and scores by the
+/// inverse-distance-weighted vote of the k nearest samples.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    train: Vec<(SparseVec, bool)>,
+}
+
+impl Knn {
+    /// New classifier with neighborhood size `k`.
+    pub fn new(k: usize) -> Self {
+        Knn { k: k.max(1), train: Vec::new() }
+    }
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, data: &Dataset) {
+        self.train = data.iter().map(|(x, y)| (x.clone(), y)).collect();
+    }
+
+    fn score(&self, x: &SparseVec) -> f64 {
+        if self.train.is_empty() {
+            return 0.5;
+        }
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, bool)> = self
+            .train
+            .iter()
+            .map(|(t, y)| (t.sq_distance(x), *y))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("distances are finite")
+        });
+        let mut pos = 0.0f64;
+        let mut total = 0.0f64;
+        for &(d, y) in &dists[..k] {
+            let w = 1.0 / (d.sqrt() + 1e-9);
+            total += w;
+            if y {
+                pos += w;
+            }
+        }
+        pos / total
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..10 {
+            let mut p = SparseVec::new();
+            p.add(0, 10.0 + i as f64 * 0.1);
+            d.push(p, true);
+            let mut n = SparseVec::new();
+            n.add(1, 10.0 + i as f64 * 0.1);
+            d.push(n, false);
+        }
+        d
+    }
+
+    #[test]
+    fn votes_with_nearest_cluster() {
+        let mut m = Knn::new(3);
+        m.fit(&clustered());
+        let mut q = SparseVec::new();
+        q.add(0, 10.5);
+        assert!(m.predict(&q));
+        let mut q2 = SparseVec::new();
+        q2.add(1, 10.5);
+        assert!(!m.predict(&q2));
+    }
+
+    #[test]
+    fn exact_match_dominates() {
+        let mut m = Knn::new(5);
+        m.fit(&clustered());
+        let mut q = SparseVec::new();
+        q.add(0, 10.0); // exactly a positive sample
+        assert!(m.score(&q) > 0.9);
+    }
+
+    #[test]
+    fn k_larger_than_train_is_safe() {
+        let mut d = Dataset::new(1);
+        let mut v = SparseVec::new();
+        v.add(0, 1.0);
+        d.push(v, true);
+        let mut m = Knn::new(50);
+        m.fit(&d);
+        let mut q = SparseVec::new();
+        q.add(0, 1.1);
+        assert!(m.predict(&q));
+    }
+
+    #[test]
+    fn unfitted_scores_half() {
+        let m = Knn::new(3);
+        assert_eq!(m.score(&SparseVec::new()), 0.5);
+    }
+}

@@ -1,0 +1,227 @@
+//! Evaluation metrics: confusion matrices, rates, ROC and AUC.
+
+/// Counts of a binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from (score, label) pairs at `threshold`.
+    pub fn at_threshold(scored: &[(f64, bool)], threshold: f64) -> Self {
+        let mut m = ConfusionMatrix::default();
+        for &(score, label) in scored {
+            let predicted = score >= threshold;
+            match (predicted, label) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// False-positive rate: FP / (FP + TN).
+    pub fn fpr(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 { 0.0 } else { self.fp as f64 / denom as f64 }
+    }
+
+    /// False-negative rate: FN / (FN + TP).
+    pub fn fnr(&self) -> f64 {
+        let denom = self.fn_ + self.tp;
+        if denom == 0 { 0.0 } else { self.fn_ as f64 / denom as f64 }
+    }
+
+    /// True-positive rate (recall).
+    pub fn tpr(&self) -> f64 {
+        1.0 - self.fnr()
+    }
+
+    /// Accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 { 0.0 } else { (self.tp + self.tn) as f64 / total as f64 }
+    }
+
+    /// Precision: TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 { 0.0 } else { self.tp as f64 / denom as f64 }
+    }
+}
+
+/// A full ROC curve: (FPR, TPR) points sorted by FPR.
+#[derive(Debug, Clone, Default)]
+pub struct RocCurve {
+    /// Curve points from (0,0) to (1,1).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl RocCurve {
+    /// Computes the curve by sweeping the threshold over every distinct
+    /// score.
+    pub fn from_scores(scored: &[(f64, bool)]) -> Self {
+        let pos = scored.iter().filter(|(_, y)| *y).count();
+        let neg = scored.len() - pos;
+        if pos == 0 || neg == 0 {
+            return RocCurve { points: vec![(0.0, 0.0), (1.0, 1.0)] };
+        }
+        let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+        sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        let mut points = vec![(0.0, 0.0)];
+        let (mut tp, mut fp) = (0usize, 0usize);
+        let mut i = 0;
+        while i < sorted.len() {
+            // Process ties together so the curve is threshold-faithful.
+            let s = sorted[i].0;
+            while i < sorted.len() && sorted[i].0 == s {
+                if sorted[i].1 {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push((fp as f64 / neg as f64, tp as f64 / pos as f64));
+        }
+        if *points.last().expect("nonempty") != (1.0, 1.0) {
+            points.push((1.0, 1.0));
+        }
+        RocCurve { points }
+    }
+
+    /// Area under the curve (trapezoidal).
+    pub fn auc(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                (x1 - x0) * (y0 + y1) / 2.0
+            })
+            .sum()
+    }
+
+    /// The TPR at the largest FPR ≤ `fpr` (for "TPR at 1% FPR" summaries).
+    pub fn tpr_at_fpr(&self, fpr: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|(x, _)| *x <= fpr)
+            .map(|(_, y)| *y)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The Table 7 row: FP rate, FN rate, AUC, accuracy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Metrics {
+    /// False-positive rate at the chosen threshold.
+    pub fpr: f64,
+    /// False-negative rate at the chosen threshold.
+    pub fnr: f64,
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// Accuracy at the chosen threshold.
+    pub accuracy: f64,
+}
+
+impl Metrics {
+    /// Computes all four from pooled (score, label) pairs.
+    pub fn from_scores(scored: &[(f64, bool)], threshold: f64) -> Self {
+        let cm = ConfusionMatrix::at_threshold(scored, threshold);
+        let roc = RocCurve::from_scores(scored);
+        Metrics { fpr: cm.fpr(), fnr: cm.fnr(), auc: roc.auc(), accuracy: cm.accuracy() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect() -> Vec<(f64, bool)> {
+        (0..50)
+            .map(|i| if i % 2 == 0 { (0.9, true) } else { (0.1, false) })
+            .collect()
+    }
+
+    fn random_like() -> Vec<(f64, bool)> {
+        (0..100)
+            .map(|i| (((i * 37) % 100) as f64 / 100.0, i % 2 == 0))
+            .collect()
+    }
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let m = Metrics::from_scores(&perfect(), 0.5);
+        assert_eq!(m.fpr, 0.0);
+        assert_eq!(m.fnr, 0.0);
+        assert_eq!(m.accuracy, 1.0);
+        assert!((m.auc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_classifier_auc_near_half() {
+        let roc = RocCurve::from_scores(&random_like());
+        let auc = roc.auc();
+        assert!((auc - 0.5).abs() < 0.15, "auc {auc}");
+    }
+
+    #[test]
+    fn inverted_classifier_auc_below_half() {
+        let scored: Vec<(f64, bool)> = perfect().into_iter().map(|(s, y)| (1.0 - s, y)).collect();
+        assert!(RocCurve::from_scores(&scored).auc() < 0.1);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let scored = vec![(0.9, true), (0.8, false), (0.2, true), (0.1, false)];
+        let cm = ConfusionMatrix::at_threshold(&scored, 0.5);
+        assert_eq!(cm, ConfusionMatrix { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(cm.fpr(), 0.5);
+        assert_eq!(cm.fnr(), 0.5);
+        assert_eq!(cm.accuracy(), 0.5);
+        assert_eq!(cm.precision(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_all_one_class() {
+        let all_pos: Vec<(f64, bool)> = (0..10).map(|i| (i as f64 / 10.0, true)).collect();
+        let roc = RocCurve::from_scores(&all_pos);
+        assert_eq!(roc.points, vec![(0.0, 0.0), (1.0, 1.0)]);
+        let cm = ConfusionMatrix::at_threshold(&all_pos, 0.5);
+        assert_eq!(cm.fpr(), 0.0); // no negatives
+    }
+
+    #[test]
+    fn roc_monotonic() {
+        let roc = RocCurve::from_scores(&random_like());
+        for w in roc.points.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn tpr_at_fpr_bounds() {
+        let roc = RocCurve::from_scores(&perfect());
+        assert!((roc.tpr_at_fpr(0.0) - 1.0).abs() < 1e-12);
+        let roc2 = RocCurve::from_scores(&random_like());
+        assert!(roc2.tpr_at_fpr(0.1) <= roc2.tpr_at_fpr(0.5));
+    }
+
+    #[test]
+    fn tied_scores_handled() {
+        let scored = vec![(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        let roc = RocCurve::from_scores(&scored);
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,19 @@
+//! NLP substrate — the NLTK substitute (paper §5.2).
+//!
+//! The feature pipeline tokenizes raw text (HTML text, OCR output, form
+//! attributes), removes stopwords, spell-corrects OCR typos against a
+//! task dictionary (`passwod` → `password`), and embeds keyword
+//! frequencies plus numeric features into sparse vectors for the
+//! classifiers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod embed;
+pub mod spell;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use embed::{FeatureSpace, SparseVec};
+pub use spell::SpellChecker;
+pub use tokenize::{remove_stopwords, tokenize, STOPWORDS};

@@ -1,0 +1,196 @@
+//! Dictionary spell checker for OCR-error correction (paper §5.2:
+//! "Tesseract sometimes introduces errors such as passwod, which can be
+//! easily corrected to password by a spell checker").
+
+use std::collections::HashMap;
+
+/// The task dictionary: phishing-salient keywords the feature pipeline
+/// cares about. Brand names are added per-registry at construction.
+pub const BASE_DICTIONARY: &[&str] = &[
+    "account", "address", "agree", "bank", "billing", "card", "cash", "click", "confirm",
+    "continue", "create", "credentials", "credit", "customer", "debit", "details", "email",
+    "enter", "forgot", "free", "help", "here", "home", "identity", "invoice", "limited",
+    "log", "login", "member", "mobile", "money", "name", "number", "offer", "online",
+    "password", "pay", "payment", "phone", "please", "prize", "register", "reset", "secure",
+    "security", "sign", "signin", "submit", "support", "suspended", "transfer", "update",
+    "upgrade", "urgent", "username", "verify", "wallet", "welcome", "win", "your",
+];
+
+/// Edit-distance-≤2 spell checker over a fixed dictionary with
+/// frequency-free nearest-match semantics (ties break to the shorter,
+/// then lexicographically smaller word — deterministic).
+#[derive(Debug, Clone)]
+pub struct SpellChecker {
+    words: Vec<String>,
+    exact: HashMap<String, usize>,
+    max_distance: usize,
+}
+
+impl SpellChecker {
+    /// Builds a checker over [`BASE_DICTIONARY`] plus `extra` words
+    /// (typically brand labels).
+    pub fn new<I, S>(extra: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut words: Vec<String> = BASE_DICTIONARY.iter().map(|w| w.to_string()).collect();
+        for w in extra {
+            let w = w.as_ref().to_ascii_lowercase();
+            if !w.is_empty() {
+                words.push(w);
+            }
+        }
+        words.sort();
+        words.dedup();
+        let exact = words.iter().enumerate().map(|(i, w)| (w.clone(), i)).collect();
+        SpellChecker { words, exact, max_distance: 2 }
+    }
+
+    /// Number of dictionary words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Whether `word` is a dictionary word.
+    pub fn contains(&self, word: &str) -> bool {
+        self.exact.contains_key(word)
+    }
+
+    /// Corrects a token: exact dictionary hits and very short tokens pass
+    /// through; otherwise the nearest dictionary word within distance 2
+    /// (scaled down to 1 for tokens of length ≤ 4) is returned; tokens
+    /// with no near word pass through unchanged.
+    pub fn correct<'a>(&'a self, word: &'a str) -> &'a str {
+        if word.len() <= 2 || self.contains(word) {
+            return word;
+        }
+        let budget = if word.len() <= 4 { 1 } else { self.max_distance };
+        let mut best: Option<(&str, usize)> = None;
+        for w in &self.words {
+            // Cheap length gate.
+            if w.len().abs_diff(word.len()) > budget {
+                continue;
+            }
+            let d = bounded_levenshtein(word, w, budget);
+            if let Some(d) = d {
+                let better = match best {
+                    None => true,
+                    Some((bw, bd)) => d < bd || (d == bd && (w.len(), w.as_str()) < (bw.len(), bw)),
+                };
+                if better {
+                    best = Some((w, d));
+                }
+            }
+        }
+        best.map(|(w, _)| w).unwrap_or(word)
+    }
+
+    /// Corrects a whole token stream in place.
+    pub fn correct_all(&self, tokens: &[String]) -> Vec<String> {
+        tokens.iter().map(|t| self.correct(t).to_string()).collect()
+    }
+}
+
+/// Levenshtein distance capped at `budget`; `None` when it exceeds it.
+fn bounded_levenshtein(a: &str, b: &str, budget: usize) -> Option<usize> {
+    let a: Vec<u8> = a.bytes().collect();
+    let b: Vec<u8> = b.bytes().collect();
+    if a.len().abs_diff(b.len()) > budget {
+        return None;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 0..a.len() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for j in 0..b.len() {
+            let cost = usize::from(a[i] != b[j]);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > budget {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[b.len()] <= budget).then_some(prev[b.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> SpellChecker {
+        SpellChecker::new(["paypal", "facebook", "google"])
+    }
+
+    #[test]
+    fn paper_example_passwod() {
+        assert_eq!(checker().correct("passwod"), "password");
+    }
+
+    #[test]
+    fn exact_words_pass_through() {
+        let c = checker();
+        assert_eq!(c.correct("password"), "password");
+        assert_eq!(c.correct("paypal"), "paypal");
+    }
+
+    #[test]
+    fn brand_typos_corrected() {
+        let c = checker();
+        assert_eq!(c.correct("paypol"), "paypal");
+        assert_eq!(c.correct("facebok"), "facebook");
+    }
+
+    #[test]
+    fn unknown_tokens_unchanged() {
+        let c = checker();
+        assert_eq!(c.correct("zxqwvk"), "zxqwvk");
+        assert_eq!(c.correct("blockchainstuff"), "blockchainstuff");
+    }
+
+    #[test]
+    fn short_tokens_untouched() {
+        let c = checker();
+        assert_eq!(c.correct("ok"), "ok");
+        assert_eq!(c.correct("a"), "a");
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let c = checker();
+        let first = c.correct("sign");
+        for _ in 0..5 {
+            assert_eq!(c.correct("sign"), first);
+        }
+    }
+
+    #[test]
+    fn correct_all_streams() {
+        let c = checker();
+        let toks: Vec<String> = ["enter", "yur", "passwod"].iter().map(|s| s.to_string()).collect();
+        let fixed = c.correct_all(&toks);
+        assert_eq!(fixed[2], "password");
+    }
+
+    #[test]
+    fn bounded_levenshtein_honors_budget() {
+        assert_eq!(bounded_levenshtein("abc", "abd", 2), Some(1));
+        assert_eq!(bounded_levenshtein("abc", "xyz", 2), None);
+        assert_eq!(bounded_levenshtein("same", "same", 0), Some(0));
+    }
+
+    #[test]
+    fn dictionary_dedupes() {
+        let c = SpellChecker::new(["password", "password", "login"]);
+        let n = c.len();
+        assert_eq!(n, BASE_DICTIONARY.len()); // both extras already present
+    }
+}

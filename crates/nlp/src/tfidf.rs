@@ -1,0 +1,126 @@
+//! TF-IDF re-weighting of keyword-count vectors.
+//!
+//! The paper embeds raw keyword frequencies (§5.2). A common refinement —
+//! and a natural ablation for the classifier — is inverse-document-
+//! frequency weighting, which damps ubiquitous words ("account",
+//! "email") relative to rare, discriminative ones. This module fits IDF
+//! weights on a corpus of sparse vectors and rescales new vectors.
+
+use crate::embed::SparseVec;
+
+/// Fitted inverse-document-frequency weights.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    /// Smoothed IDF per dimension (`ln((1+N)/(1+df)) + 1`).
+    idf: Vec<f64>,
+    documents: usize,
+}
+
+impl TfIdf {
+    /// Fits IDF weights over a corpus. `dim` bounds the dimensions
+    /// considered; entries beyond it keep weight 1.0.
+    pub fn fit<'a, I>(corpus: I, dim: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a SparseVec>,
+    {
+        let mut df = vec![0usize; dim];
+        let mut documents = 0usize;
+        for v in corpus {
+            documents += 1;
+            for &(i, value) in v.entries() {
+                if i < dim && value > 0.0 {
+                    df[i] += 1;
+                }
+            }
+        }
+        let idf = df
+            .iter()
+            .map(|&d| ((1.0 + documents as f64) / (1.0 + d as f64)).ln() + 1.0)
+            .collect();
+        TfIdf { idf, documents }
+    }
+
+    /// Number of documents the weights were fitted on.
+    pub fn documents(&self) -> usize {
+        self.documents
+    }
+
+    /// The IDF weight of one dimension (1.0 when out of range).
+    pub fn idf(&self, dim: usize) -> f64 {
+        self.idf.get(dim).copied().unwrap_or(1.0)
+    }
+
+    /// Re-weights a count vector: each entry becomes `count × idf`.
+    pub fn transform(&self, v: &SparseVec) -> SparseVec {
+        let mut out = SparseVec::new();
+        for &(i, value) in v.entries() {
+            out.add(i, value * self.idf(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(entries: &[(usize, f64)]) -> SparseVec {
+        let mut v = SparseVec::new();
+        for &(i, val) in entries {
+            v.add(i, val);
+        }
+        v
+    }
+
+    #[test]
+    fn ubiquitous_dims_get_lower_weight() {
+        // Dim 0 appears in every document; dim 1 in one.
+        let corpus = vec![
+            vec_of(&[(0, 1.0), (1, 1.0)]),
+            vec_of(&[(0, 2.0)]),
+            vec_of(&[(0, 1.0)]),
+            vec_of(&[(0, 3.0)]),
+        ];
+        let model = TfIdf::fit(corpus.iter(), 2);
+        assert_eq!(model.documents(), 4);
+        assert!(model.idf(1) > model.idf(0), "rare dim must outweigh common dim");
+    }
+
+    #[test]
+    fn transform_scales_counts() {
+        let corpus = vec![vec_of(&[(0, 1.0)]), vec_of(&[(1, 1.0)])];
+        let model = TfIdf::fit(corpus.iter(), 2);
+        let t = model.transform(&vec_of(&[(0, 2.0), (1, 3.0)]));
+        assert!((t.get(0) - 2.0 * model.idf(0)).abs() < 1e-12);
+        assert!((t.get(1) - 3.0 * model.idf(1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_dims_pass_through() {
+        let corpus = vec![vec_of(&[(0, 1.0)])];
+        let model = TfIdf::fit(corpus.iter(), 1);
+        let t = model.transform(&vec_of(&[(9, 4.0)]));
+        assert_eq!(t.get(9), 4.0);
+    }
+
+    #[test]
+    fn empty_corpus_is_neutral_enough() {
+        let model = TfIdf::fit(std::iter::empty(), 4);
+        assert_eq!(model.documents(), 0);
+        // ln(1/1) + 1 = 1.0 everywhere.
+        for d in 0..4 {
+            assert!((model.idf(d) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_are_finite_and_positive() {
+        let corpus: Vec<SparseVec> =
+            (0..50).map(|i| vec_of(&[(i % 7, 1.0), (3, 1.0)])).collect();
+        let model = TfIdf::fit(corpus.iter(), 8);
+        for d in 0..8 {
+            let w = model.idf(d);
+            assert!(w.is_finite() && w > 0.0, "idf({d}) = {w}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Tokenization and stopword removal.
+
+/// A compact English stopword list (the usual function words NLTK drops;
+/// we keep task-relevant words like "please" which carry phishing signal).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "all", "am", "an", "and", "any", "are", "as",
+    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
+    "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most",
+    "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other",
+    "our", "ours", "out", "over", "own", "same", "she", "should", "so", "some", "such",
+    "than", "that", "the", "their", "them", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
+    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "you",
+    "your", "yours",
+];
+
+/// Splits text into lower-cased alphanumeric tokens. Digits are kept
+/// (``faceb00k`` must survive as one token); punctuation splits.
+///
+/// ```
+/// use squatphi_nlp::tokenize;
+/// assert_eq!(tokenize("Email, or Phone?"), vec!["email", "or", "phone"]);
+/// assert_eq!(tokenize("faceb00k.pw"), vec!["faceb00k", "pw"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() {
+            cur.push(c.to_ascii_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Removes stopwords from a token stream.
+pub fn remove_stopwords(tokens: Vec<String>) -> Vec<String> {
+    tokens
+        .into_iter()
+        .filter(|t| !STOPWORDS.contains(&t.as_str()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_mixed_text() {
+        assert_eq!(
+            tokenize("Please enter your Password!"),
+            vec!["please", "enter", "your", "password"]
+        );
+    }
+
+    #[test]
+    fn keeps_digits_in_tokens() {
+        assert_eq!(tokenize("goog1e faceb00k"), vec!["goog1e", "faceb00k"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!@# $%^").is_empty());
+    }
+
+    #[test]
+    fn stopwords_removed() {
+        let toks = remove_stopwords(tokenize("enter your password to continue"));
+        assert_eq!(toks, vec!["enter", "password", "continue"]);
+    }
+
+    #[test]
+    fn please_is_kept() {
+        // "please enter your password" is a phishing-placeholder signature;
+        // "please" must survive stopword removal.
+        let toks = remove_stopwords(tokenize("please sign in"));
+        assert!(toks.contains(&"please".to_string()));
+    }
+
+    #[test]
+    fn stopword_list_sorted_unique() {
+        let mut v = STOPWORDS.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), STOPWORDS.len());
+    }
+}

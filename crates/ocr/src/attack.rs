@@ -1,0 +1,172 @@
+//! Adversarial-noise attacks against the OCR channel (paper §5.1,
+//! "Discussions on the Feature Robustness").
+//!
+//! The paper argues OCR features are hard to evade: attackers can only
+//! perturb the images they control (logos), the perturbation must stay
+//! visually small or the page stops deceiving users, and OCR's
+//! segmentation + matching stages absorb small noise. This module makes
+//! that argument measurable: seeded pixel-noise attacks at increasing
+//! budgets, plus a recovery-rate harness.
+
+use crate::{recognize, OcrConfig, OcrResult};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use squatphi_render::Bitmap;
+
+/// An attack budget: what fraction of pixels the attacker may perturb and
+/// by how much. Perceptibility grows with both knobs — at high settings
+/// the page visibly degrades, which is exactly the attacker's bind.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseBudget {
+    /// Fraction of pixels perturbed (0.0..=1.0).
+    pub density: f64,
+    /// Maximum absolute intensity change per perturbed pixel.
+    pub amplitude: u8,
+}
+
+impl NoiseBudget {
+    /// A barely-perceptible perturbation.
+    pub fn subtle() -> Self {
+        NoiseBudget { density: 0.02, amplitude: 40 }
+    }
+
+    /// Noticeable speckling.
+    pub fn moderate() -> Self {
+        NoiseBudget { density: 0.10, amplitude: 90 }
+    }
+
+    /// Visibly damaged page.
+    pub fn heavy() -> Self {
+        NoiseBudget { density: 0.25, amplitude: 200 }
+    }
+}
+
+/// Applies seeded salt-and-pepper noise to a copy of the screenshot.
+pub fn perturb(bmp: &Bitmap, budget: NoiseBudget, seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Bitmap::new(bmp.width(), bmp.height());
+    for y in 0..bmp.height() {
+        for x in 0..bmp.width() {
+            let v = bmp.get(x, y);
+            let v = if rng.gen_bool(budget.density.clamp(0.0, 1.0)) {
+                let delta = rng.gen_range(0..=budget.amplitude as i32);
+                if rng.gen_bool(0.5) {
+                    v.saturating_add(delta as u8)
+                } else {
+                    v.saturating_sub(delta as u8)
+                }
+            } else {
+                v
+            };
+            out.put(x, y, v);
+        }
+    }
+    out
+}
+
+/// Runs OCR on the perturbed screenshot.
+pub fn recognize_under_attack(
+    bmp: &Bitmap,
+    budget: NoiseBudget,
+    attack_seed: u64,
+    config: &OcrConfig,
+) -> OcrResult {
+    recognize(&perturb(bmp, budget, attack_seed), config)
+}
+
+/// Fraction of `targets` still present in the OCR output after the
+/// attack — the recovery rate the robustness argument rests on.
+pub fn recovery_rate(
+    bmp: &Bitmap,
+    targets: &[&str],
+    budget: NoiseBudget,
+    attack_seed: u64,
+    config: &OcrConfig,
+) -> f64 {
+    if targets.is_empty() {
+        return 1.0;
+    }
+    let text = recognize_under_attack(bmp, budget, attack_seed, config).joined();
+    let hit = targets.iter().filter(|t| text.contains(&t.to_ascii_lowercase())).count();
+    hit as f64 / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squatphi_html::parse;
+    use squatphi_render::{render_page, RenderOptions};
+
+    fn screenshot() -> Bitmap {
+        render_page(
+            &parse(
+                "<body><h1>paypal</h1><p>please enter your password to continue</p>\
+                 <form><input type='password' placeholder='password'>\
+                 <button type='submit'>log in</button></form></body>",
+            ),
+            &RenderOptions::default(),
+        )
+    }
+
+    fn noiseless() -> OcrConfig {
+        OcrConfig { char_error_rate: 0.0, ..OcrConfig::default() }
+    }
+
+    #[test]
+    fn subtle_noise_does_not_break_ocr() {
+        let bmp = screenshot();
+        let rate = recovery_rate(&bmp, &["paypal", "password"], NoiseBudget::subtle(), 1, &noiseless());
+        assert_eq!(rate, 1.0, "subtle noise must not defeat OCR");
+    }
+
+    #[test]
+    fn moderate_noise_mostly_survives() {
+        let bmp = screenshot();
+        let mut total = 0.0;
+        for seed in 0..5 {
+            total += recovery_rate(
+                &bmp,
+                &["paypal", "password"],
+                NoiseBudget::moderate(),
+                seed,
+                &noiseless(),
+            );
+        }
+        assert!(total / 5.0 >= 0.7, "moderate noise recovery {}", total / 5.0);
+    }
+
+    #[test]
+    fn heavy_noise_degrades_recognition() {
+        // The attacker *can* beat OCR — at the cost of a page too damaged
+        // to deceive anyone. The budget/monotonicity is the point.
+        let bmp = screenshot();
+        let subtle = recovery_rate(&bmp, &["paypal", "password"], NoiseBudget::subtle(), 3, &noiseless());
+        let heavy = recovery_rate(&bmp, &["paypal", "password"], NoiseBudget::heavy(), 3, &noiseless());
+        assert!(heavy <= subtle);
+    }
+
+    #[test]
+    fn perturb_is_deterministic_and_bounded() {
+        let bmp = screenshot();
+        let a = perturb(&bmp, NoiseBudget::moderate(), 9);
+        let b = perturb(&bmp, NoiseBudget::moderate(), 9);
+        assert_eq!(a, b);
+        let c = perturb(&bmp, NoiseBudget::moderate(), 10);
+        assert_ne!(a, c, "different seeds must differ");
+        assert_eq!(a.width(), bmp.width());
+        assert_eq!(a.height(), bmp.height());
+    }
+
+    #[test]
+    fn zero_density_is_identity() {
+        let bmp = screenshot();
+        let same = perturb(&bmp, NoiseBudget { density: 0.0, amplitude: 255 }, 1);
+        assert_eq!(same, bmp);
+    }
+
+    #[test]
+    fn empty_targets_trivially_recover() {
+        let bmp = screenshot();
+        assert_eq!(recovery_rate(&bmp, &[], NoiseBudget::heavy(), 1, &noiseless()), 1.0);
+    }
+}

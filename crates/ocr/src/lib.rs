@@ -1,0 +1,366 @@
+//! OCR substrate — the Tesseract substitute (paper §5.1).
+//!
+//! The paper's key feature novelty is extracting text from page
+//! *screenshots* so HTML-level obfuscation can't hide phishing keywords.
+//! This crate recognizes text out of [`squatphi_render::Bitmap`]s:
+//!
+//! 1. **Threshold** — decoration ink stays below 140, text at 255, so a
+//!    threshold at 200 isolates glyph pixels (the analogue of Tesseract's
+//!    adaptive binarization),
+//! 2. **Segment** — horizontal projection finds text bands; each band is
+//!    scanned for glyph-sized cells at each of the renderer's integer
+//!    scales,
+//! 3. **Match** — each cell is template-matched against the font atlas;
+//!    the best glyph under a mismatch budget wins,
+//! 4. **Noise** — a seeded error model flips recognized characters to
+//!    visually-near neighbors at a configurable rate (Tesseract's reported
+//!    error is ≤3%; the spell-checking stage downstream exists to absorb
+//!    exactly these errors).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use squatphi_render::font::{charset_char, ADVANCE, CHARSET, GLYPHS, GLYPH_H, GLYPH_W};
+use squatphi_render::Bitmap;
+
+/// OCR engine configuration.
+#[derive(Debug, Clone)]
+pub struct OcrConfig {
+    /// Pixel intensity at or above which a pixel counts as glyph ink.
+    pub threshold: u8,
+    /// Per-character probability of a recognition error (0.0..1.0).
+    pub char_error_rate: f64,
+    /// Seed for the error model.
+    pub seed: u64,
+    /// Maximum mismatching pixels tolerated per 5×7 template cell.
+    pub mismatch_budget: u32,
+}
+
+impl Default for OcrConfig {
+    fn default() -> Self {
+        // 3% matches the Tesseract accuracy the paper cites.
+        OcrConfig { threshold: 200, char_error_rate: 0.03, seed: 0x0C5, mismatch_budget: 4 }
+    }
+}
+
+/// A recognized line of text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OcrLine {
+    /// Recognized characters.
+    pub text: String,
+    /// Top y coordinate of the band.
+    pub y: usize,
+    /// Glyph scale detected for the band.
+    pub scale: usize,
+}
+
+/// Full OCR output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OcrResult {
+    /// Lines in top-to-bottom order.
+    pub lines: Vec<OcrLine>,
+}
+
+impl OcrResult {
+    /// All recognized text joined with spaces, lower-case.
+    pub fn joined(&self) -> String {
+        self.lines
+            .iter()
+            .map(|l| l.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+            .to_ascii_lowercase()
+    }
+}
+
+/// Characters that look alike at 5×7 — the error model swaps within these
+/// groups, mimicking real OCR confusion patterns.
+const CONFUSION_GROUPS: &[&str] = &["o0", "l1i", "rn", "cl", "vu", "s5", "gq", "b8", "z2"];
+
+/// Runs OCR over a bitmap.
+pub fn recognize(bmp: &Bitmap, config: &OcrConfig) -> OcrResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut lines = Vec::new();
+
+    // Find text bands: contiguous runs of rows containing ink.
+    let mut y = 0usize;
+    while y < bmp.height() {
+        if !row_has_ink(bmp, y, config.threshold) {
+            y += 1;
+            continue;
+        }
+        let band_top = y;
+        while y < bmp.height() && row_has_ink(bmp, y, config.threshold) {
+            y += 1;
+        }
+        let band_h = y - band_top;
+        // Try renderer scales; a band of height ~7*s belongs to scale s.
+        let scale = (band_h / GLYPH_H).clamp(1, 4);
+        if band_h < GLYPH_H {
+            continue; // sub-glyph noise
+        }
+        if let Some(text) = read_band(bmp, band_top, scale, config, &mut rng) {
+            if !text.trim().is_empty() {
+                lines.push(OcrLine { text, y: band_top, scale });
+            }
+        }
+    }
+    OcrResult { lines }
+}
+
+fn row_has_ink(bmp: &Bitmap, y: usize, threshold: u8) -> bool {
+    (0..bmp.width()).any(|x| bmp.get(x, y) >= threshold)
+}
+
+/// Reads one band as a line of glyphs at `scale`, trying several grid
+/// phases: glyphs like `i` have a blank leftmost column, so the first ink
+/// pixel does not necessarily sit on the glyph-cell boundary. The phase
+/// producing the fewest unrecognized cells wins.
+fn read_band(
+    bmp: &Bitmap,
+    top: usize,
+    scale: usize,
+    config: &OcrConfig,
+    rng: &mut StdRng,
+) -> Option<String> {
+    // Find the leftmost ink column.
+    let band_rows = GLYPH_H * scale;
+    let mut left = None;
+    'cols: for x in 0..bmp.width() {
+        for y in top..(top + band_rows).min(bmp.height()) {
+            if bmp.get(x, y) >= config.threshold {
+                left = Some(x);
+                break 'cols;
+            }
+        }
+    }
+    let ink_left = left?;
+    let mut best: Option<(usize, String)> = None;
+    for phase in 0..GLYPH_W {
+        let start = match ink_left.checked_sub(phase * scale) {
+            Some(s) => s,
+            None => break,
+        };
+        if let Some(text) = read_band_at(bmp, start, top, scale, config) {
+            let unknowns = text.chars().filter(|&c| c == '?').count();
+            let better = match &best {
+                None => true,
+                Some((u, _)) => unknowns < *u,
+            };
+            if better {
+                best = Some((unknowns, text));
+            }
+            if matches!(best, Some((0, _))) {
+                break;
+            }
+        }
+    }
+    let (_, text) = best?;
+    Some(apply_noise_line(&text, config, rng))
+}
+
+/// Reads a band with the glyph grid anchored at `left` (no noise).
+fn read_band_at(
+    bmp: &Bitmap,
+    left: usize,
+    top: usize,
+    scale: usize,
+    config: &OcrConfig,
+) -> Option<String> {
+    let mut out = String::new();
+    let mut x = left;
+    let advance = ADVANCE * scale;
+    let mut blank_run = 0usize;
+    while x + GLYPH_W * scale <= bmp.width() {
+        let cell = sample_cell(bmp, x, top, scale, config.threshold);
+        if cell == [0u8; GLYPH_H] {
+            blank_run += 1;
+            if blank_run > 24 {
+                break; // end of line content
+            }
+            // A blank cell inside a line is a space (the renderer's space
+            // glyph occupies exactly one cell).
+            if blank_run == 1 && !out.is_empty() && !out.ends_with(' ') {
+                out.push(' ');
+            }
+            x += advance;
+            continue;
+        }
+        blank_run = 0;
+        out.push(match_glyph(&cell, config.mismatch_budget));
+        x += advance;
+    }
+    Some(out.trim_end().to_string())
+}
+
+/// Applies the recognition-error model to a whole line.
+fn apply_noise_line(text: &str, config: &OcrConfig, rng: &mut StdRng) -> String {
+    text.chars().map(|c| if c == ' ' { c } else { apply_noise(c, config, rng) }).collect()
+}
+
+/// Samples a 5×7 cell at (x, top) with box-downsampling for scale > 1.
+fn sample_cell(bmp: &Bitmap, x: usize, top: usize, scale: usize, threshold: u8) -> [u8; GLYPH_H] {
+    let mut cell = [0u8; GLYPH_H];
+    for gy in 0..GLYPH_H {
+        for gx in 0..GLYPH_W {
+            // Majority vote over the scale×scale block.
+            let mut ink = 0usize;
+            for dy in 0..scale {
+                for dx in 0..scale {
+                    if bmp.get(x + gx * scale + dx, top + gy * scale + dy) >= threshold {
+                        ink += 1;
+                    }
+                }
+            }
+            if ink * 2 >= scale * scale {
+                cell[gy] |= 1 << (GLYPH_W - 1 - gx);
+            }
+        }
+    }
+    cell
+}
+
+/// Best-matching glyph under the mismatch budget; `?` when nothing fits.
+fn match_glyph(cell: &[u8; GLYPH_H], budget: u32) -> char {
+    let mut best = ('?', u32::MAX);
+    for (i, g) in GLYPHS.iter().enumerate() {
+        let c = charset_char(i);
+        if c == ' ' {
+            continue;
+        }
+        let mut mismatch = 0u32;
+        for r in 0..GLYPH_H {
+            mismatch += (cell[r] ^ g[r]).count_ones();
+        }
+        if mismatch < best.1 {
+            best = (c, mismatch);
+        }
+    }
+    if best.1 <= budget {
+        best.0
+    } else {
+        '?'
+    }
+}
+
+/// Error model: with probability `char_error_rate`, swap the character for
+/// a confusable neighbor (or drop it for characters with no group).
+fn apply_noise(c: char, config: &OcrConfig, rng: &mut StdRng) -> char {
+    if config.char_error_rate <= 0.0 || !rng.gen_bool(config.char_error_rate.min(1.0)) {
+        return c;
+    }
+    for group in CONFUSION_GROUPS {
+        if let Some(pos) = group.find(c) {
+            let others: Vec<char> = group.chars().enumerate().filter(|(i, _)| *i != pos).map(|(_, g)| g).collect();
+            if !others.is_empty() {
+                return others[rng.gen_range(0..others.len())];
+            }
+        }
+    }
+    // No confusion group: nudge within the charset.
+    let idx = CHARSET.find(c).unwrap_or(0);
+    charset_char((idx + 1) % (CHARSET.len() - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squatphi_html::parse;
+    use squatphi_render::{render_page, RenderOptions};
+
+    fn noiseless() -> OcrConfig {
+        OcrConfig { char_error_rate: 0.0, ..OcrConfig::default() }
+    }
+
+    fn render(html: &str) -> Bitmap {
+        render_page(&parse(html), &RenderOptions::default())
+    }
+
+    #[test]
+    fn reads_plain_text_exactly() {
+        let bmp = render("<body><p>password</p></body>");
+        let out = recognize(&bmp, &noiseless());
+        assert!(out.joined().contains("password"), "got {:?}", out.joined());
+    }
+
+    #[test]
+    fn reads_headline_scale_text() {
+        let bmp = render("<body><h1>paypal</h1></body>");
+        let out = recognize(&bmp, &noiseless());
+        assert!(out.joined().contains("paypal"), "got {:?}", out.joined());
+        assert!(out.lines.iter().any(|l| l.scale >= 3));
+    }
+
+    #[test]
+    fn reads_form_placeholders_and_buttons() {
+        let bmp = render(
+            "<body><form><input type='email' placeholder='email'>\
+             <input type='password' placeholder='password'>\
+             <button type='submit'>log in</button></form></body>",
+        );
+        let text = recognize(&bmp, &noiseless()).joined();
+        assert!(text.contains("email"), "got {text:?}");
+        assert!(text.contains("password"), "got {text:?}");
+        assert!(text.contains("log in"), "got {text:?}");
+    }
+
+    #[test]
+    fn reads_text_baked_into_images() {
+        // The string-obfuscation evasion: brand only in image pixels.
+        let bmp = render("<body><img width='220' height='40' data-text='facebook'></body>");
+        let text = recognize(&bmp, &noiseless()).joined();
+        assert!(text.contains("facebook"), "got {text:?}");
+    }
+
+    #[test]
+    fn distinguishes_o_from_zero() {
+        let bmp = render("<body><p>faceb00k facebook</p></body>");
+        let text = recognize(&bmp, &noiseless()).joined();
+        assert!(text.contains("faceb00k"), "got {text:?}");
+        assert!(text.contains("facebook"), "got {text:?}");
+    }
+
+    #[test]
+    fn noise_rate_roughly_matches_config() {
+        let bmp = render(
+            "<body><p>the quick brown fox jumps over the lazy dog again and again</p>\
+             <p>pack my box with five dozen liquor jugs for the great escape</p></body>",
+        );
+        let clean = recognize(&bmp, &noiseless()).joined();
+        let noisy = recognize(&bmp, &OcrConfig { char_error_rate: 0.05, ..OcrConfig::default() }).joined();
+        let diff = clean
+            .chars()
+            .zip(noisy.chars())
+            .filter(|(a, b)| a != b)
+            .count();
+        // Same length (substitution noise), difference near 5%.
+        assert_eq!(clean.len(), noisy.len());
+        let rate = diff as f64 / clean.len() as f64;
+        assert!(rate > 0.0 && rate < 0.15, "noise rate {rate}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let bmp = render("<body><p>deterministic output required here</p></body>");
+        let cfg = OcrConfig { char_error_rate: 0.1, seed: 42, ..OcrConfig::default() };
+        assert_eq!(recognize(&bmp, &cfg), recognize(&bmp, &cfg));
+    }
+
+    #[test]
+    fn blank_page_yields_nothing() {
+        let out = recognize(&Bitmap::new(360, 520), &noiseless());
+        assert!(out.lines.is_empty());
+    }
+
+    #[test]
+    fn decoration_invisible_to_ocr() {
+        // A page of borders and panels but no text.
+        let bmp = render("<body><div data-fill='40'></div><img width='100' height='30'></body>");
+        let out = recognize(&bmp, &noiseless());
+        assert_eq!(out.joined().trim(), "", "got {:?}", out.joined());
+    }
+}

@@ -1,0 +1,320 @@
+//! Block layout engine: DOM → screenshot bitmap.
+//!
+//! A deliberately simple, deterministic layout model (everything the OCR
+//! and image-hash features need, nothing more):
+//!
+//! * `title` renders into a browser-chrome title bar at the top,
+//! * `h1`/`h2` render large (the "logo" area),
+//! * `p` and `a` render as body text lines, wrapped at the page width,
+//! * `img` renders as a decorated box; an `alt` or `data-text` attribute
+//!   renders as text *inside* the box — visible to OCR but absent from the
+//!   lexical HTML text, which is exactly the string-obfuscation evasion,
+//! * `form` renders as a bordered panel; each `input` becomes an outlined
+//!   field showing its `placeholder`, buttons show their label,
+//! * `div` with a `data-fill` attribute renders as a decorative band
+//!   (layout-obfuscation knob: moving/recoloring bands changes the image
+//!   hash without changing the text).
+
+use crate::canvas::{Bitmap, INK_DECOR, INK_PANEL, INK_TEXT};
+use crate::font::LINE_ADVANCE;
+use squatphi_html::{Document, Node};
+
+/// Page geometry knobs.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Page width in pixels.
+    pub width: usize,
+    /// Maximum page height in pixels (content past this is clipped, like a
+    /// above-the-fold screenshot).
+    pub max_height: usize,
+    /// Left/right margin.
+    pub margin: usize,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { width: 360, max_height: 520, margin: 8 }
+    }
+}
+
+struct Cursor {
+    y: usize,
+    margin: usize,
+    width: usize,
+}
+
+/// Renders a parsed page to a screenshot.
+pub fn render_page(doc: &Document, opts: &RenderOptions) -> Bitmap {
+    let mut bmp = Bitmap::new(opts.width, opts.max_height);
+    let mut cur = Cursor { y: 0, margin: opts.margin, width: opts.width };
+
+    // Title bar (browser chrome).
+    let title = doc
+        .elements_named("title")
+        .next()
+        .map(|id| doc.subtree_text(id))
+        .unwrap_or_default();
+    bmp.fill_rect(0, 0, opts.width, 14, INK_PANEL);
+    bmp.draw_text(opts.margin, 3, &truncate_to(&title, opts.width - 2 * opts.margin, 1), 1, INK_TEXT);
+    cur.y = 18;
+
+    render_children(doc, Document::ROOT, &mut bmp, &mut cur);
+    bmp
+}
+
+fn render_children(doc: &Document, id: usize, bmp: &mut Bitmap, cur: &mut Cursor) {
+    for &c in doc.children(id) {
+        if cur.y >= bmp.height() {
+            return;
+        }
+        match doc.node(c) {
+            Node::Element(e) => match e.name.as_str() {
+                "title" | "head" => {
+                    // Title already drawn; skip head entirely except title.
+                }
+                "h1" | "h2" => {
+                    let text = doc.subtree_text(c);
+                    let scale = if e.name == "h1" { 3 } else { 2 };
+                    bmp.draw_text(
+                        cur.margin,
+                        cur.y,
+                        &truncate_to(&text, cur.width - 2 * cur.margin, scale),
+                        scale,
+                        INK_TEXT,
+                    );
+                    cur.y += LINE_ADVANCE * scale + 2;
+                }
+                "h3" | "h4" | "h5" | "h6" => {
+                    let text = doc.subtree_text(c);
+                    draw_wrapped(bmp, cur, &text, 1);
+                    cur.y += 2;
+                }
+                "p" | "a" | "span" | "li" => {
+                    let text = doc.subtree_text(c);
+                    draw_wrapped(bmp, cur, &text, 1);
+                }
+                "img" => {
+                    let w = attr_usize(e.attr("width"), 120).min(cur.width - 2 * cur.margin);
+                    let h = attr_usize(e.attr("height"), 40);
+                    bmp.fill_rect(cur.margin, cur.y, w, h, INK_PANEL);
+                    bmp.draw_border(cur.margin, cur.y, w, h, INK_DECOR);
+                    // Text baked into the image: visible to OCR only.
+                    let baked = e.attr("data-text").or_else(|| e.attr("alt")).unwrap_or("");
+                    if !baked.is_empty() {
+                        let scale = if h >= 30 { 2 } else { 1 };
+                        bmp.draw_text(
+                            cur.margin + 4,
+                            cur.y + (h.saturating_sub(7 * scale)) / 2,
+                            &truncate_to(baked, w.saturating_sub(8), scale),
+                            scale,
+                            INK_TEXT,
+                        );
+                    }
+                    cur.y += h + 4;
+                }
+                "form" => {
+                    render_form(doc, c, bmp, cur);
+                }
+                "div" => {
+                    if let Some(fill) = e.attr("data-fill") {
+                        let h = attr_usize(Some(fill), 16);
+                        bmp.fill_rect(0, cur.y, cur.width, h, INK_PANEL);
+                        cur.y += h + 3;
+                    }
+                    render_children(doc, c, bmp, cur);
+                }
+                "br" => cur.y += LINE_ADVANCE,
+                "script" | "style" => {}
+                _ => render_children(doc, c, bmp, cur),
+            },
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    draw_wrapped(bmp, cur, t, 1);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn render_form(doc: &Document, id: usize, bmp: &mut Bitmap, cur: &mut Cursor) {
+    let panel_x = cur.margin;
+    let panel_w = cur.width - 2 * cur.margin;
+    let top = cur.y;
+    cur.y += 6;
+    render_form_fields(doc, id, bmp, cur, panel_x + 6, panel_w - 12);
+    let bottom = (cur.y + 4).min(bmp.height().saturating_sub(1));
+    bmp.draw_border(panel_x, top, panel_w, bottom.saturating_sub(top), INK_DECOR);
+    cur.y = bottom + 6;
+}
+
+fn render_form_fields(
+    doc: &Document,
+    id: usize,
+    bmp: &mut Bitmap,
+    cur: &mut Cursor,
+    x: usize,
+    w: usize,
+) {
+    for &c in doc.children(id) {
+        match doc.node(c) {
+            Node::Element(e) => match e.name.as_str() {
+                "input" => {
+                    let ty = e.attr("type").unwrap_or("text");
+                    if ty == "hidden" {
+                        continue;
+                    }
+                    if ty == "submit" {
+                        let label = e.attr("value").unwrap_or("submit");
+                        draw_button(bmp, cur, x, label);
+                    } else {
+                        let placeholder = e.attr("placeholder").unwrap_or("");
+                        bmp.draw_border(x, cur.y, w, 14, INK_DECOR);
+                        bmp.draw_text(x + 3, cur.y + 3, &truncate_to(placeholder, w - 6, 1), 1, INK_TEXT);
+                        cur.y += 18;
+                    }
+                }
+                "button" => {
+                    let label = doc.subtree_text(c);
+                    draw_button(bmp, cur, x, &label);
+                }
+                "label" => {
+                    let text = doc.subtree_text(c);
+                    bmp.draw_text(x, cur.y, &truncate_to(&text, w, 1), 1, INK_TEXT);
+                    cur.y += LINE_ADVANCE;
+                }
+                _ => render_form_fields(doc, c, bmp, cur, x, w),
+            },
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    bmp.draw_text(x, cur.y, &truncate_to(t, w, 1), 1, INK_TEXT);
+                    cur.y += LINE_ADVANCE;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn draw_button(bmp: &mut Bitmap, cur: &mut Cursor, x: usize, label: &str) {
+    let bw = Bitmap::text_width(label, 1) + 10;
+    bmp.fill_rect(x, cur.y, bw, 14, INK_PANEL);
+    bmp.draw_border(x, cur.y, bw, 14, INK_DECOR);
+    bmp.draw_text(x + 5, cur.y + 3, label, 1, INK_TEXT);
+    cur.y += 18;
+}
+
+fn draw_wrapped(bmp: &mut Bitmap, cur: &mut Cursor, text: &str, scale: usize) {
+    let usable = cur.width.saturating_sub(2 * cur.margin);
+    let per_line = (usable / (6 * scale)).max(1);
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let mut line = String::new();
+    let flush = |line: &mut String, bmp: &mut Bitmap, cur: &mut Cursor| {
+        if !line.is_empty() {
+            bmp.draw_text(cur.margin, cur.y, line, scale, INK_TEXT);
+            cur.y += LINE_ADVANCE * scale;
+            line.clear();
+        }
+    };
+    for w in words {
+        if !line.is_empty() && line.chars().count() + 1 + w.chars().count() > per_line {
+            flush(&mut line, bmp, cur);
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        // A single over-long word is hard-truncated.
+        let mut w = w.to_string();
+        if w.chars().count() > per_line {
+            w = w.chars().take(per_line).collect();
+        }
+        line.push_str(&w);
+    }
+    flush(&mut line, bmp, cur);
+}
+
+fn truncate_to(text: &str, width_px: usize, scale: usize) -> String {
+    let max_chars = width_px / (6 * scale.max(1));
+    text.chars().take(max_chars).collect()
+}
+
+fn attr_usize(v: Option<&str>, default: usize) -> usize {
+    v.and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squatphi_html::parse;
+
+    const LOGIN: &str = r#"
+        <html><head><title>paypal login</title></head><body>
+        <h1>paypal</h1>
+        <p>welcome back to your account</p>
+        <form action="/signin">
+          <input type="email" placeholder="email or mobile">
+          <input type="password" placeholder="password">
+          <button type="submit">log in</button>
+        </form>
+        </body></html>"#;
+
+    #[test]
+    fn renders_nonempty_page() {
+        let bmp = render_page(&parse(LOGIN), &RenderOptions::default());
+        assert!(bmp.mean() > 1.0, "page looks blank: mean {}", bmp.mean());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = render_page(&parse(LOGIN), &RenderOptions::default());
+        let b = render_page(&parse(LOGIN), &RenderOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_pages_render_differently() {
+        let a = render_page(&parse(LOGIN), &RenderOptions::default());
+        let other = LOGIN.replace("paypal", "facebook");
+        let b = render_page(&parse(&other), &RenderOptions::default());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn image_baked_text_is_rendered() {
+        let with_img = r#"<body><img width="200" height="40" data-text="paypal"></body>"#;
+        let without = r#"<body><img width="200" height="40"></body>"#;
+        let a = render_page(&parse(with_img), &RenderOptions::default());
+        let b = render_page(&parse(without), &RenderOptions::default());
+        assert_ne!(a, b, "baked image text must leave ink");
+    }
+
+    #[test]
+    fn decorative_bands_change_pixels_only() {
+        let plain = r#"<body><p>hello world</p></body>"#;
+        let banded = r#"<body><div data-fill="24"></div><p>hello world</p></body>"#;
+        let a = render_page(&parse(plain), &RenderOptions::default());
+        let b = render_page(&parse(banded), &RenderOptions::default());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clips_overflowing_content() {
+        let mut html = String::from("<body>");
+        for i in 0..500 {
+            html.push_str(&format!("<p>line number {i} with several words</p>"));
+        }
+        html.push_str("</body>");
+        let opts = RenderOptions::default();
+        let bmp = render_page(&parse(&html), &opts);
+        assert_eq!(bmp.height(), opts.max_height);
+    }
+
+    #[test]
+    fn empty_document_renders_title_bar_only() {
+        let bmp = render_page(&parse(""), &RenderOptions::default());
+        // Title bar panel ink only.
+        assert!(bmp.mean() > 0.0 && bmp.mean() < 20.0);
+    }
+}

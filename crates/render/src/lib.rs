@@ -1,0 +1,29 @@
+//! Screenshot substrate: a deterministic rasterizer for the synthetic web.
+//!
+//! The paper crawls pages with headless Chrome and takes screenshots; the
+//! OCR/visual features (§5.1) and the layout-obfuscation measurement
+//! (§4.2) both work on those screenshots. This crate replaces the browser
+//! with a small deterministic pipeline:
+//!
+//! * [`font`] — an embedded 5×7 bitmap font,
+//! * [`canvas`] — a grayscale bitmap with rect/text/border primitives,
+//! * [`layout`] — a block layout engine: DOM → screenshot. Title bar,
+//!   headers as "logos", paragraphs, link rows, form boxes with
+//!   placeholder text and buttons, and image boxes that can carry
+//!   *rendered-only* text (the `data-text` attribute — how we model the
+//!   paper's "brand text moved into images" evasion),
+//! * [`ascii`] — ASCII-art dump of a bitmap (Figure 14 stand-in).
+//!
+//! Intensity convention: 0 = white background, 255 = full ink. Decoration
+//! (borders, fills) stays below 140 so OCR can threshold text at 200.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod canvas;
+pub mod font;
+pub mod layout;
+
+pub use canvas::Bitmap;
+pub use layout::{render_page, RenderOptions};

@@ -1,0 +1,81 @@
+//! Bit-squatting generator (paper §3.1, after Nikiforakis et al.):
+//! domains one single-bit memory corruption away from the brand.
+
+/// All labels reachable from `label` by flipping exactly one bit of one
+/// byte, keeping only results that are valid DNS label characters
+/// (`a-z`, `0-9`, `-`, no edge hyphens).
+///
+/// ```
+/// use squatphi_squat::gen::bits_candidates;
+/// let cands = bits_candidates("facebook");
+/// assert!(cands.contains(&"facebnok".to_string())); // Table 1 example
+/// ```
+pub fn bits_candidates(label: &str) -> Vec<String> {
+    let bytes = label.as_bytes();
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..bytes.len() {
+        for bit in 0..8u8 {
+            let flipped = bytes[i] ^ (1 << bit);
+            let valid = flipped.is_ascii_lowercase()
+                || flipped.is_ascii_digit()
+                || (flipped == b'-' && i != 0 && i != bytes.len() - 1);
+            if !valid || flipped == bytes[i] {
+                continue;
+            }
+            let mut s = bytes.to_vec();
+            s[i] = flipped;
+            let s = String::from_utf8(s).expect("ascii stays utf8");
+            if seen.insert(s.clone()) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squatphi_domain::distance::is_one_bit_flip;
+
+    #[test]
+    fn paper_examples_present() {
+        assert!(bits_candidates("facebook").contains(&"facebnok".to_string()));
+        assert!(bits_candidates("google").contains(&"goofle".to_string()));
+        // facecook: 'b'(62) ^ 'c'(63) = 0x01 — one bit (Table 10).
+        assert!(bits_candidates("facebook").contains(&"facecook".to_string()));
+    }
+
+    #[test]
+    fn every_candidate_is_one_bit_away() {
+        for c in bits_candidates("paypal") {
+            assert!(is_one_bit_flip("paypal", &c), "{c} not one bit from paypal");
+        }
+    }
+
+    #[test]
+    fn no_identity_and_no_duplicates() {
+        let cands = bits_candidates("uber");
+        assert!(!cands.contains(&"uber".to_string()));
+        let mut sorted = cands.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cands.len());
+    }
+
+    #[test]
+    fn edge_hyphens_rejected() {
+        // 'm' ^ 0x40 = '-', so flipping bit 6 of a leading 'm' would give
+        // a leading hyphen — must be filtered.
+        for c in bits_candidates("mm") {
+            assert!(!c.starts_with('-') && !c.ends_with('-'));
+        }
+    }
+
+    #[test]
+    fn count_is_bounded_by_8n() {
+        let label = "facebook";
+        assert!(bits_candidates(label).len() <= 8 * label.len());
+    }
+}

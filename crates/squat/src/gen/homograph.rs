@@ -1,0 +1,149 @@
+//! Homograph-squatting generator (paper §3.1): visually confusable labels,
+//! both plain-ASCII glyph tricks (`faceb00k`) and IDN confusables
+//! (`fàcebook` → `xn--fcebook-8va`).
+
+use squatphi_domain::ConfusableTable;
+
+/// Homograph candidates for a label (Unicode output — callers punycode the
+/// non-ASCII ones). Deterministic order:
+/// 1. single-character ASCII swaps (`0` for `o` …),
+/// 2. multi-character sequence swaps (`rn` for `m` …),
+/// 3. single-character Unicode confusable swaps,
+/// 4. double-`0` style swaps of repeated letters (`faceb00k`),
+/// 5. two-character Unicode swaps (first × second positions, capped).
+///
+/// ```
+/// use squatphi_squat::gen::homograph_candidates;
+/// let c = homograph_candidates("facebook");
+/// assert!(c.contains(&"faceb00k".to_string()));
+/// assert!(c.contains(&"fàcebook".to_string()));
+/// ```
+pub fn homograph_candidates(label: &str) -> Vec<String> {
+    let table = ConfusableTable::new();
+    let chars: Vec<char> = label.chars().collect();
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut push = |s: String, out: &mut Vec<String>| {
+        if s != label && seen.insert(s.clone()) {
+            out.push(s);
+        }
+    };
+
+    // 1. ASCII single-char swaps.
+    for (i, &c) in chars.iter().enumerate() {
+        for v in table.variants(c).filter(|v| v.is_ascii()) {
+            let mut s: Vec<char> = chars.clone();
+            s[i] = v;
+            push(s.into_iter().collect(), &mut out);
+        }
+    }
+    // 2. Sequence swaps (m -> rn, w -> vv ...).
+    for (i, &c) in chars.iter().enumerate() {
+        for seq in table.sequences(c) {
+            let mut s = String::new();
+            s.extend(chars.iter().take(i));
+            s.push_str(seq);
+            s.extend(chars.iter().skip(i + 1));
+            push(s, &mut out);
+        }
+    }
+    // 3. Unicode single-char swaps.
+    for (i, &c) in chars.iter().enumerate() {
+        for v in table.variants(c).filter(|v| !v.is_ascii()) {
+            let mut s: Vec<char> = chars.clone();
+            s[i] = v;
+            push(s.into_iter().collect(), &mut out);
+        }
+    }
+    // 4. Repeated-letter pair swaps: oo -> 00 (faceb00k).
+    for i in 0..chars.len().saturating_sub(1) {
+        if chars[i] == chars[i + 1] {
+            for v in table.variants(chars[i]).filter(|v| v.is_ascii()) {
+                let mut s: Vec<char> = chars.clone();
+                s[i] = v;
+                s[i + 1] = v;
+                push(s.into_iter().collect(), &mut out);
+            }
+        }
+    }
+    // 5. Two-position Unicode swaps (capped to the first few variants per
+    // position to keep the candidate set near-linear).
+    const PER_POS: usize = 2;
+    for i in 0..chars.len() {
+        let vi: Vec<char> = table.variants(chars[i]).filter(|v| !v.is_ascii()).take(PER_POS).collect();
+        for j in (i + 1)..chars.len() {
+            let vj: Vec<char> = table.variants(chars[j]).filter(|v| !v.is_ascii()).take(PER_POS).collect();
+            for &a in &vi {
+                for &b in &vj {
+                    let mut s: Vec<char> = chars.clone();
+                    s[i] = a;
+                    s[j] = b;
+                    push(s.into_iter().collect(), &mut out);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squatphi_domain::{idna, ConfusableTable};
+
+    #[test]
+    fn paper_examples_present() {
+        let c = homograph_candidates("facebook");
+        assert!(c.contains(&"faceb00k".to_string()), "Table 1: faceb00k.pw");
+        assert!(c.contains(&"fàcebook".to_string()), "Table 1: xn--fcebook-8va");
+        assert!(c.contains(&"facebooκ".to_string()), "Table 10: Greek kappa");
+    }
+
+    #[test]
+    fn goog1e_and_drapbox_style() {
+        assert!(homograph_candidates("google").contains(&"goog1e".to_string()));
+        // drapbox (Table 10 lists it as homograph: a for o).
+        let c = homograph_candidates("dropbox");
+        assert!(c.iter().any(|s| !s.is_ascii()), "unicode variants exist");
+    }
+
+    #[test]
+    fn all_candidates_fold_back_to_source() {
+        let t = ConfusableTable::new();
+        // Ambiguous ASCII glyphs cannot be folded deterministically; the
+        // detector resolves them with substitution probes instead.
+        let ambiguous: &[char] = &['1', 'i', 'l', 'q', 'g', 'u', 'v', '2'];
+        for cand in homograph_candidates("paypal") {
+            let folded = t.skeleton(&cand);
+            if folded.chars().count() == "paypal".chars().count()
+                && !cand.chars().any(|c| ambiguous.contains(&c))
+            {
+                assert_eq!(folded, "paypal", "candidate {cand} folds to {folded}");
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_candidates_punycode_round_trip() {
+        for cand in homograph_candidates("uber").iter().filter(|c| !c.is_ascii()) {
+            let ascii = idna::to_ascii(cand).expect("encodable");
+            assert!(ascii.starts_with("xn--"));
+            assert_eq!(idna::to_unicode(&ascii), *cand);
+        }
+    }
+
+    #[test]
+    fn rn_sequence_for_m() {
+        let c = homograph_candidates("amazon");
+        assert!(c.contains(&"arnazon".to_string()));
+    }
+
+    #[test]
+    fn deduplicated() {
+        let c = homograph_candidates("citi");
+        let mut s = c.clone();
+        s.sort();
+        s.dedup();
+        assert_eq!(s.len(), c.len());
+    }
+}

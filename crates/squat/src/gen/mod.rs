@@ -1,0 +1,139 @@
+//! Squatting-candidate generators (the DNSTwist/URLCrazy direction).
+//!
+//! Each generator takes a brand label and yields candidate *core labels*
+//! (or full domains for wrongTLD). All output is deterministic given the
+//! input; randomized subset selection is left to callers holding an RNG.
+
+mod bits;
+mod combo;
+mod homograph;
+mod typo;
+mod wrongtld;
+
+pub use bits::bits_candidates;
+pub use combo::combo_candidates;
+pub use homograph::homograph_candidates;
+pub use typo::{typo_candidates, TypoOp};
+pub use wrongtld::wrong_tld_candidates;
+
+use crate::{Brand, SquatType};
+use squatphi_domain::{idna, DomainName};
+
+/// Per-type generation limits, so callers can bound the candidate set when
+/// planting populations (combo space is effectively unbounded).
+#[derive(Debug, Clone, Copy)]
+pub struct GenBudget {
+    /// Max homograph candidates.
+    pub homograph: usize,
+    /// Max bits candidates.
+    pub bits: usize,
+    /// Max typo candidates.
+    pub typo: usize,
+    /// Max combo candidates.
+    pub combo: usize,
+    /// Max wrongTLD candidates.
+    pub wrong_tld: usize,
+}
+
+impl Default for GenBudget {
+    fn default() -> Self {
+        GenBudget { homograph: 200, bits: 100, typo: 300, combo: 400, wrong_tld: 30 }
+    }
+}
+
+/// A generated squatting candidate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Candidate {
+    /// Fully-qualified ASCII (punycoded where needed) domain.
+    pub domain: DomainName,
+    /// The squatting type this candidate belongs to.
+    pub squat_type: SquatType,
+}
+
+/// Generates candidates of all five types for `brand`, bounded by `budget`.
+///
+/// The candidate labels are paired with plausible TLDs: squatters keep the
+/// brand's own TLD when they can, and fall back to cheap TLDs otherwise
+/// (the label+TLD assignment here is deterministic round-robin; the DNS
+/// snapshot generator randomizes it further).
+pub fn generate_all(brand: &Brand, budget: GenBudget) -> Vec<Candidate> {
+    let label = brand.label.as_str();
+    let own_tld = brand.domain.suffix();
+    let cheap = ["com", "net", "org", "tk", "ml", "pw", "top", "online", "bid", "ga"];
+    let mut out = Vec::new();
+    let push_label = |l: &str, ty: SquatType, i: usize, out: &mut Vec<Candidate>| {
+        let ascii = if l.is_ascii() {
+            l.to_string()
+        } else {
+            match idna::to_ascii(l) {
+                Ok(a) => a,
+                Err(_) => return,
+            }
+        };
+        let tld = if i % 3 == 0 { own_tld } else { cheap[i % cheap.len()] };
+        if let Ok(d) = DomainName::from_parts(&ascii, tld) {
+            out.push(Candidate { domain: d, squat_type: ty });
+        }
+    };
+
+    for (i, l) in homograph_candidates(label).into_iter().take(budget.homograph).enumerate() {
+        push_label(&l, SquatType::Homograph, i, &mut out);
+    }
+    for (i, l) in bits_candidates(label).into_iter().take(budget.bits).enumerate() {
+        push_label(&l, SquatType::Bits, i, &mut out);
+    }
+    for (i, (l, _op)) in typo_candidates(label).into_iter().take(budget.typo).enumerate() {
+        push_label(&l, SquatType::Typo, i, &mut out);
+    }
+    for (i, l) in combo_candidates(label).into_iter().take(budget.combo).enumerate() {
+        push_label(&l, SquatType::Combo, i, &mut out);
+    }
+    for d in wrong_tld_candidates(label, own_tld).into_iter().take(budget.wrong_tld) {
+        out.push(Candidate { domain: d, squat_type: SquatType::WrongTld });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BrandRegistry;
+
+    #[test]
+    fn generates_all_five_types_for_facebook() {
+        let reg = BrandRegistry::with_size(10);
+        let fb = reg.by_label("facebook").unwrap();
+        let cands = generate_all(fb, GenBudget::default());
+        for ty in SquatType::ALL {
+            assert!(
+                cands.iter().any(|c| c.squat_type == ty),
+                "missing type {ty} for facebook"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_bounds_respected() {
+        let reg = BrandRegistry::with_size(10);
+        let fb = reg.by_label("facebook").unwrap();
+        let b = GenBudget { homograph: 3, bits: 3, typo: 3, combo: 3, wrong_tld: 3 };
+        let cands = generate_all(fb, b);
+        for ty in SquatType::ALL {
+            assert!(cands.iter().filter(|c| c.squat_type == ty).count() <= 3);
+        }
+    }
+
+    #[test]
+    fn candidates_never_equal_the_brand_domain() {
+        let reg = BrandRegistry::with_size(10);
+        for brand in reg.brands() {
+            for c in generate_all(brand, GenBudget::default()) {
+                assert_ne!(
+                    c.domain, brand.domain,
+                    "generator produced the brand itself for {}",
+                    brand.label
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Typo-squatting generator (paper §3.1): insertion, omission, repetition
+//! and vowel/adjacent swap.
+
+/// The four typo operations the paper enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypoOp {
+    /// Add an extra character (`facebo0ok`).
+    Insertion,
+    /// Delete a character (`facebok`).
+    Omission,
+    /// Duplicate a character (`faceboook`).
+    Repetition,
+    /// Swap two consecutive characters (`fcaebook`).
+    Swap,
+}
+
+/// QWERTY adjacency used to keep insertions plausible — a fat-fingered key
+/// lands on a neighbor of the intended key.
+fn qwerty_neighbors(c: char) -> &'static str {
+    match c {
+        'q' => "wa1", 'w' => "qes2", 'e' => "wrd3", 'r' => "etf4", 't' => "ryg5",
+        'y' => "tuh6", 'u' => "yij7", 'i' => "uok8", 'o' => "ipl9", 'p' => "ol0",
+        'a' => "qsz", 's' => "awdx", 'd' => "sefc", 'f' => "drgv", 'g' => "fthb",
+        'h' => "gyjn", 'j' => "hukm", 'k' => "jil", 'l' => "kop",
+        'z' => "asx", 'x' => "zsdc", 'c' => "xdfv", 'v' => "cfgb", 'b' => "vghn",
+        'n' => "bhjm", 'm' => "njk",
+        '0' => "po", '1' => "q2", '2' => "w13", '3' => "e24", '4' => "r35",
+        '5' => "t46", '6' => "y57", '7' => "u68", '8' => "i79", '9' => "o80",
+        _ => "",
+    }
+}
+
+fn valid_label(l: &str) -> bool {
+    !l.is_empty()
+        && !l.starts_with('-')
+        && !l.ends_with('-')
+        && l.len() <= 63
+        && l.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+}
+
+/// All typo candidates for a label, tagged with the operation that produced
+/// them. Deterministic order: omissions, repetitions, swaps, insertions.
+///
+/// ```
+/// use squatphi_squat::gen::typo_candidates;
+/// let cands = typo_candidates("facebook");
+/// assert!(cands.iter().any(|(l, _)| l == "fcaebook")); // swap (Table 1)
+/// assert!(cands.iter().any(|(l, _)| l == "faceboook")); // repetition
+/// ```
+pub fn typo_candidates(label: &str) -> Vec<(String, TypoOp)> {
+    let chars: Vec<char> = label.chars().collect();
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut push = |s: String, op: TypoOp, out: &mut Vec<(String, TypoOp)>| {
+        if s != label && valid_label(&s) && seen.insert(s.clone()) {
+            out.push((s, op));
+        }
+    };
+
+    // Omission: delete each character.
+    for i in 0..chars.len() {
+        let mut s = String::with_capacity(label.len());
+        s.extend(chars.iter().take(i));
+        s.extend(chars.iter().skip(i + 1));
+        push(s, TypoOp::Omission, &mut out);
+    }
+    // Repetition: double each character.
+    for i in 0..chars.len() {
+        let mut s = String::with_capacity(label.len() + 1);
+        s.extend(chars.iter().take(i + 1));
+        s.push(chars[i]);
+        s.extend(chars.iter().skip(i + 1));
+        push(s, TypoOp::Repetition, &mut out);
+    }
+    // Swap: transpose each adjacent pair.
+    for i in 0..chars.len().saturating_sub(1) {
+        let mut c = chars.clone();
+        c.swap(i, i + 1);
+        push(c.into_iter().collect(), TypoOp::Swap, &mut out);
+    }
+    // Insertion: QWERTY-neighbor of the key at each boundary, plus the
+    // always-popular `0`/digit insertions seen in the wild (`facebo0ok`).
+    for i in 0..=chars.len() {
+        let mut pool: Vec<char> = Vec::new();
+        if i > 0 {
+            pool.extend(qwerty_neighbors(chars[i - 1]).chars());
+        }
+        if i < chars.len() {
+            pool.extend(qwerty_neighbors(chars[i]).chars());
+        }
+        pool.push('0');
+        pool.sort_unstable();
+        pool.dedup();
+        for c in pool {
+            let mut s = String::with_capacity(label.len() + 1);
+            s.extend(chars.iter().take(i));
+            s.push(c);
+            s.extend(chars.iter().skip(i));
+            push(s, TypoOp::Insertion, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_examples_present() {
+        let cands = typo_candidates("facebook");
+        let labels: Vec<&str> = cands.iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels.contains(&"fcaebook"), "vowel-swap example");
+        // facebo0ok = insert '0' between o and o.
+        assert!(labels.contains(&"facebo0ok"), "insertion example");
+        assert!(labels.contains(&"facebok"), "omission");
+        assert!(labels.contains(&"faceboook"), "repetition");
+    }
+
+    #[test]
+    fn ops_are_tagged_correctly() {
+        let cands = typo_candidates("ab");
+        for (l, op) in &cands {
+            match op {
+                TypoOp::Omission => assert_eq!(l.len(), 1),
+                TypoOp::Repetition | TypoOp::Insertion => assert_eq!(l.len(), 3),
+                TypoOp::Swap => assert_eq!(l, "ba"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_or_identity() {
+        let cands = typo_candidates("paypal");
+        let mut labels: Vec<&String> = cands.iter().map(|(l, _)| l).collect();
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+        assert!(!cands.iter().any(|(l, _)| l == "paypal"));
+    }
+
+    #[test]
+    fn all_outputs_are_valid_labels() {
+        for (l, _) in typo_candidates("google") {
+            assert!(valid_label(&l), "invalid label {l}");
+        }
+    }
+
+    #[test]
+    fn single_char_label_degenerates_gracefully() {
+        // Omission of a 1-char label would be empty — must be filtered.
+        let cands = typo_candidates("a");
+        assert!(cands.iter().all(|(l, _)| !l.is_empty()));
+    }
+}

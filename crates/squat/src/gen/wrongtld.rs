@@ -1,0 +1,50 @@
+//! WrongTLD-squatting generator (paper §3.1): keep the brand label, swap
+//! the TLD (`facebook.audi`). The paper introduces this module because
+//! DNSTwist/URLCrazy only mutate the label and miss e.g. `facebookj.es`.
+
+use squatphi_domain::tld::WRONG_TLD_POOL;
+use squatphi_domain::DomainName;
+
+/// WrongTLD candidates: the brand label under every plausible alternative
+/// TLD (excluding the brand's own suffix).
+///
+/// ```
+/// use squatphi_squat::gen::wrong_tld_candidates;
+/// let c = wrong_tld_candidates("facebook", "com");
+/// assert!(c.iter().any(|d| d.as_str() == "facebook.audi"));
+/// assert!(!c.iter().any(|d| d.suffix() == "com"));
+/// ```
+pub fn wrong_tld_candidates(label: &str, own_suffix: &str) -> Vec<DomainName> {
+    WRONG_TLD_POOL
+        .iter()
+        .filter(|t| **t != own_suffix)
+        .filter_map(|t| DomainName::from_parts(label, t).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_present() {
+        let c = wrong_tld_candidates("facebook", "com");
+        assert!(c.iter().any(|d| d.as_str() == "facebook.audi"), "Table 1");
+    }
+
+    #[test]
+    fn own_suffix_excluded() {
+        let c = wrong_tld_candidates("bitcoin", "org");
+        assert!(!c.iter().any(|d| d.suffix() == "org"));
+        assert!(c.iter().all(|d| d.core_label() == "bitcoin"));
+    }
+
+    #[test]
+    fn count_matches_pool() {
+        let c = wrong_tld_candidates("uber", "com");
+        // "com" is not in WRONG_TLD_POOL, so nothing is filtered.
+        assert_eq!(c.len(), WRONG_TLD_POOL.len());
+        let c2 = wrong_tld_candidates("uber", "tk");
+        assert_eq!(c2.len(), WRONG_TLD_POOL.len() - 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! The DNSTwist-style detection strategy: pre-generate every candidate
+//! squatting domain per brand and classify records by hash lookup.
+//!
+//! This is the approach the paper extends (and the upstream tools use).
+//! It trades a large build cost and bounded recall (only candidates inside
+//! the generation budget are detectable — combo in particular is an
+//! unbounded space) for O(1) exact-string classification. It exists here
+//! as the ablation comparator for [`crate::SquatDetector`] and as a
+//! cross-check: on generated candidates the two strategies must agree.
+
+use crate::brand::{BrandId, BrandRegistry};
+use crate::detect::SquatMatch;
+use crate::gen::{generate_all, GenBudget};
+use crate::SquatType;
+use squatphi_domain::DomainName;
+use std::collections::HashMap;
+
+/// Lookup-table detector built from pre-generated candidates.
+#[derive(Debug)]
+pub struct PregeneratedDetector {
+    table: HashMap<String, (BrandId, SquatType)>,
+    /// Exact brand registrable domains (never squatting).
+    own: HashMap<String, BrandId>,
+}
+
+impl PregeneratedDetector {
+    /// Generates candidates for every brand under `budget` and indexes
+    /// them by registrable domain. Earlier brands win collisions
+    /// (matching the registry's priority order).
+    pub fn build(registry: &BrandRegistry, budget: GenBudget) -> Self {
+        let mut table = HashMap::new();
+        let mut own = HashMap::new();
+        for brand in registry.brands() {
+            own.insert(brand.domain.registrable(), brand.id);
+            for cand in generate_all(brand, budget) {
+                table
+                    .entry(cand.domain.registrable())
+                    .or_insert((brand.id, cand.squat_type));
+            }
+        }
+        PregeneratedDetector { table, own }
+    }
+
+    /// Number of pre-generated candidates indexed.
+    pub fn candidate_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Classifies a domain by exact candidate lookup.
+    pub fn classify(&self, domain: &DomainName) -> Option<SquatMatch> {
+        let key = domain.registrable();
+        if self.own.contains_key(&key) {
+            return None;
+        }
+        self.table
+            .get(&key)
+            .map(|&(brand, squat_type)| SquatMatch { brand, squat_type })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::SquatDetector;
+
+    fn setup() -> (BrandRegistry, PregeneratedDetector, SquatDetector) {
+        let registry = BrandRegistry::with_size(25);
+        let budget = GenBudget::default();
+        let pregen = PregeneratedDetector::build(&registry, budget);
+        let probing = SquatDetector::new(&registry);
+        (registry, pregen, probing)
+    }
+
+    #[test]
+    fn classifies_generated_candidates() {
+        let (_r, pregen, _p) = setup();
+        let d = DomainName::parse("facebook-account.com").expect("valid");
+        let m = pregen.classify(&d).expect("indexed candidate");
+        assert_eq!(m.squat_type, SquatType::Combo);
+    }
+
+    #[test]
+    fn brand_domains_are_never_squatting() {
+        let (registry, pregen, _p) = setup();
+        for brand in registry.brands() {
+            assert!(pregen.classify(&brand.domain).is_none(), "{} flagged", brand.domain);
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_generated_candidates() {
+        let (registry, pregen, probing) = setup();
+        let budget = GenBudget { homograph: 20, bits: 15, typo: 20, combo: 20, wrong_tld: 5 };
+        let mut compared = 0usize;
+        let mut brand_agree = 0usize;
+        for brand in registry.brands() {
+            for cand in generate_all(brand, budget) {
+                let a = pregen.classify(&cand.domain);
+                let b = probing.classify(&cand.domain);
+                // Pre-generated lookup always hits (it indexed the same
+                // generator output); the probing detector must also hit.
+                assert!(a.is_some(), "pregen missed its own candidate {}", cand.domain);
+                if let (Some(a), Some(b)) = (a, b) {
+                    compared += 1;
+                    if a.brand == b.brand {
+                        brand_agree += 1;
+                    }
+                }
+            }
+        }
+        assert!(compared > 500, "too few comparable candidates: {compared}");
+        // Brand attribution can legitimately differ near label collisions;
+        // require near-total agreement.
+        assert!(
+            brand_agree * 100 >= compared * 97,
+            "strategies disagree on brands: {brand_agree}/{compared}"
+        );
+    }
+
+    #[test]
+    fn probing_detector_catches_outside_the_budget() {
+        // The pre-generated table is blind to combos beyond its word
+        // list — the probing detector is not. This is the recall gap the
+        // paper's per-record design closes.
+        let (_r, pregen, probing) = setup();
+        let exotic = DomainName::parse("facebook-zanzibar-prize.win").expect("valid");
+        assert!(pregen.classify(&exotic).is_none(), "not in any candidate list");
+        assert!(probing.classify(&exotic).is_some(), "probing must catch it");
+    }
+
+    #[test]
+    fn unrelated_domains_pass_both() {
+        let (_r, pregen, probing) = setup();
+        for host in ["winterpillow.net", "almond-harvest.org", "cobble123.de"] {
+            let d = DomainName::parse(host).expect("valid");
+            assert!(pregen.classify(&d).is_none());
+            assert!(probing.classify(&d).is_none());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Site behaviors and the phishing evasion profile.
+
+use squatphi_squat::BrandId;
+
+/// How a phishing page cloaks by device (paper §6.1 "Mobile vs. Web":
+/// of 1,175 phishing domains, 590 served both, 318 mobile-only, 267
+/// web-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cloaking {
+    /// Serves the phishing page to both device profiles.
+    None,
+    /// Phishing page for mobile user-agents only; web gets a bland page.
+    MobileOnly,
+    /// Phishing page for desktop user-agents only.
+    WebOnly,
+}
+
+/// Per-snapshot liveness (Figure 17: ~80% still live after a month;
+/// Table 13 shows a page that disappears and *comes back*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LifetimePattern {
+    /// Live in all four snapshots.
+    Stable,
+    /// Taken down starting at snapshot `down_from` (0-based).
+    TakenDown {
+        /// First snapshot index at which the page is gone.
+        down_from: u8,
+    },
+    /// Replaced by a benign page at snapshot 2, phishing again at 3 —
+    /// the `tacebook.ga` pattern.
+    Comeback,
+}
+
+impl LifetimePattern {
+    /// Whether the phishing page is being served at snapshot `s` (0..4).
+    pub fn phishing_live(&self, s: u8) -> bool {
+        match self {
+            LifetimePattern::Stable => true,
+            LifetimePattern::TakenDown { down_from } => s < *down_from,
+            LifetimePattern::Comeback => s != 2,
+        }
+    }
+}
+
+/// The targeted-scam archetypes from the paper's case studies (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScamKind {
+    /// Classic credential-stealing login form.
+    FakeLogin,
+    /// Fake search engine serving extra ads (goofle.com.ua).
+    FakeSearch,
+    /// Tech-support scam with a phone number (live-microsoftsupport.com).
+    TechSupport,
+    /// Payroll-service scam (mobile-adp.com).
+    Payroll,
+    /// Account theft for offline abuse (go-uberfreight.com).
+    OfflineScam,
+    /// Payment-account compromise (securemail-citizenslc.com).
+    PaymentTheft,
+}
+
+impl ScamKind {
+    /// All archetypes.
+    pub const ALL: [ScamKind; 6] = [
+        ScamKind::FakeLogin,
+        ScamKind::FakeSearch,
+        ScamKind::TechSupport,
+        ScamKind::Payroll,
+        ScamKind::OfflineScam,
+        ScamKind::PaymentTheft,
+    ];
+}
+
+/// Evasion knobs of one squatting phishing page (§4.2, Table 11).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhishingProfile {
+    /// Impersonated brand.
+    pub brand: BrandId,
+    /// Scam archetype.
+    pub scam: ScamKind,
+    /// Layout obfuscation intensity 0..=3 (0 ≈ pixel-near copy, distance
+    /// ~7; 3 ≈ heavily restyled, distance ~38 — Figure 8).
+    pub layout_obfuscation: u8,
+    /// Brand keywords hidden from HTML text (homoglyphs / baked into
+    /// images) while staying visible on screen.
+    pub string_obfuscation: bool,
+    /// Obfuscated JavaScript on the page.
+    pub code_obfuscation: bool,
+    /// Device cloaking.
+    pub cloaking: Cloaking,
+    /// Per-snapshot liveness.
+    pub lifetime: LifetimePattern,
+}
+
+/// What a (squatting) domain does when visited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiteBehavior {
+    /// Unreachable (the ~45% of squatting domains that never resolve to a
+    /// live site — Table 2).
+    Dead,
+    /// Generic parked page with ads.
+    Parked,
+    /// An unrelated benign site that happens to sit on the squat domain.
+    Benign,
+    /// Benign page that *looks* phishy: survey forms, feedback boxes,
+    /// third-party brand plugins (the paper's main false-positive source).
+    ConfusingBenign,
+    /// Defensive registration: redirects to the brand's real site (1.7%).
+    RedirectOriginal {
+        /// The brand whose official site is the target.
+        brand: BrandId,
+    },
+    /// For-sale redirect to a domain marketplace (3.0%).
+    RedirectMarket {
+        /// Marketplace index into [`crate::world::MARKETPLACES`].
+        market: usize,
+    },
+    /// Redirect somewhere else (8.0%).
+    RedirectOther,
+    /// A squatting phishing page.
+    Phishing(PhishingProfile),
+}
+
+impl SiteBehavior {
+    /// Whether this behavior serves *any* HTTP response.
+    pub fn is_live(&self) -> bool {
+        !matches!(self, SiteBehavior::Dead)
+    }
+
+    /// Whether this is a phishing behavior.
+    pub fn is_phishing(&self) -> bool {
+        matches!(self, SiteBehavior::Phishing(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_patterns() {
+        assert!(LifetimePattern::Stable.phishing_live(3));
+        let down = LifetimePattern::TakenDown { down_from: 2 };
+        assert!(down.phishing_live(0));
+        assert!(down.phishing_live(1));
+        assert!(!down.phishing_live(2));
+        assert!(!down.phishing_live(3));
+        let back = LifetimePattern::Comeback;
+        assert!(back.phishing_live(0));
+        assert!(back.phishing_live(1));
+        assert!(!back.phishing_live(2));
+        assert!(back.phishing_live(3), "tacebook.ga comes back in snapshot 4");
+    }
+
+    #[test]
+    fn behavior_liveness() {
+        assert!(!SiteBehavior::Dead.is_live());
+        assert!(SiteBehavior::Parked.is_live());
+        assert!(SiteBehavior::RedirectOther.is_live());
+    }
+
+    #[test]
+    fn phishing_flag() {
+        let p = SiteBehavior::Phishing(PhishingProfile {
+            brand: 0,
+            scam: ScamKind::FakeLogin,
+            layout_obfuscation: 1,
+            string_obfuscation: true,
+            code_obfuscation: false,
+            cloaking: Cloaking::None,
+            lifetime: LifetimePattern::Stable,
+        });
+        assert!(p.is_phishing());
+        assert!(!SiteBehavior::Benign.is_phishing());
+    }
+}

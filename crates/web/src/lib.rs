@@ -1,0 +1,30 @@
+//! The synthetic web world (paper §3.2, §4, §6).
+//!
+//! The paper crawls the live 2018 web; we rebuild that world from its
+//! measured distributions so every downstream pipeline stage runs on
+//! equivalent inputs:
+//!
+//! * [`behavior`] — per-domain site behavior (dead / parked / benign /
+//!   redirect-to-original / redirect-to-marketplace / phishing with
+//!   evasion knobs), assigned with the paper's Table 2-4 ratios,
+//! * [`pages`] — HTML generators: canonical brand login pages, phishing
+//!   variants (layout / string / code obfuscation), parked pages,
+//!   marketplace pages, and the "easy-to-confuse" benign pages (survey
+//!   forms, brand plugins) that the paper says cause classifier errors,
+//! * [`world`] — [`WebWorld`]: host → behavior resolution, device
+//!   cloaking, snapshot liveness (Figure 17, Table 13),
+//! * [`whois`] — registrar and registration-year model (Figure 16) and
+//!   IP geolocation model (Figure 15).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod pages;
+pub mod whois;
+pub mod world;
+
+pub use behavior::{Cloaking, LifetimePattern, PhishingProfile, ScamKind, SiteBehavior};
+pub use pages::PageStyle;
+pub use whois::{country_of, registrar_of, registration_year, WhoisRecord};
+pub use world::{Device, ServeResult, Site, Snapshot, WebWorld, WorldConfig};

@@ -1,0 +1,78 @@
+//! Quickstart: the SquatPhi API in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the core objects: the brand registry, squatting candidate
+//! generation, the reverse detector, and the phishing classifier's
+//! feature extractor.
+
+use squatphi::FeatureExtractor;
+use squatphi_domain::{idna, DomainName};
+use squatphi_squat::gen::{generate_all, GenBudget};
+use squatphi_squat::{BrandRegistry, SquatDetector};
+
+fn main() {
+    // 1. The paper's 702 monitored brands.
+    let registry = BrandRegistry::paper();
+    println!("registry: {} brands ({} PhishTank targets)", registry.len(),
+             registry.phishtank_targets().count());
+
+    // 2. Generate squatting candidates for one brand (the DNSTwist
+    //    direction).
+    let facebook = registry.by_label("facebook").expect("facebook is a named brand");
+    let budget = GenBudget { homograph: 5, bits: 3, typo: 5, combo: 5, wrong_tld: 3 };
+    println!("\nsample candidates for {}:", facebook.domain);
+    for c in generate_all(facebook, budget) {
+        let display = if c.domain.is_idn() {
+            format!("{} (shown as {})", c.domain, idna::to_unicode(c.domain.as_str()))
+        } else {
+            c.domain.to_string()
+        };
+        println!("  {:<46} {}", display, c.squat_type);
+    }
+
+    // 3. Classify arbitrary domains (the scan direction).
+    let detector = SquatDetector::new(&registry);
+    println!("\nclassification:");
+    for host in [
+        "faceb00k.pw",
+        "xn--fcebook-8va.com",
+        "goofle.com.ua",
+        "go-uberfreight.com",
+        "facebook.audi",
+        "facebook.com",
+        "winterpillow.net",
+    ] {
+        let domain = DomainName::parse(host).expect("valid domain");
+        match detector.classify(&domain) {
+            Some(m) => println!(
+                "  {:<24} squatting ({}) on {}",
+                host,
+                m.squat_type,
+                registry.get(m.brand).expect("valid brand id").label
+            ),
+            None => println!("  {host:<24} not squatting"),
+        }
+    }
+
+    // 4. Extract classifier features from a page (OCR + lexical + form).
+    let extractor = FeatureExtractor::new(&registry);
+    let page = r#"
+        <html><head><title>paypal login</title></head><body>
+        <h1>paypal</h1>
+        <p>please sign in to continue</p>
+        <form action="http://paypal-cash.com/login.php">
+          <input type="email" placeholder="email or phone">
+          <input type="password" placeholder="password">
+          <button type="submit">log in</button>
+        </form></body></html>"#;
+    let features = extractor.extract(page);
+    println!(
+        "\nfeature vector: {} non-zero dims of {} (password inputs: {})",
+        features.nnz(),
+        extractor.dim(),
+        features.get(extractor.space().numeric("password_inputs").expect("numeric dim")),
+    );
+}

@@ -1,0 +1,2 @@
+//! Workspace façade. See README.md.
+pub use squatphi as core;

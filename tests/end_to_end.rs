@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: the full SquatPhi pipeline at test
+//! scale, checked for internal consistency across every stage boundary.
+
+use squatphi::analysis;
+use squatphi::pipeline::PipelineResult;
+use squatphi::{SimConfig, SquatPhi};
+use squatphi_web::{Device, SiteBehavior};
+use std::sync::OnceLock;
+
+fn result() -> &'static PipelineResult {
+    static R: OnceLock<PipelineResult> = OnceLock::new();
+    R.get_or_init(|| SquatPhi::run(&SimConfig::tiny()))
+}
+
+#[test]
+fn scan_crawl_and_world_agree_on_domains() {
+    let r = result();
+    assert_eq!(r.crawl.len(), r.scan.total_matches());
+    for m in &r.scan.matches {
+        assert!(
+            r.world.site(&m.domain.registrable()).is_some(),
+            "{} scanned but missing from the world",
+            m.domain
+        );
+    }
+}
+
+#[test]
+fn every_confirmed_detection_is_ground_truth_phishing() {
+    let r = result();
+    for d in r.confirmed(Device::Web).iter().chain(&r.confirmed(Device::Mobile)) {
+        let site = r.world.site(&d.domain).expect("site exists");
+        assert!(site.behavior.is_phishing(), "{} confirmed but benign", d.domain);
+    }
+}
+
+#[test]
+fn unconfirmed_detections_are_ground_truth_benign_or_cloaked() {
+    let r = result();
+    for d in r.web_detections.iter().filter(|d| !d.confirmed) {
+        let site = r.world.site(&d.domain).expect("site exists");
+        match &site.behavior {
+            SiteBehavior::Phishing(p) => {
+                // Only acceptable reason: cloaked away from this device or
+                // down at snapshot 0.
+                let cloaked = p.cloaking == squatphi_web::Cloaking::MobileOnly;
+                let down = !p.lifetime.phishing_live(0);
+                assert!(
+                    cloaked || down,
+                    "{} unconfirmed yet live uncloaked phishing",
+                    d.domain
+                );
+            }
+            _ => {} // classifier false positive — expected
+        }
+    }
+}
+
+#[test]
+fn evaluation_models_are_ordered_sanely() {
+    let r = result();
+    let auc = |name: &str| {
+        r.eval
+            .models
+            .iter()
+            .find(|m| m.name == name)
+            .expect("model present")
+            .metrics
+            .auc
+    };
+    // The paper's ordering: RF best, NB worst.
+    assert!(auc("RandomForest") >= auc("NaiveBayes"));
+    assert!(auc("RandomForest") > 0.85);
+}
+
+#[test]
+fn feed_statistics_survive_the_pipeline() {
+    let r = result();
+    assert!(!r.feed.entries.is_empty());
+    let squatting = r.feed.entries.iter().filter(|e| e.squat_type.is_some()).count();
+    let frac = squatting as f64 / r.feed.entries.len() as f64;
+    assert!(frac < 0.2, "feed squatting fraction {frac} too high (paper: 9%)");
+}
+
+#[test]
+fn analyses_are_consistent_with_detections() {
+    let r = result();
+    let per_brand = analysis::confirmed_per_brand(r);
+    let per_type = analysis::confirmed_per_type(r);
+    let web_total: usize = per_type.iter().map(|(w, _)| w).sum();
+    assert_eq!(
+        web_total,
+        r.confirmed(Device::Web)
+            .iter()
+            .map(|d| d.domain.as_str())
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    );
+    let brand_web: usize = per_brand.iter().map(|(_, w, _)| w).sum();
+    assert_eq!(brand_web, web_total);
+}
+
+#[test]
+fn blacklist_coverage_shape() {
+    let r = result();
+    let (pt, _vt, _ecx, none) = analysis::blacklist_coverage(r);
+    let total = r.confirmed_domains().len();
+    assert_eq!(pt, 0, "PhishTank never lists squatting phishing (Table 12)");
+    assert!(none as f64 >= total as f64 * 0.8, "undetected {none}/{total}");
+}
+
+#[test]
+fn snapshot_liveness_is_monotone_enough() {
+    let r = result();
+    let live = analysis::snapshot_liveness(r);
+    // Snapshot 0 must have the most live pages; after a month at least
+    // half survive (paper: ~80%).
+    let first = live[0].0 + live[0].1;
+    let last = live[3].0 + live[3].1;
+    assert!(first > 0);
+    assert!(last * 2 >= first, "survival collapsed: {first} -> {last}");
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    // A second tiny run must agree with the shared one on headline counts.
+    let again = SquatPhi::run(&SimConfig::tiny());
+    let r = result();
+    assert_eq!(again.scan.total_matches(), r.scan.total_matches());
+    assert_eq!(again.confirmed_domains().len(), r.confirmed_domains().len());
+    assert_eq!(again.web_detections.len(), r.web_detections.len());
+}
