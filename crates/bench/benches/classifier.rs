@@ -22,7 +22,11 @@ fn fixture() -> (FeatureExtractor, Dataset) {
             i as u64,
         ));
         benign.push(pages::benign_page(&format!("b{i}.com"), i as u64));
-        benign.push(pages::confusing_benign_page(&format!("c{i}.com"), Some(&brand.label), i as u64));
+        benign.push(pages::confusing_benign_page(
+            &format!("c{i}.com"),
+            Some(&brand.label),
+            i as u64,
+        ));
     }
     let p: Vec<&str> = phishing.iter().map(String::as_str).collect();
     let n: Vec<&str> = benign.iter().map(String::as_str).collect();
@@ -52,7 +56,10 @@ fn bench_training(c: &mut Criterion) {
     });
     group.bench_function("random_forest_60_trees", |b| {
         b.iter(|| {
-            let mut m = RandomForest::new(RandomForestConfig { trees: 60, ..Default::default() });
+            let mut m = RandomForest::new(RandomForestConfig {
+                trees: 60,
+                ..Default::default()
+            });
             m.fit(black_box(&data));
             black_box(m.score(data.x(0)))
         })
@@ -67,8 +74,12 @@ fn bench_prediction(c: &mut Criterion) {
     let mut knn = Knn::new(5);
     knn.fit(&data);
     let x = data.x(0);
-    c.bench_function("predict/random_forest", |b| b.iter(|| black_box(rf.score(black_box(x)))));
-    c.bench_function("predict/knn", |b| b.iter(|| black_box(knn.score(black_box(x)))));
+    c.bench_function("predict/random_forest", |b| {
+        b.iter(|| black_box(rf.score(black_box(x))))
+    });
+    c.bench_function("predict/knn", |b| {
+        b.iter(|| black_box(knn.score(black_box(x))))
+    });
 }
 
 fn bench_forest_size_ablation(c: &mut Criterion) {
@@ -78,7 +89,10 @@ fn bench_forest_size_ablation(c: &mut Criterion) {
     for trees in [10usize, 30, 60, 120] {
         group.bench_with_input(BenchmarkId::from_parameter(trees), &trees, |b, &trees| {
             b.iter(|| {
-                let mut m = RandomForest::new(RandomForestConfig { trees, ..Default::default() });
+                let mut m = RandomForest::new(RandomForestConfig {
+                    trees,
+                    ..Default::default()
+                });
                 m.fit(black_box(&data));
                 black_box(m.tree_count())
             })

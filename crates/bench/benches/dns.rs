@@ -66,5 +66,10 @@ fn bench_snapshot_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wire_codec, bench_scan, bench_snapshot_generation);
+criterion_group!(
+    benches,
+    bench_wire_codec,
+    bench_scan,
+    bench_snapshot_generation
+);
 criterion_main!(benches);

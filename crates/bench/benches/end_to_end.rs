@@ -37,21 +37,35 @@ fn bench_crawl_width(c: &mut Criterion) {
     let world = Arc::new(WebWorld::build(
         &squats,
         &registry,
-        &WorldConfig { phishing_domains: 60, seed: 5, ..WorldConfig::default() },
+        &WorldConfig {
+            phishing_domains: 60,
+            seed: 5,
+            ..WorldConfig::default()
+        },
     ));
     let transport = InProcessTransport::new(world);
-    let jobs: Vec<_> = squats.iter().map(|(d, b, t, _)| (d.clone(), *b, *t)).collect();
+    let jobs: Vec<_> = squats
+        .iter()
+        .map(|(d, b, t, _)| (d.clone(), *b, *t))
+        .collect();
 
     let mut group = c.benchmark_group("ablation/crawl_workers");
     group.sample_size(10);
     for workers in [1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
-            b.iter(|| {
-                let cfg = CrawlConfig { workers, ..CrawlConfig::default() };
-                let (records, _) = crawl_all(&jobs, &registry, &transport, &cfg);
-                black_box(records.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let cfg = CrawlConfig {
+                        workers,
+                        ..CrawlConfig::default()
+                    };
+                    let (records, _) = crawl_all(&jobs, &registry, &transport, &cfg);
+                    black_box(records.len())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -45,7 +45,9 @@ fn bench_render_and_ocr(c: &mut Criterion) {
 
 fn bench_hashing(c: &mut Criterion) {
     let bmp = render_page(&parse(&sample_phishing_page()), &RenderOptions::default());
-    c.bench_function("imghash/average", |b| b.iter(|| black_box(average_hash(black_box(&bmp)))));
+    c.bench_function("imghash/average", |b| {
+        b.iter(|| black_box(average_hash(black_box(&bmp))))
+    });
     c.bench_function("imghash/difference", |b| {
         b.iter(|| black_box(difference_hash(black_box(&bmp))))
     });

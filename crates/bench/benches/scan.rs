@@ -1,0 +1,90 @@
+//! Scan hot-path benchmarks (the ISSUE's throughput trajectory).
+//!
+//! `cargo bench --bench scan` exercises the two layers the baseline file
+//! tracks: the per-record `classify` fast path (zero-alloc for ASCII
+//! labels) and the full multi-threaded `scan`. The committed
+//! `BENCH_scan.json` (written by `cargo run --release --bin scan_baseline`)
+//! records the same workload so regressions show up as a diff.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use squatphi_dnsdb::{scan, synth, SnapshotConfig};
+use squatphi_domain::DomainName;
+use squatphi_squat::{BrandRegistry, ClassifyStats, SquatDetector};
+
+/// A mixed classify workload: misses, near-misses and every squat type.
+fn classify_workload() -> Vec<DomainName> {
+    [
+        "winterpillow.net",
+        "pepper-garden.org",
+        "example.com",
+        "random-hyphen-words.org",
+        "faceb00k.pw",
+        "facebnok.tk",
+        "facebo0ok.com",
+        "fcaebook.org",
+        "facebook-story.de",
+        "facebook.audi",
+        "goog1e.nl",
+        "go-uberfreight.com",
+        "live-microsoftsupport.com",
+        "xn--fcebook-8va.com",
+    ]
+    .iter()
+    .map(|s| DomainName::parse(s).expect("valid bench domain"))
+    .collect()
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let registry = BrandRegistry::paper();
+    let detector = SquatDetector::new(&registry);
+    let domains = classify_workload();
+
+    let mut group = c.benchmark_group("scan/classify");
+    group.throughput(Throughput::Elements(domains.len() as u64));
+    group.bench_function("mixed_workload", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for d in &domains {
+                if detector.classify(black_box(d)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("mixed_workload_with_stats", |b| {
+        b.iter(|| {
+            let mut stats = ClassifyStats::default();
+            for d in &domains {
+                black_box(detector.classify_with_stats(black_box(d), &mut stats));
+            }
+            stats.probes
+        })
+    });
+    group.finish();
+}
+
+fn bench_scan_threads(c: &mut Criterion) {
+    let registry = BrandRegistry::paper();
+    let detector = SquatDetector::new(&registry);
+    let cfg = SnapshotConfig {
+        benign_records: 50_000,
+        squatting_records: 200,
+        subdomain_fraction: 0.25,
+        seed: 1,
+    };
+    let (store, _) = synth::generate(&cfg, &registry);
+
+    let mut group = c.benchmark_group("scan/50k_records");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(store.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(scan(&store, &registry, &detector, t)).total_matches())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify, bench_scan_threads);
+criterion_main!(benches);

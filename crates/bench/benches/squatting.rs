@@ -95,5 +95,10 @@ fn bench_dnstwist_style_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_detection, bench_dnstwist_style_ablation);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_detection,
+    bench_dnstwist_style_ablation
+);
 criterion_main!(benches);

@@ -68,7 +68,12 @@ fn main() {
         for (i, html) in evasive_pos.iter().enumerate() {
             let brand = registry.get((i / 2) % registry.len()).expect("brand");
             let v = embed(html);
-            if fx.space().keyword(&brand.label).map(|d| v.get(d) > 0.0).unwrap_or(false) {
+            if fx
+                .space()
+                .keyword(&brand.label)
+                .map(|d| v.get(d) > 0.0)
+                .unwrap_or(false)
+            {
                 recovered += 1;
             }
         }
@@ -93,8 +98,8 @@ fn main() {
             let (train, _) = data.split_fold(&folds, fold);
             let mut rf = RandomForest::new(forest_config(3));
             rf.fit(&train);
-            for i in 0..data.len() {
-                if folds[i] == fold {
+            for (i, &f) in folds.iter().enumerate().take(data.len()) {
+                if f == fold {
                     let s = rf.score(data.x(i));
                     scored.push((s, data.y(i)));
                     if evasive_idx.contains(&i) {
@@ -116,8 +121,11 @@ fn main() {
         for (i, html) in evasive_pos.iter().enumerate() {
             let brand = registry.get((i / 2) % registry.len()).expect("brand");
             let v = embed(html);
-            let brand_ok =
-                fx.space().keyword(&brand.label).map(|d| v.get(d) > 0.0).unwrap_or(false);
+            let brand_ok = fx
+                .space()
+                .keyword(&brand.label)
+                .map(|d| v.get(d) > 0.0)
+                .unwrap_or(false);
             if full_model.score(&v) >= 0.5 && brand_ok {
                 gated += 1;
             }
@@ -147,9 +155,18 @@ fn main() {
         let brand = registry.by_label("paypal").expect("paypal");
         let html = pages::brand_login_page(brand);
         let bmp = render_page(&parse(&html), &RenderOptions::default());
-        let cfg = OcrConfig { char_error_rate: 0.0, ..OcrConfig::default() };
+        let cfg = OcrConfig {
+            char_error_rate: 0.0,
+            ..OcrConfig::default()
+        };
         for (name, budget) in [
-            ("clean      ", NoiseBudget { density: 0.0, amplitude: 0 }),
+            (
+                "clean      ",
+                NoiseBudget {
+                    density: 0.0,
+                    amplitude: 0,
+                },
+            ),
             ("subtle     ", NoiseBudget::subtle()),
             ("moderate   ", NoiseBudget::moderate()),
             ("heavy      ", NoiseBudget::heavy()),
@@ -165,7 +182,9 @@ fn main() {
                 total / 5.0 * 100.0
             );
         }
-        println!("  (the paper's argument: budgets that defeat OCR also destroy the page's legitimacy)");
+        println!(
+            "  (the paper's argument: budgets that defeat OCR also destroy the page's legitimacy)"
+        );
     }
 
     // --- reinforcement round (paper §6.1 future work) -------------------------
@@ -176,8 +195,10 @@ fn main() {
         let config = SimConfig::tiny();
         let result = SquatPhi::run(&config);
         let top8 = result.feed.top8(&result.registry);
-        let base_pages: Vec<(&str, bool)> =
-            top8.iter().map(|e| (e.html.as_str(), e.still_phishing)).collect();
+        let base_pages: Vec<(&str, bool)> = top8
+            .iter()
+            .map(|e| (e.html.as_str(), e.still_phishing))
+            .collect();
         let base = result.extractor.build_dataset(&base_pages, config.threads);
         let before = wild_error_count(&result, &result.extractor, &result.model, config.threads);
         let out = reinforce(&result, &result.extractor, &base, config.threads, 5);
@@ -210,7 +231,10 @@ fn main() {
             7,
         );
         let m = Metrics::from_scores(&scored, 0.5);
-        println!("  {trees:>4} trees  AUC {:.3}  ACC {:.3}", m.auc, m.accuracy);
+        println!(
+            "  {trees:>4} trees  AUC {:.3}  ACC {:.3}",
+            m.auc, m.accuracy
+        );
     }
 }
 
@@ -227,7 +251,12 @@ fn phishing(brand: &Brand, evasive: bool, seed: u64) -> String {
     // Avoid the two-step branch (seed % 16 == 7) so recall is measured on
     // full login pages only.
     let page_seed = seed * 16 + usize::from(evasive) as u64;
-    pages::phishing_page(brand, &profile, &format!("{}-x.com", brand.label), page_seed)
+    pages::phishing_page(
+        brand,
+        &profile,
+        &format!("{}-x.com", brand.label),
+        page_seed,
+    )
 }
 
 /// Lexical + form channels only — the OCR-off arm.
@@ -251,7 +280,12 @@ fn lexical_only(fx: &FeatureExtractor, html: &str) -> SparseVec {
                 v.add(i, 1.0);
             }
         }
-        for s in f.placeholders.iter().chain(&f.submit_texts).chain(&f.input_names) {
+        for s in f
+            .placeholders
+            .iter()
+            .chain(&f.submit_texts)
+            .chain(&f.input_names)
+        {
             for t in tokenize(s) {
                 if let Some(i) = fx.space().keyword(&t) {
                     v.add(i, 1.0);
@@ -260,7 +294,10 @@ fn lexical_only(fx: &FeatureExtractor, html: &str) -> SparseVec {
         }
     }
     if !forms.is_empty() {
-        v.add(fx.space().numeric("form_count").expect("dim"), forms.len() as f64);
+        v.add(
+            fx.space().numeric("form_count").expect("dim"),
+            forms.len() as f64,
+        );
     }
     if pw > 0.0 {
         v.add(fx.space().numeric("password_inputs").expect("dim"), pw);

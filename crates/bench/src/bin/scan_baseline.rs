@@ -1,0 +1,110 @@
+//! Writes `BENCH_scan.json`: the scan-throughput baseline each PR commits
+//! so the throughput trajectory of the hot path stays on record.
+//!
+//! ```text
+//! cargo run --release -p squatphi-bench --bin scan_baseline [out.json]
+//! ```
+//!
+//! The workload matches `benches/scan.rs` (50k-record synthetic snapshot,
+//! paper-scale registry). Numbers are machine-dependent; the file is a
+//! trajectory record, not a CI gate — compare ratios, not absolutes.
+//! `BENCH_QUICK=1` runs a single iteration for smoke testing.
+
+use squatphi_dnsdb::{scan_with_metrics, synth, ScanMetrics, SnapshotConfig};
+use squatphi_squat::{BrandRegistry, SquatDetector};
+use std::fmt::Write as _;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scan.json".to_string());
+    let quick = std::env::var_os("BENCH_QUICK").is_some();
+    let iterations = if quick { 1 } else { 5 };
+
+    let registry = BrandRegistry::paper();
+    let detector = SquatDetector::new(&registry);
+    let cfg = SnapshotConfig {
+        benign_records: 50_000,
+        squatting_records: 200,
+        subdomain_fraction: 0.25,
+        seed: 1,
+    };
+    let (store, _) = synth::generate(&cfg, &registry);
+    eprintln!(
+        "[scan_baseline] {} records, {} brands, {iterations} iteration(s) per thread count",
+        store.len(),
+        registry.len()
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": {{");
+    let _ = writeln!(json, "    \"records\": {},", store.len());
+    let _ = writeln!(json, "    \"brands\": {},", registry.len());
+    let _ = writeln!(
+        json,
+        "    \"squatting_records\": {},",
+        cfg.squatting_records
+    );
+    let _ = writeln!(json, "    \"seed\": {}", cfg.seed);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"iterations\": {iterations},");
+    let _ = writeln!(json, "  \"runs\": [");
+
+    let thread_counts = [1usize, 2, 4, 8];
+    for (ti, &threads) in thread_counts.iter().enumerate() {
+        // Best-of-N wall clock; counters are identical across iterations.
+        let mut best: Option<ScanMetrics> = None;
+        let mut matches = 0usize;
+        for _ in 0..iterations {
+            let (outcome, metrics) = scan_with_metrics(&store, &registry, &detector, threads);
+            matches = outcome.total_matches();
+            if best.as_ref().map(|b| metrics.wall < b.wall).unwrap_or(true) {
+                best = Some(metrics);
+            }
+        }
+        let m = best.expect("at least one iteration");
+        eprintln!(
+            "[scan_baseline] {threads} thread(s): {:.0} records/s ({} matches)",
+            m.records_per_sec(),
+            matches
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"threads\": {threads},");
+        let _ = writeln!(
+            json,
+            "      \"records_per_sec\": {:.1},",
+            m.records_per_sec()
+        );
+        let _ = writeln!(
+            json,
+            "      \"wall_ms\": {:.3},",
+            m.wall.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(json, "      \"matches\": {matches},");
+        let _ = writeln!(json, "      \"probes\": {},", m.probes());
+        let _ = writeln!(
+            json,
+            "      \"allocations_avoided\": {},",
+            m.allocations_avoided()
+        );
+        let _ = writeln!(json, "      \"invalid\": {},", m.invalid());
+        let _ = writeln!(json, "      \"dedupe_collisions\": {}", m.dedupe_collisions);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if ti + 1 < thread_counts.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("scan_baseline: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("[scan_baseline] baseline written to {out_path}");
+}

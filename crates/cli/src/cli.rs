@@ -102,7 +102,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 i += 1;
             }
-            Ok(Command::Gen { brand: brand.ok_or_else(|| err("gen needs a brand label"))?, limit })
+            Ok(Command::Gen {
+                brand: brand.ok_or_else(|| err("gen needs a brand label"))?,
+                limit,
+            })
         }
         "classify" => {
             let domains: Vec<String> = it.cloned().collect();
@@ -121,8 +124,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 match rest[i].as_str() {
                     "--type" => {
                         i += 1;
-                        type_filter =
-                            Some(rest.get(i).ok_or_else(|| err("--type needs a value"))?.to_string());
+                        type_filter = Some(
+                            rest.get(i)
+                                .ok_or_else(|| err("--type needs a value"))?
+                                .to_string(),
+                        );
                     }
                     "--threads" => {
                         i += 1;
@@ -151,15 +157,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 match rest[i].as_str() {
                     "--brand" => {
                         i += 1;
-                        brand =
-                            Some(rest.get(i).ok_or_else(|| err("--brand needs a label"))?.to_string());
+                        brand = Some(
+                            rest.get(i)
+                                .ok_or_else(|| err("--brand needs a label"))?
+                                .to_string(),
+                        );
                     }
                     other if path.is_none() => path = Some(other.to_string()),
                     other => return Err(err(format!("unexpected argument {other:?}"))),
                 }
                 i += 1;
             }
-            Ok(Command::Page { path: path.ok_or_else(|| err("page needs an HTML file path"))?, brand })
+            Ok(Command::Page {
+                path: path.ok_or_else(|| err("page needs an HTML file path"))?,
+                brand,
+            })
         }
         "render" => {
             let mut path = None;
@@ -185,7 +197,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 width: width.max(8),
             })
         }
-        other => Err(err(format!("unknown subcommand {other:?} (try `squatphi help`)"))),
+        other => Err(err(format!(
+            "unknown subcommand {other:?} (try `squatphi help`)"
+        ))),
     }
 }
 
@@ -201,11 +215,17 @@ mod tests {
     fn parses_gen() {
         assert_eq!(
             parse_args(&args("gen facebook --limit 5")).unwrap(),
-            Command::Gen { brand: "facebook".into(), limit: 5 }
+            Command::Gen {
+                brand: "facebook".into(),
+                limit: 5
+            }
         );
         assert_eq!(
             parse_args(&args("gen paypal")).unwrap(),
-            Command::Gen { brand: "paypal".into(), limit: 10 }
+            Command::Gen {
+                brand: "paypal".into(),
+                limit: 10
+            }
         );
         assert!(parse_args(&args("gen")).is_err());
         assert!(parse_args(&args("gen a b")).is_err());
@@ -215,7 +235,9 @@ mod tests {
     fn parses_classify() {
         assert_eq!(
             parse_args(&args("classify faceb00k.pw goofle.com.ua")).unwrap(),
-            Command::Classify { domains: vec!["faceb00k.pw".into(), "goofle.com.ua".into()] }
+            Command::Classify {
+                domains: vec!["faceb00k.pw".into(), "goofle.com.ua".into()]
+            }
         );
         assert!(parse_args(&args("classify")).is_err());
     }
@@ -224,7 +246,11 @@ mod tests {
     fn parses_scan() {
         assert_eq!(
             parse_args(&args("scan zone.txt --type Combo --threads 4")).unwrap(),
-            Command::Scan { path: "zone.txt".into(), type_filter: Some("Combo".into()), threads: 4 }
+            Command::Scan {
+                path: "zone.txt".into(),
+                type_filter: Some("Combo".into()),
+                threads: 4
+            }
         );
         assert!(parse_args(&args("scan --type Combo")).is_err());
     }
@@ -233,11 +259,17 @@ mod tests {
     fn parses_page_and_render() {
         assert_eq!(
             parse_args(&args("page p.html --brand paypal")).unwrap(),
-            Command::Page { path: "p.html".into(), brand: Some("paypal".into()) }
+            Command::Page {
+                path: "p.html".into(),
+                brand: Some("paypal".into())
+            }
         );
         assert_eq!(
             parse_args(&args("render p.html --width 60")).unwrap(),
-            Command::Render { path: "p.html".into(), width: 60 }
+            Command::Render {
+                path: "p.html".into(),
+                width: 60
+            }
         );
         assert!(parse_args(&args("render --width 60")).is_err());
     }

@@ -3,8 +3,8 @@
 
 use crate::cli::Command;
 use squatphi::FeatureExtractor;
+use squatphi_dnsdb::{scan_with_metrics, RecordStore};
 use squatphi_domain::{idna, DomainName};
-use squatphi_dnsdb::{scan, RecordStore};
 use squatphi_feeds::{FeedConfig, GroundTruthFeed};
 use squatphi_ml::Classifier;
 use squatphi_squat::gen::{generate_all, GenBudget};
@@ -17,7 +17,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         Command::Help => Ok(crate::cli::USAGE.to_string()),
         Command::Gen { brand, limit } => gen(brand, *limit),
         Command::Classify { domains } => classify(domains),
-        Command::Scan { path, type_filter, threads } => scan_zone(path, type_filter.as_deref(), *threads),
+        Command::Scan {
+            path,
+            type_filter,
+            threads,
+        } => scan_zone(path, type_filter.as_deref(), *threads),
         Command::Page { path, brand } => page(path, brand.as_deref()),
         Command::Render { path, width } => render(path, *width),
     }
@@ -29,9 +33,9 @@ fn registry() -> BrandRegistry {
 
 fn gen(brand_label: &str, limit: usize) -> Result<String, String> {
     let registry = registry();
-    let brand = registry
-        .by_label(brand_label)
-        .ok_or_else(|| format!("unknown brand {brand_label:?} (702 brands monitored; try `facebook`)"))?;
+    let brand = registry.by_label(brand_label).ok_or_else(|| {
+        format!("unknown brand {brand_label:?} (702 brands monitored; try `facebook`)")
+    })?;
     let budget = GenBudget {
         homograph: limit,
         bits: limit,
@@ -42,7 +46,11 @@ fn gen(brand_label: &str, limit: usize) -> Result<String, String> {
     let mut out = format!("candidates for {} ({}):\n", brand.label, brand.domain);
     for c in generate_all(brand, budget) {
         let shown = if c.domain.is_idn() {
-            format!("{} (shown as {})", c.domain, idna::to_unicode(c.domain.as_str()))
+            format!(
+                "{} (shown as {})",
+                c.domain,
+                idna::to_unicode(c.domain.as_str())
+            )
         } else {
             c.domain.to_string()
         };
@@ -84,12 +92,21 @@ fn scan_zone(path: &str, type_filter: Option<&str>, threads: usize) -> Result<St
     let store = RecordStore::from_zone(&text).map_err(|e| format!("{path}: {e}"))?;
     let registry = registry();
     let detector = SquatDetector::new(&registry);
-    let outcome = scan(&store, &registry, &detector, threads);
+    let (outcome, metrics) = scan_with_metrics(&store, &registry, &detector, threads);
     let mut out = format!(
         "scanned {} records: {} squatting domains ({} invalid records skipped)\n",
         outcome.scanned,
         outcome.total_matches(),
         outcome.invalid
+    );
+    let _ = writeln!(
+        out,
+        "  {:.0} records/s over {} workers ({} probes, {} allocations avoided, {} dedupe collisions)",
+        metrics.records_per_sec(),
+        metrics.workers.len(),
+        metrics.probes(),
+        metrics.allocations_avoided(),
+        metrics.dedupe_collisions,
     );
     let names = ["Homograph", "Bits", "Typo", "Combo", "WrongTLD"];
     for (i, n) in outcome.by_type.iter().enumerate() {
@@ -97,7 +114,10 @@ fn scan_zone(path: &str, type_filter: Option<&str>, threads: usize) -> Result<St
     }
     for m in &outcome.matches {
         let ty = m.squat_type.to_string();
-        if type_filter.map(|f| f.eq_ignore_ascii_case(&ty)).unwrap_or(true) {
+        if type_filter
+            .map(|f| f.eq_ignore_ascii_case(&ty))
+            .unwrap_or(true)
+        {
             let _ = writeln!(
                 out,
                 "  {:<40} {:<10} {}",
@@ -122,12 +142,20 @@ fn page(path: &str, brand_label: Option<&str>) -> Result<String, String> {
     let text = squatphi_html::extract::extract_text(&doc);
     let forms = squatphi_html::extract::extract_forms(&doc);
     let js = squatphi_html::js::scan_document(&doc);
-    let _ = writeln!(out, "title: {:?}", text.title.first().map(String::as_str).unwrap_or(""));
+    let _ = writeln!(
+        out,
+        "title: {:?}",
+        text.title.first().map(String::as_str).unwrap_or("")
+    );
     let _ = writeln!(
         out,
         "forms: {} (password inputs: {})",
         forms.len(),
-        forms.iter().flat_map(|f| &f.input_types).filter(|t| *t == "password").count()
+        forms
+            .iter()
+            .flat_map(|f| &f.input_types)
+            .filter(|t| *t == "password")
+            .count()
     );
     let _ = writeln!(
         out,
@@ -158,7 +186,13 @@ fn page(path: &str, brand_label: Option<&str>) -> Result<String, String> {
 
     // Classifier score (model trained on the synthetic ground-truth feed;
     // a real deployment would load a persisted model instead).
-    let feed = GroundTruthFeed::generate(&registry, &FeedConfig { total_urls: 1_200, seed: 77 });
+    let feed = GroundTruthFeed::generate(
+        &registry,
+        &FeedConfig {
+            total_urls: 1_200,
+            seed: 77,
+        },
+    );
     let pages: Vec<(&str, bool)> = feed
         .entries
         .iter()
@@ -170,7 +204,11 @@ fn page(path: &str, brand_label: Option<&str>) -> Result<String, String> {
     let _ = writeln!(
         out,
         "phishing score: {score:.2} -> {}",
-        if score >= 0.5 { "FLAGGED" } else { "not flagged" }
+        if score >= 0.5 {
+            "FLAGGED"
+        } else {
+            "not flagged"
+        }
     );
     Ok(out)
 }
@@ -196,14 +234,22 @@ mod tests {
 
     #[test]
     fn gen_lists_candidates() {
-        let out = run(&Command::Gen { brand: "facebook".into(), limit: 2 }).expect("runs");
+        let out = run(&Command::Gen {
+            brand: "facebook".into(),
+            limit: 2,
+        })
+        .expect("runs");
         assert!(out.contains("Combo") || out.contains("combo"));
         assert!(out.contains("facebook"));
     }
 
     #[test]
     fn gen_rejects_unknown_brand() {
-        assert!(run(&Command::Gen { brand: "definitelynotabrand".into(), limit: 2 }).is_err());
+        assert!(run(&Command::Gen {
+            brand: "definitelynotabrand".into(),
+            limit: 2
+        })
+        .is_err());
     }
 
     #[test]
@@ -253,7 +299,9 @@ mod tests {
         })
         .expect("runs");
         assert!(combo_only.contains("paypal-cash.com"));
-        assert!(!combo_only.lines().any(|l| l.contains("faceb00k.pw") && l.contains("Homograph")));
+        assert!(!combo_only
+            .lines()
+            .any(|l| l.contains("faceb00k.pw") && l.contains("Homograph")));
     }
 
     #[test]
@@ -278,6 +326,10 @@ mod tests {
             threads: 1
         })
         .is_err());
-        assert!(run(&Command::Render { path: "/nonexistent/page".into(), width: 40 }).is_err());
+        assert!(run(&Command::Render {
+            path: "/nonexistent/page".into(),
+            width: 40
+        })
+        .is_err());
     }
 }

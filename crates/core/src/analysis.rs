@@ -50,7 +50,7 @@ pub fn confirmed_per_brand(result: &PipelineResult) -> Vec<(String, usize, usize
         })
         .filter(|(_, w, m)| *w + *m > 0)
         .collect();
-    out.sort_by(|a, b| (b.1 + b.2).cmp(&(a.1 + a.2)));
+    out.sort_by_key(|x| std::cmp::Reverse(x.1 + x.2));
     out
 }
 
@@ -82,9 +82,16 @@ pub fn confirmed_per_type(result: &PipelineResult) -> [(usize, usize); 5] {
 /// Cloaking split (§6.1): (both, mobile-only, web-only) confirmed
 /// phishing domains.
 pub fn cloaking_split(result: &PipelineResult) -> (usize, usize, usize) {
-    let web: HashSet<&str> = result.confirmed(Device::Web).iter().map(|d| d.domain.as_str()).collect();
-    let mobile: HashSet<&str> =
-        result.confirmed(Device::Mobile).iter().map(|d| d.domain.as_str()).collect();
+    let web: HashSet<&str> = result
+        .confirmed(Device::Web)
+        .iter()
+        .map(|d| d.domain.as_str())
+        .collect();
+    let mobile: HashSet<&str> = result
+        .confirmed(Device::Mobile)
+        .iter()
+        .map(|d| d.domain.as_str())
+        .collect();
     let both = web.intersection(&mobile).count();
     (both, mobile.len() - both, web.len() - both)
 }
@@ -96,7 +103,7 @@ pub fn geo_distribution(result: &PipelineResult) -> Vec<(&'static str, usize)> {
         *counts.entry(country_of(d)).or_default() += 1;
     }
     let mut out: Vec<(&'static str, usize)> = counts.into_iter().collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1));
+    out.sort_by_key(|x| std::cmp::Reverse(x.1));
     out
 }
 
@@ -115,8 +122,12 @@ pub fn registration_histogram(result: &PipelineResult) -> BTreeMap<u16, usize> {
 pub fn snapshot_liveness(result: &PipelineResult) -> [(usize, usize); 4] {
     let mut out = [(0usize, 0usize); 4];
     for domain in result.confirmed_domains() {
-        let Some(site) = result.world.site(domain) else { continue };
-        let SiteBehavior::Phishing(p) = &site.behavior else { continue };
+        let Some(site) = result.world.site(domain) else {
+            continue;
+        };
+        let SiteBehavior::Phishing(p) = &site.behavior else {
+            continue;
+        };
         for (s, slot) in out.iter_mut().enumerate() {
             if p.lifetime.phishing_live(s as u8) {
                 match p.cloaking {
@@ -214,7 +225,11 @@ pub fn redirect_league(result: &PipelineResult) -> Vec<(String, usize, usize, us
         .filter(|(_, (total, ..))| *total > 0)
         .map(|(b, (t, o, m, x))| {
             (
-                result.registry.get(b).map(|br| br.label.clone()).unwrap_or_default(),
+                result
+                    .registry
+                    .get(b)
+                    .map(|br| br.label.clone())
+                    .unwrap_or_default(),
                 t,
                 o,
                 m,
@@ -222,7 +237,7 @@ pub fn redirect_league(result: &PipelineResult) -> Vec<(String, usize, usize, us
             )
         })
         .collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1));
+    out.sort_by_key(|x| std::cmp::Reverse(x.1));
     out
 }
 
@@ -233,7 +248,9 @@ pub fn examples_per_brand<'a>(
     label: &str,
     limit: usize,
 ) -> Vec<&'a Detection> {
-    let Some(brand) = result.registry.by_label(label) else { return Vec::new() };
+    let Some(brand) = result.registry.by_label(label) else {
+        return Vec::new();
+    };
     let mut seen = HashSet::new();
     result
         .web_detections

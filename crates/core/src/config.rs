@@ -40,7 +40,9 @@ impl SimConfig {
             world: WorldConfig::default(),
             feed: FeedConfig::default(),
             brands: 702,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             sampled_benign: 1_565,
             cv_folds: 10,
             seed: 2018,
@@ -61,7 +63,10 @@ impl SimConfig {
                 seed: 12,
                 ..WorldConfig::default()
             },
-            feed: FeedConfig { total_urls: 700, seed: 13 },
+            feed: FeedConfig {
+                total_urls: 700,
+                seed: 13,
+            },
             brands: 60,
             threads: 4,
             sampled_benign: 150,
@@ -79,7 +84,10 @@ mod tests {
     fn paper_scale_scales_haystack_only() {
         let full = SimConfig::paper_scale(1);
         let scaled = SimConfig::paper_scale(100);
-        assert_eq!(scaled.snapshot.benign_records, full.snapshot.benign_records / 100);
+        assert_eq!(
+            scaled.snapshot.benign_records,
+            full.snapshot.benign_records / 100
+        );
         assert_eq!(scaled.world.phishing_domains, full.world.phishing_domains);
         assert_eq!(scaled.feed.total_urls, full.feed.total_urls);
         assert_eq!(scaled.brands, 702);

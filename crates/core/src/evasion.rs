@@ -147,8 +147,16 @@ mod tests {
     #[test]
     fn summary_statistics() {
         let ms = vec![
-            EvasionMeasurement { layout_distance: 10, string_obfuscated: true, code_obfuscated: false },
-            EvasionMeasurement { layout_distance: 30, string_obfuscated: false, code_obfuscated: true },
+            EvasionMeasurement {
+                layout_distance: 10,
+                string_obfuscated: true,
+                code_obfuscated: false,
+            },
+            EvasionMeasurement {
+                layout_distance: 30,
+                string_obfuscated: false,
+                code_obfuscated: true,
+            },
         ];
         let s = EvasionSummary::from_measurements(&ms);
         assert_eq!(s.layout_mean, 20.0);
@@ -160,7 +168,10 @@ mod tests {
 
     #[test]
     fn empty_summary_is_zeroed() {
-        assert_eq!(EvasionSummary::from_measurements(&[]), EvasionSummary::default());
+        assert_eq!(
+            EvasionSummary::from_measurements(&[]),
+            EvasionSummary::default()
+        );
     }
 
     #[test]

@@ -25,11 +25,46 @@ use squatphi_squat::BrandRegistry;
 /// data; we curate it from our page generators' vocabulary plus generic
 /// phishing material so it stays brand-agnostic).
 const PHISH_KEYWORDS: &[&str] = &[
-    "alert", "access", "authenticate", "bonus", "call", "center", "critical", "deposit",
-    "device", "direct", "driver", "expired", "gift", "infected", "instant", "locked",
-    "loads", "message", "official", "panel", "paycheck", "payroll", "pickup", "portal",
-    "recover", "remote", "required", "restore", "search", "session", "sponsored", "ssn",
-    "social", "statement", "suspend", "unusual", "validate", "virus", "waiting", "warning",
+    "alert",
+    "access",
+    "authenticate",
+    "bonus",
+    "call",
+    "center",
+    "critical",
+    "deposit",
+    "device",
+    "direct",
+    "driver",
+    "expired",
+    "gift",
+    "infected",
+    "instant",
+    "locked",
+    "loads",
+    "message",
+    "official",
+    "panel",
+    "paycheck",
+    "payroll",
+    "pickup",
+    "portal",
+    "recover",
+    "remote",
+    "required",
+    "restore",
+    "search",
+    "session",
+    "sponsored",
+    "ssn",
+    "social",
+    "statement",
+    "suspend",
+    "unusual",
+    "validate",
+    "virus",
+    "waiting",
+    "warning",
 ];
 
 /// Extracts sparse feature vectors from crawled pages.
@@ -55,8 +90,7 @@ impl FeatureExtractor {
     /// keyword list, the task dictionary, and every brand label
     /// (the paper's 987-dimension embedding).
     pub fn new(registry: &BrandRegistry) -> Self {
-        let brand_labels: Vec<String> =
-            registry.brands().iter().map(|b| b.label.clone()).collect();
+        let brand_labels: Vec<String> = registry.brands().iter().map(|b| b.label.clone()).collect();
         let keywords = squatphi_nlp::spell::BASE_DICTIONARY
             .iter()
             .copied()
@@ -106,7 +140,12 @@ impl FeatureExtractor {
                 }
                 form_tokens.extend(tokenize(t));
             }
-            for s in f.input_names.iter().chain(&f.placeholders).chain(&f.submit_texts) {
+            for s in f
+                .input_names
+                .iter()
+                .chain(&f.placeholders)
+                .chain(&f.submit_texts)
+            {
                 form_tokens.extend(tokenize(s));
             }
         }
@@ -153,9 +192,9 @@ impl FeatureExtractor {
         crossbeam::thread::scope(|s| {
             let mut handles = Vec::new();
             for part in htmls.chunks(chunk) {
-                handles.push(s.spawn(move |_| {
-                    part.iter().map(|h| self.extract(h)).collect::<Vec<_>>()
-                }));
+                handles.push(
+                    s.spawn(move |_| part.iter().map(|h| self.extract(h)).collect::<Vec<_>>()),
+                );
             }
             handles
                 .into_iter()

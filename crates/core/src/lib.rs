@@ -31,5 +31,5 @@ pub mod train;
 
 pub use config::SimConfig;
 pub use features::FeatureExtractor;
-pub use pipeline::{PipelineResult, SquatPhi};
+pub use pipeline::{Detection, PipelineResult, SquatPhi, StageTimings};
 pub use train::{train_and_evaluate, EvalReport, ModelEval};

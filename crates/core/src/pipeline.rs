@@ -4,12 +4,13 @@ use crate::config::SimConfig;
 use crate::features::FeatureExtractor;
 use crate::train::{self, EvalReport};
 use squatphi_crawler::{crawl_all, CrawlConfig, CrawlRecord, CrawlStats, InProcessTransport};
-use squatphi_dnsdb::{scan, synth, ScanOutcome};
+use squatphi_dnsdb::{scan_with_metrics, synth, ScanMetrics, ScanOutcome};
 use squatphi_feeds::{FeedConfig, GroundTruthFeed};
 use squatphi_ml::{Classifier, RandomForest};
 use squatphi_squat::{BrandRegistry, SquatDetector, SquatType};
 use squatphi_web::{Device, SiteBehavior, WebWorld};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One page flagged by the classifier.
 #[derive(Debug, Clone)]
@@ -28,6 +29,28 @@ pub struct Detection {
     pub confirmed: bool,
 }
 
+/// Wall-clock time per pipeline stage (the four stages of
+/// [`SquatPhi::run`]), aggregated from the stages' own instrumentation
+/// where available.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    /// Stage 1: snapshot synthesis, detector index build and the scan.
+    pub scan: Duration,
+    /// Stage 2: web-world build and crawl.
+    pub crawl: Duration,
+    /// Stage 3: ground truth, feature extraction and training.
+    pub train: Duration,
+    /// Stage 4: in-the-wild detection for both device profiles.
+    pub detect: Duration,
+}
+
+impl StageTimings {
+    /// End-to-end pipeline wall clock.
+    pub fn total(&self) -> Duration {
+        self.scan + self.crawl + self.train + self.detect
+    }
+}
+
 /// Everything the pipeline produced — the inputs to every §6 table and
 /// figure.
 pub struct PipelineResult {
@@ -35,6 +58,11 @@ pub struct PipelineResult {
     pub registry: BrandRegistry,
     /// The squatting-scan outcome over the DNS snapshot (Figures 2-4).
     pub scan: ScanOutcome,
+    /// Per-worker scan instrumentation (throughput, probes, allocations
+    /// avoided, dedupe collisions).
+    pub scan_metrics: ScanMetrics,
+    /// Wall-clock time per pipeline stage.
+    pub timings: StageTimings,
     /// The synthetic web the crawl ran against (ground truth oracle).
     pub world: Arc<WebWorld>,
     /// Per-domain crawl records, snapshot 0 (Tables 2-4).
@@ -86,15 +114,20 @@ pub struct SquatPhi;
 impl SquatPhi {
     /// Runs the full pipeline under `config`.
     pub fn run(config: &SimConfig) -> PipelineResult {
+        let mut timings = StageTimings::default();
         let registry = BrandRegistry::with_size(config.brands);
 
         // Stage 1 — squatting detection over the DNS snapshot (§3.1).
+        let stage = Instant::now();
         let (store, _stats) = synth::generate(&config.snapshot, &registry);
         let detector = SquatDetector::new(&registry);
-        let scan_outcome = scan(&store, &registry, &detector, config.threads);
+        let (scan_outcome, scan_metrics) =
+            scan_with_metrics(&store, &registry, &detector, config.threads);
+        timings.scan = stage.elapsed();
 
         // Stage 2 — build the web world over the scan hits and crawl it
         // (§3.2).
+        let stage = Instant::now();
         let squats: Vec<(String, usize, SquatType, std::net::Ipv4Addr)> = scan_outcome
             .matches
             .iter()
@@ -102,31 +135,60 @@ impl SquatPhi {
             .collect();
         let world = Arc::new(WebWorld::build(&squats, &registry, &config.world));
         let transport = InProcessTransport::new(world.clone());
-        let jobs: Vec<(String, usize, SquatType)> =
-            squats.iter().map(|(d, b, t, _)| (d.clone(), *b, *t)).collect();
-        let crawl_cfg = CrawlConfig { workers: config.threads, snapshot: 0, ..CrawlConfig::default() };
+        let jobs: Vec<(String, usize, SquatType)> = squats
+            .iter()
+            .map(|(d, b, t, _)| (d.clone(), *b, *t))
+            .collect();
+        let crawl_cfg = CrawlConfig {
+            workers: config.threads,
+            snapshot: 0,
+            ..CrawlConfig::default()
+        };
         let (crawl_records, crawl_stats) = crawl_all(&jobs, &registry, &transport, &crawl_cfg);
+        timings.crawl = stage.elapsed();
 
         // Stage 3 — ground truth (§4.1) and classifier training (§5).
+        let stage = Instant::now();
         let feed = GroundTruthFeed::generate(
             &registry,
-            &FeedConfig { total_urls: config.feed.total_urls, seed: config.feed.seed },
+            &FeedConfig {
+                total_urls: config.feed.total_urls,
+                seed: config.feed.seed,
+            },
         );
         let extractor = FeatureExtractor::new(&registry);
-        let (dataset, _split) = build_training_set(&extractor, &feed, &crawl_records, &world, config);
+        let (dataset, _split) =
+            build_training_set(&extractor, &feed, &crawl_records, &world, &registry, config);
         let eval = train::train_and_evaluate(&dataset, config.cv_folds, config.seed);
         let model = train::fit_final_model(&dataset, config.seed);
+        timings.train = stage.elapsed();
 
         // Stage 4 — in-the-wild detection (§6.1) with manual-verification
         // simulation.
-        let web_detections =
-            detect_device(&crawl_records, &extractor, &model, &world, Device::Web, config.threads);
-        let mobile_detections =
-            detect_device(&crawl_records, &extractor, &model, &world, Device::Mobile, config.threads);
+        let stage = Instant::now();
+        let web_detections = detect_device(
+            &crawl_records,
+            &extractor,
+            &model,
+            &world,
+            Device::Web,
+            config.threads,
+        );
+        let mobile_detections = detect_device(
+            &crawl_records,
+            &extractor,
+            &model,
+            &world,
+            Device::Mobile,
+            config.threads,
+        );
+        timings.detect = stage.elapsed();
 
         PipelineResult {
             registry,
             scan: scan_outcome,
+            scan_metrics,
+            timings,
             world,
             crawl: crawl_records,
             crawl_stats,
@@ -148,10 +210,14 @@ fn build_training_set(
     feed: &GroundTruthFeed,
     crawl: &[CrawlRecord],
     world: &WebWorld,
+    registry: &BrandRegistry,
     config: &SimConfig,
 ) -> (squatphi_ml::Dataset, (usize, usize)) {
     let mut pages: Vec<(&str, bool)> = Vec::new();
-    let top8 = feed.top8(&world_registry_view(feed, config));
+    // The feed carries brand ids from the pipeline's own registry, so the
+    // `top8` lookup uses it directly (previously this rebuilt an identical
+    // registry per training-set assembly).
+    let top8 = feed.top8(registry);
     for e in &top8 {
         pages.push((e.html.as_str(), e.still_phishing));
     }
@@ -178,12 +244,6 @@ fn build_training_set(
     let pos = pages.iter().filter(|(_, y)| *y).count();
     let neg = pages.len() - pos;
     (extractor.build_dataset(&pages, config.threads), (pos, neg))
-}
-
-// The feed keeps brand ids from the same registry the pipeline built; this
-// helper rebuilds a registry of the right size for `top8` lookups.
-fn world_registry_view(_feed: &GroundTruthFeed, config: &SimConfig) -> BrandRegistry {
-    BrandRegistry::with_size(config.brands)
 }
 
 /// Classifies every crawled page of one device profile and simulates the
@@ -226,11 +286,11 @@ fn detect_device(
                 .map(|s| match &s.behavior {
                     SiteBehavior::Phishing(p) => {
                         p.lifetime.phishing_live(0)
-                            && match (p.cloaking, device) {
-                                (squatphi_web::Cloaking::MobileOnly, Device::Web) => false,
-                                (squatphi_web::Cloaking::WebOnly, Device::Mobile) => false,
-                                _ => true,
-                            }
+                            && !matches!(
+                                (p.cloaking, device),
+                                (squatphi_web::Cloaking::MobileOnly, Device::Web)
+                                    | (squatphi_web::Cloaking::WebOnly, Device::Mobile)
+                            )
                     }
                     _ => false,
                 })
@@ -263,8 +323,23 @@ mod tests {
     #[test]
     fn scan_finds_squatting_domains() {
         let r = run();
-        assert!(r.scan.total_matches() > 400, "only {} matches", r.scan.total_matches());
+        assert!(
+            r.scan.total_matches() > 400,
+            "only {} matches",
+            r.scan.total_matches()
+        );
         assert!(r.scan.count(SquatType::Combo) > r.scan.count(SquatType::Homograph));
+    }
+
+    #[test]
+    fn stage_timings_and_scan_metrics_populated() {
+        let r = run();
+        assert!(r.timings.scan > Duration::ZERO);
+        assert!(r.timings.total() >= r.timings.scan);
+        assert_eq!(r.scan_metrics.records(), r.scan.scanned);
+        assert_eq!(r.scan_metrics.invalid(), r.scan.invalid);
+        assert!(r.scan_metrics.probes() > 0);
+        assert!(r.scan_metrics.allocations_avoided() > 0);
     }
 
     #[test]
@@ -277,7 +352,12 @@ mod tests {
     #[test]
     fn classifier_quality() {
         let r = run();
-        let rf = r.eval.models.iter().find(|m| m.name == "RandomForest").unwrap();
+        let rf = r
+            .eval
+            .models
+            .iter()
+            .find(|m| m.name == "RandomForest")
+            .unwrap();
         assert!(rf.metrics.auc > 0.85, "RF AUC {}", rf.metrics.auc);
         assert!(rf.metrics.fpr < 0.15, "RF FPR {}", rf.metrics.fpr);
     }
@@ -302,7 +382,11 @@ mod tests {
         let r = run();
         for d in r.confirmed(Device::Web) {
             let site = r.world.site(&d.domain).expect("site exists");
-            assert!(site.behavior.is_phishing(), "{} confirmed but not phishing", d.domain);
+            assert!(
+                site.behavior.is_phishing(),
+                "{} confirmed but not phishing",
+                d.domain
+            );
         }
     }
 

@@ -41,8 +41,11 @@ pub fn reinforce(
     let mut pages: Vec<(&str, bool)> = Vec::new();
 
     // Index crawl captures by domain for page lookup.
-    let by_domain: std::collections::HashMap<&str, &squatphi_crawler::CrawlRecord> =
-        result.crawl.iter().map(|r| (r.domain.as_str(), r)).collect();
+    let by_domain: std::collections::HashMap<&str, &squatphi_crawler::CrawlRecord> = result
+        .crawl
+        .iter()
+        .map(|r| (r.domain.as_str(), r))
+        .collect();
 
     let mut added_pos = 0usize;
     let mut added_neg = 0usize;
@@ -52,7 +55,9 @@ pub fn reinforce(
             Device::Mobile => &result.mobile_detections,
         };
         for d in detections {
-            let Some(record) = by_domain.get(d.domain.as_str()) else { continue };
+            let Some(record) = by_domain.get(d.domain.as_str()) else {
+                continue;
+            };
             let cap = match device {
                 Device::Web => record.web.as_ref(),
                 Device::Mobile => record.mobile.as_ref(),
@@ -79,7 +84,11 @@ pub fn reinforce(
         combined.push(x.clone(), y);
     }
     let model = train::fit_final_model(&combined, seed);
-    ReinforceOutcome { model, added_positives: added_pos, added_negatives: added_neg }
+    ReinforceOutcome {
+        model,
+        added_positives: added_pos,
+        added_negatives: added_neg,
+    }
 }
 
 /// Counts in-the-wild classification errors of `model` against the
@@ -143,8 +152,10 @@ mod tests {
 
         // Rebuild the base ground-truth set the pipeline trained on.
         let top8 = result.feed.top8(&result.registry);
-        let pages: Vec<(&str, bool)> =
-            top8.iter().map(|e| (e.html.as_str(), e.still_phishing)).collect();
+        let pages: Vec<(&str, bool)> = top8
+            .iter()
+            .map(|e| (e.html.as_str(), e.still_phishing))
+            .collect();
         let base = result.extractor.build_dataset(&pages, config.threads);
 
         let before = wild_error_count(&result, &result.extractor, &result.model, config.threads);

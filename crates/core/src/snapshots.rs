@@ -66,7 +66,10 @@ fn classify_live(
             .map(|c| c.html.as_str())
             .collect();
         let vectors = extractor.extract_batch(&htmls, threads);
-        let count = vectors.iter().filter(|v| result.model.score(v) >= 0.5).count();
+        let count = vectors
+            .iter()
+            .filter(|v| result.model.score(v) >= 0.5)
+            .count();
         match device {
             Device::Web => live.0 = count,
             Device::Mobile => live.1 = count,

@@ -31,14 +31,25 @@ impl EvalReport {
     pub fn best(&self) -> &ModelEval {
         self.models
             .iter()
-            .max_by(|a, b| a.metrics.auc.partial_cmp(&b.metrics.auc).expect("finite auc"))
+            .max_by(|a, b| {
+                a.metrics
+                    .auc
+                    .partial_cmp(&b.metrics.auc)
+                    .expect("finite auc")
+            })
             .expect("at least one model")
     }
 }
 
 /// The random-forest hyperparameters used throughout the reproduction.
 pub fn forest_config(seed: u64) -> RandomForestConfig {
-    RandomForestConfig { trees: 60, max_depth: 14, min_split: 4, features_per_split: 0, seed }
+    RandomForestConfig {
+        trees: 60,
+        max_depth: 14,
+        min_split: 4,
+        features_per_split: 0,
+        seed,
+    }
 }
 
 /// Runs k-fold cross-validation of Naive Bayes, KNN and Random Forest on
@@ -89,7 +100,8 @@ pub fn build_ground_truth(
     benign_pages: &[&str],
     threads: usize,
 ) -> Dataset {
-    let mut pages: Vec<(&str, bool)> = Vec::with_capacity(phishing_pages.len() + benign_pages.len());
+    let mut pages: Vec<(&str, bool)> =
+        Vec::with_capacity(phishing_pages.len() + benign_pages.len());
     pages.extend(phishing_pages.iter().map(|h| (*h, true)));
     pages.extend(benign_pages.iter().map(|h| (*h, false)));
     extractor.build_dataset(&pages, threads)
@@ -142,12 +154,24 @@ mod tests {
     fn random_forest_is_best_and_accurate() {
         let (_fx, data) = small_ground_truth();
         let report = train_and_evaluate(&data, 5, 1);
-        let rf = report.models.iter().find(|m| m.name == "RandomForest").unwrap();
+        let rf = report
+            .models
+            .iter()
+            .find(|m| m.name == "RandomForest")
+            .unwrap();
         // The fixture deliberately contains feature-identical benign
         // shells (brand mirrors), so even a perfect learner cannot reach
         // AUC 1.0 at this tiny scale.
         assert!(rf.metrics.auc > 0.8, "RF AUC {}", rf.metrics.auc);
-        assert_eq!(report.best().name, report.models.iter().max_by(|a, b| a.metrics.auc.partial_cmp(&b.metrics.auc).unwrap()).unwrap().name);
+        assert_eq!(
+            report.best().name,
+            report
+                .models
+                .iter()
+                .max_by(|a, b| a.metrics.auc.partial_cmp(&b.metrics.auc).unwrap())
+                .unwrap()
+                .name
+        );
     }
 
     #[test]

@@ -29,7 +29,12 @@ pub struct CrawlConfig {
 
 impl Default for CrawlConfig {
     fn default() -> Self {
-        CrawlConfig { workers: 8, max_redirects: 5, snapshot: 0, retries: 1 }
+        CrawlConfig {
+            workers: 8,
+            max_redirects: 5,
+            snapshot: 0,
+            retries: 1,
+        }
     }
 }
 
@@ -184,7 +189,11 @@ fn fetch_one(
             ServeResult::Page(html) => {
                 let class = classify_chain(&redirects, &host, domain, brand_domain, markets);
                 return (
-                    Some(PageCapture { final_host: host, html, redirects }),
+                    Some(PageCapture {
+                        final_host: host,
+                        html,
+                        redirects,
+                    }),
                     class,
                 );
             }
@@ -206,7 +215,11 @@ fn fetch_one(
                 }
                 let class = classify_chain(&redirects, &host, domain, brand_domain, markets);
                 return (
-                    Some(PageCapture { final_host: host, html: String::new(), redirects }),
+                    Some(PageCapture {
+                        final_host: host,
+                        html: String::new(),
+                        redirects,
+                    }),
                     class,
                 );
             }
@@ -242,7 +255,16 @@ mod tests {
     use std::net::Ipv4Addr;
     use std::sync::Arc;
 
-    fn setup(n_brands: usize, per_brand: usize, phishing: usize, seed: u64) -> (Vec<(String, BrandId, SquatType)>, BrandRegistry, InProcessTransport) {
+    fn setup(
+        n_brands: usize,
+        per_brand: usize,
+        phishing: usize,
+        seed: u64,
+    ) -> (
+        Vec<(String, BrandId, SquatType)>,
+        BrandRegistry,
+        InProcessTransport,
+    ) {
         let registry = BrandRegistry::with_size(n_brands);
         let mut squats = Vec::new();
         for (i, b) in registry.brands().iter().enumerate() {
@@ -255,10 +277,16 @@ mod tests {
                 ));
             }
         }
-        let cfg = WorldConfig { phishing_domains: phishing, seed, ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            phishing_domains: phishing,
+            seed,
+            ..WorldConfig::default()
+        };
         let world = Arc::new(WebWorld::build(&squats, &registry, &cfg));
-        let jobs: Vec<(String, BrandId, SquatType)> =
-            squats.iter().map(|(d, b, t, _)| (d.clone(), *b, *t)).collect();
+        let jobs: Vec<(String, BrandId, SquatType)> = squats
+            .iter()
+            .map(|(d, b, t, _)| (d.clone(), *b, *t))
+            .collect();
         (jobs, registry, InProcessTransport::new(world))
     }
 
@@ -279,7 +307,7 @@ mod tests {
         let (records, stats) = crawl_all(&jobs, &registry, &transport, &CrawlConfig::default());
         let live = records.iter().filter(|r| r.is_live()).count();
         assert!(live > 0 && live < records.len());
-        assert_eq!(stats.web_live + stats.mobile_live > 0, true);
+        assert!(stats.web_live + stats.mobile_live > 0);
     }
 
     #[test]
@@ -290,15 +318,33 @@ mod tests {
         // be populated (1.7% / 3% / 8% of live).
         assert!(stats.web_redirect_market > 0, "no marketplace redirects");
         assert!(stats.web_redirect_other > 0, "no other redirects");
-        let any_original = records.iter().any(|r| r.web_redirect == RedirectClass::Original);
+        let any_original = records
+            .iter()
+            .any(|r| r.web_redirect == RedirectClass::Original);
         assert!(any_original, "no original redirects");
     }
 
     #[test]
     fn single_threaded_matches_parallel() {
         let (jobs, registry, transport) = setup(5, 10, 3, 4);
-        let (a, _) = crawl_all(&jobs, &registry, &transport, &CrawlConfig { workers: 1, ..Default::default() });
-        let (b, _) = crawl_all(&jobs, &registry, &transport, &CrawlConfig { workers: 8, ..Default::default() });
+        let (a, _) = crawl_all(
+            &jobs,
+            &registry,
+            &transport,
+            &CrawlConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let (b, _) = crawl_all(
+            &jobs,
+            &registry,
+            &transport,
+            &CrawlConfig {
+                workers: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.domain, y.domain);
@@ -316,7 +362,11 @@ mod tests {
             &jobs,
             &registry,
             &transport,
-            &CrawlConfig { workers: 1, retries: 0, ..Default::default() },
+            &CrawlConfig {
+                workers: 1,
+                retries: 0,
+                ..Default::default()
+            },
         );
         // Every host fails its first attempt; one retry must recover the
         // same liveness picture (each domain is fetched twice — web and
@@ -326,11 +376,20 @@ mod tests {
             &jobs,
             &registry,
             &flaky,
-            &CrawlConfig { workers: 1, retries: 1, ..Default::default() },
+            &CrawlConfig {
+                workers: 1,
+                retries: 1,
+                ..Default::default()
+            },
         );
         for (a, b) in clean.iter().zip(&retried) {
             assert_eq!(a.domain, b.domain);
-            assert_eq!(a.web.is_some(), b.web.is_some(), "{} liveness changed", a.domain);
+            assert_eq!(
+                a.web.is_some(),
+                b.web.is_some(),
+                "{} liveness changed",
+                a.domain
+            );
         }
     }
 
@@ -343,7 +402,11 @@ mod tests {
             &jobs,
             &registry,
             &flaky,
-            &CrawlConfig { workers: 2, retries: 0, ..Default::default() },
+            &CrawlConfig {
+                workers: 2,
+                retries: 0,
+                ..Default::default()
+            },
         );
         assert_eq!(stats.web_live, 0);
         assert!(records.iter().all(|r| !r.is_live()));
@@ -353,7 +416,10 @@ mod tests {
     fn captures_render_lazily() {
         let (jobs, registry, transport) = setup(5, 5, 3, 5);
         let (records, _) = crawl_all(&jobs, &registry, &transport, &CrawlConfig::default());
-        let live = records.iter().find(|r| r.web.is_some()).expect("some live page");
+        let live = records
+            .iter()
+            .find(|r| r.web.is_some())
+            .expect("some live page");
         let bmp = live.web.as_ref().unwrap().render();
         assert!(bmp.width() > 0);
     }

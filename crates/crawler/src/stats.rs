@@ -32,7 +32,10 @@ pub struct CrawlStats {
 impl CrawlStats {
     /// Aggregates over crawl records.
     pub fn from_records(records: &[CrawlRecord]) -> Self {
-        let mut s = CrawlStats { total: records.len(), ..CrawlStats::default() };
+        let mut s = CrawlStats {
+            total: records.len(),
+            ..CrawlStats::default()
+        };
         for r in records {
             if r.web.is_some() {
                 s.web_live += 1;

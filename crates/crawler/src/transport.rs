@@ -87,7 +87,10 @@ mod tests {
             SquatType::Combo,
             Ipv4Addr::new(9, 9, 9, 9),
         )];
-        let cfg = WorldConfig { phishing_domains: 1, ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            phishing_domains: 1,
+            ..WorldConfig::default()
+        };
         Arc::new(WebWorld::build(&squats, &registry, &cfg))
     }
 
@@ -102,7 +105,10 @@ mod tests {
             t.fetch("paypal-login.com", Device::Web, 0),
             ServeResult::Unreachable
         ));
-        assert!(matches!(t.fetch("paypal-login.com", Device::Web, 0), ServeResult::Page(_)));
+        assert!(matches!(
+            t.fetch("paypal-login.com", Device::Web, 0),
+            ServeResult::Page(_)
+        ));
         assert_eq!(t.total_attempts(), 3);
     }
 
@@ -115,7 +121,10 @@ mod tests {
             SquatType::Combo,
             Ipv4Addr::new(9, 9, 9, 9),
         )];
-        let cfg = WorldConfig { phishing_domains: 1, ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            phishing_domains: 1,
+            ..WorldConfig::default()
+        };
         let world = Arc::new(WebWorld::build(&squats, &registry, &cfg));
         let t = InProcessTransport::new(world);
         assert!(matches!(

@@ -23,6 +23,6 @@ pub mod scan;
 pub mod store;
 pub mod synth;
 
-pub use scan::{scan, ScanOutcome, SquatRecord};
+pub use scan::{scan, scan_with_metrics, ScanMetrics, ScanOutcome, SquatRecord, WorkerMetrics};
 pub use store::{DnsRecord, RecordStore};
 pub use synth::{SnapshotConfig, SnapshotStats};

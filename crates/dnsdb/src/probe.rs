@@ -48,7 +48,11 @@ impl AuthServer {
                 }
             }
         });
-        Ok(AuthServer { addr, shutdown: tx, task })
+        Ok(AuthServer {
+            addr,
+            shutdown: tx,
+            task,
+        })
     }
 
     /// The server's socket address.
@@ -71,7 +75,11 @@ fn answer(zone: &HashMap<String, Ipv4Addr>, packet: &[u8]) -> Option<Vec<u8>> {
     let mut resp = match (q.rtype, zone.get(&q.name.to_ascii_lowercase())) {
         (RecordType::A, Some(&ip)) => {
             let mut m = Message::response_to(&query, Rcode::NoError);
-            m.answers.push(ResourceRecord { name: q.name.clone(), ttl: 300, rdata: RData::A(ip) });
+            m.answers.push(ResourceRecord {
+                name: q.name.clone(),
+                ttl: 300,
+                rdata: RData::A(ip),
+            });
             m
         }
         _ => Message::response_to(&query, Rcode::NxDomain),
@@ -104,7 +112,11 @@ pub struct ProberConfig {
 
 impl Default for ProberConfig {
     fn default() -> Self {
-        ProberConfig { concurrency: 64, timeout: Duration::from_millis(500), attempts: 2 }
+        ProberConfig {
+            concurrency: 64,
+            timeout: Duration::from_millis(500),
+            attempts: 2,
+        }
     }
 }
 
@@ -149,7 +161,9 @@ async fn probe_one(
         socket.send(&query).await?;
         match timeout(config.timeout, socket.recv(&mut buf)).await {
             Ok(Ok(n)) => {
-                let Ok(msg) = Message::decode(&buf[..n]) else { continue };
+                let Ok(msg) = Message::decode(&buf[..n]) else {
+                    continue;
+                };
                 if msg.header.id != id || !msg.header.flags.response {
                     continue;
                 }
@@ -184,7 +198,10 @@ pub async fn validate_scan(
     config: &ProberConfig,
 ) -> std::io::Result<(usize, usize, usize)> {
     let server = AuthServer::spawn(store.index()).await?;
-    let domains: Vec<String> = matches.iter().map(|m| m.domain.as_str().to_string()).collect();
+    let domains: Vec<String> = matches
+        .iter()
+        .map(|m| m.domain.as_str().to_string())
+        .collect();
     let results = probe_all(server.addr(), &domains, config).await?;
     server.shutdown().await;
     let mut counts = (0usize, 0usize, 0usize);
@@ -214,7 +231,9 @@ mod tests {
     async fn resolves_known_names() {
         let server = AuthServer::spawn(zone()).await.unwrap();
         let domains = vec!["faceb00k.pw".to_string(), "goofle.com.ua".to_string()];
-        let res = probe_all(server.addr(), &domains, &ProberConfig::default()).await.unwrap();
+        let res = probe_all(server.addr(), &domains, &ProberConfig::default())
+            .await
+            .unwrap();
         assert_eq!(res[0], ProbeResult::Resolved(Ipv4Addr::new(203, 0, 113, 1)));
         assert_eq!(res[1], ProbeResult::Resolved(Ipv4Addr::new(203, 0, 113, 2)));
         server.shutdown().await;
@@ -224,7 +243,9 @@ mod tests {
     async fn nxdomain_for_unknown_names() {
         let server = AuthServer::spawn(zone()).await.unwrap();
         let domains = vec!["not-in-zone.example".to_string()];
-        let res = probe_all(server.addr(), &domains, &ProberConfig::default()).await.unwrap();
+        let res = probe_all(server.addr(), &domains, &ProberConfig::default())
+            .await
+            .unwrap();
         assert_eq!(res[0], ProbeResult::NxDomain);
         server.shutdown().await;
     }
@@ -240,7 +261,10 @@ mod tests {
                 format!("missing{i}.example")
             });
         }
-        let cfg = ProberConfig { concurrency: 16, ..ProberConfig::default() };
+        let cfg = ProberConfig {
+            concurrency: 16,
+            ..ProberConfig::default()
+        };
         let res = probe_all(server.addr(), &domains, &cfg).await.unwrap();
         assert_eq!(res.len(), 200);
         for (i, r) in res.iter().enumerate() {
@@ -275,9 +299,13 @@ mod tests {
         sock.connect(server.addr()).await.unwrap();
         sock.send(b"\x00\x01garbage").await.unwrap();
         // Then a real query still works.
-        let res = probe_all(server.addr(), &["faceb00k.pw".to_string()], &ProberConfig::default())
-            .await
-            .unwrap();
+        let res = probe_all(
+            server.addr(),
+            &["faceb00k.pw".to_string()],
+            &ProberConfig::default(),
+        )
+        .await
+        .unwrap();
         assert!(matches!(res[0], ProbeResult::Resolved(_)));
         server.shutdown().await;
     }
@@ -303,15 +331,23 @@ mod tests {
                 .expect("probe");
         // Every scan match came out of the snapshot, so everything must
         // re-resolve against the same zone.
-        assert_eq!(resolved, outcome.total_matches(), "nx={nx} timeout={timeout}");
+        assert_eq!(
+            resolved,
+            outcome.total_matches(),
+            "nx={nx} timeout={timeout}"
+        );
     }
 
     #[tokio::test]
     async fn case_insensitive_lookup() {
         let server = AuthServer::spawn(zone()).await.unwrap();
-        let res = probe_all(server.addr(), &["FaCeB00k.PW".to_string()], &ProberConfig::default())
-            .await
-            .unwrap();
+        let res = probe_all(
+            server.addr(),
+            &["FaCeB00k.PW".to_string()],
+            &ProberConfig::default(),
+        )
+        .await
+        .unwrap();
         assert!(matches!(res[0], ProbeResult::Resolved(_)));
         server.shutdown().await;
     }

@@ -2,8 +2,9 @@
 
 use crate::store::RecordStore;
 use squatphi_domain::DomainName;
-use squatphi_squat::{BrandId, BrandRegistry, SquatDetector, SquatType};
+use squatphi_squat::{BrandId, BrandRegistry, ClassifyStats, SquatDetector, SquatType};
 use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
 
 /// One detected squatting record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +46,79 @@ impl ScanOutcome {
     }
 }
 
+/// Counters one scan worker reports for its chunk of the snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerMetrics {
+    /// Records this worker classified (valid or not).
+    pub records: usize,
+    /// Records that failed domain validation.
+    pub invalid: usize,
+    /// Detector hash probes performed across the chunk.
+    pub probes: u64,
+    /// Heap allocations the detector's stack buffers avoided
+    /// (see `squatphi_squat::ClassifyStats`).
+    pub allocations_avoided: u64,
+    /// Wall-clock time the worker spent on its chunk.
+    pub elapsed: Duration,
+}
+
+impl WorkerMetrics {
+    /// Records classified per second by this worker.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.records as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Instrumentation for one [`scan`] call: per-worker counters plus the
+/// merge-phase dedupe statistics and the end-to-end wall clock.
+#[derive(Debug, Clone, Default)]
+pub struct ScanMetrics {
+    /// One entry per worker thread, in chunk order.
+    pub workers: Vec<WorkerMetrics>,
+    /// Matches dropped at merge because another chunk already claimed the
+    /// registrable domain (first-record-wins dedupe).
+    pub dedupe_collisions: usize,
+    /// Wall-clock time of the whole scan, including the merge.
+    pub wall: Duration,
+}
+
+impl ScanMetrics {
+    /// Total records classified across all workers.
+    pub fn records(&self) -> usize {
+        self.workers.iter().map(|w| w.records).sum()
+    }
+
+    /// Total invalid records across all workers.
+    pub fn invalid(&self) -> usize {
+        self.workers.iter().map(|w| w.invalid).sum()
+    }
+
+    /// Total detector hash probes across all workers.
+    pub fn probes(&self) -> u64 {
+        self.workers.iter().map(|w| w.probes).sum()
+    }
+
+    /// Total heap allocations avoided across all workers.
+    pub fn allocations_avoided(&self) -> u64 {
+        self.workers.iter().map(|w| w.allocations_avoided).sum()
+    }
+
+    /// End-to-end throughput (records per wall-clock second, all workers).
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.records() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Paper-order index of a type.
 pub(crate) fn type_index(ty: SquatType) -> usize {
     match ty {
@@ -65,23 +139,45 @@ pub fn scan(
     detector: &SquatDetector,
     threads: usize,
 ) -> ScanOutcome {
+    scan_with_metrics(store, registry, detector, threads).0
+}
+
+/// [`scan`], additionally returning per-worker and merge instrumentation.
+///
+/// Chunks are contiguous ordered slices of the store and partials are
+/// merged in chunk order, so the first-record-wins dedupe is deterministic
+/// for any thread count (see `sequential_and_parallel_agree`).
+pub fn scan_with_metrics(
+    store: &RecordStore,
+    registry: &BrandRegistry,
+    detector: &SquatDetector,
+    threads: usize,
+) -> (ScanOutcome, ScanMetrics) {
+    let start = Instant::now();
     let records = store.records();
     let threads = threads.max(1).min(records.len().max(1));
     let chunk = records.len().div_ceil(threads);
 
-    let partials: Vec<ScanOutcome> = crossbeam::thread::scope(|s| {
+    let partials: Vec<(ScanOutcome, WorkerMetrics)> = crossbeam::thread::scope(|s| {
         let mut handles = Vec::new();
         for part in records.chunks(chunk.max(1)) {
             handles.push(s.spawn(move |_| scan_chunk(part, registry, detector)));
         }
-        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
     })
     .expect("scan scope");
 
-    // Merge and dedupe.
-    let mut out = ScanOutcome { by_brand: vec![0; registry.len()], ..ScanOutcome::default() };
+    // Merge and dedupe (first record wins, in chunk order).
+    let mut out = ScanOutcome {
+        by_brand: vec![0; registry.len()],
+        ..ScanOutcome::default()
+    };
+    let mut metrics = ScanMetrics::default();
     let mut seen = std::collections::HashSet::new();
-    for p in partials {
+    for (p, w) in partials {
         out.scanned += p.scanned;
         out.invalid += p.invalid;
         for m in p.matches {
@@ -89,18 +185,27 @@ pub fn scan(
                 out.by_type[type_index(m.squat_type)] += 1;
                 out.by_brand[m.brand] += 1;
                 out.matches.push(m);
+            } else {
+                metrics.dedupe_collisions += 1;
             }
         }
+        metrics.workers.push(w);
     }
-    out
+    metrics.wall = start.elapsed();
+    (out, metrics)
 }
 
 fn scan_chunk(
     records: &[crate::store::DnsRecord],
     registry: &BrandRegistry,
     detector: &SquatDetector,
-) -> ScanOutcome {
-    let mut out = ScanOutcome { by_brand: vec![0; registry.len()], ..ScanOutcome::default() };
+) -> (ScanOutcome, WorkerMetrics) {
+    let start = Instant::now();
+    let mut out = ScanOutcome {
+        by_brand: vec![0; registry.len()],
+        ..ScanOutcome::default()
+    };
+    let mut stats = ClassifyStats::default();
     for r in records {
         out.scanned += 1;
         let domain = match DomainName::parse(&r.domain) {
@@ -110,7 +215,7 @@ fn scan_chunk(
                 continue;
             }
         };
-        if let Some(m) = detector.classify(&domain) {
+        if let Some(m) = detector.classify_with_stats(&domain, &mut stats) {
             out.by_type[type_index(m.squat_type)] += 1;
             out.by_brand[m.brand] += 1;
             out.matches.push(SquatRecord {
@@ -121,7 +226,14 @@ fn scan_chunk(
             });
         }
     }
-    out
+    let metrics = WorkerMetrics {
+        records: out.scanned,
+        invalid: out.invalid,
+        probes: stats.probes,
+        allocations_avoided: stats.allocations_avoided,
+        elapsed: start.elapsed(),
+    };
+    (out, metrics)
 }
 
 #[cfg(test)]
@@ -144,7 +256,10 @@ mod tests {
             found as f64 >= planted as f64 * 0.9,
             "found {found} of {planted} planted"
         );
-        assert!(found as f64 <= planted as f64 * 1.2, "too many false hits: {found} vs {planted}");
+        assert!(
+            found as f64 <= planted as f64 * 1.2,
+            "too many false hits: {found} vs {planted}"
+        );
     }
 
     #[test]
@@ -157,6 +272,59 @@ mod tests {
         assert_eq!(a.total_matches(), b.total_matches());
         assert_eq!(a.by_type, b.by_type);
         assert_eq!(a.by_brand, b.by_brand);
+        // Not just the counts: the exact match records (domain, IP, brand,
+        // type) and their order must be thread-count invariant.
+        assert_eq!(a.matches, b.matches);
+    }
+
+    #[test]
+    fn dedupe_is_first_record_wins_for_any_thread_count() {
+        // Three records share a registrable domain but carry different IPs;
+        // the record earliest in the store must win regardless of how the
+        // store is chunked across workers.
+        let reg = BrandRegistry::with_size(10);
+        let det = SquatDetector::new(&reg);
+        let mut store = RecordStore::new();
+        store.push("mail.goofle.com".into(), Ipv4Addr::new(9, 9, 9, 9));
+        for i in 0..40u8 {
+            store.push(
+                format!("filler-{i}.example.com"),
+                Ipv4Addr::new(10, 0, 0, i),
+            );
+        }
+        store.push("goofle.com".into(), Ipv4Addr::new(1, 1, 1, 1));
+        store.push("www.goofle.com".into(), Ipv4Addr::new(2, 2, 2, 2));
+        for threads in [1, 2, 3, 7, 16] {
+            let (out, metrics) = scan_with_metrics(&store, &reg, &det, threads);
+            assert_eq!(out.total_matches(), 1, "threads={threads}");
+            assert_eq!(
+                out.matches[0].ip,
+                Ipv4Addr::new(9, 9, 9, 9),
+                "first record must win (threads={threads})"
+            );
+            assert_eq!(metrics.dedupe_collisions, 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn metrics_account_for_every_record() {
+        let reg = BrandRegistry::with_size(20);
+        let (store, _) = generate(&SnapshotConfig::tiny(), &reg);
+        let det = SquatDetector::new(&reg);
+        let threads = 4;
+        let (out, metrics) = scan_with_metrics(&store, &reg, &det, threads);
+        assert_eq!(metrics.workers.len(), threads);
+        assert_eq!(metrics.records(), store.len());
+        assert_eq!(metrics.records(), out.scanned);
+        assert_eq!(metrics.invalid(), out.invalid);
+        // The detector probes at least once per valid record and the
+        // ASCII fast paths must be reporting avoided allocations.
+        assert!(metrics.probes() >= (store.len() - out.invalid) as u64);
+        assert!(metrics.allocations_avoided() > 0);
+        assert!(metrics.records_per_sec() > 0.0);
+        for w in &metrics.workers {
+            assert!(w.records > 0);
+        }
     }
 
     #[test]

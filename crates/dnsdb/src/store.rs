@@ -30,7 +30,9 @@ impl RecordStore {
 
     /// Store with pre-allocated capacity.
     pub fn with_capacity(n: usize) -> Self {
-        RecordStore { records: Vec::with_capacity(n) }
+        RecordStore {
+            records: Vec::with_capacity(n),
+        }
     }
 
     /// Appends a record.
@@ -55,7 +57,10 @@ impl RecordStore {
 
     /// Builds a point-lookup index (domain → IP) for the probe server.
     pub fn index(&self) -> HashMap<String, Ipv4Addr> {
-        self.records.iter().map(|r| (r.domain.clone(), r.ip)).collect()
+        self.records
+            .iter()
+            .map(|r| (r.domain.clone(), r.ip))
+            .collect()
     }
 
     /// Exports the snapshot as zone-file text (A records, fixed TTL) —

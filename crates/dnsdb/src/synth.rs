@@ -11,10 +11,10 @@
 use crate::store::RecordStore;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use squatphi_domain::idna;
 use squatphi_squat::gen::{self, GenBudget};
 use squatphi_squat::words::BENIGN_WORDS;
 use squatphi_squat::{BrandRegistry, SquatType};
-use squatphi_domain::idna;
 use std::net::Ipv4Addr;
 
 /// Scale knobs for the synthetic snapshot.
@@ -39,7 +39,7 @@ impl SnapshotConfig {
             benign_records: (224_810_532usize - 657_663) / d,
             squatting_records: 657_663 / d,
             subdomain_fraction: 0.25,
-            seed: 2018_09_06,
+            seed: 20180906,
         }
     }
 
@@ -102,11 +102,11 @@ fn brand_weights(registry: &BrandRegistry) -> Vec<f64> {
         .iter()
         .map(|b| {
             let boost = match b.label.as_str() {
-                "vice" => 75.0,   // 5.98% in Figure 4
-                "porn" => 35.0,   // 2.76%
-                "bt" => 31.0,     // 2.46%
-                "apple" => 26.0,  // 2.05%
-                "ford" => 23.0,   // 1.85%
+                "vice" => 75.0,  // 5.98% in Figure 4
+                "porn" => 35.0,  // 2.76%
+                "bt" => 31.0,    // 2.46%
+                "apple" => 26.0, // 2.05%
+                "ford" => 23.0,  // 1.85%
                 "amazon" => 20.0,
                 "google" => 30.0,
                 "paypal" => 10.0,
@@ -146,7 +146,8 @@ fn plant_squats(
         .iter()
         .map(|w| ((w / total_w) * config.squatting_records as f64).floor() as usize)
         .collect();
-    let mut deficit = config.squatting_records - alloc.iter().sum::<usize>().min(config.squatting_records);
+    let mut deficit =
+        config.squatting_records - alloc.iter().sum::<usize>().min(config.squatting_records);
     // Give the remainder to the heaviest brands.
     let mut heavy: Vec<usize> = (0..registry.len()).collect();
     heavy.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite"));
@@ -248,7 +249,13 @@ fn plant_squats(
 
 /// Builds per-type candidate pools for one brand, paper type order.
 fn build_pool(brand: &squatphi_squat::Brand) -> [Vec<String>; 5] {
-    let budget = GenBudget { homograph: 400, bits: 200, typo: 600, combo: 800, wrong_tld: 25 };
+    let budget = GenBudget {
+        homograph: 400,
+        bits: 200,
+        typo: 600,
+        combo: 800,
+        wrong_tld: 25,
+    };
     let mut pool: [Vec<String>; 5] = Default::default();
     for c in gen::generate_all(brand, budget) {
         let idx = match c.squat_type {
@@ -285,14 +292,20 @@ fn random_ip(rng: &mut StdRng) -> Ipv4Addr {
 }
 
 fn plant_benign(config: &SnapshotConfig, rng: &mut StdRng, store: &mut RecordStore) {
-    let tlds = ["com", "com", "com", "net", "org", "de", "ru", "co", "io", "info", "fr", "nl", "it", "pl", "br"];
+    let tlds = [
+        "com", "com", "com", "net", "org", "de", "ru", "co", "io", "info", "fr", "nl", "it", "pl",
+        "br",
+    ];
     for i in 0..config.benign_records {
         let w1 = BENIGN_WORDS[rng.gen_range(0..BENIGN_WORDS.len())];
         let label = match i % 5 {
             0 => w1.to_string(),
             1 => format!("{w1}{}", rng.gen_range(1..999u32)),
             2 => format!("{w1}{}", BENIGN_WORDS[rng.gen_range(0..BENIGN_WORDS.len())]),
-            3 => format!("{w1}-{}", BENIGN_WORDS[rng.gen_range(0..BENIGN_WORDS.len())]),
+            3 => format!(
+                "{w1}-{}",
+                BENIGN_WORDS[rng.gen_range(0..BENIGN_WORDS.len())]
+            ),
             _ => format!("{}{w1}", BENIGN_WORDS[rng.gen_range(0..BENIGN_WORDS.len())]),
         };
         let tld = tlds[rng.gen_range(0..tlds.len())];
@@ -325,7 +338,10 @@ mod tests {
         // Planting may fall slightly short if pools dedupe, never over.
         let squats: usize = stats.planted_by_type.iter().sum();
         assert!(squats <= cfg.squatting_records);
-        assert!(squats as f64 >= cfg.squatting_records as f64 * 0.9, "planted only {squats}");
+        assert!(
+            squats as f64 >= cfg.squatting_records as f64 * 0.9,
+            "planted only {squats}"
+        );
         assert!(store.len() >= cfg.benign_records);
     }
 
@@ -346,7 +362,10 @@ mod tests {
         let combo = stats.planted_by_type[3];
         let total: usize = stats.planted_by_type.iter().sum();
         let frac = combo as f64 / total as f64;
-        assert!(frac > 0.4 && frac < 0.7, "combo fraction {frac} out of band");
+        assert!(
+            frac > 0.4 && frac < 0.7,
+            "combo fraction {frac} out of band"
+        );
     }
 
     #[test]

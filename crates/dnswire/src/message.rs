@@ -124,9 +124,15 @@ impl Message {
         Message {
             header: Header {
                 id,
-                flags: Flags { recursion_desired: true, ..Flags::default() },
+                flags: Flags {
+                    recursion_desired: true,
+                    ..Flags::default()
+                },
             },
-            questions: vec![Question { name: name.to_string(), rtype }],
+            questions: vec![Question {
+                name: name.to_string(),
+                rtype,
+            }],
             answers: Vec::new(),
             authority: Vec::new(),
         }
@@ -241,28 +247,34 @@ impl Message {
             questions.push(Question { name, rtype });
         }
 
-        let read_section = |pos: &mut usize, count: usize| -> Result<Vec<ResourceRecord>, WireError> {
-            let mut out = Vec::with_capacity(count);
-            for _ in 0..count {
-                let (name, after) = decode_name(packet, *pos)?;
-                let fixed = packet.get(after..after + 10).ok_or(WireError::Truncated)?;
-                let rtype = RecordType::from_u16(u16::from_be_bytes([fixed[0], fixed[1]]));
-                let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
-                let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
-                let rd_pos = after + 10;
-                let rdata = RData::decode(rtype, packet, rd_pos, rdlen)?;
-                *pos = rd_pos + rdlen;
-                if *pos > packet.len() {
-                    return Err(WireError::Truncated);
+        let read_section =
+            |pos: &mut usize, count: usize| -> Result<Vec<ResourceRecord>, WireError> {
+                let mut out = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let (name, after) = decode_name(packet, *pos)?;
+                    let fixed = packet.get(after..after + 10).ok_or(WireError::Truncated)?;
+                    let rtype = RecordType::from_u16(u16::from_be_bytes([fixed[0], fixed[1]]));
+                    let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+                    let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
+                    let rd_pos = after + 10;
+                    let rdata = RData::decode(rtype, packet, rd_pos, rdlen)?;
+                    *pos = rd_pos + rdlen;
+                    if *pos > packet.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    out.push(ResourceRecord { name, ttl, rdata });
                 }
-                out.push(ResourceRecord { name, ttl, rdata });
-            }
-            Ok(out)
-        };
+                Ok(out)
+            };
         let answers = read_section(&mut pos, an)?;
         let authority = read_section(&mut pos, ns)?;
 
-        Ok(Message { header, questions, answers, authority })
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authority,
+        })
     }
 }
 
@@ -321,7 +333,11 @@ mod tests {
         let wire = r.encode().unwrap();
         // Without compression each answer name alone is 32 bytes; with
         // pointers each answer costs 2 (ptr) + 10 (fixed) + 4 (A) = 16.
-        assert!(wire.len() < 12 + 36 + 5 * 20, "compression ineffective: {}", wire.len());
+        assert!(
+            wire.len() < 12 + 36 + 5 * 20,
+            "compression ineffective: {}",
+            wire.len()
+        );
         assert_eq!(Message::decode(&wire).unwrap(), r);
     }
 

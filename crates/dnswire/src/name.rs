@@ -47,11 +47,7 @@ impl Compressor {
 
 /// Encodes `name` (dotted, no trailing dot needed) at the current end of
 /// `buf`, using and updating the compression dictionary.
-pub fn encode_name(
-    name: &str,
-    buf: &mut BytesMut,
-    comp: &mut Compressor,
-) -> Result<(), WireError> {
+pub fn encode_name(name: &str, buf: &mut BytesMut, comp: &mut Compressor) -> Result<(), WireError> {
     let name = name.trim_end_matches('.');
     if name.is_empty() {
         buf.put_u8(0);

@@ -115,7 +115,10 @@ impl RData {
             RData::A(ip) => buf.put_slice(&ip.octets()),
             RData::Aaaa(ip) => buf.put_slice(&ip.octets()),
             RData::Ns(n) | RData::Cname(n) => encode_name(n, buf, comp)?,
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 buf.put_u16(*preference);
                 encode_name(exchange, buf, comp)?;
             }
@@ -125,7 +128,11 @@ impl RData {
                 buf.put_u8(len as u8);
                 buf.put_slice(&bytes[..len]);
             }
-            RData::Soa { mname, rname, serial } => {
+            RData::Soa {
+                mname,
+                rname,
+                serial,
+            } => {
                 encode_name(mname, buf, comp)?;
                 encode_name(rname, buf, comp)?;
                 buf.put_u32(*serial);
@@ -150,12 +157,15 @@ impl RData {
         let slice = packet.get(pos..pos + len).ok_or(WireError::Truncated)?;
         Ok(match rtype {
             RecordType::A => {
-                let o: [u8; 4] = slice.try_into().map_err(|_| WireError::BadRdata("A length"))?;
+                let o: [u8; 4] = slice
+                    .try_into()
+                    .map_err(|_| WireError::BadRdata("A length"))?;
                 RData::A(Ipv4Addr::from(o))
             }
             RecordType::Aaaa => {
-                let o: [u8; 16] =
-                    slice.try_into().map_err(|_| WireError::BadRdata("AAAA length"))?;
+                let o: [u8; 16] = slice
+                    .try_into()
+                    .map_err(|_| WireError::BadRdata("AAAA length"))?;
                 RData::Aaaa(Ipv6Addr::from(o))
             }
             RecordType::Ns => RData::Ns(decode_name(packet, pos)?.0),
@@ -166,14 +176,19 @@ impl RData {
                 }
                 let preference = u16::from_be_bytes([slice[0], slice[1]]);
                 let exchange = decode_name(packet, pos + 2)?.0;
-                RData::Mx { preference, exchange }
+                RData::Mx {
+                    preference,
+                    exchange,
+                }
             }
             RecordType::Txt => {
                 if slice.is_empty() {
                     return Err(WireError::BadRdata("TXT empty"));
                 }
                 let l = slice[0] as usize;
-                let body = slice.get(1..1 + l).ok_or(WireError::BadRdata("TXT length"))?;
+                let body = slice
+                    .get(1..1 + l)
+                    .ok_or(WireError::BadRdata("TXT length"))?;
                 RData::Txt(String::from_utf8_lossy(body).into_owned())
             }
             RecordType::Soa => {
@@ -181,7 +196,11 @@ impl RData {
                 let (rname, off) = decode_name(packet, off)?;
                 let serial_bytes = packet.get(off..off + 4).ok_or(WireError::Truncated)?;
                 let serial = u32::from_be_bytes(serial_bytes.try_into().expect("4 bytes"));
-                RData::Soa { mname, rname, serial }
+                RData::Soa {
+                    mname,
+                    rname,
+                    serial,
+                }
             }
             RecordType::Other(_) => RData::Raw(slice.to_vec()),
         })
@@ -228,7 +247,10 @@ mod tests {
         for rd in [
             RData::Ns("ns1.example.com".into()),
             RData::Cname("target.example.org".into()),
-            RData::Mx { preference: 10, exchange: "mx.example.com".into() },
+            RData::Mx {
+                preference: 10,
+                exchange: "mx.example.com".into(),
+            },
         ] {
             assert_eq!(round_trip(&rd), rd);
         }
@@ -250,7 +272,7 @@ mod tests {
         let rd = RData::Soa {
             mname: "ns1.zone.com".into(),
             rname: "hostmaster.zone.com".into(),
-            serial: 2018_09_06,
+            serial: 20180906,
         };
         assert_eq!(round_trip(&rd), rd);
     }

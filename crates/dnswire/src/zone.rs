@@ -42,14 +42,22 @@ pub fn format_zone(records: &[ResourceRecord]) -> String {
             RData::Aaaa(ip) => ("AAAA", ip.to_string()),
             RData::Ns(n) => ("NS", format!("{n}.")),
             RData::Cname(n) => ("CNAME", format!("{n}.")),
-            RData::Mx { preference, exchange } => ("MX", format!("{preference} {exchange}.")),
+            RData::Mx {
+                preference,
+                exchange,
+            } => ("MX", format!("{preference} {exchange}.")),
             RData::Txt(s) => ("TXT", format!("\"{}\"", s.replace('"', ""))),
-            RData::Soa { mname, rname, serial } => {
-                ("SOA", format!("{mname}. {rname}. {serial}"))
-            }
+            RData::Soa {
+                mname,
+                rname,
+                serial,
+            } => ("SOA", format!("{mname}. {rname}. {serial}")),
             RData::Raw(_) => continue,
         };
-        out.push_str(&format!("{}.\t{}\tIN\t{}\t{}\n", rr.name, rr.ttl, ty, rdata));
+        out.push_str(&format!(
+            "{}.\t{}\tIN\t{}\t{}\n",
+            rr.name, rr.ttl, ty, rdata
+        ));
     }
     out
 }
@@ -66,36 +74,55 @@ pub fn parse_zone(text: &str) -> Result<Vec<ResourceRecord>, ZoneError> {
         }
         let fields: Vec<&str> = content.split_whitespace().collect();
         if fields.len() < 5 {
-            return Err(ZoneError::BadLine { line, reason: "expected 5+ fields" });
+            return Err(ZoneError::BadLine {
+                line,
+                reason: "expected 5+ fields",
+            });
         }
         let name = fields[0].trim_end_matches('.').to_string();
-        let ttl: u32 = fields[1]
-            .parse()
-            .map_err(|_| ZoneError::BadLine { line, reason: "bad TTL" })?;
+        let ttl: u32 = fields[1].parse().map_err(|_| ZoneError::BadLine {
+            line,
+            reason: "bad TTL",
+        })?;
         if !fields[2].eq_ignore_ascii_case("IN") {
-            return Err(ZoneError::BadLine { line, reason: "only class IN supported" });
+            return Err(ZoneError::BadLine {
+                line,
+                reason: "only class IN supported",
+            });
         }
         let rdata = match fields[3].to_ascii_uppercase().as_str() {
             "A" => RData::A(
                 fields[4]
                     .parse::<Ipv4Addr>()
-                    .map_err(|_| ZoneError::BadLine { line, reason: "bad A address" })?,
+                    .map_err(|_| ZoneError::BadLine {
+                        line,
+                        reason: "bad A address",
+                    })?,
             ),
-            "AAAA" => RData::Aaaa(
-                fields[4]
-                    .parse::<Ipv6Addr>()
-                    .map_err(|_| ZoneError::BadLine { line, reason: "bad AAAA address" })?,
-            ),
+            "AAAA" => {
+                RData::Aaaa(
+                    fields[4]
+                        .parse::<Ipv6Addr>()
+                        .map_err(|_| ZoneError::BadLine {
+                            line,
+                            reason: "bad AAAA address",
+                        })?,
+                )
+            }
             "NS" => RData::Ns(fields[4].trim_end_matches('.').to_string()),
             "CNAME" => RData::Cname(fields[4].trim_end_matches('.').to_string()),
             "MX" => {
                 if fields.len() < 6 {
-                    return Err(ZoneError::BadLine { line, reason: "MX needs pref + host" });
+                    return Err(ZoneError::BadLine {
+                        line,
+                        reason: "MX needs pref + host",
+                    });
                 }
                 RData::Mx {
-                    preference: fields[4]
-                        .parse()
-                        .map_err(|_| ZoneError::BadLine { line, reason: "bad MX preference" })?,
+                    preference: fields[4].parse().map_err(|_| ZoneError::BadLine {
+                        line,
+                        reason: "bad MX preference",
+                    })?,
                     exchange: fields[5].trim_end_matches('.').to_string(),
                 }
             }
@@ -104,21 +131,33 @@ pub fn parse_zone(text: &str) -> Result<Vec<ResourceRecord>, ZoneError> {
                     .split_once('"')
                     .and_then(|(_, rest)| rest.rsplit_once('"'))
                     .map(|(body, _)| body.to_string())
-                    .ok_or(ZoneError::BadLine { line, reason: "TXT needs quotes" })?,
+                    .ok_or(ZoneError::BadLine {
+                        line,
+                        reason: "TXT needs quotes",
+                    })?,
             ),
             "SOA" => {
                 if fields.len() < 7 {
-                    return Err(ZoneError::BadLine { line, reason: "SOA needs mname rname serial" });
+                    return Err(ZoneError::BadLine {
+                        line,
+                        reason: "SOA needs mname rname serial",
+                    });
                 }
                 RData::Soa {
                     mname: fields[4].trim_end_matches('.').to_string(),
                     rname: fields[5].trim_end_matches('.').to_string(),
-                    serial: fields[6]
-                        .parse()
-                        .map_err(|_| ZoneError::BadLine { line, reason: "bad SOA serial" })?,
+                    serial: fields[6].parse().map_err(|_| ZoneError::BadLine {
+                        line,
+                        reason: "bad SOA serial",
+                    })?,
                 }
             }
-            _ => return Err(ZoneError::BadLine { line, reason: "unsupported record type" }),
+            _ => {
+                return Err(ZoneError::BadLine {
+                    line,
+                    reason: "unsupported record type",
+                })
+            }
         };
         out.push(ResourceRecord { name, ttl, rdata });
     }
@@ -144,7 +183,10 @@ mod tests {
             ResourceRecord {
                 name: "paypal-cash.com".into(),
                 ttl: 3600,
-                rdata: RData::Mx { preference: 10, exchange: "mx.paypal-cash.com".into() },
+                rdata: RData::Mx {
+                    preference: 10,
+                    exchange: "mx.paypal-cash.com".into(),
+                },
             },
             ResourceRecord {
                 name: "zone.example".into(),
@@ -152,7 +194,7 @@ mod tests {
                 rdata: RData::Soa {
                     mname: "ns1.zone.example".into(),
                     rname: "hostmaster.zone.example".into(),
-                    serial: 2018_09_06,
+                    serial: 20180906,
                 },
             },
             ResourceRecord {
@@ -182,7 +224,13 @@ mod tests {
     #[test]
     fn errors_carry_line_numbers() {
         let err = parse_zone("good.example.\t60\tIN\tA\t1.2.3.4\nbad line here\n").unwrap_err();
-        assert_eq!(err, ZoneError::BadLine { line: 2, reason: "expected 5+ fields" });
+        assert_eq!(
+            err,
+            ZoneError::BadLine {
+                line: 2,
+                reason: "expected 5+ fields"
+            }
+        );
         let err = parse_zone("x.example.\tNaN\tIN\tA\t1.2.3.4\n").unwrap_err();
         assert!(matches!(err, ZoneError::BadLine { line: 1, .. }));
     }

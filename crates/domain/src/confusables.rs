@@ -29,35 +29,193 @@ pub struct ConfusableEntry {
 /// subset per letter suffices for the reproduction — importantly *more than
 /// one* variant per letter, which is the gap the paper calls out).
 pub const CONFUSABLES: &[ConfusableEntry] = &[
-    ConfusableEntry { source: 'a', unicode: &['à', 'á', 'â', 'ã', 'ä', 'å', 'ā', 'ă', 'ą', 'α', 'а', 'ạ', 'ả', 'ǎ', 'ȁ', 'ȃ', 'ḁ', 'ẚ', 'ɑ', 'ά', 'ӑ', 'ӓ', 'ᾳ'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'b', unicode: &['ƀ', 'ḃ', 'ḅ', 'ḇ', 'Ь', 'ƅ', 'ь'], ascii: &[], sequences: &["lo"] },
-    ConfusableEntry { source: 'c', unicode: &['ç', 'ć', 'ĉ', 'ċ', 'č', 'с', 'ϲ', 'ȼ', 'ḉ'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'd', unicode: &['ď', 'đ', 'ḋ', 'ḍ', 'ḏ', 'ḑ', 'ḓ', 'ɗ'], ascii: &[], sequences: &["cl"] },
-    ConfusableEntry { source: 'e', unicode: &['è', 'é', 'ê', 'ë', 'ē', 'ĕ', 'ė', 'ę', 'ě', 'е', 'ε', 'ѐ', 'ё', 'ḕ', 'ḗ', 'ẹ', 'ẻ', 'ẽ'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'f', unicode: &['ƒ', 'ḟ', 'ꞙ'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'g', unicode: &['ĝ', 'ğ', 'ġ', 'ģ', 'ǵ', 'ɡ', 'ḡ', 'ԍ'], ascii: &['q'], sequences: &[] },
-    ConfusableEntry { source: 'h', unicode: &['ĥ', 'ħ', 'ḣ', 'ḥ', 'ḧ', 'ḩ', 'һ', 'ɦ'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'i', unicode: &['ì', 'í', 'î', 'ï', 'ĩ', 'ī', 'ĭ', 'į', 'ι', 'і', 'ї', 'ɩ', 'ḭ', 'ḯ', 'ỉ', 'ị'], ascii: &['1', 'l'], sequences: &[] },
-    ConfusableEntry { source: 'j', unicode: &['ĵ', 'ϳ', 'ј', 'ɉ'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'k', unicode: &['ķ', 'ǩ', 'ḱ', 'ḳ', 'ḵ', 'κ', 'к'], ascii: &[], sequences: &["lc"] },
-    ConfusableEntry { source: 'l', unicode: &['ĺ', 'ļ', 'ľ', 'ŀ', 'ł', 'ḷ', 'ḹ', 'ḻ', 'ḽ', 'ǀ', 'ӏ'], ascii: &['1', 'i'], sequences: &[] },
-    ConfusableEntry { source: 'm', unicode: &['ḿ', 'ṁ', 'ṃ', 'м', 'ɱ'], ascii: &[], sequences: &["rn", "nn"] },
-    ConfusableEntry { source: 'n', unicode: &['ñ', 'ń', 'ņ', 'ň', 'ǹ', 'ṅ', 'ṇ', 'ṉ', 'ṋ', 'п', 'η'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'o', unicode: &['ò', 'ó', 'ô', 'õ', 'ö', 'ø', 'ō', 'ŏ', 'ő', 'ο', 'о', 'σ', 'ѳ', 'ṍ', 'ṏ', 'ṑ', 'ṓ', 'ọ', 'ỏ'], ascii: &['0'], sequences: &[] },
-    ConfusableEntry { source: 'p', unicode: &['ṕ', 'ṗ', 'ρ', 'р', 'ƥ'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'q', unicode: &['ʠ', 'ԛ'], ascii: &['g'], sequences: &[] },
-    ConfusableEntry { source: 'r', unicode: &['ŕ', 'ŗ', 'ř', 'ȑ', 'ȓ', 'ṙ', 'ṛ', 'ṝ', 'ṟ', 'г'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 's', unicode: &['ś', 'ŝ', 'ş', 'š', 'ș', 'ṡ', 'ṣ', 'ѕ'], ascii: &['5'], sequences: &[] },
-    ConfusableEntry { source: 't', unicode: &['ţ', 'ť', 'ŧ', 'ț', 'ṫ', 'ṭ', 'ṯ', 'ṱ', 'т', 'τ'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'u', unicode: &['ù', 'ú', 'û', 'ü', 'ũ', 'ū', 'ŭ', 'ů', 'ű', 'ų', 'υ', 'ս', 'ṳ', 'ṵ', 'ṷ', 'ụ', 'ủ'], ascii: &['v'], sequences: &[] },
-    ConfusableEntry { source: 'v', unicode: &['ṽ', 'ṿ', 'ν', 'ѵ', 'ʋ'], ascii: &['u'], sequences: &[] },
-    ConfusableEntry { source: 'w', unicode: &['ŵ', 'ẁ', 'ẃ', 'ẅ', 'ẇ', 'ẉ', 'ω', 'ш', 'ѡ'], ascii: &[], sequences: &["vv"] },
-    ConfusableEntry { source: 'x', unicode: &['ẋ', 'ẍ', 'х', 'χ'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'y', unicode: &['ý', 'ÿ', 'ŷ', 'ȳ', 'ẏ', 'ỳ', 'ỵ', 'ỷ', 'ỹ', 'у', 'γ'], ascii: &[], sequences: &[] },
-    ConfusableEntry { source: 'z', unicode: &['ź', 'ż', 'ž', 'ẑ', 'ẓ', 'ẕ', 'ȥ'], ascii: &['2'], sequences: &[] },
-    ConfusableEntry { source: '0', unicode: &['Ο', 'о'], ascii: &['o'], sequences: &[] },
-    ConfusableEntry { source: '1', unicode: &[], ascii: &['l', 'i'], sequences: &[] },
-    ConfusableEntry { source: '5', unicode: &[], ascii: &['s'], sequences: &[] },
+    ConfusableEntry {
+        source: 'a',
+        unicode: &[
+            'à', 'á', 'â', 'ã', 'ä', 'å', 'ā', 'ă', 'ą', 'α', 'а', 'ạ', 'ả', 'ǎ', 'ȁ', 'ȃ', 'ḁ',
+            'ẚ', 'ɑ', 'ά', 'ӑ', 'ӓ', 'ᾳ',
+        ],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'b',
+        unicode: &['ƀ', 'ḃ', 'ḅ', 'ḇ', 'Ь', 'ƅ', 'ь'],
+        ascii: &[],
+        sequences: &["lo"],
+    },
+    ConfusableEntry {
+        source: 'c',
+        unicode: &['ç', 'ć', 'ĉ', 'ċ', 'č', 'с', 'ϲ', 'ȼ', 'ḉ'],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'd',
+        unicode: &['ď', 'đ', 'ḋ', 'ḍ', 'ḏ', 'ḑ', 'ḓ', 'ɗ'],
+        ascii: &[],
+        sequences: &["cl"],
+    },
+    ConfusableEntry {
+        source: 'e',
+        unicode: &[
+            'è', 'é', 'ê', 'ë', 'ē', 'ĕ', 'ė', 'ę', 'ě', 'е', 'ε', 'ѐ', 'ё', 'ḕ', 'ḗ', 'ẹ', 'ẻ',
+            'ẽ',
+        ],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'f',
+        unicode: &['ƒ', 'ḟ', 'ꞙ'],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'g',
+        unicode: &['ĝ', 'ğ', 'ġ', 'ģ', 'ǵ', 'ɡ', 'ḡ', 'ԍ'],
+        ascii: &['q'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'h',
+        unicode: &['ĥ', 'ħ', 'ḣ', 'ḥ', 'ḧ', 'ḩ', 'һ', 'ɦ'],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'i',
+        unicode: &[
+            'ì', 'í', 'î', 'ï', 'ĩ', 'ī', 'ĭ', 'į', 'ι', 'і', 'ї', 'ɩ', 'ḭ', 'ḯ', 'ỉ', 'ị',
+        ],
+        ascii: &['1', 'l'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'j',
+        unicode: &['ĵ', 'ϳ', 'ј', 'ɉ'],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'k',
+        unicode: &['ķ', 'ǩ', 'ḱ', 'ḳ', 'ḵ', 'κ', 'к'],
+        ascii: &[],
+        sequences: &["lc"],
+    },
+    ConfusableEntry {
+        source: 'l',
+        unicode: &['ĺ', 'ļ', 'ľ', 'ŀ', 'ł', 'ḷ', 'ḹ', 'ḻ', 'ḽ', 'ǀ', 'ӏ'],
+        ascii: &['1', 'i'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'm',
+        unicode: &['ḿ', 'ṁ', 'ṃ', 'м', 'ɱ'],
+        ascii: &[],
+        sequences: &["rn", "nn"],
+    },
+    ConfusableEntry {
+        source: 'n',
+        unicode: &['ñ', 'ń', 'ņ', 'ň', 'ǹ', 'ṅ', 'ṇ', 'ṉ', 'ṋ', 'п', 'η'],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'o',
+        unicode: &[
+            'ò', 'ó', 'ô', 'õ', 'ö', 'ø', 'ō', 'ŏ', 'ő', 'ο', 'о', 'σ', 'ѳ', 'ṍ', 'ṏ', 'ṑ', 'ṓ',
+            'ọ', 'ỏ',
+        ],
+        ascii: &['0'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'p',
+        unicode: &['ṕ', 'ṗ', 'ρ', 'р', 'ƥ'],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'q',
+        unicode: &['ʠ', 'ԛ'],
+        ascii: &['g'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'r',
+        unicode: &['ŕ', 'ŗ', 'ř', 'ȑ', 'ȓ', 'ṙ', 'ṛ', 'ṝ', 'ṟ', 'г'],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 's',
+        unicode: &['ś', 'ŝ', 'ş', 'š', 'ș', 'ṡ', 'ṣ', 'ѕ'],
+        ascii: &['5'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 't',
+        unicode: &['ţ', 'ť', 'ŧ', 'ț', 'ṫ', 'ṭ', 'ṯ', 'ṱ', 'т', 'τ'],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'u',
+        unicode: &[
+            'ù', 'ú', 'û', 'ü', 'ũ', 'ū', 'ŭ', 'ů', 'ű', 'ų', 'υ', 'ս', 'ṳ', 'ṵ', 'ṷ', 'ụ', 'ủ',
+        ],
+        ascii: &['v'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'v',
+        unicode: &['ṽ', 'ṿ', 'ν', 'ѵ', 'ʋ'],
+        ascii: &['u'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'w',
+        unicode: &['ŵ', 'ẁ', 'ẃ', 'ẅ', 'ẇ', 'ẉ', 'ω', 'ш', 'ѡ'],
+        ascii: &[],
+        sequences: &["vv"],
+    },
+    ConfusableEntry {
+        source: 'x',
+        unicode: &['ẋ', 'ẍ', 'х', 'χ'],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'y',
+        unicode: &['ý', 'ÿ', 'ŷ', 'ȳ', 'ẏ', 'ỳ', 'ỵ', 'ỷ', 'ỹ', 'у', 'γ'],
+        ascii: &[],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: 'z',
+        unicode: &['ź', 'ż', 'ž', 'ẑ', 'ẓ', 'ẕ', 'ȥ'],
+        ascii: &['2'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: '0',
+        unicode: &['Ο', 'о'],
+        ascii: &['o'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: '1',
+        unicode: &[],
+        ascii: &['l', 'i'],
+        sequences: &[],
+    },
+    ConfusableEntry {
+        source: '5',
+        unicode: &[],
+        ascii: &['s'],
+        sequences: &[],
+    },
 ];
 
 /// Lookup-oriented view over [`CONFUSABLES`].
@@ -119,6 +277,21 @@ impl ConfusableTable {
         }
     }
 
+    /// The ASCII half of the skeleton fold: digit/letter swaps where the
+    /// digit imitates a letter (`0`→`o`, `5`→`s`); every other ASCII byte is
+    /// kept as-is. Exposed so callers folding a known-ASCII label can do so
+    /// byte-wise into a stack buffer instead of allocating via [`skeleton`].
+    ///
+    /// [`skeleton`]: Self::skeleton
+    #[inline]
+    pub fn ascii_fold_byte(b: u8) -> u8 {
+        match b {
+            b'0' => b'o',
+            b'5' => b's',
+            _ => b,
+        }
+    }
+
     /// Folds a (possibly Unicode) label to its ASCII *skeleton*: every
     /// confusable character is replaced by the ASCII character it imitates.
     /// Multi-char sequences are **not** folded here (that is a separate,
@@ -135,14 +308,7 @@ impl ConfusableTable {
         let mut out = String::with_capacity(label.len());
         'chars: for c in label.chars() {
             if c.is_ascii() {
-                // ASCII digit/letter swaps: fold 0->o, 1->l, 5->s only when
-                // they sit among letters; the detector re-checks context, so
-                // a straight fold is acceptable here.
-                out.push(match c {
-                    '0' => 'o',
-                    '5' => 's',
-                    _ => c,
-                });
+                out.push(Self::ascii_fold_byte(c as u8) as char);
                 continue;
             }
             for e in CONFUSABLES {
@@ -159,9 +325,10 @@ impl ConfusableTable {
     /// Whether the label contains at least one non-source character that
     /// folds back to ASCII (i.e. the label is a *candidate* homograph).
     pub fn has_confusable(&self, label: &str) -> bool {
-        label.chars().any(|c| {
-            !c.is_ascii() && CONFUSABLES.iter().any(|e| e.unicode.contains(&c))
-        }) || label.contains('0')
+        label
+            .chars()
+            .any(|c| !c.is_ascii() && CONFUSABLES.iter().any(|e| e.unicode.contains(&c)))
+            || label.contains('0')
             || label.contains('5')
     }
 }

@@ -53,13 +53,15 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     for (i, row) in d.iter_mut().enumerate() {
         row[0] = i;
     }
-    for j in 0..=m {
-        d[0][j] = j;
+    for (j, cell) in d[0].iter_mut().enumerate() {
+        *cell = j;
     }
     for i in 1..=n {
         for j in 1..=m {
             let cost = usize::from(a[i - 1] != b[j - 1]);
-            let mut best = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            let mut best = (d[i - 1][j] + 1)
+                .min(d[i][j - 1] + 1)
+                .min(d[i - 1][j - 1] + cost);
             if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
                 best = best.min(d[i - 2][j - 2] + 1);
             }
@@ -69,10 +71,23 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     d[n][m]
 }
 
-/// Hamming distance between equal-length ASCII strings; `None` if lengths
-/// differ.
+/// Hamming distance between equal-length **ASCII** strings; `None` if the
+/// lengths differ or either input contains a non-ASCII byte.
+///
+/// The comparison is byte-wise, which only equals the per-character
+/// distance for ASCII: on multibyte UTF-8 a single differing *character*
+/// spans several differing *bytes*, so rather than return a misleading
+/// count the function rejects non-ASCII input outright. Callers comparing
+/// IDN labels must compare their punycode (`xn--…`) wire forms, which are
+/// ASCII by construction.
+///
+/// ```
+/// use squatphi_domain::distance::hamming;
+/// assert_eq!(hamming("abc", "abd"), Some(1));
+/// assert_eq!(hamming("fàce", "face"), None); // non-ASCII is rejected
+/// ```
 pub fn hamming(a: &str, b: &str) -> Option<usize> {
-    if a.len() != b.len() {
+    if a.len() != b.len() || !a.is_ascii() || !b.is_ascii() {
         return None;
     }
     Some(a.bytes().zip(b.bytes()).filter(|(x, y)| x != y).count())
@@ -84,15 +99,23 @@ pub fn hamming(a: &str, b: &str) -> Option<usize> {
 /// one-bit corruption of `a`. Returns `Some(0)` for identical strings and
 /// `None` otherwise.
 ///
+/// Like [`hamming`], the contract is **ASCII-only**: bitsquatting models a
+/// memory corruption of the ASCII wire form of a label, so non-ASCII input
+/// is rejected rather than compared byte-wise (a flipped bit inside a
+/// UTF-8 continuation byte is not a DNS-label corruption). IDN labels must
+/// be compared in their punycode (`xn--…`) wire form.
+///
 /// ```
 /// use squatphi_domain::distance::bit_flip_distance;
 /// // 'o' (0x6f) vs 'n' (0x6e) differ in exactly one bit.
 /// assert_eq!(bit_flip_distance("facebook", "facebnok"), Some(1));
 /// // 'e' (0x65) vs 'w' (0x77) differ in two bits: not a bitsquat.
 /// assert_eq!(bit_flip_distance("google", "googlw"), None);
+/// // Non-ASCII input is rejected even when byte lengths happen to match.
+/// assert_eq!(bit_flip_distance("fàce", "fàcé"), None);
 /// ```
 pub fn bit_flip_distance(a: &str, b: &str) -> Option<usize> {
-    if a.len() != b.len() {
+    if a.len() != b.len() || !a.is_ascii() || !b.is_ascii() {
         return None;
     }
     let mut diff_pos = None;
@@ -143,7 +166,10 @@ mod tests {
 
     #[test]
     fn levenshtein_is_symmetric() {
-        assert_eq!(levenshtein("paypal", "paypals"), levenshtein("paypals", "paypal"));
+        assert_eq!(
+            levenshtein("paypal", "paypals"),
+            levenshtein("paypals", "paypal")
+        );
     }
 
     #[test]
@@ -159,6 +185,28 @@ mod tests {
         assert_eq!(hamming("abc", "abd"), Some(1));
         assert_eq!(hamming("abc", "abcd"), None);
         assert_eq!(hamming("", ""), Some(0));
+    }
+
+    #[test]
+    fn hamming_rejects_non_ascii() {
+        // Same byte length (5), one differing character — a byte-wise count
+        // would report 2 ('à' vs 'á' differ in both UTF-8 bytes' tails).
+        assert_eq!(hamming("fàce", "fáce"), None);
+        // Mixed ASCII / non-ASCII operands are rejected on either side.
+        assert_eq!(hamming("fàce", "facee"), None);
+        assert_eq!(hamming("facee", "fàce"), None);
+        // Equal non-ASCII strings are still rejected: the contract is
+        // ASCII-only, not "lenient when the answer happens to be 0".
+        assert_eq!(hamming("fàce", "fàce"), None);
+    }
+
+    #[test]
+    fn bit_flip_rejects_non_ascii() {
+        // 'à' (C3 A0) vs 'á' (C3 A1): one differing byte, one differing
+        // bit — but a continuation-byte flip is not a label corruption.
+        assert_eq!(bit_flip_distance("fàce", "fáce"), None);
+        assert_eq!(bit_flip_distance("fàce", "fàce"), None);
+        assert!(!is_one_bit_flip("fàce", "fáce"));
     }
 
     #[test]

@@ -145,7 +145,9 @@ impl DomainName {
 
 impl std::fmt::Display for DomainName {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.full)
+        // `pad` (not `write_str`) so `{:<40}` column layouts in report
+        // output actually align.
+        f.pad(&self.full)
     }
 }
 
@@ -218,9 +220,15 @@ mod tests {
             Err(DomainError::UnknownSuffix(_))
         ));
         let long = format!("{}.com", "a".repeat(64));
-        assert!(matches!(DomainName::parse(&long), Err(DomainError::BadLength(_))));
+        assert!(matches!(
+            DomainName::parse(&long),
+            Err(DomainError::BadLength(_))
+        ));
         let too_long = format!("{}.com", ["abcdefgh"; 40].join("."));
-        assert!(matches!(DomainName::parse(&too_long), Err(DomainError::BadLength(_))));
+        assert!(matches!(
+            DomainName::parse(&too_long),
+            Err(DomainError::BadLength(_))
+        ));
     }
 
     #[test]

@@ -14,26 +14,26 @@
 /// Mix of legacy gTLDs, ccTLDs seen in the paper's examples, and new gTLDs
 /// used by wrongTLD squatting.
 pub const TLDS: &[&str] = &[
-    "app", "audi", "be", "bid", "biz", "br", "ca", "cc", "ch", "click", "club", "cn", "co",
-    "com", "de", "download", "es", "eu", "fr", "ga", "gov", "gq", "icu", "id", "ie", "in",
-    "info", "io", "it", "jp", "kr", "link", "live", "ml", "mobi", "net", "nl", "nu", "online",
-    "org", "pl", "pro", "pw", "ru", "se", "shop", "site", "store", "tech", "tk", "top", "tv",
-    "ua", "uk", "us", "uy", "vip", "win", "xyz",
+    "app", "audi", "be", "bid", "biz", "br", "ca", "cc", "ch", "click", "club", "cn", "co", "com",
+    "de", "download", "es", "eu", "fr", "ga", "gov", "gq", "icu", "id", "ie", "in", "info", "io",
+    "it", "jp", "kr", "link", "live", "ml", "mobi", "net", "nl", "nu", "online", "org", "pl",
+    "pro", "pw", "ru", "se", "shop", "site", "store", "tech", "tk", "top", "tv", "ua", "uk", "us",
+    "uy", "vip", "win", "xyz",
 ];
 
 /// Multi-label public suffixes (most-specific first match wins).
 pub const MULTI_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "com.ua", "com.uy", "com.br", "com.cn", "co.jp", "co.kr", "co.in",
-    "com.au", "net.ua", "gov.uk",
+    "co.uk", "org.uk", "com.ua", "com.uy", "com.br", "com.cn", "co.jp", "co.kr", "co.in", "com.au",
+    "net.ua", "gov.uk",
 ];
 
 /// TLDs that are plausible *wrongTLD* substitution targets — the subset an
 /// attacker can actually register under cheaply (the paper's Fig 2 finds
 /// 39K wrongTLD domains, mostly under new gTLDs and free ccTLDs).
 pub const WRONG_TLD_POOL: &[&str] = &[
-    "audi", "bid", "click", "club", "download", "ga", "gq", "icu", "link", "live", "ml",
-    "mobi", "net", "online", "org", "pw", "shop", "site", "store", "tech", "tk", "top",
-    "vip", "win", "xyz",
+    "audi", "bid", "click", "club", "download", "ga", "gq", "icu", "link", "live", "ml", "mobi",
+    "net", "online", "org", "pw", "shop", "site", "store", "tech", "tk", "top", "vip", "win",
+    "xyz",
 ];
 
 /// Returns `true` if `s` (no dots) is a known single-label TLD.
@@ -83,7 +83,10 @@ mod tests {
         let mut sorted = TLDS.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted, TLDS, "TLDS must stay sorted/unique for binary search");
+        assert_eq!(
+            sorted, TLDS,
+            "TLDS must stay sorted/unique for binary search"
+        );
     }
 
     #[test]
@@ -110,7 +113,10 @@ mod tests {
 
     #[test]
     fn subdomains_stay_in_prefix() {
-        assert_eq!(split_suffix("mail.google-app.de"), Some(("mail.google-app", "de")));
+        assert_eq!(
+            split_suffix("mail.google-app.de"),
+            Some(("mail.google-app", "de"))
+        );
     }
 
     #[test]

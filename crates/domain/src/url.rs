@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn lowercases_host() {
-        assert_eq!(host_of("http://PayPal.COM/x"), Some("paypal.com".to_string()));
+        assert_eq!(
+            host_of("http://PayPal.COM/x"),
+            Some("paypal.com".to_string())
+        );
     }
 
     #[test]

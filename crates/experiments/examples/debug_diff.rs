@@ -13,8 +13,12 @@ fn main() {
     let fan = pages::confusing_benign_page("h.com", Some("paypal"), 7);
     let vp = fx.extract(&phish);
     let vf = fx.extract(&fan);
-    let dims: std::collections::BTreeSet<usize> =
-        vp.entries().iter().chain(vf.entries()).map(|(i, _)| *i).collect();
+    let dims: std::collections::BTreeSet<usize> = vp
+        .entries()
+        .iter()
+        .chain(vf.entries())
+        .map(|(i, _)| *i)
+        .collect();
     for d in dims {
         let (a, b) = (vp.get(d), vf.get(d));
         if (a - b).abs() > 0.5 {
@@ -26,14 +30,26 @@ fn main() {
 
 fn name_of(fx: &FeatureExtractor, d: usize) -> String {
     for w in squatphi_nlp::spell::BASE_DICTIONARY {
-        if fx.space().keyword(w) == Some(d) { return (*w).to_string(); }
+        if fx.space().keyword(w) == Some(d) {
+            return (*w).to_string();
+        }
     }
     let reg = BrandRegistry::paper();
     for b in reg.brands() {
-        if fx.space().keyword(&b.label) == Some(d) { return format!("brand:{}", b.label); }
+        if fx.space().keyword(&b.label) == Some(d) {
+            return format!("brand:{}", b.label);
+        }
     }
-    for n in ["form_count", "password_inputs", "text_inputs", "submit_controls", "js_obfuscated"] {
-        if fx.space().numeric(n) == Some(d) { return format!("num:{n}"); }
+    for n in [
+        "form_count",
+        "password_inputs",
+        "text_inputs",
+        "submit_controls",
+        "js_obfuscated",
+    ] {
+        if fx.space().numeric(n) == Some(d) {
+            return format!("num:{n}");
+        }
     }
     format!("keyword#{d}")
 }

@@ -9,14 +9,26 @@ use squatphi_squat::BrandRegistry;
 fn main() {
     let config = SimConfig::tiny();
     let registry = BrandRegistry::with_size(config.brands);
-    let feed = GroundTruthFeed::generate(&registry, &FeedConfig { total_urls: 700, seed: 13 });
+    let feed = GroundTruthFeed::generate(
+        &registry,
+        &FeedConfig {
+            total_urls: 700,
+            seed: 13,
+        },
+    );
     let fx = FeatureExtractor::new(&registry);
 
     let top8 = feed.top8(&registry);
-    let pages: Vec<(&str, bool)> =
-        top8.iter().map(|e| (e.html.as_str(), e.still_phishing)).collect();
+    let pages: Vec<(&str, bool)> = top8
+        .iter()
+        .map(|e| (e.html.as_str(), e.still_phishing))
+        .collect();
     let data = fx.build_dataset(&pages, 8);
-    println!("dataset: {} samples, {} positive", data.len(), data.positives());
+    println!(
+        "dataset: {} samples, {} positive",
+        data.len(),
+        data.positives()
+    );
 
     let dim = data.dim();
     for d in 0..dim {
@@ -56,7 +68,13 @@ fn name_of(fx: &FeatureExtractor, d: usize) -> String {
             return format!("brand:{}", b.label);
         }
     }
-    for n in ["form_count", "password_inputs", "text_inputs", "submit_controls", "js_obfuscated"] {
+    for n in [
+        "form_count",
+        "password_inputs",
+        "text_inputs",
+        "submit_controls",
+        "js_obfuscated",
+    ] {
         if fx.space().numeric(n) == Some(d) {
             return format!("num:{n}");
         }

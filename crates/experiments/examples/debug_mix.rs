@@ -33,7 +33,7 @@ fn main() {
     println!("planted {:?}", stats.planted_by_type);
     println!("scanned {:?}", out.by_type);
     let mut top: Vec<(usize, usize)> = stats.planted_by_brand.iter().copied().enumerate().collect();
-    top.sort_by(|a, b| b.1.cmp(&a.1));
+    top.sort_by_key(|x| std::cmp::Reverse(x.1));
     for (b, n) in top.iter().take(8) {
         println!("brand {} planted {}", reg.get(*b).unwrap().label, n);
     }

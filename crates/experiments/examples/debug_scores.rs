@@ -1,7 +1,7 @@
 //! Debug harness: RF score distribution per page-template group, to see
 //! which templates the classifier separates trivially.
 
-use squatphi::train::{fit_final_model, build_ground_truth};
+use squatphi::train::{build_ground_truth, fit_final_model};
 use squatphi::{FeatureExtractor, SimConfig};
 use squatphi_feeds::{FeedConfig, GroundTruthFeed};
 use squatphi_ml::Classifier;
@@ -11,12 +11,26 @@ use squatphi_web::pages;
 fn main() {
     let config = SimConfig::tiny();
     let registry = BrandRegistry::with_size(config.brands);
-    let feed = GroundTruthFeed::generate(&registry, &FeedConfig { total_urls: 700, seed: 13 });
+    let feed = GroundTruthFeed::generate(
+        &registry,
+        &FeedConfig {
+            total_urls: 700,
+            seed: 13,
+        },
+    );
     let fx = FeatureExtractor::new(&registry);
 
     let top8 = feed.top8(&registry);
-    let phishing: Vec<&str> = top8.iter().filter(|e| e.still_phishing).map(|e| e.html.as_str()).collect();
-    let benign: Vec<&str> = top8.iter().filter(|e| !e.still_phishing).map(|e| e.html.as_str()).collect();
+    let phishing: Vec<&str> = top8
+        .iter()
+        .filter(|e| e.still_phishing)
+        .map(|e| e.html.as_str())
+        .collect();
+    let benign: Vec<&str> = top8
+        .iter()
+        .filter(|e| !e.still_phishing)
+        .map(|e| e.html.as_str())
+        .collect();
     let data = build_ground_truth(&fx, &phishing, &benign, 8);
     let model = fit_final_model(&data, 1);
 
@@ -24,31 +38,45 @@ fn main() {
     let groups: Vec<(&str, Vec<String>)> = vec![
         (
             "phish:full-login",
-            (0..20).map(|k| pages::non_squatting_phishing_page(brand, false, "h.com", k * 16)).collect(),
+            (0..20)
+                .map(|k| pages::non_squatting_phishing_page(brand, false, "h.com", k * 16))
+                .collect(),
         ),
         (
             "phish:two-step",
-            (0..20).map(|k| pages::non_squatting_phishing_page(brand, false, "h.com", k * 16 + 7)).collect(),
+            (0..20)
+                .map(|k| pages::non_squatting_phishing_page(brand, false, "h.com", k * 16 + 7))
+                .collect(),
         ),
         (
             "phish:evasive",
-            (0..20).map(|k| pages::non_squatting_phishing_page(brand, true, "h.com", k)).collect(),
+            (0..20)
+                .map(|k| pages::non_squatting_phishing_page(brand, true, "h.com", k))
+                .collect(),
         ),
         (
             "benign:login",
-            (0..20).map(|k| pages::benign_login_page("h.com", Some("paypal"), k)).collect(),
+            (0..20)
+                .map(|k| pages::benign_login_page("h.com", Some("paypal"), k))
+                .collect(),
         ),
         (
             "benign:fanforum",
-            (0..20).map(|k| pages::confusing_benign_page("h.com", Some("paypal"), k * 12 + 7)).collect(),
+            (0..20)
+                .map(|k| pages::confusing_benign_page("h.com", Some("paypal"), k * 12 + 7))
+                .collect(),
         ),
         (
             "benign:federated",
-            (0..20).map(|k| pages::confusing_benign_page("h.com", Some("paypal"), k * 12 + 6)).collect(),
+            (0..20)
+                .map(|k| pages::confusing_benign_page("h.com", Some("paypal"), k * 12 + 6))
+                .collect(),
         ),
         (
             "benign:survey",
-            (0..20).map(|k| pages::confusing_benign_page("h.com", Some("paypal"), k * 12)).collect(),
+            (0..20)
+                .map(|k| pages::confusing_benign_page("h.com", Some("paypal"), k * 12))
+                .collect(),
         ),
     ];
     for (name, htmls) in groups {

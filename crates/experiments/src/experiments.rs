@@ -21,9 +21,8 @@ use squatphi_web::{pages, Device, SiteBehavior};
 /// Every experiment id, in paper order.
 pub const EXPERIMENT_IDS: &[&str] = &[
     "table1", "fig2", "fig3", "fig4", "table2", "table3", "table4", "fig5", "fig6", "fig7",
-    "table5", "fig8", "fig9", "table6", "table7", "fig10", "table8", "table9", "fig11",
-    "fig12", "fig13", "table10", "fig14", "fig15", "fig16", "fig17", "table11", "table12",
-    "table13",
+    "table5", "fig8", "fig9", "table6", "table7", "fig10", "table8", "table9", "fig11", "fig12",
+    "fig13", "table10", "fig14", "fig15", "fig16", "fig17", "table11", "table12", "table13",
 ];
 
 /// Runs one experiment against a pipeline result, returning its report
@@ -67,7 +66,13 @@ pub fn run_experiment(id: &str, result: &PipelineResult) -> Option<String> {
 fn table1() -> String {
     let registry = BrandRegistry::with_size(10);
     let fb = registry.by_label("facebook").expect("facebook in registry");
-    let budget = GenBudget { homograph: 60, bits: 10, typo: 40, combo: 10, wrong_tld: 5 };
+    let budget = GenBudget {
+        homograph: 60,
+        bits: 10,
+        typo: 40,
+        combo: 10,
+        wrong_tld: 5,
+    };
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut per_type = [0usize; 5];
     let mut idn_shown = false;
@@ -86,7 +91,11 @@ fn table1() -> String {
         }
         per_type[idx] += 1;
         let shown = if c.domain.is_idn() {
-            format!("{} (punycode: {})", idna::to_unicode(c.domain.as_str()), c.domain)
+            format!(
+                "{} (punycode: {})",
+                idna::to_unicode(c.domain.as_str()),
+                c.domain
+            )
         } else {
             c.domain.to_string()
         };
@@ -143,7 +152,12 @@ fn fig3(result: &PipelineResult) -> String {
     let points: Vec<(String, String)> = picks
         .iter()
         .filter(|&&i| i < shares.len())
-        .map(|&i| (format!("top {}", i + 1), format!("{:.1}%", shares[i] * 100.0)))
+        .map(|&i| {
+            (
+                format!("top {}", i + 1),
+                format!("{:.1}%", shares[i] * 100.0),
+            )
+        })
         .collect();
     let mut s = series(
         "Figure 3 — accumulated share of squatting domains by brand rank",
@@ -164,20 +178,19 @@ fn fig3(result: &PipelineResult) -> String {
 /// (paper: vice 5.98%, porn 2.76%, bt 2.46%, apple 2.05%, ford 1.85%).
 fn fig4(result: &PipelineResult) -> String {
     let total: usize = result.scan.by_brand.iter().sum();
-    let mut per_brand: Vec<(usize, usize)> = result
-        .scan
-        .by_brand
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
-    per_brand.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut per_brand: Vec<(usize, usize)> =
+        result.scan.by_brand.iter().copied().enumerate().collect();
+    per_brand.sort_by_key(|x| std::cmp::Reverse(x.1));
     let rows: Vec<Vec<String>> = per_brand
         .iter()
         .take(5)
         .map(|&(b, n)| {
             vec![
-                result.registry.get(b).map(|br| br.domain.as_str().to_string()).unwrap_or_default(),
+                result
+                    .registry
+                    .get(b)
+                    .map(|br| br.domain.as_str().to_string())
+                    .unwrap_or_default(),
                 n.to_string(),
                 pct(n, total),
             ]
@@ -206,10 +219,31 @@ fn table2(result: &PipelineResult) -> String {
     };
     table(
         "Table 2 — crawl statistics (paper: 87.3% none / 1.7% original / 3.0% market / 8.0% other)",
-        &["Type", "Live Domains", "No Redirect", "To Original", "To Market", "To Others"],
         &[
-            row("Web", s.web_live, s.web_no_redirect, s.web_redirect_original, s.web_redirect_market, s.web_redirect_other),
-            row("Mobile", s.mobile_live, s.mobile_no_redirect, s.mobile_redirect_original, s.mobile_redirect_market, s.mobile_redirect_other),
+            "Type",
+            "Live Domains",
+            "No Redirect",
+            "To Original",
+            "To Market",
+            "To Others",
+        ],
+        &[
+            row(
+                "Web",
+                s.web_live,
+                s.web_no_redirect,
+                s.web_redirect_original,
+                s.web_redirect_market,
+                s.web_redirect_other,
+            ),
+            row(
+                "Mobile",
+                s.mobile_live,
+                s.mobile_no_redirect,
+                s.mobile_redirect_original,
+                s.mobile_redirect_market,
+                s.mobile_redirect_other,
+            ),
         ],
     )
 }
@@ -220,7 +254,9 @@ fn table3(result: &PipelineResult) -> String {
     league.sort_by(|a, b| {
         let ra = a.2 as f64 / a.1.max(1) as f64;
         let rb = b.2 as f64 / b.1.max(1) as f64;
-        rb.partial_cmp(&ra).expect("finite ratios").then(b.2.cmp(&a.2))
+        rb.partial_cmp(&ra)
+            .expect("finite ratios")
+            .then(b.2.cmp(&a.2))
     });
     let rows: Vec<Vec<String>> = league
         .iter()
@@ -249,7 +285,9 @@ fn table4(result: &PipelineResult) -> String {
     league.sort_by(|a, b| {
         let ra = a.3 as f64 / a.1.max(1) as f64;
         let rb = b.3 as f64 / b.1.max(1) as f64;
-        rb.partial_cmp(&ra).expect("finite ratios").then(b.3.cmp(&a.3))
+        rb.partial_cmp(&ra)
+            .expect("finite ratios")
+            .then(b.3.cmp(&a.3))
     });
     let rows: Vec<Vec<String>> = league
         .iter()
@@ -284,7 +322,12 @@ fn fig5(result: &PipelineResult) -> String {
     let points: Vec<(String, String)> = picks
         .iter()
         .filter(|&&i| i < shares.len())
-        .map(|&i| (format!("top {}", i + 1), format!("{:.1}%", shares[i] * 100.0)))
+        .map(|&i| {
+            (
+                format!("top {}", i + 1),
+                format!("{:.1}%", shares[i] * 100.0),
+            )
+        })
         .collect();
     let mut s = series(
         "Figure 5 — accumulated share of ground-truth feed URLs by brand",
@@ -318,7 +361,13 @@ fn fig6(result: &PipelineResult) -> String {
     let paper = [246, 1042, 444, 274, 4749];
     let names = ["(0-1000]", "(1000-1e4]", "(1e4-1e5]", "(1e5-1e6]", "1e6+"];
     let rows: Vec<Vec<String>> = (0..5)
-        .map(|i| vec![names[i].to_string(), buckets[i].to_string(), paper[i].to_string()])
+        .map(|i| {
+            vec![
+                names[i].to_string(),
+                buckets[i].to_string(),
+                paper[i].to_string(),
+            ]
+        })
         .collect();
     table(
         "Figure 6 — Alexa rank of ground-truth phishing hosts (measured vs paper)",
@@ -341,7 +390,13 @@ fn fig7(result: &PipelineResult) -> String {
     let names = ["Homograph", "Bits", "Typo", "Combo", "WrongTLD", "No"];
     let paper = [4, 0, 3, 592, 0, 6156];
     let rows: Vec<Vec<String>> = (0..6)
-        .map(|i| vec![names[i].to_string(), counts[i].to_string(), paper[i].to_string()])
+        .map(|i| {
+            vec![
+                names[i].to_string(),
+                counts[i].to_string(),
+                paper[i].to_string(),
+            ]
+        })
         .collect();
     table(
         "Figure 7 — squatting domains inside the ground-truth feed (measured vs paper)",
@@ -359,8 +414,14 @@ fn table5(result: &PipelineResult) -> String {
     let mut sum_urls = 0usize;
     let mut sum_valid = 0usize;
     for label in squatphi_feeds::GroundTruthFeed::top8_labels() {
-        let Some(brand) = result.registry.by_label(label) else { continue };
-        let entries: Vec<_> = feed.entries.iter().filter(|e| e.brand == brand.id).collect();
+        let Some(brand) = result.registry.by_label(label) else {
+            continue;
+        };
+        let entries: Vec<_> = feed
+            .entries
+            .iter()
+            .filter(|e| e.brand == brand.id)
+            .collect();
         let valid = entries.iter().filter(|e| e.still_phishing).count();
         sum_urls += entries.len();
         sum_valid += valid;
@@ -425,7 +486,9 @@ fn fig8() -> String {
 fn fig9(result: &PipelineResult) -> String {
     let mut rows = Vec::new();
     for label in squatphi_feeds::GroundTruthFeed::top8_labels() {
-        let Some(brand) = result.registry.by_label(label) else { continue };
+        let Some(brand) = result.registry.by_label(label) else {
+            continue;
+        };
         let brand_page = result.world.brand_page(brand.id).expect("brand page");
         let bh = squatphi::evasion::brand_hash(brand_page);
         let ds: Vec<f64> = result
@@ -440,9 +503,13 @@ fn fig9(result: &PipelineResult) -> String {
             continue;
         }
         let mean = ds.iter().sum::<f64>() / ds.len() as f64;
-        let std =
-            (ds.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / ds.len() as f64).sqrt();
-        rows.push(vec![label.to_string(), f2(mean), f2(std), ds.len().to_string()]);
+        let std = (ds.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / ds.len() as f64).sqrt();
+        rows.push(vec![
+            label.to_string(),
+            f2(mean),
+            f2(std),
+            ds.len().to_string(),
+        ]);
     }
     table(
         "Figure 9 — mean image-hash distance to the real page, per brand (paper: ~20+)",
@@ -456,7 +523,9 @@ fn fig9(result: &PipelineResult) -> String {
 fn table6(result: &PipelineResult) -> String {
     let mut rows = Vec::new();
     for label in squatphi_feeds::GroundTruthFeed::top8_labels() {
-        let Some(brand) = result.registry.by_label(label) else { continue };
+        let Some(brand) = result.registry.by_label(label) else {
+            continue;
+        };
         let brand_page = result.world.brand_page(brand.id).expect("brand page");
         let ms: Vec<squatphi::evasion::EvasionMeasurement> = result
             .feed
@@ -503,7 +572,13 @@ fn table7(result: &PipelineResult) -> String {
         .collect();
     let mut s = table(
         "Table 7 — classifier cross-validation (paper: RF 0.03/0.06/0.97/0.90)",
-        &["Algorithm", "False Positive", "False Negative", "AUC", "ACC"],
+        &[
+            "Algorithm",
+            "False Positive",
+            "False Negative",
+            "AUC",
+            "ACC",
+        ],
         &rows,
     );
     s.push_str(&format!(
@@ -552,10 +627,16 @@ fn table8(result: &PipelineResult) -> String {
         .filter(|d| d.confirmed)
         .map(|d| d.brand)
         .collect();
-    let web_brands: std::collections::HashSet<usize> =
-        result.confirmed(Device::Web).iter().map(|d| d.brand).collect();
-    let mob_brands: std::collections::HashSet<usize> =
-        result.confirmed(Device::Mobile).iter().map(|d| d.brand).collect();
+    let web_brands: std::collections::HashSet<usize> = result
+        .confirmed(Device::Web)
+        .iter()
+        .map(|d| d.brand)
+        .collect();
+    let mob_brands: std::collections::HashSet<usize> = result
+        .confirmed(Device::Mobile)
+        .iter()
+        .map(|d| d.brand)
+        .collect();
     let rows = vec![
         vec![
             "Web".to_string(),
@@ -575,7 +656,10 @@ fn table8(result: &PipelineResult) -> String {
             "Union".to_string(),
             result.scan.total_matches().to_string(),
             union_flagged.len().to_string(),
-            format!("{union_domains} ({})", pct(union_domains, union_flagged.len())),
+            format!(
+                "{union_domains} ({})",
+                pct(union_domains, union_flagged.len())
+            ),
             brands.len().to_string(),
         ],
     ];
@@ -596,12 +680,27 @@ fn table8(result: &PipelineResult) -> String {
 /// Table 9: 15 example brands, predicted vs verified.
 fn table9(result: &PipelineResult) -> String {
     let labels = [
-        "google", "facebook", "apple", "bitcoin", "uber", "youtube", "paypal", "citi",
-        "ebay", "microsoft", "twitter", "dropbox", "github", "adp", "santander",
+        "google",
+        "facebook",
+        "apple",
+        "bitcoin",
+        "uber",
+        "youtube",
+        "paypal",
+        "citi",
+        "ebay",
+        "microsoft",
+        "twitter",
+        "dropbox",
+        "github",
+        "adp",
+        "santander",
     ];
     let mut rows = Vec::new();
     for label in labels {
-        let Some(brand) = result.registry.by_label(label) else { continue };
+        let Some(brand) = result.registry.by_label(label) else {
+            continue;
+        };
         let pred = |set: &[squatphi::pipeline::Detection]| {
             let mut seen = std::collections::HashSet::new();
             set.iter()
@@ -616,7 +715,10 @@ fn table9(result: &PipelineResult) -> String {
                 .filter(|d| d.brand == brand.id && seen.insert(d.domain.as_str()))
                 .count()
         };
-        let (pw, pm) = (pred(&result.web_detections), pred(&result.mobile_detections));
+        let (pw, pm) = (
+            pred(&result.web_detections),
+            pred(&result.mobile_detections),
+        );
         let (cw, cm) = (conf(Device::Web), conf(Device::Mobile));
         rows.push(vec![
             label.to_string(),
@@ -629,7 +731,14 @@ fn table9(result: &PipelineResult) -> String {
     }
     table(
         "Table 9 — example brands: predicted vs manually verified phishing pages",
-        &["Brand", "Squatting Domains", "Pred Web", "Pred Mobile", "Verified Web", "Verified Mobile"],
+        &[
+            "Brand",
+            "Squatting Domains",
+            "Pred Web",
+            "Pred Mobile",
+            "Verified Web",
+            "Verified Mobile",
+        ],
         &rows,
     )
 }
@@ -643,8 +752,8 @@ fn fig11(result: &PipelineResult) -> String {
     let points: Vec<(String, String)> = thresholds
         .iter()
         .map(|&t| {
-            let frac = counts.iter().filter(|&&c| c <= t).count() as f64
-                / counts.len().max(1) as f64;
+            let frac =
+                counts.iter().filter(|&&c| c <= t).count() as f64 / counts.len().max(1) as f64;
             (format!("<= {t}"), format!("{:.1}%", frac * 100.0))
         })
         .collect();
@@ -683,7 +792,14 @@ fn fig13(result: &PipelineResult) -> String {
     let rows: Vec<Vec<String>> = per_brand
         .iter()
         .take(30)
-        .map(|(label, w, m)| vec![label.clone(), w.to_string(), m.to_string(), (w + m).to_string()])
+        .map(|(label, w, m)| {
+            vec![
+                label.clone(),
+                w.to_string(),
+                m.to_string(),
+                (w + m).to_string(),
+            ]
+        })
         .collect();
     table(
         "Figure 13 — top brands targeted by squatting phishing (paper: google first, 194 pages)",
@@ -695,8 +811,20 @@ fn fig13(result: &PipelineResult) -> String {
 /// Table 10: example confirmed phishing domains for a set of brands.
 fn table10(result: &PipelineResult) -> String {
     let labels = [
-        "google", "facebook", "apple", "bitcoin", "uber", "youtube", "paypal", "citi",
-        "ebay", "microsoft", "twitter", "dropbox", "adp", "santander",
+        "google",
+        "facebook",
+        "apple",
+        "bitcoin",
+        "uber",
+        "youtube",
+        "paypal",
+        "citi",
+        "ebay",
+        "microsoft",
+        "twitter",
+        "dropbox",
+        "adp",
+        "santander",
     ];
     let mut rows = Vec::new();
     for label in labels {
@@ -723,8 +851,7 @@ fn fig14(result: &PipelineResult) -> String {
         if shown >= 3 {
             break;
         }
-        if let squatphi_web::ServeResult::Page(html) =
-            result.world.serve(&d.domain, Device::Web, 0)
+        if let squatphi_web::ServeResult::Page(html) = result.world.serve(&d.domain, Device::Web, 0)
         {
             let bmp = render_page(&squatphi_html::parse(&html), &RenderOptions::default());
             out.push_str(&format!("--- {} ---\n", d.domain));
@@ -778,9 +905,7 @@ fn fig17(result: &PipelineResult) -> String {
     let rows: Vec<Vec<String>> = live
         .iter()
         .enumerate()
-        .map(|(i, (w, m))| {
-            vec![SNAPSHOT_DATES[i].to_string(), w.to_string(), m.to_string()]
-        })
+        .map(|(i, (w, m))| vec![SNAPSHOT_DATES[i].to_string(), w.to_string(), m.to_string()])
         .collect();
     let mut s = table(
         "Figure 17 — live phishing pages per snapshot, re-crawled and re-classified (paper: ~80% survive a month)",
@@ -789,7 +914,10 @@ fn fig17(result: &PipelineResult) -> String {
     );
     if live[0].0 + live[0].1 > 0 {
         let survive = (live[3].0 + live[3].1) as f64 / (live[0].0 + live[0].1) as f64;
-        s.push_str(&format!("(survival after one month: {:.1}%)\n", survive * 100.0));
+        s.push_str(&format!(
+            "(survival after one month: {:.1}%)\n",
+            survive * 100.0
+        ));
     }
     s
 }
@@ -801,10 +929,13 @@ fn table11(result: &PipelineResult) -> String {
     // Squatting phishing: measure a sample of confirmed live pages.
     let mut squat_ms = Vec::new();
     for d in result.confirmed(Device::Web).iter().take(200) {
-        let Some(brand) = result.registry.get(d.brand) else { continue };
-        let Some(brand_page) = result.world.brand_page(brand.id) else { continue };
-        if let squatphi_web::ServeResult::Page(html) =
-            result.world.serve(&d.domain, Device::Web, 0)
+        let Some(brand) = result.registry.get(d.brand) else {
+            continue;
+        };
+        let Some(brand_page) = result.world.brand_page(brand.id) else {
+            continue;
+        };
+        if let squatphi_web::ServeResult::Page(html) = result.world.serve(&d.domain, Device::Web, 0)
         {
             squat_ms.push(squatphi::evasion::measure(&html, brand_page, &brand.label));
         }
@@ -820,9 +951,17 @@ fn table11(result: &PipelineResult) -> String {
         .filter(|e| e.still_phishing && e.squat_type.is_none())
         .take(300)
     {
-        let Some(brand) = result.registry.get(e.brand) else { continue };
-        let Some(brand_page) = result.world.brand_page(brand.id) else { continue };
-        ns_ms.push(squatphi::evasion::measure(&e.html, brand_page, &brand.label));
+        let Some(brand) = result.registry.get(e.brand) else {
+            continue;
+        };
+        let Some(brand_page) = result.world.brand_page(brand.id) else {
+            continue;
+        };
+        ns_ms.push(squatphi::evasion::measure(
+            &e.html,
+            brand_page,
+            &brand.label,
+        ));
     }
     let ns = squatphi::evasion::EvasionSummary::from_measurements(&ns_ms);
 
@@ -882,11 +1021,7 @@ fn table13(result: &PipelineResult) -> String {
             }
         }
     }
-    for domain in stable
-        .into_iter()
-        .chain(takedown)
-        .chain(comeback)
-    {
+    for domain in stable.into_iter().chain(takedown).chain(comeback) {
         let trace = analysis::liveness_trace(result, domain);
         rows.push(vec![
             domain.to_string(),
@@ -943,7 +1078,12 @@ mod tests {
         assert!(out.contains("Combo"));
         // Combo must carry the largest measured count.
         let combo = result().scan.count(SquatType::Combo);
-        for t in [SquatType::Homograph, SquatType::Bits, SquatType::Typo, SquatType::WrongTld] {
+        for t in [
+            SquatType::Homograph,
+            SquatType::Bits,
+            SquatType::Typo,
+            SquatType::WrongTld,
+        ] {
             assert!(combo > result().scan.count(t));
         }
     }
@@ -958,7 +1098,12 @@ mod tests {
             .filter_map(|l| l.split_whitespace().last()?.parse().ok())
             .collect();
         assert_eq!(ds.len(), 4);
-        assert!(ds[3] > ds[0], "intensity 3 ({}) should exceed 0 ({})", ds[3], ds[0]);
+        assert!(
+            ds[3] > ds[0],
+            "intensity 3 ({}) should exceed 0 ({})",
+            ds[3],
+            ds[0]
+        );
     }
 
     #[test]
@@ -974,7 +1119,13 @@ mod tests {
         let (pt, vt, ecx, none) = analysis::blacklist_coverage(result());
         let total = result().confirmed_domains().len();
         assert!(none <= total);
-        assert!(pt + vt + ecx + none >= total.saturating_sub(3), "coverage buckets lost domains");
-        assert!(none * 10 >= total * 8, "squatting phishing should be mostly undetected");
+        assert!(
+            pt + vt + ecx + none >= total.saturating_sub(3),
+            "coverage buckets lost domains"
+        );
+        assert!(
+            none * 10 >= total * 8,
+            "squatting phishing should be mostly undetected"
+        );
     }
 }

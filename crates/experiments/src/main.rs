@@ -67,6 +67,24 @@ fn main() {
         result.scan.total_matches(),
         result.confirmed_domains().len(),
     );
+    let t = &result.timings;
+    eprintln!(
+        "[repro] stage timings: scan {:.2}s, crawl {:.2}s, train {:.2}s, detect {:.2}s (total {:.2}s)",
+        t.scan.as_secs_f64(),
+        t.crawl.as_secs_f64(),
+        t.train.as_secs_f64(),
+        t.detect.as_secs_f64(),
+        t.total().as_secs_f64(),
+    );
+    let m = &result.scan_metrics;
+    eprintln!(
+        "[repro] scan: {:.0} records/s over {} workers, {} probes, {} allocations avoided, {} dedupe collisions",
+        m.records_per_sec(),
+        m.workers.len(),
+        m.probes(),
+        m.allocations_avoided(),
+        m.dedupe_collisions,
+    );
 
     for id in &ids {
         match run_experiment(id, &result) {
@@ -79,15 +97,10 @@ fn main() {
 
     if let Some(path) = json_path {
         let summary = RunSummary::collect(&result);
-        match serde_json::to_string_pretty(&summary) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    die(&format!("cannot write {path}: {e}"));
-                }
-                eprintln!("[repro] summary written to {path}");
-            }
-            Err(e) => die(&format!("cannot serialize summary: {e}")),
+        if let Err(e) = std::fs::write(&path, summary.to_json_pretty()) {
+            die(&format!("cannot write {path}: {e}"));
         }
+        eprintln!("[repro] summary written to {path}");
     }
 }
 

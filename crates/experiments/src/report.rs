@@ -33,7 +33,10 @@ pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Renders an (x, y) series as aligned columns (our "figure" format).
 pub fn series(title: &str, x_label: &str, y_label: &str, points: &[(String, String)]) -> String {
-    let rows: Vec<Vec<String>> = points.iter().map(|(x, y)| vec![x.clone(), y.clone()]).collect();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(x, y)| vec![x.clone(), y.clone()])
+        .collect();
     table(title, &[x_label, y_label], &rows)
 }
 

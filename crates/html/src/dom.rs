@@ -15,7 +15,10 @@ pub struct Element {
 impl Element {
     /// First value of attribute `name` (lower-case), if present.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -49,7 +52,10 @@ impl Document {
     /// Creates a document containing only the synthetic root.
     pub fn new() -> Self {
         let mut d = Document::default();
-        d.nodes.push(Node::Element(Element { name: "#root".into(), attrs: Vec::new() }));
+        d.nodes.push(Node::Element(Element {
+            name: "#root".into(),
+            attrs: Vec::new(),
+        }));
         d.children.push(Vec::new());
         d.parent.push(None);
         d
@@ -107,9 +113,8 @@ impl Document {
 
     /// All element ids with the given tag name.
     pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
-        self.walk().filter(move |&id| {
-            matches!(self.node(id), Node::Element(e) if e.name == name)
-        })
+        self.walk()
+            .filter(move |&id| matches!(self.node(id), Node::Element(e) if e.name == name))
     }
 
     /// Concatenated text of the subtree under `id` (single spaces between
@@ -196,8 +201,20 @@ mod tests {
     #[test]
     fn build_and_walk() {
         let mut d = Document::new();
-        let body = d.append(Document::ROOT, Node::Element(Element { name: "body".into(), attrs: vec![] }));
-        let p = d.append(body, Node::Element(Element { name: "p".into(), attrs: vec![] }));
+        let body = d.append(
+            Document::ROOT,
+            Node::Element(Element {
+                name: "body".into(),
+                attrs: vec![],
+            }),
+        );
+        let p = d.append(
+            body,
+            Node::Element(Element {
+                name: "p".into(),
+                attrs: vec![],
+            }),
+        );
         d.append(p, Node::Text("hello".into()));
         assert_eq!(d.len(), 4);
         assert_eq!(d.walk().count(), 4);
@@ -208,9 +225,27 @@ mod tests {
     #[test]
     fn elements_named_filters() {
         let mut d = Document::new();
-        let b = d.append(Document::ROOT, Node::Element(Element { name: "body".into(), attrs: vec![] }));
-        d.append(b, Node::Element(Element { name: "form".into(), attrs: vec![] }));
-        d.append(b, Node::Element(Element { name: "form".into(), attrs: vec![] }));
+        let b = d.append(
+            Document::ROOT,
+            Node::Element(Element {
+                name: "body".into(),
+                attrs: vec![],
+            }),
+        );
+        d.append(
+            b,
+            Node::Element(Element {
+                name: "form".into(),
+                attrs: vec![],
+            }),
+        );
+        d.append(
+            b,
+            Node::Element(Element {
+                name: "form".into(),
+                attrs: vec![],
+            }),
+        );
         assert_eq!(d.elements_named("form").count(), 2);
         assert_eq!(d.elements_named("input").count(), 0);
     }
@@ -228,10 +263,13 @@ mod tests {
     #[test]
     fn serialize_round_structure() {
         let mut d = Document::new();
-        let p = d.append(Document::ROOT, Node::Element(Element {
-            name: "p".into(),
-            attrs: vec![("class".into(), "x".into())],
-        }));
+        let p = d.append(
+            Document::ROOT,
+            Node::Element(Element {
+                name: "p".into(),
+                attrs: vec![("class".into(), "x".into())],
+            }),
+        );
         d.append(p, Node::Text("hi".into()));
         assert_eq!(d.serialize(Document::ROOT), "<p class=\"x\">hi</p>");
     }

@@ -31,7 +31,10 @@ impl PageText {
     /// Whole-page lower-cased text blob (for substring checks like the
     /// string-obfuscation measurement in §4.2).
     pub fn joined_lower(&self) -> String {
-        self.all().collect::<Vec<_>>().join(" ").to_ascii_lowercase()
+        self.all()
+            .collect::<Vec<_>>()
+            .join(" ")
+            .to_ascii_lowercase()
     }
 }
 
@@ -199,9 +202,7 @@ mod tests {
 
     #[test]
     fn submit_input_value_captured() {
-        let forms = extract_forms(&parse(
-            "<form><input type='submit' value='Sign in'></form>",
-        ));
+        let forms = extract_forms(&parse("<form><input type='submit' value='Sign in'></form>"));
         assert_eq!(forms[0].submit_texts, vec!["Sign in"]);
     }
 

@@ -62,7 +62,10 @@ impl JsIndicators {
 
 /// Scans one script body.
 pub fn scan_js(code: &str) -> JsIndicators {
-    let mut ind = JsIndicators { code_len: code.len(), ..JsIndicators::default() };
+    let mut ind = JsIndicators {
+        code_len: code.len(),
+        ..JsIndicators::default()
+    };
     let mut outside = String::with_capacity(code.len());
     let mut literals: Vec<String> = Vec::new();
 
@@ -108,11 +111,16 @@ pub fn scan_js(code: &str) -> JsIndicators {
     ind.from_char_code = outside.matches("fromCharCode").count();
     ind.char_code_at = outside.matches("charCodeAt").count();
     ind.eval_calls = count_calls(&outside, "eval");
-    ind.unescape_calls = count_calls(&outside, "unescape") + count_calls(&outside, "decodeURIComponent");
+    ind.unescape_calls =
+        count_calls(&outside, "unescape") + count_calls(&outside, "decodeURIComponent");
     ind.document_write = outside.matches("document.write").count();
 
     // Special-character density.
-    let total = outside.chars().filter(|c| !c.is_whitespace()).count().max(1);
+    let total = outside
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .count()
+        .max(1);
     let special = outside
         .chars()
         .filter(|c| !c.is_whitespace() && !c.is_ascii_alphanumeric())
@@ -140,7 +148,8 @@ fn count_calls(code: &str, ident: &str) -> usize {
     while let Some(p) = code[from..].find(ident) {
         let at = from + p;
         let before_ok = at == 0
-            || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_'
+            || !code.as_bytes()[at - 1].is_ascii_alphanumeric()
+                && code.as_bytes()[at - 1] != b'_'
                 && code.as_bytes()[at - 1] != b'.';
         let after = at + ident.len();
         let after_ok = code[after..].trim_start().starts_with('(');
@@ -250,7 +259,10 @@ mod tests {
         let blob: String = (0..200)
             .map(|i| char::from_u32(33 + (i * 7 % 90) as u32).unwrap())
             .collect();
-        let ind = scan_js(&format!("var payload = \"{}\";", blob.replace('"', "x").replace('\\', "y")));
+        let ind = scan_js(&format!(
+            "var payload = \"{}\";",
+            blob.replace('"', "x").replace('\\', "y")
+        ));
         assert!(ind.longest_string >= 64);
         assert!(ind.string_entropy > 5.2, "entropy {}", ind.string_entropy);
         assert!(ind.is_obfuscated());
@@ -258,9 +270,7 @@ mod tests {
 
     #[test]
     fn document_scan_merges_scripts() {
-        let doc = parse(
-            "<script>var a = 1;</script><div></div><script>eval('b');</script>",
-        );
+        let doc = parse("<script>var a = 1;</script><div></div><script>eval('b');</script>");
         let ind = scan_document(&doc);
         assert_eq!(ind.eval_calls, 1);
         assert!(ind.is_obfuscated());

@@ -7,8 +7,20 @@ use crate::token::{tokenize, Token};
 fn is_void(name: &str) -> bool {
     matches!(
         name,
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
-            | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -21,8 +33,18 @@ pub fn parse(input: &str) -> Document {
     for tok in tokenize(input) {
         let top = stack.last().expect("stack never empty").1;
         match tok {
-            Token::StartTag { name, attrs, self_closing } => {
-                let id = doc.append(top, Node::Element(Element { name: name.clone(), attrs }));
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                let id = doc.append(
+                    top,
+                    Node::Element(Element {
+                        name: name.clone(),
+                        attrs,
+                    }),
+                );
                 if !self_closing && !is_void(&name) {
                     stack.push((name, id));
                 }
@@ -88,7 +110,11 @@ mod tests {
     #[test]
     fn script_raw_body_attached() {
         let d = parse("<body><script>eval('<p>not markup</p>')</script></body>");
-        assert_eq!(d.elements_named("p").count(), 0, "script body must not parse as HTML");
+        assert_eq!(
+            d.elements_named("p").count(),
+            0,
+            "script body must not parse as HTML"
+        );
         let script = d.elements_named("script").next().unwrap();
         let raw = d.children(script).first().copied().unwrap();
         assert!(matches!(d.node(raw), Node::Raw { body, .. } if body.contains("eval")));

@@ -67,17 +67,20 @@ pub fn tokenize(input: &str) -> Vec<Token> {
             }
             // Doctype / processing instruction: skip to '>'.
             if input[i..].starts_with("<!") || input[i..].starts_with("<?") {
-                i = input[i..].find('>').map(|p| i + p + 1).unwrap_or(input.len());
+                i = input[i..]
+                    .find('>')
+                    .map(|p| i + p + 1)
+                    .unwrap_or(input.len());
                 continue;
             }
             // Tag.
             if let Some((tok, next)) = read_tag(input, i) {
                 let raw_container = match &tok {
-                    Token::StartTag { name, self_closing: false, .. }
-                        if name == "script" || name == "style" =>
-                    {
-                        Some(name.clone())
-                    }
+                    Token::StartTag {
+                        name,
+                        self_closing: false,
+                        ..
+                    } if name == "script" || name == "style" => Some(name.clone()),
                     _ => None,
                 };
                 out.push(tok);
@@ -186,9 +189,7 @@ fn read_tag(input: &str, start: usize) -> Option<(Token, usize)> {
                         k = (k + 1).min(input.len());
                     } else {
                         let v_start = k;
-                        while k < bytes.len()
-                            && !bytes[k].is_ascii_whitespace()
-                            && bytes[k] != b'>'
+                        while k < bytes.len() && !bytes[k].is_ascii_whitespace() && bytes[k] != b'>'
                         {
                             k += 1;
                         }
@@ -203,11 +204,20 @@ fn read_tag(input: &str, start: usize) -> Option<(Token, usize)> {
     }
 }
 
-fn finish_tag(name: String, attrs: Vec<(String, String)>, closing: bool, self_closing: bool) -> Token {
+fn finish_tag(
+    name: String,
+    attrs: Vec<(String, String)>,
+    closing: bool,
+    self_closing: bool,
+) -> Token {
     if closing {
         Token::EndTag { name }
     } else {
-        Token::StartTag { name, attrs, self_closing }
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        }
     }
 }
 
@@ -227,7 +237,9 @@ mod tests {
     #[test]
     fn parses_attributes_all_quote_styles() {
         let toks = tokenize(r#"<input type="password" name='pw' placeholder=Enter required>"#);
-        let Token::StartTag { name, attrs, .. } = &toks[0] else { panic!("want start tag") };
+        let Token::StartTag { name, attrs, .. } = &toks[0] else {
+            panic!("want start tag")
+        };
         assert_eq!(name, "input");
         assert_eq!(attrs[0], ("type".into(), "password".into()));
         assert_eq!(attrs[1], ("name".into(), "pw".into()));
@@ -239,7 +251,9 @@ mod tests {
     fn script_body_is_raw_text() {
         let toks = tokenize("<script>if (a<b) { eval('x'); }</script><p>after</p>");
         assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "script"));
-        let Token::RawText { container, body } = &toks[1] else { panic!("want raw text") };
+        let Token::RawText { container, body } = &toks[1] else {
+            panic!("want raw text")
+        };
         assert_eq!(container, "script");
         assert!(body.contains("a<b"));
         assert!(matches!(&toks[2], Token::EndTag { name } if name == "script"));
@@ -256,14 +270,24 @@ mod tests {
     #[test]
     fn self_closing_tags() {
         let toks = tokenize("<br/><img src='a.png' />");
-        assert!(matches!(&toks[0], Token::StartTag { self_closing: true, .. }));
-        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
+        assert!(matches!(
+            &toks[0],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
+        assert!(
+            matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img")
+        );
     }
 
     #[test]
     fn entities_decoded_in_text_and_attrs() {
         let toks = tokenize("<p title=\"a&amp;b\">x &lt; y</p>");
-        let Token::StartTag { attrs, .. } = &toks[0] else { panic!() };
+        let Token::StartTag { attrs, .. } = &toks[0] else {
+            panic!()
+        };
         assert_eq!(attrs[0].1, "a&b");
         assert!(matches!(&toks[1], Token::Text(t) if t == "x < y"));
     }
@@ -271,7 +295,14 @@ mod tests {
     #[test]
     fn survives_malformed_input() {
         // Unterminated tag, stray '<', unclosed script.
-        for bad in ["<p", "a < b", "<script>never closed", "<>", "< >", "<p class="] {
+        for bad in [
+            "<p",
+            "a < b",
+            "<script>never closed",
+            "<>",
+            "< >",
+            "<p class=",
+        ] {
             let _ = tokenize(bad); // must not panic
         }
     }
@@ -279,12 +310,16 @@ mod tests {
     #[test]
     fn unclosed_script_consumes_rest() {
         let toks = tokenize("<script>var x = 1;");
-        assert!(toks.iter().any(|t| matches!(t, Token::RawText { body, .. } if body.contains("var x"))));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::RawText { body, .. } if body.contains("var x"))));
     }
 
     #[test]
     fn whitespace_only_text_dropped() {
         let toks = tokenize("<p>  </p>\n  <div>x</div>");
-        assert!(!toks.iter().any(|t| matches!(t, Token::Text(s) if s.trim().is_empty())));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, Token::Text(s) if s.trim().is_empty())));
     }
 }

@@ -17,7 +17,11 @@ impl Request {
     /// Builds a GET request for `host` + `path` with `user_agent`.
     pub fn get(host: &str, path: &str, user_agent: &str) -> Self {
         Request {
-            path: if path.starts_with('/') { path.to_string() } else { format!("/{path}") },
+            path: if path.starts_with('/') {
+                path.to_string()
+            } else {
+                format!("/{path}")
+            },
             host: host.to_string(),
             user_agent: user_agent.to_string(),
         }
@@ -59,7 +63,11 @@ impl Request {
                 }
             }
         }
-        Some(Request { path, host, user_agent })
+        Some(Request {
+            path,
+            host,
+            user_agent,
+        })
     }
 }
 
@@ -112,24 +120,41 @@ pub struct Response {
 impl Response {
     /// 200 with an HTML body.
     pub fn ok(body: String) -> Self {
-        Response { status: Status::Ok, location: None, body }
+        Response {
+            status: Status::Ok,
+            location: None,
+            body,
+        }
     }
 
     /// 302 to `location`.
     pub fn redirect(location: String) -> Self {
-        Response { status: Status::Found, location: Some(location), body: String::new() }
+        Response {
+            status: Status::Found,
+            location: Some(location),
+            body: String::new(),
+        }
     }
 
     /// 404.
     pub fn not_found() -> Self {
-        Response { status: Status::NotFound, location: None, body: String::new() }
+        Response {
+            status: Status::NotFound,
+            location: None,
+            body: String::new(),
+        }
     }
 
     /// Encodes to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(self.body.len() + 128);
         buf.put_slice(
-            format!("HTTP/1.1 {} {}\r\n", self.status.code(), self.status.reason()).as_bytes(),
+            format!(
+                "HTTP/1.1 {} {}\r\n",
+                self.status.code(),
+                self.status.reason()
+            )
+            .as_bytes(),
         );
         if let Some(loc) = &self.location {
             buf.put_slice(format!("Location: {loc}\r\n").as_bytes());
@@ -172,7 +197,11 @@ impl Response {
             Some(n) => String::from_utf8_lossy(body_bytes.get(..n)?).into_owned(),
             None => String::from_utf8_lossy(body_bytes).into_owned(),
         };
-        Some(Response { status, location, body })
+        Some(Response {
+            status,
+            location,
+            body,
+        })
     }
 }
 

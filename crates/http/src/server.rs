@@ -38,7 +38,11 @@ impl WorldServer {
                 }
             }
         });
-        Ok(WorldServer { addr, shutdown: tx, task })
+        Ok(WorldServer {
+            addr,
+            shutdown: tx,
+            task,
+        })
     }
 
     /// The bound address.
@@ -79,8 +83,7 @@ async fn handle_connection(
     };
     let response = match Request::parse(head) {
         Some(req) => {
-            let device = if req.user_agent.contains("iPhone") || req.user_agent.contains("Mobile")
-            {
+            let device = if req.user_agent.contains("iPhone") || req.user_agent.contains("Mobile") {
                 Device::Mobile
             } else {
                 Device::Web
@@ -91,7 +94,11 @@ async fn handle_connection(
                 ServeResult::Unreachable => Response::not_found(),
             }
         }
-        None => Response { status: crate::codec::Status::BadRequest, location: None, body: String::new() },
+        None => Response {
+            status: crate::codec::Status::BadRequest,
+            location: None,
+            body: String::new(),
+        },
     };
     stream.write_all(&response.encode()).await?;
     stream.shutdown().await.ok();
@@ -110,17 +117,33 @@ mod tests {
     fn world() -> Arc<WebWorld> {
         let registry = BrandRegistry::with_size(10);
         let squats = vec![
-            ("paypal-cash.com".to_string(), 0, SquatType::Combo, Ipv4Addr::new(1, 1, 1, 1)),
-            ("faceb00k.pw".to_string(), 1, SquatType::Homograph, Ipv4Addr::new(1, 1, 1, 2)),
+            (
+                "paypal-cash.com".to_string(),
+                0,
+                SquatType::Combo,
+                Ipv4Addr::new(1, 1, 1, 1),
+            ),
+            (
+                "faceb00k.pw".to_string(),
+                1,
+                SquatType::Homograph,
+                Ipv4Addr::new(1, 1, 1, 2),
+            ),
         ];
-        let cfg = WorldConfig { phishing_domains: 2, seed: 3, ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            phishing_domains: 2,
+            seed: 3,
+            ..WorldConfig::default()
+        };
         Arc::new(WebWorld::build(&squats, &registry, &cfg))
     }
 
     #[tokio::test]
     async fn serves_phishing_page_over_tcp() {
         let server = WorldServer::spawn(world(), 0).await.unwrap();
-        let out = fetch(server.addr(), "paypal-cash.com", ua::WEB, 5).await.unwrap();
+        let out = fetch(server.addr(), "paypal-cash.com", ua::WEB, 5)
+            .await
+            .unwrap();
         match out {
             FetchOutcome::Page { body, .. } => assert!(body.contains("form")),
             other => panic!("expected page, got {other:?}"),
@@ -131,7 +154,9 @@ mod tests {
     #[tokio::test]
     async fn unknown_host_404s() {
         let server = WorldServer::spawn(world(), 0).await.unwrap();
-        let out = fetch(server.addr(), "nosuchhost.example", ua::WEB, 5).await.unwrap();
+        let out = fetch(server.addr(), "nosuchhost.example", ua::WEB, 5)
+            .await
+            .unwrap();
         assert!(matches!(out, FetchOutcome::Unreachable));
         server.shutdown().await;
     }
@@ -139,7 +164,9 @@ mod tests {
     #[tokio::test]
     async fn brand_sites_served() {
         let server = WorldServer::spawn(world(), 0).await.unwrap();
-        let out = fetch(server.addr(), "paypal.com", ua::MOBILE, 5).await.unwrap();
+        let out = fetch(server.addr(), "paypal.com", ua::MOBILE, 5)
+            .await
+            .unwrap();
         match out {
             FetchOutcome::Page { body, .. } => assert!(body.contains("paypal")),
             other => panic!("expected page, got {other:?}"),
@@ -153,8 +180,14 @@ mod tests {
         let addr = server.addr();
         let mut handles = Vec::new();
         for i in 0..50 {
-            let host = if i % 2 == 0 { "paypal-cash.com" } else { "faceb00k.pw" };
-            handles.push(tokio::spawn(async move { fetch(addr, host, ua::WEB, 5).await }));
+            let host = if i % 2 == 0 {
+                "paypal-cash.com"
+            } else {
+                "faceb00k.pw"
+            };
+            handles.push(tokio::spawn(
+                async move { fetch(addr, host, ua::WEB, 5).await },
+            ));
         }
         for h in handles {
             assert!(h.await.unwrap().is_ok());

@@ -15,7 +15,11 @@ pub struct Dataset {
 impl Dataset {
     /// Empty dataset with a fixed feature dimension.
     pub fn new(dim: usize) -> Self {
-        Dataset { dim, xs: Vec::new(), ys: Vec::new() }
+        Dataset {
+            dim,
+            xs: Vec::new(),
+            ys: Vec::new(),
+        }
     }
 
     /// Feature dimension.
@@ -83,8 +87,8 @@ impl Dataset {
     pub fn split_fold(&self, folds: &[usize], fold: usize) -> (Dataset, Dataset) {
         let mut train = Dataset::new(self.dim);
         let mut test = Dataset::new(self.dim);
-        for i in 0..self.len() {
-            let target = if folds[i] == fold { &mut test } else { &mut train };
+        for (i, &f) in folds.iter().enumerate().take(self.len()) {
+            let target = if f == fold { &mut test } else { &mut train };
             target.push(self.xs[i].clone(), self.ys[i]);
         }
         (train, test)

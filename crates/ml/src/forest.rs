@@ -26,7 +26,13 @@ pub struct RandomForestConfig {
 
 impl Default for RandomForestConfig {
     fn default() -> Self {
-        RandomForestConfig { trees: 50, max_depth: 12, min_split: 4, features_per_split: 0, seed: 97 }
+        RandomForestConfig {
+            trees: 50,
+            max_depth: 12,
+            min_split: 4,
+            features_per_split: 0,
+            seed: 97,
+        }
     }
 }
 
@@ -60,8 +66,17 @@ impl Tree {
         loop {
             match &self.nodes[at] {
                 TreeNode::Leaf { p_pos } => return *p_pos,
-                TreeNode::Split { feature, threshold, left, right } => {
-                    at = if x.get(*feature) <= *threshold { *left } else { *right };
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if x.get(*feature) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -84,11 +99,23 @@ impl Builder<'_> {
         2.0 * p * (1.0 - p)
     }
 
-    fn build(&self, idx: &mut Vec<usize>, depth: usize, rng: &mut StdRng, nodes: &mut Vec<TreeNode>) -> usize {
+    fn build(
+        &self,
+        idx: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+        nodes: &mut Vec<TreeNode>,
+    ) -> usize {
         let pos = idx.iter().filter(|&&i| self.data.y(i)).count();
         let total = idx.len();
         let make_leaf = |nodes: &mut Vec<TreeNode>| {
-            nodes.push(TreeNode::Leaf { p_pos: if total == 0 { 0.5 } else { pos as f64 / total as f64 } });
+            nodes.push(TreeNode::Leaf {
+                p_pos: if total == 0 {
+                    0.5
+                } else {
+                    pos as f64 / total as f64
+                },
+            });
             nodes.len() - 1
         };
         if depth >= self.cfg.max_depth || total < self.cfg.min_split || pos == 0 || pos == total {
@@ -106,7 +133,11 @@ impl Builder<'_> {
         for _ in 0..m {
             let f = rng.gen_range(0..self.features);
             // Candidate thresholds: a few sample values of this feature.
-            let mut values: Vec<f64> = idx.iter().take(32).map(|&i| self.data.x(i).get(f)).collect();
+            let mut values: Vec<f64> = idx
+                .iter()
+                .take(32)
+                .map(|&i| self.data.x(i).get(f))
+                .collect();
             values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
             values.dedup();
             if values.len() < 2 {
@@ -137,13 +168,19 @@ impl Builder<'_> {
         let Some((feature, threshold, _)) = best else {
             return make_leaf(nodes);
         };
-        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
-            idx.iter().partition(|&&i| self.data.x(i).get(feature) <= threshold);
+        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&i| self.data.x(i).get(feature) <= threshold);
         let at = nodes.len();
         nodes.push(TreeNode::Leaf { p_pos: 0.5 }); // placeholder
         let left = self.build(&mut left_idx, depth + 1, rng, nodes);
         let right = self.build(&mut right_idx, depth + 1, rng, nodes);
-        nodes[at] = TreeNode::Split { feature, threshold, left, right };
+        nodes[at] = TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         at
     }
 }
@@ -158,7 +195,10 @@ pub struct RandomForest {
 impl RandomForest {
     /// New, unfitted forest.
     pub fn new(cfg: RandomForestConfig) -> Self {
-        RandomForest { cfg, trees: Vec::new() }
+        RandomForest {
+            cfg,
+            trees: Vec::new(),
+        }
     }
 
     /// Number of fitted trees.
@@ -176,7 +216,11 @@ impl Classifier for RandomForest {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         for _ in 0..self.cfg.trees {
             let bag = data.bootstrap(&mut rng);
-            let builder = Builder { data: &bag, cfg: &self.cfg, features: data.dim() };
+            let builder = Builder {
+                data: &bag,
+                cfg: &self.cfg,
+                features: data.dim(),
+            };
             let mut idx: Vec<usize> = (0..bag.len()).collect();
             let mut nodes = Vec::new();
             // The root lands at index 0 because build pushes it first (the
@@ -224,7 +268,10 @@ mod tests {
 
     #[test]
     fn forest_learns_xor() {
-        let mut m = RandomForest::new(RandomForestConfig { trees: 30, ..Default::default() });
+        let mut m = RandomForest::new(RandomForestConfig {
+            trees: 30,
+            ..Default::default()
+        });
         m.fit(&xor_ish());
         let mut a = SparseVec::new();
         a.add(0, 1.0);
@@ -239,8 +286,16 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let data = xor_ish();
-        let mut a = RandomForest::new(RandomForestConfig { trees: 10, seed: 5, ..Default::default() });
-        let mut b = RandomForest::new(RandomForestConfig { trees: 10, seed: 5, ..Default::default() });
+        let mut a = RandomForest::new(RandomForestConfig {
+            trees: 10,
+            seed: 5,
+            ..Default::default()
+        });
+        let mut b = RandomForest::new(RandomForestConfig {
+            trees: 10,
+            seed: 5,
+            ..Default::default()
+        });
         a.fit(&data);
         b.fit(&data);
         let mut q = SparseVec::new();
@@ -263,14 +318,20 @@ mod tests {
             v.add(0, 1.0);
             d.push(v, true);
         }
-        let mut m = RandomForest::new(RandomForestConfig { trees: 5, ..Default::default() });
+        let mut m = RandomForest::new(RandomForestConfig {
+            trees: 5,
+            ..Default::default()
+        });
         m.fit(&d);
         assert!(m.score(&SparseVec::new()) > 0.9);
     }
 
     #[test]
     fn tree_count_matches_config() {
-        let mut m = RandomForest::new(RandomForestConfig { trees: 7, ..Default::default() });
+        let mut m = RandomForest::new(RandomForestConfig {
+            trees: 7,
+            ..Default::default()
+        });
         m.fit(&xor_ish());
         assert_eq!(m.tree_count(), 7);
     }

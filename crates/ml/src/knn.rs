@@ -14,7 +14,10 @@ pub struct Knn {
 impl Knn {
     /// New classifier with neighborhood size `k`.
     pub fn new(k: usize) -> Self {
-        Knn { k: k.max(1), train: Vec::new() }
+        Knn {
+            k: k.max(1),
+            train: Vec::new(),
+        }
     }
 }
 

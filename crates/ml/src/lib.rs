@@ -98,7 +98,10 @@ mod tests {
             Box::new(GaussianNb::new()),
             Box::new(MultinomialNb::new(1.0)),
             Box::new(Knn::new(3)),
-            Box::new(RandomForest::new(RandomForestConfig { trees: 10, ..Default::default() })),
+            Box::new(RandomForest::new(RandomForestConfig {
+                trees: 10,
+                ..Default::default()
+            })),
         ];
         for m in &mut models {
             m.fit(&data);

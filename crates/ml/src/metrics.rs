@@ -32,13 +32,21 @@ impl ConfusionMatrix {
     /// False-positive rate: FP / (FP + TN).
     pub fn fpr(&self) -> f64 {
         let denom = self.fp + self.tn;
-        if denom == 0 { 0.0 } else { self.fp as f64 / denom as f64 }
+        if denom == 0 {
+            0.0
+        } else {
+            self.fp as f64 / denom as f64
+        }
     }
 
     /// False-negative rate: FN / (FN + TP).
     pub fn fnr(&self) -> f64 {
         let denom = self.fn_ + self.tp;
-        if denom == 0 { 0.0 } else { self.fn_ as f64 / denom as f64 }
+        if denom == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / denom as f64
+        }
     }
 
     /// True-positive rate (recall).
@@ -49,13 +57,21 @@ impl ConfusionMatrix {
     /// Accuracy.
     pub fn accuracy(&self) -> f64 {
         let total = self.tp + self.fp + self.tn + self.fn_;
-        if total == 0 { 0.0 } else { (self.tp + self.tn) as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
     }
 
     /// Precision: TP / (TP + FP).
     pub fn precision(&self) -> f64 {
         let denom = self.tp + self.fp;
-        if denom == 0 { 0.0 } else { self.tp as f64 / denom as f64 }
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
     }
 }
 
@@ -73,7 +89,9 @@ impl RocCurve {
         let pos = scored.iter().filter(|(_, y)| *y).count();
         let neg = scored.len() - pos;
         if pos == 0 || neg == 0 {
-            return RocCurve { points: vec![(0.0, 0.0), (1.0, 1.0)] };
+            return RocCurve {
+                points: vec![(0.0, 0.0), (1.0, 1.0)],
+            };
         }
         let mut sorted: Vec<(f64, bool)> = scored.to_vec();
         sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
@@ -139,7 +157,12 @@ impl Metrics {
     pub fn from_scores(scored: &[(f64, bool)], threshold: f64) -> Self {
         let cm = ConfusionMatrix::at_threshold(scored, threshold);
         let roc = RocCurve::from_scores(scored);
-        Metrics { fpr: cm.fpr(), fnr: cm.fnr(), auc: roc.auc(), accuracy: cm.accuracy() }
+        Metrics {
+            fpr: cm.fpr(),
+            fnr: cm.fnr(),
+            auc: roc.auc(),
+            accuracy: cm.accuracy(),
+        }
     }
 }
 
@@ -149,7 +172,13 @@ mod tests {
 
     fn perfect() -> Vec<(f64, bool)> {
         (0..50)
-            .map(|i| if i % 2 == 0 { (0.9, true) } else { (0.1, false) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    (0.9, true)
+                } else {
+                    (0.1, false)
+                }
+            })
             .collect()
     }
 
@@ -185,7 +214,15 @@ mod tests {
     fn confusion_matrix_counts() {
         let scored = vec![(0.9, true), (0.8, false), (0.2, true), (0.1, false)];
         let cm = ConfusionMatrix::at_threshold(&scored, 0.5);
-        assert_eq!(cm, ConfusionMatrix { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            cm,
+            ConfusionMatrix {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(cm.fpr(), 0.5);
         assert_eq!(cm.fnr(), 0.5);
         assert_eq!(cm.accuracy(), 0.5);

@@ -55,8 +55,14 @@ impl Classifier for GaussianNb {
         // Variance smoothing keeps zero-variance dims finite.
         const EPS: f64 = 1e-3;
         self.var = [
-            sq[0].iter().map(|s| s / count[0].max(1) as f64 + EPS).collect(),
-            sq[1].iter().map(|s| s / count[1].max(1) as f64 + EPS).collect(),
+            sq[0]
+                .iter()
+                .map(|s| s / count[0].max(1) as f64 + EPS)
+                .collect(),
+            sq[1]
+                .iter()
+                .map(|s| s / count[1].max(1) as f64 + EPS)
+                .collect(),
         ];
         self.fitted = true;
     }
@@ -66,12 +72,15 @@ impl Classifier for GaussianNb {
             return 0.5;
         }
         let dense = x.to_dense(self.dim);
-        let mut log = [((1.0 - self.prior_pos).max(1e-12)).ln(), (self.prior_pos.max(1e-12)).ln()];
-        for c in 0..2 {
-            for i in 0..self.dim {
+        let mut log = [
+            ((1.0 - self.prior_pos).max(1e-12)).ln(),
+            (self.prior_pos.max(1e-12)).ln(),
+        ];
+        for (c, lc) in log.iter_mut().enumerate() {
+            for (i, &x) in dense.iter().enumerate().take(self.dim) {
                 let var = self.var[c][i];
-                let d = dense[i] - self.mean[c][i];
-                log[c] += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
+                let d = x - self.mean[c][i];
+                *lc += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
             }
         }
         // Softmax over the two log-likelihoods.
@@ -141,11 +150,14 @@ impl Classifier for MultinomialNb {
         if !self.fitted {
             return 0.5;
         }
-        let mut log = [((1.0 - self.prior_pos).max(1e-12)).ln(), (self.prior_pos.max(1e-12)).ln()];
+        let mut log = [
+            ((1.0 - self.prior_pos).max(1e-12)).ln(),
+            (self.prior_pos.max(1e-12)).ln(),
+        ];
         for &(i, v) in x.entries() {
             if i < self.dim {
-                for c in 0..2 {
-                    log[c] += v.max(0.0) * self.log_prob[c][i];
+                for (c, lc) in log.iter_mut().enumerate() {
+                    *lc += v.max(0.0) * self.log_prob[c][i];
                 }
             }
         }

@@ -7,13 +7,66 @@ use std::collections::HashMap;
 /// The task dictionary: phishing-salient keywords the feature pipeline
 /// cares about. Brand names are added per-registry at construction.
 pub const BASE_DICTIONARY: &[&str] = &[
-    "account", "address", "agree", "bank", "billing", "card", "cash", "click", "confirm",
-    "continue", "create", "credentials", "credit", "customer", "debit", "details", "email",
-    "enter", "forgot", "free", "help", "here", "home", "identity", "invoice", "limited",
-    "log", "login", "member", "mobile", "money", "name", "number", "offer", "online",
-    "password", "pay", "payment", "phone", "please", "prize", "register", "reset", "secure",
-    "security", "sign", "signin", "submit", "support", "suspended", "transfer", "update",
-    "upgrade", "urgent", "username", "verify", "wallet", "welcome", "win", "your",
+    "account",
+    "address",
+    "agree",
+    "bank",
+    "billing",
+    "card",
+    "cash",
+    "click",
+    "confirm",
+    "continue",
+    "create",
+    "credentials",
+    "credit",
+    "customer",
+    "debit",
+    "details",
+    "email",
+    "enter",
+    "forgot",
+    "free",
+    "help",
+    "here",
+    "home",
+    "identity",
+    "invoice",
+    "limited",
+    "log",
+    "login",
+    "member",
+    "mobile",
+    "money",
+    "name",
+    "number",
+    "offer",
+    "online",
+    "password",
+    "pay",
+    "payment",
+    "phone",
+    "please",
+    "prize",
+    "register",
+    "reset",
+    "secure",
+    "security",
+    "sign",
+    "signin",
+    "submit",
+    "support",
+    "suspended",
+    "transfer",
+    "update",
+    "upgrade",
+    "urgent",
+    "username",
+    "verify",
+    "wallet",
+    "welcome",
+    "win",
+    "your",
 ];
 
 /// Edit-distance-≤2 spell checker over a fixed dictionary with
@@ -43,8 +96,16 @@ impl SpellChecker {
         }
         words.sort();
         words.dedup();
-        let exact = words.iter().enumerate().map(|(i, w)| (w.clone(), i)).collect();
-        SpellChecker { words, exact, max_distance: 2 }
+        let exact = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        SpellChecker {
+            words,
+            exact,
+            max_distance: 2,
+        }
     }
 
     /// Number of dictionary words.
@@ -70,7 +131,11 @@ impl SpellChecker {
         if word.len() <= 2 || self.contains(word) {
             return word;
         }
-        let budget = if word.len() <= 4 { 1 } else { self.max_distance };
+        let budget = if word.len() <= 4 {
+            1
+        } else {
+            self.max_distance
+        };
         let mut best: Option<(&str, usize)> = None;
         for w in &self.words {
             // Cheap length gate.
@@ -106,11 +171,11 @@ fn bounded_levenshtein(a: &str, b: &str, budget: usize) -> Option<usize> {
     }
     let mut prev: Vec<usize> = (0..=b.len()).collect();
     let mut cur = vec![0usize; b.len() + 1];
-    for i in 0..a.len() {
+    for (i, &ca) in a.iter().enumerate() {
         cur[0] = i + 1;
         let mut row_min = cur[0];
-        for j in 0..b.len() {
-            let cost = usize::from(a[i] != b[j]);
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
             cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
             row_min = row_min.min(cur[j + 1]);
         }
@@ -175,7 +240,10 @@ mod tests {
     #[test]
     fn correct_all_streams() {
         let c = checker();
-        let toks: Vec<String> = ["enter", "yur", "passwod"].iter().map(|s| s.to_string()).collect();
+        let toks: Vec<String> = ["enter", "yur", "passwod"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let fixed = c.correct_all(&toks);
         assert_eq!(fixed[2], "password");
     }

@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn ubiquitous_dims_get_lower_weight() {
         // Dim 0 appears in every document; dim 1 in one.
-        let corpus = vec![
+        let corpus = [
             vec_of(&[(0, 1.0), (1, 1.0)]),
             vec_of(&[(0, 2.0)]),
             vec_of(&[(0, 1.0)]),
@@ -83,12 +83,15 @@ mod tests {
         ];
         let model = TfIdf::fit(corpus.iter(), 2);
         assert_eq!(model.documents(), 4);
-        assert!(model.idf(1) > model.idf(0), "rare dim must outweigh common dim");
+        assert!(
+            model.idf(1) > model.idf(0),
+            "rare dim must outweigh common dim"
+        );
     }
 
     #[test]
     fn transform_scales_counts() {
-        let corpus = vec![vec_of(&[(0, 1.0)]), vec_of(&[(1, 1.0)])];
+        let corpus = [vec_of(&[(0, 1.0)]), vec_of(&[(1, 1.0)])];
         let model = TfIdf::fit(corpus.iter(), 2);
         let t = model.transform(&vec_of(&[(0, 2.0), (1, 3.0)]));
         assert!((t.get(0) - 2.0 * model.idf(0)).abs() < 1e-12);
@@ -97,7 +100,7 @@ mod tests {
 
     #[test]
     fn out_of_range_dims_pass_through() {
-        let corpus = vec![vec_of(&[(0, 1.0)])];
+        let corpus = [vec_of(&[(0, 1.0)])];
         let model = TfIdf::fit(corpus.iter(), 1);
         let t = model.transform(&vec_of(&[(9, 4.0)]));
         assert_eq!(t.get(9), 4.0);
@@ -115,8 +118,7 @@ mod tests {
 
     #[test]
     fn weights_are_finite_and_positive() {
-        let corpus: Vec<SparseVec> =
-            (0..50).map(|i| vec_of(&[(i % 7, 1.0), (3, 1.0)])).collect();
+        let corpus: Vec<SparseVec> = (0..50).map(|i| vec_of(&[(i % 7, 1.0), (3, 1.0)])).collect();
         let model = TfIdf::fit(corpus.iter(), 8);
         for d in 0..8 {
             let w = model.idf(d);

@@ -3,17 +3,16 @@
 /// A compact English stopword list (the usual function words NLTK drops;
 /// we keep task-relevant words like "please" which carry phishing signal).
 pub const STOPWORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "all", "am", "an", "and", "any", "are", "as",
-    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
-    "by", "can", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
-    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
-    "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most",
-    "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other",
-    "our", "ours", "out", "over", "own", "same", "she", "should", "so", "some", "such",
-    "than", "that", "the", "their", "them", "then", "there", "these", "they", "this",
-    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
-    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "you",
-    "your", "yours",
+    "a", "about", "above", "after", "again", "all", "am", "an", "and", "any", "are", "as", "at",
+    "be", "because", "been", "before", "being", "below", "between", "both", "but", "by", "can",
+    "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from", "further", "had",
+    "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in",
+    "into", "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor", "not", "now", "of",
+    "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over", "own", "same", "she",
+    "should", "so", "some", "such", "than", "that", "the", "their", "them", "then", "there",
+    "these", "they", "this", "those", "through", "to", "too", "under", "until", "up", "very",
+    "was", "we", "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will",
+    "with", "you", "your", "yours",
 ];
 
 /// Splits text into lower-cased alphanumeric tokens. Digits are kept

@@ -27,17 +27,26 @@ pub struct NoiseBudget {
 impl NoiseBudget {
     /// A barely-perceptible perturbation.
     pub fn subtle() -> Self {
-        NoiseBudget { density: 0.02, amplitude: 40 }
+        NoiseBudget {
+            density: 0.02,
+            amplitude: 40,
+        }
     }
 
     /// Noticeable speckling.
     pub fn moderate() -> Self {
-        NoiseBudget { density: 0.10, amplitude: 90 }
+        NoiseBudget {
+            density: 0.10,
+            amplitude: 90,
+        }
     }
 
     /// Visibly damaged page.
     pub fn heavy() -> Self {
-        NoiseBudget { density: 0.25, amplitude: 200 }
+        NoiseBudget {
+            density: 0.25,
+            amplitude: 200,
+        }
     }
 }
 
@@ -87,7 +96,10 @@ pub fn recovery_rate(
         return 1.0;
     }
     let text = recognize_under_attack(bmp, budget, attack_seed, config).joined();
-    let hit = targets.iter().filter(|t| text.contains(&t.to_ascii_lowercase())).count();
+    let hit = targets
+        .iter()
+        .filter(|t| text.contains(&t.to_ascii_lowercase()))
+        .count();
     hit as f64 / targets.len() as f64
 }
 
@@ -109,13 +121,22 @@ mod tests {
     }
 
     fn noiseless() -> OcrConfig {
-        OcrConfig { char_error_rate: 0.0, ..OcrConfig::default() }
+        OcrConfig {
+            char_error_rate: 0.0,
+            ..OcrConfig::default()
+        }
     }
 
     #[test]
     fn subtle_noise_does_not_break_ocr() {
         let bmp = screenshot();
-        let rate = recovery_rate(&bmp, &["paypal", "password"], NoiseBudget::subtle(), 1, &noiseless());
+        let rate = recovery_rate(
+            &bmp,
+            &["paypal", "password"],
+            NoiseBudget::subtle(),
+            1,
+            &noiseless(),
+        );
         assert_eq!(rate, 1.0, "subtle noise must not defeat OCR");
     }
 
@@ -132,7 +153,11 @@ mod tests {
                 &noiseless(),
             );
         }
-        assert!(total / 5.0 >= 0.7, "moderate noise recovery {}", total / 5.0);
+        assert!(
+            total / 5.0 >= 0.7,
+            "moderate noise recovery {}",
+            total / 5.0
+        );
     }
 
     #[test]
@@ -140,8 +165,20 @@ mod tests {
         // The attacker *can* beat OCR — at the cost of a page too damaged
         // to deceive anyone. The budget/monotonicity is the point.
         let bmp = screenshot();
-        let subtle = recovery_rate(&bmp, &["paypal", "password"], NoiseBudget::subtle(), 3, &noiseless());
-        let heavy = recovery_rate(&bmp, &["paypal", "password"], NoiseBudget::heavy(), 3, &noiseless());
+        let subtle = recovery_rate(
+            &bmp,
+            &["paypal", "password"],
+            NoiseBudget::subtle(),
+            3,
+            &noiseless(),
+        );
+        let heavy = recovery_rate(
+            &bmp,
+            &["paypal", "password"],
+            NoiseBudget::heavy(),
+            3,
+            &noiseless(),
+        );
         assert!(heavy <= subtle);
     }
 
@@ -160,13 +197,23 @@ mod tests {
     #[test]
     fn zero_density_is_identity() {
         let bmp = screenshot();
-        let same = perturb(&bmp, NoiseBudget { density: 0.0, amplitude: 255 }, 1);
+        let same = perturb(
+            &bmp,
+            NoiseBudget {
+                density: 0.0,
+                amplitude: 255,
+            },
+            1,
+        );
         assert_eq!(same, bmp);
     }
 
     #[test]
     fn empty_targets_trivially_recover() {
         let bmp = screenshot();
-        assert_eq!(recovery_rate(&bmp, &[], NoiseBudget::heavy(), 1, &noiseless()), 1.0);
+        assert_eq!(
+            recovery_rate(&bmp, &[], NoiseBudget::heavy(), 1, &noiseless()),
+            1.0
+        );
     }
 }

@@ -18,10 +18,14 @@ pub fn to_ascii(bmp: &Bitmap, cols: usize) -> String {
     let mut out = String::with_capacity((cols + 1) * rows);
     for ty in 0..rows {
         let y0 = ty * bmp.height() / rows;
-        let y1 = (((ty + 1) * bmp.height()).div_ceil(rows)).max(y0 + 1).min(bmp.height());
+        let y1 = (((ty + 1) * bmp.height()).div_ceil(rows))
+            .max(y0 + 1)
+            .min(bmp.height());
         for tx in 0..cols {
             let x0 = tx * bmp.width() / cols;
-            let x1 = (((tx + 1) * bmp.width()).div_ceil(cols)).max(x0 + 1).min(bmp.width());
+            let x1 = (((tx + 1) * bmp.width()).div_ceil(cols))
+                .max(x0 + 1)
+                .min(bmp.width());
             let mut v = 0u8;
             for y in y0..y1 {
                 for x in x0..x1 {

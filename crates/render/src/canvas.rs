@@ -21,7 +21,11 @@ pub struct Bitmap {
 impl Bitmap {
     /// Blank (white) bitmap.
     pub fn new(width: usize, height: usize) -> Self {
-        Bitmap { width, height, pixels: vec![0; width * height] }
+        Bitmap {
+            width,
+            height,
+            pixels: vec![0; width * height],
+        }
     }
 
     /// Width in pixels.
@@ -201,7 +205,12 @@ mod tests {
         let mut b = Bitmap::new(64, 64);
         b.fill_rect(0, 0, 32, 64, 200);
         let small = b.resample(8, 8);
-        assert!((small.mean() - b.mean()).abs() < 10.0, "{} vs {}", small.mean(), b.mean());
+        assert!(
+            (small.mean() - b.mean()).abs() < 10.0,
+            "{} vs {}",
+            small.mean(),
+            b.mean()
+        );
         assert_eq!(small.width(), 8);
     }
 

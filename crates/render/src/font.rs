@@ -31,7 +31,15 @@ const fn row(pattern: &[u8; GLYPH_W]) -> u8 {
 
 macro_rules! glyph {
     ($r0:literal $r1:literal $r2:literal $r3:literal $r4:literal $r5:literal $r6:literal) => {
-        [row($r0), row($r1), row($r2), row($r3), row($r4), row($r5), row($r6)]
+        [
+            row($r0),
+            row($r1),
+            row($r2),
+            row($r3),
+            row($r4),
+            row($r5),
+            row($r6),
+        ]
     };
 }
 
@@ -125,10 +133,11 @@ mod tests {
     fn glyphs_are_unique() {
         // OCR template matching needs injective glyphs (except space which
         // must be the only empty cell).
-        for i in 0..GLYPHS.len() {
-            for j in (i + 1)..GLYPHS.len() {
+        for (i, gi) in GLYPHS.iter().enumerate() {
+            for (j, gj) in GLYPHS.iter().enumerate().skip(i + 1) {
                 assert_ne!(
-                    GLYPHS[i], GLYPHS[j],
+                    gi,
+                    gj,
                     "glyphs for {:?} and {:?} collide",
                     charset_char(i),
                     charset_char(j)

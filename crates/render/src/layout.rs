@@ -33,7 +33,11 @@ pub struct RenderOptions {
 
 impl Default for RenderOptions {
     fn default() -> Self {
-        RenderOptions { width: 360, max_height: 520, margin: 8 }
+        RenderOptions {
+            width: 360,
+            max_height: 520,
+            margin: 8,
+        }
     }
 }
 
@@ -46,7 +50,11 @@ struct Cursor {
 /// Renders a parsed page to a screenshot.
 pub fn render_page(doc: &Document, opts: &RenderOptions) -> Bitmap {
     let mut bmp = Bitmap::new(opts.width, opts.max_height);
-    let mut cur = Cursor { y: 0, margin: opts.margin, width: opts.width };
+    let mut cur = Cursor {
+        y: 0,
+        margin: opts.margin,
+        width: opts.width,
+    };
 
     // Title bar (browser chrome).
     let title = doc
@@ -55,7 +63,13 @@ pub fn render_page(doc: &Document, opts: &RenderOptions) -> Bitmap {
         .map(|id| doc.subtree_text(id))
         .unwrap_or_default();
     bmp.fill_rect(0, 0, opts.width, 14, INK_PANEL);
-    bmp.draw_text(opts.margin, 3, &truncate_to(&title, opts.width - 2 * opts.margin, 1), 1, INK_TEXT);
+    bmp.draw_text(
+        opts.margin,
+        3,
+        &truncate_to(&title, opts.width - 2 * opts.margin, 1),
+        1,
+        INK_TEXT,
+    );
     cur.y = 18;
 
     render_children(doc, Document::ROOT, &mut bmp, &mut cur);
@@ -171,7 +185,13 @@ fn render_form_fields(
                     } else {
                         let placeholder = e.attr("placeholder").unwrap_or("");
                         bmp.draw_border(x, cur.y, w, 14, INK_DECOR);
-                        bmp.draw_text(x + 3, cur.y + 3, &truncate_to(placeholder, w - 6, 1), 1, INK_TEXT);
+                        bmp.draw_text(
+                            x + 3,
+                            cur.y + 3,
+                            &truncate_to(placeholder, w - 6, 1),
+                            1,
+                            INK_TEXT,
+                        );
                         cur.y += 18;
                     }
                 }

@@ -274,7 +274,11 @@ impl BrandRegistry {
         for (label, tld, category, pt) in NAMED_BRANDS.iter().take(n) {
             // `nyu.edu` — our TLD registry has no edu; keep the brand under
             // a suffix we model instead (the label is what matters).
-            let tld = if *tld == "edu_placeholder" { "org" } else { tld };
+            let tld = if *tld == "edu_placeholder" {
+                "org"
+            } else {
+                tld
+            };
             let id = brands.len();
             brands.push(Brand {
                 id,
@@ -395,7 +399,10 @@ mod tests {
         assert_eq!(r.get(0).unwrap().label, "paypal");
         assert_eq!(r.get(1).unwrap().label, "facebook");
         assert_eq!(r.by_label("google").unwrap().domain.as_str(), "google.com");
-        assert_eq!(r.by_label("facebook").unwrap().domain.as_str(), "facebook.com");
+        assert_eq!(
+            r.by_label("facebook").unwrap().domain.as_str(),
+            "facebook.com"
+        );
         assert_eq!(r.by_label("tsb").unwrap().domain.suffix(), "co.uk");
     }
 
@@ -420,7 +427,12 @@ mod tests {
     fn all_domains_valid_and_match_labels() {
         let r = BrandRegistry::paper();
         for b in r.brands() {
-            assert_eq!(b.domain.core_label(), b.label, "label/domain mismatch for {}", b.label);
+            assert_eq!(
+                b.domain.core_label(),
+                b.label,
+                "label/domain mismatch for {}",
+                b.label
+            );
         }
     }
 }

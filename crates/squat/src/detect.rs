@@ -20,11 +20,28 @@
 //! Types are checked in a fixed precedence so the five categories stay
 //! orthogonal (a label matching several rules gets exactly one type):
 //! wrongTLD → homograph → bits → typo → combo.
+//!
+//! # Allocation discipline
+//!
+//! `classify` is the scan hot path. For ASCII labels it performs **zero
+//! heap allocations**: every probe string (one-char deletions, adjacent
+//! swaps, skeleton folds, ambiguous-glyph swaps, sequence folds) is built
+//! in a `[u8; 64]` stack buffer — DNS labels are at most 63 octets, which
+//! [`DomainName::parse`] enforces. IDN (`xn--`) labels are exempt from the
+//! guarantee: punycode decoding inherently allocates, and those labels are
+//! a vanishing fraction of a zone file. [`ClassifyStats`] counts both the
+//! hash probes performed and the allocations the stack buffers avoided
+//! relative to the previous `String`-per-probe implementation, so the scan
+//! layer can report them per worker.
 
 use crate::brand::{BrandId, BrandRegistry};
 use crate::SquatType;
 use squatphi_domain::{idna, ConfusableTable, DomainName};
 use std::collections::HashMap;
+
+/// DNS labels are at most 63 octets ([`DomainName::parse`] rejects longer
+/// ones), so every ASCII probe string fits in this stack scratch.
+const MAX_LABEL: usize = 63;
 
 /// A positive detection: which brand is being squatted and how.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,12 +52,35 @@ pub struct SquatMatch {
     pub squat_type: SquatType,
 }
 
+/// Per-call instrumentation for the classify hot path, accumulated across
+/// calls by the scan workers (see `squatphi_dnsdb::scan::ScanMetrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassifyStats {
+    /// Hash-table probes performed (exact, deletion, swap, fold lookups).
+    pub probes: u64,
+    /// Probe strings built in the stack scratch that the previous
+    /// `String`-per-probe implementation would have heap-allocated.
+    pub allocations_avoided: u64,
+}
+
+impl ClassifyStats {
+    /// Folds another counter set into this one (worker aggregation).
+    pub fn merge(&mut self, other: &ClassifyStats) {
+        self.probes += other.probes;
+        self.allocations_avoided += other.allocations_avoided;
+    }
+}
+
 /// Precomputed index over the brand registry for O(len) per-record
 /// classification.
 #[derive(Debug)]
 pub struct SquatDetector {
     /// brand label -> id.
     labels: HashMap<String, BrandId>,
+    /// brand label per id: `BrandId` is a dense index into the registry, so
+    /// the reverse direction is a direct `Vec` index (the scan hot path hits
+    /// this on every deletion-probe match; it must not walk the map).
+    brand_labels: Vec<String>,
     /// brand suffix per id (to distinguish wrongTLD from the brand itself).
     suffixes: Vec<String>,
     /// One-char-deletion variants of every brand label:
@@ -56,11 +96,14 @@ impl SquatDetector {
     /// Builds the detector index from a registry.
     pub fn new(registry: &BrandRegistry) -> Self {
         let mut labels = HashMap::with_capacity(registry.len());
+        let mut brand_labels = Vec::with_capacity(registry.len());
         let mut suffixes = Vec::with_capacity(registry.len());
         let mut deletions: HashMap<String, Vec<(BrandId, usize)>> = HashMap::new();
         let (mut min_len, mut max_len) = (usize::MAX, 0);
         for b in registry.brands() {
+            debug_assert_eq!(b.id, brand_labels.len(), "registry ids must be dense");
             labels.insert(b.label.clone(), b.id);
+            brand_labels.push(b.label.clone());
             suffixes.push(b.domain.suffix().to_string());
             min_len = min_len.min(b.label.len());
             max_len = max_len.max(b.label.len());
@@ -73,6 +116,7 @@ impl SquatDetector {
         }
         SquatDetector {
             labels,
+            brand_labels,
             suffixes,
             deletions,
             min_len,
@@ -85,36 +129,50 @@ impl SquatDetector {
     /// for the brands' own domains. Subdomains are ignored: classification
     /// uses the core (registrable) label only, per the paper.
     pub fn classify(&self, domain: &DomainName) -> Option<SquatMatch> {
+        let mut stats = ClassifyStats::default();
+        self.classify_with_stats(domain, &mut stats)
+    }
+
+    /// [`classify`](Self::classify), accumulating probe / allocation
+    /// counters into `stats` for the scan instrumentation layer.
+    pub fn classify_with_stats(
+        &self,
+        domain: &DomainName,
+        stats: &mut ClassifyStats,
+    ) -> Option<SquatMatch> {
         let label = domain.core_label();
         let suffix = domain.suffix();
 
         // Exact brand label: either the brand itself or wrongTLD.
+        stats.probes += 1;
         if let Some(&id) = self.labels.get(label) {
             if self.suffixes[id] == suffix {
                 return None; // the genuine brand domain
             }
-            return Some(SquatMatch { brand: id, squat_type: SquatType::WrongTld });
+            return Some(SquatMatch {
+                brand: id,
+                squat_type: SquatType::WrongTld,
+            });
         }
 
         // Quick length gate for the per-character probes below (combo is
         // exempt — it can be much longer than any brand).
-        let in_len_range =
-            label.len() + 1 >= self.min_len && label.len() <= self.max_len + 1;
+        let in_len_range = label.len() + 1 >= self.min_len && label.len() <= self.max_len + 1;
 
         // Punycode expands the wire form well beyond the display length, so
         // IDN labels bypass the gate; sequence folds (`rn`→`m`) shrink by
         // one, which the +1 slack already covers.
         if in_len_range || label.starts_with(idna::ACE_PREFIX) {
-            if let Some(m) = self.check_homograph(label) {
+            if let Some(m) = self.check_homograph(label, stats) {
                 return Some(m);
             }
         }
         if in_len_range {
-            if let Some(m) = self.check_edit_distance(label) {
+            if let Some(m) = self.check_edit_distance(label, stats) {
                 return Some(m);
             }
         }
-        self.check_combo(label)
+        self.check_combo(label, stats)
     }
 
     /// Homograph: fold the (possibly IDN) label to its ASCII skeleton and
@@ -122,136 +180,242 @@ impl SquatDetector {
     /// reverse substitutions for the *ambiguous* ASCII confusables
     /// (`1` imitates both `l` and `i`, `q`↔`g`, `u`↔`v`, `2`→`z`) that a
     /// deterministic skeleton fold cannot resolve.
-    fn check_homograph(&self, label: &str) -> Option<SquatMatch> {
-        // IDN labels: decode, fold, look up.
-        let decoded;
-        let working: &str = if let Some(rest) = label.strip_prefix(idna::ACE_PREFIX) {
-            decoded = squatphi_domain::punycode::decode(rest).ok()?;
-            &decoded
-        } else {
-            label
-        };
-        let folded = self.confusables.skeleton(working);
-        if folded != label {
-            if let Some(&id) = self.labels.get(folded.as_str()) {
-                return Some(SquatMatch { brand: id, squat_type: SquatType::Homograph });
+    fn check_homograph(&self, label: &str, stats: &mut ClassifyStats) -> Option<SquatMatch> {
+        let mut scratch = [0u8; MAX_LABEL + 1];
+        if let Some(rest) = label.strip_prefix(idna::ACE_PREFIX) {
+            // IDN: decode, fold, look up. Decoding allocates by nature, so
+            // xn-- labels are exempt from the zero-alloc guarantee.
+            let decoded = squatphi_domain::punycode::decode(rest).ok()?;
+            let folded = self.confusables.skeleton(&decoded);
+            if folded != label {
+                stats.probes += 1;
+                if let Some(&id) = self.labels.get(folded.as_str()) {
+                    return Some(SquatMatch {
+                        brand: id,
+                        squat_type: SquatType::Homograph,
+                    });
+                }
             }
-        }
-        // Ambiguous ASCII glyph swaps: substitute each candidate source at
-        // each position of the folded skeleton and probe. One substituted
-        // position suffices in practice (multi-swap labels still fold their
-        // unambiguous positions via `skeleton` above).
-        if folded.is_ascii() {
-            const REVERSE: &[(u8, &[u8])] = &[
-                (b'1', b"li"),
-                (b'i', b"l1"),
-                (b'l', b"i1"),
-                (b'q', b"g"),
-                (b'g', b"q"),
-                (b'u', b"v"),
-                (b'v', b"u"),
-                (b'2', b"z"),
-            ];
-            let bytes = folded.as_bytes();
-            for (i, &b) in bytes.iter().enumerate() {
-                if let Some((_, sources)) = REVERSE.iter().find(|(c, _)| *c == b) {
-                    for &src in *sources {
-                        let mut s = bytes.to_vec();
-                        s[i] = src;
-                        let s = String::from_utf8(s).expect("ascii");
-                        if s != label {
-                            if let Some(&id) = self.labels.get(s.as_str()) {
-                                return Some(SquatMatch {
-                                    brand: id,
-                                    squat_type: SquatType::Homograph,
-                                });
-                            }
-                        }
-                    }
+            if folded.is_ascii() {
+                // Reuse the fold's own buffer for the in-place swap probes.
+                let mut bytes = folded.into_bytes();
+                if let Some(m) = self.ambiguous_swaps(&mut bytes, label, stats) {
+                    return Some(m);
+                }
+            }
+        } else if label.is_ascii() {
+            // Hot path: fold into the stack scratch — for ASCII the skeleton
+            // is the byte-wise `ascii_fold_byte` map, no allocation needed.
+            debug_assert!(label.len() <= MAX_LABEL);
+            let n = label.len();
+            for (dst, &src) in scratch[..n].iter_mut().zip(label.as_bytes()) {
+                *dst = ConfusableTable::ascii_fold_byte(src);
+            }
+            stats.allocations_avoided += 1;
+            if &scratch[..n] != label.as_bytes() {
+                stats.probes += 1;
+                let folded = std::str::from_utf8(&scratch[..n]).expect("ascii");
+                if let Some(&id) = self.labels.get(folded) {
+                    return Some(SquatMatch {
+                        brand: id,
+                        squat_type: SquatType::Homograph,
+                    });
+                }
+            }
+            let (swap_buf, _) = scratch.split_at_mut(n);
+            if let Some(m) = self.ambiguous_swaps(swap_buf, label, stats) {
+                return Some(m);
+            }
+        } else {
+            // Non-ASCII Unicode label (already-decoded display form): fold
+            // via the full confusable table, which allocates.
+            let folded = self.confusables.skeleton(label);
+            if folded != label {
+                stats.probes += 1;
+                if let Some(&id) = self.labels.get(folded.as_str()) {
+                    return Some(SquatMatch {
+                        brand: id,
+                        squat_type: SquatType::Homograph,
+                    });
+                }
+            }
+            if folded.is_ascii() {
+                let mut bytes = folded.into_bytes();
+                if let Some(m) = self.ambiguous_swaps(&mut bytes, label, stats) {
+                    return Some(m);
                 }
             }
         }
         // Sequence folds on ASCII labels: rn -> m, vv -> w, cl -> d, …
+        // built in the scratch (the label fits by the DNS length limit).
         if label.is_ascii() {
-            for (seq, target) in [("rn", 'm'), ("nn", 'm'), ("vv", 'w'), ("cl", 'd'), ("lc", 'k'), ("lo", 'b')] {
+            const SEQ_FOLDS: &[(&str, u8)] = &[
+                ("rn", b'm'),
+                ("nn", b'm'),
+                ("vv", b'w'),
+                ("cl", b'd'),
+                ("lc", b'k'),
+                ("lo", b'b'),
+            ];
+            let bytes = label.as_bytes();
+            for &(seq, target) in SEQ_FOLDS {
                 if let Some(pos) = label.find(seq) {
-                    let mut s = String::with_capacity(label.len() - 1);
-                    s.push_str(&label[..pos]);
-                    s.push(target);
-                    s.push_str(&label[pos + 2..]);
-                    if let Some(&id) = self.labels.get(s.as_str()) {
-                        return Some(SquatMatch { brand: id, squat_type: SquatType::Homograph });
+                    let n = bytes.len() - 1;
+                    scratch[..pos].copy_from_slice(&bytes[..pos]);
+                    scratch[pos] = target;
+                    scratch[pos + 1..n].copy_from_slice(&bytes[pos + 2..]);
+                    stats.allocations_avoided += 1;
+                    stats.probes += 1;
+                    let s = std::str::from_utf8(&scratch[..n]).expect("ascii");
+                    if let Some(&id) = self.labels.get(s) {
+                        return Some(SquatMatch {
+                            brand: id,
+                            squat_type: SquatType::Homograph,
+                        });
                     }
                 }
             }
+        }
+        None
+    }
+
+    /// Ambiguous ASCII glyph swaps: substitute each candidate source at
+    /// each position of the folded skeleton (in place, restoring after) and
+    /// probe. One substituted position suffices in practice (multi-swap
+    /// labels still fold their unambiguous positions via `skeleton`).
+    fn ambiguous_swaps(
+        &self,
+        folded: &mut [u8],
+        label: &str,
+        stats: &mut ClassifyStats,
+    ) -> Option<SquatMatch> {
+        const REVERSE: &[(u8, &[u8])] = &[
+            (b'1', b"li"),
+            (b'i', b"l1"),
+            (b'l', b"i1"),
+            (b'q', b"g"),
+            (b'g', b"q"),
+            (b'u', b"v"),
+            (b'v', b"u"),
+            (b'2', b"z"),
+        ];
+        for i in 0..folded.len() {
+            let orig = folded[i];
+            let sources = match REVERSE.iter().find(|(c, _)| *c == orig) {
+                Some((_, sources)) => *sources,
+                None => continue,
+            };
+            for &src in sources {
+                folded[i] = src;
+                stats.allocations_avoided += 1;
+                let s = std::str::from_utf8(folded).expect("ascii");
+                if s != label {
+                    stats.probes += 1;
+                    if let Some(&id) = self.labels.get(s) {
+                        return Some(SquatMatch {
+                            brand: id,
+                            squat_type: SquatType::Homograph,
+                        });
+                    }
+                }
+            }
+            folded[i] = orig;
         }
         None
     }
 
     /// Bits / typo via symmetric deletion probing.
-    fn check_edit_distance(&self, label: &str) -> Option<SquatMatch> {
-        if !label.is_ascii() {
+    ///
+    /// Substitution (step a) and insertion (step c) both probe with the
+    /// same one-char deletions of the label, so a single pass builds each
+    /// deletion once in the stack scratch and serves both: substitution
+    /// hits return immediately (highest precedence), the first insertion
+    /// hit is remembered and only returned after the adjacent-swap probes,
+    /// preserving the original bits → swap → insertion → omission order.
+    fn check_edit_distance(&self, label: &str, stats: &mut ClassifyStats) -> Option<SquatMatch> {
+        if !label.is_ascii() || label.is_empty() {
             return None;
         }
+        debug_assert!(label.len() <= MAX_LABEL);
         let bytes = label.as_bytes();
+        let mut scratch = [0u8; MAX_LABEL + 1];
+        let mut insertion_hit: Option<BrandId> = None;
 
-        // (a) Same length: substitution (bits if one-bit) or adjacent swap.
-        //     Probe: delete char i from the label; a brand deletion entry at
-        //     the same position i means substitution at i; entries at other
-        //     positions are handled by the swap probe below.
+        // (a) + (c): delete char i once; probe the deletion index for a
+        // same-position brand deletion (substitution at i → bits if the two
+        // bytes differ by one bit) and the label index for an exact brand
+        // (insertion of i).
         for i in 0..bytes.len() {
-            let mut probe = String::with_capacity(bytes.len() - 1);
-            probe.push_str(&label[..i]);
-            probe.push_str(&label[i + 1..]);
-            if let Some(hits) = self.deletions.get(probe.as_str()) {
+            let n = bytes.len() - 1;
+            scratch[..i].copy_from_slice(&bytes[..i]);
+            scratch[i..n].copy_from_slice(&bytes[i + 1..]);
+            stats.allocations_avoided += 2; // one String per step, twice
+            let probe = std::str::from_utf8(&scratch[..n]).expect("ascii");
+            stats.probes += 1;
+            if let Some(hits) = self.deletions.get(probe) {
                 for &(id, pos) in hits {
-                    let brand = self.brand_label_of(id);
-                    if brand.len() == label.len() && pos == i {
-                        // Substitution at i: bits or nothing (could still be
-                        // a confusable ASCII swap → homograph was already
-                        // checked before us, so the leftover is bits-or-skip).
-                        let (x, y) = (bytes[i], brand.as_bytes()[i]);
-                        if (x ^ y).count_ones() == 1 {
-                            return Some(SquatMatch { brand: id, squat_type: SquatType::Bits });
+                    // Keys of equal length imply brand.len() == label.len(),
+                    // so only the deleted position needs to match.
+                    if pos == i {
+                        let brand = self.brand_labels[id].as_bytes();
+                        debug_assert_eq!(brand.len(), label.len());
+                        if (bytes[i] ^ brand[i]).count_ones() == 1 {
+                            return Some(SquatMatch {
+                                brand: id,
+                                squat_type: SquatType::Bits,
+                            });
                         }
                     }
                 }
             }
+            if insertion_hit.is_none() {
+                stats.probes += 1;
+                insertion_hit = self.labels.get(probe).copied();
+            }
         }
-        // (b) Adjacent swap: transpose each pair and do an exact lookup.
+        // (b) Adjacent swap: transpose each pair in place and look up.
+        scratch[..bytes.len()].copy_from_slice(bytes);
         for i in 0..bytes.len().saturating_sub(1) {
             if bytes[i] == bytes[i + 1] {
                 continue;
             }
-            let mut s = bytes.to_vec();
-            s.swap(i, i + 1);
-            let s = String::from_utf8(s).expect("ascii");
-            if let Some(&id) = self.labels.get(s.as_str()) {
-                return Some(SquatMatch { brand: id, squat_type: SquatType::Typo });
+            scratch.swap(i, i + 1);
+            stats.allocations_avoided += 1;
+            stats.probes += 1;
+            let s = std::str::from_utf8(&scratch[..bytes.len()]).expect("ascii");
+            if let Some(&id) = self.labels.get(s) {
+                return Some(SquatMatch {
+                    brand: id,
+                    squat_type: SquatType::Typo,
+                });
             }
+            scratch.swap(i, i + 1);
         }
-        // (c) Insertion (label is brand + 1 char): delete each char of the
-        //     label and look up the brand exactly.
-        for i in 0..bytes.len() {
-            let mut probe = String::with_capacity(bytes.len() - 1);
-            probe.push_str(&label[..i]);
-            probe.push_str(&label[i + 1..]);
-            if let Some(&id) = self.labels.get(probe.as_str()) {
-                return Some(SquatMatch { brand: id, squat_type: SquatType::Typo });
-            }
+        // (c) Insertion (label is brand + 1 char), found during the merged
+        //     deletion pass above; swap outranks it, so it returns here.
+        if let Some(id) = insertion_hit {
+            return Some(SquatMatch {
+                brand: id,
+                squat_type: SquatType::Typo,
+            });
         }
         // (d) Omission (label is brand - 1 char): the label appears in the
         //     brand deletion index.
+        stats.probes += 1;
         if let Some(hits) = self.deletions.get(label) {
             if let Some(&(id, _)) = hits.first() {
-                return Some(SquatMatch { brand: id, squat_type: SquatType::Typo });
+                return Some(SquatMatch {
+                    brand: id,
+                    squat_type: SquatType::Typo,
+                });
             }
         }
         None
     }
 
-    /// Combo: hyphen-separated tokens containing the brand.
-    fn check_combo(&self, label: &str) -> Option<SquatMatch> {
+    /// Combo: hyphen-separated tokens containing the brand. Probes reuse
+    /// subslices of the label, so this step never allocated to begin with.
+    fn check_combo(&self, label: &str, stats: &mut ClassifyStats) -> Option<SquatMatch> {
         if !label.contains('-') || !label.is_ascii() {
             return None;
         }
@@ -260,30 +424,37 @@ impl SquatDetector {
                 continue;
             }
             // Exact token match.
+            stats.probes += 1;
             if let Some(&id) = self.labels.get(token) {
-                return Some(SquatMatch { brand: id, squat_type: SquatType::Combo });
+                return Some(SquatMatch {
+                    brand: id,
+                    squat_type: SquatType::Combo,
+                });
             }
             // Token starts or ends with a brand label (>= 4 chars to avoid
             // generic hits like "bt" inside random words).
             for cut in (4..token.len()).rev() {
+                stats.probes += 2;
                 if let Some(&id) = self.labels.get(&token[..cut]) {
-                    return Some(SquatMatch { brand: id, squat_type: SquatType::Combo });
+                    return Some(SquatMatch {
+                        brand: id,
+                        squat_type: SquatType::Combo,
+                    });
                 }
                 if let Some(&id) = self.labels.get(&token[token.len() - cut..]) {
-                    return Some(SquatMatch { brand: id, squat_type: SquatType::Combo });
+                    return Some(SquatMatch {
+                        brand: id,
+                        squat_type: SquatType::Combo,
+                    });
                 }
             }
         }
         None
     }
 
-    fn brand_label_of(&self, id: BrandId) -> &str {
-        // Reverse lookup is rare (only on deletion hits); scan the map.
-        self.labels
-            .iter()
-            .find(|(_, &v)| v == id)
-            .map(|(k, _)| k.as_str())
-            .expect("brand id must exist")
+    /// The label of brand `id` (dense `Vec` index; used by reporting code).
+    pub fn brand_label_of(&self, id: BrandId) -> &str {
+        &self.brand_labels[id]
     }
 }
 
@@ -299,14 +470,18 @@ mod tests {
     }
 
     fn classify(det: &SquatDetector, s: &str) -> Option<SquatType> {
-        det.classify(&DomainName::parse(s).unwrap()).map(|m| m.squat_type)
+        det.classify(&DomainName::parse(s).unwrap())
+            .map(|m| m.squat_type)
     }
 
     #[test]
     fn table1_examples_classified() {
         let (_reg, det) = detector();
         assert_eq!(classify(&det, "faceb00k.pw"), Some(SquatType::Homograph));
-        assert_eq!(classify(&det, "xn--fcebook-8va.com"), Some(SquatType::Homograph));
+        assert_eq!(
+            classify(&det, "xn--fcebook-8va.com"),
+            Some(SquatType::Homograph)
+        );
         assert_eq!(classify(&det, "facebnok.tk"), Some(SquatType::Bits));
         assert_eq!(classify(&det, "facebo0ok.com"), Some(SquatType::Typo));
         assert_eq!(classify(&det, "fcaebook.org"), Some(SquatType::Typo));
@@ -332,9 +507,19 @@ mod tests {
     #[test]
     fn matched_brand_is_correct() {
         let (reg, det) = detector();
-        let m = det.classify(&DomainName::parse("goofle.com.ua").unwrap()).unwrap();
+        let m = det
+            .classify(&DomainName::parse("goofle.com.ua").unwrap())
+            .unwrap();
         assert_eq!(reg.get(m.brand).unwrap().label, "google");
         assert_eq!(m.squat_type, SquatType::Bits);
+    }
+
+    #[test]
+    fn brand_label_of_matches_registry() {
+        let (reg, det) = detector();
+        for b in reg.brands() {
+            assert_eq!(det.brand_label_of(b.id), b.label);
+        }
     }
 
     #[test]
@@ -347,11 +532,15 @@ mod tests {
     #[test]
     fn combo_fused_tokens() {
         let (reg, det) = detector();
-        let m = det.classify(&DomainName::parse("go-uberfreight.com").unwrap()).unwrap();
+        let m = det
+            .classify(&DomainName::parse("go-uberfreight.com").unwrap())
+            .unwrap();
         assert_eq!(reg.get(m.brand).unwrap().label, "uber");
         assert_eq!(m.squat_type, SquatType::Combo);
         // live-microsoftsupport.com (Fig 14c).
-        let m = det.classify(&DomainName::parse("live-microsoftsupport.com").unwrap()).unwrap();
+        let m = det
+            .classify(&DomainName::parse("live-microsoftsupport.com").unwrap())
+            .unwrap();
         assert_eq!(reg.get(m.brand).unwrap().label, "microsoft");
     }
 
@@ -377,6 +566,48 @@ mod tests {
     }
 
     #[test]
+    fn swap_precedes_insertion() {
+        // A label that is simultaneously an adjacent swap of one brand form
+        // and an insertion over another must resolve as the swap (step b
+        // outranks step c even though insertions are now detected during
+        // the merged deletion pass).
+        let (_reg, det) = detector();
+        assert_eq!(classify(&det, "faecbook.com"), Some(SquatType::Typo));
+    }
+
+    #[test]
+    fn stats_count_probes_for_misses() {
+        let (_reg, det) = detector();
+        let mut stats = ClassifyStats::default();
+        let d = DomainName::parse("winterpillow.net").unwrap();
+        assert!(det.classify_with_stats(&d, &mut stats).is_none());
+        // At minimum the exact lookup plus the per-character deletion and
+        // swap probes ran.
+        assert!(stats.probes as usize > "winterpillow".len());
+        assert!(stats.allocations_avoided > 0);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ClassifyStats {
+            probes: 3,
+            allocations_avoided: 2,
+        };
+        let b = ClassifyStats {
+            probes: 5,
+            allocations_avoided: 7,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ClassifyStats {
+                probes: 8,
+                allocations_avoided: 9
+            }
+        );
+    }
+
+    #[test]
     fn wrong_tld_over_multi_suffix() {
         let (_reg, det) = detector();
         assert_eq!(classify(&det, "google.com.ua"), Some(SquatType::WrongTld));
@@ -390,7 +621,16 @@ mod tests {
         let mut total = 0;
         let mut matched = 0;
         for brand in reg.brands() {
-            for c in generate_all(brand, GenBudget { homograph: 20, bits: 20, typo: 20, combo: 20, wrong_tld: 5 }) {
+            for c in generate_all(
+                brand,
+                GenBudget {
+                    homograph: 20,
+                    bits: 20,
+                    typo: 20,
+                    combo: 20,
+                    wrong_tld: 5,
+                },
+            ) {
                 total += 1;
                 if let Some(m) = det.classify(&c.domain) {
                     // Type may legitimately differ near precedence borders
@@ -402,7 +642,10 @@ mod tests {
             }
         }
         let rate = matched as f64 / total as f64;
-        assert!(rate > 0.95, "detector recall on generated candidates too low: {rate} ({matched}/{total})");
+        assert!(
+            rate > 0.95,
+            "detector recall on generated candidates too low: {rate} ({matched}/{total})"
+        );
     }
 
     #[test]

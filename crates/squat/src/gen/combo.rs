@@ -72,7 +72,9 @@ mod tests {
         for c in combo_candidates("santander") {
             assert!(!c.starts_with('-') && !c.ends_with('-'));
             assert!(c.len() <= 63, "{c} too long");
-            assert!(c.bytes().all(|b| b.is_ascii_lowercase() || b == b'-' || b.is_ascii_digit()));
+            assert!(c
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b == b'-' || b.is_ascii_digit()));
         }
     }
 

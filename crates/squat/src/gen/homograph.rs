@@ -70,9 +70,17 @@ pub fn homograph_candidates(label: &str) -> Vec<String> {
     // position to keep the candidate set near-linear).
     const PER_POS: usize = 2;
     for i in 0..chars.len() {
-        let vi: Vec<char> = table.variants(chars[i]).filter(|v| !v.is_ascii()).take(PER_POS).collect();
+        let vi: Vec<char> = table
+            .variants(chars[i])
+            .filter(|v| !v.is_ascii())
+            .take(PER_POS)
+            .collect();
         for j in (i + 1)..chars.len() {
-            let vj: Vec<char> = table.variants(chars[j]).filter(|v| !v.is_ascii()).take(PER_POS).collect();
+            let vj: Vec<char> = table
+                .variants(chars[j])
+                .filter(|v| !v.is_ascii())
+                .take(PER_POS)
+                .collect();
             for &a in &vi {
                 for &b in &vj {
                     let mut s: Vec<char> = chars.clone();
@@ -95,7 +103,10 @@ mod tests {
     fn paper_examples_present() {
         let c = homograph_candidates("facebook");
         assert!(c.contains(&"faceb00k".to_string()), "Table 1: faceb00k.pw");
-        assert!(c.contains(&"fàcebook".to_string()), "Table 1: xn--fcebook-8va");
+        assert!(
+            c.contains(&"fàcebook".to_string()),
+            "Table 1: xn--fcebook-8va"
+        );
         assert!(c.contains(&"facebooκ".to_string()), "Table 10: Greek kappa");
     }
 
@@ -125,7 +136,10 @@ mod tests {
 
     #[test]
     fn unicode_candidates_punycode_round_trip() {
-        for cand in homograph_candidates("uber").iter().filter(|c| !c.is_ascii()) {
+        for cand in homograph_candidates("uber")
+            .iter()
+            .filter(|c| !c.is_ascii())
+        {
             let ascii = idna::to_ascii(cand).expect("encodable");
             assert!(ascii.starts_with("xn--"));
             assert_eq!(idna::to_unicode(&ascii), *cand);

@@ -37,7 +37,13 @@ pub struct GenBudget {
 
 impl Default for GenBudget {
     fn default() -> Self {
-        GenBudget { homograph: 200, bits: 100, typo: 300, combo: 400, wrong_tld: 30 }
+        GenBudget {
+            homograph: 200,
+            bits: 100,
+            typo: 300,
+            combo: 400,
+            wrong_tld: 30,
+        }
     }
 }
 
@@ -59,7 +65,9 @@ pub struct Candidate {
 pub fn generate_all(brand: &Brand, budget: GenBudget) -> Vec<Candidate> {
     let label = brand.label.as_str();
     let own_tld = brand.domain.suffix();
-    let cheap = ["com", "net", "org", "tk", "ml", "pw", "top", "online", "bid", "ga"];
+    let cheap = [
+        "com", "net", "org", "tk", "ml", "pw", "top", "online", "bid", "ga",
+    ];
     let mut out = Vec::new();
     let push_label = |l: &str, ty: SquatType, i: usize, out: &mut Vec<Candidate>| {
         let ascii = if l.is_ascii() {
@@ -70,26 +78,55 @@ pub fn generate_all(brand: &Brand, budget: GenBudget) -> Vec<Candidate> {
                 Err(_) => return,
             }
         };
-        let tld = if i % 3 == 0 { own_tld } else { cheap[i % cheap.len()] };
+        let tld = if i.is_multiple_of(3) {
+            own_tld
+        } else {
+            cheap[i % cheap.len()]
+        };
         if let Ok(d) = DomainName::from_parts(&ascii, tld) {
-            out.push(Candidate { domain: d, squat_type: ty });
+            out.push(Candidate {
+                domain: d,
+                squat_type: ty,
+            });
         }
     };
 
-    for (i, l) in homograph_candidates(label).into_iter().take(budget.homograph).enumerate() {
+    for (i, l) in homograph_candidates(label)
+        .into_iter()
+        .take(budget.homograph)
+        .enumerate()
+    {
         push_label(&l, SquatType::Homograph, i, &mut out);
     }
-    for (i, l) in bits_candidates(label).into_iter().take(budget.bits).enumerate() {
+    for (i, l) in bits_candidates(label)
+        .into_iter()
+        .take(budget.bits)
+        .enumerate()
+    {
         push_label(&l, SquatType::Bits, i, &mut out);
     }
-    for (i, (l, _op)) in typo_candidates(label).into_iter().take(budget.typo).enumerate() {
+    for (i, (l, _op)) in typo_candidates(label)
+        .into_iter()
+        .take(budget.typo)
+        .enumerate()
+    {
         push_label(&l, SquatType::Typo, i, &mut out);
     }
-    for (i, l) in combo_candidates(label).into_iter().take(budget.combo).enumerate() {
+    for (i, l) in combo_candidates(label)
+        .into_iter()
+        .take(budget.combo)
+        .enumerate()
+    {
         push_label(&l, SquatType::Combo, i, &mut out);
     }
-    for d in wrong_tld_candidates(label, own_tld).into_iter().take(budget.wrong_tld) {
-        out.push(Candidate { domain: d, squat_type: SquatType::WrongTld });
+    for d in wrong_tld_candidates(label, own_tld)
+        .into_iter()
+        .take(budget.wrong_tld)
+    {
+        out.push(Candidate {
+            domain: d,
+            squat_type: SquatType::WrongTld,
+        });
     }
     out
 }
@@ -116,7 +153,13 @@ mod tests {
     fn budget_bounds_respected() {
         let reg = BrandRegistry::with_size(10);
         let fb = reg.by_label("facebook").unwrap();
-        let b = GenBudget { homograph: 3, bits: 3, typo: 3, combo: 3, wrong_tld: 3 };
+        let b = GenBudget {
+            homograph: 3,
+            bits: 3,
+            typo: 3,
+            combo: 3,
+            wrong_tld: 3,
+        };
         let cands = generate_all(fb, b);
         for ty in SquatType::ALL {
             assert!(cands.iter().filter(|c| c.squat_type == ty).count() <= 3);

@@ -18,14 +18,42 @@ pub enum TypoOp {
 /// lands on a neighbor of the intended key.
 fn qwerty_neighbors(c: char) -> &'static str {
     match c {
-        'q' => "wa1", 'w' => "qes2", 'e' => "wrd3", 'r' => "etf4", 't' => "ryg5",
-        'y' => "tuh6", 'u' => "yij7", 'i' => "uok8", 'o' => "ipl9", 'p' => "ol0",
-        'a' => "qsz", 's' => "awdx", 'd' => "sefc", 'f' => "drgv", 'g' => "fthb",
-        'h' => "gyjn", 'j' => "hukm", 'k' => "jil", 'l' => "kop",
-        'z' => "asx", 'x' => "zsdc", 'c' => "xdfv", 'v' => "cfgb", 'b' => "vghn",
-        'n' => "bhjm", 'm' => "njk",
-        '0' => "po", '1' => "q2", '2' => "w13", '3' => "e24", '4' => "r35",
-        '5' => "t46", '6' => "y57", '7' => "u68", '8' => "i79", '9' => "o80",
+        'q' => "wa1",
+        'w' => "qes2",
+        'e' => "wrd3",
+        'r' => "etf4",
+        't' => "ryg5",
+        'y' => "tuh6",
+        'u' => "yij7",
+        'i' => "uok8",
+        'o' => "ipl9",
+        'p' => "ol0",
+        'a' => "qsz",
+        's' => "awdx",
+        'd' => "sefc",
+        'f' => "drgv",
+        'g' => "fthb",
+        'h' => "gyjn",
+        'j' => "hukm",
+        'k' => "jil",
+        'l' => "kop",
+        'z' => "asx",
+        'x' => "zsdc",
+        'c' => "xdfv",
+        'v' => "cfgb",
+        'b' => "vghn",
+        'n' => "bhjm",
+        'm' => "njk",
+        '0' => "po",
+        '1' => "q2",
+        '2' => "w13",
+        '3' => "e24",
+        '4' => "r35",
+        '5' => "t46",
+        '6' => "y57",
+        '7' => "u68",
+        '8' => "i79",
+        '9' => "o80",
         _ => "",
     }
 }
@@ -35,7 +63,8 @@ fn valid_label(l: &str) -> bool {
         && !l.starts_with('-')
         && !l.ends_with('-')
         && l.len() <= 63
-        && l.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+        && l.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
 }
 
 /// All typo candidates for a label, tagged with the operation that produced

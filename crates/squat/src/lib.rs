@@ -24,7 +24,7 @@ pub mod pregen;
 pub mod words;
 
 pub use brand::{Brand, BrandId, BrandRegistry, Category};
-pub use detect::{SquatDetector, SquatMatch};
+pub use detect::{ClassifyStats, SquatDetector, SquatMatch};
 pub use gen::{generate_all, GenBudget};
 
 /// The five orthogonal squatting techniques from §3.1.

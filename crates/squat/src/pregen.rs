@@ -83,14 +83,24 @@ mod tests {
     fn brand_domains_are_never_squatting() {
         let (registry, pregen, _p) = setup();
         for brand in registry.brands() {
-            assert!(pregen.classify(&brand.domain).is_none(), "{} flagged", brand.domain);
+            assert!(
+                pregen.classify(&brand.domain).is_none(),
+                "{} flagged",
+                brand.domain
+            );
         }
     }
 
     #[test]
     fn strategies_agree_on_generated_candidates() {
         let (registry, pregen, probing) = setup();
-        let budget = GenBudget { homograph: 20, bits: 15, typo: 20, combo: 20, wrong_tld: 5 };
+        let budget = GenBudget {
+            homograph: 20,
+            bits: 15,
+            typo: 20,
+            combo: 20,
+            wrong_tld: 5,
+        };
         let mut compared = 0usize;
         let mut brand_agree = 0usize;
         for brand in registry.brands() {
@@ -99,7 +109,11 @@ mod tests {
                 let b = probing.classify(&cand.domain);
                 // Pre-generated lookup always hits (it indexed the same
                 // generator output); the probing detector must also hit.
-                assert!(a.is_some(), "pregen missed its own candidate {}", cand.domain);
+                assert!(
+                    a.is_some(),
+                    "pregen missed its own candidate {}",
+                    cand.domain
+                );
                 if let (Some(a), Some(b)) = (a, b) {
                     compared += 1;
                     if a.brand == b.brand {
@@ -124,7 +138,10 @@ mod tests {
         // paper's per-record design closes.
         let (_r, pregen, probing) = setup();
         let exotic = DomainName::parse("facebook-zanzibar-prize.win").expect("valid");
-        assert!(pregen.classify(&exotic).is_none(), "not in any candidate list");
+        assert!(
+            pregen.classify(&exotic).is_none(),
+            "not in any candidate list"
+        );
         assert!(probing.classify(&exotic).is_some(), "probing must catch it");
     }
 

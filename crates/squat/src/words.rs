@@ -6,13 +6,62 @@
 /// `securemail-`, `formateurs-`, `-freight`, `drive…`). Combo squatting
 /// is the cheapest type to register, which is why it dominates (56%).
 pub const COMBO_WORDS: &[&str] = &[
-    "account", "alert", "app", "auction", "billing", "cash", "center", "check", "cloud",
-    "customer", "deals", "drive", "extra", "freight", "get", "go", "gostore", "grants",
-    "help", "hub", "info", "learning", "live", "login", "mail", "mobile", "my", "new",
-    "now", "official", "online", "pay", "portal", "prize", "prizeuk", "pro", "promo",
-    "safe", "secure", "securemail", "security", "selling", "service", "shop", "sigin",
-    "signin", "site", "store", "story", "support", "team", "update", "verify", "vip",
-    "web", "world",
+    "account",
+    "alert",
+    "app",
+    "auction",
+    "billing",
+    "cash",
+    "center",
+    "check",
+    "cloud",
+    "customer",
+    "deals",
+    "drive",
+    "extra",
+    "freight",
+    "get",
+    "go",
+    "gostore",
+    "grants",
+    "help",
+    "hub",
+    "info",
+    "learning",
+    "live",
+    "login",
+    "mail",
+    "mobile",
+    "my",
+    "new",
+    "now",
+    "official",
+    "online",
+    "pay",
+    "portal",
+    "prize",
+    "prizeuk",
+    "pro",
+    "promo",
+    "safe",
+    "secure",
+    "securemail",
+    "security",
+    "selling",
+    "service",
+    "shop",
+    "sigin",
+    "signin",
+    "site",
+    "store",
+    "story",
+    "support",
+    "team",
+    "update",
+    "verify",
+    "vip",
+    "web",
+    "world",
 ];
 
 /// Generic English-ish syllables used to synthesize the long tail of the
@@ -20,32 +69,30 @@ pub const COMBO_WORDS: &[&str] = &[
 /// category with PhishTank target brands; we embed the brands the paper
 /// names and synthesize plausible fillers for the rest).
 pub const BRAND_PREFIX: &[&str] = &[
-    "acme", "aero", "alpha", "apex", "aqua", "astro", "atlas", "aura", "auto", "avid",
-    "axis", "beam", "blue", "bolt", "bright", "byte", "cape", "cedar", "chart", "citrus",
-    "cobalt", "coral", "craft", "crest", "dash", "data", "delta", "dyna", "echo", "ember",
-    "epic", "ever", "fable", "fern", "flux", "forge", "fox", "gale", "gem", "glen",
-    "grand", "grove", "halo", "harbor", "haven", "helio", "hyper", "iron", "ivy", "jade",
-    "jet", "juno", "keen", "kite", "lark", "ledge", "lime", "luna", "lyric", "maple",
-    "merit", "mesa", "mint", "moss", "nimbus", "noble", "north", "nova", "oak", "ocean",
-    "omni", "onyx", "opal", "orbit", "pearl", "pine", "pixel", "plume", "polar", "prime",
-    "quartz", "quest", "rapid", "raven", "reef", "ridge", "river", "rocket", "sable",
-    "sage", "scout", "shore", "sierra", "silver", "sky", "solar", "sonic", "spark",
-    "sprout", "star", "stone", "storm", "summit", "swift", "terra", "tide", "topaz",
-    "trail", "true", "ultra", "umber", "union", "urban", "vale", "vast", "vega", "velvet",
+    "acme", "aero", "alpha", "apex", "aqua", "astro", "atlas", "aura", "auto", "avid", "axis",
+    "beam", "blue", "bolt", "bright", "byte", "cape", "cedar", "chart", "citrus", "cobalt",
+    "coral", "craft", "crest", "dash", "data", "delta", "dyna", "echo", "ember", "epic", "ever",
+    "fable", "fern", "flux", "forge", "fox", "gale", "gem", "glen", "grand", "grove", "halo",
+    "harbor", "haven", "helio", "hyper", "iron", "ivy", "jade", "jet", "juno", "keen", "kite",
+    "lark", "ledge", "lime", "luna", "lyric", "maple", "merit", "mesa", "mint", "moss", "nimbus",
+    "noble", "north", "nova", "oak", "ocean", "omni", "onyx", "opal", "orbit", "pearl", "pine",
+    "pixel", "plume", "polar", "prime", "quartz", "quest", "rapid", "raven", "reef", "ridge",
+    "river", "rocket", "sable", "sage", "scout", "shore", "sierra", "silver", "sky", "solar",
+    "sonic", "spark", "sprout", "star", "stone", "storm", "summit", "swift", "terra", "tide",
+    "topaz", "trail", "true", "ultra", "umber", "union", "urban", "vale", "vast", "vega", "velvet",
     "vertex", "vivid", "wave", "west", "willow", "wind", "wren", "zen", "zephyr", "zinc",
 ];
 
 /// Suffix syllables for synthesized brands.
 pub const BRAND_SUFFIX: &[&str] = &[
-    "bank", "base", "bay", "board", "books", "box", "cart", "cast", "chat", "check",
-    "circle", "city", "club", "coin", "corp", "dash", "deck", "desk", "dock", "drop",
-    "feed", "field", "flow", "forge", "front", "fund", "gate", "grid", "group", "health",
-    "house", "hub", "kit", "lab", "lane", "layer", "line", "link", "list", "loop",
-    "mark", "mart", "media", "mesh", "mint", "nest", "net", "node", "pad", "page",
-    "path", "pay", "peak", "play", "point", "port", "post", "press", "pulse", "rank",
-    "reach", "ring", "road", "scan", "set", "share", "shelf", "shift", "shop", "side",
-    "sign", "space", "spark", "sphere", "spot", "stack", "stage", "stash", "station",
-    "stream", "studio", "sync", "tab", "table", "tag", "task", "team", "tech", "trade",
+    "bank", "base", "bay", "board", "books", "box", "cart", "cast", "chat", "check", "circle",
+    "city", "club", "coin", "corp", "dash", "deck", "desk", "dock", "drop", "feed", "field",
+    "flow", "forge", "front", "fund", "gate", "grid", "group", "health", "house", "hub", "kit",
+    "lab", "lane", "layer", "line", "link", "list", "loop", "mark", "mart", "media", "mesh",
+    "mint", "nest", "net", "node", "pad", "page", "path", "pay", "peak", "play", "point", "port",
+    "post", "press", "pulse", "rank", "reach", "ring", "road", "scan", "set", "share", "shelf",
+    "shift", "shop", "side", "sign", "space", "spark", "sphere", "spot", "stack", "stage", "stash",
+    "station", "stream", "studio", "sync", "tab", "table", "tag", "task", "team", "tech", "trade",
     "track", "vault", "verse", "view", "ware", "watch", "wire", "works", "yard", "zone",
 ];
 
@@ -53,22 +100,134 @@ pub const BRAND_SUFFIX: &[&str] = &[
 /// snapshot (see `squatphi-dnsdb`): mundane dictionary material that should
 /// *not* trigger the squat detector.
 pub const BENIGN_WORDS: &[&str] = &[
-    "almond", "anchor", "antique", "arcade", "autumn", "bakery", "balloon", "bamboo",
-    "basket", "bicycle", "biscuit", "blanket", "blossom", "breeze", "bronze", "bubble",
-    "butter", "cabin", "cactus", "camera", "candle", "canvas", "carpet", "castle",
-    "cereal", "cherry", "chimney", "cinnamon", "clover", "cobble", "coffee", "cascade",
-    "copper", "cotton", "cradle", "cricket", "crystal", "curtain", "daisy", "dolphin",
-    "donut", "dragon", "drizzle", "eagle", "engine", "falcon", "feather", "fiddle",
-    "flannel", "forest", "fossil", "fountain", "garden", "garlic", "ginger", "glacier",
-    "goblet", "granite", "guitar", "hammock", "harvest", "hazel", "helmet", "hickory",
-    "honey", "icicle", "jasmine", "jigsaw", "jungle", "kettle", "lantern", "lavender",
-    "lemon", "lighthouse", "lobster", "marble", "meadow", "melon", "mirror", "mountain",
-    "mustard", "nectar", "noodle", "nutmeg", "orchard", "otter", "paddle", "pancake",
-    "panther", "parrot", "pebble", "penguin", "pepper", "pickle", "pigeon", "pillow",
-    "pumpkin", "puzzle", "rabbit", "raccoon", "rainbow", "raisin", "saddle", "saffron",
-    "salmon", "sandal", "sapphire", "scarlet", "shadow", "shovel", "spruce", "squirrel",
-    "sunset", "thimble", "thunder", "timber", "toffee", "trellis", "trumpet", "tulip",
-    "turtle", "velour", "violet", "walnut", "whistle", "wicker", "winter", "zebra",
+    "almond",
+    "anchor",
+    "antique",
+    "arcade",
+    "autumn",
+    "bakery",
+    "balloon",
+    "bamboo",
+    "basket",
+    "bicycle",
+    "biscuit",
+    "blanket",
+    "blossom",
+    "breeze",
+    "bronze",
+    "bubble",
+    "butter",
+    "cabin",
+    "cactus",
+    "camera",
+    "candle",
+    "canvas",
+    "carpet",
+    "castle",
+    "cereal",
+    "cherry",
+    "chimney",
+    "cinnamon",
+    "clover",
+    "cobble",
+    "coffee",
+    "cascade",
+    "copper",
+    "cotton",
+    "cradle",
+    "cricket",
+    "crystal",
+    "curtain",
+    "daisy",
+    "dolphin",
+    "donut",
+    "dragon",
+    "drizzle",
+    "eagle",
+    "engine",
+    "falcon",
+    "feather",
+    "fiddle",
+    "flannel",
+    "forest",
+    "fossil",
+    "fountain",
+    "garden",
+    "garlic",
+    "ginger",
+    "glacier",
+    "goblet",
+    "granite",
+    "guitar",
+    "hammock",
+    "harvest",
+    "hazel",
+    "helmet",
+    "hickory",
+    "honey",
+    "icicle",
+    "jasmine",
+    "jigsaw",
+    "jungle",
+    "kettle",
+    "lantern",
+    "lavender",
+    "lemon",
+    "lighthouse",
+    "lobster",
+    "marble",
+    "meadow",
+    "melon",
+    "mirror",
+    "mountain",
+    "mustard",
+    "nectar",
+    "noodle",
+    "nutmeg",
+    "orchard",
+    "otter",
+    "paddle",
+    "pancake",
+    "panther",
+    "parrot",
+    "pebble",
+    "penguin",
+    "pepper",
+    "pickle",
+    "pigeon",
+    "pillow",
+    "pumpkin",
+    "puzzle",
+    "rabbit",
+    "raccoon",
+    "rainbow",
+    "raisin",
+    "saddle",
+    "saffron",
+    "salmon",
+    "sandal",
+    "sapphire",
+    "scarlet",
+    "shadow",
+    "shovel",
+    "spruce",
+    "squirrel",
+    "sunset",
+    "thimble",
+    "thunder",
+    "timber",
+    "toffee",
+    "trellis",
+    "trumpet",
+    "tulip",
+    "turtle",
+    "velour",
+    "violet",
+    "walnut",
+    "whistle",
+    "wicker",
+    "winter",
+    "zebra",
 ];
 
 #[cfg(test)]
@@ -92,8 +251,16 @@ mod tests {
 
     #[test]
     fn words_are_valid_label_material() {
-        for w in COMBO_WORDS.iter().chain(BRAND_PREFIX).chain(BRAND_SUFFIX).chain(BENIGN_WORDS) {
-            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w} must be a-z only");
+        for w in COMBO_WORDS
+            .iter()
+            .chain(BRAND_PREFIX)
+            .chain(BRAND_SUFFIX)
+            .chain(BENIGN_WORDS)
+        {
+            assert!(
+                w.chars().all(|c| c.is_ascii_lowercase()),
+                "{w} must be a-z only"
+            );
             assert!(w.len() >= 2);
         }
     }

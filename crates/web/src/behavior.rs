@@ -149,7 +149,10 @@ mod tests {
         assert!(back.phishing_live(0));
         assert!(back.phishing_live(1));
         assert!(!back.phishing_live(2));
-        assert!(back.phishing_live(3), "tacebook.ga comes back in snapshot 4");
+        assert!(
+            back.phishing_live(3),
+            "tacebook.ga comes back in snapshot 4"
+        );
     }
 
     #[test]

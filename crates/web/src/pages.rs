@@ -29,7 +29,12 @@ pub struct PageStyle {
 impl PageStyle {
     /// The canonical style brands use.
     pub fn canonical() -> Self {
-        PageStyle { logo_level: 1, top_band: 0, mid_band: 0, filler_paras: 1 }
+        PageStyle {
+            logo_level: 1,
+            top_band: 0,
+            mid_band: 0,
+            filler_paras: 1,
+        }
     }
 
     /// A style mutated to intensity 0..=3: each step moves the layout
@@ -37,7 +42,12 @@ impl PageStyle {
     /// 7 / 24 / 38).
     pub fn obfuscated(intensity: u8, rng: &mut StdRng) -> Self {
         match intensity {
-            0 => PageStyle { logo_level: 1, top_band: 0, mid_band: 0, filler_paras: 1 },
+            0 => PageStyle {
+                logo_level: 1,
+                top_band: 0,
+                mid_band: 0,
+                filler_paras: 1,
+            },
             1 => PageStyle {
                 logo_level: 1,
                 top_band: 10 + rng.gen_range(0..8),
@@ -138,8 +148,13 @@ const SIGNIN_PHRASES: &[&str] = &[
     "enter your credentials to access your account",
     "use your account details to sign in",
 ];
-const ID_PLACEHOLDERS: &[&str] =
-    &["email or phone", "email address", "username", "user id", "email or username"];
+const ID_PLACEHOLDERS: &[&str] = &[
+    "email or phone",
+    "email address",
+    "username",
+    "user id",
+    "email or username",
+];
 const PW_PLACEHOLDERS: &[&str] = &["password", "your password", "enter password"];
 const BUTTON_LABELS: &[&str] = &["log in", "sign in", "continue", "submit"];
 const ID_NAMES: &[&str] = &["email", "user", "login", "username", "identifier"];
@@ -186,12 +201,16 @@ pub fn phishing_page(brand: &Brand, profile: &PhishingProfile, host: &str, seed:
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
     let style = PageStyle::obfuscated(profile.layout_obfuscation, &mut rng);
     let (top, mid) = style_blocks(&style);
-    let script = if profile.code_obfuscation { OBF_SCRIPT } else { PLAIN_SCRIPT };
+    let script = if profile.code_obfuscation {
+        OBF_SCRIPT
+    } else {
+        PLAIN_SCRIPT
+    };
 
     // String obfuscation: the brand name disappears from HTML text —
     // either swapped for a homoglyph twin or baked into a logo image.
     let (title_brand, logo_html, mention) = if profile.string_obfuscation {
-        if seed % 2 == 0 {
+        if seed.is_multiple_of(2) {
             let twin = obfuscate_brand_text(&brand.label);
             (
                 twin.clone(),
@@ -212,7 +231,11 @@ pub fn phishing_page(brand: &Brand, profile: &PhishingProfile, host: &str, seed:
     } else {
         (
             brand.label.clone(),
-            format!("<h{lv}>{label}</h{lv}>", lv = style.logo_level, label = brand.label),
+            format!(
+                "<h{lv}>{label}</h{lv}>",
+                lv = style.logo_level,
+                label = brand.label
+            ),
             brand.label.clone(),
         )
     };
@@ -334,7 +357,13 @@ pub fn marketplace_page(host: &str, market: &str) -> String {
 
 /// An unrelated benign page (no forms, neutral text).
 pub fn benign_page(host: &str, seed: u64) -> String {
-    let topics = ["gardening tips", "weekend recipes", "travel notes", "local sports club", "diy projects"];
+    let topics = [
+        "gardening tips",
+        "weekend recipes",
+        "travel notes",
+        "local sports club",
+        "diy projects",
+    ];
     let t = topics[(seed as usize) % topics.len()];
     format!(
         "<html><head><title>{t}</title></head><body>\
@@ -351,7 +380,13 @@ pub fn benign_page(host: &str, seed: u64) -> String {
 /// These are the negatives that force the classifier to learn more than
 /// "has a password field".
 pub fn benign_login_page(host: &str, brand_label: Option<&str>, seed: u64) -> String {
-    let services = ["community forum", "webmail", "members area", "intranet", "wiki"];
+    let services = [
+        "community forum",
+        "webmail",
+        "members area",
+        "intranet",
+        "wiki",
+    ];
     let s = services[(seed as usize) % services.len()];
     // A third of legitimate logins mention a big brand in passing
     // ("available on google play", "protected by …") — together with the
@@ -396,10 +431,9 @@ fn branded_shell(host: &str, brand_label: Option<&str>, seed: u64, two_step: boo
     let brand = Brand {
         id: 0,
         label: label.to_string(),
-        domain: squatphi_domain::DomainName::parse(&format!("{label}.com"))
-            .unwrap_or_else(|_| {
-                squatphi_domain::DomainName::parse("example.com").expect("static domain valid")
-            }),
+        domain: squatphi_domain::DomainName::parse(&format!("{label}.com")).unwrap_or_else(|_| {
+            squatphi_domain::DomainName::parse("example.com").expect("static domain valid")
+        }),
         category: squatphi_squat::Category::PhishTankOnly,
         alexa_rank: 0,
         phishtank_target: false,
@@ -417,7 +451,11 @@ fn branded_shell(host: &str, brand_label: Option<&str>, seed: u64, two_step: boo
     // `seed % 16 == 7`; steer the seed accordingly (wrapping — callers
     // pass full-width hash seeds).
     let base = (seed / 12).wrapping_mul(16);
-    let page_seed = if two_step { base.wrapping_add(7) } else { base.wrapping_add(3) };
+    let page_seed = if two_step {
+        base.wrapping_add(7)
+    } else {
+        base.wrapping_add(3)
+    };
     phishing_page(&brand, &profile, host, page_seed)
 }
 
@@ -626,7 +664,10 @@ mod tests {
         let a = phishing_page(brand, &profile(0, false, false), "h.com", 7);
         let b = phishing_page(brand, &profile(3, false, false), "h.com", 7);
         assert_ne!(a, b);
-        assert!(b.contains("data-fill"), "heavy layout obfuscation adds bands");
+        assert!(
+            b.contains("data-fill"),
+            "heavy layout obfuscation adds bands"
+        );
     }
 
     #[test]
@@ -634,7 +675,10 @@ mod tests {
         let reg = BrandRegistry::with_size(20);
         let brand = reg.by_label("uber").unwrap();
         for scam in ScamKind::ALL {
-            let p = PhishingProfile { scam, ..profile(1, false, false) };
+            let p = PhishingProfile {
+                scam,
+                ..profile(1, false, false)
+            };
             let html = phishing_page(brand, &p, "go-uberfreight.com", 3);
             let forms = extract_forms(&parse(&html));
             assert!(!forms.is_empty(), "{scam:?} has no form");
@@ -654,7 +698,10 @@ mod tests {
         for seed in 0..12 {
             let html = confusing_benign_page("example.com", Some("paypal"), seed);
             let forms = extract_forms(&parse(&html));
-            assert!(!forms.is_empty(), "confusing benign page (seed {seed}) should have a form");
+            assert!(
+                !forms.is_empty(),
+                "confusing benign page (seed {seed}) should have a form"
+            );
         }
         let plain = benign_page("example.com", 1);
         assert!(extract_forms(&parse(&plain)).is_empty());

@@ -112,7 +112,7 @@ fn hash_of(domain: &str, salt: u64) -> u64 {
     h.finish()
 }
 
-fn pick_weighted<'a, T: Copy>(table: &'a [(T, u32)], h: u64) -> T {
+fn pick_weighted<T: Copy>(table: &[(T, u32)], h: u64) -> T {
     let total: u64 = table.iter().map(|(_, w)| *w as u64).sum();
     let mut r = h % total;
     for (item, w) in table {
@@ -146,7 +146,10 @@ pub fn registration_year(domain: &str) -> u16 {
 
 /// Full whois record.
 pub fn whois(domain: &str) -> WhoisRecord {
-    WhoisRecord { registrar: registrar_of(domain), year: registration_year(domain) }
+    WhoisRecord {
+        registrar: registrar_of(domain),
+        year: registration_year(domain),
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +174,12 @@ mod tests {
             *counts.entry(country_of(&d)).or_default() += 1;
         }
         let us = counts["US"];
-        let max_other = counts.iter().filter(|(k, _)| **k != "US").map(|(_, v)| *v).max().unwrap();
+        let max_other = counts
+            .iter()
+            .filter(|(k, _)| **k != "US")
+            .map(|(_, v)| *v)
+            .max()
+            .unwrap();
         assert!(us > max_other, "US {us} vs max other {max_other}");
         // DE should be second-heavy.
         assert!(counts["DE"] > counts.get("RU").copied().unwrap_or(0));
@@ -194,7 +202,10 @@ mod tests {
     #[test]
     fn registrar_missing_rate_near_paper() {
         let n = 4000;
-        let missing = sample_domains(n).iter().filter(|d| registrar_of(d).is_none()).count();
+        let missing = sample_domains(n)
+            .iter()
+            .filter(|d| registrar_of(d).is_none())
+            .count();
         let rate = missing as f64 / n as f64;
         // Paper: 437/1175 ≈ 0.372 without registrar info.
         assert!((rate - 0.372).abs() < 0.05, "missing rate {rate}");
@@ -209,7 +220,12 @@ mod tests {
             }
         }
         let gd = counts["godaddy.com"];
-        let max_other = counts.iter().filter(|(k, _)| **k != "godaddy.com").map(|(_, v)| *v).max().unwrap();
+        let max_other = counts
+            .iter()
+            .filter(|(k, _)| **k != "godaddy.com")
+            .map(|(_, v)| *v)
+            .max()
+            .unwrap();
         assert!(gd >= max_other);
     }
 

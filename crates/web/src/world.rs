@@ -11,12 +11,28 @@ use std::net::Ipv4Addr;
 
 /// The 22 known domain marketplaces the paper compiled (names synthetic).
 pub const MARKETPLACES: &[&str] = &[
-    "marketmonitor.example", "sedo.example", "afternic.example", "dan.example",
-    "flippa.example", "hugedomains.example", "buydomains.example", "namejet.example",
-    "snapnames.example", "dropcatch.example", "parkingcrew.example", "bodis.example",
-    "above.example", "undeveloped.example", "uniregistry.example", "epik.example",
-    "dynadot.example", "squadhelp.example", "brandbucket.example", "efty.example",
-    "domainagents.example", "grit.example",
+    "marketmonitor.example",
+    "sedo.example",
+    "afternic.example",
+    "dan.example",
+    "flippa.example",
+    "hugedomains.example",
+    "buydomains.example",
+    "namejet.example",
+    "snapnames.example",
+    "dropcatch.example",
+    "parkingcrew.example",
+    "bodis.example",
+    "above.example",
+    "undeveloped.example",
+    "uniregistry.example",
+    "epik.example",
+    "dynadot.example",
+    "squadhelp.example",
+    "brandbucket.example",
+    "efty.example",
+    "domainagents.example",
+    "grit.example",
 ];
 
 /// Device profile of a crawl request (the paper's two User-Agent strings).
@@ -89,7 +105,7 @@ impl Default for WorldConfig {
             redirect_other: 0.080,
             phishing_domains: 1175,
             confusing_fraction: 0.10,
-            seed: 2018_04_01,
+            seed: 20180401,
         }
     }
 }
@@ -161,8 +177,16 @@ impl WebWorld {
         WebWorld {
             sites,
             registry_labels: registry.brands().iter().map(|b| b.label.clone()).collect(),
-            registry_domains: registry.brands().iter().map(|b| b.domain.as_str().to_string()).collect(),
-            brand_pages: registry.brands().iter().map(pages::brand_login_page).collect(),
+            registry_domains: registry
+                .brands()
+                .iter()
+                .map(|b| b.domain.as_str().to_string())
+                .collect(),
+            brand_pages: registry
+                .brands()
+                .iter()
+                .map(pages::brand_login_page)
+                .collect(),
         }
     }
 
@@ -212,8 +236,15 @@ impl WebWorld {
             SiteBehavior::Parked => ServeResult::Page(pages::parked_page(host)),
             SiteBehavior::Benign => ServeResult::Page(pages::benign_page(host, fxhash(host))),
             SiteBehavior::ConfusingBenign => {
-                let brand_label = site.brand.and_then(|b| self.registry_labels.get(b)).map(String::as_str);
-                ServeResult::Page(pages::confusing_benign_page(host, brand_label, fxhash(host)))
+                let brand_label = site
+                    .brand
+                    .and_then(|b| self.registry_labels.get(b))
+                    .map(String::as_str);
+                ServeResult::Page(pages::confusing_benign_page(
+                    host,
+                    brand_label,
+                    fxhash(host),
+                ))
             }
             SiteBehavior::RedirectOriginal { brand } => {
                 let target = self
@@ -227,10 +258,13 @@ impl WebWorld {
                 let m = MARKETPLACES[market % MARKETPLACES.len()];
                 ServeResult::Redirect(format!("http://{m}/domain/{host}"))
             }
-            SiteBehavior::RedirectOther => {
-                ServeResult::Redirect(format!("http://tracker{}.example/lander", fxhash(host) % 50))
+            SiteBehavior::RedirectOther => ServeResult::Redirect(format!(
+                "http://tracker{}.example/lander",
+                fxhash(host) % 50
+            )),
+            SiteBehavior::Phishing(profile) => {
+                self.serve_phishing(site, profile, device, snapshot, host)
             }
-            SiteBehavior::Phishing(profile) => self.serve_phishing(site, profile, device, snapshot, host),
         }
     }
 
@@ -251,11 +285,10 @@ impl WebWorld {
                 _ => ServeResult::Unreachable,
             };
         }
-        let cloaked_away = match (profile.cloaking, device) {
-            (Cloaking::MobileOnly, Device::Web) => true,
-            (Cloaking::WebOnly, Device::Mobile) => true,
-            _ => false,
-        };
+        let cloaked_away = matches!(
+            (profile.cloaking, device),
+            (Cloaking::MobileOnly, Device::Web) | (Cloaking::WebOnly, Device::Mobile)
+        );
         if cloaked_away {
             return ServeResult::Page(pages::benign_page(host, fxhash(host) ^ 1));
         }
@@ -388,7 +421,9 @@ fn assign_benign_behavior(brand: BrandId, config: &WorldConfig, rng: &mut StdRng
     if r < config.redirect_original {
         SiteBehavior::RedirectOriginal { brand }
     } else if r < config.redirect_original + config.redirect_market {
-        SiteBehavior::RedirectMarket { market: rng.gen_range(0..MARKETPLACES.len()) }
+        SiteBehavior::RedirectMarket {
+            market: rng.gen_range(0..MARKETPLACES.len()),
+        }
     } else if r < config.redirect_original + config.redirect_market + config.redirect_other {
         SiteBehavior::RedirectOther
     } else if r < config.redirect_original
@@ -421,7 +456,11 @@ mod tests {
                 ));
             }
         }
-        let config = WorldConfig { phishing_domains: 60, seed: 5, ..WorldConfig::default() };
+        let config = WorldConfig {
+            phishing_domains: 60,
+            seed: 5,
+            ..WorldConfig::default()
+        };
         (WebWorld::build(&squats, &registry, &config), registry)
     }
 
@@ -447,7 +486,11 @@ mod tests {
             per_brand[s.brand.unwrap()] += 1;
         }
         let max = per_brand.iter().max().copied().unwrap();
-        assert_eq!(per_brand[google], max, "google {} vs max {max}", per_brand[google]);
+        assert_eq!(
+            per_brand[google], max,
+            "google {} vs max {max}",
+            per_brand[google]
+        );
     }
 
     #[test]
@@ -455,7 +498,11 @@ mod tests {
         let (world, _) = tiny_world();
         let total = world.len() as f64;
         let live = world.sites().filter(|s| s.behavior.is_live()).count() as f64;
-        assert!((live / total - 0.55).abs() < 0.1, "live fraction {}", live / total);
+        assert!(
+            (live / total - 0.55).abs() < 0.1,
+            "live fraction {}",
+            live / total
+        );
     }
 
     #[test]
@@ -471,7 +518,10 @@ mod tests {
     #[test]
     fn serve_unknown_host_unreachable() {
         let (world, _) = tiny_world();
-        assert_eq!(world.serve("unknown.example", Device::Web, 0), ServeResult::Unreachable);
+        assert_eq!(
+            world.serve("unknown.example", Device::Web, 0),
+            ServeResult::Unreachable
+        );
     }
 
     #[test]
@@ -491,7 +541,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen_redirect, "no redirect behaviors assigned at this scale");
+        assert!(
+            seen_redirect,
+            "no redirect behaviors assigned at this scale"
+        );
     }
 
     #[test]
@@ -525,7 +578,8 @@ mod tests {
         for s in world.sites() {
             if let SiteBehavior::Phishing(p) = &s.behavior {
                 if let LifetimePattern::TakenDown { down_from } = p.lifetime {
-                    let before = world.serve(&s.domain, Device::Mobile, down_from.saturating_sub(1));
+                    let before =
+                        world.serve(&s.domain, Device::Mobile, down_from.saturating_sub(1));
                     let after = world.serve(&s.domain, Device::Mobile, down_from);
                     if down_from > 0 {
                         assert_ne!(before, ServeResult::Unreachable);

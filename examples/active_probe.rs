@@ -25,12 +25,22 @@ async fn main() -> std::io::Result<()> {
     let brand = registry.by_label("uber").expect("uber in registry");
 
     // Candidate squatting domains for the brand.
-    let budget = GenBudget { homograph: 10, bits: 10, typo: 15, combo: 15, wrong_tld: 5 };
+    let budget = GenBudget {
+        homograph: 10,
+        bits: 10,
+        typo: 15,
+        combo: 15,
+        wrong_tld: 5,
+    };
     let candidates: Vec<String> = generate_all(brand, budget)
         .into_iter()
         .map(|c| c.domain.as_str().to_string())
         .collect();
-    println!("probing {} candidates for {}", candidates.len(), brand.label);
+    println!(
+        "probing {} candidates for {}",
+        candidates.len(),
+        brand.label
+    );
 
     // A zone where roughly a third of the candidates are registered.
     let mut zone: HashMap<String, Ipv4Addr> = HashMap::new();
@@ -50,7 +60,10 @@ async fn main() -> std::io::Result<()> {
         .filter(|(_, r)| matches!(r, ProbeResult::Resolved(_)))
         .map(|(d, _)| d)
         .collect();
-    let nx = results.iter().filter(|r| matches!(r, ProbeResult::NxDomain)).count();
+    let nx = results
+        .iter()
+        .filter(|r| matches!(r, ProbeResult::NxDomain))
+        .count();
     println!("DNS: {} resolved, {} NXDOMAIN", resolved.len(), nx);
     dns.shutdown().await;
 
@@ -60,13 +73,22 @@ async fn main() -> std::io::Result<()> {
         .iter()
         .enumerate()
         .map(|(i, d)| {
-            (d.clone(), brand.id, squatphi_squat::SquatType::Combo, Ipv4Addr::new(198, 51, 100, i as u8))
+            (
+                d.clone(),
+                brand.id,
+                squatphi_squat::SquatType::Combo,
+                Ipv4Addr::new(198, 51, 100, i as u8),
+            )
         })
         .collect();
     let world = Arc::new(WebWorld::build(
         &squats,
         &registry,
-        &WorldConfig { phishing_domains: 4, seed: 9, ..WorldConfig::default() },
+        &WorldConfig {
+            phishing_domains: 4,
+            seed: 9,
+            ..WorldConfig::default()
+        },
     ));
     let http = WorldServer::spawn(world, 0).await?;
 
@@ -74,7 +96,9 @@ async fn main() -> std::io::Result<()> {
     for d in resolved.iter().take(12) {
         for (label, agent) in [("web", ua::WEB), ("mobile", ua::MOBILE)] {
             match fetch(http.addr(), d, agent, 5).await {
-                Ok(FetchOutcome::Page { body, redirects, .. }) => {
+                Ok(FetchOutcome::Page {
+                    body, redirects, ..
+                }) => {
                     let kind = if body.contains("type=\"password\"") {
                         "login form"
                     } else if !redirects.is_empty() {

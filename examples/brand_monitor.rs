@@ -17,7 +17,9 @@ use squatphi_web::{Device, WebWorld, WorldConfig};
 use std::sync::Arc;
 
 fn main() {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "paypal".to_string());
+    let target = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "paypal".to_string());
     let registry = BrandRegistry::with_size(120);
     let Some(brand) = registry.by_label(&target) else {
         eprintln!("unknown brand {target:?} — try paypal, facebook, google, uber …");
@@ -35,7 +37,11 @@ fn main() {
     let (store, _) = synth::generate(&snapshot_cfg, &registry);
     let detector = SquatDetector::new(&registry);
     let outcome = scan(&store, &registry, &detector, 8);
-    let mine: Vec<_> = outcome.matches.iter().filter(|m| m.brand == brand.id).collect();
+    let mine: Vec<_> = outcome
+        .matches
+        .iter()
+        .filter(|m| m.brand == brand.id)
+        .collect();
     println!(
         "scanned {} records: {} squatting domains total, {} targeting {}",
         outcome.scanned,
@@ -52,9 +58,16 @@ fn main() {
     let world = Arc::new(WebWorld::build(
         &squats,
         &registry,
-        &WorldConfig { phishing_domains: 25, seed: 7, ..WorldConfig::default() },
+        &WorldConfig {
+            phishing_domains: 25,
+            seed: 7,
+            ..WorldConfig::default()
+        },
     ));
-    let jobs: Vec<_> = squats.iter().map(|(d, b, t, _)| (d.clone(), *b, *t)).collect();
+    let jobs: Vec<_> = squats
+        .iter()
+        .map(|(d, b, t, _)| (d.clone(), *b, *t))
+        .collect();
     let transport = InProcessTransport::new(world.clone());
     let (records, stats) = crawl_all(&jobs, &registry, &transport, &CrawlConfig::default());
     println!(
@@ -64,7 +77,13 @@ fn main() {
 
     // Train the classifier on the public ground-truth feed, then sweep
     // this brand's pages.
-    let feed = GroundTruthFeed::generate(&registry, &FeedConfig { total_urls: 1_500, seed: 3 });
+    let feed = GroundTruthFeed::generate(
+        &registry,
+        &FeedConfig {
+            total_urls: 1_500,
+            seed: 3,
+        },
+    );
     let extractor = FeatureExtractor::new(&registry);
     let phishing: Vec<&str> = feed
         .entries
@@ -92,7 +111,10 @@ fn main() {
             let score = model.score(&extractor.extract(&cap.html));
             if score >= 0.5 {
                 flagged += 1;
-                println!("  {:<40} {:?}  score {:.2}  ({})", r.domain, device, score, r.squat_type);
+                println!(
+                    "  {:<40} {:?}  score {:.2}  ({})",
+                    r.domain, device, score, r.squat_type
+                );
             }
         }
     }

@@ -16,17 +16,32 @@ use squatphi_squat::{BrandRegistry, SquatDetector};
 fn main() {
     // 1. The paper's 702 monitored brands.
     let registry = BrandRegistry::paper();
-    println!("registry: {} brands ({} PhishTank targets)", registry.len(),
-             registry.phishtank_targets().count());
+    println!(
+        "registry: {} brands ({} PhishTank targets)",
+        registry.len(),
+        registry.phishtank_targets().count()
+    );
 
     // 2. Generate squatting candidates for one brand (the DNSTwist
     //    direction).
-    let facebook = registry.by_label("facebook").expect("facebook is a named brand");
-    let budget = GenBudget { homograph: 5, bits: 3, typo: 5, combo: 5, wrong_tld: 3 };
+    let facebook = registry
+        .by_label("facebook")
+        .expect("facebook is a named brand");
+    let budget = GenBudget {
+        homograph: 5,
+        bits: 3,
+        typo: 5,
+        combo: 5,
+        wrong_tld: 3,
+    };
     println!("\nsample candidates for {}:", facebook.domain);
     for c in generate_all(facebook, budget) {
         let display = if c.domain.is_idn() {
-            format!("{} (shown as {})", c.domain, idna::to_unicode(c.domain.as_str()))
+            format!(
+                "{} (shown as {})",
+                c.domain,
+                idna::to_unicode(c.domain.as_str())
+            )
         } else {
             c.domain.to_string()
         };
@@ -73,6 +88,11 @@ fn main() {
         "\nfeature vector: {} non-zero dims of {} (password inputs: {})",
         features.nnz(),
         extractor.dim(),
-        features.get(extractor.space().numeric("password_inputs").expect("numeric dim")),
+        features.get(
+            extractor
+                .space()
+                .numeric("password_inputs")
+                .expect("numeric dim")
+        ),
     );
 }

@@ -1,7 +1,7 @@
 //! Integration tests for the `squatphi` CLI: parse → run round trips on
 //! temp fixtures, exercising the same code paths as the binary.
 
-use squatphi_cli::{commands, parse_args, Command};
+use squatphi_cli::{commands, parse_args};
 
 fn args(s: &str) -> Vec<String> {
     s.split_whitespace().map(String::from).collect()
@@ -15,8 +15,14 @@ fn run_line(line: &str) -> Result<String, String> {
 #[test]
 fn classify_round_trip() {
     let out = run_line("classify xn--fcebook-8va.com paypal-cash.com example.com").expect("runs");
-    assert!(out.contains("xn--fcebook-8va.com: SQUATTING (Homograph) on facebook"), "{out}");
-    assert!(out.contains("paypal-cash.com: SQUATTING (Combo) on paypal"), "{out}");
+    assert!(
+        out.contains("xn--fcebook-8va.com: SQUATTING (Homograph) on facebook"),
+        "{out}"
+    );
+    assert!(
+        out.contains("paypal-cash.com: SQUATTING (Combo) on paypal"),
+        "{out}"
+    );
     assert!(out.contains("example.com: clean"), "{out}");
 }
 
@@ -71,7 +77,10 @@ fn render_page_fixture() {
     .expect("write page");
     let out = run_line(&format!("render {} --width 48", page.display())).expect("runs");
     assert!(out.lines().count() > 10);
-    assert!(out.contains('#') || out.contains('*'), "no ink in render:\n{out}");
+    assert!(
+        out.contains('#') || out.contains('*'),
+        "no ink in render:\n{out}"
+    );
 }
 
 #[test]

@@ -28,9 +28,17 @@ fn scan_crawl_and_world_agree_on_domains() {
 #[test]
 fn every_confirmed_detection_is_ground_truth_phishing() {
     let r = result();
-    for d in r.confirmed(Device::Web).iter().chain(&r.confirmed(Device::Mobile)) {
+    for d in r
+        .confirmed(Device::Web)
+        .iter()
+        .chain(&r.confirmed(Device::Mobile))
+    {
         let site = r.world.site(&d.domain).expect("site exists");
-        assert!(site.behavior.is_phishing(), "{} confirmed but benign", d.domain);
+        assert!(
+            site.behavior.is_phishing(),
+            "{} confirmed but benign",
+            d.domain
+        );
     }
 }
 
@@ -39,19 +47,17 @@ fn unconfirmed_detections_are_ground_truth_benign_or_cloaked() {
     let r = result();
     for d in r.web_detections.iter().filter(|d| !d.confirmed) {
         let site = r.world.site(&d.domain).expect("site exists");
-        match &site.behavior {
-            SiteBehavior::Phishing(p) => {
-                // Only acceptable reason: cloaked away from this device or
-                // down at snapshot 0.
-                let cloaked = p.cloaking == squatphi_web::Cloaking::MobileOnly;
-                let down = !p.lifetime.phishing_live(0);
-                assert!(
-                    cloaked || down,
-                    "{} unconfirmed yet live uncloaked phishing",
-                    d.domain
-                );
-            }
-            _ => {} // classifier false positive — expected
+        // Non-phishing behaviors are classifier false positives — expected.
+        if let SiteBehavior::Phishing(p) = &site.behavior {
+            // Only acceptable reason: cloaked away from this device or
+            // down at snapshot 0.
+            let cloaked = p.cloaking == squatphi_web::Cloaking::MobileOnly;
+            let down = !p.lifetime.phishing_live(0);
+            assert!(
+                cloaked || down,
+                "{} unconfirmed yet live uncloaked phishing",
+                d.domain
+            );
         }
     }
 }
@@ -77,9 +83,17 @@ fn evaluation_models_are_ordered_sanely() {
 fn feed_statistics_survive_the_pipeline() {
     let r = result();
     assert!(!r.feed.entries.is_empty());
-    let squatting = r.feed.entries.iter().filter(|e| e.squat_type.is_some()).count();
+    let squatting = r
+        .feed
+        .entries
+        .iter()
+        .filter(|e| e.squat_type.is_some())
+        .count();
     let frac = squatting as f64 / r.feed.entries.len() as f64;
-    assert!(frac < 0.2, "feed squatting fraction {frac} too high (paper: 9%)");
+    assert!(
+        frac < 0.2,
+        "feed squatting fraction {frac} too high (paper: 9%)"
+    );
 }
 
 #[test]
@@ -106,7 +120,10 @@ fn blacklist_coverage_shape() {
     let (pt, _vt, _ecx, none) = analysis::blacklist_coverage(r);
     let total = r.confirmed_domains().len();
     assert_eq!(pt, 0, "PhishTank never lists squatting phishing (Table 12)");
-    assert!(none as f64 >= total as f64 * 0.8, "undetected {none}/{total}");
+    assert!(
+        none as f64 >= total as f64 * 0.8,
+        "undetected {none}/{total}"
+    );
 }
 
 #[test]

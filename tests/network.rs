@@ -13,12 +13,23 @@ fn build_world(registry: &BrandRegistry, domains: &[String]) -> Arc<WebWorld> {
     let squats: Vec<_> = domains
         .iter()
         .enumerate()
-        .map(|(i, d)| (d.clone(), i % registry.len(), SquatType::Combo, Ipv4Addr::new(198, 51, 100, i as u8)))
+        .map(|(i, d)| {
+            (
+                d.clone(),
+                i % registry.len(),
+                SquatType::Combo,
+                Ipv4Addr::new(198, 51, 100, i as u8),
+            )
+        })
         .collect();
     Arc::new(WebWorld::build(
         &squats,
         registry,
-        &WorldConfig { phishing_domains: domains.len() / 2, seed: 21, ..WorldConfig::default() },
+        &WorldConfig {
+            phishing_domains: domains.len() / 2,
+            seed: 21,
+            ..WorldConfig::default()
+        },
     ))
 }
 
@@ -49,7 +60,9 @@ async fn dns_probe_then_http_fetch() {
 
     // HTTP: fetch the resolving candidates from the world server.
     let world = build_world(&registry, &resolved);
-    let server = WorldServer::spawn(world.clone(), 0).await.expect("http server");
+    let server = WorldServer::spawn(world.clone(), 0)
+        .await
+        .expect("http server");
     let mut pages = 0;
     for d in &resolved {
         match fetch(server.addr(), d, ua::WEB, 5).await.expect("fetch") {
@@ -66,17 +79,27 @@ async fn mobile_and_web_profiles_can_differ_over_tcp() {
     let registry = BrandRegistry::with_size(8);
     let domains: Vec<String> = (0..30).map(|i| format!("google-svc{i}.com")).collect();
     let world = build_world(&registry, &domains);
-    let server = WorldServer::spawn(world.clone(), 0).await.expect("http server");
+    let server = WorldServer::spawn(world.clone(), 0)
+        .await
+        .expect("http server");
     let mut differing = 0;
     for d in &domains {
-        let web = fetch(server.addr(), d, ua::WEB, 5).await.expect("web fetch");
-        let mobile = fetch(server.addr(), d, ua::MOBILE, 5).await.expect("mobile fetch");
+        let web = fetch(server.addr(), d, ua::WEB, 5)
+            .await
+            .expect("web fetch");
+        let mobile = fetch(server.addr(), d, ua::MOBILE, 5)
+            .await
+            .expect("mobile fetch");
         if web != mobile {
             differing += 1;
         }
     }
     // Half the domains are phishing and ~half of those cloak by device.
-    assert!(differing > 0, "no cloaking observed across {} domains", domains.len());
+    assert!(
+        differing > 0,
+        "no cloaking observed across {} domains",
+        domains.len()
+    );
     server.shutdown().await;
 }
 
@@ -86,8 +109,12 @@ async fn snapshots_are_observable_over_tcp() {
     let domains: Vec<String> = (0..40).map(|i| format!("citi-alerts{i}.com")).collect();
     let world = build_world(&registry, &domains);
 
-    let s0 = WorldServer::spawn(world.clone(), 0).await.expect("server s0");
-    let s3 = WorldServer::spawn(world.clone(), 3).await.expect("server s3");
+    let s0 = WorldServer::spawn(world.clone(), 0)
+        .await
+        .expect("server s0");
+    let s3 = WorldServer::spawn(world.clone(), 3)
+        .await
+        .expect("server s3");
     let mut changed = 0;
     for d in &domains {
         let early = fetch(s0.addr(), d, ua::MOBILE, 5).await.expect("fetch s0");

@@ -1,8 +1,8 @@
 //! Property-based tests over the core substrates.
 
 use proptest::prelude::*;
-use squatphi_domain::{distance, idna, punycode, DomainName};
 use squatphi_dnswire::{Message, RData, Rcode, RecordType, ResourceRecord};
+use squatphi_domain::{distance, idna, punycode, DomainName};
 use squatphi_html::{parse, tokenize};
 use squatphi_imghash::{average_hash, difference_hash, perceptual_hash};
 use squatphi_nlp::SparseVec;

@@ -1,0 +1,271 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Keeps the macro/API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput and sample-size hints,
+//! `bench_with_input`, and `black_box` — over a simple measurement core:
+//! each sample runs a calibrated batch of iterations and the reported
+//! figure is the median per-iteration wall time.
+//!
+//! Environment:
+//! * `BENCH_QUICK=1` — one short sample per bench (CI smoke mode).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time target (calibration chooses the batch size to hit it).
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+const DEFAULT_SAMPLES: usize = 15;
+
+/// Work-amount hint so throughput can be reported alongside latency.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id that is just the parameter's display form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    quick: bool,
+    /// Median per-iteration time of the last `iter` call.
+    pub(crate) last_median: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates a batch size against [`SAMPLE_TARGET`],
+    /// takes `samples` batches, and records the median per-iter time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibration: time a single iteration, then size batches so one
+        // batch lands near the sample target.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let samples = if self.quick { 1 } else { self.samples };
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed() / batch as u32);
+        }
+        per_iter.sort_unstable();
+        self.last_median = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
+    let ns = median.as_nanos().max(1);
+    let rate = move |per_iter: u64| {
+        let per_sec = per_iter as f64 * 1e9 / ns as f64;
+        if per_sec >= 1e6 {
+            format!("{:.2} M/s", per_sec / 1e6)
+        } else if per_sec >= 1e3 {
+            format!("{:.2} K/s", per_sec / 1e3)
+        } else {
+            format!("{per_sec:.2}/s")
+        }
+    };
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {} elem", rate(n)),
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {} B", rate(n)),
+        None => String::new(),
+    };
+    let time = if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    };
+    println!("bench: {name:<48} time: {time}{extra}");
+}
+
+/// Top-level bench driver.
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+            quick: quick_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            quick: self.quick,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name, b.last_median, None);
+        self
+    }
+
+    /// Opens a named group sharing throughput/sample-size settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            quick: self.quick,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Group of related benchmarks (`detect/…`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    quick: bool,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work amount for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the number of samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            quick: self.quick,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.last_median,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Parameterized variant: the closure also receives `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (explicit, to mirror criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("spin/small", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).product::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_measures() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut criterion = Criterion::default();
+        spin(&mut criterion);
+        let mut recorded = Duration::ZERO;
+        criterion.bench_function("capture", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+            recorded = b.last_median;
+        });
+        assert!(recorded >= Duration::from_micros(40), "median {recorded:?}");
+    }
+}

@@ -1,0 +1,761 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Supports the subset of proptest the workspace's property tests use:
+//!
+//! * string strategies from a **regex subset**: literals, escapes (`\.`,
+//!   `\\`), `\PC` (any non-control char), character classes with ranges and
+//!   unicode literals (`[a-zàéöκогž]`), groups with alternation
+//!   (`(com|net|org)`), and `{m}` / `{m,n}` repetition — including on
+//!   groups (`(\.[a-z]{1,12}){0,3}`);
+//! * `any::<T>()` for small ints and `[u8; 4]`;
+//! * integer / float range strategies, `proptest::collection::vec`,
+//!   and 1–3-element tuple strategies;
+//! * the `proptest!` macro with `#![proptest_config(..)]`,
+//!   `prop_assert!`, and `prop_assert_eq!`.
+//!
+//! Not supported: shrinking and failure persistence. A failing case panics
+//! with the generated inputs so it can be pinned as a unit test by hand.
+//! Generation is deterministic per test name, so failures reproduce.
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (what `prop_assert!` returns early with).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic generator state used by strategies.
+pub mod rng {
+    /// splitmix64 stream; seeded per test name so runs are reproducible.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from a test name (FNV-1a over the bytes).
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                state: h ^ 0x9E3779B97F4A7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform draw in `[lo, hi]`.
+        pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.below(hi - lo + 1)
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Value generators.
+pub mod strategy {
+    use crate::regex::RegexStrategy;
+    use crate::rng::TestRng;
+
+    /// Produces one value per generated case.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Conversion from the expressions used in `proptest!` argument
+    /// position (`"regex"`, ranges, `any::<T>()`, tuples, …) to a
+    /// [`Strategy`].
+    pub trait IntoStrategy {
+        /// The resulting strategy type.
+        type Strategy: Strategy;
+
+        /// Performs the conversion (regex patterns are parsed here).
+        fn into_strategy(self) -> Self::Strategy;
+    }
+
+    impl IntoStrategy for &str {
+        type Strategy = RegexStrategy;
+
+        fn into_strategy(self) -> RegexStrategy {
+            RegexStrategy::compile(self)
+        }
+    }
+
+    /// Identity conversions so already-built strategies (`any::<..>()`,
+    /// `collection::vec(..)`, compiled regexes) nest inside tuples and
+    /// vecs. A blanket `impl<S: Strategy> IntoStrategy for S` would
+    /// overlap with the tuple impls below, so each strategy type gets an
+    /// explicit identity impl instead.
+    macro_rules! impl_identity_into_strategy {
+        ($( $name:ident $(<$($param:ident),+>)? ),+ $(,)?) => {$(
+            impl $(<$($param),+>)? IntoStrategy for $name $(<$($param),+>)?
+            where
+                Self: Strategy,
+            {
+                type Strategy = Self;
+
+                fn into_strategy(self) -> Self {
+                    self
+                }
+            }
+        )+};
+    }
+    impl_identity_into_strategy!(
+        RegexStrategy,
+        IntRange<T>,
+        F64Range,
+        Any<T>,
+        VecStrategy<S>,
+        Tuple1<A>,
+        Tuple2<A, B>,
+        Tuple3<A, B, C>,
+    );
+
+    /// Integer range strategy (`lo..hi`).
+    pub struct IntRange<T> {
+        lo: i128,
+        hi_exclusive: i128,
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl IntoStrategy for std::ops::Range<$t> {
+                type Strategy = IntRange<$t>;
+
+                fn into_strategy(self) -> IntRange<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    IntRange {
+                        lo: self.start as i128,
+                        hi_exclusive: self.end as i128,
+                        _marker: std::marker::PhantomData,
+                    }
+                }
+            }
+
+            impl Strategy for IntRange<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.hi_exclusive - self.lo) as u64;
+                    (self.lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Float range strategy (`lo..hi`).
+    pub struct F64Range {
+        lo: f64,
+        hi: f64,
+    }
+
+    impl IntoStrategy for std::ops::Range<f64> {
+        type Strategy = F64Range;
+
+        fn into_strategy(self) -> F64Range {
+            assert!(self.start < self.end, "empty range strategy");
+            F64Range {
+                lo: self.start,
+                hi: self.end,
+            }
+        }
+    }
+
+    impl Strategy for F64Range {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.lo + rng.unit_f64() * (self.hi - self.lo)
+        }
+    }
+
+    /// Types with a canonical "uniform over the whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            for b in out.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            out
+        }
+    }
+
+    /// Strategy produced by [`crate::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Vec strategy (see [`crate::collection::vec`]).
+    pub struct VecStrategy<S> {
+        pub(crate) elem: S,
+        pub(crate) len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.range_inclusive(self.len.start as u64, self.len.end as u64 - 1) as usize
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($name:ident: $($idx:tt $elem:ident),+) => {
+            /// Tuple strategy (one generated value per element).
+            pub struct $name<$($elem),+>($(pub $elem),+);
+
+            impl<$($elem: IntoStrategy),+> IntoStrategy for ($($elem,)+) {
+                type Strategy = $name<$($elem::Strategy),+>;
+
+                fn into_strategy(self) -> Self::Strategy {
+                    $name($(self.$idx.into_strategy()),+)
+                }
+            }
+
+            impl<$($elem: Strategy),+> Strategy for $name<$($elem),+> {
+                type Value = ($($elem::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(Tuple1: 0 A);
+    impl_tuple_strategy!(Tuple2: 0 A, 1 B);
+    impl_tuple_strategy!(Tuple3: 0 A, 1 B, 2 C);
+}
+
+/// Uniform strategy over all of `T` (`any::<u16>()`, `any::<[u8; 4]>()`).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{IntoStrategy, VecStrategy};
+
+    /// Vec of `elem`-generated values with a length drawn from `len`.
+    pub fn vec<S: IntoStrategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S::Strategy> {
+        VecStrategy {
+            elem: elem.into_strategy(),
+            len,
+        }
+    }
+}
+
+/// The regex-subset string generator.
+pub mod regex {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Non-control chars drawn for `\PC` beyond printable ASCII; enough
+    /// unicode spread to exercise punycode/IDNA/tokenizer paths.
+    const NON_ASCII_POOL: &[char] = &['à', 'é', 'ö', 'ß', 'κ', 'о', 'г', 'ž', '中', '✓', '🦀'];
+
+    enum Node {
+        Lit(char),
+        /// `\PC` — any char that is not a control character.
+        AnyNonControl,
+        /// Expanded character class.
+        Class(Vec<char>),
+        /// Alternation group: one alternative (a sequence) is chosen.
+        Group(Vec<Vec<Node>>),
+        /// `{m}` / `{m,n}` repetition of the preceding node.
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    /// Compiled pattern strategy.
+    pub struct RegexStrategy {
+        seq: Vec<Node>,
+    }
+
+    impl RegexStrategy {
+        /// Parses `pattern`, panicking on syntax outside the supported
+        /// subset (so an unsupported test pattern fails loudly, not
+        /// silently generating wrong data).
+        pub fn compile(pattern: &str) -> Self {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut pos = 0;
+            let seq = parse_seq(&chars, &mut pos, false, pattern);
+            assert!(
+                pos == chars.len(),
+                "unsupported regex `{pattern}`: trailing input at {pos}"
+            );
+            RegexStrategy { seq }
+        }
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for node in &self.seq {
+                gen_node(node, rng, &mut out);
+            }
+            out
+        }
+    }
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::AnyNonControl => {
+                // Mostly printable ASCII, sometimes wider unicode.
+                if rng.below(4) == 0 {
+                    out.push(NON_ASCII_POOL[rng.below(NON_ASCII_POOL.len() as u64) as usize]);
+                } else {
+                    out.push((0x20 + rng.below(0x5F) as u8) as char);
+                }
+            }
+            Node::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            Node::Group(alts) => {
+                let alt = &alts[rng.below(alts.len() as u64) as usize];
+                for n in alt {
+                    gen_node(n, rng, out);
+                }
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = rng.range_inclusive(*lo as u64, *hi as u64);
+                for _ in 0..n {
+                    gen_node(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    /// Parses a sequence until end of input, `)` or `|` (when in a group).
+    fn parse_seq(chars: &[char], pos: &mut usize, in_group: bool, pat: &str) -> Vec<Node> {
+        let mut seq: Vec<Node> = Vec::new();
+        while *pos < chars.len() {
+            let c = chars[*pos];
+            match c {
+                ')' | '|' if in_group => break,
+                '(' => {
+                    *pos += 1;
+                    let mut alts = Vec::new();
+                    loop {
+                        alts.push(parse_seq(chars, pos, true, pat));
+                        match chars.get(*pos) {
+                            Some('|') => *pos += 1,
+                            Some(')') => {
+                                *pos += 1;
+                                break;
+                            }
+                            _ => panic!("unsupported regex `{pat}`: unclosed group"),
+                        }
+                    }
+                    seq.push(Node::Group(alts));
+                }
+                '[' => {
+                    *pos += 1;
+                    seq.push(Node::Class(parse_class(chars, pos, pat)));
+                }
+                '{' => {
+                    *pos += 1;
+                    let (lo, hi) = parse_counts(chars, pos, pat);
+                    let prev = seq
+                        .pop()
+                        .unwrap_or_else(|| panic!("unsupported regex `{pat}`: dangling repeat"));
+                    seq.push(Node::Repeat(Box::new(prev), lo, hi));
+                }
+                '\\' => {
+                    *pos += 1;
+                    match chars.get(*pos) {
+                        Some('P') => {
+                            // Only \PC ("not control") is supported.
+                            assert!(
+                                chars.get(*pos + 1) == Some(&'C'),
+                                "unsupported regex `{pat}`: only \\PC escape class is supported"
+                            );
+                            *pos += 2;
+                            seq.push(Node::AnyNonControl);
+                        }
+                        Some(&esc) => {
+                            *pos += 1;
+                            seq.push(Node::Lit(esc));
+                        }
+                        None => panic!("unsupported regex `{pat}`: trailing backslash"),
+                    }
+                }
+                '*' | '+' | '?' | '.' | '^' | '$' => {
+                    panic!("unsupported regex `{pat}`: metacharacter `{c}` not in subset")
+                }
+                _ => {
+                    *pos += 1;
+                    seq.push(Node::Lit(c));
+                }
+            }
+        }
+        seq
+    }
+
+    /// Parses a character class body (after `[`), expanding ranges.
+    fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Vec<char> {
+        let mut set = Vec::new();
+        assert!(
+            chars.get(*pos) != Some(&'^'),
+            "unsupported regex `{pat}`: negated classes not in subset"
+        );
+        while let Some(&c) = chars.get(*pos) {
+            if c == ']' {
+                *pos += 1;
+                assert!(!set.is_empty(), "unsupported regex `{pat}`: empty class");
+                return set;
+            }
+            *pos += 1;
+            let c = if c == '\\' {
+                let esc = *chars.get(*pos).unwrap_or_else(|| {
+                    panic!("unsupported regex `{pat}`: trailing backslash in class")
+                });
+                *pos += 1;
+                esc
+            } else {
+                c
+            };
+            // Range `c-d` (a trailing `-` before `]` is a literal dash).
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&d| d != ']') {
+                let hi = chars[*pos + 1];
+                *pos += 2;
+                assert!(c <= hi, "unsupported regex `{pat}`: inverted range");
+                for v in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(v) {
+                        set.push(ch);
+                    }
+                }
+            } else {
+                set.push(c);
+            }
+        }
+        panic!("unsupported regex `{pat}`: unclosed class")
+    }
+
+    /// Parses `{m}` / `{m,n}` after `{`.
+    fn parse_counts(chars: &[char], pos: &mut usize, pat: &str) -> (u32, u32) {
+        let read_int = |pos: &mut usize| -> u32 {
+            let start = *pos;
+            while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                *pos += 1;
+            }
+            assert!(*pos > start, "unsupported regex `{pat}`: bad repeat count");
+            chars[start..*pos]
+                .iter()
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        let lo = read_int(pos);
+        let hi = match chars.get(*pos) {
+            Some(',') => {
+                *pos += 1;
+                read_int(pos)
+            }
+            _ => lo,
+        };
+        assert!(
+            chars.get(*pos) == Some(&'}') && lo <= hi,
+            "unsupported regex `{pat}`: malformed repeat"
+        );
+        *pos += 1;
+        (lo, hi)
+    }
+}
+
+/// Case loop driving a property.
+pub mod test_runner {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use crate::{ProptestConfig, TestCaseError};
+
+    /// Runs `cases` generated inputs through a property closure.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Builds a runner with a per-test deterministic stream.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            TestRunner {
+                rng: TestRng::for_test(name),
+                config,
+                name,
+            }
+        }
+
+        /// Runs the property; panics (failing the `#[test]`) on the first
+        /// case whose closure returns `Err`, printing the inputs.
+        pub fn run<S, F>(&mut self, strategy: S, test: F)
+        where
+            S: Strategy,
+            S::Value: std::fmt::Debug,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let described = format!("{value:?}");
+                if let Err(e) = test(value) {
+                    panic!(
+                        "property `{}` failed at case {}/{} with inputs {}: {}",
+                        self.name,
+                        case + 1,
+                        self.config.cases,
+                        described,
+                        e
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub use strategy::{Arbitrary, IntoStrategy, Strategy};
+
+/// Glob-import surface matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, IntoStrategy, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current property case unless the two sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __strategy = $crate::IntoStrategy::into_strategy(($($strat,)+));
+                let mut __runner =
+                    $crate::test_runner::TestRunner::new(__config, stringify!($name));
+                __runner.run(__strategy, |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rng::TestRng;
+    use crate::strategy::{IntoStrategy, Strategy};
+
+    fn sample(pattern: &str, n: usize) -> Vec<String> {
+        let strat = pattern.into_strategy();
+        let mut rng = TestRng::for_test(pattern);
+        (0..n).map(|_| strat.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_repeat_respects_bounds_and_alphabet() {
+        for s in sample("[a-z0-9-]{0,32}", 200) {
+            assert!(s.len() <= 32);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn unicode_class_literals_survive() {
+        let joined = sample("[a-zàéöκогž]{1,16}", 300).join("");
+        assert!(!joined.is_ascii(), "unicode literals never drawn");
+        assert!(joined
+            .chars()
+            .all(|c| "abcdefghijklmnopqrstuvwxyzàéöκогž".contains(c)));
+    }
+
+    #[test]
+    fn alternation_picks_whole_alternatives() {
+        for s in sample("(com|net|org|tk|audi|com\\.ua)", 200) {
+            assert!(
+                ["com", "net", "org", "tk", "audi", "com.ua"].contains(&s.as_str()),
+                "bad alternative {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_repetition_nests() {
+        for s in sample("[a-z]{1,12}(\\.[a-z]{1,12}){0,3}", 200) {
+            assert!(s.split('.').count() <= 4);
+            assert!(s.split('.').all(|l| !l.is_empty() && l.len() <= 12));
+        }
+    }
+
+    #[test]
+    fn non_control_class_excludes_controls() {
+        for s in sample("\\PC{0,64}", 200) {
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        assert_eq!(sample("[a-f]{8}", 50), sample("[a-f]{8}", 50));
+    }
+
+    crate::proptest! {
+        #![proptest_config(crate::ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_drives_tuples(v in crate::collection::vec((0usize..32, 0.0f64..8.0), 0..10), n in 1u32..5) {
+            crate::prop_assert!(v.len() < 10);
+            for (i, f) in &v {
+                crate::prop_assert!(*i < 32 && (0.0..8.0).contains(f), "bad pair ({i}, {f})");
+            }
+            crate::prop_assert_eq!(n.clamp(1, 4), n);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline stand-in for `tokio-macros` (see `vendor/README.md`).
+//!
+//! Rewrites `async fn` items so they run on the vendored runtime:
+//!
+//! * `#[tokio::main] async fn main() { .. }` →
+//!   `fn main() { ::tokio::runtime::block_on(async move { .. }) }`
+//! * `#[tokio::test] async fn t() { .. }` → same, plus `#[test]`.
+//!
+//! Implemented with raw `proc_macro` token juggling (no syn/quote — the
+//! build must work without any registry access).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+fn rewrite(item: TokenStream, add_test_attr: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    // The function body is the last brace-delimited group.
+    let body_idx = tokens
+        .iter()
+        .rposition(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace))
+        .expect("#[tokio::main]/#[tokio::test] requires a function with a body");
+    let body = match &tokens[body_idx] {
+        TokenTree::Group(g) => g.stream(),
+        _ => unreachable!(),
+    };
+    // Signature = everything before the body, minus the `async` keyword.
+    // Re-collect into a TokenStream before stringifying so compound
+    // operators like `->` keep their joint spacing.
+    let sig: TokenStream = tokens[..body_idx]
+        .iter()
+        .filter(|t| !matches!(t, TokenTree::Ident(id) if id.to_string() == "async"))
+        .cloned()
+        .collect();
+    let test_attr = if add_test_attr { "#[test]" } else { "" };
+    format!("{test_attr} {sig} {{ ::tokio::runtime::block_on(async move {{ {body} }}) }}")
+        .parse()
+        .expect("rewritten function parses")
+}
+
+/// `#[tokio::main]` — run the async `main` on the vendored runtime.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+/// `#[tokio::test]` — run an async test on the vendored runtime.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}

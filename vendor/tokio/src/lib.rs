@@ -1,0 +1,739 @@
+//! Offline stand-in for `tokio` (see `vendor/README.md`).
+//!
+//! The workspace's async code runs localhost socket servers and probers in
+//! tests and examples. This crate reproduces the API surface those call
+//! sites use with a deliberately simple model:
+//!
+//! * **Executor** — [`runtime::block_on`] polls the future in a loop with a
+//!   no-op waker, parking ~250µs between polls. Leaf futures never register
+//!   wakers; they are re-polled until ready. Latency is bounded by the park
+//!   interval, which is plenty for loopback tests.
+//! * **Tasks** — [`spawn`] runs each future on its own OS thread (itself
+//!   driven by `block_on`), so blocking sections cannot stall siblings.
+//! * **I/O** — `net` types wrap nonblocking `std::net` sockets and surface
+//!   `WouldBlock` as `Poll::Pending`.
+//!
+//! `select!` supports the two-arm form used in this workspace.
+
+#![allow(async_fn_in_trait)]
+
+pub use tokio_macros::{main, test};
+
+/// Executor: poll-loop `block_on`.
+pub mod runtime {
+    use std::future::Future;
+    use std::pin::pin;
+    use std::task::{Context, Poll, Waker};
+    use std::time::Duration;
+
+    /// Runs a future to completion on the current thread, polling with a
+    /// no-op waker and parking briefly between polls.
+    pub fn block_on<F: Future>(fut: F) -> F::Output {
+        let mut fut = pin!(fut);
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => std::thread::sleep(Duration::from_micros(250)),
+            }
+        }
+    }
+
+    /// Minimal `Runtime` facade for API parity.
+    pub struct Runtime;
+
+    impl Runtime {
+        /// Builds the (stateless) runtime.
+        pub fn new() -> std::io::Result<Runtime> {
+            Ok(Runtime)
+        }
+
+        /// Runs a future to completion.
+        pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+            block_on(fut)
+        }
+    }
+}
+
+/// Task handles.
+pub mod task {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll};
+
+    type Slot<T> = Arc<Mutex<Option<std::thread::Result<T>>>>;
+
+    /// Error from awaiting a task whose future panicked.
+    #[derive(Debug)]
+    pub struct JoinError {
+        panicked: bool,
+    }
+
+    impl JoinError {
+        /// Whether the task panicked (always true here; tasks are never
+        /// cancelled).
+        pub fn is_panic(&self) -> bool {
+            self.panicked
+        }
+    }
+
+    impl std::fmt::Display for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("task panicked")
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    /// Awaitable handle to a spawned task.
+    pub struct JoinHandle<T> {
+        slot: Slot<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub(crate) fn new(slot: Slot<T>) -> Self {
+            JoinHandle { slot }
+        }
+
+        /// Whether the task has finished.
+        pub fn is_finished(&self) -> bool {
+            self.slot.lock().map(|s| s.is_some()).unwrap_or(true)
+        }
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut guard = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+            match guard.take() {
+                Some(Ok(v)) => Poll::Ready(Ok(v)),
+                Some(Err(_)) => Poll::Ready(Err(JoinError { panicked: true })),
+                None => Poll::Pending,
+            }
+        }
+    }
+}
+
+/// Spawns a future on its own thread, driven by [`runtime::block_on`].
+pub fn spawn<F>(fut: F) -> task::JoinHandle<F::Output>
+where
+    F: std::future::Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let slot = std::sync::Arc::new(std::sync::Mutex::new(None));
+    let thread_slot = slot.clone();
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::runtime::block_on(fut)
+        }));
+        *thread_slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
+    });
+    task::JoinHandle::new(slot)
+}
+
+/// Nonblocking-socket async I/O helpers.
+pub(crate) mod ready {
+    use std::task::Poll;
+
+    /// Drives a nonblocking operation: `WouldBlock` becomes `Pending`
+    /// (the executor re-polls), everything else resolves.
+    pub async fn io<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        std::future::poll_fn(move |_cx| match op() {
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Poll::Pending,
+            r => Poll::Ready(r),
+        })
+        .await
+    }
+}
+
+/// Async wrappers over nonblocking `std::net` sockets.
+pub mod net {
+    use crate::ready;
+    use std::io;
+    use std::net::{SocketAddr, ToSocketAddrs};
+
+    fn resolve<A: ToSocketAddrs>(addr: A) -> io::Result<SocketAddr> {
+        addr.to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))
+    }
+
+    /// Async TCP stream.
+    pub struct TcpStream {
+        pub(crate) inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Connects (blocking under the hood — loopback connects resolve
+        /// immediately) and switches the socket to nonblocking mode.
+        pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+            let inner = std::net::TcpStream::connect(resolve(addr)?)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpStream { inner })
+        }
+
+        /// Local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Peer address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+    }
+
+    /// Async TCP listener.
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Binds a nonblocking listener.
+        pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+            let inner = std::net::TcpListener::bind(resolve(addr)?)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener { inner })
+        }
+
+        /// Bound address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Accepts one connection.
+        pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (stream, peer) = ready::io(|| self.inner.accept()).await?;
+            stream.set_nonblocking(true)?;
+            Ok((TcpStream { inner: stream }, peer))
+        }
+    }
+
+    /// Async UDP socket.
+    pub struct UdpSocket {
+        inner: std::net::UdpSocket,
+    }
+
+    impl UdpSocket {
+        /// Binds a nonblocking UDP socket.
+        pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+            let inner = std::net::UdpSocket::bind(resolve(addr)?)?;
+            inner.set_nonblocking(true)?;
+            Ok(UdpSocket { inner })
+        }
+
+        /// Bound address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Sets the default peer for `send`/`recv`.
+        pub async fn connect<A: ToSocketAddrs>(&self, addr: A) -> io::Result<()> {
+            self.inner.connect(resolve(addr)?)
+        }
+
+        /// Sends to the connected peer.
+        pub async fn send(&self, buf: &[u8]) -> io::Result<usize> {
+            ready::io(|| self.inner.send(buf)).await
+        }
+
+        /// Receives from the connected peer.
+        pub async fn recv(&self, buf: &mut [u8]) -> io::Result<usize> {
+            ready::io(|| self.inner.recv(buf)).await
+        }
+
+        /// Sends one datagram to `target`.
+        pub async fn send_to<A: ToSocketAddrs>(&self, buf: &[u8], target: A) -> io::Result<usize> {
+            let target = resolve(target)?;
+            ready::io(|| self.inner.send_to(buf, target)).await
+        }
+
+        /// Receives one datagram.
+        pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+            ready::io(|| self.inner.recv_from(buf)).await
+        }
+    }
+}
+
+/// Async read/write extension traits (the `io-util` subset used here).
+pub mod io {
+    use crate::ready;
+    use std::io::{Read, Write};
+
+    /// Async reading.
+    pub trait AsyncReadExt {
+        /// Reads into `buf`, resolving once any bytes (or EOF) arrive.
+        async fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize>;
+
+        /// Reads until EOF, appending to `buf`; returns bytes added.
+        async fn read_to_end(&mut self, buf: &mut Vec<u8>) -> std::io::Result<usize>;
+    }
+
+    /// Async writing.
+    pub trait AsyncWriteExt {
+        /// Writes the whole buffer.
+        async fn write_all(&mut self, src: &[u8]) -> std::io::Result<()>;
+
+        /// Flushes and closes the write half.
+        async fn shutdown(&mut self) -> std::io::Result<()>;
+    }
+
+    impl AsyncReadExt for crate::net::TcpStream {
+        async fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            ready::io(|| self.inner.read(buf)).await
+        }
+
+        async fn read_to_end(&mut self, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+            let mut total = 0;
+            let mut chunk = [0u8; 4096];
+            loop {
+                let n = ready::io(|| self.inner.read(&mut chunk)).await?;
+                if n == 0 {
+                    return Ok(total);
+                }
+                buf.extend_from_slice(&chunk[..n]);
+                total += n;
+            }
+        }
+    }
+
+    impl AsyncWriteExt for crate::net::TcpStream {
+        async fn write_all(&mut self, src: &[u8]) -> std::io::Result<()> {
+            let mut written = 0;
+            while written < src.len() {
+                let n = ready::io(|| self.inner.write(&src[written..])).await?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket closed mid-write",
+                    ));
+                }
+                written += n;
+            }
+            ready::io(|| self.inner.flush()).await
+        }
+
+        async fn shutdown(&mut self) -> std::io::Result<()> {
+            ready::io(|| self.inner.flush()).await?;
+            self.inner.shutdown(std::net::Shutdown::Write)
+        }
+    }
+}
+
+/// Synchronization primitives (`watch`, `Semaphore`).
+pub mod sync {
+    /// Single-value broadcast channel with change notification.
+    pub mod watch {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::{Arc, Mutex};
+        use std::task::Poll;
+
+        /// Error types mirroring tokio's.
+        pub mod error {
+            /// The sender was dropped.
+            #[derive(Debug)]
+            pub struct RecvError;
+
+            impl std::fmt::Display for RecvError {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.write_str("watch sender dropped")
+                }
+            }
+            impl std::error::Error for RecvError {}
+
+            /// All receivers were dropped (unused in this workspace but
+            /// part of the send signature).
+            #[derive(Debug)]
+            pub struct SendError<T>(pub T);
+        }
+
+        struct Shared<T> {
+            value: Mutex<T>,
+            version: AtomicU64,
+            tx_alive: AtomicBool,
+        }
+
+        /// Sending half.
+        pub struct Sender<T> {
+            shared: Arc<Shared<T>>,
+        }
+
+        /// Receiving half; `changed()` resolves when a newer value than the
+        /// last seen one has been sent.
+        pub struct Receiver<T> {
+            shared: Arc<Shared<T>>,
+            last_seen: u64,
+        }
+
+        /// Creates the channel with an initial (already-seen) value.
+        pub fn channel<T>(init: T) -> (Sender<T>, Receiver<T>) {
+            let shared = Arc::new(Shared {
+                value: Mutex::new(init),
+                version: AtomicU64::new(0),
+                tx_alive: AtomicBool::new(true),
+            });
+            (
+                Sender {
+                    shared: shared.clone(),
+                },
+                Receiver {
+                    shared,
+                    last_seen: 0,
+                },
+            )
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                self.shared.tx_alive.store(false, Ordering::SeqCst);
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Stores a new value and wakes waiting receivers.
+            pub fn send(&self, value: T) -> Result<(), error::SendError<T>> {
+                *self.shared.value.lock().unwrap_or_else(|p| p.into_inner()) = value;
+                self.shared.version.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+
+        impl<T> Clone for Receiver<T> {
+            fn clone(&self) -> Self {
+                Receiver {
+                    shared: self.shared.clone(),
+                    last_seen: self.last_seen,
+                }
+            }
+        }
+
+        impl<T: Clone> Receiver<T> {
+            /// Clones the current value, marking it seen.
+            pub fn borrow_and_update(&mut self) -> T {
+                self.last_seen = self.shared.version.load(Ordering::SeqCst);
+                self.shared
+                    .value
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .clone()
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Resolves when the value changes relative to the last seen
+            /// version; errors if the sender is gone.
+            pub async fn changed(&mut self) -> Result<(), error::RecvError> {
+                let shared = self.shared.clone();
+                let last_seen = &mut self.last_seen;
+                std::future::poll_fn(move |_cx| {
+                    let version = shared.version.load(Ordering::SeqCst);
+                    if version != *last_seen {
+                        *last_seen = version;
+                        return Poll::Ready(Ok(()));
+                    }
+                    if !shared.tx_alive.load(Ordering::SeqCst) {
+                        return Poll::Ready(Err(error::RecvError));
+                    }
+                    Poll::Pending
+                })
+                .await
+            }
+        }
+    }
+
+    use std::sync::Mutex;
+    use std::task::Poll;
+
+    /// Error from acquiring on a closed semaphore (never closed here).
+    #[derive(Debug)]
+    pub struct AcquireError;
+
+    impl std::fmt::Display for AcquireError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("semaphore closed")
+        }
+    }
+    impl std::error::Error for AcquireError {}
+
+    /// Counting semaphore.
+    pub struct Semaphore {
+        permits: Mutex<usize>,
+    }
+
+    /// RAII permit; restores the count on drop.
+    pub struct SemaphorePermit<'a> {
+        sem: &'a Semaphore,
+    }
+
+    impl Semaphore {
+        /// Creates a semaphore with `permits` slots.
+        pub fn new(permits: usize) -> Self {
+            Semaphore {
+                permits: Mutex::new(permits),
+            }
+        }
+
+        /// Waits for a free permit.
+        pub async fn acquire(&self) -> Result<SemaphorePermit<'_>, AcquireError> {
+            std::future::poll_fn(|_cx| {
+                let mut p = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+                if *p > 0 {
+                    *p -= 1;
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            })
+            .await;
+            Ok(SemaphorePermit { sem: self })
+        }
+
+        /// Currently available permits.
+        pub fn available_permits(&self) -> usize {
+            *self.permits.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl Drop for SemaphorePermit<'_> {
+        fn drop(&mut self) {
+            *self.sem.permits.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        }
+    }
+}
+
+/// Timeouts.
+pub mod time {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+    use std::time::Instant;
+
+    pub use std::time::Duration;
+
+    /// Timeout error types.
+    pub mod error {
+        /// The deadline passed before the inner future resolved.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct Elapsed;
+
+        impl std::fmt::Display for Elapsed {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("deadline has elapsed")
+            }
+        }
+        impl std::error::Error for Elapsed {}
+    }
+
+    /// Future returned by [`timeout`].
+    pub struct Timeout<F: Future> {
+        fut: Pin<Box<F>>,
+        deadline: Instant,
+    }
+
+    /// Bounds `fut` by `dur`: `Ok(output)` if it resolves in time,
+    /// `Err(Elapsed)` otherwise (the inner future is dropped).
+    pub fn timeout<F: Future>(dur: Duration, fut: F) -> Timeout<F> {
+        Timeout {
+            fut: Box::pin(fut),
+            deadline: Instant::now() + dur,
+        }
+    }
+
+    impl<F: Future> Future for Timeout<F> {
+        type Output = Result<F::Output, error::Elapsed>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            if let Poll::Ready(v) = self.fut.as_mut().poll(cx) {
+                return Poll::Ready(Ok(v));
+            }
+            if Instant::now() >= self.deadline {
+                return Poll::Ready(Err(error::Elapsed));
+            }
+            Poll::Pending
+        }
+    }
+
+    /// Resolves once `dur` has passed (poll-loop granularity).
+    pub async fn sleep(dur: Duration) {
+        let deadline = Instant::now() + dur;
+        std::future::poll_fn(move |_cx| {
+            if Instant::now() >= deadline {
+                Poll::Ready(())
+            } else {
+                Poll::Pending
+            }
+        })
+        .await
+    }
+}
+
+/// Support types for the `select!` macro expansion.
+pub mod macros {
+    /// Two-way either for two-arm `select!`.
+    pub enum Either2<A, B> {
+        /// First arm resolved.
+        A(A),
+        /// Second arm resolved.
+        B(B),
+    }
+}
+
+/// Two-arm `select!`: polls both futures each executor tick and runs the
+/// handler of whichever resolves first (first arm wins ties).
+#[macro_export]
+macro_rules! select {
+    ($p1:pat = $f1:expr => $h1:expr, $p2:pat = $f2:expr => $h2:expr $(,)?) => {{
+        // The futures live (and die) in this inner block so any borrows
+        // they hold are released before the winning handler runs.
+        let __select_out = {
+            let mut __select_f1 = ::std::pin::pin!($f1);
+            let mut __select_f2 = ::std::pin::pin!($f2);
+            ::std::future::poll_fn(|__cx| {
+                use ::std::future::Future as _;
+                if let ::std::task::Poll::Ready(v) = __select_f1.as_mut().poll(__cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Either2::A(v));
+                }
+                if let ::std::task::Poll::Ready(v) = __select_f2.as_mut().poll(__cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Either2::B(v));
+                }
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __select_out {
+            $crate::macros::Either2::A($p1) => $h1,
+            $crate::macros::Either2::B($p2) => $h2,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::io::{AsyncReadExt, AsyncWriteExt};
+
+    #[test]
+    fn block_on_runs_plain_futures() {
+        assert_eq!(crate::runtime::block_on(async { 1 + 1 }), 2);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let out = crate::runtime::block_on(async {
+            let h = crate::spawn(async { 21 * 2 });
+            h.await.unwrap()
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let out = crate::runtime::block_on(async {
+            let h = crate::spawn(async { panic!("boom") });
+            h.await
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        crate::runtime::block_on(async {
+            let listener = crate::net::TcpListener::bind(("127.0.0.1", 0))
+                .await
+                .unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (mut stream, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 5];
+                let n = stream.read(&mut buf).await.unwrap();
+                stream.write_all(&buf[..n]).await.unwrap();
+                stream.shutdown().await.unwrap();
+            });
+            let mut client = crate::net::TcpStream::connect(addr).await.unwrap();
+            client.write_all(b"hello").await.unwrap();
+            let mut echoed = Vec::new();
+            client.read_to_end(&mut echoed).await.unwrap();
+            assert_eq!(echoed, b"hello");
+            server.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn udp_round_trip_with_timeout() {
+        crate::runtime::block_on(async {
+            let a = crate::net::UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+            let b = crate::net::UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+            a.connect(b.local_addr().unwrap()).await.unwrap();
+            a.send(b"ping").await.unwrap();
+            let mut buf = [0u8; 16];
+            let (n, peer) =
+                crate::time::timeout(crate::time::Duration::from_secs(1), b.recv_from(&mut buf))
+                    .await
+                    .expect("datagram within deadline")
+                    .unwrap();
+            assert_eq!(&buf[..n], b"ping");
+            assert_eq!(peer, a.local_addr().unwrap());
+            // And a timeout that must fire: nobody sends to `b` again.
+            let r = crate::time::timeout(
+                crate::time::Duration::from_millis(30),
+                b.recv_from(&mut buf),
+            )
+            .await;
+            assert!(r.is_err());
+        });
+    }
+
+    #[test]
+    fn watch_and_select_break_a_loop() {
+        crate::runtime::block_on(async {
+            let (tx, rx) = crate::sync::watch::channel(false);
+            let worker = crate::spawn(async move {
+                let mut ticks = 0u32;
+                loop {
+                    let mut rx = rx.clone();
+                    crate::select! {
+                        _ = rx.changed() => break,
+                        _ = crate::time::sleep(crate::time::Duration::from_millis(1)) => {
+                            ticks += 1;
+                        }
+                    }
+                }
+                ticks
+            });
+            crate::time::sleep(crate::time::Duration::from_millis(20)).await;
+            tx.send(true).unwrap();
+            let ticks = worker.await.unwrap();
+            assert!(ticks > 0);
+        });
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        crate::runtime::block_on(async {
+            let sem = Arc::new(crate::sync::Semaphore::new(2));
+            let live = Arc::new(AtomicUsize::new(0));
+            let peak = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let sem = sem.clone();
+                let live = live.clone();
+                let peak = peak.clone();
+                handles.push(crate::spawn(async move {
+                    let _p = sem.acquire().await.unwrap();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    crate::time::sleep(crate::time::Duration::from_millis(5)).await;
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }));
+            }
+            for h in handles {
+                h.await.unwrap();
+            }
+            assert!(peak.load(Ordering::SeqCst) <= 2);
+        });
+    }
+}
