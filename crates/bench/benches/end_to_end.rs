@@ -57,10 +57,10 @@ fn bench_crawl_width(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    let cfg = CrawlConfig {
-                        workers,
-                        ..CrawlConfig::default()
-                    };
+                    let cfg = CrawlConfig::builder()
+                        .workers(workers)
+                        .build()
+                        .expect("bench worker counts are nonzero");
                     let (records, _) = crawl_all(&jobs, &registry, &transport, &cfg);
                     black_box(records.len())
                 })

@@ -1,0 +1,171 @@
+//! Writes `BENCH_crawl.json`: the crawl-throughput baseline each PR
+//! touching the crawl path commits, so the engine + middleware overhead
+//! trajectory stays on record.
+//!
+//! ```text
+//! cargo run --release -p squatphi-bench --bin crawl_baseline [out.json]
+//! ```
+//!
+//! The workload matches `benches/crawl.rs` (400 squatting domains, 16
+//! brands): each thread count is measured over the plain in-process
+//! transport and over the zero-fault middleware stack (chaos none +
+//! retry + breaker + deadline), so the stack overhead is one division
+//! away. Numbers are machine-dependent; the file is a trajectory record,
+//! not a CI gate — compare ratios, not absolutes. The transport counters
+//! are deterministic and must not drift across runs. `BENCH_QUICK=1`
+//! runs a single iteration for smoke testing.
+
+use squatphi_crawler::{
+    crawl_all, CircuitBreakerPolicy, CrawlConfig, DeadlinePolicy, FaultPlan, InProcessTransport,
+    RetryPolicy, TransportSnapshot, TransportStack,
+};
+use squatphi_squat::{BrandRegistry, SquatType};
+use squatphi_web::{WebWorld, WorldConfig};
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn workload() -> (
+    Vec<(String, usize, SquatType)>,
+    BrandRegistry,
+    Arc<WebWorld>,
+) {
+    let registry = BrandRegistry::with_size(16);
+    let mut squats = Vec::new();
+    for (i, b) in registry.brands().iter().enumerate() {
+        for j in 0..25 {
+            squats.push((
+                format!("{}-sq{}.com", b.label, j),
+                i,
+                SquatType::Combo,
+                Ipv4Addr::new(203, 0, (i % 200) as u8, j as u8),
+            ));
+        }
+    }
+    let cfg = WorldConfig {
+        phishing_domains: 40,
+        seed: 1,
+        ..WorldConfig::default()
+    };
+    let world = Arc::new(WebWorld::build(&squats, &registry, &cfg));
+    let jobs = squats
+        .iter()
+        .map(|(d, b, t, _)| (d.clone(), *b, *t))
+        .collect();
+    (jobs, registry, world)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_crawl.json".to_string());
+    let quick = std::env::var_os("BENCH_QUICK").is_some();
+    let iterations = if quick { 1 } else { 5 };
+
+    let (jobs, registry, world) = workload();
+    eprintln!(
+        "[crawl_baseline] {} domains, {} brands, {iterations} iteration(s) per thread count",
+        jobs.len(),
+        registry.len()
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": {{");
+    let _ = writeln!(json, "    \"domains\": {},", jobs.len());
+    let _ = writeln!(json, "    \"brands\": {},", registry.len());
+    let _ = writeln!(json, "    \"seed\": 1");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"iterations\": {iterations},");
+    let _ = writeln!(json, "  \"runs\": [");
+
+    let thread_counts = [1usize, 2, 4, 8];
+    for (ti, &threads) in thread_counts.iter().enumerate() {
+        let cfg = CrawlConfig::builder()
+            .workers(threads)
+            .build()
+            .expect("baseline worker counts are nonzero");
+
+        // Plain transport: best-of-N wall clock.
+        let mut plain_best = Duration::MAX;
+        for _ in 0..iterations {
+            let transport = InProcessTransport::new(world.clone());
+            let started = Instant::now();
+            let (records, _) = crawl_all(&jobs, &registry, &transport, &cfg);
+            assert_eq!(records.len(), jobs.len());
+            plain_best = plain_best.min(started.elapsed());
+        }
+
+        // Zero-fault middleware stack: best-of-N plus the (run-invariant)
+        // transport counters.
+        let mut stack_best = Duration::MAX;
+        let mut snapshot = TransportSnapshot::default();
+        for _ in 0..iterations {
+            let stack = TransportStack::new(InProcessTransport::new(world.clone()))
+                .chaos(FaultPlan::none())
+                .retry(RetryPolicy::default())
+                .breaker(CircuitBreakerPolicy::default())
+                .deadline(DeadlinePolicy::default())
+                .build();
+            let started = Instant::now();
+            let (records, stats) = crawl_all(&jobs, &registry, &stack, &cfg);
+            assert_eq!(records.len(), jobs.len());
+            stack_best = stack_best.min(started.elapsed());
+            snapshot = stats.transport;
+        }
+
+        let rate = |d: Duration| jobs.len() as f64 / d.as_secs_f64().max(1e-9);
+        eprintln!(
+            "[crawl_baseline] {threads} thread(s): plain {:.0} domains/s, stack {:.0} domains/s",
+            rate(plain_best),
+            rate(stack_best)
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"threads\": {threads},");
+        let _ = writeln!(
+            json,
+            "      \"plain_wall_ms\": {:.3},",
+            plain_best.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"plain_domains_per_sec\": {:.1},",
+            rate(plain_best)
+        );
+        let _ = writeln!(
+            json,
+            "      \"stack_wall_ms\": {:.3},",
+            stack_best.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            json,
+            "      \"stack_domains_per_sec\": {:.1},",
+            rate(stack_best)
+        );
+        let _ = writeln!(json, "      \"stack_attempts\": {},", snapshot.attempts);
+        let _ = writeln!(json, "      \"stack_successes\": {},", snapshot.successes);
+        let _ = writeln!(json, "      \"stack_retries\": {},", snapshot.retries);
+        let _ = writeln!(
+            json,
+            "      \"stack_errors_total\": {}",
+            snapshot.errors_total()
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if ti + 1 < thread_counts.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("crawl_baseline: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("[crawl_baseline] baseline written to {out_path}");
+}

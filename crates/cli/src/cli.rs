@@ -1,5 +1,7 @@
 //! Argument parsing for the `squatphi` binary (std-only, no clap).
 
+use squatphi_crawler::{FaultPlan, FetchClass};
+
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -24,6 +26,22 @@ pub enum Command {
         type_filter: Option<String>,
         /// Scan worker threads.
         threads: usize,
+    },
+    /// `squatphi crawl <zonefile> [--threads N] [--retries N]
+    /// [--chaos MODE[:CLASS]] [--seed N]` — scan a zone file, rebuild
+    /// the web world for the matches, and crawl it through the full
+    /// transport middleware stack (optionally under fault injection).
+    Crawl {
+        /// Zone file path.
+        path: String,
+        /// Crawl worker threads.
+        threads: usize,
+        /// Engine-level retry budget.
+        retries: usize,
+        /// Fault-injection plan for the chaos layer.
+        plan: FaultPlan,
+        /// World + chaos seed.
+        seed: u64,
     },
     /// `squatphi page <file.html> [--brand LABEL]` — audit one page:
     /// forms, OCR text, JS indicators, evasion vs the brand page, and a
@@ -70,6 +88,13 @@ USAGE:
   squatphi classify <domain>...             classify domains against 702 brands
   squatphi scan <zone-file> [--type T] [--threads N]
                                             scan a zone file for squatting
+  squatphi crawl <zone-file> [--threads N] [--retries N]
+                 [--chaos MODE[:CLASS]] [--seed N]
+                                            scan, then crawl the matches through
+                                            the fault-tolerant transport stack
+                                            (MODE: none | first-K | every-K |
+                                            permille-P; CLASS: timeout | refused |
+                                            truncated | injected)
   squatphi page <file.html> [--brand L]     audit a page (forms/OCR/JS/score)
   squatphi render <file.html> [--width N]   ASCII screenshot of a page
   squatphi help                             this text
@@ -148,6 +173,60 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 threads: threads.max(1),
             })
         }
+        "crawl" => {
+            let mut path = None;
+            let mut threads = 8usize;
+            let mut retries = 1usize;
+            let mut chaos: Option<String> = None;
+            let mut seed = 0u64;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--threads" => {
+                        i += 1;
+                        threads = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err("--threads needs a positive integer"))?;
+                    }
+                    "--retries" => {
+                        i += 1;
+                        retries = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("--retries needs a non-negative integer"))?;
+                    }
+                    "--chaos" => {
+                        i += 1;
+                        chaos = Some(
+                            rest.get(i)
+                                .ok_or_else(|| err("--chaos needs MODE[:CLASS]"))?
+                                .to_string(),
+                        );
+                    }
+                    "--seed" => {
+                        i += 1;
+                        seed = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("--seed needs an integer"))?;
+                    }
+                    other if path.is_none() => path = Some(other.to_string()),
+                    other => return Err(err(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            let plan = parse_fault_plan(chaos.as_deref().unwrap_or("none"), seed)?;
+            Ok(Command::Crawl {
+                path: path.ok_or_else(|| err("crawl needs a zone-file path"))?,
+                threads,
+                retries,
+                plan,
+                seed,
+            })
+        }
         "page" => {
             let mut path = None;
             let mut brand = None;
@@ -203,6 +282,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
+/// Parses a `--chaos` spec — `MODE[:CLASS]` where MODE is `none`,
+/// `first-K`, `every-K` or `permille-P` and CLASS is a
+/// [`FetchClass`] name (default `injected`).
+fn parse_fault_plan(spec: &str, seed: u64) -> Result<FaultPlan, CliError> {
+    let (mode, class) = match spec.split_once(':') {
+        Some((m, c)) => (
+            m,
+            FetchClass::parse(c)
+                .ok_or_else(|| err(format!("unknown error class {c:?} in --chaos")))?,
+        ),
+        None => (spec, FetchClass::Injected),
+    };
+    let plan = if mode == "none" {
+        FaultPlan::none()
+    } else if let Some(k) = mode.strip_prefix("first-") {
+        FaultPlan::fail_first(
+            k.parse()
+                .map_err(|_| err("--chaos first-K needs an integer K"))?,
+        )
+    } else if let Some(k) = mode.strip_prefix("every-") {
+        FaultPlan::fail_every(
+            k.parse()
+                .map_err(|_| err("--chaos every-K needs an integer K >= 1"))?,
+        )
+    } else if let Some(p) = mode.strip_prefix("permille-") {
+        FaultPlan::fail_permille(
+            p.parse()
+                .map_err(|_| err("--chaos permille-P needs an integer P in 0..=1000"))?,
+        )
+    } else {
+        return Err(err(format!(
+            "unknown --chaos mode {mode:?} (none | first-K | every-K | permille-P)"
+        )));
+    };
+    Ok(plan.with_class(class).with_seed(seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +369,55 @@ mod tests {
             }
         );
         assert!(parse_args(&args("scan --type Combo")).is_err());
+    }
+
+    #[test]
+    fn parses_crawl() {
+        assert_eq!(
+            parse_args(&args("crawl zone.txt")).unwrap(),
+            Command::Crawl {
+                path: "zone.txt".into(),
+                threads: 8,
+                retries: 1,
+                plan: FaultPlan::none(),
+                seed: 0
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "crawl zone.txt --threads 4 --retries 0 --chaos every-2:timeout --seed 9"
+            ))
+            .unwrap(),
+            Command::Crawl {
+                path: "zone.txt".into(),
+                threads: 4,
+                retries: 0,
+                plan: FaultPlan::fail_every(2)
+                    .with_class(FetchClass::Timeout)
+                    .with_seed(9),
+                seed: 9
+            }
+        );
+        assert!(parse_args(&args("crawl")).is_err());
+        assert!(parse_args(&args("crawl zone.txt --threads 0")).is_err());
+        assert!(parse_args(&args("crawl zone.txt --chaos bogus")).is_err());
+        assert!(parse_args(&args("crawl zone.txt --chaos first-1:nonsense")).is_err());
+    }
+
+    #[test]
+    fn fault_plan_spec_roundtrips() {
+        assert_eq!(parse_fault_plan("none", 0).unwrap(), FaultPlan::none());
+        assert_eq!(
+            parse_fault_plan("first-3", 1).unwrap(),
+            FaultPlan::fail_first(3).with_seed(1)
+        );
+        assert_eq!(
+            parse_fault_plan("permille-250:truncated", 7).unwrap(),
+            FaultPlan::fail_permille(250)
+                .with_class(FetchClass::Truncated)
+                .with_seed(7)
+        );
+        assert!(parse_fault_plan("every-x", 0).is_err());
     }
 
     #[test]

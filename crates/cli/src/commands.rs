@@ -3,13 +3,19 @@
 
 use crate::cli::Command;
 use squatphi::FeatureExtractor;
+use squatphi_crawler::{
+    crawl_all, CircuitBreakerPolicy, CrawlConfig, CrawlOutcome, DeadlinePolicy, FaultPlan,
+    InProcessTransport, RetryPolicy, TransportStack,
+};
 use squatphi_dnsdb::{scan_with_metrics, RecordStore};
 use squatphi_domain::{idna, DomainName};
 use squatphi_feeds::{FeedConfig, GroundTruthFeed};
 use squatphi_ml::Classifier;
 use squatphi_squat::gen::{generate_all, GenBudget};
 use squatphi_squat::{BrandRegistry, SquatDetector};
+use squatphi_web::{Device, WebWorld, WorldConfig};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Runs a parsed command, returning the report text.
 pub fn run(cmd: &Command) -> Result<String, String> {
@@ -22,6 +28,13 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             type_filter,
             threads,
         } => scan_zone(path, type_filter.as_deref(), *threads),
+        Command::Crawl {
+            path,
+            threads,
+            retries,
+            plan,
+            seed,
+        } => crawl_zone(path, *threads, *retries, *plan, *seed),
         Command::Page { path, brand } => page(path, brand.as_deref()),
         Command::Render { path, width } => render(path, *width),
     }
@@ -127,6 +140,91 @@ fn scan_zone(path: &str, type_filter: Option<&str>, threads: usize) -> Result<St
             );
         }
     }
+    Ok(out)
+}
+
+fn crawl_zone(
+    path: &str,
+    threads: usize,
+    retries: usize,
+    plan: FaultPlan,
+    seed: u64,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let store = RecordStore::from_zone(&text).map_err(|e| format!("{path}: {e}"))?;
+    let registry = registry();
+    let detector = SquatDetector::new(&registry);
+    let (outcome, _) = scan_with_metrics(&store, &registry, &detector, threads);
+    if outcome.matches.is_empty() {
+        return Ok(format!(
+            "scanned {} records: no squatting domains to crawl\n",
+            outcome.scanned
+        ));
+    }
+    let squats: Vec<(String, usize, squatphi_squat::SquatType, std::net::Ipv4Addr)> = outcome
+        .matches
+        .iter()
+        .map(|m| (m.domain.registrable(), m.brand, m.squat_type, m.ip))
+        .collect();
+    let world = Arc::new(WebWorld::build(
+        &squats,
+        &registry,
+        &WorldConfig {
+            seed,
+            ..WorldConfig::default()
+        },
+    ));
+    let jobs: Vec<(String, usize, squatphi_squat::SquatType)> = squats
+        .iter()
+        .map(|(d, b, t, _)| (d.clone(), *b, *t))
+        .collect();
+
+    let stack = TransportStack::new(InProcessTransport::new(world))
+        .chaos(plan)
+        .retry(RetryPolicy::default())
+        .breaker(CircuitBreakerPolicy::default())
+        .deadline(DeadlinePolicy::default())
+        .build();
+    let cfg = CrawlConfig::builder()
+        .workers(threads)
+        .retries(retries)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let (records, stats) = crawl_all(&jobs, &registry, &stack, &cfg);
+
+    let mut out = format!(
+        "scanned {} records: crawling {} squatting domains over {} workers\n",
+        outcome.scanned,
+        jobs.len(),
+        threads
+    );
+    let _ = writeln!(
+        out,
+        "  live: {} web, {} mobile (of {})",
+        stats.web_live, stats.mobile_live, stats.total
+    );
+    let _ = writeln!(
+        out,
+        "  web redirects: {} none, {} original, {} market, {} other",
+        stats.web_no_redirect,
+        stats.web_redirect_original,
+        stats.web_redirect_market,
+        stats.web_redirect_other
+    );
+    let (mut truncated, mut dead) = (0usize, 0usize);
+    for r in &records {
+        match r.outcome(Device::Web) {
+            CrawlOutcome::TruncatedChain => truncated += 1,
+            CrawlOutcome::Dead => dead += 1,
+            CrawlOutcome::Live => {}
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  web outcomes: {} truncated chains, {} dead",
+        truncated, dead
+    );
+    let _ = writeln!(out, "  transport: {}", stats.transport.report_line());
     Ok(out)
 }
 
@@ -302,6 +400,41 @@ mod tests {
         assert!(!combo_only
             .lines()
             .any(|l| l.contains("faceb00k.pw") && l.contains("Homograph")));
+    }
+
+    #[test]
+    fn crawl_reports_transport_counters() {
+        let dir = std::env::temp_dir().join("squatphi-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("crawl-zone.txt");
+        std::fs::write(
+            &path,
+            "faceb00k.pw.\t300\tIN\tA\t203.0.113.1\n\
+             paypal-cash.com.\t300\tIN\tA\t203.0.113.3\n\
+             pepper-garden.net.\t300\tIN\tA\t203.0.113.4\n",
+        )
+        .expect("write");
+        let crawl = |chaos: FaultPlan| {
+            run(&Command::Crawl {
+                path: path.to_string_lossy().into_owned(),
+                // Single-flight so the chaos schedule is order-free and
+                // the byte-identical assertion below cannot race.
+                threads: 1,
+                retries: 1,
+                plan: chaos,
+                seed: 3,
+            })
+            .expect("runs")
+        };
+        let out = crawl(FaultPlan::none());
+        assert!(out.contains("crawling 2 squatting domains"), "{out}");
+        assert!(out.contains("transport:"), "{out}");
+        assert!(out.contains("attempts"), "{out}");
+        // Injected faults show up in the transport counters.
+        let chaotic = crawl(FaultPlan::fail_every(2));
+        assert!(chaotic.contains("injected"), "{chaotic}");
+        // Same seed, same plan => byte-identical report.
+        assert_eq!(chaotic, crawl(FaultPlan::fail_every(2)));
     }
 
     #[test]

@@ -171,7 +171,13 @@ impl FeatureExtractor {
         ];
         for (name, value) in NUMERIC.iter().zip(numeric) {
             if value != 0.0 {
-                v.add(self.space.numeric(name).expect("numeric dim exists"), value);
+                // NUMERIC is the same constant the FeatureSpace
+                // constructor registered, so lookup cannot miss.
+                let dim = self
+                    .space
+                    .numeric(name)
+                    .expect("every NUMERIC name is registered at FeatureSpace construction");
+                v.add(dim, value);
             }
         }
         v
@@ -198,10 +204,15 @@ impl FeatureExtractor {
             }
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("feature worker panicked"))
+                .flat_map(|h| {
+                    // extract() is panic-free on arbitrary HTML; a panic
+                    // here is a bug worth surfacing, not swallowing.
+                    h.join()
+                        .expect("feature worker panicked; its chunk of vectors is lost")
+                })
                 .collect()
         })
-        .expect("feature scope")
+        .expect("feature worker panicked inside the crossbeam scope")
     }
 
     /// Builds a labeled dataset from (html, label) pairs.

@@ -139,11 +139,11 @@ impl SquatPhi {
             .iter()
             .map(|(d, b, t, _)| (d.clone(), *b, *t))
             .collect();
-        let crawl_cfg = CrawlConfig {
-            workers: config.threads,
-            snapshot: 0,
-            ..CrawlConfig::default()
-        };
+        let crawl_cfg = CrawlConfig::builder()
+            .workers(config.threads.max(1))
+            .snapshot(0)
+            .build()
+            .expect("workers is clamped to >= 1, defaults cover the rest");
         let (crawl_records, crawl_stats) = crawl_all(&jobs, &registry, &transport, &crawl_cfg);
         timings.crawl = stage.elapsed();
 

@@ -37,11 +37,11 @@ pub fn recrawl_and_classify(result: &PipelineResult, threads: usize) -> Snapshot
 
     let mut series = [(0usize, 0usize); 4];
     for (snapshot, slot) in series.iter_mut().enumerate() {
-        let cfg = CrawlConfig {
-            workers: threads,
-            snapshot: snapshot as u8,
-            ..CrawlConfig::default()
-        };
+        let cfg = CrawlConfig::builder()
+            .workers(threads.max(1))
+            .snapshot(snapshot as u8)
+            .build()
+            .expect("workers is clamped to >= 1, defaults cover the rest");
         let (records, _) = crawl_all(&jobs, &result.registry, &transport, &cfg);
         *slot = classify_live(&records, extractor, result, threads);
     }

@@ -31,13 +31,10 @@ impl EvalReport {
     pub fn best(&self) -> &ModelEval {
         self.models
             .iter()
-            .max_by(|a, b| {
-                a.metrics
-                    .auc
-                    .partial_cmp(&b.metrics.auc)
-                    .expect("finite auc")
-            })
-            .expect("at least one model")
+            // total_cmp sorts a NaN AUC (degenerate eval set) last
+            // instead of panicking mid-comparison.
+            .max_by(|a, b| a.metrics.auc.total_cmp(&b.metrics.auc))
+            .expect("EvalReport is only built with the fixed NB/KNN/RF model set")
     }
 }
 

@@ -1,6 +1,7 @@
 //! The crawl loop: work queue, worker pool, redirect following,
 //! destination classification.
 
+use crate::metrics::TransportMetrics;
 use crate::stats::CrawlStats;
 use crate::transport::Transport;
 use crossbeam::channel;
@@ -11,20 +12,16 @@ use squatphi_squat::{BrandId, BrandRegistry, SquatType};
 use squatphi_web::world::MARKETPLACES;
 use squatphi_web::{Device, ServeResult};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
-/// Crawl parameters.
-#[derive(Debug, Clone)]
+/// Validated crawl parameters; build one with [`CrawlConfig::builder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrawlConfig {
-    /// Worker threads.
-    pub workers: usize,
-    /// Redirect budget per page.
-    pub max_redirects: usize,
-    /// Snapshot index being crawled.
-    pub snapshot: u8,
-    /// Additional fetch attempts on `Unreachable` (0 = no retry). The
-    /// paper's crawler sends "1-2 requests for each scan" — transient
-    /// failures get one more chance before a domain is recorded dead.
-    pub retries: usize,
+    workers: usize,
+    max_redirects: usize,
+    snapshot: u8,
+    retries: usize,
 }
 
 impl Default for CrawlConfig {
@@ -37,6 +34,130 @@ impl Default for CrawlConfig {
         }
     }
 }
+
+impl CrawlConfig {
+    /// Starts a builder pre-loaded with the default values.
+    pub fn builder() -> CrawlConfigBuilder {
+        CrawlConfigBuilder::default()
+    }
+
+    /// Worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Redirect budget per page.
+    pub fn max_redirects(&self) -> usize {
+        self.max_redirects
+    }
+
+    /// Snapshot index being crawled.
+    pub fn snapshot(&self) -> u8 {
+        self.snapshot
+    }
+
+    /// Additional engine-level fetch attempts on failure (0 = no retry).
+    /// The paper's crawler sends "1-2 requests for each scan" —
+    /// transient failures get one more chance before a domain is
+    /// recorded dead. Middleware retry budgets
+    /// ([`RetryPolicy`](crate::middleware::RetryPolicy)) stack on top.
+    pub fn retries(&self) -> usize {
+        self.retries
+    }
+}
+
+/// Validating builder for [`CrawlConfig`].
+///
+/// ```
+/// # use squatphi_crawler::crawl::CrawlConfig;
+/// let cfg = CrawlConfig::builder().workers(8).retries(1).build().unwrap();
+/// assert_eq!(cfg, CrawlConfig::default());
+/// assert!(CrawlConfig::builder().workers(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrawlConfigBuilder {
+    workers: usize,
+    max_redirects: usize,
+    snapshot: u8,
+    retries: usize,
+}
+
+impl Default for CrawlConfigBuilder {
+    fn default() -> Self {
+        let d = CrawlConfig::default();
+        CrawlConfigBuilder {
+            workers: d.workers,
+            max_redirects: d.max_redirects,
+            snapshot: d.snapshot,
+            retries: d.retries,
+        }
+    }
+}
+
+impl CrawlConfigBuilder {
+    /// Worker threads (must be >= 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Redirect budget per page (must be >= 1).
+    pub fn max_redirects(mut self, n: usize) -> Self {
+        self.max_redirects = n;
+        self
+    }
+
+    /// Snapshot index to crawl.
+    pub fn snapshot(mut self, s: u8) -> Self {
+        self.snapshot = s;
+        self
+    }
+
+    /// Engine-level retry budget (0 = no retry).
+    pub fn retries(mut self, n: usize) -> Self {
+        self.retries = n;
+        self
+    }
+
+    /// Validates and builds the config.
+    pub fn build(self) -> Result<CrawlConfig, CrawlConfigError> {
+        if self.workers == 0 {
+            return Err(CrawlConfigError::ZeroWorkers);
+        }
+        if self.max_redirects == 0 {
+            return Err(CrawlConfigError::ZeroRedirects);
+        }
+        Ok(CrawlConfig {
+            workers: self.workers,
+            max_redirects: self.max_redirects,
+            snapshot: self.snapshot,
+            retries: self.retries,
+        })
+    }
+}
+
+/// Rejected [`CrawlConfigBuilder`] combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrawlConfigError {
+    /// `workers` must be at least 1 — a crawl with no workers hangs.
+    ZeroWorkers,
+    /// `max_redirects` must be at least 1 — the paper's crawler always
+    /// follows at least one hop to classify redirect games.
+    ZeroRedirects,
+}
+
+impl std::fmt::Display for CrawlConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrawlConfigError::ZeroWorkers => f.write_str("crawl config: workers must be >= 1"),
+            CrawlConfigError::ZeroRedirects => {
+                f.write_str("crawl config: max_redirects must be >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrawlConfigError {}
 
 /// Where a redirect chain ends, classified as in Tables 2-4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,8 +191,31 @@ impl PageCapture {
     }
 }
 
+/// What the crawl concluded about one `(domain, device)` pair — the
+/// structured replacement for ad-hoc `is_live()` probing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrawlOutcome {
+    /// A page was captured.
+    Live,
+    /// Redirect hops were observed but the final host never served a
+    /// page (the capture's HTML is empty).
+    TruncatedChain,
+    /// Nothing came back: the domain is recorded dead.
+    Dead,
+}
+
+impl std::fmt::Display for CrawlOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CrawlOutcome::Live => "live",
+            CrawlOutcome::TruncatedChain => "truncated-chain",
+            CrawlOutcome::Dead => "dead",
+        })
+    }
+}
+
 /// Everything the crawler learned about one squatting domain.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrawlRecord {
     /// The squatting domain.
     pub domain: String,
@@ -90,14 +234,38 @@ pub struct CrawlRecord {
 }
 
 impl CrawlRecord {
+    /// The crawl outcome for one device profile.
+    pub fn outcome(&self, device: Device) -> CrawlOutcome {
+        let capture = match device {
+            Device::Web => self.web.as_ref(),
+            Device::Mobile => self.mobile.as_ref(),
+        };
+        match capture {
+            None => CrawlOutcome::Dead,
+            Some(c) if c.html.is_empty() => CrawlOutcome::TruncatedChain,
+            Some(_) => CrawlOutcome::Live,
+        }
+    }
+
+    /// Whether either profile captured anything (page or truncated
+    /// chain).
+    pub fn live(&self) -> bool {
+        self.outcome(Device::Web) != CrawlOutcome::Dead
+            || self.outcome(Device::Mobile) != CrawlOutcome::Dead
+    }
+
     /// Whether either profile got any page.
+    #[deprecated(note = "use `outcome(device)` or `live()` instead")]
     pub fn is_live(&self) -> bool {
-        self.web.is_some() || self.mobile.is_some()
+        self.live()
     }
 }
 
 /// Crawls every `(domain, brand, type)` job with a worker pool over the
-/// transport. Returns records in input order plus aggregate stats.
+/// transport. Returns records in input order plus aggregate stats; if
+/// the transport exposes [`TransportMetrics`] (middleware stacks do),
+/// the engine records into the same counters and the combined snapshot
+/// lands on [`CrawlStats::transport`].
 pub fn crawl_all(
     jobs: &[(String, BrandId, SquatType)],
     registry: &BrandRegistry,
@@ -110,11 +278,18 @@ pub fn crawl_all(
         .map(|b| (b.id, b.domain.as_str().to_string()))
         .collect();
     let markets: std::collections::HashSet<&str> = MARKETPLACES.iter().copied().collect();
+    let metrics = transport
+        .metrics()
+        .unwrap_or_else(|| Arc::new(TransportMetrics::new()));
 
     let workers = config.workers.max(1);
     let (job_tx, job_rx) = channel::unbounded::<usize>();
     for i in 0..jobs.len() {
-        job_tx.send(i).expect("queue open");
+        // The receiver outlives this loop, so the channel cannot be
+        // closed yet; a failed send would be a crossbeam-stub bug.
+        job_tx
+            .send(i)
+            .expect("job queue closed before the crawl started");
     }
     drop(job_tx);
 
@@ -124,6 +299,7 @@ pub fn crawl_all(
             let job_rx = job_rx.clone();
             let brand_domains = &brand_domains;
             let markets = &markets;
+            let metrics = &metrics;
             handles.push(s.spawn(move |_| {
                 let mut out = Vec::new();
                 while let Ok(i) = job_rx.recv() {
@@ -135,6 +311,7 @@ pub fn crawl_all(
                         config,
                         brand_domains.get(brand).map(String::as_str),
                         markets,
+                        metrics,
                     );
                     let (mobile, mobile_redirect) = fetch_one(
                         transport,
@@ -143,6 +320,7 @@ pub fn crawl_all(
                         config,
                         brand_domains.get(brand).map(String::as_str),
                         markets,
+                        metrics,
                     );
                     out.push((
                         i,
@@ -162,17 +340,25 @@ pub fn crawl_all(
         }
         let mut indexed: Vec<(usize, CrawlRecord)> = handles
             .into_iter()
-            .flat_map(|h| h.join().expect("crawl worker panicked"))
+            .flat_map(|h| {
+                // A worker panic means a bug below the transport seam
+                // (the crawl loop itself never panics on fetch errors);
+                // surfacing it beats silently dropping its records.
+                h.join()
+                    .expect("crawl worker panicked; its records are lost")
+            })
             .collect();
         indexed.sort_by_key(|(i, _)| *i);
         indexed.into_iter().map(|(_, r)| r).collect()
     })
-    .expect("crawl scope");
+    .expect("crawl worker panicked inside the crossbeam scope");
 
-    let stats = CrawlStats::from_records(&records);
+    let mut stats = CrawlStats::from_records(&records);
+    stats.transport = metrics.snapshot();
     (records, stats)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fetch_one(
     transport: &dyn Transport,
     domain: &str,
@@ -180,13 +366,16 @@ fn fetch_one(
     config: &CrawlConfig,
     brand_domain: Option<&str>,
     markets: &std::collections::HashSet<&str>,
+    metrics: &TransportMetrics,
 ) -> (Option<PageCapture>, RedirectClass) {
     let mut host = domain.to_string();
     let mut redirects: Vec<String> = Vec::new();
     let mut retries_left = config.retries;
     for _ in 0..=(config.max_redirects + config.retries) {
+        metrics.record_attempt();
         match transport.fetch(&host, device, config.snapshot) {
-            ServeResult::Page(html) => {
+            Ok(ServeResult::Page(html)) => {
+                metrics.record_success();
                 let class = classify_chain(&redirects, &host, domain, brand_domain, markets);
                 return (
                     Some(PageCapture {
@@ -197,35 +386,65 @@ fn fetch_one(
                     class,
                 );
             }
-            ServeResult::Redirect(url) => {
+            Ok(ServeResult::Redirect(url)) => {
+                metrics.record_success();
                 let next = host_of(&url).unwrap_or(url);
                 redirects.push(next.clone());
                 host = next;
             }
-            ServeResult::Unreachable => {
-                // Transient failures get retried before the domain is
-                // written off; a failure mid-chain still classifies the
-                // chain seen so far.
-                if retries_left > 0 {
-                    retries_left -= 1;
-                    continue;
+            Ok(ServeResult::Unreachable) => {
+                // Transports normally map this onto a FetchError; treat
+                // a raw Unreachable exactly like one for robustness.
+                if !absorb_failure(&mut retries_left, metrics) {
+                    return give_up(redirects, host, domain, brand_domain, markets);
                 }
-                if redirects.is_empty() {
-                    return (None, RedirectClass::None);
+            }
+            Err(e) => {
+                // The engine is the final consumer of every error that
+                // surfaces this far (see TransportMetrics docs).
+                metrics.record_error(e.class());
+                if !absorb_failure(&mut retries_left, metrics) {
+                    return give_up(redirects, host, domain, brand_domain, markets);
                 }
-                let class = classify_chain(&redirects, &host, domain, brand_domain, markets);
-                return (
-                    Some(PageCapture {
-                        final_host: host,
-                        html: String::new(),
-                        redirects,
-                    }),
-                    class,
-                );
             }
         }
     }
     (None, RedirectClass::Other) // redirect loop
+}
+
+/// Consumes one retry if any are left; returns whether the failure was
+/// absorbed.
+fn absorb_failure(retries_left: &mut usize, metrics: &TransportMetrics) -> bool {
+    if *retries_left > 0 {
+        *retries_left -= 1;
+        metrics.record_retry(Duration::ZERO);
+        true
+    } else {
+        false
+    }
+}
+
+/// Records the terminal failure of a fetch chain: dead when nothing was
+/// seen, a truncated chain when redirects were already followed.
+fn give_up(
+    redirects: Vec<String>,
+    host: String,
+    domain: &str,
+    brand_domain: Option<&str>,
+    markets: &std::collections::HashSet<&str>,
+) -> (Option<PageCapture>, RedirectClass) {
+    if redirects.is_empty() {
+        return (None, RedirectClass::None);
+    }
+    let class = classify_chain(&redirects, &host, domain, brand_domain, markets);
+    (
+        Some(PageCapture {
+            final_host: host,
+            html: String::new(),
+            redirects,
+        }),
+        class,
+    )
 }
 
 fn classify_chain(
@@ -290,6 +509,43 @@ mod tests {
         (jobs, registry, InProcessTransport::new(world))
     }
 
+    fn workers(n: usize) -> CrawlConfig {
+        CrawlConfig::builder()
+            .workers(n)
+            .build()
+            .expect("valid test config")
+    }
+
+    #[test]
+    fn builder_validates_and_default_roundtrips() {
+        assert_eq!(
+            CrawlConfig::builder().build().expect("default is valid"),
+            CrawlConfig::default()
+        );
+        assert_eq!(
+            CrawlConfig::builder().workers(0).build(),
+            Err(CrawlConfigError::ZeroWorkers)
+        );
+        assert_eq!(
+            CrawlConfig::builder().max_redirects(0).build(),
+            Err(CrawlConfigError::ZeroRedirects)
+        );
+        assert!(CrawlConfigError::ZeroWorkers
+            .to_string()
+            .contains("workers"));
+        let cfg = CrawlConfig::builder()
+            .workers(3)
+            .max_redirects(2)
+            .snapshot(1)
+            .retries(0)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.workers(), 3);
+        assert_eq!(cfg.max_redirects(), 2);
+        assert_eq!(cfg.snapshot(), 1);
+        assert_eq!(cfg.retries(), 0);
+    }
+
     #[test]
     fn crawl_covers_all_jobs_in_order() {
         let (jobs, registry, transport) = setup(10, 20, 10, 1);
@@ -305,9 +561,51 @@ mod tests {
     fn live_fraction_reasonable() {
         let (jobs, registry, transport) = setup(10, 30, 5, 2);
         let (records, stats) = crawl_all(&jobs, &registry, &transport, &CrawlConfig::default());
-        let live = records.iter().filter(|r| r.is_live()).count();
+        let live = records.iter().filter(|r| r.live()).count();
         assert!(live > 0 && live < records.len());
         assert!(stats.web_live + stats.mobile_live > 0);
+    }
+
+    #[test]
+    fn outcomes_match_captures() {
+        let (jobs, registry, transport) = setup(10, 30, 5, 2);
+        let (records, _) = crawl_all(&jobs, &registry, &transport, &CrawlConfig::default());
+        let mut seen_live = false;
+        let mut seen_dead = false;
+        for r in &records {
+            match r.outcome(Device::Web) {
+                CrawlOutcome::Live => {
+                    seen_live = true;
+                    assert!(r.web.as_ref().is_some_and(|c| !c.html.is_empty()));
+                }
+                CrawlOutcome::TruncatedChain => {
+                    assert!(r.web.as_ref().is_some_and(|c| c.html.is_empty()));
+                }
+                CrawlOutcome::Dead => {
+                    seen_dead = true;
+                    assert!(r.web.is_none());
+                }
+            }
+            #[allow(deprecated)]
+            let legacy = r.is_live();
+            assert_eq!(legacy, r.live());
+        }
+        assert!(seen_live && seen_dead, "both outcomes present at scale");
+    }
+
+    #[test]
+    fn engine_metrics_reach_crawl_stats() {
+        let (jobs, registry, transport) = setup(5, 10, 3, 2);
+        let (records, stats) = crawl_all(&jobs, &registry, &transport, &CrawlConfig::default());
+        let t = &stats.transport;
+        // Every job fetches web + mobile at least once.
+        assert!(t.attempts >= 2 * records.len() as u64);
+        assert!(t.successes > 0);
+        // Dead hosts fail, get the configured single retry, then fail
+        // again: errors and retries are both populated.
+        assert!(t.errors_total() > 0);
+        assert!(t.retries > 0);
+        assert_eq!(t.injected_total(), 0, "no chaos layer in this crawl");
     }
 
     #[test]
@@ -327,24 +625,8 @@ mod tests {
     #[test]
     fn single_threaded_matches_parallel() {
         let (jobs, registry, transport) = setup(5, 10, 3, 4);
-        let (a, _) = crawl_all(
-            &jobs,
-            &registry,
-            &transport,
-            &CrawlConfig {
-                workers: 1,
-                ..Default::default()
-            },
-        );
-        let (b, _) = crawl_all(
-            &jobs,
-            &registry,
-            &transport,
-            &CrawlConfig {
-                workers: 8,
-                ..Default::default()
-            },
-        );
+        let (a, _) = crawl_all(&jobs, &registry, &transport, &workers(1));
+        let (b, _) = crawl_all(&jobs, &registry, &transport, &workers(8));
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.domain, y.domain);
@@ -355,32 +637,36 @@ mod tests {
 
     #[test]
     fn retries_absorb_transient_failures() {
-        use crate::transport::FlakyTransport;
+        use crate::middleware::{ChaosTransport, FaultPlan};
         let (jobs, registry, transport) = setup(5, 10, 3, 9);
         // Baseline without flakiness.
         let (clean, _) = crawl_all(
             &jobs,
             &registry,
             &transport,
-            &CrawlConfig {
-                workers: 1,
-                retries: 0,
-                ..Default::default()
-            },
+            &CrawlConfig::builder()
+                .workers(1)
+                .retries(0)
+                .build()
+                .expect("valid"),
         );
         // Every host fails its first attempt; one retry must recover the
         // same liveness picture (each domain is fetched twice — web and
         // mobile — so the first device's retry absorbs the failure).
-        let flaky = FlakyTransport::new(transport, 1);
-        let (retried, _) = crawl_all(
+        let flaky = ChaosTransport::new(
+            transport,
+            FaultPlan::fail_first(1),
+            Arc::new(TransportMetrics::new()),
+        );
+        let (retried, stats) = crawl_all(
             &jobs,
             &registry,
             &flaky,
-            &CrawlConfig {
-                workers: 1,
-                retries: 1,
-                ..Default::default()
-            },
+            &CrawlConfig::builder()
+                .workers(1)
+                .retries(1)
+                .build()
+                .expect("valid"),
         );
         for (a, b) in clean.iter().zip(&retried) {
             assert_eq!(a.domain, b.domain);
@@ -391,25 +677,33 @@ mod tests {
                 a.domain
             );
         }
+        assert!(stats.transport.retries >= jobs.len() as u64);
     }
 
     #[test]
     fn without_retries_flaky_hosts_look_dead() {
-        use crate::transport::FlakyTransport;
+        use crate::middleware::{ChaosTransport, FaultPlan};
         let (jobs, registry, transport) = setup(5, 10, 3, 9);
-        let flaky = FlakyTransport::new(transport, 99);
+        let flaky = ChaosTransport::new(
+            transport,
+            FaultPlan::fail_first(99),
+            Arc::new(TransportMetrics::new()),
+        );
         let (records, stats) = crawl_all(
             &jobs,
             &registry,
             &flaky,
-            &CrawlConfig {
-                workers: 2,
-                retries: 0,
-                ..Default::default()
-            },
+            &CrawlConfig::builder()
+                .workers(2)
+                .retries(0)
+                .build()
+                .expect("valid"),
         );
         assert_eq!(stats.web_live, 0);
-        assert!(records.iter().all(|r| !r.is_live()));
+        assert!(records.iter().all(|r| !r.live()));
+        assert!(records
+            .iter()
+            .all(|r| r.outcome(Device::Web) == CrawlOutcome::Dead));
     }
 
     #[test]
@@ -419,8 +713,12 @@ mod tests {
         let live = records
             .iter()
             .find(|r| r.web.is_some())
-            .expect("some live page");
-        let bmp = live.web.as_ref().unwrap().render();
+            .expect("at least one live page at this scale");
+        let bmp = live
+            .web
+            .as_ref()
+            .expect("filtered on web capture above")
+            .render();
         assert!(bmp.width() > 0);
     }
 }

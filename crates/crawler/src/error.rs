@@ -1,0 +1,215 @@
+//! The fetch-error taxonomy of the fallible [`Transport`] API.
+//!
+//! Every way a fetch can fail is one of four coarse classes, chosen to
+//! match what a real crawler distinguishes on the wire (and what the
+//! paper's crawler had to survive — §3.2 sends "1-2 requests for each
+//! scan" and records dead domains gracefully):
+//!
+//! * [`FetchError::Timeout`] — the fetch exceeded a deadline (per-fetch
+//!   or whole-crawl budget),
+//! * [`FetchError::ConnectionRefused`] — the host is dead: NXDOMAIN,
+//!   RST, or a circuit breaker refusing locally,
+//! * [`FetchError::Truncated`] — the connection dropped mid-response,
+//! * [`FetchError::Injected`] — a synthetic fault from a
+//!   [`ChaosTransport`](crate::middleware::ChaosTransport) plan that
+//!   does not model any specific network failure.
+//!
+//! Each variant carries the host it failed for and the 1-based attempt
+//! number at which the failure surfaced (0 when the erroring layer does
+//! not track per-host attempts).
+//!
+//! [`Transport`]: crate::transport::Transport
+
+use std::fmt;
+
+/// The coarse class of a [`FetchError`], used for per-class metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetchClass {
+    /// Deadline exceeded.
+    Timeout,
+    /// Host dead or refusing connections (includes breaker rejections).
+    ConnectionRefused,
+    /// Response cut off mid-transfer.
+    Truncated,
+    /// Synthetic chaos-plan fault.
+    Injected,
+}
+
+impl FetchClass {
+    /// All classes, in metrics-array order.
+    pub const ALL: [FetchClass; 4] = [
+        FetchClass::Timeout,
+        FetchClass::ConnectionRefused,
+        FetchClass::Truncated,
+        FetchClass::Injected,
+    ];
+
+    /// Stable index into per-class counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FetchClass::Timeout => 0,
+            FetchClass::ConnectionRefused => 1,
+            FetchClass::Truncated => 2,
+            FetchClass::Injected => 3,
+        }
+    }
+
+    /// Short lower-case name (CLI flags and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FetchClass::Timeout => "timeout",
+            FetchClass::ConnectionRefused => "refused",
+            FetchClass::Truncated => "truncated",
+            FetchClass::Injected => "injected",
+        }
+    }
+
+    /// Parses the short name produced by [`FetchClass::name`].
+    pub fn parse(s: &str) -> Option<FetchClass> {
+        FetchClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+impl fmt::Display for FetchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A failed fetch, with host and attempt context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The fetch exceeded its per-fetch or whole-crawl deadline.
+    Timeout {
+        /// Host being fetched when the deadline hit.
+        host: String,
+        /// 1-based attempt number (0 = not tracked by the erroring layer).
+        attempt: u32,
+    },
+    /// The host refused the connection (dead host, NXDOMAIN, or a
+    /// circuit breaker rejecting locally).
+    ConnectionRefused {
+        /// Host that refused.
+        host: String,
+        /// 1-based attempt number (0 = not tracked by the erroring layer).
+        attempt: u32,
+    },
+    /// The response was cut off before completion.
+    Truncated {
+        /// Host whose response was truncated.
+        host: String,
+        /// 1-based attempt number (0 = not tracked by the erroring layer).
+        attempt: u32,
+    },
+    /// A synthetic fault injected by a chaos plan.
+    Injected {
+        /// Host the fault was injected for.
+        host: String,
+        /// 1-based attempt number (0 = not tracked by the erroring layer).
+        attempt: u32,
+    },
+}
+
+impl FetchError {
+    /// Builds an error of the given class.
+    pub fn new(class: FetchClass, host: impl Into<String>, attempt: u32) -> Self {
+        let host = host.into();
+        match class {
+            FetchClass::Timeout => FetchError::Timeout { host, attempt },
+            FetchClass::ConnectionRefused => FetchError::ConnectionRefused { host, attempt },
+            FetchClass::Truncated => FetchError::Truncated { host, attempt },
+            FetchClass::Injected => FetchError::Injected { host, attempt },
+        }
+    }
+
+    /// The coarse class of this error.
+    pub fn class(&self) -> FetchClass {
+        match self {
+            FetchError::Timeout { .. } => FetchClass::Timeout,
+            FetchError::ConnectionRefused { .. } => FetchClass::ConnectionRefused,
+            FetchError::Truncated { .. } => FetchClass::Truncated,
+            FetchError::Injected { .. } => FetchClass::Injected,
+        }
+    }
+
+    /// The host the fetch failed for.
+    pub fn host(&self) -> &str {
+        match self {
+            FetchError::Timeout { host, .. }
+            | FetchError::ConnectionRefused { host, .. }
+            | FetchError::Truncated { host, .. }
+            | FetchError::Injected { host, .. } => host,
+        }
+    }
+
+    /// The attempt number the failure surfaced at (0 = untracked).
+    pub fn attempt(&self) -> u32 {
+        match self {
+            FetchError::Timeout { attempt, .. }
+            | FetchError::ConnectionRefused { attempt, .. }
+            | FetchError::Truncated { attempt, .. }
+            | FetchError::Injected { attempt, .. } => *attempt,
+        }
+    }
+
+    /// Stamps the attempt number — used by layers that track per-host
+    /// attempts to enrich errors raised by layers that do not.
+    pub fn with_attempt(mut self, n: u32) -> Self {
+        match &mut self {
+            FetchError::Timeout { attempt, .. }
+            | FetchError::ConnectionRefused { attempt, .. }
+            | FetchError::Truncated { attempt, .. }
+            | FetchError::Injected { attempt, .. } => *attempt = n,
+        }
+        self
+    }
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.attempt() == 0 {
+            write!(f, "{} fetching {}", self.class(), self.host())
+        } else {
+            write!(
+                f,
+                "{} fetching {} (attempt {})",
+                self.class(),
+                self.host(),
+                self.attempt()
+            )
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_roundtrips_through_name_and_index() {
+        for (i, c) in FetchClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(FetchClass::parse(c.name()), Some(c));
+        }
+        assert_eq!(FetchClass::parse("bogus"), None);
+    }
+
+    #[test]
+    fn error_carries_context() {
+        let e = FetchError::new(FetchClass::Timeout, "a.com", 3);
+        assert_eq!(e.class(), FetchClass::Timeout);
+        assert_eq!(e.host(), "a.com");
+        assert_eq!(e.attempt(), 3);
+        assert_eq!(e.to_string(), "timeout fetching a.com (attempt 3)");
+        let e = e.with_attempt(0);
+        assert_eq!(e.to_string(), "timeout fetching a.com");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&FetchError::new(FetchClass::Injected, "x", 1));
+    }
+}

@@ -1,0 +1,231 @@
+//! Transport-layer instrumentation, shared across the middleware stack.
+//!
+//! One [`TransportMetrics`] is threaded (by `Arc`) through every layer of
+//! a [`TransportStack`](crate::middleware::TransportStack) and through
+//! the crawl engine itself; [`crawl_all`](crate::crawl::crawl_all) folds
+//! a [`TransportSnapshot`] of it into [`CrawlStats`](crate::stats::CrawlStats)
+//! so the counters surface in the CLI and `repro` reports.
+//!
+//! Accounting rules (each fault is counted exactly once per counter
+//! group):
+//!
+//! * `attempts` — fetches *issued by the crawl engine* (one per
+//!   `Transport::fetch` call from the crawl loop),
+//! * `retries` — extra attempts originated by any retry mechanism: the
+//!   engine's configured retry budget and
+//!   [`RetryTransport`](crate::middleware::RetryTransport) both count
+//!   here,
+//! * `errors[class]` — faults *consumed* somewhere: a retry layer counts
+//!   the errors it absorbs by retrying, the engine counts every error
+//!   that surfaces to it. A propagated error is only counted by its
+//!   final consumer, so `errors` totals reconcile with `injected`
+//!   (plus world-dead refusals, breaker rejections and deadline
+//!   timeouts),
+//! * `injected[class]` — faults a
+//!   [`ChaosTransport`](crate::middleware::ChaosTransport) plan raised,
+//! * `breaker_short_circuits` — fetches answered by an open circuit
+//!   breaker without reaching the inner transport.
+
+use crate::error::FetchClass;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared atomic counters for one transport stack / crawl.
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    attempts: AtomicU64,
+    successes: AtomicU64,
+    retries: AtomicU64,
+    backoff_ns: AtomicU64,
+    errors: [AtomicU64; 4],
+    injected: [AtomicU64; 4],
+    breaker_trips: AtomicU64,
+    breaker_short_circuits: AtomicU64,
+    fetch_deadline_hits: AtomicU64,
+    crawl_deadline_hits: AtomicU64,
+}
+
+impl TransportMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        TransportMetrics::default()
+    }
+
+    /// One engine-issued fetch.
+    pub fn record_attempt(&self) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A fetch that returned `Ok` to the engine.
+    pub fn record_success(&self) {
+        self.successes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One extra attempt after a failure, with the (virtual) backoff
+    /// that preceded it (`Duration::ZERO` for the engine's immediate
+    /// retries).
+    pub fn record_retry(&self, backoff: Duration) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        let ns = u64::try_from(backoff.as_nanos()).unwrap_or(u64::MAX);
+        self.backoff_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A fault consumed at some layer (see module docs for the
+    /// exactly-once rule).
+    pub fn record_error(&self, class: FetchClass) {
+        self.errors[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A fault injected by a chaos plan.
+    pub fn record_injected(&self, class: FetchClass) {
+        self.injected[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A circuit breaker opening.
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A fetch rejected by an open breaker.
+    pub fn record_breaker_short_circuit(&self) {
+        self.breaker_short_circuits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A per-fetch deadline firing.
+    pub fn record_fetch_deadline(&self) {
+        self.fetch_deadline_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The whole-crawl budget firing.
+    pub fn record_crawl_deadline(&self) {
+        self.crawl_deadline_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent copy of all counters.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            successes: self.successes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            backoff_ns: self.backoff_ns.load(Ordering::Relaxed),
+            errors: self.errors.each_ref().map(|c| c.load(Ordering::Relaxed)),
+            injected: self.injected.each_ref().map(|c| c.load(Ordering::Relaxed)),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_short_circuits: self.breaker_short_circuits.load(Ordering::Relaxed),
+            fetch_deadline_hits: self.fetch_deadline_hits.load(Ordering::Relaxed),
+            crawl_deadline_hits: self.crawl_deadline_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`TransportMetrics`], carried on
+/// [`CrawlStats`](crate::stats::CrawlStats).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportSnapshot {
+    /// Engine-issued fetches.
+    pub attempts: u64,
+    /// Fetches that returned a serve result to the engine.
+    pub successes: u64,
+    /// Extra attempts after failures (engine + retry layers).
+    pub retries: u64,
+    /// Total virtual backoff slept before retries, in nanoseconds.
+    pub backoff_ns: u64,
+    /// Faults consumed, per [`FetchClass`] index.
+    pub errors: [u64; 4],
+    /// Faults injected by chaos plans, per [`FetchClass`] index.
+    pub injected: [u64; 4],
+    /// Circuit-breaker openings.
+    pub breaker_trips: u64,
+    /// Fetches rejected by an open breaker.
+    pub breaker_short_circuits: u64,
+    /// Per-fetch deadline hits.
+    pub fetch_deadline_hits: u64,
+    /// Whole-crawl budget hits.
+    pub crawl_deadline_hits: u64,
+}
+
+impl TransportSnapshot {
+    /// Consumed faults across all classes.
+    pub fn errors_total(&self) -> u64 {
+        self.errors.iter().sum()
+    }
+
+    /// Injected faults across all classes.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Consumed faults of one class.
+    pub fn errors_of(&self, class: FetchClass) -> u64 {
+        self.errors[class.index()]
+    }
+
+    /// Injected faults of one class.
+    pub fn injected_of(&self, class: FetchClass) -> u64 {
+        self.injected[class.index()]
+    }
+
+    /// One-line report (`repro` and the `crawl` CLI command print this).
+    pub fn report_line(&self) -> String {
+        format!(
+            "{} attempts, {} retries ({:.1}ms backoff), {} errors \
+             (timeout {}, refused {}, truncated {}, injected {}), \
+             {} breaker trips, {} short-circuits, {} fetch / {} crawl deadline hits",
+            self.attempts,
+            self.retries,
+            self.backoff_ns as f64 / 1e6,
+            self.errors_total(),
+            self.errors[0],
+            self.errors[1],
+            self.errors[2],
+            self.errors[3],
+            self.breaker_trips,
+            self.breaker_short_circuits,
+            self.fetch_deadline_hits,
+            self.crawl_deadline_hits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = TransportMetrics::new();
+        m.record_attempt();
+        m.record_attempt();
+        m.record_success();
+        m.record_retry(Duration::from_millis(3));
+        m.record_error(FetchClass::Timeout);
+        m.record_error(FetchClass::Injected);
+        m.record_injected(FetchClass::Injected);
+        m.record_breaker_trip();
+        m.record_breaker_short_circuit();
+        m.record_fetch_deadline();
+        m.record_crawl_deadline();
+        let s = m.snapshot();
+        assert_eq!(s.attempts, 2);
+        assert_eq!(s.successes, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.backoff_ns, 3_000_000);
+        assert_eq!(s.errors_total(), 2);
+        assert_eq!(s.errors_of(FetchClass::Timeout), 1);
+        assert_eq!(s.injected_of(FetchClass::Injected), 1);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.breaker_short_circuits, 1);
+        assert_eq!(s.fetch_deadline_hits, 1);
+        assert_eq!(s.crawl_deadline_hits, 1);
+        assert!(s.report_line().contains("2 attempts"));
+    }
+
+    #[test]
+    fn snapshot_equality_supports_determinism_checks() {
+        let a = TransportMetrics::new();
+        let b = TransportMetrics::new();
+        a.record_error(FetchClass::Truncated);
+        b.record_error(FetchClass::Truncated);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+}

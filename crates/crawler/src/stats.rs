@@ -1,12 +1,16 @@
 //! Crawl aggregate statistics (the Table 2 numbers).
 
 use crate::crawl::{CrawlRecord, RedirectClass};
+use crate::metrics::TransportSnapshot;
 
 /// Aggregate crawl counters, web and mobile.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CrawlStats {
     /// Jobs crawled.
     pub total: usize,
+    /// Transport-level counters (attempts, retries, errors by class,
+    /// breaker and deadline activity) for this crawl.
+    pub transport: TransportSnapshot,
     /// Domains with a live web page.
     pub web_live: usize,
     /// Domains with a live mobile page.

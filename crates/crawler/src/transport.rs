@@ -1,18 +1,53 @@
-//! Pluggable fetch transports.
+//! Pluggable fetch transports — the fallible base of the middleware
+//! stack (see [`crate::middleware`] for the decorator layers).
 
-use squatphi_web::{Device, ServeResult, WebWorld};
+use crate::error::FetchError;
+use crate::metrics::TransportMetrics;
+use squatphi_web::{Device, ServeClass, ServeResult, WebWorld};
 use std::sync::Arc;
 
 /// A blocking fetch of one host for one device profile at one snapshot.
 /// Implementations must be `Send + Sync`: the worker pool shares one
 /// transport across threads.
 pub trait Transport: Send + Sync {
-    /// Fetches `http://host/`; returns the raw serve result (redirects are
-    /// followed by the crawler, not the transport).
-    fn fetch(&self, host: &str, device: Device, snapshot: u8) -> ServeResult;
+    /// Fetches `http://host/`; returns the raw serve result (redirects
+    /// are followed by the crawler, not the transport) or a structured
+    /// [`FetchError`] when the fetch failed.
+    fn fetch(&self, host: &str, device: Device, snapshot: u8) -> Result<ServeResult, FetchError>;
+
+    /// The metrics this transport records into, if it exposes any
+    /// (middleware stacks do); [`crawl_all`](crate::crawl::crawl_all)
+    /// folds these into the crawl stats.
+    fn metrics(&self) -> Option<Arc<TransportMetrics>> {
+        None
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn fetch(&self, host: &str, device: Device, snapshot: u8) -> Result<ServeResult, FetchError> {
+        (**self).fetch(host, device, snapshot)
+    }
+
+    fn metrics(&self) -> Option<Arc<TransportMetrics>> {
+        (**self).metrics()
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn fetch(&self, host: &str, device: Device, snapshot: u8) -> Result<ServeResult, FetchError> {
+        (**self).fetch(host, device, snapshot)
+    }
+
+    fn metrics(&self) -> Option<Arc<TransportMetrics>> {
+        (**self).metrics()
+    }
 }
 
 /// Direct in-process calls into the world — the bulk-scale transport.
+///
+/// The world's [`ServeClass::Unreachable`] outcome (dead site, NXDOMAIN,
+/// unknown host) maps onto [`FetchError::ConnectionRefused`]; pages and
+/// redirects pass through as `Ok`.
 #[derive(Clone)]
 pub struct InProcessTransport {
     world: Arc<WebWorld>,
@@ -26,55 +61,22 @@ impl InProcessTransport {
 }
 
 impl Transport for InProcessTransport {
-    fn fetch(&self, host: &str, device: Device, snapshot: u8) -> ServeResult {
-        self.world.serve(host, device, snapshot)
-    }
-}
-
-/// Failure-injection wrapper: every k-th fetch of a host fails with
-/// `Unreachable`, deterministically per (host, attempt) pair. Used to test
-/// the crawler's retry path; also handy for chaos-style integration tests.
-pub struct FlakyTransport<T> {
-    inner: T,
-    /// Fail the first `fail_first` attempts per host.
-    fail_first: usize,
-    attempts: parking_lot::Mutex<std::collections::HashMap<String, usize>>,
-}
-
-impl<T: Transport> FlakyTransport<T> {
-    /// Wraps `inner`; the first `fail_first` fetches of each host fail.
-    pub fn new(inner: T, fail_first: usize) -> Self {
-        FlakyTransport {
-            inner,
-            fail_first,
-            attempts: parking_lot::Mutex::new(std::collections::HashMap::new()),
+    fn fetch(&self, host: &str, device: Device, snapshot: u8) -> Result<ServeResult, FetchError> {
+        let result = self.world.serve(host, device, snapshot);
+        match result.class() {
+            ServeClass::Unreachable => Err(FetchError::ConnectionRefused {
+                host: host.to_string(),
+                attempt: 0,
+            }),
+            ServeClass::Redirect | ServeClass::Page => Ok(result),
         }
-    }
-
-    /// Total fetch attempts observed (all hosts).
-    pub fn total_attempts(&self) -> usize {
-        self.attempts.lock().values().sum()
-    }
-}
-
-impl<T: Transport> Transport for FlakyTransport<T> {
-    fn fetch(&self, host: &str, device: Device, snapshot: u8) -> ServeResult {
-        let n = {
-            let mut map = self.attempts.lock();
-            let e = map.entry(host.to_string()).or_insert(0);
-            *e += 1;
-            *e
-        };
-        if n <= self.fail_first {
-            return ServeResult::Unreachable;
-        }
-        self.inner.fetch(host, device, snapshot)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::FetchClass;
     use squatphi_squat::{BrandRegistry, SquatType};
     use squatphi_web::WorldConfig;
     use std::net::Ipv4Addr;
@@ -95,45 +97,30 @@ mod tests {
     }
 
     #[test]
-    fn flaky_transport_fails_then_recovers() {
-        let t = FlakyTransport::new(InProcessTransport::new(tiny_world()), 2);
+    fn in_process_transport_serves() {
+        let t = InProcessTransport::new(tiny_world());
         assert!(matches!(
             t.fetch("paypal-login.com", Device::Web, 0),
-            ServeResult::Unreachable
+            Ok(ServeResult::Page(_))
         ));
-        assert!(matches!(
-            t.fetch("paypal-login.com", Device::Web, 0),
-            ServeResult::Unreachable
-        ));
-        assert!(matches!(
-            t.fetch("paypal-login.com", Device::Web, 0),
-            ServeResult::Page(_)
-        ));
-        assert_eq!(t.total_attempts(), 3);
+        let err = t
+            .fetch("missing.example", Device::Web, 0)
+            .expect_err("unknown hosts are unreachable");
+        assert_eq!(err.class(), FetchClass::ConnectionRefused);
+        assert_eq!(err.host(), "missing.example");
     }
 
     #[test]
-    fn in_process_transport_serves() {
-        let registry = BrandRegistry::with_size(5);
-        let squats = vec![(
-            "paypal-login.com".to_string(),
-            0usize,
-            SquatType::Combo,
-            Ipv4Addr::new(9, 9, 9, 9),
-        )];
-        let cfg = WorldConfig {
-            phishing_domains: 1,
-            ..WorldConfig::default()
-        };
-        let world = Arc::new(WebWorld::build(&squats, &registry, &cfg));
-        let t = InProcessTransport::new(world);
-        assert!(matches!(
-            t.fetch("paypal-login.com", Device::Web, 0),
-            ServeResult::Page(_)
-        ));
-        assert!(matches!(
-            t.fetch("missing.example", Device::Web, 0),
-            ServeResult::Unreachable
-        ));
+    fn base_transport_exposes_no_metrics() {
+        let t = InProcessTransport::new(tiny_world());
+        assert!(t.metrics().is_none());
+    }
+
+    #[test]
+    fn blanket_impls_forward() {
+        let t: Box<dyn Transport> = Box::new(InProcessTransport::new(tiny_world()));
+        assert!(t.fetch("paypal-login.com", Device::Web, 0).is_ok());
+        let t: Arc<dyn Transport> = Arc::from(t);
+        assert!(t.fetch("paypal-login.com", Device::Web, 0).is_ok());
     }
 }

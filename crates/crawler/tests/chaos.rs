@@ -1,0 +1,207 @@
+//! Chaos matrix: crawls under injected fault plans across worker
+//! counts, checking determinism, zero-fault equivalence with the plain
+//! transport, breaker behavior, and metrics reconciliation.
+
+use squatphi_crawler::{
+    crawl_all, CircuitBreakerPolicy, CrawlConfig, CrawlOutcome, CrawlRecord, CrawlStats,
+    DeadlinePolicy, FaultPlan, FetchClass, InProcessTransport, RetryPolicy, TransportStack,
+};
+use squatphi_squat::{BrandId, BrandRegistry, SquatType};
+use squatphi_web::{Device, WebWorld, WorldConfig};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn world(
+    seed: u64,
+) -> (
+    Vec<(String, BrandId, SquatType)>,
+    BrandRegistry,
+    Arc<WebWorld>,
+) {
+    let registry = BrandRegistry::with_size(8);
+    let mut squats = Vec::new();
+    for (i, b) in registry.brands().iter().enumerate() {
+        for j in 0..12 {
+            squats.push((
+                format!("{}-sq{}.com", b.label, j),
+                i,
+                SquatType::Combo,
+                Ipv4Addr::new(203, 0, (i % 200) as u8, j as u8),
+            ));
+        }
+    }
+    let cfg = WorldConfig {
+        phishing_domains: 8,
+        seed,
+        ..WorldConfig::default()
+    };
+    let world = Arc::new(WebWorld::build(&squats, &registry, &cfg));
+    let jobs = squats
+        .iter()
+        .map(|(d, b, t, _)| (d.clone(), *b, *t))
+        .collect();
+    (jobs, registry, world)
+}
+
+fn cfg(workers: usize) -> CrawlConfig {
+    CrawlConfig::builder()
+        .workers(workers)
+        .build()
+        .expect("nonzero workers")
+}
+
+fn stacked_crawl(
+    jobs: &[(String, BrandId, SquatType)],
+    registry: &BrandRegistry,
+    w: &Arc<WebWorld>,
+    plan: FaultPlan,
+    workers: usize,
+) -> (Vec<CrawlRecord>, CrawlStats) {
+    let stack = TransportStack::new(InProcessTransport::new(w.clone()))
+        .chaos(plan)
+        .retry(RetryPolicy::default())
+        .breaker(CircuitBreakerPolicy::default())
+        .deadline(DeadlinePolicy::default())
+        .build();
+    crawl_all(jobs, registry, &stack, &cfg(workers))
+}
+
+/// Every fault plan replays byte-identically with a single worker, and
+/// order-insensitive plans (zero-fault, all-fail) replay byte-identically
+/// at every worker count. Order-sensitive plans (`fail_every`,
+/// `fail_permille`) hit shared redirect-target hosts in scheduling order,
+/// so their cross-run guarantee needs single-flight per host.
+#[test]
+fn chaos_matrix_replays_deterministically() {
+    let (jobs, registry, w) = world(11);
+    let single_worker_plans = [
+        FaultPlan::none(),
+        FaultPlan::fail_first(1),
+        FaultPlan::fail_every(3),
+        FaultPlan::fail_permille(250).with_seed(42),
+    ];
+    for plan in single_worker_plans {
+        let (a, sa) = stacked_crawl(&jobs, &registry, &w, plan, 1);
+        let (b, sb) = stacked_crawl(&jobs, &registry, &w, plan, 1);
+        assert_eq!(a, b, "records diverged for {plan:?}");
+        assert_eq!(sa, sb, "stats (incl. metrics) diverged for {plan:?}");
+    }
+    let order_insensitive = [FaultPlan::none(), FaultPlan::fail_every(1)];
+    for plan in order_insensitive {
+        let (base, _) = stacked_crawl(&jobs, &registry, &w, plan, 1);
+        for workers in [2usize, 4, 8] {
+            let (r, _) = stacked_crawl(&jobs, &registry, &w, plan, workers);
+            assert_eq!(
+                base, r,
+                "records diverged at {workers} workers for {plan:?}"
+            );
+        }
+    }
+}
+
+/// The zero-fault stack (chaos none + retry + breaker + deadline, all
+/// defaults) produces byte-identical records and identical crawl
+/// aggregates to the plain pre-middleware transport.
+#[test]
+fn zero_fault_stack_matches_plain_transport() {
+    let (jobs, registry, w) = world(7);
+    for workers in [1usize, 4] {
+        let plain = InProcessTransport::new(w.clone());
+        let (base_records, base_stats) = crawl_all(&jobs, &registry, &plain, &cfg(workers));
+        let (stack_records, stack_stats) =
+            stacked_crawl(&jobs, &registry, &w, FaultPlan::none(), workers);
+        assert_eq!(base_records, stack_records);
+        // Aggregates match except the transport counters themselves
+        // (the stack's retry layer absorbs dead-host failures that the
+        // bare engine sees directly).
+        let mut base_stats = base_stats;
+        let mut stack_stats = stack_stats;
+        assert_eq!(stack_stats.transport.injected_total(), 0);
+        base_stats.transport = Default::default();
+        stack_stats.transport = Default::default();
+        assert_eq!(base_stats, stack_stats);
+    }
+}
+
+/// Under an all-fail plan the breaker trips per host, later fetches are
+/// short-circuited, and every domain is still recorded (as dead) in
+/// input order — nothing is dropped.
+#[test]
+fn breaker_tripped_hosts_are_recorded_dead_not_dropped() {
+    let (jobs, registry, w) = world(3);
+    for workers in [1usize, 4] {
+        let (records, stats) =
+            stacked_crawl(&jobs, &registry, &w, FaultPlan::fail_every(1), workers);
+        assert_eq!(records.len(), jobs.len());
+        for (r, j) in records.iter().zip(&jobs) {
+            assert_eq!(r.domain, j.0, "input order broken");
+            assert_eq!(r.outcome(Device::Web), CrawlOutcome::Dead);
+            assert_eq!(r.outcome(Device::Mobile), CrawlOutcome::Dead);
+        }
+        let t = &stats.transport;
+        assert!(t.breaker_trips as usize >= jobs.len(), "one trip per host");
+        assert!(t.breaker_short_circuits > 0, "open breaker never consulted");
+        assert_eq!(stats.web_live, 0);
+        assert_eq!(stats.mobile_live, 0);
+    }
+}
+
+/// Injected faults reconcile exactly with observed errors: every fault
+/// the chaos layer injects is consumed exactly once — either absorbed by
+/// the retry layer or surfaced to the engine — for classes the world
+/// itself never produces.
+#[test]
+fn injected_faults_reconcile_with_observed_errors() {
+    let (jobs, registry, w) = world(5);
+    for class in [
+        FetchClass::Timeout,
+        FetchClass::Truncated,
+        FetchClass::Injected,
+    ] {
+        for workers in [1usize, 4] {
+            let plan = FaultPlan::fail_every(2).with_class(class);
+            let stack = TransportStack::new(InProcessTransport::new(w.clone()))
+                .chaos(plan)
+                .retry(RetryPolicy::default())
+                .build();
+            let (_, stats) = crawl_all(&jobs, &registry, &stack, &cfg(workers));
+            let t = &stats.transport;
+            assert!(t.injected_of(class) > 0, "plan never fired for {class}");
+            assert_eq!(
+                t.injected_of(class),
+                t.errors_of(class),
+                "injected vs observed mismatch for {class} at {workers} workers"
+            );
+            assert_eq!(t.injected_total(), t.injected_of(class));
+        }
+    }
+}
+
+/// The per-fetch deadline layer converts slow chains into timeouts and
+/// counts them; the whole-crawl budget cuts the crawl off while still
+/// returning a record per job.
+#[test]
+fn deadline_budgets_are_enforced_and_counted() {
+    let (jobs, registry, w) = world(13);
+    // Whole-crawl budget of 40 fetch-costs: most fetches are answered
+    // with a synthesized timeout once the budget is gone.
+    let stack = TransportStack::new(InProcessTransport::new(w.clone()))
+        .deadline(DeadlinePolicy {
+            per_fetch: None,
+            whole_crawl: Some(std::time::Duration::from_millis(200)),
+            fetch_cost: std::time::Duration::from_millis(5),
+        })
+        .build();
+    let (records, stats) = crawl_all(&jobs, &registry, &stack, &cfg(1));
+    assert_eq!(records.len(), jobs.len(), "budget exhaustion dropped jobs");
+    assert!(stats.transport.crawl_deadline_hits > 0);
+    let dead = records
+        .iter()
+        .filter(|r| r.outcome(Device::Web) == CrawlOutcome::Dead)
+        .count();
+    assert!(dead > 0, "deadline never killed a fetch");
+    assert!(
+        stats.transport.errors_of(FetchClass::Timeout) > 0,
+        "synthesized timeouts must be observed by the engine"
+    );
+}

@@ -76,6 +76,10 @@ fn main() {
         t.detect.as_secs_f64(),
         t.total().as_secs_f64(),
     );
+    eprintln!(
+        "[repro] crawl transport: {}",
+        result.crawl_stats.transport.report_line()
+    );
     let m = &result.scan_metrics;
     eprintln!(
         "[repro] scan: {:.0} records/s over {} workers, {} probes, {} allocations avoided, {} dedupe collisions",

@@ -8,6 +8,7 @@
 
 use squatphi::analysis;
 use squatphi::pipeline::PipelineResult;
+use squatphi_crawler::TransportSnapshot;
 use squatphi_web::Device;
 
 /// Headline numbers of one pipeline run — everything a dashboard or a
@@ -22,6 +23,8 @@ pub struct RunSummary {
     pub squatting_by_type: [usize; 5],
     /// Live domains crawled (web profile).
     pub web_live: usize,
+    /// Transport middleware counters from the crawl stage.
+    pub crawl_transport: TransportSnapshot,
     /// Classifier metrics per model: (name, fpr, fnr, auc, acc).
     pub models: Vec<ModelSummary>,
     /// Pages flagged per device.
@@ -112,6 +115,7 @@ impl RunSummary {
             squatting_domains: result.scan.total_matches(),
             squatting_by_type: result.scan.by_type,
             web_live: result.crawl_stats.web_live,
+            crawl_transport: result.crawl_stats.transport.clone(),
             models: result
                 .eval
                 .models
@@ -163,8 +167,22 @@ impl RunSummary {
             .collect::<Vec<_>>()
             .join(",\n");
         let (pt, vt, ec, un) = self.blacklist;
+        let t = &self.crawl_transport;
+        let arr4 = |a: &[u64; 4]| a.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+        let transport = format!(
+            "{{\n    \"attempts\": {},\n    \"successes\": {},\n    \"retries\": {},\n    \"errors\": [{}],\n    \"injected\": [{}],\n    \"breaker_trips\": {},\n    \"breaker_short_circuits\": {},\n    \"fetch_deadline_hits\": {},\n    \"crawl_deadline_hits\": {}\n  }}",
+            t.attempts,
+            t.successes,
+            t.retries,
+            arr4(&t.errors),
+            arr4(&t.injected),
+            t.breaker_trips,
+            t.breaker_short_circuits,
+            t.fetch_deadline_hits,
+            t.crawl_deadline_hits,
+        );
         format!(
-            "{{\n  \"records_scanned\": {},\n  \"squatting_domains\": {},\n  \"squatting_by_type\": [\n{by_type}\n  ],\n  \"web_live\": {},\n  \"models\": [\n{models}\n  ],\n  \"flagged\": {},\n  \"confirmed\": {},\n  \"confirmed_domains\": {},\n  \"targeted_brands\": {},\n  \"blacklist\": [\n    {pt},\n    {vt},\n    {ec},\n    {un}\n  ]\n}}",
+            "{{\n  \"records_scanned\": {},\n  \"squatting_domains\": {},\n  \"squatting_by_type\": [\n{by_type}\n  ],\n  \"web_live\": {},\n  \"crawl_transport\": {transport},\n  \"models\": [\n{models}\n  ],\n  \"flagged\": {},\n  \"confirmed\": {},\n  \"confirmed_domains\": {},\n  \"targeted_brands\": {},\n  \"blacklist\": [\n    {pt},\n    {vt},\n    {ec},\n    {un}\n  ]\n}}",
             self.records_scanned,
             self.squatting_domains,
             self.web_live,
@@ -191,6 +209,11 @@ mod tests {
         let json = summary.to_json_pretty();
         assert!(json.contains("\"records_scanned\""));
         assert!(json.contains("RandomForest"));
+        // The crawl stage runs over the middleware-aware engine, so the
+        // transport counters are populated and serialized.
+        assert!(summary.crawl_transport.attempts > 0);
+        assert!(json.contains("\"crawl_transport\""));
+        assert!(json.contains("\"breaker_trips\""));
     }
 
     #[test]

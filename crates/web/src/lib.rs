@@ -27,4 +27,4 @@ pub mod world;
 pub use behavior::{Cloaking, LifetimePattern, PhishingProfile, ScamKind, SiteBehavior};
 pub use pages::PageStyle;
 pub use whois::{country_of, registrar_of, registration_year, WhoisRecord};
-pub use world::{Device, ServeResult, Site, Snapshot, WebWorld, WorldConfig};
+pub use world::{Device, ServeClass, ServeResult, Site, Snapshot, WebWorld, WorldConfig};

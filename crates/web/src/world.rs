@@ -76,6 +76,55 @@ pub enum ServeResult {
     Page(String),
 }
 
+/// The payload-free class of a [`ServeResult`] — what transports map
+/// onto their own error taxonomies (the crawler turns `Unreachable`
+/// into a connection-refused fetch error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeClass {
+    /// Connection failed / NXDOMAIN.
+    Unreachable,
+    /// HTTP redirect.
+    Redirect,
+    /// An HTML page.
+    Page,
+}
+
+impl ServeResult {
+    /// This result's class.
+    pub fn class(&self) -> ServeClass {
+        match self {
+            ServeResult::Unreachable => ServeClass::Unreachable,
+            ServeResult::Redirect(_) => ServeClass::Redirect,
+            ServeResult::Page(_) => ServeClass::Page,
+        }
+    }
+
+    /// Whether the request failed to reach any server.
+    pub fn is_unreachable(&self) -> bool {
+        matches!(self, ServeResult::Unreachable)
+    }
+}
+
+impl std::fmt::Display for ServeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServeClass::Unreachable => "unreachable",
+            ServeClass::Redirect => "redirect",
+            ServeClass::Page => "page",
+        })
+    }
+}
+
+impl std::fmt::Display for ServeResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeResult::Unreachable => f.write_str("unreachable"),
+            ServeResult::Redirect(url) => write!(f, "redirect -> {url}"),
+            ServeResult::Page(html) => write!(f, "page ({} bytes)", html.len()),
+        }
+    }
+}
+
 /// Behavior-mix configuration (paper Tables 2-4, §6.1).
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
@@ -589,6 +638,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn serve_results_classify_and_display() {
+        assert_eq!(ServeResult::Unreachable.class(), ServeClass::Unreachable);
+        assert!(ServeResult::Unreachable.is_unreachable());
+        let r = ServeResult::Redirect("http://x.example/".into());
+        assert_eq!(r.class(), ServeClass::Redirect);
+        assert_eq!(r.to_string(), "redirect -> http://x.example/");
+        let p = ServeResult::Page("<html></html>".into());
+        assert_eq!(p.class(), ServeClass::Page);
+        assert_eq!(p.to_string(), "page (13 bytes)");
+        assert_eq!(ServeClass::Unreachable.to_string(), "unreachable");
     }
 
     #[test]
