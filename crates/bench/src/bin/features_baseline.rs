@@ -1,0 +1,132 @@
+//! Writes `BENCH_features.json`: the cold-vs-warm feature-extraction
+//! baseline each PR commits so the analysis-cache payoff stays on record.
+//!
+//! ```text
+//! cargo run --release -p squatphi-bench --bin features_baseline [out.json]
+//! ```
+//!
+//! The workload matches `benches/features.rs` (template-heavy corpus: 16
+//! distinct page bodies cycled over batches of 1/64/512). Numbers are
+//! machine-dependent; the file is a trajectory record, not a CI gate —
+//! compare ratios, not absolutes. `BENCH_QUICK=1` runs a single
+//! iteration for smoke testing.
+
+use squatphi::FeatureExtractor;
+use squatphi_squat::BrandRegistry;
+use squatphi_web::behavior::{Cloaking, LifetimePattern, PhishingProfile, ScamKind};
+use squatphi_web::pages;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn corpus(registry: &BrandRegistry) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, brand) in registry.brands().iter().take(4).enumerate() {
+        out.push(pages::brand_login_page(brand));
+        let profile = PhishingProfile {
+            brand: brand.id,
+            scam: ScamKind::FakeLogin,
+            layout_obfuscation: (i % 4) as u8,
+            string_obfuscation: i % 2 == 0,
+            code_obfuscation: i % 3 == 0,
+            cloaking: Cloaking::None,
+            lifetime: LifetimePattern::Stable,
+        };
+        out.push(pages::phishing_page(
+            brand,
+            &profile,
+            &format!("{}-pay.com", brand.label),
+            i as u64,
+        ));
+        out.push(pages::benign_page(
+            &format!("shop{i}.example.com"),
+            i as u64,
+        ));
+        out.push(pages::parked_page(&format!("parked{i}.example.com")));
+    }
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_features.json".to_string());
+    let quick = std::env::var_os("BENCH_QUICK").is_some();
+    let iterations = if quick { 1 } else { 5 };
+
+    let registry = BrandRegistry::with_size(16);
+    let corpus = corpus(&registry);
+    eprintln!(
+        "[features_baseline] {} distinct pages, {iterations} iteration(s) per batch size",
+        corpus.len()
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": {{");
+    let _ = writeln!(json, "    \"distinct_pages\": {},", corpus.len());
+    let _ = writeln!(json, "    \"brands\": {}", registry.len());
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"iterations\": {iterations},");
+    let _ = writeln!(json, "  \"runs\": [");
+
+    let batch_sizes = [1usize, 64, 512];
+    for (bi, &size) in batch_sizes.iter().enumerate() {
+        let htmls: Vec<&str> = (0..size)
+            .map(|i| corpus[i % corpus.len()].as_str())
+            .collect();
+        let threads = if size == 1 { 1 } else { 4 };
+
+        // Cold: cache disabled, every page fully derived, best-of-N.
+        let mut cold_best = f64::INFINITY;
+        for _ in 0..iterations {
+            let fx = FeatureExtractor::uncached(&registry);
+            let t = Instant::now();
+            let n = fx.extract_batch(&htmls, threads).len();
+            let dt = t.elapsed().as_secs_f64();
+            assert_eq!(n, size);
+            cold_best = cold_best.min(dt);
+        }
+
+        // Warm: cache pre-populated, best-of-N over pure-hit batches.
+        let fx = FeatureExtractor::new(&registry);
+        fx.extract_batch(&htmls, threads);
+        let mut warm_best = f64::INFINITY;
+        for _ in 0..iterations {
+            let t = Instant::now();
+            let n = fx.extract_batch(&htmls, threads).len();
+            warm_best = warm_best.min(t.elapsed().as_secs_f64());
+            assert_eq!(n, size);
+        }
+        let m = fx.analyzer().metrics();
+        assert_eq!(m.pages, m.cache_hits + m.cache_misses, "metrics drifted");
+
+        let speedup = cold_best / warm_best;
+        eprintln!(
+            "[features_baseline] batch {size}: cold {:.2}ms, warm {:.2}ms, speedup {speedup:.1}x ({} hits / {} misses)",
+            cold_best * 1e3,
+            warm_best * 1e3,
+            m.cache_hits,
+            m.cache_misses,
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"batch\": {size},");
+        let _ = writeln!(json, "      \"threads\": {threads},");
+        let _ = writeln!(json, "      \"cold_ms\": {:.3},", cold_best * 1e3);
+        let _ = writeln!(json, "      \"warm_ms\": {:.3},", warm_best * 1e3);
+        let _ = writeln!(json, "      \"speedup\": {speedup:.2},");
+        let _ = writeln!(json, "      \"cache_hits\": {},", m.cache_hits);
+        let _ = writeln!(json, "      \"cache_misses\": {}", m.cache_misses);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if bi + 1 < batch_sizes.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("features_baseline: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("[features_baseline] baseline written to {out_path}");
+}

@@ -232,41 +232,29 @@ fn page(path: &str, brand_label: Option<&str>) -> Result<String, String> {
     let html = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let registry = registry();
     let extractor = FeatureExtractor::new(&registry);
-    let doc = squatphi_html::parse(&html);
+    // One analysis pass feeds every report line below — structure, OCR,
+    // evasion, and the classifier score all read the same artifact.
+    let artifact = extractor.analyzer().analyze(&html);
 
     let mut out = String::new();
 
     // Structure.
-    let text = squatphi_html::extract::extract_text(&doc);
-    let forms = squatphi_html::extract::extract_forms(&doc);
-    let js = squatphi_html::js::scan_document(&doc);
-    let _ = writeln!(
-        out,
-        "title: {:?}",
-        text.title.first().map(String::as_str).unwrap_or("")
-    );
+    let _ = writeln!(out, "title: {:?}", artifact.title.as_deref().unwrap_or(""));
     let _ = writeln!(
         out,
         "forms: {} (password inputs: {})",
-        forms.len(),
-        forms
-            .iter()
-            .flat_map(|f| &f.input_types)
-            .filter(|t| *t == "password")
-            .count()
+        artifact.form_count, artifact.password_inputs
     );
     let _ = writeln!(
         out,
         "js indicators: eval={} fromCharCode={} obfuscated={}",
-        js.eval_calls,
-        js.from_char_code,
-        js.is_obfuscated()
+        artifact.js.eval_calls,
+        artifact.js.from_char_code,
+        artifact.js.is_obfuscated()
     );
 
     // OCR channel.
-    let bmp = squatphi_render::render_page(&doc, &squatphi_render::RenderOptions::default());
-    let ocr = squatphi_ocr::recognize(&bmp, &squatphi_ocr::OcrConfig::default());
-    let _ = writeln!(out, "ocr text: {}", truncate(&ocr.joined(), 160));
+    let _ = writeln!(out, "ocr text: {}", truncate(&artifact.ocr_text, 160));
 
     // Evasion vs a brand, if requested.
     if let Some(label) = brand_label {
@@ -274,7 +262,8 @@ fn page(path: &str, brand_label: Option<&str>) -> Result<String, String> {
             .by_label(label)
             .ok_or_else(|| format!("unknown brand {label:?}"))?;
         let brand_page = squatphi_web::pages::brand_login_page(brand);
-        let m = squatphi::evasion::measure(&html, &brand_page, &brand.label);
+        let brand_artifact = extractor.analyzer().analyze(&brand_page);
+        let m = squatphi::evasion::measure_artifacts(&artifact, &brand_artifact, &brand.label);
         let _ = writeln!(
             out,
             "evasion vs {}: layout distance {}, string obfuscated {}, code obfuscated {}",
@@ -298,7 +287,7 @@ fn page(path: &str, brand_label: Option<&str>) -> Result<String, String> {
         .collect();
     let data = extractor.build_dataset(&pages, 8);
     let model = squatphi::train::fit_final_model(&data, 7);
-    let score = model.score(&extractor.extract(&html));
+    let score = model.score(&extractor.extract_from_artifact(&artifact));
     let _ = writeln!(
         out,
         "phishing score: {score:.2} -> {}",
@@ -308,13 +297,17 @@ fn page(path: &str, brand_label: Option<&str>) -> Result<String, String> {
             "not flagged"
         }
     );
+    let _ = writeln!(
+        out,
+        "analysis: {}",
+        extractor.analyzer().metrics().report_line()
+    );
     Ok(out)
 }
 
 fn render(path: &str, width: usize) -> Result<String, String> {
     let html = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let doc = squatphi_html::parse(&html);
-    let bmp = squatphi_render::render_page(&doc, &squatphi_render::RenderOptions::default());
+    let bmp = squatphi::artifact::PageAnalyzer::new().screenshot(&html);
     Ok(squatphi_render::ascii::to_ascii(&bmp, width))
 }
 

@@ -1,0 +1,563 @@
+//! The shared page-analysis layer (paper §5.1-§5.2).
+//!
+//! Every downstream consumer of a crawled page — feature extraction,
+//! evasion measurement (§4.2), the weekly re-classification (§6.3),
+//! classifier reinforcement, the experiment tables and the `page` CLI
+//! subcommand — needs the same derived products: parsed DOM text, form
+//! structure, JavaScript indicators, a rendered screenshot, its
+//! perceptual hash, and the OCR'd text. Historically each consumer
+//! re-derived them from raw HTML, so the same page was parsed, rendered
+//! and OCR'd up to five times per pipeline run and nothing guaranteed the
+//! copies agreed.
+//!
+//! [`PageAnalyzer::analyze`] performs the whole derivation **exactly
+//! once**, producing an immutable [`PageArtifact`]. A seeded,
+//! content-addressed [`AnalysisCache`] (sharded for concurrent access)
+//! fronts the analyzer, so template-identical squat pages, the
+//! byte-identical web/mobile captures of uncloaked sites, and unchanged
+//! snapshot re-crawls all cost a single hash probe instead of a render +
+//! OCR pass. [`AnalysisMetrics`] counts pages, cache hits/misses and
+//! per-stage nanos; [`AnalysisSnapshot`] is the read side surfaced
+//! through `PipelineResult` into the `repro` report and `--json`
+//! summary, matching the `ScanMetrics` / `TransportMetrics` pattern.
+
+use parking_lot::Mutex;
+use squatphi_html::{extract, js, parse, JsIndicators};
+use squatphi_imghash::{perceptual_hash, ImageHash};
+use squatphi_nlp::{remove_stopwords, tokenize};
+use squatphi_ocr::{recognize, OcrConfig};
+use squatphi_render::{render_page, Bitmap, RenderOptions};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default seed of the content-address hash. Seeding keys the hash per
+/// cache instance so a crafted page cannot target a fixed collision.
+pub const DEFAULT_CACHE_SEED: u64 = 0x5eed_cafe_2018;
+
+/// Default shard count of the cache (power of two, so shard selection is
+/// a mask of the already-computed content key).
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+const FX_K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Seeded FxHash-style content key over a byte string. Length is mixed
+/// in first so prefixes of each other do not trivially collide.
+pub fn content_key(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = (seed ^ bytes.len() as u64).wrapping_mul(FX_K);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let word = u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes"));
+        h = (h.rotate_left(5) ^ word).wrapping_mul(FX_K);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(FX_K);
+    }
+    h
+}
+
+/// Everything the pipeline ever derives from one page's HTML, computed
+/// in a single pass and immutable afterwards. One parse means the
+/// evasion hashes (Figures 8-9) and the classifier's OCR features can
+/// never disagree about the same page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageArtifact {
+    /// Seeded content hash of the HTML bytes (the cache address).
+    pub content_key: u64,
+    /// First `<title>` text, when present.
+    pub title: Option<String>,
+    /// Whole-page lower-cased visible text (the §4.2 string-obfuscation
+    /// substrate).
+    pub text_lower: String,
+    /// Lexical tokens: tokenized, stopword-filtered visible text.
+    pub lexical_tokens: Vec<String>,
+    /// Number of `<form>` elements.
+    pub form_count: usize,
+    /// Inputs with `type="password"`.
+    pub password_inputs: usize,
+    /// Non-password, non-submit inputs.
+    pub text_inputs: usize,
+    /// Submit controls.
+    pub submit_controls: usize,
+    /// Form tokens: tokenized, stopword-filtered input types, names,
+    /// placeholders and submit texts.
+    pub form_tokens: Vec<String>,
+    /// JavaScript obfuscation indicators (§4.2 "Code Obfuscation").
+    pub js: JsIndicators,
+    /// Perceptual hash of the rendered screenshot (§4.2 "Layout
+    /// Obfuscation").
+    pub image_hash: ImageHash,
+    /// Raw OCR transcript of the rendered screenshot.
+    pub ocr_text: String,
+    /// OCR tokens: tokenized, stopword-filtered transcript. Spell
+    /// correction is *not* applied here — it depends on the consumer's
+    /// brand dictionary, so `FeatureExtractor` applies it at embed time.
+    pub ocr_tokens: Vec<String>,
+}
+
+struct CacheEntry {
+    html: Box<str>,
+    artifact: Arc<PageArtifact>,
+}
+
+/// Content-addressed artifact cache, sharded for concurrent access.
+///
+/// Hits are verified against the stored HTML, so a 64-bit key collision
+/// degrades to a counted miss instead of serving the wrong artifact —
+/// cache-on and cache-off runs are byte-identical by construction.
+pub struct AnalysisCache {
+    seed: u64,
+    shards: Vec<Mutex<HashMap<u64, CacheEntry>>>,
+}
+
+enum Lookup {
+    Hit(Arc<PageArtifact>),
+    Collision,
+    Miss,
+}
+
+impl AnalysisCache {
+    /// Builds a cache with `shards` shards (clamped to ≥ 1, rounded up
+    /// to a power of two) keyed by `seed`.
+    pub fn new(seed: u64, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        AnalysisCache {
+            seed,
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, CacheEntry>> {
+        &self.shards[(key as usize) & (self.shards.len() - 1)]
+    }
+
+    fn lookup(&self, key: u64, html: &str) -> Lookup {
+        match self.shard(key).lock().get(&key) {
+            Some(e) if &*e.html == html => Lookup::Hit(e.artifact.clone()),
+            Some(_) => Lookup::Collision,
+            None => Lookup::Miss,
+        }
+    }
+
+    fn insert(&self, key: u64, html: &str, artifact: Arc<PageArtifact>) {
+        self.shard(key).lock().insert(
+            key,
+            CacheEntry {
+                html: html.into(),
+                artifact,
+            },
+        );
+    }
+
+    /// Number of cached artifacts across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Shared atomic counters behind [`AnalysisSnapshot`].
+#[derive(Default)]
+struct AnalysisMetrics {
+    pages: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    collisions: AtomicU64,
+    parse_nanos: AtomicU64,
+    extract_nanos: AtomicU64,
+    render_nanos: AtomicU64,
+    hash_nanos: AtomicU64,
+    ocr_nanos: AtomicU64,
+    embed_nanos: AtomicU64,
+}
+
+impl AnalysisMetrics {
+    fn add_nanos(counter: &AtomicU64, d: Duration) {
+        counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time read of the analysis counters, reconciling exactly:
+/// `pages == cache_hits + cache_misses` always holds (a disabled cache
+/// counts every page as a miss).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisSnapshot {
+    /// Pages requested through [`PageAnalyzer::analyze`].
+    pub pages: u64,
+    /// Requests served from the cache.
+    pub cache_hits: u64,
+    /// Requests that ran the full derivation.
+    pub cache_misses: u64,
+    /// Content-key collisions detected by the HTML verify (counted
+    /// inside `cache_misses`).
+    pub key_collisions: u64,
+    /// Nanoseconds spent parsing HTML.
+    pub parse_nanos: u64,
+    /// Nanoseconds spent on text/form/JS extraction and tokenization.
+    pub extract_nanos: u64,
+    /// Nanoseconds spent rendering screenshots.
+    pub render_nanos: u64,
+    /// Nanoseconds spent perceptual-hashing screenshots.
+    pub hash_nanos: u64,
+    /// Nanoseconds spent OCR-ing screenshots.
+    pub ocr_nanos: u64,
+    /// Nanoseconds spent embedding tokens into feature vectors (recorded
+    /// by `FeatureExtractor`, the layer above the analyzer).
+    pub embed_nanos: u64,
+}
+
+impl AnalysisSnapshot {
+    /// The reconciliation invariant: every page is either a hit or a
+    /// miss, nothing double-counts and nothing is lost.
+    pub fn reconciles(&self) -> bool {
+        self.pages == self.cache_hits + self.cache_misses
+    }
+
+    /// Fraction of analyze calls served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.pages == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.pages as f64
+        }
+    }
+
+    /// Sum of all per-stage nanos (parse through embed).
+    pub fn stage_nanos(&self) -> u64 {
+        self.parse_nanos
+            + self.extract_nanos
+            + self.render_nanos
+            + self.hash_nanos
+            + self.ocr_nanos
+            + self.embed_nanos
+    }
+
+    /// One-line human report, for CLI/stderr surfaces.
+    pub fn report_line(&self) -> String {
+        let ms = |n: u64| n as f64 / 1e6;
+        format!(
+            "{} pages ({} cache hits, {} misses, {:.1}% hit rate, {} collisions); \
+             parse {:.1}ms, extract {:.1}ms, render {:.1}ms, hash {:.1}ms, ocr {:.1}ms, embed {:.1}ms",
+            self.pages,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0,
+            self.key_collisions,
+            ms(self.parse_nanos),
+            ms(self.extract_nanos),
+            ms(self.render_nanos),
+            ms(self.hash_nanos),
+            ms(self.ocr_nanos),
+            ms(self.embed_nanos),
+        )
+    }
+}
+
+/// The single entry point for page analysis: owns the render and OCR
+/// configuration, the cache, and the metrics counters. Shared across
+/// threads (and consumers) behind an `Arc`.
+pub struct PageAnalyzer {
+    render: RenderOptions,
+    ocr: OcrConfig,
+    cache: Option<AnalysisCache>,
+    metrics: AnalysisMetrics,
+}
+
+impl std::fmt::Debug for PageAnalyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageAnalyzer")
+            .field("cache_enabled", &self.cache.is_some())
+            .field("cached_artifacts", &self.cached_artifacts())
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}
+
+impl Default for PageAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageAnalyzer {
+    /// Cached analyzer with the default seed and shard count.
+    pub fn new() -> Self {
+        Self::with_seed(DEFAULT_CACHE_SEED)
+    }
+
+    /// Cached analyzer with an explicit content-key seed.
+    pub fn with_seed(seed: u64) -> Self {
+        PageAnalyzer {
+            render: RenderOptions::default(),
+            ocr: OcrConfig::default(),
+            cache: Some(AnalysisCache::new(seed, DEFAULT_CACHE_SHARDS)),
+            metrics: AnalysisMetrics::default(),
+        }
+    }
+
+    /// Analyzer with the cache disabled: every page runs the full
+    /// derivation (the baseline the byte-equality tests compare against).
+    pub fn uncached() -> Self {
+        PageAnalyzer {
+            render: RenderOptions::default(),
+            ocr: OcrConfig::default(),
+            cache: None,
+            metrics: AnalysisMetrics::default(),
+        }
+    }
+
+    /// Whether a cache fronts this analyzer.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Artifacts currently held by the cache (0 when disabled).
+    pub fn cached_artifacts(&self) -> usize {
+        self.cache.as_ref().map(AnalysisCache::len).unwrap_or(0)
+    }
+
+    /// Analyzes one page, via the cache when possible. The returned
+    /// artifact is shared, never recomputed, and identical to what an
+    /// uncached analyzer would produce.
+    pub fn analyze(&self, html: &str) -> Arc<PageArtifact> {
+        self.metrics.pages.fetch_add(1, Ordering::Relaxed);
+        let Some(cache) = &self.cache else {
+            self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(self.derive(content_key(DEFAULT_CACHE_SEED, html.as_bytes()), html));
+        };
+        let key = content_key(cache.seed, html.as_bytes());
+        match cache.lookup(key, html) {
+            Lookup::Hit(artifact) => {
+                self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                artifact
+            }
+            found => {
+                if matches!(found, Lookup::Collision) {
+                    self.metrics.collisions.fetch_add(1, Ordering::Relaxed);
+                }
+                self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+                let artifact = Arc::new(self.derive(key, html));
+                cache.insert(key, html, artifact.clone());
+                artifact
+            }
+        }
+    }
+
+    /// Renders a page to a bitmap through the analyzer's single render
+    /// path (for ASCII screenshots à la Figure 14). Bitmaps are large, so
+    /// they are deliberately *not* retained in artifacts or the cache.
+    pub fn screenshot(&self, html: &str) -> Bitmap {
+        let t = Instant::now();
+        let doc = parse(html);
+        AnalysisMetrics::add_nanos(&self.metrics.parse_nanos, t.elapsed());
+        let t = Instant::now();
+        let bmp = render_page(&doc, &self.render);
+        AnalysisMetrics::add_nanos(&self.metrics.render_nanos, t.elapsed());
+        bmp
+    }
+
+    /// Records embed time from the feature-extraction layer, so the
+    /// snapshot covers the full parse→embed stage ladder.
+    pub fn note_embed(&self, d: Duration) {
+        AnalysisMetrics::add_nanos(&self.metrics.embed_nanos, d);
+    }
+
+    /// Reads the counters.
+    pub fn metrics(&self) -> AnalysisSnapshot {
+        let m = &self.metrics;
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        AnalysisSnapshot {
+            pages: load(&m.pages),
+            cache_hits: load(&m.hits),
+            cache_misses: load(&m.misses),
+            key_collisions: load(&m.collisions),
+            parse_nanos: load(&m.parse_nanos),
+            extract_nanos: load(&m.extract_nanos),
+            render_nanos: load(&m.render_nanos),
+            hash_nanos: load(&m.hash_nanos),
+            ocr_nanos: load(&m.ocr_nanos),
+            embed_nanos: load(&m.embed_nanos),
+        }
+    }
+
+    /// The full single-pass derivation (cache miss path).
+    fn derive(&self, key: u64, html: &str) -> PageArtifact {
+        let t = Instant::now();
+        let doc = parse(html);
+        AnalysisMetrics::add_nanos(&self.metrics.parse_nanos, t.elapsed());
+
+        let t = Instant::now();
+        let text = extract::extract_text(&doc);
+        let title = text.title.first().cloned();
+        let text_lower = text.joined_lower();
+        let lexical_tokens = remove_stopwords(tokenize(&text_lower));
+
+        let forms = extract::extract_forms(&doc);
+        let mut password_inputs = 0usize;
+        let mut text_inputs = 0usize;
+        let mut submit_controls = 0usize;
+        let mut form_tokens: Vec<String> = Vec::new();
+        for f in &forms {
+            for ty in &f.input_types {
+                match ty.as_str() {
+                    "password" => password_inputs += 1,
+                    "submit" => submit_controls += 1,
+                    _ => text_inputs += 1,
+                }
+                form_tokens.extend(tokenize(ty));
+            }
+            for s in f
+                .input_names
+                .iter()
+                .chain(&f.placeholders)
+                .chain(&f.submit_texts)
+            {
+                form_tokens.extend(tokenize(s));
+            }
+        }
+        let form_tokens = remove_stopwords(form_tokens);
+        let js = js::scan_document(&doc);
+        AnalysisMetrics::add_nanos(&self.metrics.extract_nanos, t.elapsed());
+
+        let t = Instant::now();
+        let screenshot = render_page(&doc, &self.render);
+        AnalysisMetrics::add_nanos(&self.metrics.render_nanos, t.elapsed());
+
+        let t = Instant::now();
+        let image_hash = perceptual_hash(&screenshot);
+        AnalysisMetrics::add_nanos(&self.metrics.hash_nanos, t.elapsed());
+
+        let t = Instant::now();
+        let ocr_text = recognize(&screenshot, &self.ocr).joined();
+        let ocr_tokens = remove_stopwords(tokenize(&ocr_text));
+        AnalysisMetrics::add_nanos(&self.metrics.ocr_nanos, t.elapsed());
+
+        PageArtifact {
+            content_key: key,
+            title,
+            text_lower,
+            lexical_tokens,
+            form_count: forms.len(),
+            password_inputs,
+            text_inputs,
+            submit_controls,
+            form_tokens,
+            js,
+            image_hash,
+            ocr_text,
+            ocr_tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squatphi_squat::BrandRegistry;
+    use squatphi_web::pages;
+
+    fn sample_page() -> String {
+        let reg = BrandRegistry::with_size(5);
+        let brand = reg.by_label("paypal").expect("paypal in registry");
+        pages::brand_login_page(brand)
+    }
+
+    #[test]
+    fn content_key_is_seeded_and_length_aware() {
+        assert_eq!(content_key(1, b"abc"), content_key(1, b"abc"));
+        assert_ne!(content_key(1, b"abc"), content_key(2, b"abc"));
+        assert_ne!(content_key(1, b"abc"), content_key(1, b"abcd"));
+        assert_ne!(content_key(1, b""), content_key(1, b"\0"));
+    }
+
+    #[test]
+    fn cached_hit_returns_shared_artifact() {
+        let analyzer = PageAnalyzer::new();
+        let html = sample_page();
+        let a = analyzer.analyze(&html);
+        let b = analyzer.analyze(&html);
+        assert!(Arc::ptr_eq(&a, &b), "second analyze must be a cache hit");
+        let m = analyzer.metrics();
+        assert_eq!((m.pages, m.cache_hits, m.cache_misses), (2, 1, 1));
+        assert!(m.reconciles());
+        assert_eq!(analyzer.cached_artifacts(), 1);
+    }
+
+    #[test]
+    fn cached_and_uncached_agree() {
+        let cached = PageAnalyzer::new();
+        let uncached = PageAnalyzer::uncached();
+        let html = sample_page();
+        // Two passes so the cached analyzer serves one from the cache.
+        for _ in 0..2 {
+            let a = cached.analyze(&html);
+            let b = uncached.analyze(&html);
+            assert_eq!(*a, *b);
+        }
+        let m = uncached.metrics();
+        assert_eq!(m.cache_hits, 0);
+        assert_eq!(m.pages, m.cache_misses);
+        assert!(m.reconciles());
+    }
+
+    #[test]
+    fn artifact_fields_are_populated() {
+        let analyzer = PageAnalyzer::new();
+        let a = analyzer.analyze(&sample_page());
+        assert!(a.title.is_some());
+        assert!(a.text_lower.contains("paypal"));
+        assert!(!a.lexical_tokens.is_empty());
+        assert!(a.form_count >= 1);
+        assert!(a.password_inputs >= 1);
+        assert!(!a.form_tokens.is_empty());
+        assert!(!a.ocr_text.is_empty());
+        let m = analyzer.metrics();
+        assert!(m.parse_nanos > 0 || m.extract_nanos > 0 || m.render_nanos > 0);
+    }
+
+    #[test]
+    fn distinct_pages_occupy_distinct_slots() {
+        let analyzer = PageAnalyzer::new();
+        // Seeds map onto a smaller template pool, so count the distinct
+        // page bodies rather than assuming one per seed.
+        let pages: Vec<String> = (0..8)
+            .map(|i| pages::benign_page(&format!("b{i}.example.com"), i))
+            .collect();
+        let distinct: std::collections::HashSet<&str> = pages.iter().map(String::as_str).collect();
+        for p in &pages {
+            analyzer.analyze(p);
+        }
+        let m = analyzer.metrics();
+        assert!(distinct.len() > 1, "corpus degenerated to one page");
+        assert_eq!(m.cache_misses, distinct.len() as u64);
+        assert_eq!(analyzer.cached_artifacts(), distinct.len());
+        assert!(m.reconciles());
+    }
+
+    #[test]
+    fn screenshot_matches_direct_render() {
+        let analyzer = PageAnalyzer::new();
+        let html = sample_page();
+        let via_analyzer = analyzer.screenshot(&html);
+        let direct = render_page(&parse(&html), &RenderOptions::default());
+        assert_eq!(via_analyzer.pixels(), direct.pixels());
+    }
+
+    #[test]
+    fn report_line_reads_sane() {
+        let analyzer = PageAnalyzer::new();
+        analyzer.analyze(&sample_page());
+        let line = analyzer.metrics().report_line();
+        assert!(line.contains("1 pages"), "{line}");
+        assert!(line.contains("0 cache hits"), "{line}");
+        assert!(line.contains("1 misses"), "{line}");
+    }
+}

@@ -27,6 +27,10 @@ pub struct SimConfig {
     pub sampled_benign: usize,
     /// Cross-validation folds (paper: 10).
     pub cv_folds: usize,
+    /// Front page analysis with the content-addressed artifact cache
+    /// (off = re-derive every page; outputs are byte-identical either
+    /// way, only speed and the hit/miss counters change).
+    pub analysis_cache: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -45,6 +49,7 @@ impl SimConfig {
                 .unwrap_or(4),
             sampled_benign: 1_565,
             cv_folds: 10,
+            analysis_cache: true,
             seed: 2018,
         }
     }
@@ -71,6 +76,7 @@ impl SimConfig {
             threads: 4,
             sampled_benign: 150,
             cv_folds: 5,
+            analysis_cache: true,
             seed: 14,
         }
     }

@@ -1,8 +1,13 @@
 //! Evasion characterization (paper §4.2, Figures 8-9, Tables 6 and 11).
+//!
+//! All measurements are artifact-based: page and brand HTML go through
+//! the shared [`PageAnalyzer`], so bulk callers (the experiment tables
+//! measure hundreds of pages against a handful of brand pages) hit the
+//! content-addressed cache instead of re-rendering the brand page per
+//! comparison — the old `brand_hash` / `layout_distance` helpers existed
+//! only to hand-roll that amortization and are gone.
 
-use squatphi_html::{extract, js, parse};
-use squatphi_imghash::{perceptual_hash, ImageHash};
-use squatphi_render::{render_page, RenderOptions};
+use crate::artifact::{PageAnalyzer, PageArtifact};
 
 /// Per-page evasion measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,41 +20,39 @@ pub struct EvasionMeasurement {
     pub code_obfuscated: bool,
 }
 
-/// Measures one page against its target brand.
+/// Measures one page against its target brand, analyzing both through
+/// `analyzer` (cache hits when either page was already seen).
 ///
 /// * layout — render both pages, hash, Hamming distance (§4.2 "Layout
 ///   Obfuscation"),
 /// * string — extract all HTML text; the page is string-obfuscated when
 ///   the brand label does not appear (§4.2 "String Obfuscation"),
 /// * code — FrameHanger-style indicator scan (§4.2 "Code Obfuscation").
-pub fn measure(page_html: &str, brand_html: &str, brand_label: &str) -> EvasionMeasurement {
-    let page_doc = parse(page_html);
-    let brand_doc = parse(brand_html);
-    let opts = RenderOptions::default();
-    let page_hash = perceptual_hash(&render_page(&page_doc, &opts));
-    let brand_hash = perceptual_hash(&render_page(&brand_doc, &opts));
+pub fn measure(
+    analyzer: &PageAnalyzer,
+    page_html: &str,
+    brand_html: &str,
+    brand_label: &str,
+) -> EvasionMeasurement {
+    measure_artifacts(
+        &analyzer.analyze(page_html),
+        &analyzer.analyze(brand_html),
+        brand_label,
+    )
+}
 
-    let text = extract::extract_text(&page_doc).joined_lower();
-    let string_obfuscated = !text.contains(&brand_label.to_ascii_lowercase());
-
-    let code_obfuscated = js::scan_document(&page_doc).is_obfuscated();
-
+/// Measures already-analyzed artifacts — the zero-recompute path when
+/// the caller holds artifacts from the pipeline.
+pub fn measure_artifacts(
+    page: &PageArtifact,
+    brand: &PageArtifact,
+    brand_label: &str,
+) -> EvasionMeasurement {
     EvasionMeasurement {
-        layout_distance: page_hash.distance(&brand_hash),
-        string_obfuscated,
-        code_obfuscated,
+        layout_distance: page.image_hash.distance(&brand.image_hash),
+        string_obfuscated: !page.text_lower.contains(&brand_label.to_ascii_lowercase()),
+        code_obfuscated: page.js.is_obfuscated(),
     }
-}
-
-/// Precomputed brand-page hash for bulk measurement.
-pub fn brand_hash(brand_html: &str) -> ImageHash {
-    perceptual_hash(&render_page(&parse(brand_html), &RenderOptions::default()))
-}
-
-/// Layout distance of a page against a precomputed brand hash.
-pub fn layout_distance(page_html: &str, brand: &ImageHash) -> u32 {
-    let h = perceptual_hash(&render_page(&parse(page_html), &RenderOptions::default()));
-    h.distance(brand)
 }
 
 /// Aggregate of a set of measurements (one Table 11 row).
@@ -111,37 +114,45 @@ mod tests {
 
     #[test]
     fn layout_distance_grows_with_intensity() {
+        let analyzer = PageAnalyzer::new();
         let reg = BrandRegistry::with_size(5);
         let brand = reg.by_label("paypal").unwrap();
         let brand_page = pages::brand_login_page(brand);
         let close = pages::phishing_page(brand, &profile(0, false, false), "h.com", 1);
         let far = pages::phishing_page(brand, &profile(3, false, false), "h.com", 1);
-        let d_close = measure(&close, &brand_page, "paypal").layout_distance;
-        let d_far = measure(&far, &brand_page, "paypal").layout_distance;
+        let d_close = measure(&analyzer, &close, &brand_page, "paypal").layout_distance;
+        let d_far = measure(&analyzer, &far, &brand_page, "paypal").layout_distance;
         assert!(
             d_far > d_close,
             "intensity 3 ({d_far}) should be farther than 0 ({d_close})"
         );
+        // The brand page was analyzed once and served from cache after.
+        let m = analyzer.metrics();
+        assert_eq!(m.pages, 4);
+        assert_eq!(m.cache_misses, 3);
+        assert_eq!(m.cache_hits, 1);
     }
 
     #[test]
     fn string_obfuscation_detected() {
+        let analyzer = PageAnalyzer::new();
         let reg = BrandRegistry::with_size(5);
         let brand = reg.by_label("paypal").unwrap();
         let brand_page = pages::brand_login_page(brand);
         let plain = pages::phishing_page(brand, &profile(1, false, false), "h.com", 2);
         let obf = pages::phishing_page(brand, &profile(1, true, false), "h.com", 2);
-        assert!(!measure(&plain, &brand_page, "paypal").string_obfuscated);
-        assert!(measure(&obf, &brand_page, "paypal").string_obfuscated);
+        assert!(!measure(&analyzer, &plain, &brand_page, "paypal").string_obfuscated);
+        assert!(measure(&analyzer, &obf, &brand_page, "paypal").string_obfuscated);
     }
 
     #[test]
     fn code_obfuscation_detected() {
+        let analyzer = PageAnalyzer::new();
         let reg = BrandRegistry::with_size(5);
         let brand = reg.by_label("paypal").unwrap();
         let brand_page = pages::brand_login_page(brand);
         let obf = pages::phishing_page(brand, &profile(1, false, true), "h.com", 2);
-        assert!(measure(&obf, &brand_page, "paypal").code_obfuscated);
+        assert!(measure(&analyzer, &obf, &brand_page, "paypal").code_obfuscated);
     }
 
     #[test]
@@ -175,13 +186,18 @@ mod tests {
     }
 
     #[test]
-    fn bulk_hash_path_matches_measure() {
+    fn artifact_path_matches_html_path() {
+        let analyzer = PageAnalyzer::new();
         let reg = BrandRegistry::with_size(5);
         let brand = reg.by_label("facebook").unwrap();
         let brand_page = pages::brand_login_page(brand);
         let page = pages::phishing_page(brand, &profile(2, false, false), "faceb00k.pw", 5);
-        let via_measure = measure(&page, &brand_page, "facebook").layout_distance;
-        let via_bulk = layout_distance(&page, &brand_hash(&brand_page));
-        assert_eq!(via_measure, via_bulk);
+        let via_html = measure(&analyzer, &page, &brand_page, "facebook");
+        let via_artifacts = measure_artifacts(
+            &analyzer.analyze(&page),
+            &analyzer.analyze(&brand_page),
+            "facebook",
+        );
+        assert_eq!(via_html, via_artifacts);
     }
 }

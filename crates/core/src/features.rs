@@ -12,13 +12,20 @@
 //! * **form-based features** — tokens from `type` / `name` /
 //!   `placeholder` / submit attributes plus numeric counts (form count,
 //!   password inputs, text inputs).
+//!
+//! The expensive derivation (parse → render → OCR) lives in
+//! [`crate::artifact::PageAnalyzer`]; this module only *embeds* the
+//! resulting [`PageArtifact`] into the feature space. Spell correction
+//! happens here rather than in the artifact because it depends on the
+//! extractor's brand dictionary.
 
-use squatphi_html::{extract, js, parse};
+use crate::artifact::{PageAnalyzer, PageArtifact};
 use squatphi_ml::Dataset;
-use squatphi_nlp::{remove_stopwords, tokenize, FeatureSpace, SparseVec, SpellChecker};
-use squatphi_ocr::{recognize, OcrConfig};
-use squatphi_render::{render_page, RenderOptions};
+use squatphi_nlp::{FeatureSpace, SparseVec, SpellChecker};
 use squatphi_squat::BrandRegistry;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Keywords beyond the spell-check dictionary that frequently appear in
 /// ground-truth phishing pages (§5.2 builds this list from the training
@@ -67,13 +74,13 @@ const PHISH_KEYWORDS: &[&str] = &[
     "warning",
 ];
 
-/// Extracts sparse feature vectors from crawled pages.
+/// Extracts sparse feature vectors from crawled pages. Clones share the
+/// underlying [`PageAnalyzer`] (and therefore its cache and metrics).
 #[derive(Debug, Clone)]
 pub struct FeatureExtractor {
     space: FeatureSpace,
     spell: SpellChecker,
-    ocr: OcrConfig,
-    render: RenderOptions,
+    analyzer: Arc<PageAnalyzer>,
 }
 
 /// Names of the numeric feature dimensions.
@@ -88,8 +95,23 @@ const NUMERIC: &[&str] = &[
 impl FeatureExtractor {
     /// Builds the extractor: the feature space covers the phishing
     /// keyword list, the task dictionary, and every brand label
-    /// (the paper's 987-dimension embedding).
+    /// (the paper's 987-dimension embedding). Page analysis runs through
+    /// a fresh content-addressed cache.
     pub fn new(registry: &BrandRegistry) -> Self {
+        Self::with_analyzer(registry, Arc::new(PageAnalyzer::new()))
+    }
+
+    /// Same feature space, but with the analysis cache disabled — every
+    /// page runs the full parse/render/OCR derivation. The byte-equality
+    /// tests compare this against the cached path.
+    pub fn uncached(registry: &BrandRegistry) -> Self {
+        Self::with_analyzer(registry, Arc::new(PageAnalyzer::uncached()))
+    }
+
+    /// Builds the extractor around an existing analyzer, so several
+    /// consumers (feature extraction, evasion measurement, experiments)
+    /// can share one cache.
+    pub fn with_analyzer(registry: &BrandRegistry, analyzer: Arc<PageAnalyzer>) -> Self {
         let brand_labels: Vec<String> = registry.brands().iter().map(|b| b.label.clone()).collect();
         let keywords = squatphi_nlp::spell::BASE_DICTIONARY
             .iter()
@@ -100,8 +122,7 @@ impl FeatureExtractor {
         FeatureExtractor {
             space: FeatureSpace::new(keywords, NUMERIC),
             spell: SpellChecker::new(brand_labels),
-            ocr: OcrConfig::default(),
-            render: RenderOptions::default(),
+            analyzer,
         }
     }
 
@@ -115,59 +136,40 @@ impl FeatureExtractor {
         &self.space
     }
 
-    /// Extracts the full feature vector for one page's HTML.
+    /// The shared page analyzer (for metrics and direct artifact access).
+    pub fn analyzer(&self) -> &PageAnalyzer {
+        &self.analyzer
+    }
+
+    /// Extracts the full feature vector for one page's HTML, analyzing
+    /// (or fetching from cache) as needed.
     pub fn extract(&self, html: &str) -> SparseVec {
-        let doc = parse(html);
+        self.extract_from_artifact(&self.analyzer.analyze(html))
+    }
+
+    /// Embeds an already-analyzed page into the feature space.
+    pub fn extract_from_artifact(&self, a: &PageArtifact) -> SparseVec {
+        let started = Instant::now();
         let mut v = SparseVec::new();
 
         // Lexical features from HTML text.
-        let text = extract::extract_text(&doc);
-        let lexical_tokens = remove_stopwords(tokenize(&text.joined_lower()));
-        self.embed_tokens(&lexical_tokens, &mut v);
+        self.embed_tokens(&a.lexical_tokens, &mut v);
 
         // Form features.
-        let forms = extract::extract_forms(&doc);
-        let mut password_inputs = 0usize;
-        let mut text_inputs = 0usize;
-        let mut submit_controls = 0usize;
-        let mut form_tokens: Vec<String> = Vec::new();
-        for f in &forms {
-            for t in &f.input_types {
-                match t.as_str() {
-                    "password" => password_inputs += 1,
-                    "submit" => submit_controls += 1,
-                    _ => text_inputs += 1,
-                }
-                form_tokens.extend(tokenize(t));
-            }
-            for s in f
-                .input_names
-                .iter()
-                .chain(&f.placeholders)
-                .chain(&f.submit_texts)
-            {
-                form_tokens.extend(tokenize(s));
-            }
-        }
-        let form_tokens = remove_stopwords(form_tokens);
-        self.embed_tokens(&form_tokens, &mut v);
+        self.embed_tokens(&a.form_tokens, &mut v);
 
-        // OCR features from the rendered screenshot, spell-corrected.
-        let screenshot = render_page(&doc, &self.render);
-        let ocr_text = recognize(&screenshot, &self.ocr).joined();
-        let ocr_tokens = self
-            .spell
-            .correct_all(&remove_stopwords(tokenize(&ocr_text)));
+        // OCR features from the rendered screenshot, spell-corrected
+        // against this extractor's brand dictionary.
+        let ocr_tokens = self.spell.correct_all(&a.ocr_tokens);
         self.embed_tokens(&ocr_tokens, &mut v);
 
         // Numeric features.
-        let indicators = js::scan_document(&doc);
         let numeric = [
-            forms.len() as f64,
-            password_inputs as f64,
-            text_inputs as f64,
-            submit_controls as f64,
-            f64::from(indicators.is_obfuscated()),
+            a.form_count as f64,
+            a.password_inputs as f64,
+            a.text_inputs as f64,
+            a.submit_controls as f64,
+            f64::from(a.js.is_obfuscated()),
         ];
         for (name, value) in NUMERIC.iter().zip(numeric) {
             if value != 0.0 {
@@ -180,6 +182,7 @@ impl FeatureExtractor {
                 v.add(dim, value);
             }
         }
+        self.analyzer.note_embed(started.elapsed());
         v
     }
 
@@ -191,28 +194,58 @@ impl FeatureExtractor {
         }
     }
 
-    /// Extracts features for many pages in parallel.
-    pub fn extract_batch(&self, htmls: &[&str], threads: usize) -> Vec<SparseVec> {
+    /// Analyzes many pages in parallel (stage 1 of the batch executor).
+    /// Workers pull indices from a shared cursor, so a run of cache hits
+    /// on one thread never stalls the others the way fixed chunking did.
+    pub fn analyze_batch(&self, htmls: &[&str], threads: usize) -> Vec<Arc<PageArtifact>> {
         let threads = threads.max(1).min(htmls.len().max(1));
-        let chunk = htmls.len().div_ceil(threads).max(1);
+        if threads <= 1 {
+            return htmls.iter().map(|h| self.analyzer.analyze(h)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
         crossbeam::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for part in htmls.chunks(chunk) {
-                handles.push(
-                    s.spawn(move |_| part.iter().map(|h| self.extract(h)).collect::<Vec<_>>()),
-                );
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| {
-                    // extract() is panic-free on arbitrary HTML; a panic
-                    // here is a bug worth surfacing, not swallowing.
-                    h.join()
-                        .expect("feature worker panicked; its chunk of vectors is lost")
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= htmls.len() {
+                                break;
+                            }
+                            mine.push((i, self.analyzer.analyze(htmls[i])));
+                        }
+                        mine
+                    })
                 })
+                .collect();
+            let mut slots: Vec<Option<Arc<PageArtifact>>> = vec![None; htmls.len()];
+            for h in handles {
+                // analyze() is panic-free on arbitrary HTML; a panic here
+                // is a bug worth surfacing, not swallowing.
+                for (i, a) in h
+                    .join()
+                    .expect("analysis worker panicked; its artifacts are lost")
+                {
+                    slots[i] = Some(a);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("the cursor hands out every index exactly once"))
                 .collect()
         })
-        .expect("feature worker panicked inside the crossbeam scope")
+        .expect("analysis worker panicked inside the crossbeam scope")
+    }
+
+    /// Extracts features for many pages: parallel analysis (stage 1),
+    /// then sequential embedding (stage 2 — pure in-memory lookups, far
+    /// cheaper than rendering, and sequential keeps it deterministic).
+    pub fn extract_batch(&self, htmls: &[&str], threads: usize) -> Vec<SparseVec> {
+        self.analyze_batch(htmls, threads)
+            .iter()
+            .map(|a| self.extract_from_artifact(a))
+            .collect()
     }
 
     /// Builds a labeled dataset from (html, label) pairs.
@@ -311,6 +344,85 @@ mod tests {
         for (b, h) in batch.iter().zip(&refs) {
             assert_eq!(*b, fx.extract(h));
         }
+    }
+
+    #[test]
+    fn duplicate_html_costs_one_analysis() {
+        let (fx, _) = extractor();
+        // Eight byte-identical captures — the detect_device web+mobile
+        // situation for uncloaked template sites.
+        let page = pages::parked_page("dup.example.com");
+        let refs: Vec<&str> = vec![page.as_str(); 8];
+        let batch = fx.extract_batch(&refs, 1);
+        let m = fx.analyzer().metrics();
+        assert_eq!(m.pages, 8);
+        assert_eq!(m.cache_misses, 1, "identical HTML must be analyzed once");
+        assert_eq!(m.cache_hits, 7);
+        assert!(m.reconciles());
+        for v in &batch[1..] {
+            assert_eq!(*v, batch[0]);
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_vectors_match() {
+        let reg = BrandRegistry::with_size(10);
+        let cached = FeatureExtractor::new(&reg);
+        let uncached = FeatureExtractor::uncached(&reg);
+        let brand = reg.by_label("paypal").unwrap();
+        let corpus = [
+            pages::phishing_page(brand, &profile(false), "paypal-cash.com", 1),
+            pages::benign_page("a.com", 7),
+            pages::parked_page("b.com"),
+            pages::benign_page("a.com", 7), // repeat → cache hit
+        ];
+        let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+        assert_eq!(
+            cached.extract_batch(&refs, 2),
+            uncached.extract_batch(&refs, 2),
+            "cache must be invisible in the feature vectors"
+        );
+        assert!(cached.analyzer().metrics().cache_hits >= 1);
+        assert_eq!(uncached.analyzer().metrics().cache_hits, 0);
+    }
+
+    #[test]
+    fn extract_batch_is_deterministic_across_thread_counts() {
+        let (fx, _) = extractor();
+        let corpus: Vec<String> = (0..24)
+            .map(|i| match i % 3 {
+                0 => pages::benign_page("a.com", i / 3),
+                1 => pages::parked_page("b.com"),
+                _ => pages::confusing_benign_page("c.com", Some("paypal"), i / 3),
+            })
+            .collect();
+        let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+        let single = fx.extract_batch(&refs, 1);
+        for threads in [2, 8] {
+            assert_eq!(
+                fx.extract_batch(&refs, threads),
+                single,
+                "{threads}-thread batch diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_nanos_fit_inside_wall_clock() {
+        let (fx, _) = extractor();
+        let corpus: Vec<String> = (0..6).map(|i| pages::benign_page("t.com", i)).collect();
+        let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+        let started = std::time::Instant::now();
+        fx.extract_batch(&refs, 1);
+        let wall = started.elapsed().as_nanos() as u64;
+        let m = fx.analyzer().metrics();
+        assert!(m.stage_nanos() > 0, "stage timers never ticked");
+        assert!(
+            m.stage_nanos() <= wall,
+            "single-threaded stage nanos {} exceed wall {}",
+            m.stage_nanos(),
+            wall
+        );
     }
 
     #[test]

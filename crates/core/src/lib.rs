@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod artifact;
 pub mod config;
 pub mod evasion;
 pub mod features;
@@ -29,6 +30,7 @@ pub mod reinforce;
 pub mod snapshots;
 pub mod train;
 
+pub use artifact::{AnalysisCache, AnalysisSnapshot, PageAnalyzer, PageArtifact};
 pub use config::SimConfig;
 pub use features::FeatureExtractor;
 pub use pipeline::{Detection, PipelineResult, SquatPhi, StageTimings};

@@ -1,5 +1,6 @@
 //! The end-to-end SquatPhi pipeline (paper §3-§6).
 
+use crate::artifact::AnalysisSnapshot;
 use crate::config::SimConfig;
 use crate::features::FeatureExtractor;
 use crate::train::{self, EvalReport};
@@ -71,6 +72,10 @@ pub struct PipelineResult {
     pub crawl_stats: CrawlStats,
     /// The ground-truth feed (Figures 5-7, Table 5).
     pub feed: GroundTruthFeed,
+    /// Training-set class balance: (positives, negatives) as assembled
+    /// by `build_training_set` (§5.3's verified feed pages + sampled
+    /// benign squats).
+    pub train_split: (usize, usize),
     /// Classifier cross-validation report (Table 7, Figure 10).
     pub eval: EvalReport,
     /// The deployed model.
@@ -81,6 +86,9 @@ pub struct PipelineResult {
     pub web_detections: Vec<Detection>,
     /// Mobile-profile detections.
     pub mobile_detections: Vec<Detection>,
+    /// Page-analysis counters (cache hits/misses, per-stage nanos) from
+    /// the shared analyzer, snapshotted after the detect stage.
+    pub analysis: AnalysisSnapshot,
 }
 
 impl PipelineResult {
@@ -156,8 +164,12 @@ impl SquatPhi {
                 seed: config.feed.seed,
             },
         );
-        let extractor = FeatureExtractor::new(&registry);
-        let (dataset, _split) =
+        let extractor = if config.analysis_cache {
+            FeatureExtractor::new(&registry)
+        } else {
+            FeatureExtractor::uncached(&registry)
+        };
+        let (dataset, train_split) =
             build_training_set(&extractor, &feed, &crawl_records, &world, &registry, config);
         let eval = train::train_and_evaluate(&dataset, config.cv_folds, config.seed);
         let model = train::fit_final_model(&dataset, config.seed);
@@ -183,6 +195,7 @@ impl SquatPhi {
             config.threads,
         );
         timings.detect = stage.elapsed();
+        let analysis = extractor.analyzer().metrics();
 
         PipelineResult {
             registry,
@@ -193,11 +206,13 @@ impl SquatPhi {
             crawl: crawl_records,
             crawl_stats,
             feed,
+            train_split,
             eval,
             model,
             extractor,
             web_detections,
             mobile_detections,
+            analysis,
         }
     }
 }
@@ -340,6 +355,22 @@ mod tests {
         assert_eq!(r.scan_metrics.invalid(), r.scan.invalid);
         assert!(r.scan_metrics.probes() > 0);
         assert!(r.scan_metrics.allocations_avoided() > 0);
+    }
+
+    #[test]
+    fn analysis_metrics_reconcile_and_split_carried() {
+        let r = run();
+        let m = &r.analysis;
+        assert!(m.pages > 0, "pipeline analyzed no pages");
+        assert!(m.reconciles(), "pages {} != hits+misses", m.pages);
+        // Web + mobile detect passes share the cache, and uncloaked
+        // template sites serve byte-identical captures — hits must occur.
+        assert!(m.cache_hits > 0, "device passes never hit the cache");
+        assert!(m.stage_nanos() > 0);
+        // The training split matches what training actually saw.
+        let (pos, neg) = r.train_split;
+        assert_eq!((pos, neg), r.eval.train_shape);
+        assert!(pos > 0 && neg > 0, "degenerate split ({pos}, {neg})");
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! covers) and rejected detections (hard negatives — the exact pages the
 //! current model gets wrong). This module augments the training set with
 //! both and refits.
+//!
+//! Both the augmentation and the wild-error sweep re-extract pages the
+//! pipeline already analyzed, so with the shared
+//! [`crate::artifact::PageAnalyzer`] they run entirely on cache hits —
+//! no page is rendered or OCR'd twice.
 
 use crate::features::FeatureExtractor;
 use crate::pipeline::PipelineResult;

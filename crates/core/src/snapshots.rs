@@ -6,6 +6,11 @@
 //! phishing (Figure 17, Table 13). This module does exactly that against
 //! the world oracle-free: liveness comes from the classifier, not the
 //! ground truth.
+//!
+//! Re-classification goes through the pipeline's shared
+//! [`crate::artifact::PageAnalyzer`], so snapshot pages whose HTML is
+//! unchanged since the original crawl cost a cache probe, not a
+//! re-render.
 
 use crate::features::FeatureExtractor;
 use crate::pipeline::PipelineResult;
@@ -86,7 +91,13 @@ mod tests {
     #[test]
     fn recrawl_series_decays_but_survives() {
         let result = SquatPhi::run(&SimConfig::tiny());
+        let hits_before = result.extractor.analyzer().metrics().cache_hits;
         let series = recrawl_and_classify(&result, 4);
+        // Unchanged snapshot pages are served from the shared cache.
+        assert!(
+            result.extractor.analyzer().metrics().cache_hits > hits_before,
+            "snapshot re-crawl never hit the analysis cache"
+        );
         let first = series[0].0 + series[0].1;
         let last = series[3].0 + series[3].1;
         assert!(first > 0, "no live phishing at the first snapshot");

@@ -1,0 +1,142 @@
+//! Cache transparency: a pipeline run with the content-addressed
+//! analysis cache enabled must be byte-identical to a run with it
+//! disabled — the cache may only change speed and the hit/miss counters,
+//! never a feature vector, a score bit, a detection, or an image hash.
+
+use squatphi::evasion;
+use squatphi::pipeline::PipelineResult;
+use squatphi::{SimConfig, SquatPhi};
+use squatphi_dnsdb::SnapshotConfig;
+use squatphi_feeds::FeedConfig;
+use squatphi_web::WorldConfig;
+
+/// Smaller than `SimConfig::tiny()` — this test runs the pipeline twice.
+fn micro(analysis_cache: bool) -> SimConfig {
+    SimConfig {
+        snapshot: SnapshotConfig {
+            benign_records: 600,
+            squatting_records: 250,
+            subdomain_fraction: 0.2,
+            seed: 11,
+        },
+        world: WorldConfig {
+            phishing_domains: 40,
+            seed: 12,
+            ..WorldConfig::default()
+        },
+        feed: FeedConfig {
+            total_urls: 250,
+            seed: 13,
+        },
+        brands: 30,
+        threads: 4,
+        sampled_benign: 60,
+        cv_folds: 3,
+        analysis_cache,
+        seed: 14,
+    }
+}
+
+/// Every observable output of a run, with floats as bit patterns so the
+/// comparison is byte-exact rather than epsilon-close.
+fn fingerprint(r: &PipelineResult) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(format!(
+        "scan {} matches, {} scanned",
+        r.scan.total_matches(),
+        r.scan.scanned
+    ));
+    out.push(format!("train_split {:?}", r.train_split));
+    for m in &r.eval.models {
+        out.push(format!(
+            "model {} fpr={:016x} fnr={:016x} auc={:016x} acc={:016x}",
+            m.name,
+            m.metrics.fpr.to_bits(),
+            m.metrics.fnr.to_bits(),
+            m.metrics.auc.to_bits(),
+            m.metrics.accuracy.to_bits(),
+        ));
+    }
+    for d in r.web_detections.iter().chain(&r.mobile_detections) {
+        out.push(format!(
+            "det {} brand={} type={} dev={:?} score={:016x} confirmed={}",
+            d.domain,
+            d.brand,
+            d.squat_type,
+            d.device,
+            d.score.to_bits(),
+            d.confirmed,
+        ));
+    }
+    out.push(format!("confirmed {:?}", r.confirmed_domains()));
+    out
+}
+
+#[test]
+fn cache_is_invisible_in_every_pipeline_output() {
+    let with_cache = SquatPhi::run(&micro(true));
+    let without_cache = SquatPhi::run(&micro(false));
+
+    assert_eq!(
+        fingerprint(&with_cache),
+        fingerprint(&without_cache),
+        "cache-on and cache-off runs diverged"
+    );
+
+    // Evasion measurements (the Fig 8/9 and Table 6/11 substrate) agree
+    // artifact-for-artifact across both analyzers.
+    let brand = with_cache
+        .registry
+        .brands()
+        .first()
+        .expect("registry non-empty");
+    let brand_page = with_cache
+        .world
+        .brand_page(brand.id)
+        .expect("brand page exists");
+    for e in with_cache.feed.entries.iter().take(20) {
+        let a = evasion::measure(
+            with_cache.extractor.analyzer(),
+            &e.html,
+            brand_page,
+            &brand.label,
+        );
+        let b = evasion::measure(
+            without_cache.extractor.analyzer(),
+            &e.html,
+            brand_page,
+            &brand.label,
+        );
+        assert_eq!(a, b, "evasion measurement diverged for {}", e.host);
+    }
+
+    // Image hashes agree bit-for-bit.
+    for e in with_cache.feed.entries.iter().take(20) {
+        assert_eq!(
+            with_cache.extractor.analyzer().analyze(&e.html).image_hash,
+            without_cache
+                .extractor
+                .analyzer()
+                .analyze(&e.html)
+                .image_hash,
+        );
+    }
+
+    // Metrics shape: the cached run reconciles with real hits (the two
+    // device passes share template captures); the uncached run counts
+    // every page as a miss.
+    let on = &with_cache.analysis;
+    let off = &without_cache.analysis;
+    assert!(on.reconciles() && off.reconciles());
+    assert!(on.cache_hits > 0, "cached run never hit");
+    assert_eq!(off.cache_hits, 0, "uncached run claims hits");
+    assert_eq!(off.pages, off.cache_misses);
+    assert_eq!(
+        on.pages, off.pages,
+        "both runs must analyze the same page stream"
+    );
+    assert!(
+        on.cache_misses < off.cache_misses,
+        "cache saved no derivations"
+    );
+}

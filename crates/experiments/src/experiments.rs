@@ -10,8 +10,7 @@ use squatphi::analysis;
 use squatphi::pipeline::PipelineResult;
 use squatphi_domain::idna;
 use squatphi_feeds::RankBucket;
-use squatphi_imghash::perceptual_hash;
-use squatphi_render::{ascii, render_page, RenderOptions};
+use squatphi_render::ascii;
 use squatphi_squat::gen::{self, GenBudget};
 use squatphi_squat::{BrandRegistry, SquatType};
 use squatphi_web::behavior::{Cloaking, LifetimePattern, PhishingProfile, ScamKind};
@@ -451,8 +450,10 @@ fn fig8() -> String {
     let registry = BrandRegistry::with_size(10);
     let brand = registry.by_label("paypal").expect("paypal");
     let original = pages::brand_login_page(brand);
-    let opts = RenderOptions::default();
-    let orig_hash = perceptual_hash(&render_page(&squatphi_html::parse(&original), &opts));
+    // Self-contained figure (no pipeline result), so it runs its own
+    // analyzer; the four variants below still share its cache.
+    let analyzer = squatphi::artifact::PageAnalyzer::new();
+    let orig_hash = analyzer.analyze(&original).image_hash;
     let mut points = Vec::new();
     for intensity in 0..4u8 {
         let profile = PhishingProfile {
@@ -465,7 +466,7 @@ fn fig8() -> String {
             lifetime: LifetimePattern::Stable,
         };
         let html = pages::phishing_page(brand, &profile, "paypal-cash.com", 8);
-        let h = perceptual_hash(&render_page(&squatphi_html::parse(&html), &opts));
+        let h = analyzer.analyze(&html).image_hash;
         points.push((
             format!("intensity {intensity}"),
             orig_hash.distance(&h).to_string(),
@@ -484,20 +485,21 @@ fn fig8() -> String {
 /// Figure 9: mean image-hash distance per brand over ground-truth
 /// phishing (paper: most brands around 20+).
 fn fig9(result: &PipelineResult) -> String {
+    let analyzer = result.extractor.analyzer();
     let mut rows = Vec::new();
     for label in squatphi_feeds::GroundTruthFeed::top8_labels() {
         let Some(brand) = result.registry.by_label(label) else {
             continue;
         };
         let brand_page = result.world.brand_page(brand.id).expect("brand page");
-        let bh = squatphi::evasion::brand_hash(brand_page);
+        let bh = analyzer.analyze(brand_page).image_hash;
         let ds: Vec<f64> = result
             .feed
             .entries
             .iter()
             .filter(|e| e.brand == brand.id && e.still_phishing)
             .take(60)
-            .map(|e| squatphi::evasion::layout_distance(&e.html, &bh) as f64)
+            .map(|e| analyzer.analyze(&e.html).image_hash.distance(&bh) as f64)
             .collect();
         if ds.is_empty() {
             continue;
@@ -521,6 +523,7 @@ fn fig9(result: &PipelineResult) -> String {
 /// Table 6: string/code obfuscation per brand on ground truth (paper:
 /// e.g. microsoft 70.2% string, facebook 46.6% code).
 fn table6(result: &PipelineResult) -> String {
+    let analyzer = result.extractor.analyzer();
     let mut rows = Vec::new();
     for label in squatphi_feeds::GroundTruthFeed::top8_labels() {
         let Some(brand) = result.registry.by_label(label) else {
@@ -533,7 +536,7 @@ fn table6(result: &PipelineResult) -> String {
             .iter()
             .filter(|e| e.brand == brand.id && e.still_phishing)
             .take(80)
-            .map(|e| squatphi::evasion::measure(&e.html, brand_page, label))
+            .map(|e| squatphi::evasion::measure(analyzer, &e.html, brand_page, label))
             .collect();
         if ms.is_empty() {
             continue;
@@ -853,7 +856,7 @@ fn fig14(result: &PipelineResult) -> String {
         }
         if let squatphi_web::ServeResult::Page(html) = result.world.serve(&d.domain, Device::Web, 0)
         {
-            let bmp = render_page(&squatphi_html::parse(&html), &RenderOptions::default());
+            let bmp = result.extractor.analyzer().screenshot(&html);
             out.push_str(&format!("--- {} ---\n", d.domain));
             out.push_str(&ascii::to_ascii(&bmp, 72));
             shown += 1;
@@ -926,6 +929,7 @@ fn fig17(result: &PipelineResult) -> String {
 /// layout 28.4±11.8 vs 21.0±12.3; string 68.1% vs 35.9%; code 34.0% vs
 /// 37.5%).
 fn table11(result: &PipelineResult) -> String {
+    let analyzer = result.extractor.analyzer();
     // Squatting phishing: measure a sample of confirmed live pages.
     let mut squat_ms = Vec::new();
     for d in result.confirmed(Device::Web).iter().take(200) {
@@ -937,7 +941,12 @@ fn table11(result: &PipelineResult) -> String {
         };
         if let squatphi_web::ServeResult::Page(html) = result.world.serve(&d.domain, Device::Web, 0)
         {
-            squat_ms.push(squatphi::evasion::measure(&html, brand_page, &brand.label));
+            squat_ms.push(squatphi::evasion::measure(
+                analyzer,
+                &html,
+                brand_page,
+                &brand.label,
+            ));
         }
     }
     let squat = squatphi::evasion::EvasionSummary::from_measurements(&squat_ms);
@@ -958,6 +967,7 @@ fn table11(result: &PipelineResult) -> String {
             continue;
         };
         ns_ms.push(squatphi::evasion::measure(
+            analyzer,
             &e.html,
             brand_page,
             &brand.label,

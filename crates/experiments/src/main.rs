@@ -80,6 +80,11 @@ fn main() {
         "[repro] crawl transport: {}",
         result.crawl_stats.transport.report_line()
     );
+    eprintln!("[repro] page analysis: {}", result.analysis.report_line());
+    eprintln!(
+        "[repro] training set: {} phishing / {} benign",
+        result.train_split.0, result.train_split.1
+    );
     let m = &result.scan_metrics;
     eprintln!(
         "[repro] scan: {:.0} records/s over {} workers, {} probes, {} allocations avoided, {} dedupe collisions",

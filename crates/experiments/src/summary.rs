@@ -7,6 +7,7 @@
 //! arrays, two-space indent), so downstream consumers are unaffected.
 
 use squatphi::analysis;
+use squatphi::artifact::AnalysisSnapshot;
 use squatphi::pipeline::PipelineResult;
 use squatphi_crawler::TransportSnapshot;
 use squatphi_web::Device;
@@ -25,6 +26,10 @@ pub struct RunSummary {
     pub web_live: usize,
     /// Transport middleware counters from the crawl stage.
     pub crawl_transport: TransportSnapshot,
+    /// Page-analysis counters (cache hits/misses, per-stage nanos).
+    pub analysis: AnalysisSnapshot,
+    /// Training-set class balance: (positives, negatives).
+    pub train_split: (usize, usize),
     /// Classifier metrics per model: (name, fpr, fnr, auc, acc).
     pub models: Vec<ModelSummary>,
     /// Pages flagged per device.
@@ -116,6 +121,8 @@ impl RunSummary {
             squatting_by_type: result.scan.by_type,
             web_live: result.crawl_stats.web_live,
             crawl_transport: result.crawl_stats.transport.clone(),
+            analysis: result.analysis.clone(),
+            train_split: result.train_split,
             models: result
                 .eval
                 .models
@@ -181,11 +188,27 @@ impl RunSummary {
             t.fetch_deadline_hits,
             t.crawl_deadline_hits,
         );
+        let a = &self.analysis;
+        let analysis = format!(
+            "{{\n    \"pages\": {},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"key_collisions\": {},\n    \"parse_nanos\": {},\n    \"extract_nanos\": {},\n    \"render_nanos\": {},\n    \"hash_nanos\": {},\n    \"ocr_nanos\": {},\n    \"embed_nanos\": {}\n  }}",
+            a.pages,
+            a.cache_hits,
+            a.cache_misses,
+            a.key_collisions,
+            a.parse_nanos,
+            a.extract_nanos,
+            a.render_nanos,
+            a.hash_nanos,
+            a.ocr_nanos,
+            a.embed_nanos,
+        );
         format!(
-            "{{\n  \"records_scanned\": {},\n  \"squatting_domains\": {},\n  \"squatting_by_type\": [\n{by_type}\n  ],\n  \"web_live\": {},\n  \"crawl_transport\": {transport},\n  \"models\": [\n{models}\n  ],\n  \"flagged\": {},\n  \"confirmed\": {},\n  \"confirmed_domains\": {},\n  \"targeted_brands\": {},\n  \"blacklist\": [\n    {pt},\n    {vt},\n    {ec},\n    {un}\n  ]\n}}",
+            "{{\n  \"records_scanned\": {},\n  \"squatting_domains\": {},\n  \"squatting_by_type\": [\n{by_type}\n  ],\n  \"web_live\": {},\n  \"crawl_transport\": {transport},\n  \"analysis\": {analysis},\n  \"train_split\": [\n    {},\n    {}\n  ],\n  \"models\": [\n{models}\n  ],\n  \"flagged\": {},\n  \"confirmed\": {},\n  \"confirmed_domains\": {},\n  \"targeted_brands\": {},\n  \"blacklist\": [\n    {pt},\n    {vt},\n    {ec},\n    {un}\n  ]\n}}",
             self.records_scanned,
             self.squatting_domains,
             self.web_live,
+            self.train_split.0,
+            self.train_split.1,
             self.flagged.to_json("  "),
             self.confirmed.to_json("  "),
             self.confirmed_domains,
@@ -214,6 +237,16 @@ mod tests {
         assert!(summary.crawl_transport.attempts > 0);
         assert!(json.contains("\"crawl_transport\""));
         assert!(json.contains("\"breaker_trips\""));
+        // Page-analysis counters reconcile exactly and are serialized.
+        assert!(summary.analysis.pages > 0);
+        assert!(summary.analysis.reconciles());
+        assert_eq!(
+            summary.analysis.pages,
+            summary.analysis.cache_hits + summary.analysis.cache_misses
+        );
+        assert!(json.contains("\"cache_hits\""));
+        assert!(json.contains("\"train_split\""));
+        assert_eq!(summary.train_split, result.eval.train_shape);
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! cargo run --example evasion_audit
 //! ```
 
+use squatphi::artifact::PageAnalyzer;
 use squatphi::evasion::{measure, EvasionSummary};
-use squatphi_html::parse;
-use squatphi_render::{ascii, render_page, RenderOptions};
+use squatphi_render::ascii;
 use squatphi_squat::BrandRegistry;
 use squatphi_web::behavior::{Cloaking, LifetimePattern, PhishingProfile, ScamKind};
 use squatphi_web::pages;
@@ -18,6 +18,9 @@ fn main() {
     let registry = BrandRegistry::with_size(30);
     let brand = registry.by_label("paypal").expect("paypal in registry");
     let brand_page = pages::brand_login_page(brand);
+    // All measurements share one analyzer, so the brand page is rendered
+    // and hashed exactly once across the whole audit.
+    let analyzer = PageAnalyzer::new();
 
     println!("evasion audit for {} phishing variants\n", brand.label);
     println!(
@@ -38,7 +41,7 @@ fn main() {
                 lifetime: LifetimePattern::Stable,
             };
             let html = pages::phishing_page(brand, &profile, "paypal-cash.com", i as u64);
-            let m = measure(&html, &brand_page, &brand.label);
+            let m = measure(&analyzer, &html, &brand_page, &brand.label);
             println!(
                 "{:<10} {:<8} {:<8} {:>8} {:>8} {:>6}",
                 format!("{scam:?}"),
@@ -74,7 +77,8 @@ fn main() {
         lifetime: LifetimePattern::Stable,
     };
     let html = pages::phishing_page(brand, &profile, "paypal-cash.com", 3);
-    let bmp = render_page(&parse(&html), &RenderOptions::default());
+    let bmp = analyzer.screenshot(&html);
     println!("\nscreenshot of paypal-cash.com (string-obfuscated variant):\n");
     println!("{}", ascii::to_ascii(&bmp, 76));
+    println!("\nanalysis: {}", analyzer.metrics().report_line());
 }

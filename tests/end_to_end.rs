@@ -139,6 +139,18 @@ fn snapshot_liveness_is_monotone_enough() {
 }
 
 #[test]
+fn analysis_counters_reconcile_and_split_matches_training() {
+    let r = result();
+    let a = &r.analysis;
+    assert!(a.pages > 0);
+    assert_eq!(a.pages, a.cache_hits + a.cache_misses);
+    assert!(a.cache_hits > 0, "web+mobile passes never shared a page");
+    assert!(a.stage_nanos() > 0);
+    // The carried training split is exactly what the evaluator reported.
+    assert_eq!(r.train_split, r.eval.train_shape);
+}
+
+#[test]
 fn pipeline_is_deterministic() {
     // A second tiny run must agree with the shared one on headline counts.
     let again = SquatPhi::run(&SimConfig::tiny());
