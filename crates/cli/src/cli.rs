@@ -59,6 +59,24 @@ pub enum Command {
         /// Output columns.
         width: usize,
     },
+    /// `squatphi conformance [--seed N] [--budget ci|full] [--json]
+    /// [--timings] [--report FILE]` — run the seeded conformance oracles
+    /// (generator↔detector differential, codec round trips, never-panic
+    /// fuzzing).
+    Conformance {
+        /// Seed for the randomized oracle halves.
+        seed: u64,
+        /// Budget name (`ci` | `full`).
+        budget: String,
+        /// Emit the machine-readable JSON summary instead of the table.
+        json: bool,
+        /// Include per-oracle wall-clock nanos (breaks byte-for-byte
+        /// determinism between runs, so it is opt-in).
+        timings: bool,
+        /// Also write the (timing-free) JSON report to this file — set
+        /// regardless of pass/fail so CI can upload shrunk inputs.
+        report: Option<String>,
+    },
     /// `squatphi help`.
     Help,
 }
@@ -97,6 +115,11 @@ USAGE:
                                             truncated | injected)
   squatphi page <file.html> [--brand L]     audit a page (forms/OCR/JS/score)
   squatphi render <file.html> [--width N]   ASCII screenshot of a page
+  squatphi conformance [--seed N] [--budget ci|full] [--json] [--timings]
+                       [--report FILE]
+                                            run the seeded conformance oracles
+                                            (differential, round-trip, fuzz);
+                                            exits non-zero on any violation
   squatphi help                             this text
 ";
 
@@ -276,6 +299,52 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 width: width.max(8),
             })
         }
+        "conformance" => {
+            let mut seed = 1u64;
+            let mut budget = "ci".to_string();
+            let mut json = false;
+            let mut timings = false;
+            let mut report = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--seed" => {
+                        i += 1;
+                        seed = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("--seed needs an integer"))?;
+                    }
+                    "--budget" => {
+                        i += 1;
+                        budget = rest
+                            .get(i)
+                            .ok_or_else(|| err("--budget needs a value (ci | full)"))?
+                            .to_string();
+                    }
+                    "--json" => json = true,
+                    "--timings" => timings = true,
+                    "--report" => {
+                        i += 1;
+                        report = Some(
+                            rest.get(i)
+                                .ok_or_else(|| err("--report needs a file path"))?
+                                .to_string(),
+                        );
+                    }
+                    other => return Err(err(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Conformance {
+                seed,
+                budget,
+                json,
+                timings,
+                report,
+            })
+        }
         other => Err(err(format!(
             "unknown subcommand {other:?} (try `squatphi help`)"
         ))),
@@ -437,6 +506,35 @@ mod tests {
             }
         );
         assert!(parse_args(&args("render --width 60")).is_err());
+    }
+
+    #[test]
+    fn parses_conformance() {
+        assert_eq!(
+            parse_args(&args("conformance")).unwrap(),
+            Command::Conformance {
+                seed: 1,
+                budget: "ci".into(),
+                json: false,
+                timings: false,
+                report: None
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "conformance --seed 7 --budget full --json --timings --report out.json"
+            ))
+            .unwrap(),
+            Command::Conformance {
+                seed: 7,
+                budget: "full".into(),
+                json: true,
+                timings: true,
+                report: Some("out.json".into())
+            }
+        );
+        assert!(parse_args(&args("conformance --seed")).is_err());
+        assert!(parse_args(&args("conformance bogus")).is_err());
     }
 
     #[test]

@@ -37,6 +37,50 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         } => crawl_zone(path, *threads, *retries, *plan, *seed),
         Command::Page { path, brand } => page(path, brand.as_deref()),
         Command::Render { path, width } => render(path, *width),
+        Command::Conformance {
+            seed,
+            budget,
+            json,
+            timings,
+            report,
+        } => conformance(*seed, budget, *json, *timings, report.as_deref()),
+    }
+}
+
+/// Runs the conformance oracles. Returns `Err` (→ non-zero exit) when any
+/// oracle reports a violation, with the full report as the error text so
+/// the shrunk inputs reach the operator; the `--report` file is written in
+/// both cases.
+fn conformance(
+    seed: u64,
+    budget: &str,
+    json: bool,
+    timings: bool,
+    report_path: Option<&str>,
+) -> Result<String, String> {
+    let budget = squatphi_conformance::Budget::parse(budget)
+        .ok_or_else(|| format!("unknown --budget {budget:?} (ci | full)"))?;
+    let report =
+        squatphi_conformance::run(&squatphi_conformance::ConformanceConfig { seed, budget });
+    if let Some(path) = report_path {
+        std::fs::write(path, report.to_json(false) + "\n")
+            .map_err(|e| format!("cannot write --report {path}: {e}"))?;
+    }
+    let mut rendered = if json {
+        report.to_json(timings)
+    } else {
+        report.render_text(timings)
+    };
+    if !rendered.ends_with('\n') {
+        rendered.push('\n');
+    }
+    if report.total_violations() == 0 {
+        Ok(rendered)
+    } else {
+        Err(format!(
+            "{} conformance violation(s)\n{rendered}",
+            report.total_violations()
+        ))
     }
 }
 

@@ -1,0 +1,241 @@
+//! Independent ground-truth predicates for detector answers.
+//!
+//! The differential oracle cannot treat `PregeneratedDetector` as the
+//! single source of truth: several generated candidates have *multiple*
+//! correct readings (a `g`↔`q` transposition is both a Typo and a
+//! canonical-class Homograph; a 1-bit flip of one brand can be the typo
+//! of another). Instead of hard-coding the probing detector's precedence
+//! into the oracle, each claimed `(brand, type)` is re-derived here from
+//! first principles — edit distances, confusable folds, token structure —
+//! re-implemented *without* reference to the detector's index structures.
+//! A detector answer that passes its predicate is correct even when the
+//! pregenerated table attributes the candidate differently; one that
+//! fails is a violation.
+
+use squatphi_domain::confusables::ConfusableTable;
+use squatphi_domain::{distance, punycode, DomainName};
+use squatphi_squat::detect::SquatMatch;
+use squatphi_squat::words::COMBO_WORDS;
+use squatphi_squat::{BrandRegistry, SquatType};
+
+/// Maps a [`SquatType`] to its index in [`SquatType::ALL`].
+pub fn type_index(ty: SquatType) -> usize {
+    SquatType::ALL
+        .iter()
+        .position(|&t| t == ty)
+        .expect("SquatType::ALL covers every variant")
+}
+
+/// Whether `m` is a defensible classification of `domain`: the claimed
+/// brand/type pair must satisfy the ground-truth predicate for that
+/// squatting type.
+pub fn justified(
+    registry: &BrandRegistry,
+    table: &ConfusableTable,
+    domain: &DomainName,
+    m: &SquatMatch,
+) -> bool {
+    let Some(brand) = registry.get(m.brand) else {
+        return false;
+    };
+    // A brand's own registrable domain is never squatting, whatever the
+    // claimed type.
+    if domain.registrable() == brand.domain.registrable() {
+        return false;
+    }
+    let label = domain.core_label();
+    let target = brand.label.as_str();
+    match m.squat_type {
+        SquatType::WrongTld => label == target,
+        SquatType::Bits => distance::bit_flip_distance(label, target) == Some(1),
+        SquatType::Typo => typo_justified(label, target),
+        SquatType::Homograph => homograph_justified(table, label, target),
+        SquatType::Combo => combo_justified(label, target),
+    }
+}
+
+/// Typo = damerau-levenshtein 1 that is *not* a plain substitution
+/// (insertion, omission, repetition or adjacent transposition — the
+/// paper's typo set; same-length single substitutions belong to the
+/// homograph/bits families).
+fn typo_justified(label: &str, target: &str) -> bool {
+    distance::damerau_levenshtein(label, target) == 1
+        && !(label.len() == target.len() && distance::levenshtein(label, target) == 1)
+}
+
+/// Homograph = the label reaches the brand under the visual folds: the
+/// canonical confusable-class fold (possibly after punycode decoding and
+/// the Unicode skeleton fold), or a single character-sequence fold
+/// (`rn`→`m`, `vv`→`w`, …).
+fn homograph_justified(table: &ConfusableTable, label: &str, target: &str) -> bool {
+    let folded;
+    let ascii: &str = if let Some(ext) = label.strip_prefix("xn--") {
+        match punycode::decode(ext) {
+            Ok(unicode) => {
+                folded = table.skeleton(&unicode);
+                &folded
+            }
+            Err(_) => label,
+        }
+    } else {
+        label
+    };
+    if canon_eq(ascii, target) {
+        return true;
+    }
+    // One sequence fold: replace a single occurrence of a multi-char
+    // lookalike (e.g. `rn`) with the letter it imitates (e.g. `m`).
+    for c in b'a'..=b'z' {
+        let c = c as char;
+        for seq in table.sequences(c) {
+            let mut start = 0;
+            while let Some(off) = ascii[start..].find(seq) {
+                let pos = start + off;
+                let mut cand = String::with_capacity(ascii.len());
+                cand.push_str(&ascii[..pos]);
+                cand.push(c);
+                cand.push_str(&ascii[pos + seq.len()..]);
+                if canon_eq(&cand, target) {
+                    return true;
+                }
+                start = pos + 1;
+            }
+        }
+    }
+    false
+}
+
+/// Whether two labels are equal under the canonical confusable-class fold
+/// (`0`/`o`, `5`/`s`, `1`/`i`/`l`, `q`/`g`, `u`/`v`, `2`/`z`).
+fn canon_eq(a: &str, b: &str) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.bytes().zip(b.bytes()).all(|(x, y)| {
+        let (x, y) = if x.is_ascii() && y.is_ascii() {
+            (
+                ConfusableTable::canonical_fold_byte(x),
+                ConfusableTable::canonical_fold_byte(y),
+            )
+        } else {
+            (x, y)
+        };
+        x == y
+    })
+}
+
+/// Combo = the brand appears as a hyphen-separated token, or heads/tails
+/// a token whose remainder is plausible: any remainder for brands of 4+
+/// characters, a known combo word for shorter brands (so `adpfreight`
+/// counts but `btree` does not).
+fn combo_justified(label: &str, target: &str) -> bool {
+    for token in label.split('-') {
+        if token == target {
+            return true;
+        }
+        if token.len() <= target.len() {
+            continue;
+        }
+        if let Some(rest) = token.strip_prefix(target) {
+            if target.len() >= 4 || COMBO_WORDS.contains(&rest) {
+                return true;
+            }
+        }
+        if let Some(rest) = token.strip_suffix(target) {
+            if target.len() >= 4 || COMBO_WORDS.contains(&rest) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squatphi_squat::SquatDetector;
+
+    fn setup() -> (BrandRegistry, ConfusableTable) {
+        (BrandRegistry::paper(), ConfusableTable::new())
+    }
+
+    fn check(reg: &BrandRegistry, table: &ConfusableTable, domain: &str, expect: bool) {
+        let det = SquatDetector::new(reg);
+        let d = DomainName::parse(domain).unwrap();
+        let m = det.classify(&d).expect("detector should match");
+        assert_eq!(
+            justified(reg, table, &d, &m),
+            expect,
+            "{domain} → {:?}",
+            m.squat_type
+        );
+    }
+
+    #[test]
+    fn detector_answers_on_known_squats_are_justified() {
+        let (reg, table) = setup();
+        for domain in [
+            "faceb00k.pw",         // homograph (digit swap)
+            "a11iancebank.com.ua", // homograph (multi-position)
+            "fernrnart.co",        // homograph (sequence fold)
+            "xn--fcebook-8va.com", // homograph (IDN)
+            "facebnok.com",        // bits
+            "fcaebook.com",        // typo (transposition)
+            "facebook-login.top",  // combo
+            "go-adpfreight.com",   // combo (short brand, combo-word rest)
+            "facebook.click",      // wrongTLD
+        ] {
+            check(&reg, &table, domain, true);
+        }
+    }
+
+    #[test]
+    fn wrong_claims_are_rejected() {
+        let (reg, table) = setup();
+        let fb = reg.by_label("facebook").unwrap().id;
+        let d = DomainName::parse("winterpillow.net").unwrap();
+        for ty in SquatType::ALL {
+            let m = SquatMatch {
+                brand: fb,
+                squat_type: ty,
+            };
+            assert!(
+                !justified(&reg, &table, &d, &m),
+                "winterpillow accepted as {ty:?} of facebook"
+            );
+        }
+    }
+
+    #[test]
+    fn brand_own_domain_is_never_justified() {
+        let (reg, table) = setup();
+        let fb = reg.by_label("facebook").unwrap();
+        let m = SquatMatch {
+            brand: fb.id,
+            squat_type: SquatType::WrongTld,
+        };
+        assert!(!justified(&reg, &table, &fb.domain, &m));
+    }
+
+    #[test]
+    fn canon_classes_match_the_confusable_table() {
+        assert!(canon_eq("bloqqer", "blogger"));
+        assert!(canon_eq("net553", "netss3"));
+        assert!(!canon_eq("blogger", "bloggr"));
+        assert!(!canon_eq("abc", "abd"));
+    }
+
+    #[test]
+    fn short_brand_combo_gate() {
+        assert!(combo_justified("go-adpfreight", "adp"));
+        assert!(!combo_justified("my-btree", "bt"));
+        assert!(combo_justified("paypal-zanzibar", "paypal"));
+    }
+
+    #[test]
+    fn type_index_is_total() {
+        for (i, ty) in SquatType::ALL.iter().enumerate() {
+            assert_eq!(type_index(*ty), i);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Seeded conformance harness for the SquatPhi workspace.
+//!
+//! Three oracle families, all deterministic given a seed and a budget:
+//!
+//! * **Differential** — every candidate the forward generators emit
+//!   ([`squatphi_squat::gen::generate_all`], indexed by the DNSTwist-style
+//!   [`PregeneratedDetector`]) is streamed through the reverse probing
+//!   [`SquatDetector`]. The two strategies must agree on match, brand and
+//!   [`SquatType`]; a disagreement is arbitrated against independent
+//!   ground-truth predicates ([`justify`]) and only an *unjustifiable*
+//!   answer (or an outright miss) counts as a violation. A negative
+//!   oracle feeds seeded random non-squatting domains through both and
+//!   rejects unjustifiable hits.
+//! * **Round-trip** — `punycode::encode`/`decode` (pinned to the RFC 3492
+//!   §7.1 sample strings plus seeded random Unicode), `idna::to_ascii`/
+//!   `to_unicode`, and `Message::encode`/`decode` over seeded random DNS
+//!   messages.
+//! * **Never-panic fuzzing** — `Message::decode` over seeded byte-level
+//!   mutations of valid packets and `html::parse`/`tokenize` over seeded
+//!   structure-aware mutations, each replaying a small on-disk corpus
+//!   first. Any panic (caught with `catch_unwind`) is a violation.
+//!
+//! Violating inputs are minimized by a greedy delta-debugging loop
+//! ([`shrink`]) before they are reported, so a red run hands you the
+//! smallest reproducing input, not a 300-byte blob.
+//!
+//! The harness runs three ways: `squatphi conformance` (CLI, `--json`
+//! summary in the `ScanMetrics` style), `cargo test -p
+//! squatphi-conformance` (CI-sized budget), and programmatically via
+//! [`run`].
+//!
+//! [`PregeneratedDetector`]: squatphi_squat::pregen::PregeneratedDetector
+//! [`SquatDetector`]: squatphi_squat::SquatDetector
+//! [`SquatType`]: squatphi_squat::SquatType
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod differential;
+mod fuzz;
+pub mod justify;
+mod report;
+mod roundtrip;
+pub mod shrink;
+
+pub use report::{ConformanceReport, OracleOutcome, Violation};
+pub use roundtrip::RFC3492_VECTORS;
+
+use squatphi_squat::gen::GenBudget;
+
+/// How much work each oracle does. Both presets are deterministic; `Full`
+/// streams the complete 702-brand registry and is meant for release gates,
+/// `Ci` is sized so `cargo test` stays fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// CI-sized: a 150-brand registry slice and a few hundred cases per
+    /// oracle (a couple of seconds in debug builds).
+    Ci,
+    /// The full paper registry and the default generation budget.
+    Full,
+}
+
+impl Budget {
+    /// Parses a budget name (`ci` | `full`).
+    pub fn parse(s: &str) -> Option<Budget> {
+        match s {
+            "ci" => Some(Budget::Ci),
+            "full" => Some(Budget::Full),
+            _ => None,
+        }
+    }
+
+    /// The budget's canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Budget::Ci => "ci",
+            Budget::Full => "full",
+        }
+    }
+
+    pub(crate) fn params(&self) -> Params {
+        match self {
+            Budget::Ci => Params {
+                registry_size: Some(150),
+                gen: GenBudget {
+                    homograph: 60,
+                    bits: 40,
+                    typo: 80,
+                    combo: 100,
+                    wrong_tld: 10,
+                },
+                negatives: 800,
+                punycode_cases: 400,
+                idna_cases: 300,
+                dns_roundtrip_cases: 300,
+                dns_fuzz_cases: 700,
+                html_fuzz_cases: 300,
+            },
+            Budget::Full => Params {
+                registry_size: None,
+                gen: GenBudget::default(),
+                negatives: 5000,
+                punycode_cases: 2000,
+                idna_cases: 1500,
+                dns_roundtrip_cases: 1500,
+                dns_fuzz_cases: 5000,
+                html_fuzz_cases: 1500,
+            },
+        }
+    }
+}
+
+/// Per-oracle case counts derived from a [`Budget`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Params {
+    /// `Some(n)` → `BrandRegistry::with_size(n)`; `None` → full paper
+    /// registry.
+    pub registry_size: Option<usize>,
+    /// Generation budget for the differential oracle.
+    pub gen: GenBudget,
+    /// Random non-squatting domains for the negative oracle.
+    pub negatives: usize,
+    /// Random punycode round-trip strings (on top of the RFC vectors).
+    pub punycode_cases: usize,
+    /// Random IDNA round-trip domains.
+    pub idna_cases: usize,
+    /// Random DNS message round-trips.
+    pub dns_roundtrip_cases: usize,
+    /// Mutated DNS packets fed to the never-panic fuzzer.
+    pub dns_fuzz_cases: usize,
+    /// Mutated HTML documents fed to the never-panic fuzzer.
+    pub html_fuzz_cases: usize,
+}
+
+/// One harness invocation: a seed and a budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConformanceConfig {
+    /// Seed for every randomized oracle (the differential oracle itself is
+    /// exhaustive over the generators and uses the seed only for the
+    /// negative half).
+    pub seed: u64,
+    /// Work budget.
+    pub budget: Budget,
+}
+
+/// Runs every oracle under `config` and collects the report. Two calls
+/// with the same config produce byte-identical [`ConformanceReport::to_json`]
+/// output (timings excluded).
+pub fn run(config: &ConformanceConfig) -> ConformanceReport {
+    let params = config.budget.params();
+    let mut report = ConformanceReport::new(config.seed, config.budget.name());
+
+    let mut coverage = [0u64; 5];
+    report.push(timed("differential", || {
+        differential::run_positive(&params, &mut coverage)
+    }));
+    report.type_coverage = coverage;
+    report.push(timed("negative", || {
+        differential::run_negative(config.seed, &params)
+    }));
+    report.push(timed("punycode-roundtrip", || {
+        roundtrip::run_punycode(config.seed, &params)
+    }));
+    report.push(timed("idna-roundtrip", || {
+        roundtrip::run_idna(config.seed, &params)
+    }));
+    report.push(timed("dnswire-roundtrip", || {
+        roundtrip::run_dnswire(config.seed, &params)
+    }));
+    report.push(timed("dnswire-fuzz", || {
+        fuzz::run_dnswire(config.seed, &params)
+    }));
+    report.push(timed("html-fuzz", || fuzz::run_html(config.seed, &params)));
+    report
+}
+
+fn timed(name: &'static str, body: impl FnOnce() -> (u64, Vec<Violation>)) -> OracleOutcome {
+    let start = std::time::Instant::now();
+    let (cases, violations) = body();
+    OracleOutcome {
+        name,
+        cases,
+        violations,
+        nanos: start.elapsed().as_nanos(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_names_round_trip() {
+        for b in [Budget::Ci, Budget::Full] {
+            assert_eq!(Budget::parse(b.name()), Some(b));
+        }
+        assert_eq!(Budget::parse("bogus"), None);
+    }
+
+    #[test]
+    fn ci_params_are_smaller_than_full() {
+        let ci = Budget::Ci.params();
+        let full = Budget::Full.params();
+        assert!(ci.registry_size.is_some() && full.registry_size.is_none());
+        assert!(ci.gen.combo < full.gen.combo);
+        assert!(ci.dns_fuzz_cases < full.dns_fuzz_cases);
+    }
+}

@@ -1,0 +1,84 @@
+//! CI entry point for the conformance harness: one full `ci`-budget run
+//! must be violation-free, cover all five squatting types in the
+//! differential oracle, and produce byte-identical JSON across runs.
+
+use squatphi_conformance::{run, Budget, ConformanceConfig, RFC3492_VECTORS};
+use squatphi_domain::punycode;
+use squatphi_squat::SquatType;
+
+const CONFIG: ConformanceConfig = ConformanceConfig {
+    seed: 1,
+    budget: Budget::Ci,
+};
+
+#[test]
+fn ci_budget_run_is_violation_free() {
+    let report = run(&CONFIG);
+    assert_eq!(
+        report.total_violations(),
+        0,
+        "conformance violations:\n{}",
+        report.render_text(false)
+    );
+    assert!(
+        report.total_cases() > 10_000,
+        "suspiciously small run: {} cases",
+        report.total_cases()
+    );
+    // Every oracle actually ran.
+    let names: Vec<&str> = report.oracles.iter().map(|o| o.name).collect();
+    for expected in [
+        "differential",
+        "negative",
+        "punycode-roundtrip",
+        "idna-roundtrip",
+        "dnswire-roundtrip",
+        "dnswire-fuzz",
+        "html-fuzz",
+    ] {
+        assert!(names.contains(&expected), "oracle {expected} missing");
+        let o = report.oracles.iter().find(|o| o.name == expected).unwrap();
+        assert!(o.cases > 0, "oracle {expected} ran zero cases");
+    }
+}
+
+#[test]
+fn differential_oracle_covers_all_five_types() {
+    let report = run(&CONFIG);
+    for (ty, n) in SquatType::ALL.iter().zip(report.type_coverage.iter()) {
+        assert!(*n > 0, "type {ty} never reached the differential oracle");
+    }
+}
+
+#[test]
+fn report_json_is_deterministic() {
+    let a = run(&CONFIG).to_json(false);
+    let b = run(&CONFIG).to_json(false);
+    assert_eq!(a, b, "two identical runs must serialize identically");
+    // A different seed changes the run (the negative/fuzz halves are
+    // seeded) but must not change the report *shape*.
+    let c = run(&ConformanceConfig {
+        seed: 2,
+        budget: Budget::Ci,
+    })
+    .to_json(false);
+    assert_ne!(a, c, "seed must reach the randomized oracles");
+    assert_eq!(a.lines().count(), c.lines().count());
+}
+
+#[test]
+fn rfc3492_sample_strings_verbatim() {
+    assert_eq!(RFC3492_VECTORS.len(), 19, "all RFC 3492 §7.1 samples");
+    for &(name, unicode, encoded) in RFC3492_VECTORS {
+        assert_eq!(
+            punycode::encode(unicode).expect("encode"),
+            encoded,
+            "{name}: encode mismatch"
+        );
+        assert_eq!(
+            punycode::decode(encoded).expect("decode"),
+            unicode,
+            "{name}: decode mismatch"
+        );
+    }
+}

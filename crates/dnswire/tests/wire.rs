@@ -1,0 +1,176 @@
+//! Wire-robustness matrix for `Message::decode`: every strict prefix of a
+//! valid encoded message must come back as `Err(WireError)` — never a
+//! panic, never an infinite loop — and hand-built pathological packets
+//! (compression-pointer cycles, forward pointers, reserved label types)
+//! must be rejected the same way.
+
+use squatphi_dnswire::name::decode_name;
+use squatphi_dnswire::{Message, RData, Rcode, RecordType, ResourceRecord};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// A response exercising every section and rdata shape the codec emits:
+/// questions, compressed answer names, MX/TXT/SOA/AAAA payloads and an
+/// authority record.
+fn rich_message() -> Message {
+    let q = Message::query(0xBEEF, "mail.paypal-secure.com.ua", RecordType::A);
+    let mut r = Message::response_to(&q, Rcode::NoError);
+    r.answers.push(ResourceRecord {
+        name: "mail.paypal-secure.com.ua".into(),
+        ttl: 300,
+        rdata: RData::A(Ipv4Addr::new(203, 0, 113, 9)),
+    });
+    r.answers.push(ResourceRecord {
+        name: "mail.paypal-secure.com.ua".into(),
+        ttl: 300,
+        rdata: RData::Aaaa(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1)),
+    });
+    r.answers.push(ResourceRecord {
+        name: "paypal-secure.com.ua".into(),
+        ttl: 600,
+        rdata: RData::Mx {
+            preference: 10,
+            exchange: "mx1.paypal-secure.com.ua".into(),
+        },
+    });
+    r.answers.push(ResourceRecord {
+        name: "paypal-secure.com.ua".into(),
+        ttl: 60,
+        rdata: RData::Txt("v=spf1 -all".into()),
+    });
+    r.authority.push(ResourceRecord {
+        name: "com.ua".into(),
+        ttl: 3600,
+        rdata: RData::Soa {
+            mname: "ns1.com.ua".into(),
+            rname: "hostmaster.com.ua".into(),
+            serial: 20240101,
+        },
+    });
+    r
+}
+
+/// Every strict prefix of a valid message errors — no panic, no hang.
+/// This covers truncation inside the header, mid-name, mid-pointer,
+/// mid-fixed-RR-fields and mid-RDATA.
+#[test]
+fn every_prefix_of_valid_message_errors() {
+    let wire = rich_message().encode().expect("encode");
+    assert!(Message::decode(&wire).is_ok(), "full packet must decode");
+    for cut in 0..wire.len() {
+        let prefix = &wire[..cut];
+        assert!(
+            Message::decode(prefix).is_err(),
+            "prefix of {cut}/{} bytes decoded successfully",
+            wire.len()
+        );
+    }
+}
+
+/// Same matrix over a minimal query (the other common packet shape).
+#[test]
+fn every_prefix_of_query_errors() {
+    let wire = Message::query(1, "a.co", RecordType::A).encode().unwrap();
+    assert!(Message::decode(&wire).is_ok());
+    for cut in 0..wire.len() {
+        assert!(Message::decode(&wire[..cut]).is_err(), "prefix {cut}");
+    }
+}
+
+/// Corrupting the section counts upward on a truncated body must error,
+/// not over-read: each claimed-but-absent record is a truncation.
+#[test]
+fn inflated_counts_error() {
+    let wire = rich_message().encode().unwrap();
+    for (off, name) in [(4usize, "qdcount"), (6, "ancount"), (8, "nscount")] {
+        let mut bad = wire.clone();
+        bad[off] = 0xFF;
+        bad[off + 1] = 0xFF;
+        assert!(
+            Message::decode(&bad).is_err(),
+            "{name}=0xFFFF decoded successfully"
+        );
+    }
+}
+
+/// A name whose compression pointer points at itself must error, and the
+/// decode must terminate (the jump cap bounds the walk).
+#[test]
+fn pointer_self_cycle_errors() {
+    // Header claiming one question, then a name that is a pointer to its
+    // own offset (12).
+    let mut pkt = vec![0u8; 12];
+    pkt[5] = 1; // qdcount = 1
+    pkt.extend_from_slice(&[0xC0, 12]); // pointer -> itself
+    pkt.extend_from_slice(&[0, 1, 0, 1]); // type A, class IN
+    assert!(Message::decode(&pkt).is_err());
+}
+
+/// Two pointers forming a mutual cycle must error.
+#[test]
+fn pointer_mutual_cycle_errors() {
+    // Bytes 12..14 point to 14; bytes 14..16 point to 12. Start the
+    // question name at 14 so the first hop goes backwards (passing the
+    // strictly-backwards check) and the second hop must be caught.
+    let mut pkt = vec![0u8; 12];
+    pkt[5] = 1;
+    pkt.extend_from_slice(&[0xC0, 14]); // offset 12 -> 14 (forward, unused)
+    pkt.extend_from_slice(&[0xC0, 12]); // offset 14 -> 12
+    pkt.extend_from_slice(&[0, 1, 0, 1]);
+    // decode_name at 14: jumps to 12, which points forward to 14 → cycle.
+    assert!(decode_name(&pkt, 14).is_err());
+    assert!(Message::decode(&pkt).is_err());
+}
+
+/// A long chain of strictly-backwards pointers must terminate via the
+/// jump cap rather than walking forever.
+#[test]
+fn deep_pointer_chain_terminates() {
+    // Layout: label "a" + terminator at 0, then 200 pointers each
+    // pointing at the previous pointer (strictly backwards, so each hop
+    // passes the direction check; only the cap stops the walk).
+    let mut pkt = vec![1, b'a', 0];
+    let mut prev = 0u16;
+    for _ in 0..200 {
+        let here = pkt.len() as u16;
+        pkt.push(0xC0 | (prev >> 8) as u8);
+        pkt.push((prev & 0xFF) as u8);
+        prev = here;
+    }
+    let start = pkt.len() - 2;
+    // Must return (either the name, or a BadPointer once the cap hits) —
+    // the assertion is termination, the is_err is the cap firing.
+    assert!(decode_name(&pkt, start).is_err(), "jump cap must fire");
+}
+
+/// Reserved label-type bits (0b10 / 0b01) inside a question name error.
+#[test]
+fn reserved_label_types_error() {
+    for bits in [0x40u8, 0x80] {
+        let mut pkt = vec![0u8; 12];
+        pkt[5] = 1;
+        pkt.extend_from_slice(&[bits, b'x', 0]);
+        pkt.extend_from_slice(&[0, 1, 0, 1]);
+        assert!(Message::decode(&pkt).is_err(), "label type {bits:#04x}");
+    }
+}
+
+/// RDLENGTH lying about the payload size (both directions) must error
+/// when it runs past the packet end.
+#[test]
+fn rdlength_overrun_errors() {
+    let q = Message::query(2, "x.com", RecordType::A);
+    let mut r = Message::response_to(&q, Rcode::NoError);
+    r.answers.push(ResourceRecord {
+        name: "x.com".into(),
+        ttl: 1,
+        rdata: RData::A(Ipv4Addr::LOCALHOST),
+    });
+    let wire = r.encode().unwrap();
+    // The A-record RDLENGTH is the last length field before the 4 payload
+    // bytes; inflate it so the claimed payload runs past the end.
+    let len_pos = wire.len() - 6;
+    let mut bad = wire.clone();
+    bad[len_pos] = 0xFF;
+    bad[len_pos + 1] = 0xFF;
+    assert!(Message::decode(&bad).is_err());
+}

@@ -292,6 +292,31 @@ impl ConfusableTable {
         }
     }
 
+    /// The *canonical* ASCII fold: maps every member of a mutually
+    /// confusable ASCII glyph class (`{0,o}`, `{5,s}`, `{1,i,l}`, `{g,q}`,
+    /// `{u,v}`, `{2,z}`) to a single representative. Two ASCII labels are
+    /// single-character-swap homographs of each other **iff** their
+    /// canonical folds are byte-equal, which lets the detector resolve any
+    /// number of ambiguous swaps (`a11iancebank`, `bloqqer`) — and brands
+    /// whose own labels contain confusable glyphs — with one hash probe
+    /// against a canonically-keyed index. Unlike [`ascii_fold_byte`] the
+    /// output rewrites the letters of each class too, so it is a comparison
+    /// key, never a display string.
+    ///
+    /// [`ascii_fold_byte`]: Self::ascii_fold_byte
+    #[inline]
+    pub fn canonical_fold_byte(b: u8) -> u8 {
+        match b {
+            b'0' => b'o',
+            b'5' => b's',
+            b'1' | b'i' => b'l',
+            b'q' => b'g',
+            b'v' => b'u',
+            b'2' => b'z',
+            _ => b,
+        }
+    }
+
     /// Folds a (possibly Unicode) label to its ASCII *skeleton*: every
     /// confusable character is replaced by the ASCII character it imitates.
     /// Multi-char sequences are **not** folded here (that is a separate,
@@ -395,6 +420,21 @@ mod tests {
         let t = ConfusableTable::new();
         for c in 'a'..='z' {
             assert_eq!(t.variants(c).count(), t.variant_count(c));
+        }
+    }
+
+    #[test]
+    fn canonical_fold_is_idempotent_and_unifies_classes() {
+        for b in 0u8..128 {
+            let once = ConfusableTable::canonical_fold_byte(b);
+            assert_eq!(once, ConfusableTable::canonical_fold_byte(once));
+        }
+        // Every mutually-confusable class collapses to one representative.
+        for class in [&b"0o"[..], b"5s", b"1il", b"qg", b"uv", b"2z"] {
+            let rep = ConfusableTable::canonical_fold_byte(class[0]);
+            for &b in class {
+                assert_eq!(ConfusableTable::canonical_fold_byte(b), rep);
+            }
         }
     }
 

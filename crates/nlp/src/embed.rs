@@ -89,6 +89,34 @@ impl SparseVec {
         }
         acc
     }
+
+    /// Cosine similarity to another sparse vector, in `[-1, 1]`.
+    /// Zero vectors (no entries, or all-zero values) yield `0.0` rather
+    /// than `NaN` so callers can treat "no signal" as "no similarity".
+    pub fn cosine(&self, other: &SparseVec) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.entries, &other.entries);
+        let mut dot = 0.0;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let na: f64 = a.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        // Floating-point rounding can push |dot| a hair past na*nb; clamp
+        // so the result is a true cosine.
+        (dot / (na * nb)).clamp(-1.0, 1.0)
+    }
 }
 
 /// The feature space: a frozen keyword → dimension mapping plus named
@@ -230,5 +258,22 @@ mod tests {
     fn embed_is_case_insensitive_on_space_construction() {
         let s = FeatureSpace::new(["PassWord"], &[]);
         assert!(s.keyword("password").is_some());
+    }
+
+    #[test]
+    fn cosine_known_values() {
+        let mut a = SparseVec::new();
+        a.add(0, 1.0);
+        let mut b = SparseVec::new();
+        b.add(0, 2.0);
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-12, "parallel vectors");
+        let mut c = SparseVec::new();
+        c.add(1, 3.0);
+        assert_eq!(a.cosine(&c), 0.0, "orthogonal vectors");
+        let mut d = SparseVec::new();
+        d.add(0, -5.0);
+        assert!((a.cosine(&d) + 1.0).abs() < 1e-12, "opposite vectors");
+        assert_eq!(a.cosine(&SparseVec::new()), 0.0, "zero vector is 0");
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12, "self-similarity");
     }
 }

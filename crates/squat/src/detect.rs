@@ -77,6 +77,12 @@ impl ClassifyStats {
 pub struct SquatDetector {
     /// brand label -> id.
     labels: HashMap<String, BrandId>,
+    /// canonical confusable fold of each brand label -> id (first brand
+    /// wins fold collisions, mirroring the pregenerated table). One probe
+    /// against this index resolves ambiguous ASCII glyph swaps (`1`/`i`/`l`,
+    /// `g`/`q`, `u`/`v`, `2`/`z`) at *any* number of positions, including
+    /// brands whose own labels contain confusable glyphs (`nets53`).
+    canon: HashMap<String, BrandId>,
     /// brand label per id: `BrandId` is a dense index into the registry, so
     /// the reverse direction is a direct `Vec` index (the scan hot path hits
     /// this on every deletion-probe match; it must not walk the map).
@@ -90,12 +96,18 @@ pub struct SquatDetector {
     min_len: usize,
     max_len: usize,
     confusables: ConfusableTable,
+    /// Combo affix vocabulary: a short (< 4 char) brand affix inside a
+    /// token is only accepted when the rest of the token is one of these
+    /// words ("freight", "pay", …), keeping generic two-letter brands from
+    /// matching random words.
+    combo_words: std::collections::HashSet<&'static str>,
 }
 
 impl SquatDetector {
     /// Builds the detector index from a registry.
     pub fn new(registry: &BrandRegistry) -> Self {
         let mut labels = HashMap::with_capacity(registry.len());
+        let mut canon = HashMap::with_capacity(registry.len());
         let mut brand_labels = Vec::with_capacity(registry.len());
         let mut suffixes = Vec::with_capacity(registry.len());
         let mut deletions: HashMap<String, Vec<(BrandId, usize)>> = HashMap::new();
@@ -103,6 +115,12 @@ impl SquatDetector {
         for b in registry.brands() {
             debug_assert_eq!(b.id, brand_labels.len(), "registry ids must be dense");
             labels.insert(b.label.clone(), b.id);
+            let key: String = b
+                .label
+                .bytes()
+                .map(|c| ConfusableTable::canonical_fold_byte(c) as char)
+                .collect();
+            canon.entry(key).or_insert(b.id);
             brand_labels.push(b.label.clone());
             suffixes.push(b.domain.suffix().to_string());
             min_len = min_len.min(b.label.len());
@@ -116,12 +134,14 @@ impl SquatDetector {
         }
         SquatDetector {
             labels,
+            canon,
             brand_labels,
             suffixes,
             deletions,
             min_len,
             max_len,
             confusables: ConfusableTable::new(),
+            combo_words: crate::words::COMBO_WORDS.iter().copied().collect(),
         }
     }
 
@@ -176,10 +196,11 @@ impl SquatDetector {
     }
 
     /// Homograph: fold the (possibly IDN) label to its ASCII skeleton and
-    /// look it up; also try multi-char sequence folds and single-position
-    /// reverse substitutions for the *ambiguous* ASCII confusables
-    /// (`1` imitates both `l` and `i`, `q`↔`g`, `u`↔`v`, `2`→`z`) that a
-    /// deterministic skeleton fold cannot resolve.
+    /// look it up; then fold to the *canonical* confusable key and probe
+    /// the canonically-keyed brand index, which resolves the ambiguous
+    /// ASCII confusables (`1` imitates both `l` and `i`, `q`↔`g`, `u`↔`v`,
+    /// `2`→`z`) at any number of positions with a single hash probe; also
+    /// try multi-char sequence folds (`rn`→`m` …).
     fn check_homograph(&self, label: &str, stats: &mut ClassifyStats) -> Option<SquatMatch> {
         let mut scratch = [0u8; MAX_LABEL + 1];
         if let Some(rest) = label.strip_prefix(idna::ACE_PREFIX) {
@@ -197,9 +218,9 @@ impl SquatDetector {
                 }
             }
             if folded.is_ascii() {
-                // Reuse the fold's own buffer for the in-place swap probes.
+                // Reuse the fold's own buffer for the canonical probe.
                 let mut bytes = folded.into_bytes();
-                if let Some(m) = self.ambiguous_swaps(&mut bytes, label, stats) {
+                if let Some(m) = self.canonical_probe(&mut bytes, stats) {
                     return Some(m);
                 }
             }
@@ -222,8 +243,8 @@ impl SquatDetector {
                     });
                 }
             }
-            let (swap_buf, _) = scratch.split_at_mut(n);
-            if let Some(m) = self.ambiguous_swaps(swap_buf, label, stats) {
+            let (canon_buf, _) = scratch.split_at_mut(n);
+            if let Some(m) = self.canonical_probe(canon_buf, stats) {
                 return Some(m);
             }
         } else {
@@ -241,7 +262,7 @@ impl SquatDetector {
             }
             if folded.is_ascii() {
                 let mut bytes = folded.into_bytes();
-                if let Some(m) = self.ambiguous_swaps(&mut bytes, label, stats) {
+                if let Some(m) = self.canonical_probe(&mut bytes, stats) {
                     return Some(m);
                 }
             }
@@ -259,7 +280,12 @@ impl SquatDetector {
             ];
             let bytes = label.as_bytes();
             for &(seq, target) in SEQ_FOLDS {
-                if let Some(pos) = label.find(seq) {
+                // Every occurrence must be probed, not just the first:
+                // `fernrnart` (fernmart with m → rn) contains `rn` twice and
+                // only folding the second one recovers the brand.
+                let mut start = 0;
+                while let Some(off) = label[start..].find(seq) {
+                    let pos = start + off;
                     let n = bytes.len() - 1;
                     scratch[..pos].copy_from_slice(&bytes[..pos]);
                     scratch[pos] = target;
@@ -273,55 +299,35 @@ impl SquatDetector {
                             squat_type: SquatType::Homograph,
                         });
                     }
+                    start = pos + 1;
                 }
             }
         }
         None
     }
 
-    /// Ambiguous ASCII glyph swaps: substitute each candidate source at
-    /// each position of the folded skeleton (in place, restoring after) and
-    /// probe. One substituted position suffices in practice (multi-swap
-    /// labels still fold their unambiguous positions via `skeleton`).
-    fn ambiguous_swaps(
-        &self,
-        folded: &mut [u8],
-        label: &str,
-        stats: &mut ClassifyStats,
-    ) -> Option<SquatMatch> {
-        const REVERSE: &[(u8, &[u8])] = &[
-            (b'1', b"li"),
-            (b'i', b"l1"),
-            (b'l', b"i1"),
-            (b'q', b"g"),
-            (b'g', b"q"),
-            (b'u', b"v"),
-            (b'v', b"u"),
-            (b'2', b"z"),
-        ];
-        for i in 0..folded.len() {
-            let orig = folded[i];
-            let sources = match REVERSE.iter().find(|(c, _)| *c == orig) {
-                Some((_, sources)) => *sources,
-                None => continue,
-            };
-            for &src in sources {
-                folded[i] = src;
-                stats.allocations_avoided += 1;
-                let s = std::str::from_utf8(folded).expect("ascii");
-                if s != label {
-                    stats.probes += 1;
-                    if let Some(&id) = self.labels.get(s) {
-                        return Some(SquatMatch {
-                            brand: id,
-                            squat_type: SquatType::Homograph,
-                        });
-                    }
-                }
-            }
-            folded[i] = orig;
+    /// Canonical confusable probe: rewrite the (already skeleton-folded)
+    /// ASCII bytes in place to the canonical fold and look the key up in
+    /// the canonically-keyed brand index. Because canonical folds are equal
+    /// **iff** the labels are related by single-character confusable swaps,
+    /// this one probe replaces the old per-position substitution loop and
+    /// additionally resolves multi-position swaps (`a11iancebank`,
+    /// `bloqqer`) and brands containing confusable glyphs (`nets53` vs
+    /// `net553` / `netss3`), which single-position probing missed.
+    ///
+    /// The caller guarantees the raw label failed the exact-label lookup,
+    /// so any hit here is a genuine homograph, never the brand itself.
+    fn canonical_probe(&self, folded: &mut [u8], stats: &mut ClassifyStats) -> Option<SquatMatch> {
+        for b in folded.iter_mut() {
+            *b = ConfusableTable::canonical_fold_byte(*b);
         }
-        None
+        stats.allocations_avoided += 1;
+        stats.probes += 1;
+        let key = std::str::from_utf8(folded).expect("ascii");
+        self.canon.get(key).map(|&id| SquatMatch {
+            brand: id,
+            squat_type: SquatType::Homograph,
+        })
     }
 
     /// Bits / typo via symmetric deletion probing.
@@ -415,15 +421,20 @@ impl SquatDetector {
 
     /// Combo: hyphen-separated tokens containing the brand. Probes reuse
     /// subslices of the label, so this step never allocated to begin with.
+    ///
+    /// Two passes: exact token matches across *all* tokens run before any
+    /// affix probing, so `service-paypal` attributes to `paypal` (an exact
+    /// token) rather than to a brand that happens to be an affix of an
+    /// earlier token (`vice` inside `service`).
     fn check_combo(&self, label: &str, stats: &mut ClassifyStats) -> Option<SquatMatch> {
         if !label.contains('-') || !label.is_ascii() {
             return None;
         }
+        // Pass 1: exact token match, all tokens.
         for token in label.split('-') {
             if token.len() < 2 {
                 continue;
             }
-            // Exact token match.
             stats.probes += 1;
             if let Some(&id) = self.labels.get(token) {
                 return Some(SquatMatch {
@@ -431,8 +442,16 @@ impl SquatDetector {
                     squat_type: SquatType::Combo,
                 });
             }
-            // Token starts or ends with a brand label (>= 4 chars to avoid
-            // generic hits like "bt" inside random words).
+        }
+        // Pass 2: token starts or ends with a brand label. Affixes >= 4
+        // chars match unconditionally; shorter brand affixes ("adp" in
+        // "adpfreight", "bt" in "btpay") are accepted only when the rest of
+        // the token is a known combo word, which keeps generic two-letter
+        // sequences inside random words from matching.
+        for token in label.split('-') {
+            if token.len() < 2 {
+                continue;
+            }
             for cut in (4..token.len()).rev() {
                 stats.probes += 2;
                 if let Some(&id) = self.labels.get(&token[..cut]) {
@@ -446,6 +465,25 @@ impl SquatDetector {
                         brand: id,
                         squat_type: SquatType::Combo,
                     });
+                }
+            }
+            for cut in (2..token.len().min(4)).rev() {
+                stats.probes += 2;
+                if let Some(&id) = self.labels.get(&token[..cut]) {
+                    if self.combo_words.contains(&token[cut..]) {
+                        return Some(SquatMatch {
+                            brand: id,
+                            squat_type: SquatType::Combo,
+                        });
+                    }
+                }
+                if let Some(&id) = self.labels.get(&token[token.len() - cut..]) {
+                    if self.combo_words.contains(&token[..token.len() - cut]) {
+                        return Some(SquatMatch {
+                            brand: id,
+                            squat_type: SquatType::Combo,
+                        });
+                    }
                 }
             }
         }

@@ -1,0 +1,121 @@
+//! Shrunk counterexamples from the generator↔detector differential oracle
+//! (`squatphi-conformance`). Each test is a domain the oracle surfaced as a
+//! disagreement between `PregeneratedDetector` (forward generators hashed)
+//! and `SquatDetector` (reverse O(len) probing), minimized by hand to the
+//! smallest label that still exercised the defect, committed here so the
+//! fixes never regress.
+
+use squatphi_domain::DomainName;
+use squatphi_squat::{BrandRegistry, SquatDetector, SquatType};
+
+fn detector() -> (BrandRegistry, SquatDetector) {
+    let reg = BrandRegistry::paper();
+    let det = SquatDetector::new(&reg);
+    (reg, det)
+}
+
+fn expect(det: &SquatDetector, reg: &BrandRegistry, domain: &str, brand: &str, ty: SquatType) {
+    let m = det
+        .classify(&DomainName::parse(domain).unwrap())
+        .unwrap_or_else(|| panic!("{domain} not detected"));
+    assert_eq!(
+        reg.get(m.brand).unwrap().label,
+        brand,
+        "{domain}: wrong brand"
+    );
+    assert_eq!(m.squat_type, ty, "{domain}: wrong type");
+}
+
+/// Two `l`→`1` swaps at once: the old per-position substitution probe
+/// restored each position before trying the next, so only single-swap
+/// homographs matched. The canonical-fold index resolves any number of
+/// positions with one probe.
+#[test]
+fn multi_position_digit_swaps_a11iancebank() {
+    let (reg, det) = detector();
+    expect(
+        &det,
+        &reg,
+        "a11iancebank.com.ua",
+        "alliancebank",
+        SquatType::Homograph,
+    );
+}
+
+/// Same defect, letter-for-letter: both `l`s replaced by `i`s.
+#[test]
+fn multi_position_letter_swaps_aiiiancebank() {
+    let (reg, det) = detector();
+    expect(
+        &det,
+        &reg,
+        "aiiiancebank.net",
+        "alliancebank",
+        SquatType::Homograph,
+    );
+}
+
+/// Both `g`s swapped for `q`s in one label.
+#[test]
+fn double_q_for_g_bloqqer() {
+    let (reg, det) = detector();
+    expect(&det, &reg, "bloqqer.net", "blogger", SquatType::Homograph);
+}
+
+/// A brand whose *own* label contains a confusable digit (`nets53`): the
+/// raw-label index never matched the folded probe string (`netss3`), so
+/// every homograph of the brand was invisible. The canonical index keys
+/// brands by their folds, which makes these reachable.
+#[test]
+fn confusable_digits_inside_brand_nets53() {
+    let (reg, det) = detector();
+    expect(&det, &reg, "net553.com", "nets53", SquatType::Homograph);
+    expect(&det, &reg, "netss3.com", "nets53", SquatType::Homograph);
+}
+
+/// `rn`→`m` folding probed only the *first* occurrence of the sequence;
+/// `fernrnart` (fernmart with `m`→`rn`) contains `rn` twice and only the
+/// second fold recovers the brand.
+#[test]
+fn second_sequence_occurrence_fernrnart() {
+    let (reg, det) = detector();
+    expect(&det, &reg, "fernrnart.co", "fernmart", SquatType::Homograph);
+    expect(
+        &det,
+        &reg,
+        "fernnnart.net",
+        "fernmart",
+        SquatType::Homograph,
+    );
+}
+
+/// `service-paypal`: affix probing on token "service" found brand "vice"
+/// before the exact-token pass ever saw "paypal". Exact token matches now
+/// run across all tokens before any affix probing.
+#[test]
+fn combo_exact_token_outranks_affix_service_paypal() {
+    let (reg, det) = detector();
+    expect(&det, &reg, "service-paypal.com", "paypal", SquatType::Combo);
+}
+
+/// Short (< 4 char) brands fused with a combo word inside one token were
+/// never probed: the affix loop started at cut 4. They now match when the
+/// token remainder is a known combo word.
+#[test]
+fn short_brand_fused_affixes() {
+    let (reg, det) = detector();
+    expect(&det, &reg, "go-adpfreight.com", "adp", SquatType::Combo);
+    expect(&det, &reg, "myadp-freight.net", "adp", SquatType::Combo);
+    expect(&det, &reg, "get-btpay.top", "bt", SquatType::Combo);
+}
+
+/// The short-affix gate must stay closed for random words: a two-letter
+/// brand inside an arbitrary token is not combo-squatting.
+#[test]
+fn short_affix_gate_rejects_random_words() {
+    let (_reg, det) = detector();
+    // "bt" heads "btree" but "ree" is not a combo word.
+    assert!(det
+        .classify(&DomainName::parse("my-btree.com").unwrap())
+        .is_none());
+}

@@ -9,8 +9,20 @@ use squatphi_nlp::SparseVec;
 use squatphi_ocr::{recognize, OcrConfig};
 use squatphi_render::{render_page, Bitmap, RenderOptions};
 
+/// The checked-in `tests/properties.proptest-regressions` must actually be
+/// found and parsed by the runner — a silently-missing regression file
+/// would quietly stop replaying known-bad inputs.
+#[test]
+fn regression_file_is_loaded() {
+    let seeds = proptest::regressions::load_for_source(file!(), env!("CARGO_MANIFEST_DIR"));
+    assert!(
+        !seeds.is_empty(),
+        "tests/properties.proptest-regressions exists but no seeds were loaded"
+    );
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     // ---- punycode / IDNA -------------------------------------------------
 
@@ -57,6 +69,16 @@ proptest! {
         prop_assert!(distance::damerau_levenshtein(&a, &b) <= distance::levenshtein(&a, &b));
     }
 
+    #[test]
+    fn bit_flip_distance_is_symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        prop_assert_eq!(
+            distance::bit_flip_distance(&a, &b),
+            distance::bit_flip_distance(&b, &a)
+        );
+        // Self-distance on ASCII input is always "zero flips".
+        prop_assert_eq!(distance::bit_flip_distance(&a, &a), Some(0));
+    }
+
     // ---- domain names -----------------------------------------------------
 
     #[test]
@@ -69,6 +91,22 @@ proptest! {
         let d = DomainName::parse(&format!("{label}.{tld}")).expect("valid input");
         let d2 = DomainName::parse(d.as_str()).expect("reparse");
         prop_assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn domain_display_round_trips(
+        sub in "([a-z][a-z0-9]{0,8}\\.){0,2}",
+        label in "[a-z][a-z0-9-]{0,14}[a-z0-9]",
+        tld in "(com|net|org|pw|top|com\\.ua)",
+    ) {
+        // parse → Display → parse is the identity for every valid name,
+        // including subdomain chains and multi-label public suffixes.
+        if let Ok(d) = DomainName::parse(&format!("{sub}{label}.{tld}")) {
+            let shown = d.to_string();
+            let reparsed = DomainName::parse(&shown).expect("display output reparses");
+            prop_assert_eq!(&reparsed, &d);
+            prop_assert_eq!(shown, d.as_str());
+        }
     }
 
     // ---- DNS wire ----------------------------------------------------------
@@ -252,10 +290,31 @@ proptest! {
         let expect: f64 = da.iter().zip(&db).map(|(x, y)| (x - y) * (x - y)).sum();
         prop_assert!((va.sq_distance(&vb) - expect).abs() < 1e-9);
     }
+
+    #[test]
+    fn sparse_cosine_bounded_and_symmetric(
+        a in proptest::collection::vec((0usize..32, 0.0f64..8.0), 0..10),
+        b in proptest::collection::vec((0usize..32, 0.0f64..8.0), 0..10),
+    ) {
+        let mut va = SparseVec::new();
+        for (i, v) in &a {
+            va.add(*i, *v);
+        }
+        let mut vb = SparseVec::new();
+        for (i, v) in &b {
+            vb.add(*i, *v);
+        }
+        let c = va.cosine(&vb);
+        prop_assert!((-1.0..=1.0).contains(&c), "cosine {c} out of [-1, 1]");
+        prop_assert!((c - vb.cosine(&va)).abs() < 1e-12, "cosine not symmetric");
+        if va.entries().iter().any(|&(_, v)| v != 0.0) {
+            prop_assert!((va.cosine(&va) - 1.0).abs() < 1e-9, "self-cosine must be 1");
+        }
+    }
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(128))]
 
     // ---- squat generation/detection round trip --------------------------------
 

@@ -13,8 +13,13 @@
 //! * the `proptest!` macro with `#![proptest_config(..)]`,
 //!   `prop_assert!`, and `prop_assert_eq!`.
 //!
-//! Not supported: shrinking and failure persistence. A failing case panics
-//! with the generated inputs so it can be pinned as a unit test by hand.
+//! Failure *persistence* is write-less but read-compatible: a checked-in
+//! `<file>.proptest-regressions` sibling of the test source (real-proptest
+//! `cc <hex>` format) is parsed at runner start and its seeds are replayed
+//! through every property in that file **before** the novel cases, so
+//! previously-failing inputs are re-examined first. Shrinking of new
+//! failures is still not supported here: a failing case panics with the
+//! generated inputs so it can be pinned as a unit test by hand.
 //! Generation is deterministic per test name, so failures reproduce.
 
 /// Runner configuration.
@@ -72,6 +77,12 @@ pub mod rng {
             TestRng {
                 state: h ^ 0x9E3779B97F4A7C15,
             }
+        }
+
+        /// Seeds the stream directly from a 64-bit replay seed (regression
+        /// file entries; see [`crate::regressions`]).
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
         }
 
         /// Next 64 random bits.
@@ -553,6 +564,61 @@ pub mod regex {
     }
 }
 
+/// Read-side support for real-proptest `.proptest-regressions` files.
+pub mod regressions {
+    use std::path::{Path, PathBuf};
+
+    /// Parses regression-file contents: lines of the form
+    /// `cc <hex-hash> [# comment]`. The first 16 hex characters of the hash
+    /// become the 64-bit replay seed (the real format stores a 256-bit
+    /// case hash; a 64-bit prefix is plenty to key a deterministic rng).
+    /// Blank lines and `#` comment lines are ignored, as are malformed
+    /// entries — a regression file must never break the build.
+    pub fn parse(contents: &str) -> Vec<u64> {
+        let mut seeds = Vec::new();
+        for line in contents.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("cc ") else {
+                continue;
+            };
+            let hex: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_hexdigit())
+                .take(16)
+                .collect();
+            if hex.len() == 16 {
+                if let Ok(seed) = u64::from_str_radix(&hex, 16) {
+                    seeds.push(seed);
+                }
+            }
+        }
+        seeds
+    }
+
+    /// Locates the `.proptest-regressions` sibling of `source_file` (the
+    /// `file!()` of the test) and parses it. `file!()` paths are relative
+    /// to the *workspace* root while the test cwd is the *package* root,
+    /// so the path is resolved by trying it as-is, then against
+    /// `manifest_dir`, then against `manifest_dir` with leading components
+    /// stripped. A missing file yields no seeds — replay is best-effort.
+    pub fn load_for_source(source_file: &str, manifest_dir: &str) -> Vec<u64> {
+        let reg: PathBuf = Path::new(source_file).with_extension("proptest-regressions");
+        let mut candidates = vec![reg.clone(), Path::new(manifest_dir).join(&reg)];
+        let mut comps: Vec<_> = reg.components().collect();
+        while comps.len() > 1 {
+            comps.remove(0);
+            candidates.push(Path::new(manifest_dir).join(comps.iter().collect::<PathBuf>()));
+        }
+        for cand in candidates {
+            if let Ok(contents) = std::fs::read_to_string(&cand) {
+                return parse(&contents);
+            }
+        }
+        Vec::new()
+    }
+}
+
 /// Case loop driving a property.
 pub mod test_runner {
     use crate::rng::TestRng;
@@ -564,26 +630,64 @@ pub mod test_runner {
         config: ProptestConfig,
         rng: TestRng,
         name: &'static str,
+        /// Replay seeds from the test file's `.proptest-regressions`,
+        /// exercised before the novel cases.
+        replay: Vec<u64>,
     }
 
     impl TestRunner {
-        /// Builds a runner with a per-test deterministic stream.
+        /// Builds a runner with a per-test deterministic stream and no
+        /// regression replay.
         pub fn new(config: ProptestConfig, name: &'static str) -> Self {
             TestRunner {
                 rng: TestRng::for_test(name),
                 config,
                 name,
+                replay: Vec::new(),
             }
+        }
+
+        /// Builds a runner that first replays the seeds recorded in the
+        /// `.proptest-regressions` file beside `source_file` (pass
+        /// `file!()` and `env!("CARGO_MANIFEST_DIR")`; the `proptest!`
+        /// macro does this automatically).
+        pub fn with_source(
+            config: ProptestConfig,
+            name: &'static str,
+            source_file: &str,
+            manifest_dir: &str,
+        ) -> Self {
+            let mut runner = Self::new(config, name);
+            runner.replay = crate::regressions::load_for_source(source_file, manifest_dir);
+            runner
         }
 
         /// Runs the property; panics (failing the `#[test]`) on the first
         /// case whose closure returns `Err`, printing the inputs.
+        /// Regression-file seeds run first, then the configured number of
+        /// novel cases.
         pub fn run<S, F>(&mut self, strategy: S, test: F)
         where
             S: Strategy,
             S::Value: std::fmt::Debug,
             F: Fn(S::Value) -> Result<(), TestCaseError>,
         {
+            for (i, &seed) in self.replay.iter().enumerate() {
+                let mut rng = TestRng::from_seed(seed);
+                let value = strategy.generate(&mut rng);
+                let described = format!("{value:?}");
+                if let Err(e) = test(value) {
+                    panic!(
+                        "property `{}` failed replaying regression {}/{} \
+                         (seed {seed:016x}) with inputs {}: {}",
+                        self.name,
+                        i + 1,
+                        self.replay.len(),
+                        described,
+                        e
+                    );
+                }
+            }
             for case in 0..self.config.cases {
                 let value = strategy.generate(&mut self.rng);
                 let described = format!("{value:?}");
@@ -668,8 +772,12 @@ macro_rules! proptest {
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
                 let __strategy = $crate::IntoStrategy::into_strategy(($($strat,)+));
-                let mut __runner =
-                    $crate::test_runner::TestRunner::new(__config, stringify!($name));
+                let mut __runner = $crate::test_runner::TestRunner::with_source(
+                    __config,
+                    stringify!($name),
+                    file!(),
+                    env!("CARGO_MANIFEST_DIR"),
+                );
                 __runner.run(__strategy, |($($arg,)+)| {
                     $body
                     ::core::result::Result::Ok(())
@@ -744,6 +852,34 @@ mod tests {
     #[test]
     fn generation_is_deterministic_per_name() {
         assert_eq!(sample("[a-f]{8}", 50), sample("[a-f]{8}", 50));
+    }
+
+    #[test]
+    fn regression_parser_reads_cc_lines() {
+        let contents = "\
+# Seeds for failure cases proptest has generated.
+cc 1808f50d6958e10fe11963081503d7c1641b000002298d22f32bc6f2696f6559 # shrinks to words = [\"ia\"]
+
+cc deadbeefcafef00d # bare 64-bit entry
+not a regression line
+cc tooshort
+";
+        let seeds = crate::regressions::parse(contents);
+        assert_eq!(seeds, vec![0x1808f50d6958e10f, 0xdeadbeefcafef00d]);
+    }
+
+    #[test]
+    fn regression_load_missing_file_is_empty() {
+        let seeds = crate::regressions::load_for_source("no/such/file.rs", "/nonexistent");
+        assert!(seeds.is_empty());
+    }
+
+    #[test]
+    fn replay_seeds_drive_the_strategy_deterministically() {
+        let strat = "[a-z]{4}".into_strategy();
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
     }
 
     crate::proptest! {
