@@ -19,6 +19,12 @@
 //!   mutations of valid packets and `html::parse`/`tokenize` over seeded
 //!   structure-aware mutations, each replaying a small on-disk corpus
 //!   first. Any panic (caught with `catch_unwind`) is a violation.
+//! * **Supervision** — seeded fault plans (injected analyzer panics,
+//!   poisoned HTML, truncated crawl records) through the full supervised
+//!   pipeline (`SquatPhi::try_run` on a micro config): no escaped panic,
+//!   every completed run's report reconciles, and an interrupted +
+//!   resumed checkpointed run fingerprints identically to an
+//!   uninterrupted one with no partial checkpoint files.
 //!
 //! Violating inputs are minimized by a greedy delta-debugging loop
 //! ([`shrink`]) before they are reported, so a red run hands you the
@@ -42,6 +48,7 @@ pub mod justify;
 mod report;
 mod roundtrip;
 pub mod shrink;
+mod supervision;
 
 pub use report::{ConformanceReport, OracleOutcome, Violation};
 pub use roundtrip::RFC3492_VECTORS;
@@ -95,6 +102,7 @@ impl Budget {
                 dns_roundtrip_cases: 300,
                 dns_fuzz_cases: 700,
                 html_fuzz_cases: 300,
+                supervision_plans: 2,
             },
             Budget::Full => Params {
                 registry_size: None,
@@ -105,6 +113,7 @@ impl Budget {
                 dns_roundtrip_cases: 1500,
                 dns_fuzz_cases: 5000,
                 html_fuzz_cases: 1500,
+                supervision_plans: 3,
             },
         }
     }
@@ -130,6 +139,10 @@ pub(crate) struct Params {
     pub dns_fuzz_cases: usize,
     /// Mutated HTML documents fed to the never-panic fuzzer.
     pub html_fuzz_cases: usize,
+    /// Seeded fault plans driven through the supervised pipeline (each
+    /// plan is one full `try_run`; one checkpoint/resume scenario rides
+    /// on top).
+    pub supervision_plans: usize,
 }
 
 /// One harness invocation: a seed and a budget.
@@ -171,6 +184,9 @@ pub fn run(config: &ConformanceConfig) -> ConformanceReport {
         fuzz::run_dnswire(config.seed, &params)
     }));
     report.push(timed("html-fuzz", || fuzz::run_html(config.seed, &params)));
+    report.push(timed("supervision", || {
+        supervision::run_supervision(config.seed, &params)
+    }));
     report
 }
 

@@ -1,0 +1,176 @@
+//! Supervision oracle: seeded fault plans through the full pipeline.
+//!
+//! Contract under test, per plan:
+//!
+//! * `SquatPhi::try_run` never lets a panic escape — injected analyzer
+//!   panics are isolated per record,
+//! * the run either completes `Ok` with a *reconciled*
+//!   [`SupervisionReport`] (every injected fault accounted for as
+//!   quarantined, recovered or degraded) or fails with a structured
+//!   [`PipelineError`] — and never an unrequested `Interrupted`,
+//! * a checkpointed run interrupted after the crawl stage resumes to a
+//!   result with an identical [`PipelineResult::fingerprint`], leaving no
+//!   partial (`.tmp`) checkpoint files behind.
+//!
+//! [`SupervisionReport`]: squatphi::SupervisionReport
+//! [`PipelineError`]: squatphi::PipelineError
+//! [`PipelineResult::fingerprint`]: squatphi::pipeline::PipelineResult::fingerprint
+
+use crate::{Params, Violation};
+use squatphi::{PipelineFaultPlan, PipelineStage, RunOptions, SimConfig, SquatPhi};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Concurrent harness invocations (the oracle test suite runs several in
+/// parallel with the same seed) must not share a checkpoint directory.
+static INVOCATION: AtomicU64 = AtomicU64::new(0);
+
+/// The plan matrix, cycled by case index: a mixed storm, a panic-heavy
+/// plan, and a poison/truncation-heavy plan.
+fn plan_for(index: usize, seed: u64) -> PipelineFaultPlan {
+    let plan_seed = seed ^ ((index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    match index % 3 {
+        0 => PipelineFaultPlan::none()
+            .analyzer_panics(60)
+            .flaky_panics(40)
+            .poisons(50)
+            .truncations(30),
+        1 => PipelineFaultPlan::none()
+            .analyzer_panics(150)
+            .flaky_panics(80),
+        _ => PipelineFaultPlan::none().poisons(120).truncations(80),
+    }
+    .with_seed(plan_seed)
+}
+
+pub(crate) fn run_supervision(seed: u64, params: &Params) -> (u64, Vec<Violation>) {
+    let mut cases = 0u64;
+    let mut violations = Vec::new();
+    let config = SimConfig::micro();
+
+    for index in 0..params.supervision_plans {
+        let plan = plan_for(index, seed);
+        cases += 1;
+        let opts = RunOptions {
+            faults: plan,
+            ..RunOptions::default()
+        };
+        match catch_unwind(AssertUnwindSafe(|| SquatPhi::try_run(&config, &opts))) {
+            Err(_) => violations.push(Violation {
+                oracle: "supervision",
+                input: plan.canonical(),
+                detail: "panic escaped try_run".into(),
+            }),
+            Ok(Ok(result)) => {
+                let report = &result.supervision;
+                if !report.reconciles() {
+                    violations.push(Violation {
+                        oracle: "supervision",
+                        input: plan.canonical(),
+                        detail: format!("unreconciled report: {}", report.report_line()),
+                    });
+                }
+                if result.train_split != result.eval.train_shape {
+                    violations.push(Violation {
+                        oracle: "supervision",
+                        input: plan.canonical(),
+                        detail: format!(
+                            "train_split {:?} != train_shape {:?} after quarantine",
+                            result.train_split, result.eval.train_shape
+                        ),
+                    });
+                }
+            }
+            Ok(Err(e)) if e.is_interrupted() => violations.push(Violation {
+                oracle: "supervision",
+                input: plan.canonical(),
+                detail: "unrequested Interrupted error".into(),
+            }),
+            // A structured PipelineError is an acceptable outcome of a
+            // fault storm — the contract is no panic and no lie.
+            Ok(Err(_)) => {}
+        }
+    }
+
+    // Checkpoint/resume case: interrupt after the crawl checkpoint (the
+    // deterministic kill stand-in), resume, and compare against an
+    // uninterrupted run of the same plan.
+    cases += 1;
+    let plan = plan_for(0, seed);
+    let invocation = INVOCATION.fetch_add(1, Ordering::Relaxed);
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "squatphi-conformance-supervision-{}-{seed}-{invocation}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let outcome = catch_unwind(AssertUnwindSafe(|| resume_case(&config, plan, &dir)));
+    match outcome {
+        Err(_) => violations.push(Violation {
+            oracle: "supervision",
+            input: plan.canonical(),
+            detail: "panic escaped the checkpoint/resume scenario".into(),
+        }),
+        Ok(Err(detail)) => violations.push(Violation {
+            oracle: "supervision",
+            input: plan.canonical(),
+            detail,
+        }),
+        Ok(Ok(())) => {}
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    (cases, violations)
+}
+
+fn resume_case(config: &SimConfig, plan: PipelineFaultPlan, dir: &PathBuf) -> Result<(), String> {
+    let opts = |resume: bool, stop: Option<PipelineStage>| RunOptions {
+        checkpoint_dir: Some(dir.clone()),
+        resume,
+        stop_after: stop,
+        faults: plan,
+        ..RunOptions::default()
+    };
+    match SquatPhi::try_run(config, &opts(false, Some(PipelineStage::Crawl))) {
+        Err(e) if e.is_interrupted() => {}
+        Err(e) => return Err(format!("interrupt run failed: {e}")),
+        Ok(_) => return Err("stop_after crawl did not interrupt".into()),
+    }
+    if let Some(leftover) = tmp_leftover(dir) {
+        return Err(format!("partial checkpoint write left behind: {leftover}"));
+    }
+    let resumed =
+        SquatPhi::try_run(config, &opts(true, None)).map_err(|e| format!("resume failed: {e}"))?;
+    if !resumed.supervision.reconciles() {
+        return Err(format!(
+            "resumed report unreconciled: {}",
+            resumed.supervision.report_line()
+        ));
+    }
+    let direct = SquatPhi::try_run(
+        config,
+        &RunOptions {
+            faults: plan,
+            ..RunOptions::default()
+        },
+    )
+    .map_err(|e| format!("direct run failed: {e}"))?;
+    if resumed.fingerprint() != direct.fingerprint() {
+        return Err("resumed fingerprint differs from the uninterrupted run".into());
+    }
+    if let Some(leftover) = tmp_leftover(dir) {
+        return Err(format!("partial checkpoint write left behind: {leftover}"));
+    }
+    Ok(())
+}
+
+fn tmp_leftover(dir: &PathBuf) -> Option<String> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    for e in entries.flatten() {
+        let name = e.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".tmp") {
+            return Some(name);
+        }
+    }
+    None
+}

@@ -35,6 +35,7 @@ fn ci_budget_run_is_violation_free() {
         "dnswire-roundtrip",
         "dnswire-fuzz",
         "html-fuzz",
+        "supervision",
     ] {
         assert!(names.contains(&expected), "oracle {expected} missing");
         let o = report.oracles.iter().find(|o| o.name == expected).unwrap();

@@ -21,12 +21,13 @@
 //! through `PipelineResult` into the `repro` report and `--json`
 //! summary, matching the `ScanMetrics` / `TransportMetrics` pattern.
 
+use crate::supervise::QuietGuard;
 use parking_lot::Mutex;
-use squatphi_html::{extract, js, parse, JsIndicators};
+use squatphi_html::{extract, js, parse, Document, JsIndicators};
 use squatphi_imghash::{perceptual_hash, ImageHash};
 use squatphi_nlp::{remove_stopwords, tokenize};
-use squatphi_ocr::{recognize, OcrConfig};
-use squatphi_render::{render_page, Bitmap, RenderOptions};
+use squatphi_ocr::{try_recognize, OcrConfig};
+use squatphi_render::{render_page, try_render_page, Bitmap, RenderOptions};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -97,6 +98,11 @@ pub struct PageArtifact {
     /// correction is *not* applied here — it depends on the consumer's
     /// brand dictionary, so `FeatureExtractor` applies it at embed time.
     pub ocr_tokens: Vec<String>,
+    /// True when the visual derivation (render → pHash → OCR) failed or
+    /// was forcibly poisoned: the visual block above is zero-filled
+    /// (`ImageHash(0)`, empty OCR) and only the lexical+form features
+    /// carry signal — the paper's §5 missing-modality fallback.
+    pub degraded: bool,
 }
 
 struct CacheEntry {
@@ -351,6 +357,23 @@ impl PageAnalyzer {
         }
     }
 
+    /// Analyzes one page with the visual derivation forcibly disabled —
+    /// the supervised pipeline routes fault-plan-poisoned pages here. The
+    /// result is always `degraded` and deliberately bypasses the cache in
+    /// both directions, so a poisoned artifact can never be served to (or
+    /// shadow) an unpoisoned request for the same HTML. Counts as one
+    /// page and one miss, keeping `AnalysisSnapshot::reconciles` exact.
+    pub fn analyze_forced_degraded(&self, html: &str) -> Arc<PageArtifact> {
+        self.metrics.pages.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+        let seed = self
+            .cache
+            .as_ref()
+            .map(|c| c.seed)
+            .unwrap_or(DEFAULT_CACHE_SEED);
+        Arc::new(self.derive_degraded(content_key(seed, html.as_bytes()), html))
+    }
+
     /// Renders a page to a bitmap through the analyzer's single render
     /// path (for ASCII screenshots à la Figure 14). Bitmaps are large, so
     /// they are deliberately *not* retained in artifacts or the cache.
@@ -388,19 +411,48 @@ impl PageAnalyzer {
         }
     }
 
-    /// The full single-pass derivation (cache miss path).
+    /// The full single-pass derivation (cache miss path). When the
+    /// visual half fails — invalid geometry, invalid OCR config, or an
+    /// outright panic in render/pHash/OCR — the page *naturally*
+    /// degrades to its textual half instead of being dropped.
     fn derive(&self, key: u64, html: &str) -> PageArtifact {
         let t = Instant::now();
         let doc = parse(html);
         AnalysisMetrics::add_nanos(&self.metrics.parse_nanos, t.elapsed());
 
+        let mut artifact = self.derive_textual(key, &doc);
+        match self.derive_visual(&doc) {
+            Some((image_hash, ocr_text, ocr_tokens)) => {
+                artifact.image_hash = image_hash;
+                artifact.ocr_text = ocr_text;
+                artifact.ocr_tokens = ocr_tokens;
+            }
+            None => artifact.degraded = true,
+        }
+        artifact
+    }
+
+    /// Textual-only derivation with the visual block pre-degraded (the
+    /// forced-poison path skips render/pHash/OCR entirely).
+    fn derive_degraded(&self, key: u64, html: &str) -> PageArtifact {
         let t = Instant::now();
-        let text = extract::extract_text(&doc);
+        let doc = parse(html);
+        AnalysisMetrics::add_nanos(&self.metrics.parse_nanos, t.elapsed());
+        let mut artifact = self.derive_textual(key, &doc);
+        artifact.degraded = true;
+        artifact
+    }
+
+    /// The lexical/form/JS half of the derivation; the visual block is
+    /// zero-filled for the caller to overwrite or flag.
+    fn derive_textual(&self, key: u64, doc: &Document) -> PageArtifact {
+        let t = Instant::now();
+        let text = extract::extract_text(doc);
         let title = text.title.first().cloned();
         let text_lower = text.joined_lower();
         let lexical_tokens = remove_stopwords(tokenize(&text_lower));
 
-        let forms = extract::extract_forms(&doc);
+        let forms = extract::extract_forms(doc);
         let mut password_inputs = 0usize;
         let mut text_inputs = 0usize;
         let mut submit_controls = 0usize;
@@ -424,21 +476,8 @@ impl PageAnalyzer {
             }
         }
         let form_tokens = remove_stopwords(form_tokens);
-        let js = js::scan_document(&doc);
+        let js = js::scan_document(doc);
         AnalysisMetrics::add_nanos(&self.metrics.extract_nanos, t.elapsed());
-
-        let t = Instant::now();
-        let screenshot = render_page(&doc, &self.render);
-        AnalysisMetrics::add_nanos(&self.metrics.render_nanos, t.elapsed());
-
-        let t = Instant::now();
-        let image_hash = perceptual_hash(&screenshot);
-        AnalysisMetrics::add_nanos(&self.metrics.hash_nanos, t.elapsed());
-
-        let t = Instant::now();
-        let ocr_text = recognize(&screenshot, &self.ocr).joined();
-        let ocr_tokens = remove_stopwords(tokenize(&ocr_text));
-        AnalysisMetrics::add_nanos(&self.metrics.ocr_nanos, t.elapsed());
 
         PageArtifact {
             content_key: key,
@@ -451,10 +490,37 @@ impl PageAnalyzer {
             submit_controls,
             form_tokens,
             js,
-            image_hash,
-            ocr_text,
-            ocr_tokens,
+            image_hash: ImageHash(0),
+            ocr_text: String::new(),
+            ocr_tokens: Vec::new(),
+            degraded: false,
         }
+    }
+
+    /// The render → pHash → OCR half. `None` means the page degrades:
+    /// fallible entry points reject impossible configs, and a stray
+    /// panic anywhere in the visual stack is contained (quietly — the
+    /// default panic hook would spam stderr) rather than allowed to kill
+    /// a pipeline worker.
+    fn derive_visual(&self, doc: &Document) -> Option<(ImageHash, String, Vec<String>)> {
+        let _quiet = QuietGuard::new();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let t = Instant::now();
+            let screenshot = try_render_page(doc, &self.render).ok()?;
+            AnalysisMetrics::add_nanos(&self.metrics.render_nanos, t.elapsed());
+
+            let t = Instant::now();
+            let image_hash = perceptual_hash(&screenshot);
+            AnalysisMetrics::add_nanos(&self.metrics.hash_nanos, t.elapsed());
+
+            let t = Instant::now();
+            let ocr_text = try_recognize(&screenshot, &self.ocr).ok()?.joined();
+            let ocr_tokens = remove_stopwords(tokenize(&ocr_text));
+            AnalysisMetrics::add_nanos(&self.metrics.ocr_nanos, t.elapsed());
+            Some((image_hash, ocr_text, ocr_tokens))
+        }))
+        .ok()
+        .flatten()
     }
 }
 
@@ -540,6 +606,29 @@ mod tests {
         assert_eq!(m.cache_misses, distinct.len() as u64);
         assert_eq!(analyzer.cached_artifacts(), distinct.len());
         assert!(m.reconciles());
+    }
+
+    #[test]
+    fn forced_degraded_bypasses_cache_and_zeroes_visuals() {
+        let analyzer = PageAnalyzer::new();
+        let html = sample_page();
+        let full = analyzer.analyze(&html);
+        assert!(!full.degraded);
+        let degraded = analyzer.analyze_forced_degraded(&html);
+        assert!(degraded.degraded);
+        assert_eq!(degraded.image_hash, ImageHash(0));
+        assert!(degraded.ocr_text.is_empty() && degraded.ocr_tokens.is_empty());
+        // The textual half is unaffected by the poison.
+        assert_eq!(degraded.lexical_tokens, full.lexical_tokens);
+        assert_eq!(degraded.form_count, full.form_count);
+        assert_eq!(degraded.content_key, full.content_key);
+        // The cache was neither read nor polluted: the full artifact is
+        // still what the next plain analyze serves.
+        let again = analyzer.analyze(&html);
+        assert!(Arc::ptr_eq(&full, &again));
+        let m = analyzer.metrics();
+        assert!(m.reconciles());
+        assert_eq!((m.pages, m.cache_hits, m.cache_misses), (3, 1, 2));
     }
 
     #[test]

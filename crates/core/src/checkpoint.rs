@@ -1,0 +1,965 @@
+//! Stage checkpointing: crash-safe persistence of scan/crawl/train
+//! outputs so `--resume` replays completed stages from disk with
+//! byte-identical final output.
+//!
+//! Format: one hand-rolled JSON file per stage (`scan.ckpt.json`,
+//! `crawl.ckpt.json`, `train.ckpt.json`) in the `--checkpoint-dir`. Every
+//! file carries a `version` and a `config_hash` — a seeded content hash
+//! over the canonical [`SimConfig`] *and* the fault plan (worker threads
+//! and the analysis-cache toggle are excluded: both are output-neutral).
+//! A checkpoint whose hash does not match the current run is **stale**
+//! and silently recomputed (surfaced in the supervision report's
+//! `invalidated_checkpoints`), so resuming under a changed config can
+//! never splice incompatible stage outputs together. Corrupt files
+//! (truncated JSON, bad field shapes) are treated the same way; only
+//! real I/O failures become [`CheckpointError`]s.
+//!
+//! Writes are atomic: the file is written to `<name>.tmp` and renamed
+//! into place, so a crash mid-write leaves either the old checkpoint or
+//! none — never a partial one. Floats round-trip losslessly as
+//! `f64::to_bits` integers, which is what makes resumed runs
+//! *byte-identical* rather than merely close.
+//!
+//! The world, feed and feature extractor are deliberately **not**
+//! checkpointed: they rebuild deterministically from the config, and the
+//! crawl/train checkpoints capture everything downstream stages consume.
+
+use crate::artifact::content_key;
+use crate::config::SimConfig;
+use crate::fault::PipelineFaultPlan;
+use crate::supervise::PipelineStage;
+use crate::train::{EvalReport, ModelEval};
+use squatphi_crawler::{CrawlRecord, CrawlStats, PageCapture, RedirectClass, TransportSnapshot};
+use squatphi_dnsdb::{ScanMetrics, ScanOutcome, SquatRecord, WorkerMetrics};
+use squatphi_domain::DomainName;
+use squatphi_ml::{Metrics, RandomForest, RocCurve};
+use squatphi_squat::SquatType;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Checkpoint format version; bumped on any codec change so old files
+/// invalidate instead of mis-decoding.
+const VERSION: u64 = 1;
+
+/// Seed of the config-hash content key.
+const HASH_SEED: u64 = 0xc4ec_4b01;
+
+/// Checkpoint persistence failure (I/O only — stale or corrupt files are
+/// recomputed, not fatal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Reading or writing the checkpoint directory failed.
+    Io {
+        /// Offending path.
+        path: String,
+        /// Stringified OS error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => write!(f, "io error on {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Outcome of a checkpoint read.
+pub(crate) enum Loaded<T> {
+    /// No checkpoint on disk (or `--resume` not requested).
+    Missing,
+    /// A checkpoint exists but is stale (config-hash mismatch) or
+    /// corrupt; the stage recomputes and overwrites it.
+    Stale,
+    /// A valid checkpoint.
+    Value(T),
+}
+
+/// Canonical config hash binding checkpoints to the run that wrote them.
+pub(crate) fn config_hash(config: &SimConfig, faults: &PipelineFaultPlan) -> u64 {
+    let canon = format!(
+        "v{VERSION}|snap:{},{},{},{}|world:{},{},{},{},{},{},{}|feed:{},{}|brands:{}|benign:{}|cv:{}|seed:{}|faults:{}",
+        config.snapshot.benign_records,
+        config.snapshot.squatting_records,
+        config.snapshot.subdomain_fraction.to_bits(),
+        config.snapshot.seed,
+        config.world.live_fraction.to_bits(),
+        config.world.redirect_original.to_bits(),
+        config.world.redirect_market.to_bits(),
+        config.world.redirect_other.to_bits(),
+        config.world.phishing_domains,
+        config.world.confusing_fraction.to_bits(),
+        config.world.seed,
+        config.feed.total_urls,
+        config.feed.seed,
+        config.brands,
+        config.sampled_benign,
+        config.cv_folds,
+        config.seed,
+        faults.canonical(),
+    );
+    content_key(HASH_SEED, canon.as_bytes())
+}
+
+/// One run's checkpoint directory, bound to its config hash.
+pub(crate) struct CheckpointStore {
+    dir: PathBuf,
+    hash: u64,
+}
+
+impl CheckpointStore {
+    pub(crate) fn open(
+        dir: &Path,
+        config: &SimConfig,
+        faults: &PipelineFaultPlan,
+    ) -> Result<Self, CheckpointError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            hash: config_hash(config, faults),
+        })
+    }
+
+    fn path(&self, stage: PipelineStage) -> PathBuf {
+        self.dir.join(format!("{}.ckpt.json", stage.name()))
+    }
+
+    /// Atomic write: temp file + rename, so a crash mid-write never
+    /// leaves a partial checkpoint behind.
+    fn write_atomic(&self, stage: PipelineStage, body: &str) -> Result<(), CheckpointError> {
+        let tmp = self.dir.join(format!("{}.ckpt.json.tmp", stage.name()));
+        std::fs::write(&tmp, body).map_err(|e| io_err(&tmp, &e))?;
+        let dest = self.path(stage);
+        std::fs::rename(&tmp, &dest).map_err(|e| io_err(&dest, &e))?;
+        Ok(())
+    }
+
+    /// Reads and hash-validates a stage file. Parse/shape failures are
+    /// [`Loaded::Stale`]; only I/O failures error.
+    fn read(&self, stage: PipelineStage) -> Result<Loaded<json::Value>, CheckpointError> {
+        let path = self.path(stage);
+        let text = match std::fs::read_to_string(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Loaded::Missing),
+            Err(e) => return Err(io_err(&path, &e)),
+            Ok(t) => t,
+        };
+        let Ok(value) = json::parse(&text) else {
+            return Ok(Loaded::Stale);
+        };
+        let fresh = value.get("version").and_then(json::Value::as_u64) == Some(VERSION)
+            && value.get("config_hash").and_then(json::Value::as_u64) == Some(self.hash);
+        Ok(if fresh {
+            Loaded::Value(value)
+        } else {
+            Loaded::Stale
+        })
+    }
+
+    fn header(&self, stage: PipelineStage) -> String {
+        format!(
+            "\"version\": {VERSION},\n\"config_hash\": {},\n\"stage\": \"{}\"",
+            self.hash,
+            stage.name()
+        )
+    }
+
+    // -- scan ---------------------------------------------------------------
+
+    pub(crate) fn save_scan(
+        &self,
+        outcome: &ScanOutcome,
+        metrics: &ScanMetrics,
+    ) -> Result<(), CheckpointError> {
+        let matches = outcome
+            .matches
+            .iter()
+            .map(|m| {
+                let o = m.ip.octets();
+                format!(
+                    "{{\"domain\": \"{}\", \"ip\": [{}, {}, {}, {}], \"brand\": {}, \"type\": \"{}\"}}",
+                    esc(m.domain.as_str()),
+                    o[0],
+                    o[1],
+                    o[2],
+                    o[3],
+                    m.brand,
+                    m.squat_type.name()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let workers = metrics
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"records\": {}, \"invalid\": {}, \"probes\": {}, \"allocations_avoided\": {}, \"elapsed_nanos\": {}}}",
+                    w.records,
+                    w.invalid,
+                    w.probes,
+                    w.allocations_avoided,
+                    w.elapsed.as_nanos() as u64
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let body = format!(
+            "{{\n{},\n\"scanned\": {},\n\"invalid\": {},\n\"by_type\": [{}],\n\"by_brand\": [{}],\n\"matches\": [\n{}\n],\n\"metrics\": {{\"dedupe_collisions\": {}, \"wall_nanos\": {}, \"workers\": [\n{}\n]}}\n}}\n",
+            self.header(PipelineStage::Scan),
+            outcome.scanned,
+            outcome.invalid,
+            join_usize(&outcome.by_type),
+            join_usize(&outcome.by_brand),
+            matches,
+            metrics.dedupe_collisions,
+            metrics.wall.as_nanos() as u64,
+            workers,
+        );
+        self.write_atomic(PipelineStage::Scan, &body)
+    }
+
+    pub(crate) fn load_scan(&self) -> Result<Loaded<(ScanOutcome, ScanMetrics)>, CheckpointError> {
+        let v = match self.read(PipelineStage::Scan)? {
+            Loaded::Value(v) => v,
+            Loaded::Missing => return Ok(Loaded::Missing),
+            Loaded::Stale => return Ok(Loaded::Stale),
+        };
+        Ok(decode_scan(&v).map_or(Loaded::Stale, Loaded::Value))
+    }
+
+    // -- crawl --------------------------------------------------------------
+
+    pub(crate) fn save_crawl(
+        &self,
+        records: &[CrawlRecord],
+        stats: &CrawlStats,
+        truncated: u64,
+    ) -> Result<(), CheckpointError> {
+        let t = &stats.transport;
+        let arr4 = |a: &[u64; 4]| a.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+        let transport = format!(
+            "{{\"attempts\": {}, \"successes\": {}, \"retries\": {}, \"backoff_ns\": {}, \"errors\": [{}], \"injected\": [{}], \"breaker_trips\": {}, \"breaker_short_circuits\": {}, \"fetch_deadline_hits\": {}, \"crawl_deadline_hits\": {}}}",
+            t.attempts,
+            t.successes,
+            t.retries,
+            t.backoff_ns,
+            arr4(&t.errors),
+            arr4(&t.injected),
+            t.breaker_trips,
+            t.breaker_short_circuits,
+            t.fetch_deadline_hits,
+            t.crawl_deadline_hits,
+        );
+        let capture = |c: &Option<PageCapture>| match c {
+            None => "null".to_string(),
+            Some(p) => format!(
+                "{{\"final_host\": \"{}\", \"html\": \"{}\", \"redirects\": [{}]}}",
+                esc(&p.final_host),
+                esc(&p.html),
+                p.redirects
+                    .iter()
+                    .map(|r| format!("\"{}\"", esc(r)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        };
+        let records_json = records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"domain\": \"{}\", \"brand\": {}, \"type\": \"{}\", \"web\": {}, \"mobile\": {}, \"web_redirect\": \"{}\", \"mobile_redirect\": \"{}\"}}",
+                    esc(&r.domain),
+                    r.brand,
+                    r.squat_type.name(),
+                    capture(&r.web),
+                    capture(&r.mobile),
+                    redirect_name(r.web_redirect),
+                    redirect_name(r.mobile_redirect),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let body = format!(
+            "{{\n{},\n\"truncated\": {},\n\"transport\": {},\n\"records\": [\n{}\n]\n}}\n",
+            self.header(PipelineStage::Crawl),
+            truncated,
+            transport,
+            records_json,
+        );
+        self.write_atomic(PipelineStage::Crawl, &body)
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn load_crawl(
+        &self,
+    ) -> Result<Loaded<(Vec<CrawlRecord>, CrawlStats, u64)>, CheckpointError> {
+        let v = match self.read(PipelineStage::Crawl)? {
+            Loaded::Value(v) => v,
+            Loaded::Missing => return Ok(Loaded::Missing),
+            Loaded::Stale => return Ok(Loaded::Stale),
+        };
+        Ok(decode_crawl(&v).map_or(Loaded::Stale, Loaded::Value))
+    }
+
+    // -- train --------------------------------------------------------------
+
+    pub(crate) fn save_train(
+        &self,
+        split: (usize, usize),
+        eval: &EvalReport,
+        model: &RandomForest,
+    ) -> Result<(), CheckpointError> {
+        let models = eval
+            .models
+            .iter()
+            .map(|m| {
+                let roc = m
+                    .roc
+                    .points
+                    .iter()
+                    .map(|(x, y)| format!("[{}, {}]", x.to_bits(), y.to_bits()))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{{\"name\": \"{}\", \"fpr\": {}, \"fnr\": {}, \"auc\": {}, \"accuracy\": {}, \"roc\": [{}]}}",
+                    m.name,
+                    m.metrics.fpr.to_bits(),
+                    m.metrics.fnr.to_bits(),
+                    m.metrics.auc.to_bits(),
+                    m.metrics.accuracy.to_bits(),
+                    roc,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let body = format!(
+            "{{\n{},\n\"train_split\": [{}, {}],\n\"train_shape\": [{}, {}],\n\"models\": [\n{}\n],\n\"model\": \"{}\"\n}}\n",
+            self.header(PipelineStage::Train),
+            split.0,
+            split.1,
+            eval.train_shape.0,
+            eval.train_shape.1,
+            models,
+            esc(&model.encode()),
+        );
+        self.write_atomic(PipelineStage::Train, &body)
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn load_train(
+        &self,
+    ) -> Result<Loaded<((usize, usize), EvalReport, RandomForest)>, CheckpointError> {
+        let v = match self.read(PipelineStage::Train)? {
+            Loaded::Value(v) => v,
+            Loaded::Missing => return Ok(Loaded::Missing),
+            Loaded::Stale => return Ok(Loaded::Stale),
+        };
+        Ok(decode_train(&v).map_or(Loaded::Stale, Loaded::Value))
+    }
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn join_usize(a: &[usize]) -> String {
+    a.iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn redirect_name(r: RedirectClass) -> &'static str {
+    match r {
+        RedirectClass::None => "None",
+        RedirectClass::Original => "Original",
+        RedirectClass::Market => "Market",
+        RedirectClass::Other => "Other",
+    }
+}
+
+fn parse_redirect(s: &str) -> Option<RedirectClass> {
+    Some(match s {
+        "None" => RedirectClass::None,
+        "Original" => RedirectClass::Original,
+        "Market" => RedirectClass::Market,
+        "Other" => RedirectClass::Other,
+        _ => return None,
+    })
+}
+
+fn parse_squat_type(s: &str) -> Option<SquatType> {
+    SquatType::ALL.into_iter().find(|t| t.name() == s)
+}
+
+// ---------------------------------------------------------------------------
+// Decoders (shape failures → None → Loaded::Stale)
+// ---------------------------------------------------------------------------
+
+fn decode_scan(v: &json::Value) -> Option<(ScanOutcome, ScanMetrics)> {
+    let scanned = v.get("scanned")?.as_usize()?;
+    let invalid = v.get("invalid")?.as_usize()?;
+    let by_type_vec: Vec<usize> = v
+        .get("by_type")?
+        .as_arr()?
+        .iter()
+        .map(json::Value::as_usize)
+        .collect::<Option<_>>()?;
+    let by_type: [usize; 5] = by_type_vec.try_into().ok()?;
+    let by_brand: Vec<usize> = v
+        .get("by_brand")?
+        .as_arr()?
+        .iter()
+        .map(json::Value::as_usize)
+        .collect::<Option<_>>()?;
+    let mut matches = Vec::new();
+    for m in v.get("matches")?.as_arr()? {
+        let domain = DomainName::parse(m.get("domain")?.as_str()?).ok()?;
+        let ip: Vec<u64> = m
+            .get("ip")?
+            .as_arr()?
+            .iter()
+            .map(json::Value::as_u64)
+            .collect::<Option<_>>()?;
+        let [a, b, c, d]: [u64; 4] = ip.try_into().ok()?;
+        matches.push(SquatRecord {
+            domain,
+            ip: std::net::Ipv4Addr::new(
+                u8::try_from(a).ok()?,
+                u8::try_from(b).ok()?,
+                u8::try_from(c).ok()?,
+                u8::try_from(d).ok()?,
+            ),
+            brand: m.get("brand")?.as_usize()?,
+            squat_type: parse_squat_type(m.get("type")?.as_str()?)?,
+        });
+    }
+    let met = v.get("metrics")?;
+    let mut workers = Vec::new();
+    for w in met.get("workers")?.as_arr()? {
+        workers.push(WorkerMetrics {
+            records: w.get("records")?.as_usize()?,
+            invalid: w.get("invalid")?.as_usize()?,
+            probes: w.get("probes")?.as_u64()?,
+            allocations_avoided: w.get("allocations_avoided")?.as_u64()?,
+            elapsed: Duration::from_nanos(w.get("elapsed_nanos")?.as_u64()?),
+        });
+    }
+    Some((
+        ScanOutcome {
+            matches,
+            by_type,
+            by_brand,
+            scanned,
+            invalid,
+        },
+        ScanMetrics {
+            workers,
+            dedupe_collisions: met.get("dedupe_collisions")?.as_usize()?,
+            wall: Duration::from_nanos(met.get("wall_nanos")?.as_u64()?),
+        },
+    ))
+}
+
+fn decode_transport(v: &json::Value) -> Option<TransportSnapshot> {
+    let arr4 = |key: &str| -> Option<[u64; 4]> {
+        let vals: Vec<u64> = v
+            .get(key)?
+            .as_arr()?
+            .iter()
+            .map(json::Value::as_u64)
+            .collect::<Option<_>>()?;
+        vals.try_into().ok()
+    };
+    Some(TransportSnapshot {
+        attempts: v.get("attempts")?.as_u64()?,
+        successes: v.get("successes")?.as_u64()?,
+        retries: v.get("retries")?.as_u64()?,
+        backoff_ns: v.get("backoff_ns")?.as_u64()?,
+        errors: arr4("errors")?,
+        injected: arr4("injected")?,
+        breaker_trips: v.get("breaker_trips")?.as_u64()?,
+        breaker_short_circuits: v.get("breaker_short_circuits")?.as_u64()?,
+        fetch_deadline_hits: v.get("fetch_deadline_hits")?.as_u64()?,
+        crawl_deadline_hits: v.get("crawl_deadline_hits")?.as_u64()?,
+    })
+}
+
+fn decode_crawl(v: &json::Value) -> Option<(Vec<CrawlRecord>, CrawlStats, u64)> {
+    let truncated = v.get("truncated")?.as_u64()?;
+    let transport = decode_transport(v.get("transport")?)?;
+    let capture = |c: &json::Value| -> Option<Option<PageCapture>> {
+        if c.is_null() {
+            return Some(None);
+        }
+        Some(Some(PageCapture {
+            final_host: c.get("final_host")?.as_str()?.to_string(),
+            html: c.get("html")?.as_str()?.to_string(),
+            redirects: c
+                .get("redirects")?
+                .as_arr()?
+                .iter()
+                .map(|r| r.as_str().map(str::to_string))
+                .collect::<Option<_>>()?,
+        }))
+    };
+    let mut records = Vec::new();
+    for r in v.get("records")?.as_arr()? {
+        records.push(CrawlRecord {
+            domain: r.get("domain")?.as_str()?.to_string(),
+            brand: r.get("brand")?.as_usize()?,
+            squat_type: parse_squat_type(r.get("type")?.as_str()?)?,
+            web: capture(r.get("web")?)?,
+            mobile: capture(r.get("mobile")?)?,
+            web_redirect: parse_redirect(r.get("web_redirect")?.as_str()?)?,
+            mobile_redirect: parse_redirect(r.get("mobile_redirect")?.as_str()?)?,
+        });
+    }
+    // Everything except the transport counters re-aggregates from the
+    // records themselves; the snapshot is the only state the crawl stage
+    // owns exclusively.
+    let mut stats = CrawlStats::from_records(&records);
+    stats.transport = transport;
+    Some((records, stats, truncated))
+}
+
+fn decode_train(v: &json::Value) -> Option<((usize, usize), EvalReport, RandomForest)> {
+    let pair = |key: &str| -> Option<(usize, usize)> {
+        let arr = v.get(key)?.as_arr()?;
+        match arr {
+            [a, b] => Some((a.as_usize()?, b.as_usize()?)),
+            _ => None,
+        }
+    };
+    let split = pair("train_split")?;
+    let train_shape = pair("train_shape")?;
+    let mut models = Vec::new();
+    for m in v.get("models")?.as_arr()? {
+        let name = match m.get("name")?.as_str()? {
+            "NaiveBayes" => "NaiveBayes",
+            "KNN" => "KNN",
+            "RandomForest" => "RandomForest",
+            _ => return None,
+        };
+        let bits = |key: &str| -> Option<f64> { Some(f64::from_bits(m.get(key)?.as_u64()?)) };
+        let mut points = Vec::new();
+        for p in m.get("roc")?.as_arr()? {
+            match p.as_arr()? {
+                [x, y] => points.push((f64::from_bits(x.as_u64()?), f64::from_bits(y.as_u64()?))),
+                _ => return None,
+            }
+        }
+        models.push(ModelEval {
+            name,
+            metrics: Metrics {
+                fpr: bits("fpr")?,
+                fnr: bits("fnr")?,
+                auc: bits("auc")?,
+                accuracy: bits("accuracy")?,
+            },
+            roc: RocCurve { points },
+        });
+    }
+    let model = RandomForest::decode(v.get("model")?.as_str()?).ok()?;
+    Some((
+        split,
+        EvalReport {
+            models,
+            train_shape,
+        },
+        model,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value parser (read side of the hand-rolled writers above).
+// The workspace builds without registry access, so no serde: this parser
+// covers exactly the JSON subset the checkpoint writers emit — objects,
+// arrays, strings with escapes, integer/float numbers, booleans, null.
+// ---------------------------------------------------------------------------
+
+pub(crate) mod json {
+    /// A parsed JSON value. Numbers keep their raw text so u64 bit
+    /// patterns round-trip exactly (an f64 intermediate would corrupt
+    /// them above 2^53).
+    #[derive(Debug, Clone, PartialEq)]
+    pub(crate) enum Value {
+        Null,
+        Bool(bool),
+        Num(String),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub(crate) fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub(crate) fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        pub(crate) fn as_usize(&self) -> Option<usize> {
+            match self {
+                Value::Num(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        pub(crate) fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub(crate) fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub(crate) fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+    }
+
+    pub(crate) fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut at = 0usize;
+        let value = parse_value(bytes, &mut at)?;
+        skip_ws(bytes, &mut at);
+        if at != bytes.len() {
+            return Err(format!("trailing bytes at offset {at}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], at: &mut usize) {
+        while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
+            *at += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], at: &mut usize, b: u8) -> Result<(), String> {
+        if bytes.get(*at) == Some(&b) {
+            *at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {at}", b as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], at: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, at);
+        match bytes.get(*at) {
+            Some(b'{') => parse_object(bytes, at),
+            Some(b'[') => parse_array(bytes, at),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, at)?)),
+            Some(b't') => parse_lit(bytes, at, b"true", Value::Bool(true)),
+            Some(b'f') => parse_lit(bytes, at, b"false", Value::Bool(false)),
+            Some(b'n') => parse_lit(bytes, at, b"null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => parse_number(bytes, at),
+            _ => Err(format!("unexpected byte at offset {at}")),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], at: &mut usize, lit: &[u8], v: Value) -> Result<Value, String> {
+        if bytes.len() - *at >= lit.len() && &bytes[*at..*at + lit.len()] == lit {
+            *at += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {at}"))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], at: &mut usize) -> Result<Value, String> {
+        let start = *at;
+        if bytes.get(*at) == Some(&b'-') {
+            *at += 1;
+        }
+        while *at < bytes.len()
+            && matches!(bytes[*at], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        {
+            *at += 1;
+        }
+        if *at == start {
+            return Err(format!("empty number at offset {start}"));
+        }
+        String::from_utf8(bytes[start..*at].to_vec())
+            .map(Value::Num)
+            .map_err(|_| "non-utf8 number".to_string())
+    }
+
+    fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, String> {
+        expect(bytes, at, b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match bytes.get(*at) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *at += 1;
+                    return String::from_utf8(out).map_err(|_| "non-utf8 string".into());
+                }
+                Some(b'\\') => {
+                    *at += 1;
+                    match bytes.get(*at) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'b') => out.push(0x08),
+                        Some(b'f') => out.push(0x0c),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'u') => {
+                            *at += 1;
+                            let hi = parse_hex4(bytes, at)?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: \uD8xx\uDCxx.
+                                if bytes.get(*at) == Some(&b'\\')
+                                    && bytes.get(*at + 1) == Some(&b'u')
+                                {
+                                    *at += 2;
+                                    let lo = parse_hex4(bytes, at)?;
+                                    let code =
+                                        0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00));
+                                    char::from_u32(code).ok_or("bad surrogate pair")?
+                                } else {
+                                    return Err("lone high surrogate".into());
+                                }
+                            } else {
+                                char::from_u32(hi).ok_or("bad \\u escape")?
+                            };
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at offset {at}")),
+                    }
+                    *at += 1;
+                }
+                Some(&b) => {
+                    out.push(b);
+                    *at += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(bytes: &[u8], at: &mut usize) -> Result<u32, String> {
+        if bytes.len() < *at + 4 {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&bytes[*at..*at + 4]).map_err(|_| "non-utf8 escape")?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "non-hex \\u escape")?;
+        *at += 4;
+        Ok(v)
+    }
+
+    fn parse_array(bytes: &[u8], at: &mut usize) -> Result<Value, String> {
+        expect(bytes, at, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, at);
+        if bytes.get(*at) == Some(&b']') {
+            *at += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, at)?);
+            skip_ws(bytes, at);
+            match bytes.get(*at) {
+                Some(b',') => *at += 1,
+                Some(b']') => {
+                    *at += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected , or ] at offset {at}")),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], at: &mut usize) -> Result<Value, String> {
+        expect(bytes, at, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, at);
+        if bytes.get(*at) == Some(&b'}') {
+            *at += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, at);
+            let key = parse_string(bytes, at)?;
+            skip_ws(bytes, at);
+            expect(bytes, at, b':')?;
+            let value = parse_value(bytes, at)?;
+            fields.push((key, value));
+            skip_ws(bytes, at);
+            match bytes.get(*at) {
+                Some(b',') => *at += 1,
+                Some(b'}') => {
+                    *at += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected , or }} at offset {at}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("squatphi-ckpt-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store(tag: &str) -> (CheckpointStore, PathBuf) {
+        let dir = tempdir(tag);
+        let s =
+            CheckpointStore::open(&dir, &SimConfig::tiny(), &PipelineFaultPlan::none()).unwrap();
+        (s, dir)
+    }
+
+    #[test]
+    fn json_parser_round_trips_writer_subset() {
+        let v = json::parse(
+            "{\"a\": 1, \"b\": [1, 2, 3], \"c\": \"x\\ny \\u00e9\", \"d\": null, \"e\": {\"f\": 18446744073709551615}}",
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x\ny é"));
+        assert!(v.get("d").unwrap().is_null());
+        assert_eq!(
+            v.get("e").unwrap().get("f").unwrap().as_u64(),
+            Some(u64::MAX),
+            "u64 bit patterns must survive parsing"
+        );
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(json::parse("[1, 2").is_err());
+        assert!(json::parse("").is_err());
+    }
+
+    #[test]
+    fn config_hash_ignores_output_neutral_knobs() {
+        let base = SimConfig::tiny();
+        let faults = PipelineFaultPlan::none();
+        let mut threads = base.clone();
+        threads.threads = 99;
+        let mut cache = base.clone();
+        cache.analysis_cache = false;
+        assert_eq!(config_hash(&base, &faults), config_hash(&threads, &faults));
+        assert_eq!(config_hash(&base, &faults), config_hash(&cache, &faults));
+        let mut seed = base.clone();
+        seed.seed = 999;
+        assert_ne!(config_hash(&base, &faults), config_hash(&seed, &faults));
+        assert_ne!(
+            config_hash(&base, &faults),
+            config_hash(&base, &PipelineFaultPlan::none().analyzer_panics(5)),
+        );
+    }
+
+    #[test]
+    fn crawl_checkpoint_round_trips() {
+        let (store, dir) = store("crawl");
+        let records = vec![
+            CrawlRecord {
+                domain: "payp\u{00e9}l.com".into(),
+                brand: 3,
+                squat_type: SquatType::Homograph,
+                web: Some(PageCapture {
+                    final_host: "paypél.com".into(),
+                    html: "<html>\"quoted\"\nline</html>".into(),
+                    redirects: vec!["a.com".into(), "b.com".into()],
+                }),
+                mobile: None,
+                web_redirect: RedirectClass::Other,
+                mobile_redirect: RedirectClass::None,
+            },
+            CrawlRecord {
+                domain: "dead.com".into(),
+                brand: 0,
+                squat_type: SquatType::WrongTld,
+                web: None,
+                mobile: None,
+                web_redirect: RedirectClass::None,
+                mobile_redirect: RedirectClass::None,
+            },
+        ];
+        let mut stats = CrawlStats::from_records(&records);
+        stats.transport.attempts = 42;
+        stats.transport.errors = [1, 2, 3, 4];
+        store.save_crawl(&records, &stats, 7).unwrap();
+        let Loaded::Value((r2, s2, truncated)) = store.load_crawl().unwrap() else {
+            panic!("crawl checkpoint did not load");
+        };
+        assert_eq!(r2, records);
+        assert_eq!(truncated, 7);
+        assert_eq!(s2.transport.attempts, 42);
+        assert_eq!(s2.transport.errors, [1, 2, 3, 4]);
+        assert_eq!(s2.web_live, stats.web_live);
+        // Atomic writes leave no temp files behind.
+        assert!(std::fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_and_corrupt_checkpoints_are_recomputed_not_fatal() {
+        let (store, dir) = store("stale");
+        let records: Vec<CrawlRecord> = Vec::new();
+        store
+            .save_crawl(&records, &CrawlStats::from_records(&records), 0)
+            .unwrap();
+        // A different config must not load this checkpoint.
+        let mut other_cfg = SimConfig::tiny();
+        other_cfg.seed = 4242;
+        let other = CheckpointStore::open(&dir, &other_cfg, &PipelineFaultPlan::none()).unwrap();
+        assert!(matches!(other.load_crawl().unwrap(), Loaded::Stale));
+        // Corrupt file → Stale, not an error.
+        std::fs::write(dir.join("crawl.ckpt.json"), "{\"version\": 1, tru").unwrap();
+        assert!(matches!(store.load_crawl().unwrap(), Loaded::Stale));
+        // Missing file → Missing.
+        std::fs::remove_file(dir.join("crawl.ckpt.json")).unwrap();
+        assert!(matches!(store.load_crawl().unwrap(), Loaded::Missing));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

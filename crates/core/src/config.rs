@@ -54,6 +54,35 @@ impl SimConfig {
         }
     }
 
+    /// The smallest configuration that still exercises every stage —
+    /// sized for oracles that run the full pipeline many times per
+    /// invocation (the conformance supervision oracle, chaos matrices).
+    pub fn micro() -> Self {
+        SimConfig {
+            snapshot: SnapshotConfig {
+                benign_records: 800,
+                squatting_records: 300,
+                subdomain_fraction: 0.2,
+                seed: 11,
+            },
+            world: WorldConfig {
+                phishing_domains: 40,
+                seed: 12,
+                ..WorldConfig::default()
+            },
+            feed: FeedConfig {
+                total_urls: 200,
+                seed: 13,
+            },
+            brands: 24,
+            threads: 2,
+            sampled_benign: 60,
+            cv_folds: 3,
+            analysis_cache: true,
+            seed: 14,
+        }
+    }
+
     /// A configuration small enough for unit tests (seconds, not minutes).
     pub fn tiny() -> Self {
         SimConfig {

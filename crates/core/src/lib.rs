@@ -22,16 +22,24 @@
 
 pub mod analysis;
 pub mod artifact;
+pub mod checkpoint;
 pub mod config;
 pub mod evasion;
+pub mod fault;
 pub mod features;
 pub mod pipeline;
 pub mod reinforce;
 pub mod snapshots;
+pub mod supervise;
 pub mod train;
 
 pub use artifact::{AnalysisCache, AnalysisSnapshot, PageAnalyzer, PageArtifact};
+pub use checkpoint::CheckpointError;
 pub use config::SimConfig;
+pub use fault::{FaultCounts, PipelineFaultPlan};
 pub use features::FeatureExtractor;
 pub use pipeline::{Detection, PipelineResult, SquatPhi, StageTimings};
+pub use supervise::{
+    PipelineError, PipelineErrorKind, PipelineStage, QuarantineEntry, RunOptions, SupervisionReport,
+};
 pub use train::{train_and_evaluate, EvalReport, ModelEval};

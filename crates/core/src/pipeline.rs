@@ -1,13 +1,25 @@
 //! The end-to-end SquatPhi pipeline (paper §3-§6).
+//!
+//! [`SquatPhi::try_run`] is the supervised entry point: every stage runs
+//! under a [`Supervisor`] that isolates per-record analyzer panics,
+//! degrades pages whose visual path fails, and (when a checkpoint
+//! directory is configured) persists completed stage outputs so an
+//! interrupted run resumes without recomputation. [`SquatPhi::run`] is
+//! the legacy infallible wrapper.
 
-use crate::artifact::AnalysisSnapshot;
+use crate::artifact::{content_key, AnalysisSnapshot};
+use crate::checkpoint::{CheckpointStore, Loaded};
 use crate::config::SimConfig;
 use crate::features::FeatureExtractor;
+use crate::supervise::{
+    PageJob, PipelineError, PipelineErrorKind, PipelineStage, RunOptions, SupervisionReport,
+    Supervisor,
+};
 use crate::train::{self, EvalReport};
 use squatphi_crawler::{crawl_all, CrawlConfig, CrawlRecord, CrawlStats, InProcessTransport};
 use squatphi_dnsdb::{scan_with_metrics, synth, ScanMetrics, ScanOutcome};
 use squatphi_feeds::{FeedConfig, GroundTruthFeed};
-use squatphi_ml::{Classifier, RandomForest};
+use squatphi_ml::{Classifier, Dataset, RandomForest};
 use squatphi_squat::{BrandRegistry, SquatDetector, SquatType};
 use squatphi_web::{Device, SiteBehavior, WebWorld};
 use std::sync::Arc;
@@ -74,7 +86,7 @@ pub struct PipelineResult {
     pub feed: GroundTruthFeed,
     /// Training-set class balance: (positives, negatives) as assembled
     /// by `build_training_set` (§5.3's verified feed pages + sampled
-    /// benign squats).
+    /// benign squats), counted after quarantine exclusions.
     pub train_split: (usize, usize),
     /// Classifier cross-validation report (Table 7, Figure 10).
     pub eval: EvalReport,
@@ -89,6 +101,8 @@ pub struct PipelineResult {
     /// Page-analysis counters (cache hits/misses, per-stage nanos) from
     /// the shared analyzer, snapshotted after the detect stage.
     pub analysis: AnalysisSnapshot,
+    /// Fault / quarantine / checkpoint accounting for this run.
+    pub supervision: SupervisionReport,
 }
 
 impl PipelineResult {
@@ -114,27 +128,230 @@ impl PipelineResult {
         };
         set.iter().filter(|d| d.confirmed).collect()
     }
+
+    /// Order-stable digest over every deterministic output field —
+    /// scan matches, crawl captures, training split, evaluation metrics
+    /// (as exact f64 bit patterns), the deployed model, detections, and
+    /// the supervision counters. Wall-clock timings, analyzer nano
+    /// counters and checkpoint bookkeeping are excluded, so two runs of
+    /// the same config (resumed or not, any thread count) must agree.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, bytes: &[u8]) -> u64 {
+            content_key(h, bytes)
+        }
+        fn mix_u64(h: u64, v: u64) -> u64 {
+            mix(h, &v.to_le_bytes())
+        }
+        fn mix_str(h: u64, s: &str) -> u64 {
+            mix(mix_u64(h, s.len() as u64), s.as_bytes())
+        }
+        let mut h = 0x5171_2018u64;
+        h = mix_u64(h, self.scan.scanned as u64);
+        h = mix_u64(h, self.scan.invalid as u64);
+        for &c in &self.scan.by_type {
+            h = mix_u64(h, c as u64);
+        }
+        for m in &self.scan.matches {
+            h = mix_str(h, &m.domain.registrable());
+            h = mix_u64(h, m.brand as u64);
+            h = mix_str(h, m.squat_type.name());
+            h = mix(h, &m.ip.octets());
+        }
+        for r in &self.crawl {
+            h = mix_str(h, &r.domain);
+            h = mix_u64(h, r.brand as u64);
+            h = mix_str(h, r.squat_type.name());
+            h = mix_u64(h, r.web_redirect as u64);
+            h = mix_u64(h, r.mobile_redirect as u64);
+            for cap in [&r.web, &r.mobile] {
+                match cap {
+                    None => h = mix_u64(h, 0),
+                    Some(c) => {
+                        h = mix_u64(h, 1);
+                        h = mix_str(h, &c.final_host);
+                        h = mix_str(h, &c.html);
+                        for red in &c.redirects {
+                            h = mix_str(h, red);
+                        }
+                    }
+                }
+            }
+        }
+        h = mix_u64(h, self.train_split.0 as u64);
+        h = mix_u64(h, self.train_split.1 as u64);
+        h = mix_u64(h, self.eval.train_shape.0 as u64);
+        h = mix_u64(h, self.eval.train_shape.1 as u64);
+        for m in &self.eval.models {
+            h = mix_str(h, m.name);
+            h = mix_u64(h, m.metrics.fpr.to_bits());
+            h = mix_u64(h, m.metrics.fnr.to_bits());
+            h = mix_u64(h, m.metrics.auc.to_bits());
+            h = mix_u64(h, m.metrics.accuracy.to_bits());
+            for (x, y) in &m.roc.points {
+                h = mix_u64(h, x.to_bits());
+                h = mix_u64(h, y.to_bits());
+            }
+        }
+        h = mix_str(h, &self.model.encode());
+        for set in [&self.web_detections, &self.mobile_detections] {
+            h = mix_u64(h, set.len() as u64);
+            for d in set {
+                h = mix_str(h, &d.domain);
+                h = mix_u64(h, d.brand as u64);
+                h = mix_str(h, d.squat_type.name());
+                h = mix_u64(h, d.score.to_bits());
+                h = mix_u64(h, u64::from(d.confirmed));
+            }
+        }
+        let s = &self.supervision;
+        for v in [
+            s.injected.analyzer_panics,
+            s.injected.poisoned_pages,
+            s.injected.truncated_records,
+            s.recovered,
+            s.recovered_natural,
+            s.degraded,
+            s.degraded_natural,
+            s.truncated,
+            s.retries,
+        ] {
+            h = mix_u64(h, v);
+        }
+        for q in &s.quarantined {
+            h = mix_str(h, q.stage.name());
+            h = mix_str(h, &q.key);
+            h = mix_str(h, &q.cause);
+            h = mix_u64(h, u64::from(q.attempts));
+            h = mix_u64(h, u64::from(q.injected));
+        }
+        h
+    }
 }
 
 /// The system façade.
 pub struct SquatPhi;
 
+fn fail(
+    stage: PipelineStage,
+    completed: &[PipelineStage],
+    kind: PipelineErrorKind,
+) -> PipelineError {
+    PipelineError {
+        stage,
+        kind,
+        completed: completed.to_vec(),
+    }
+}
+
 impl SquatPhi {
-    /// Runs the full pipeline under `config`.
+    /// Runs the full pipeline under `config`, panicking on any error.
+    ///
+    /// Thin wrapper over [`SquatPhi::try_run`] with default
+    /// [`RunOptions`] (no faults, no checkpoints), under which every
+    /// stage is infallible in practice.
     pub fn run(config: &SimConfig) -> PipelineResult {
+        match Self::try_run(config, &RunOptions::default()) {
+            Ok(result) => result,
+            Err(e) => panic!("pipeline failed: {e}"),
+        }
+    }
+
+    /// Runs the full pipeline under `config` with supervised stages.
+    ///
+    /// Per-record analyzer panics in the train/detect stages are caught,
+    /// retried within `opts.retry_budget`, and quarantined
+    /// deterministically; pages whose visual analysis fails degrade to a
+    /// lexical+form feature vector instead of being dropped. With
+    /// `opts.checkpoint_dir` set, completed scan/crawl/train outputs are
+    /// persisted and — with `opts.resume` — replayed, producing a
+    /// [`PipelineResult`] with an identical [`PipelineResult::fingerprint`].
+    /// `opts.stop_after` interrupts after the named stage with
+    /// [`PipelineErrorKind::Interrupted`] (a deterministic kill stand-in).
+    pub fn try_run(config: &SimConfig, opts: &RunOptions) -> Result<PipelineResult, PipelineError> {
+        let mut completed: Vec<PipelineStage> = Vec::new();
+        if config.brands == 0 {
+            return Err(fail(
+                PipelineStage::Scan,
+                &completed,
+                PipelineErrorKind::Config("brands must be >= 1".into()),
+            ));
+        }
+        if config.cv_folds < 2 {
+            return Err(fail(
+                PipelineStage::Train,
+                &completed,
+                PipelineErrorKind::Config("cv_folds must be >= 2".into()),
+            ));
+        }
+        let supervisor = Supervisor::new(opts);
+        let store = match &opts.checkpoint_dir {
+            Some(dir) => Some(
+                CheckpointStore::open(dir, config, &opts.faults).map_err(|e| {
+                    fail(
+                        PipelineStage::Scan,
+                        &completed,
+                        PipelineErrorKind::Checkpoint(e),
+                    )
+                })?,
+            ),
+            None => None,
+        };
+        let ckpt_err = |stage: PipelineStage,
+                        completed: &[PipelineStage],
+                        e: crate::checkpoint::CheckpointError| {
+            fail(stage, completed, PipelineErrorKind::Checkpoint(e))
+        };
         let mut timings = StageTimings::default();
         let registry = BrandRegistry::with_size(config.brands);
 
         // Stage 1 — squatting detection over the DNS snapshot (§3.1).
         let stage = Instant::now();
-        let (store, _stats) = synth::generate(&config.snapshot, &registry);
-        let detector = SquatDetector::new(&registry);
-        let (scan_outcome, scan_metrics) =
-            scan_with_metrics(&store, &registry, &detector, config.threads);
+        let (scan_outcome, scan_metrics) = {
+            let mut resumed = None;
+            if opts.resume {
+                if let Some(store) = &store {
+                    match store
+                        .load_scan()
+                        .map_err(|e| ckpt_err(PipelineStage::Scan, &completed, e))?
+                    {
+                        Loaded::Value(v) => {
+                            supervisor.note_resumed(PipelineStage::Scan);
+                            resumed = Some(v);
+                        }
+                        Loaded::Stale => supervisor.note_invalidated(PipelineStage::Scan),
+                        Loaded::Missing => {}
+                    }
+                }
+            }
+            match resumed {
+                Some(v) => v,
+                None => {
+                    let (snapshot, _stats) = synth::generate(&config.snapshot, &registry);
+                    let detector = SquatDetector::new(&registry);
+                    let out = scan_with_metrics(&snapshot, &registry, &detector, config.threads);
+                    if let Some(store) = &store {
+                        store
+                            .save_scan(&out.0, &out.1)
+                            .map_err(|e| ckpt_err(PipelineStage::Scan, &completed, e))?;
+                        supervisor.note_checkpointed(PipelineStage::Scan);
+                    }
+                    out
+                }
+            }
+        };
         timings.scan = stage.elapsed();
+        completed.push(PipelineStage::Scan);
+        if opts.stop_after == Some(PipelineStage::Scan) {
+            return Err(fail(
+                PipelineStage::Scan,
+                &completed,
+                PipelineErrorKind::Interrupted,
+            ));
+        }
 
         // Stage 2 — build the web world over the scan hits and crawl it
-        // (§3.2).
+        // (§3.2). The world itself rebuilds deterministically from the
+        // scan output, so only the crawl records are checkpointed.
         let stage = Instant::now();
         let squats: Vec<(String, usize, SquatType, std::net::Ipv4Addr)> = scan_outcome
             .matches
@@ -142,18 +359,101 @@ impl SquatPhi {
             .map(|m| (m.domain.registrable(), m.brand, m.squat_type, m.ip))
             .collect();
         let world = Arc::new(WebWorld::build(&squats, &registry, &config.world));
-        let transport = InProcessTransport::new(world.clone());
-        let jobs: Vec<(String, usize, SquatType)> = squats
-            .iter()
-            .map(|(d, b, t, _)| (d.clone(), *b, *t))
-            .collect();
-        let crawl_cfg = CrawlConfig::builder()
-            .workers(config.threads.max(1))
-            .snapshot(0)
-            .build()
-            .expect("workers is clamped to >= 1, defaults cover the rest");
-        let (crawl_records, crawl_stats) = crawl_all(&jobs, &registry, &transport, &crawl_cfg);
+        let (crawl_records, crawl_stats) = {
+            let mut resumed = None;
+            if opts.resume {
+                if let Some(store) = &store {
+                    match store
+                        .load_crawl()
+                        .map_err(|e| ckpt_err(PipelineStage::Crawl, &completed, e))?
+                    {
+                        Loaded::Value((records, stats, truncated)) => {
+                            supervisor.note_resumed(PipelineStage::Crawl);
+                            // Replay the fault accounting of the run that
+                            // wrote the checkpoint (the records are
+                            // already truncated on disk).
+                            supervisor.note_truncated_bulk(truncated);
+                            resumed = Some((records, stats));
+                        }
+                        Loaded::Stale => supervisor.note_invalidated(PipelineStage::Crawl),
+                        Loaded::Missing => {}
+                    }
+                }
+            }
+            match resumed {
+                Some(v) => v,
+                None => {
+                    let transport = InProcessTransport::new(world.clone());
+                    let jobs: Vec<(String, usize, SquatType)> = squats
+                        .iter()
+                        .map(|(d, b, t, _)| (d.clone(), *b, *t))
+                        .collect();
+                    let crawl_cfg = CrawlConfig::builder()
+                        .workers(config.threads.max(1))
+                        .snapshot(0)
+                        .build()
+                        .map_err(|e| {
+                            fail(
+                                PipelineStage::Crawl,
+                                &completed,
+                                PipelineErrorKind::Config(e.to_string()),
+                            )
+                        })?;
+                    let (mut records, mut stats) =
+                        crawl_all(&jobs, &registry, &transport, &crawl_cfg);
+                    let mut truncated = 0u64;
+                    if !opts.faults.is_none() {
+                        for r in &mut records {
+                            if !supervisor.truncates(&r.domain) {
+                                continue;
+                            }
+                            let mut cut_any = false;
+                            for cap in [&mut r.web, &mut r.mobile] {
+                                let Some(c) = cap else { continue };
+                                if c.html.is_empty() {
+                                    continue;
+                                }
+                                let mut cut = c.html.len() / 3;
+                                while cut > 0 && !c.html.is_char_boundary(cut) {
+                                    cut -= 1;
+                                }
+                                c.html.truncate(cut);
+                                cut_any = true;
+                            }
+                            if cut_any {
+                                supervisor.note_truncated();
+                                truncated += 1;
+                            }
+                        }
+                        if truncated > 0 {
+                            // Re-aggregate over the mutated records so a
+                            // resumed run (which recomputes stats from
+                            // the checkpointed records) sees the same
+                            // numbers as this one.
+                            let transport_counters = stats.transport.clone();
+                            stats = CrawlStats::from_records(&records);
+                            stats.transport = transport_counters;
+                        }
+                    }
+                    if let Some(store) = &store {
+                        store
+                            .save_crawl(&records, &stats, truncated)
+                            .map_err(|e| ckpt_err(PipelineStage::Crawl, &completed, e))?;
+                        supervisor.note_checkpointed(PipelineStage::Crawl);
+                    }
+                    (records, stats)
+                }
+            }
+        };
         timings.crawl = stage.elapsed();
+        completed.push(PipelineStage::Crawl);
+        if opts.stop_after == Some(PipelineStage::Crawl) {
+            return Err(fail(
+                PipelineStage::Crawl,
+                &completed,
+                PipelineErrorKind::Interrupted,
+            ));
+        }
 
         // Stage 3 — ground truth (§4.1) and classifier training (§5).
         let stage = Instant::now();
@@ -169,35 +469,106 @@ impl SquatPhi {
         } else {
             FeatureExtractor::uncached(&registry)
         };
-        let (dataset, train_split) =
-            build_training_set(&extractor, &feed, &crawl_records, &world, &registry, config);
-        let eval = train::train_and_evaluate(&dataset, config.cv_folds, config.seed);
-        let model = train::fit_final_model(&dataset, config.seed);
+        let (train_split, eval, model) = {
+            let mut resumed = None;
+            if opts.resume {
+                if let Some(store) = &store {
+                    match store
+                        .load_train()
+                        .map_err(|e| ckpt_err(PipelineStage::Train, &completed, e))?
+                    {
+                        Loaded::Value(v) => {
+                            supervisor.note_resumed(PipelineStage::Train);
+                            resumed = Some(v);
+                        }
+                        Loaded::Stale => supervisor.note_invalidated(PipelineStage::Train),
+                        Loaded::Missing => {}
+                    }
+                }
+            }
+            match resumed {
+                Some(v) => v,
+                None => {
+                    let (dataset, split) = build_training_set(
+                        &supervisor,
+                        &extractor,
+                        &feed,
+                        &crawl_records,
+                        &world,
+                        &registry,
+                        config,
+                    )
+                    .map_err(|kind| fail(PipelineStage::Train, &completed, kind))?;
+                    if split.0 == 0 || split.1 == 0 {
+                        return Err(fail(
+                            PipelineStage::Train,
+                            &completed,
+                            PipelineErrorKind::StageInvariant(format!(
+                                "degenerate training split after quarantine: \
+                                 {} positives, {} negatives",
+                                split.0, split.1
+                            )),
+                        ));
+                    }
+                    let eval = train::train_and_evaluate(&dataset, config.cv_folds, config.seed);
+                    let model = train::fit_final_model(&dataset, config.seed);
+                    if let Some(store) = &store {
+                        store
+                            .save_train(split, &eval, &model)
+                            .map_err(|e| ckpt_err(PipelineStage::Train, &completed, e))?;
+                        supervisor.note_checkpointed(PipelineStage::Train);
+                    }
+                    (split, eval, model)
+                }
+            }
+        };
         timings.train = stage.elapsed();
+        completed.push(PipelineStage::Train);
+        if opts.stop_after == Some(PipelineStage::Train) {
+            return Err(fail(
+                PipelineStage::Train,
+                &completed,
+                PipelineErrorKind::Interrupted,
+            ));
+        }
 
         // Stage 4 — in-the-wild detection (§6.1) with manual-verification
-        // simulation.
+        // simulation. Detections are cheap to recompute and depend on the
+        // checkpointed model, so this stage is never checkpointed.
         let stage = Instant::now();
         let web_detections = detect_device(
+            &supervisor,
             &crawl_records,
             &extractor,
             &model,
             &world,
             Device::Web,
             config.threads,
-        );
+        )
+        .map_err(|kind| fail(PipelineStage::Detect, &completed, kind))?;
         let mobile_detections = detect_device(
+            &supervisor,
             &crawl_records,
             &extractor,
             &model,
             &world,
             Device::Mobile,
             config.threads,
-        );
+        )
+        .map_err(|kind| fail(PipelineStage::Detect, &completed, kind))?;
         timings.detect = stage.elapsed();
+        completed.push(PipelineStage::Detect);
+        if opts.stop_after == Some(PipelineStage::Detect) {
+            return Err(fail(
+                PipelineStage::Detect,
+                &completed,
+                PipelineErrorKind::Interrupted,
+            ));
+        }
         let analysis = extractor.analyzer().metrics();
+        let supervision = supervisor.report();
 
-        PipelineResult {
+        Ok(PipelineResult {
             registry,
             scan: scan_outcome,
             scan_metrics,
@@ -213,28 +584,40 @@ impl SquatPhi {
             web_detections,
             mobile_detections,
             analysis,
-        }
+            supervision,
+        })
     }
 }
 
 /// Assembles the training set: the top-8 manually-verified feed pages
 /// (positives = still-phishing, negatives = taken-down/benign) plus
 /// `sampled_benign` easy-to-confuse live squatting pages (§5.3's 1,565).
+///
+/// Extraction runs under the supervisor: quarantined pages yield `None`
+/// vectors and are excluded from both the dataset and the returned
+/// (positives, negatives) split, so `train_split` always matches what
+/// training actually saw.
 fn build_training_set(
+    supervisor: &Supervisor,
     extractor: &FeatureExtractor,
     feed: &GroundTruthFeed,
     crawl: &[CrawlRecord],
     world: &WebWorld,
     registry: &BrandRegistry,
     config: &SimConfig,
-) -> (squatphi_ml::Dataset, (usize, usize)) {
-    let mut pages: Vec<(&str, bool)> = Vec::new();
+) -> Result<(Dataset, (usize, usize)), PipelineErrorKind> {
+    let mut jobs: Vec<PageJob<'_>> = Vec::new();
+    let mut labels: Vec<bool> = Vec::new();
     // The feed carries brand ids from the pipeline's own registry, so the
     // `top8` lookup uses it directly (previously this rebuilt an identical
     // registry per training-set assembly).
     let top8 = feed.top8(registry);
-    for e in &top8 {
-        pages.push((e.html.as_str(), e.still_phishing));
+    for (i, e) in top8.iter().enumerate() {
+        jobs.push(PageJob {
+            key: format!("train:feed:{i}"),
+            html: e.html.as_str(),
+        });
+        labels.push(e.still_phishing);
     }
     // Sampled benign squatting pages: live, not phishing per the world's
     // ground truth (the paper manually verified these).
@@ -252,26 +635,46 @@ fn build_training_set(
             .map(|s| s.behavior.is_phishing())
             .unwrap_or(false);
         if !is_phishing {
-            pages.push((web.html.as_str(), false));
+            jobs.push(PageJob {
+                key: format!("train:benign:{}", r.domain),
+                html: web.html.as_str(),
+            });
+            labels.push(false);
             sampled += 1;
         }
     }
-    let pos = pages.iter().filter(|(_, y)| *y).count();
-    let neg = pages.len() - pos;
-    (extractor.build_dataset(&pages, config.threads), (pos, neg))
+    let vectors =
+        supervisor.extract_vectors(PipelineStage::Train, extractor, &jobs, config.threads)?;
+    let mut dataset = Dataset::new(extractor.dim());
+    let (mut pos, mut neg) = (0usize, 0usize);
+    for (v, &label) in vectors.into_iter().zip(&labels) {
+        let Some(v) = v else { continue };
+        if label {
+            pos += 1;
+        } else {
+            neg += 1;
+        }
+        dataset.push(v, label);
+    }
+    Ok((dataset, (pos, neg)))
 }
 
 /// Classifies every crawled page of one device profile and simulates the
 /// manual verification pass (§6.1: "we manually examined each of the
 /// detected phishing pages" — our oracle is the world's ground truth).
+///
+/// Quarantined pages are skipped; a candidates/vectors length mismatch is
+/// a hard [`PipelineErrorKind::StageInvariant`] rather than the silent
+/// truncation a bare `zip` would allow.
 fn detect_device(
+    supervisor: &Supervisor,
     crawl: &[CrawlRecord],
     extractor: &FeatureExtractor,
     model: &RandomForest,
     world: &WebWorld,
     device: Device,
     threads: usize,
-) -> Vec<Detection> {
+) -> Result<Vec<Detection>, PipelineErrorKind> {
     // Collect candidate pages.
     let mut candidates: Vec<(&CrawlRecord, &str)> = Vec::new();
     for r in crawl {
@@ -288,10 +691,28 @@ fn detect_device(
             }
         }
     }
-    let htmls: Vec<&str> = candidates.iter().map(|(_, h)| *h).collect();
-    let vectors = extractor.extract_batch(&htmls, threads);
+    let tag = match device {
+        Device::Web => "web",
+        Device::Mobile => "mobile",
+    };
+    let jobs: Vec<PageJob<'_>> = candidates
+        .iter()
+        .map(|(r, h)| PageJob {
+            key: format!("detect:{tag}:{}", r.domain),
+            html: h,
+        })
+        .collect();
+    let vectors = supervisor.extract_vectors(PipelineStage::Detect, extractor, &jobs, threads)?;
+    if vectors.len() != candidates.len() {
+        return Err(PipelineErrorKind::StageInvariant(format!(
+            "detect/{tag}: {} candidate pages but {} feature vectors",
+            candidates.len(),
+            vectors.len(),
+        )));
+    }
     let mut out = Vec::new();
     for ((record, _), v) in candidates.iter().zip(vectors) {
+        let Some(v) = v else { continue };
         let score = model.score(&v);
         if score >= 0.5 {
             // Manual verification: flag survives iff the page is truly a
@@ -320,7 +741,7 @@ fn detect_device(
             });
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -371,6 +792,23 @@ mod tests {
         let (pos, neg) = r.train_split;
         assert_eq!((pos, neg), r.eval.train_shape);
         assert!(pos > 0 && neg > 0, "degenerate split ({pos}, {neg})");
+    }
+
+    #[test]
+    fn unfaulted_run_reports_clean_supervision() {
+        let r = run();
+        let s = &r.supervision;
+        assert!(s.injected.total() == 0, "default run injected faults");
+        assert!(s.quarantined.is_empty(), "default run quarantined pages");
+        assert_eq!(s.degraded, s.degraded_natural);
+        assert!(s.reconciles(), "clean run must reconcile");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let r = run();
+        assert_eq!(r.fingerprint(), r.fingerprint());
+        assert_ne!(r.fingerprint(), 0);
     }
 
     #[test]
@@ -439,5 +877,30 @@ mod tests {
             confirmed * 2 >= live_phish,
             "recovered {confirmed} of {live_phish} live phishing domains"
         );
+    }
+
+    #[test]
+    fn stop_after_interrupts_with_completed_stages() {
+        let opts = RunOptions {
+            stop_after: Some(PipelineStage::Scan),
+            ..RunOptions::default()
+        };
+        let Err(err) = SquatPhi::try_run(&SimConfig::tiny(), &opts) else {
+            panic!("stop_after scan did not interrupt");
+        };
+        assert!(err.is_interrupted());
+        assert_eq!(err.stage, PipelineStage::Scan);
+        assert_eq!(err.completed, vec![PipelineStage::Scan]);
+    }
+
+    #[test]
+    fn invalid_config_is_a_structured_error() {
+        let mut cfg = SimConfig::tiny();
+        cfg.cv_folds = 1;
+        let Err(err) = SquatPhi::try_run(&cfg, &RunOptions::default()) else {
+            panic!("cv_folds = 1 was accepted");
+        };
+        assert!(matches!(err.kind, PipelineErrorKind::Config(_)));
+        assert!(err.completed.is_empty());
     }
 }

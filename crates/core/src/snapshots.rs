@@ -14,6 +14,7 @@
 
 use crate::features::FeatureExtractor;
 use crate::pipeline::PipelineResult;
+use crate::supervise::{PipelineError, PipelineErrorKind, PipelineStage};
 use squatphi_crawler::{crawl_all, CrawlConfig, InProcessTransport};
 use squatphi_ml::Classifier;
 use squatphi_web::Device;
@@ -25,7 +26,22 @@ pub type SnapshotSeries = [(usize, usize); 4];
 /// Re-crawls every confirmed phishing domain in all four snapshots and
 /// re-classifies the captured pages, exactly like the paper's follow-up
 /// crawls. Returns the per-snapshot live counts.
+///
+/// Panicking wrapper over [`try_recrawl_and_classify`].
 pub fn recrawl_and_classify(result: &PipelineResult, threads: usize) -> SnapshotSeries {
+    match try_recrawl_and_classify(result, threads) {
+        Ok(series) => series,
+        Err(e) => panic!("snapshot re-crawl failed: {e}"),
+    }
+}
+
+/// Fallible snapshot re-crawl: crawl-configuration problems surface as a
+/// structured [`PipelineError`] attributed to the crawl stage instead of
+/// panicking mid-series.
+pub fn try_recrawl_and_classify(
+    result: &PipelineResult,
+    threads: usize,
+) -> Result<SnapshotSeries, PipelineError> {
     let extractor = &result.extractor;
     let transport = InProcessTransport::new(result.world.clone());
 
@@ -46,11 +62,15 @@ pub fn recrawl_and_classify(result: &PipelineResult, threads: usize) -> Snapshot
             .workers(threads.max(1))
             .snapshot(snapshot as u8)
             .build()
-            .expect("workers is clamped to >= 1, defaults cover the rest");
+            .map_err(|e| PipelineError {
+                stage: PipelineStage::Crawl,
+                kind: PipelineErrorKind::Config(e.to_string()),
+                completed: PipelineStage::ALL.to_vec(),
+            })?;
         let (records, _) = crawl_all(&jobs, &result.registry, &transport, &cfg);
         *slot = classify_live(&records, extractor, result, threads);
     }
-    series
+    Ok(series)
 }
 
 fn classify_live(

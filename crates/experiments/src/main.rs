@@ -7,8 +7,19 @@
 //! repro --json out.json all # also dump a machine-readable summary
 //! repro --list              # list experiment ids
 //! ```
+//!
+//! Crash-safety flags (see DESIGN.md §10):
+//!
+//! ```text
+//! repro --checkpoint-dir ckpt all        # persist stage outputs
+//! repro --checkpoint-dir ckpt --resume … # replay completed stages
+//! repro --stop-after crawl …             # deterministic kill stand-in
+//! repro --faults panic-permille-50 …     # seeded fault injection
+//! repro --fail-fast …                    # first panic aborts the run
+//! repro --timings …                      # keep nanos in --json output
+//! ```
 
-use squatphi::{SimConfig, SquatPhi};
+use squatphi::{PipelineFaultPlan, PipelineStage, RunOptions, SimConfig, SquatPhi};
 use squatphi_experiments::summary::RunSummary;
 use squatphi_experiments::{run_experiment, EXPERIMENT_IDS};
 
@@ -17,6 +28,11 @@ fn main() {
     let mut scale = 100usize;
     let mut ids: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut opts = RunOptions::default();
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut timings = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,6 +52,17 @@ fn main() {
                     die("--scale must be >= 1")
                 }
             }
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a positive integer"));
+                if n == 0 {
+                    die("--threads must be >= 1")
+                }
+                threads = Some(n);
+            }
             "--json" => {
                 i += 1;
                 json_path = Some(
@@ -44,6 +71,44 @@ fn main() {
                         .unwrap_or_else(|| die("--json needs an output path")),
                 );
             }
+            "--checkpoint-dir" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--checkpoint-dir needs a directory path"));
+                opts.checkpoint_dir = Some(dir.into());
+            }
+            "--resume" => opts.resume = true,
+            "--fail-fast" => opts.fail_fast = true,
+            "--faults" => {
+                i += 1;
+                fault_spec = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--faults needs a plan spec")),
+                );
+            }
+            "--fault-seed" => {
+                i += 1;
+                fault_seed = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--fault-seed needs an integer")),
+                );
+            }
+            "--stop-after" => {
+                i += 1;
+                let name = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--stop-after needs a stage name"));
+                opts.stop_after =
+                    Some(PipelineStage::parse(&name).unwrap_or_else(|| {
+                        die("--stop-after expects scan, crawl, train or detect")
+                    }));
+            }
+            "--timings" => timings = true,
             "all" => ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect(),
             other if EXPERIMENT_IDS.contains(&other) => ids.push(other.to_string()),
             other => die(&format!(
@@ -52,14 +117,43 @@ fn main() {
         }
         i += 1;
     }
-    if ids.is_empty() && json_path.is_none() {
+    if let Some(spec) = fault_spec {
+        opts.faults = PipelineFaultPlan::parse(&spec)
+            .unwrap_or_else(|e| die(&format!("bad --faults plan: {e}")));
+    }
+    if let Some(seed) = fault_seed {
+        opts.faults = opts.faults.with_seed(seed);
+    }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        die("--resume requires --checkpoint-dir");
+    }
+    if ids.is_empty() && json_path.is_none() && opts.stop_after.is_none() {
         die("nothing to run: pass experiment ids or `all`");
     }
 
     eprintln!("[repro] running pipeline at 1/{scale} haystack scale …");
     let started = std::time::Instant::now();
-    let config = SimConfig::paper_scale(scale);
-    let result = SquatPhi::run(&config);
+    let mut config = SimConfig::paper_scale(scale);
+    if let Some(n) = threads {
+        config.threads = n;
+    }
+    let result = match SquatPhi::try_run(&config, &opts) {
+        Ok(result) => result,
+        Err(e) if e.is_interrupted() && opts.stop_after.is_some() => {
+            // A requested interruption is a success: the checkpoints for
+            // every completed stage are on disk.
+            eprintln!(
+                "[repro] stopped after the {} stage as requested ({:.1}s)",
+                e.stage,
+                started.elapsed().as_secs_f64(),
+            );
+            return;
+        }
+        Err(e) => {
+            eprintln!("[repro] pipeline failed: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
         "[repro] pipeline done in {:.1}s: {} DNS records scanned, {} squatting domains, {} confirmed phishing domains",
         started.elapsed().as_secs_f64(),
@@ -81,6 +175,7 @@ fn main() {
         result.crawl_stats.transport.report_line()
     );
     eprintln!("[repro] page analysis: {}", result.analysis.report_line());
+    eprintln!("[repro] supervision: {}", result.supervision.report_line());
     eprintln!(
         "[repro] training set: {} phishing / {} benign",
         result.train_split.0, result.train_split.1
@@ -105,7 +200,12 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let summary = RunSummary::collect(&result);
+        let mut summary = RunSummary::collect(&result);
+        if !timings {
+            // Keep the summary byte-reproducible across runs of the same
+            // config (the CI resume smoke `cmp`s two of them).
+            summary.strip_timings();
+        }
         if let Err(e) = std::fs::write(&path, summary.to_json_pretty()) {
             die(&format!("cannot write {path}: {e}"));
         }

@@ -9,6 +9,7 @@
 use squatphi::analysis;
 use squatphi::artifact::AnalysisSnapshot;
 use squatphi::pipeline::PipelineResult;
+use squatphi::SupervisionReport;
 use squatphi_crawler::TransportSnapshot;
 use squatphi_web::Device;
 
@@ -43,6 +44,69 @@ pub struct RunSummary {
     /// Blacklist coverage at day 30: phishtank / virustotal / ecrimex /
     /// undetected.
     pub blacklist: (usize, usize, usize, usize),
+    /// Supervision accounting (fault injection, quarantine, degraded
+    /// pages).
+    pub supervision: SupervisionSummary,
+}
+
+/// Supervision block of the JSON summary. Checkpoint bookkeeping
+/// (resumed/checkpointed stage lists) is deliberately excluded so a
+/// resumed run serializes byte-identically to an uninterrupted one.
+#[derive(Debug)]
+pub struct SupervisionSummary {
+    /// Analyzer panics planted by the fault plan.
+    pub injected_panics: u64,
+    /// Pages the fault plan poisoned into the degraded path.
+    pub injected_poisons: u64,
+    /// Crawl records whose HTML the fault plan truncated.
+    pub injected_truncations: u64,
+    /// Records excluded after exhausting their retry budget.
+    pub quarantined: usize,
+    /// Injected panics that recovered within the retry budget.
+    pub recovered: u64,
+    /// Pages that fell back to the lexical+form-only feature vector.
+    pub degraded: u64,
+    /// The non-injected subset of `degraded`.
+    pub degraded_natural: u64,
+    /// Crawl records actually truncated.
+    pub truncated: u64,
+    /// Re-analysis attempts spent across all records.
+    pub retries: u64,
+    /// Whether the injected counts reconcile against the observed ones.
+    pub reconciles: bool,
+}
+
+impl SupervisionSummary {
+    fn collect(report: &SupervisionReport) -> Self {
+        SupervisionSummary {
+            injected_panics: report.injected.analyzer_panics,
+            injected_poisons: report.injected.poisoned_pages,
+            injected_truncations: report.injected.truncated_records,
+            quarantined: report.quarantined.len(),
+            recovered: report.recovered,
+            degraded: report.degraded,
+            degraded_natural: report.degraded_natural,
+            truncated: report.truncated,
+            retries: report.retries,
+            reconciles: report.reconciles(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"injected_panics\": {},\n    \"injected_poisons\": {},\n    \"injected_truncations\": {},\n    \"quarantined\": {},\n    \"recovered\": {},\n    \"degraded\": {},\n    \"degraded_natural\": {},\n    \"truncated\": {},\n    \"retries\": {},\n    \"reconciles\": {}\n  }}",
+            self.injected_panics,
+            self.injected_poisons,
+            self.injected_truncations,
+            self.quarantined,
+            self.recovered,
+            self.degraded,
+            self.degraded_natural,
+            self.truncated,
+            self.retries,
+            self.reconciles,
+        )
+    }
 }
 
 /// One classifier row.
@@ -146,7 +210,21 @@ impl RunSummary {
             confirmed_domains: result.confirmed_domains().len(),
             targeted_brands: brands.len(),
             blacklist: analysis::blacklist_coverage(result),
+            supervision: SupervisionSummary::collect(&result.supervision),
         }
+    }
+
+    /// Zeroes the wall-clock-dependent analyzer counters (the six
+    /// per-stage nano totals), so two runs of the same config serialize
+    /// byte-identically. Counts (pages, hits, misses) are untouched.
+    /// `repro` calls this unless `--timings` is passed.
+    pub fn strip_timings(&mut self) {
+        self.analysis.parse_nanos = 0;
+        self.analysis.extract_nanos = 0;
+        self.analysis.render_nanos = 0;
+        self.analysis.hash_nanos = 0;
+        self.analysis.ocr_nanos = 0;
+        self.analysis.embed_nanos = 0;
     }
 
     /// Pretty-printed JSON (two-space indent, fields in declaration
@@ -203,10 +281,11 @@ impl RunSummary {
             a.embed_nanos,
         );
         format!(
-            "{{\n  \"records_scanned\": {},\n  \"squatting_domains\": {},\n  \"squatting_by_type\": [\n{by_type}\n  ],\n  \"web_live\": {},\n  \"crawl_transport\": {transport},\n  \"analysis\": {analysis},\n  \"train_split\": [\n    {},\n    {}\n  ],\n  \"models\": [\n{models}\n  ],\n  \"flagged\": {},\n  \"confirmed\": {},\n  \"confirmed_domains\": {},\n  \"targeted_brands\": {},\n  \"blacklist\": [\n    {pt},\n    {vt},\n    {ec},\n    {un}\n  ]\n}}",
+            "{{\n  \"records_scanned\": {},\n  \"squatting_domains\": {},\n  \"squatting_by_type\": [\n{by_type}\n  ],\n  \"web_live\": {},\n  \"crawl_transport\": {transport},\n  \"analysis\": {analysis},\n  \"supervision\": {},\n  \"train_split\": [\n    {},\n    {}\n  ],\n  \"models\": [\n{models}\n  ],\n  \"flagged\": {},\n  \"confirmed\": {},\n  \"confirmed_domains\": {},\n  \"targeted_brands\": {},\n  \"blacklist\": [\n    {pt},\n    {vt},\n    {ec},\n    {un}\n  ]\n}}",
             self.records_scanned,
             self.squatting_domains,
             self.web_live,
+            self.supervision.to_json(),
             self.train_split.0,
             self.train_split.1,
             self.flagged.to_json("  "),
@@ -247,6 +326,18 @@ mod tests {
         assert!(json.contains("\"cache_hits\""));
         assert!(json.contains("\"train_split\""));
         assert_eq!(summary.train_split, result.eval.train_shape);
+        // The supervision block is serialized and clean for an unfaulted
+        // run; stripping timings zeroes only the nano counters.
+        assert!(json.contains("\"supervision\""));
+        assert!(json.contains("\"reconciles\": true"));
+        assert_eq!(summary.supervision.injected_panics, 0);
+        assert_eq!(summary.supervision.quarantined, 0);
+        let mut stripped = RunSummary::collect(&result);
+        stripped.strip_timings();
+        assert_eq!(stripped.analysis.parse_nanos, 0);
+        assert_eq!(stripped.analysis.embed_nanos, 0);
+        assert_eq!(stripped.analysis.pages, summary.analysis.pages);
+        assert!(stripped.to_json_pretty().contains("\"parse_nanos\": 0"));
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl Builder<'_> {
                 .take(32)
                 .map(|&i| self.data.x(i).get(f))
                 .collect();
-            values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            values.sort_by(f64::total_cmp);
             values.dedup();
             if values.len() < 2 {
                 continue;
@@ -204,6 +204,113 @@ impl RandomForest {
     /// Number of fitted trees.
     pub fn tree_count(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Serializes the fitted forest to a compact line-oriented text form
+    /// (the train-stage checkpoint payload). Thresholds and leaf
+    /// probabilities are written as `f64::to_bits` integers so
+    /// [`decode`](RandomForest::decode) reproduces scores bit-for-bit.
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "rf1 {} {} {} {} {}\n",
+            self.cfg.trees,
+            self.cfg.max_depth,
+            self.cfg.min_split,
+            self.cfg.features_per_split,
+            self.cfg.seed
+        );
+        for tree in &self.trees {
+            out.push_str(&format!("T {}\n", tree.nodes.len()));
+            for node in &tree.nodes {
+                match node {
+                    TreeNode::Leaf { p_pos } => {
+                        out.push_str(&format!("L {}\n", p_pos.to_bits()));
+                    }
+                    TreeNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        out.push_str(&format!(
+                            "S {feature} {} {left} {right}\n",
+                            threshold.to_bits()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`encode`](RandomForest::encode).
+    pub fn decode(text: &str) -> Result<RandomForest, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty forest encoding")?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("rf1") {
+            return Err("bad forest magic (expected rf1)".into());
+        }
+        let mut field = |name: &str| -> Result<u64, String> {
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad forest header field {name}"))
+        };
+        let cfg = RandomForestConfig {
+            trees: field("trees")? as usize,
+            max_depth: field("max_depth")? as usize,
+            min_split: field("min_split")? as usize,
+            features_per_split: field("features_per_split")? as usize,
+            seed: field("seed")?,
+        };
+        let mut trees = Vec::new();
+        while let Some(line) = lines.next() {
+            let count: usize = line
+                .strip_prefix("T ")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("expected tree header, got {line:?}"))?;
+            let mut nodes = Vec::with_capacity(count);
+            for _ in 0..count {
+                let line = lines.next().ok_or("truncated tree")?;
+                let mut parts = line.split_whitespace();
+                match parts.next() {
+                    Some("L") => {
+                        let bits: u64 = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| format!("bad leaf line {line:?}"))?;
+                        nodes.push(TreeNode::Leaf {
+                            p_pos: f64::from_bits(bits),
+                        });
+                    }
+                    Some("S") => {
+                        let mut num = |what: &str| -> Result<u64, String> {
+                            parts
+                                .next()
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| format!("bad split {what} in {line:?}"))
+                        };
+                        let feature = num("feature")? as usize;
+                        let threshold = f64::from_bits(num("threshold")?);
+                        let left = num("left")? as usize;
+                        let right = num("right")? as usize;
+                        if left >= count || right >= count {
+                            return Err(format!("split child out of bounds in {line:?}"));
+                        }
+                        nodes.push(TreeNode::Split {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        });
+                    }
+                    _ => return Err(format!("bad node line {line:?}")),
+                }
+            }
+            trees.push(Tree { nodes });
+        }
+        Ok(RandomForest { cfg, trees })
     }
 }
 
@@ -324,6 +431,28 @@ mod tests {
         });
         m.fit(&d);
         assert!(m.score(&SparseVec::new()) > 0.9);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_scores_exactly() {
+        let mut m = RandomForest::new(RandomForestConfig {
+            trees: 12,
+            seed: 3,
+            ..Default::default()
+        });
+        m.fit(&xor_ish());
+        let decoded = RandomForest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded.tree_count(), m.tree_count());
+        for i in 0..20 {
+            let mut q = SparseVec::new();
+            q.add(i % 2, 0.1 * i as f64);
+            assert_eq!(m.score(&q).to_bits(), decoded.score(&q).to_bits());
+        }
+        // Malformed encodings are rejected, never panic.
+        assert!(RandomForest::decode("").is_err());
+        assert!(RandomForest::decode("rf2 1 1 1 0 0").is_err());
+        assert!(RandomForest::decode("rf1 1 1 1 0 0\nT 2\nL 0").is_err());
+        assert!(RandomForest::decode("rf1 1 1 1 0 0\nT 1\nS 0 0 5 6").is_err());
     }
 
     #[test]

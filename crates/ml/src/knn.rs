@@ -37,9 +37,7 @@ impl Classifier for Knn {
             .map(|(t, y)| (t.sq_distance(x), *y))
             .collect();
         let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("distances are finite")
-        });
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let mut pos = 0.0f64;
         let mut total = 0.0f64;
         for &(d, y) in &dists[..k] {

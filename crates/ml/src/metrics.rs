@@ -94,7 +94,7 @@ impl RocCurve {
             };
         }
         let mut sorted: Vec<(f64, bool)> = scored.to_vec();
-        sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut points = vec![(0.0, 0.0)];
         let (mut tp, mut fp) = (0usize, 0usize);
         let mut i = 0;
@@ -111,7 +111,7 @@ impl RocCurve {
             }
             points.push((fp as f64 / neg as f64, tp as f64 / pos as f64));
         }
-        if *points.last().expect("nonempty") != (1.0, 1.0) {
+        if points.last() != Some(&(1.0, 1.0)) {
             points.push((1.0, 1.0));
         }
         RocCurve { points }

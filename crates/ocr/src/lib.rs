@@ -86,6 +86,37 @@ impl OcrResult {
 /// groups, mimicking real OCR confusion patterns.
 const CONFUSION_GROUPS: &[&str] = &["o0", "l1i", "rn", "cl", "vu", "s5", "gq", "b8", "z2"];
 
+/// Rejected [`OcrConfig`] values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OcrError {
+    /// `char_error_rate` must be a finite probability in `[0, 1]`.
+    InvalidErrorRate(f64),
+}
+
+impl std::fmt::Display for OcrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OcrError::InvalidErrorRate(rate) => {
+                write!(
+                    f,
+                    "ocr: char_error_rate {rate} is not a probability in [0, 1]"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OcrError {}
+
+/// Fallible [`recognize`]: validates the config instead of silently
+/// clamping a nonsensical error rate.
+pub fn try_recognize(bmp: &Bitmap, config: &OcrConfig) -> Result<OcrResult, OcrError> {
+    if !config.char_error_rate.is_finite() || !(0.0..=1.0).contains(&config.char_error_rate) {
+        return Err(OcrError::InvalidErrorRate(config.char_error_rate));
+    }
+    Ok(recognize(bmp, config))
+}
+
 /// Runs OCR over a bitmap.
 pub fn recognize(bmp: &Bitmap, config: &OcrConfig) -> OcrResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -303,6 +334,23 @@ mod tests {
 
     fn render(html: &str) -> Bitmap {
         render_page(&parse(html), &RenderOptions::default())
+    }
+
+    #[test]
+    fn try_recognize_validates_error_rate() {
+        let bmp = render("<body><p>hi</p></body>");
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let cfg = OcrConfig {
+                char_error_rate: bad,
+                ..OcrConfig::default()
+            };
+            assert!(matches!(
+                try_recognize(&bmp, &cfg),
+                Err(OcrError::InvalidErrorRate(_))
+            ));
+        }
+        let ok = try_recognize(&bmp, &noiseless()).unwrap();
+        assert_eq!(ok, recognize(&bmp, &noiseless()));
     }
 
     #[test]

@@ -41,10 +41,56 @@ impl Default for RenderOptions {
     }
 }
 
+/// Geometry that cannot be rendered (the layout subtractions would
+/// underflow and panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenderError {
+    /// `width` or `max_height` is zero.
+    EmptyViewport,
+    /// The margins leave no room for content: `width` must be at least
+    /// `2 * margin + 18` (one form field with its padding).
+    ViewportNarrowerThanMargins {
+        /// The offending width.
+        width: usize,
+        /// The offending margin.
+        margin: usize,
+    },
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderError::EmptyViewport => f.write_str("render: width and max_height must be > 0"),
+            RenderError::ViewportNarrowerThanMargins { width, margin } => write!(
+                f,
+                "render: width {width} leaves no content room inside margin {margin} \
+                 (need width >= 2*margin + 18)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
 struct Cursor {
     y: usize,
     margin: usize,
     width: usize,
+}
+
+/// Fallible [`render_page`]: validates the geometry instead of
+/// panicking on underflowing layout arithmetic.
+pub fn try_render_page(doc: &Document, opts: &RenderOptions) -> Result<Bitmap, RenderError> {
+    if opts.width == 0 || opts.max_height == 0 {
+        return Err(RenderError::EmptyViewport);
+    }
+    if opts.width < 2 * opts.margin + 18 {
+        return Err(RenderError::ViewportNarrowerThanMargins {
+            width: opts.width,
+            margin: opts.margin,
+        });
+    }
+    Ok(render_page(doc, opts))
 }
 
 /// Renders a parsed page to a screenshot.
@@ -329,6 +375,48 @@ mod tests {
         let opts = RenderOptions::default();
         let bmp = render_page(&parse(&html), &opts);
         assert_eq!(bmp.height(), opts.max_height);
+    }
+
+    #[test]
+    fn try_render_rejects_impossible_geometry() {
+        let doc = parse(LOGIN);
+        assert_eq!(
+            try_render_page(
+                &doc,
+                &RenderOptions {
+                    width: 0,
+                    ..RenderOptions::default()
+                }
+            ),
+            Err(RenderError::EmptyViewport)
+        );
+        assert_eq!(
+            try_render_page(
+                &doc,
+                &RenderOptions {
+                    width: 100,
+                    max_height: 0,
+                    margin: 8,
+                }
+            ),
+            Err(RenderError::EmptyViewport)
+        );
+        assert_eq!(
+            try_render_page(
+                &doc,
+                &RenderOptions {
+                    width: 20,
+                    max_height: 100,
+                    margin: 8,
+                }
+            ),
+            Err(RenderError::ViewportNarrowerThanMargins {
+                width: 20,
+                margin: 8
+            })
+        );
+        let ok = try_render_page(&doc, &RenderOptions::default()).unwrap();
+        assert_eq!(ok, render_page(&doc, &RenderOptions::default()));
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod font;
 pub mod layout;
 
 pub use canvas::Bitmap;
-pub use layout::{render_page, RenderOptions};
+pub use layout::{render_page, try_render_page, RenderError, RenderOptions};
