@@ -9,6 +9,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use squatphi_dnsdb::{scan, synth, SnapshotConfig};
 use squatphi_domain::DomainName;
+use squatphi_squat::legacy::LegacyDetector;
 use squatphi_squat::{BrandRegistry, ClassifyStats, SquatDetector};
 
 /// A mixed classify workload: misses, near-misses and every squat type.
@@ -64,6 +65,42 @@ fn bench_classify(c: &mut Criterion) {
     group.finish();
 }
 
+/// Same mixed workload through the legacy string-probing detector and the
+/// fingerprint-indexed one — the single-pass speedup the PR 6 scan rebuild
+/// banks on, kept side by side so the gap stays visible.
+fn bench_classify_legacy_vs_fingerprint(c: &mut Criterion) {
+    let registry = BrandRegistry::paper();
+    let fingerprint = SquatDetector::new(&registry);
+    let legacy = LegacyDetector::new(&registry);
+    let domains = classify_workload();
+
+    let mut group = c.benchmark_group("scan/legacy_vs_fingerprint");
+    group.throughput(Throughput::Elements(domains.len() as u64));
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for d in &domains {
+                if legacy.classify(black_box(d)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("fingerprint", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for d in &domains {
+                if fingerprint.classify(black_box(d)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
 fn bench_scan_threads(c: &mut Criterion) {
     let registry = BrandRegistry::paper();
     let detector = SquatDetector::new(&registry);
@@ -86,5 +123,10 @@ fn bench_scan_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_classify, bench_scan_threads);
+criterion_group!(
+    benches,
+    bench_classify,
+    bench_classify_legacy_vs_fingerprint,
+    bench_scan_threads
+);
 criterion_main!(benches);

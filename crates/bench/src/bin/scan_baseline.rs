@@ -2,24 +2,37 @@
 //! so the throughput trajectory of the hot path stays on record.
 //!
 //! ```text
-//! cargo run --release -p squatphi-bench --bin scan_baseline [out.json]
+//! cargo run --release -p squatphi-bench --bin scan_baseline [out.json] [--assert-scaling]
 //! ```
 //!
 //! The workload matches `benches/scan.rs` (50k-record synthetic snapshot,
 //! paper-scale registry). Numbers are machine-dependent; the file is a
 //! trajectory record, not a CI gate — compare ratios, not absolutes.
 //! `BENCH_QUICK=1` runs a single iteration for smoke testing.
+//!
+//! `--assert-scaling` exits non-zero if the 8-thread records/sec falls
+//! below the 1-thread number (the flat-scaling regression PR 6 fixed);
+//! the CI scan-bench smoke runs with it.
 
 use squatphi_dnsdb::{scan_with_metrics, synth, ScanMetrics, SnapshotConfig};
 use squatphi_squat::{BrandRegistry, SquatDetector};
 use std::fmt::Write as _;
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_scan.json".to_string());
+    let mut out_path = "BENCH_scan.json".to_string();
+    let mut assert_scaling = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--assert-scaling" {
+            assert_scaling = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let quick = std::env::var_os("BENCH_QUICK").is_some();
-    let iterations = if quick { 1 } else { 5 };
+    // Best-of-N: each scan is ~25 ms, so a generous N costs little and
+    // keeps a noisy neighbour on the benchmark box from masquerading as
+    // a throughput regression.
+    let iterations = if quick { 1 } else { 12 };
 
     let registry = BrandRegistry::paper();
     let detector = SquatDetector::new(&registry);
@@ -51,6 +64,7 @@ fn main() {
     let _ = writeln!(json, "  \"runs\": [");
 
     let thread_counts = [1usize, 2, 4, 8];
+    let mut per_thread_rps = Vec::new();
     for (ti, &threads) in thread_counts.iter().enumerate() {
         // Best-of-N wall clock; counters are identical across iterations.
         let mut best: Option<ScanMetrics> = None;
@@ -63,10 +77,13 @@ fn main() {
             }
         }
         let m = best.expect("at least one iteration");
+        per_thread_rps.push((threads, m.records_per_sec()));
         eprintln!(
-            "[scan_baseline] {threads} thread(s): {:.0} records/s ({} matches)",
+            "[scan_baseline] {threads} thread(s): {:.0} records/s ({} matches, {}/{} workers)",
             m.records_per_sec(),
-            matches
+            matches,
+            m.actual_workers(),
+            m.requested_workers,
         );
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"threads\": {threads},");
@@ -81,7 +98,14 @@ fn main() {
             m.wall.as_secs_f64() * 1e3
         );
         let _ = writeln!(json, "      \"matches\": {matches},");
+        let _ = writeln!(
+            json,
+            "      \"requested_workers\": {},",
+            m.requested_workers
+        );
+        let _ = writeln!(json, "      \"actual_workers\": {},", m.actual_workers());
         let _ = writeln!(json, "      \"probes\": {},", m.probes());
+        let _ = writeln!(json, "      \"deep_probes\": {},", m.deep_probes());
         let _ = writeln!(
             json,
             "      \"allocations_avoided\": {},",
@@ -107,4 +131,27 @@ fn main() {
         std::process::exit(2);
     });
     eprintln!("[scan_baseline] baseline written to {out_path}");
+
+    if assert_scaling {
+        let rps_1 = per_thread_rps
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .map(|(_, r)| *r)
+            .expect("1-thread run present");
+        let rps_8 = per_thread_rps
+            .iter()
+            .find(|(t, _)| *t == 8)
+            .map(|(_, r)| *r)
+            .expect("8-thread run present");
+        if rps_8 < rps_1 {
+            eprintln!(
+                "[scan_baseline] FAIL: 8-thread throughput ({rps_8:.0} rec/s) regressed below \
+                 1-thread ({rps_1:.0} rec/s)"
+            );
+            std::process::exit(3);
+        }
+        eprintln!(
+            "[scan_baseline] scaling OK: 8-thread {rps_8:.0} rec/s >= 1-thread {rps_1:.0} rec/s"
+        );
+    }
 }

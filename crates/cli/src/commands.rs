@@ -158,10 +158,12 @@ fn scan_zone(path: &str, type_filter: Option<&str>, threads: usize) -> Result<St
     );
     let _ = writeln!(
         out,
-        "  {:.0} records/s over {} workers ({} probes, {} allocations avoided, {} dedupe collisions)",
+        "  {:.0} records/s over {}/{} workers ({} probes, {} past filter, {} allocations avoided, {} dedupe collisions)",
         metrics.records_per_sec(),
-        metrics.workers.len(),
+        metrics.actual_workers(),
+        metrics.requested_workers,
         metrics.probes(),
+        metrics.deep_probes(),
         metrics.allocations_avoided(),
         metrics.dedupe_collisions,
     );

@@ -47,6 +47,7 @@ mod fuzz;
 pub mod justify;
 mod report;
 mod roundtrip;
+mod scan_diff;
 pub mod shrink;
 mod supervision;
 
@@ -103,6 +104,7 @@ impl Budget {
                 dns_fuzz_cases: 700,
                 html_fuzz_cases: 300,
                 supervision_plans: 2,
+                scan_diff_negatives: 1500,
             },
             Budget::Full => Params {
                 registry_size: None,
@@ -114,6 +116,7 @@ impl Budget {
                 dns_fuzz_cases: 5000,
                 html_fuzz_cases: 1500,
                 supervision_plans: 3,
+                scan_diff_negatives: 8000,
             },
         }
     }
@@ -143,6 +146,10 @@ pub(crate) struct Params {
     /// plan is one full `try_run`; one checkpoint/resume scenario rides
     /// on top).
     pub supervision_plans: usize,
+    /// Seeded random domains for the legacy↔fingerprint matcher
+    /// differential (`scan-diff`), on top of the exhaustive generated
+    /// candidates and the snapshot-level scan it always runs.
+    pub scan_diff_negatives: usize,
 }
 
 /// One harness invocation: a seed and a budget.
@@ -186,6 +193,9 @@ pub fn run(config: &ConformanceConfig) -> ConformanceReport {
     report.push(timed("html-fuzz", || fuzz::run_html(config.seed, &params)));
     report.push(timed("supervision", || {
         supervision::run_supervision(config.seed, &params)
+    }));
+    report.push(timed("scan-diff", || {
+        scan_diff::run_scan_diff(config.seed, &params)
     }));
     report
 }

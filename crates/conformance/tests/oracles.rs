@@ -36,6 +36,7 @@ fn ci_budget_run_is_violation_free() {
         "dnswire-fuzz",
         "html-fuzz",
         "supervision",
+        "scan-diff",
     ] {
         assert!(names.contains(&expected), "oracle {expected} missing");
         let o = report.oracles.iter().find(|o| o.name == expected).unwrap();

@@ -39,7 +39,7 @@ use std::time::Duration;
 
 /// Checkpoint format version; bumped on any codec change so old files
 /// invalidate instead of mis-decoding.
-const VERSION: u64 = 1;
+const VERSION: u64 = 2;
 
 /// Seed of the config-hash content key.
 const HASH_SEED: u64 = 0xc4ec_4b01;
@@ -196,10 +196,12 @@ impl CheckpointStore {
             .iter()
             .map(|w| {
                 format!(
-                    "{{\"records\": {}, \"invalid\": {}, \"probes\": {}, \"allocations_avoided\": {}, \"elapsed_nanos\": {}}}",
+                    "{{\"records\": {}, \"invalid\": {}, \"blocks\": {}, \"probes\": {}, \"deep_probes\": {}, \"allocations_avoided\": {}, \"elapsed_nanos\": {}}}",
                     w.records,
                     w.invalid,
+                    w.blocks,
                     w.probes,
+                    w.deep_probes,
                     w.allocations_avoided,
                     w.elapsed.as_nanos() as u64
                 )
@@ -207,13 +209,14 @@ impl CheckpointStore {
             .collect::<Vec<_>>()
             .join(",\n");
         let body = format!(
-            "{{\n{},\n\"scanned\": {},\n\"invalid\": {},\n\"by_type\": [{}],\n\"by_brand\": [{}],\n\"matches\": [\n{}\n],\n\"metrics\": {{\"dedupe_collisions\": {}, \"wall_nanos\": {}, \"workers\": [\n{}\n]}}\n}}\n",
+            "{{\n{},\n\"scanned\": {},\n\"invalid\": {},\n\"by_type\": [{}],\n\"by_brand\": [{}],\n\"matches\": [\n{}\n],\n\"metrics\": {{\"requested_workers\": {}, \"dedupe_collisions\": {}, \"wall_nanos\": {}, \"workers\": [\n{}\n]}}\n}}\n",
             self.header(PipelineStage::Scan),
             outcome.scanned,
             outcome.invalid,
             join_usize(&outcome.by_type),
             join_usize(&outcome.by_brand),
             matches,
+            metrics.requested_workers,
             metrics.dedupe_collisions,
             metrics.wall.as_nanos() as u64,
             workers,
@@ -462,7 +465,9 @@ fn decode_scan(v: &json::Value) -> Option<(ScanOutcome, ScanMetrics)> {
         workers.push(WorkerMetrics {
             records: w.get("records")?.as_usize()?,
             invalid: w.get("invalid")?.as_usize()?,
+            blocks: w.get("blocks")?.as_usize()?,
             probes: w.get("probes")?.as_u64()?,
+            deep_probes: w.get("deep_probes")?.as_u64()?,
             allocations_avoided: w.get("allocations_avoided")?.as_u64()?,
             elapsed: Duration::from_nanos(w.get("elapsed_nanos")?.as_u64()?),
         });
@@ -477,6 +482,7 @@ fn decode_scan(v: &json::Value) -> Option<(ScanOutcome, ScanMetrics)> {
         },
         ScanMetrics {
             workers,
+            requested_workers: met.get("requested_workers")?.as_usize()?,
             dedupe_collisions: met.get("dedupe_collisions")?.as_usize()?,
             wall: Duration::from_nanos(met.get("wall_nanos")?.as_u64()?),
         },

@@ -17,7 +17,7 @@ use crate::supervise::{
 };
 use crate::train::{self, EvalReport};
 use squatphi_crawler::{crawl_all, CrawlConfig, CrawlRecord, CrawlStats, InProcessTransport};
-use squatphi_dnsdb::{scan_with_metrics, synth, ScanMetrics, ScanOutcome};
+use squatphi_dnsdb::{synth, try_scan_with_metrics, ScanMetrics, ScanOutcome};
 use squatphi_feeds::{FeedConfig, GroundTruthFeed};
 use squatphi_ml::{Classifier, Dataset, RandomForest};
 use squatphi_squat::{BrandRegistry, SquatDetector, SquatType};
@@ -328,7 +328,21 @@ impl SquatPhi {
                 None => {
                     let (snapshot, _stats) = synth::generate(&config.snapshot, &registry);
                     let detector = SquatDetector::new(&registry);
-                    let out = scan_with_metrics(&snapshot, &registry, &detector, config.threads);
+                    // A worker panic surfaces as a structured StagePanic
+                    // naming the failing shard instead of taking the
+                    // process down (PR 5 supervision contract).
+                    let out =
+                        try_scan_with_metrics(&snapshot, &registry, &detector, config.threads)
+                            .map_err(|e| {
+                                fail(
+                                    PipelineStage::Scan,
+                                    &completed,
+                                    PipelineErrorKind::StagePanic {
+                                        key: format!("scan shard {}", e.shard),
+                                        cause: e.cause,
+                                    },
+                                )
+                            })?;
                     if let Some(store) = &store {
                         store
                             .save_scan(&out.0, &out.1)

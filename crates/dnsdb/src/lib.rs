@@ -23,6 +23,9 @@ pub mod scan;
 pub mod store;
 pub mod synth;
 
-pub use scan::{scan, scan_with_metrics, ScanMetrics, ScanOutcome, SquatRecord, WorkerMetrics};
+pub use scan::{
+    scan, scan_with_metrics, try_scan_with_metrics, ScanError, ScanMetrics, ScanOutcome,
+    SquatRecord, WorkerMetrics,
+};
 pub use store::{DnsRecord, RecordStore};
 pub use synth::{SnapshotConfig, SnapshotStats};

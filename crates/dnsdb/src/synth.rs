@@ -150,7 +150,7 @@ fn plant_squats(
         config.squatting_records - alloc.iter().sum::<usize>().min(config.squatting_records);
     // Give the remainder to the heaviest brands.
     let mut heavy: Vec<usize> = (0..registry.len()).collect();
-    heavy.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite"));
+    heavy.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
     for &b in heavy.iter().cycle().take(registry.len() * 4) {
         if deficit == 0 {
             break;
@@ -173,7 +173,7 @@ fn plant_squats(
             assigned += quota[i];
             fracs.push((i, exact - exact.floor()));
         }
-        fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+        fracs.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (i, _) in fracs.into_iter().take(total - assigned) {
             quota[i] += 1;
         }
@@ -200,7 +200,9 @@ fn plant_squats(
             order.sort_by(|&a, &b| {
                 let ra = quota[a] as f64 / targets[a].max(1) as f64;
                 let rb = quota[b] as f64 / targets[b].max(1) as f64;
-                rb.partial_cmp(&ra).expect("finite ratios")
+                // total_cmp: a degenerate weight config (zero totals, NaN
+                // ratios) must skew the ordering, not panic the synth.
+                rb.total_cmp(&ra)
             });
             let mut placed = false;
             for ti in order {

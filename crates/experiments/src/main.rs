@@ -182,10 +182,12 @@ fn main() {
     );
     let m = &result.scan_metrics;
     eprintln!(
-        "[repro] scan: {:.0} records/s over {} workers, {} probes, {} allocations avoided, {} dedupe collisions",
+        "[repro] scan: {:.0} records/s over {}/{} workers, {} probes ({} past filter), {} allocations avoided, {} dedupe collisions",
         m.records_per_sec(),
-        m.workers.len(),
+        m.actual_workers(),
+        m.requested_workers,
         m.probes(),
+        m.deep_probes(),
         m.allocations_avoided(),
         m.dedupe_collisions,
     );

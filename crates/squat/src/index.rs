@@ -1,0 +1,399 @@
+//! The unified compact fingerprint index behind [`SquatDetector`].
+//!
+//! The legacy detector probed `HashMap<String, _>` tables: every probe
+//! (one-char deletion, adjacent swap, skeleton fold, affix) re-hashed an
+//! O(len) string with SipHash, so one record cost ~39 string hashes —
+//! ~2 µs per record, which capped the scan near 550k records/sec no
+//! matter how many threads ran. This module replaces the string keys with
+//! 64-bit **rolling polynomial fingerprints**:
+//!
+//! * [`LabelHashes`] computes the prefix hashes of a label once (one pass,
+//!   O(len)), after which the fingerprint of *any* probe variant — a
+//!   deletion at position `i`, an adjacent transposition, a two-byte
+//!   sequence fold, an affix `label[a..b]` — is O(1) arithmetic over the
+//!   prefix array. No probe string is ever materialized on the hot path.
+//! * [`FpTable`] stores the precompiled brand variants keyed by their
+//!   fingerprint behind a **bit filter** (a power-of-two bitset sized at
+//!   16 bits per entry). Benign labels — the overwhelming majority of a
+//!   DNS snapshot — fail the filter on a single L1 load and never touch
+//!   the backing map.
+//! * Fingerprints can collide (they are mod-2⁶⁴ polynomial hashes, not
+//!   cryptographic), so every filter-and-map hit is **verified against
+//!   the stored key bytes** before it is believed. Collisions therefore
+//!   cost one extra comparison; they can never change an answer. This is
+//!   what keeps the new matcher byte-identical to the legacy detector
+//!   (pinned by the `scan-diff` conformance oracle).
+//!
+//! [`SquatDetector`]: crate::SquatDetector
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Polynomial base. Odd so multiplication by it is a bijection mod 2⁶⁴;
+/// the high bits come from the golden ratio to spread consecutive bytes.
+const BASE: u64 = 0x9E37_79B9_7F4A_7C15 | 1;
+
+/// `BASE^k` for `k ≤ 64` (a DNS label is at most 63 octets, and probe
+/// variants never grow a label by more than one byte).
+const POW: [u64; 65] = {
+    let mut p = [1u64; 65];
+    let mut i = 1;
+    while i < 65 {
+        p[i] = p[i - 1].wrapping_mul(BASE);
+        i += 1;
+    }
+    p
+};
+
+/// Fingerprint of an arbitrary byte string (cold paths: IDN decodes,
+/// Unicode skeleton folds — anything already materialized).
+#[inline]
+pub(crate) fn fp(bytes: &[u8]) -> u64 {
+    let mut h = 0u64;
+    for &b in bytes {
+        h = h.wrapping_mul(BASE).wrapping_add(b as u64);
+    }
+    h
+}
+
+/// Extends a fingerprint by one byte (incremental hashing while a fold is
+/// being written into a stack scratch — one pass builds both).
+#[inline]
+pub(crate) fn fp_push(h: u64, b: u8) -> u64 {
+    h.wrapping_mul(BASE).wrapping_add(b as u64)
+}
+
+/// Finalizer decoupling the polynomial structure from table/filter
+/// indices (the low bits of a raw polynomial hash are biased).
+#[inline]
+fn mix(h: u64) -> u64 {
+    let h = (h ^ (h >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 33)
+}
+
+/// Prefix fingerprints of one ASCII label: one O(len) pass, then every
+/// probe variant's fingerprint in O(1).
+pub(crate) struct LabelHashes {
+    /// `prefix[i]` = fingerprint of `bytes[..i]`; `prefix[n]` is the whole
+    /// label. A label is ≤ 63 octets so 64 slots always suffice.
+    prefix: [u64; 64],
+    n: usize,
+}
+
+impl LabelHashes {
+    /// Builds the prefix array. `bytes.len()` must be ≤ 63 (enforced by
+    /// `DomainName::parse` for every label that reaches the detector).
+    #[inline]
+    pub fn new(bytes: &[u8]) -> Self {
+        debug_assert!(bytes.len() <= 63);
+        let mut prefix = [0u64; 64];
+        let mut h = 0u64;
+        for (i, &b) in bytes.iter().enumerate() {
+            h = h.wrapping_mul(BASE).wrapping_add(b as u64);
+            prefix[i + 1] = h;
+        }
+        LabelHashes {
+            prefix,
+            n: bytes.len(),
+        }
+    }
+
+    /// Fingerprint of the whole label.
+    #[inline]
+    pub fn full(&self) -> u64 {
+        self.prefix[self.n & 63]
+    }
+
+    /// Fingerprint of `bytes[a..b]`. (Indices are masked to 63 — always a
+    /// no-op under the length invariant — so the compiler can drop the
+    /// bounds checks on this hot path.)
+    #[inline]
+    pub fn range(&self, a: usize, b: usize) -> u64 {
+        debug_assert!(a <= b && b <= self.n);
+        self.prefix[b & 63].wrapping_sub(self.prefix[a & 63].wrapping_mul(POW[(b - a) & 63]))
+    }
+
+    /// Suffix fingerprints (`fp(bytes[i..])` for every `i`), built in one
+    /// O(len) pass when a caller is about to issue many deletion/swap
+    /// probes: with them each such probe is a single multiply.
+    pub fn suffixes(&self, bytes: &[u8]) -> SuffixHashes {
+        debug_assert_eq!(bytes.len(), self.n);
+        let mut suffix = [0u64; 64];
+        let mut h = 0u64;
+        for i in (0..bytes.len()).rev() {
+            h = (bytes[i] as u64)
+                .wrapping_mul(POW[(self.n - 1 - i) & 63])
+                .wrapping_add(h);
+            suffix[i & 63] = h;
+        }
+        SuffixHashes { suffix }
+    }
+
+    /// Fingerprint of the label with the byte at `i` deleted.
+    #[inline]
+    pub fn deletion(&self, i: usize, s: &SuffixHashes) -> u64 {
+        debug_assert!(i < self.n);
+        self.prefix[i & 63]
+            .wrapping_mul(POW[(self.n - 1 - i) & 63])
+            .wrapping_add(s.suffix[(i + 1) & 63])
+    }
+
+    /// Fingerprint of the label with bytes `i` and `i + 1` transposed.
+    #[inline]
+    pub fn swap(&self, i: usize, bytes: &[u8], s: &SuffixHashes) -> u64 {
+        debug_assert!(i + 1 < self.n);
+        let head = self.prefix[i & 63]
+            .wrapping_mul(BASE)
+            .wrapping_add(bytes[i + 1] as u64)
+            .wrapping_mul(BASE)
+            .wrapping_add(bytes[i] as u64);
+        head.wrapping_mul(POW[(self.n - i - 2) & 63])
+            .wrapping_add(s.suffix[(i + 2) & 63])
+    }
+
+    /// Fingerprint of the label with the two bytes at `pos` replaced by
+    /// the single byte `target` (sequence folds: `rn` → `m`, …).
+    #[inline]
+    pub fn seq_fold(&self, pos: usize, target: u8) -> u64 {
+        debug_assert!(pos + 2 <= self.n);
+        self.range(0, pos)
+            .wrapping_mul(BASE)
+            .wrapping_add(target as u64)
+            .wrapping_mul(POW[(self.n - pos - 2) & 63])
+            .wrapping_add(self.range(pos + 2, self.n))
+    }
+}
+
+/// Suffix fingerprints of a label (`suffix[i]` = `fp(bytes[i..])`;
+/// `suffix[n]` stays 0, the fingerprint of the empty string). See
+/// [`LabelHashes::suffixes`].
+pub(crate) struct SuffixHashes {
+    suffix: [u64; 64],
+}
+
+/// Pass-through hasher for `u64` fingerprint keys: the fingerprint *is*
+/// the hash (finalized by [`mix`] so bucket indices are unbiased).
+#[derive(Default)]
+pub(crate) struct FpHasher(u64);
+
+impl Hasher for FpHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix(self.0)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; fold defensively anyway.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// A blocked Bloom filter over key fingerprints: each key sets two bits
+/// inside a single 64-bit word, so a membership test is one cache-line
+/// load regardless of table size, with a false-positive rate around
+/// `(bits-per-word / 64)²` (~1.5% at the 16-bits-per-entry sizing) —
+/// 4× sharper than the one-bit-per-key bitset it replaced for the same
+/// memory and fewer loads.
+#[derive(Debug)]
+pub(crate) struct Filter {
+    words: Box<[u64]>,
+    /// `words.len() - 1`; the word count is a power of two.
+    word_mask: u64,
+}
+
+impl Filter {
+    /// Builds the filter from raw (un-mixed) key fingerprints, sized at
+    /// ~16 filter bits per key.
+    pub fn from_fps(fps: impl Iterator<Item = u64>, count: usize) -> Self {
+        let words = (count.max(4) * 16 / 64).next_power_of_two();
+        let mut f = Filter {
+            words: vec![0u64; words].into_boxed_slice(),
+            word_mask: words as u64 - 1,
+        };
+        for h in fps {
+            let (w, bits) = f.slot(h);
+            f.words[w] |= bits;
+        }
+        f
+    }
+
+    /// `(word index, two-bit mask)` for a fingerprint. One multiply
+    /// (multiply-shift hashing: the *high* product bits are well mixed);
+    /// word selection and both bit selections use disjoint high fields.
+    /// This runs for every logical probe, so it is deliberately cheaper
+    /// than the full [`mix`] finalizer the (rarely consulted) map uses.
+    #[inline]
+    fn slot(&self, h: u64) -> (usize, u64) {
+        let m = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        let w = ((m >> 32) & self.word_mask) as usize;
+        let bits = (1u64 << (m >> 58)) | (1u64 << ((m >> 52) & 63));
+        (w, bits)
+    }
+
+    /// False means no key with this fingerprint was inserted.
+    #[inline]
+    pub fn maybe(&self, h: u64) -> bool {
+        let (w, bits) = self.slot(h);
+        self.words[w] & bits == bits
+    }
+}
+
+/// Fingerprint → entries whose keys share it (collisions are kept,
+/// verified at probe time; insertion order is preserved per bucket).
+type Buckets<V> = HashMap<u64, Vec<(Box<str>, V)>, BuildHasherDefault<FpHasher>>;
+
+/// A fingerprint-keyed variant table: bit filter in front, exact-key
+/// verification behind. `V` is the payload (a brand id, or the ordered
+/// `(brand, position)` entries of a shared deletion string).
+pub(crate) struct FpTable<V> {
+    /// Blocked Bloom filter over the key fingerprints.
+    filter: Filter,
+    map: Buckets<V>,
+}
+
+impl<V> std::fmt::Debug for FpTable<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FpTable")
+            .field("keys", &self.map.values().map(Vec::len).sum::<usize>())
+            .field("filter_bits", &(self.filter.words.len() * 64))
+            .finish()
+    }
+}
+
+impl<V> FpTable<V> {
+    /// Builds the table from `(key, payload)` pairs. Keys must be unique
+    /// (group multi-valued payloads before building); pair order is
+    /// preserved within a colliding fingerprint bucket.
+    pub fn build(items: Vec<(String, V)>) -> Self {
+        let mut map: Buckets<V> =
+            HashMap::with_capacity_and_hasher(items.len(), BuildHasherDefault::default());
+        let count = items.len();
+        for (key, v) in items {
+            let h = fp(key.as_bytes());
+            map.entry(h).or_default().push((key.into_boxed_str(), v));
+        }
+        let filter = Filter::from_fps(map.keys().copied(), count);
+        FpTable { filter, map }
+    }
+
+    /// The distinct key fingerprints in the table (for building union
+    /// filters across several tables).
+    pub fn fingerprints(&self) -> impl Iterator<Item = u64> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// The filter probe: false means no key in the table can have this
+    /// fingerprint (one L1 load; this is what most benign probes cost).
+    #[inline]
+    pub fn maybe(&self, h: u64) -> bool {
+        self.filter.maybe(h)
+    }
+
+    /// Looks the fingerprint up and verifies candidate keys with
+    /// `verify` (exact byte comparison against the probe variant the
+    /// caller is testing). Returns the first verified payload.
+    #[inline]
+    pub fn get(&self, h: u64, verify: impl Fn(&str) -> bool) -> Option<&V> {
+        self.map
+            .get(&h)?
+            .iter()
+            .find(|(k, _)| verify(k))
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_matches_label_hashes_full() {
+        for s in ["", "a", "facebook", "go-uberfreight"] {
+            assert_eq!(fp(s.as_bytes()), LabelHashes::new(s.as_bytes()).full());
+        }
+    }
+
+    #[test]
+    fn deletion_fingerprints_match_materialized() {
+        let s = b"facebook";
+        let h = LabelHashes::new(s);
+        let suf = h.suffixes(s);
+        for i in 0..s.len() {
+            let mut d = s.to_vec();
+            d.remove(i);
+            assert_eq!(h.deletion(i, &suf), fp(&d), "deletion at {i}");
+        }
+    }
+
+    #[test]
+    fn swap_fingerprints_match_materialized() {
+        let s = b"paypal";
+        let h = LabelHashes::new(s);
+        let suf = h.suffixes(s);
+        for i in 0..s.len() - 1 {
+            let mut d = s.to_vec();
+            d.swap(i, i + 1);
+            assert_eq!(h.swap(i, s, &suf), fp(&d), "swap at {i}");
+        }
+    }
+
+    #[test]
+    fn seq_fold_fingerprints_match_materialized() {
+        let s = b"fernrnart";
+        let h = LabelHashes::new(s);
+        for pos in [3, 5] {
+            let mut d = s.to_vec();
+            d[pos] = b'm';
+            d.remove(pos + 1);
+            assert_eq!(h.seq_fold(pos, b'm'), fp(&d), "fold at {pos}");
+        }
+    }
+
+    #[test]
+    fn range_fingerprints_match_materialized() {
+        let s = b"go-uberfreight";
+        let h = LabelHashes::new(s);
+        for a in 0..s.len() {
+            for b in a..=s.len() {
+                assert_eq!(h.range(a, b), fp(&s[a..b]), "range {a}..{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_probes_verify_keys() {
+        let table = FpTable::build(vec![
+            ("facebook".to_string(), 1usize),
+            ("paypal".to_string(), 2),
+        ]);
+        let h = fp(b"facebook");
+        assert!(table.maybe(h));
+        assert_eq!(table.get(h, |k| k == "facebook"), Some(&1));
+        // Same fingerprint, failing verification: no answer.
+        assert_eq!(table.get(h, |k| k == "faceb00k"), None);
+        // A fingerprint that is not in the table misses the filter (with
+        // overwhelming probability for a 64-entry filter and two keys).
+        assert!(
+            !table.maybe(fp(b"winterpillow")) || table.get(fp(b"winterpillow"), |_| true).is_none()
+        );
+    }
+
+    #[test]
+    fn table_preserves_bucket_order() {
+        // Two payloads under one key are grouped by the caller; per-key
+        // entries keep their insertion order even through collisions.
+        let table = FpTable::build(vec![("abc".to_string(), vec![(1usize, 0usize), (2, 1)])]);
+        let h = fp(b"abc");
+        assert_eq!(
+            table.get(h, |k| k == "abc"),
+            Some(&vec![(1usize, 0usize), (2, 1)])
+        );
+    }
+}
