@@ -2,7 +2,7 @@
 //! ablation (in-process vs the threaded worker pool at different widths).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use squatphi::{SimConfig, SquatPhi};
+use squatphi::{RunOptions, SimConfig, SquatPhi};
 use squatphi_crawler::{crawl_all, CrawlConfig, InProcessTransport};
 use squatphi_squat::{BrandRegistry, SquatType};
 use squatphi_web::{WebWorld, WorldConfig};
@@ -14,7 +14,8 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("tiny_full_run", |b| {
         b.iter(|| {
-            let result = SquatPhi::run(&SimConfig::tiny());
+            let result = SquatPhi::try_run(&SimConfig::tiny(), &RunOptions::default())
+                .expect("tiny pipeline runs clean");
             black_box(result.confirmed_domains().len())
         })
     });

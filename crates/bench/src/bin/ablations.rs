@@ -191,9 +191,10 @@ fn main() {
     println!("\nreinforcement round (feed confirmed detections back into training):");
     {
         use squatphi::reinforce::{reinforce, wild_error_count};
-        use squatphi::{SimConfig, SquatPhi};
+        use squatphi::{RunOptions, SimConfig, SquatPhi};
         let config = SimConfig::tiny();
-        let result = SquatPhi::run(&config);
+        let result =
+            SquatPhi::try_run(&config, &RunOptions::default()).expect("tiny pipeline runs clean");
         let top8 = result.feed.top8(&result.registry);
         let base_pages: Vec<(&str, bool)> = top8
             .iter()

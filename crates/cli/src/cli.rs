@@ -77,6 +77,28 @@ pub enum Command {
         /// regardless of pass/fail so CI can upload shrunk inputs.
         report: Option<String>,
     },
+    /// `squatphi watch [--seed N] [--events N] [--brands N] [--threads N]
+    /// [--stop-after N] [--checkpoint DIR] [--resume] [--json]` — run the
+    /// streaming detection daemon over the seeded registration feed.
+    Watch {
+        /// Stream + world seed.
+        seed: u64,
+        /// Total feed events to consume.
+        events: u64,
+        /// Monitored brands.
+        brands: usize,
+        /// Worker threads (never affects outputs).
+        threads: usize,
+        /// Stop once this many events have been injected (checkpointing
+        /// first when `--checkpoint` is set).
+        stop_after: Option<u64>,
+        /// Watermark checkpoint directory.
+        checkpoint_dir: Option<String>,
+        /// Resume from the watermark checkpoint.
+        resume: bool,
+        /// Emit the machine-readable JSON summary instead of the report.
+        json: bool,
+    },
     /// `squatphi help`.
     Help,
 }
@@ -120,6 +142,12 @@ USAGE:
                                             run the seeded conformance oracles
                                             (differential, round-trip, fuzz);
                                             exits non-zero on any violation
+  squatphi watch [--seed N] [--events N] [--brands N] [--threads N]
+                 [--stop-after N] [--checkpoint DIR] [--resume] [--json]
+                                            streaming detection daemon: ingest
+                                            the seeded registration feed through
+                                            bounded detect + re-crawl stages
+                                            with watermark checkpoints
   squatphi help                             this text
 ";
 
@@ -345,6 +373,87 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 report,
             })
         }
+        "watch" => {
+            let mut seed = 20180401u64;
+            let mut events = 2000u64;
+            let mut brands = 40usize;
+            let mut threads = 4usize;
+            let mut stop_after = None;
+            let mut checkpoint_dir = None;
+            let mut resume = false;
+            let mut json = false;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--seed" => {
+                        i += 1;
+                        seed = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("--seed needs an integer"))?;
+                    }
+                    "--events" => {
+                        i += 1;
+                        events = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err("--events needs a positive integer"))?;
+                    }
+                    "--brands" => {
+                        i += 1;
+                        brands = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err("--brands needs a positive integer"))?;
+                    }
+                    "--threads" => {
+                        i += 1;
+                        threads = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err("--threads needs a positive integer"))?;
+                    }
+                    "--stop-after" => {
+                        i += 1;
+                        stop_after = Some(
+                            rest.get(i)
+                                .and_then(|s| s.parse().ok())
+                                .filter(|&n| n > 0)
+                                .ok_or_else(|| err("--stop-after needs a positive integer"))?,
+                        );
+                    }
+                    "--checkpoint" => {
+                        i += 1;
+                        checkpoint_dir = Some(
+                            rest.get(i)
+                                .ok_or_else(|| err("--checkpoint needs a directory"))?
+                                .to_string(),
+                        );
+                    }
+                    "--resume" => resume = true,
+                    "--json" => json = true,
+                    other => return Err(err(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            if resume && checkpoint_dir.is_none() {
+                return Err(err("--resume requires --checkpoint DIR"));
+            }
+            Ok(Command::Watch {
+                seed,
+                events,
+                brands,
+                threads,
+                stop_after,
+                checkpoint_dir,
+                resume,
+                json,
+            })
+        }
         other => Err(err(format!(
             "unknown subcommand {other:?} (try `squatphi help`)"
         ))),
@@ -535,6 +644,44 @@ mod tests {
         );
         assert!(parse_args(&args("conformance --seed")).is_err());
         assert!(parse_args(&args("conformance bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_watch() {
+        assert_eq!(
+            parse_args(&args("watch")).unwrap(),
+            Command::Watch {
+                seed: 20180401,
+                events: 2000,
+                brands: 40,
+                threads: 4,
+                stop_after: None,
+                checkpoint_dir: None,
+                resume: false,
+                json: false
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "watch --seed 7 --events 500 --brands 12 --threads 2 \
+                 --stop-after 100 --checkpoint ckpt --resume --json"
+            ))
+            .unwrap(),
+            Command::Watch {
+                seed: 7,
+                events: 500,
+                brands: 12,
+                threads: 2,
+                stop_after: Some(100),
+                checkpoint_dir: Some("ckpt".into()),
+                resume: true,
+                json: true
+            }
+        );
+        assert!(parse_args(&args("watch --events 0")).is_err());
+        assert!(parse_args(&args("watch --resume")).is_err());
+        assert!(parse_args(&args("watch --stop-after")).is_err());
+        assert!(parse_args(&args("watch bogus")).is_err());
     }
 
     #[test]

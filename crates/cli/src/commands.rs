@@ -2,7 +2,7 @@
 //! `String` so tests can assert on output without process spawning.
 
 use crate::cli::Command;
-use squatphi::FeatureExtractor;
+use squatphi::{FeatureExtractor, SquatPhi, WatchConfig, WatchOptions};
 use squatphi_crawler::{
     crawl_all, CircuitBreakerPolicy, CrawlConfig, CrawlOutcome, DeadlinePolicy, FaultPlan,
     InProcessTransport, RetryPolicy, TransportStack,
@@ -15,6 +15,7 @@ use squatphi_squat::gen::{generate_all, GenBudget};
 use squatphi_squat::{BrandRegistry, SquatDetector};
 use squatphi_web::{Device, WebWorld, WorldConfig};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Runs a parsed command, returning the report text.
@@ -44,7 +45,114 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             timings,
             report,
         } => conformance(*seed, budget, *json, *timings, report.as_deref()),
+        Command::Watch {
+            seed,
+            events,
+            brands,
+            threads,
+            stop_after,
+            checkpoint_dir,
+            resume,
+            json,
+        } => watch(
+            *seed,
+            *events,
+            *brands,
+            *threads,
+            *stop_after,
+            checkpoint_dir.as_deref(),
+            *resume,
+            *json,
+        ),
     }
+}
+
+/// Runs the streaming watch daemon. An interrupted (`--stop-after`) run
+/// is still a success — the summary reports `interrupted: true` and the
+/// watermark checkpoint (when `--checkpoint` is set) lets a later
+/// `--resume` continue from it.
+#[allow(clippy::too_many_arguments)]
+fn watch(
+    seed: u64,
+    events: u64,
+    brands: usize,
+    threads: usize,
+    stop_after: Option<u64>,
+    checkpoint_dir: Option<&str>,
+    resume: bool,
+    json: bool,
+) -> Result<String, String> {
+    let config = WatchConfig::builder()
+        .seed(seed)
+        .events(events)
+        .brands(brands)
+        .threads(threads)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let opts = WatchOptions {
+        checkpoint_dir: checkpoint_dir.map(PathBuf::from),
+        resume,
+        stop_after,
+    };
+    let summary = SquatPhi::try_watch(&config, &opts).map_err(|e| e.to_string())?;
+    if json {
+        return Ok(summary.to_json());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "watch: seed {} over {} events ({} brands, {} threads){}",
+        summary.seed,
+        summary.events,
+        brands,
+        threads,
+        if summary.interrupted {
+            format!(" — interrupted at watermark {}", summary.watermark)
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(out, "  {}", summary.report_line());
+    let c = &summary.counters;
+    let _ = writeln!(
+        out,
+        "  ingest:    {} accepted, {} dropped (reg {}, churn {}, feed {})",
+        c.accepted,
+        c.dropped(),
+        c.dropped_registrations,
+        c.dropped_churn,
+        c.dropped_feed
+    );
+    let _ = writeln!(
+        out,
+        "  detect:    {} processed, {} squats flagged, {} stalls",
+        c.processed, c.detected, c.detect_stalls
+    );
+    let _ = writeln!(
+        out,
+        "  crawl:     {} jobs ({} first, {} recrawls), {} live, {} takedowns",
+        c.crawl_jobs,
+        c.first_crawls,
+        c.recrawls,
+        c.live_found,
+        c.takedowns + c.churn_takedowns
+    );
+    let _ = writeln!(
+        out,
+        "  tracking:  {} live now, {} pending recrawls, {} blacklisted",
+        summary.tracked, summary.pending_recrawls, c.blacklisted
+    );
+    let _ = writeln!(
+        out,
+        "  transport: {} attempts, {} retries, {} breaker trips",
+        summary.transport.attempts, summary.transport.retries, summary.transport.breaker_trips
+    );
+    let _ = writeln!(
+        out,
+        "  state fingerprint: {:#018x}",
+        summary.state_fingerprint
+    );
+    Ok(out)
 }
 
 /// Runs the conformance oracles. Returns `Err` (→ non-zero exit) when any
@@ -474,6 +582,57 @@ mod tests {
         assert!(chaotic.contains("injected"), "{chaotic}");
         // Same seed, same plan => byte-identical report.
         assert_eq!(chaotic, crawl(FaultPlan::fail_every(2)));
+    }
+
+    #[test]
+    fn watch_reports_and_is_deterministic() {
+        let cmd = |json| Command::Watch {
+            seed: 11,
+            events: 200,
+            brands: 12,
+            threads: 2,
+            stop_after: None,
+            checkpoint_dir: None,
+            resume: false,
+            json,
+        };
+        let out = run(&cmd(false)).expect("runs");
+        assert!(out.contains("watch: seed 11 over 200 events"), "{out}");
+        assert!(out.contains("reconciled"), "{out}");
+        assert!(out.contains("state fingerprint:"), "{out}");
+        // JSON mode is byte-identical across runs (the CI gate).
+        let a = run(&cmd(true)).expect("runs");
+        let b = run(&cmd(true)).expect("runs");
+        assert_eq!(a, b);
+        assert!(a.contains("\"reconciles\": true"), "{a}");
+    }
+
+    #[test]
+    fn watch_stop_after_then_resume_matches_full_run() {
+        let dir = std::env::temp_dir().join(format!("squatphi-cli-watch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = |stop_after, checkpoint_dir, resume| Command::Watch {
+            seed: 11,
+            events: 200,
+            brands: 12,
+            threads: 2,
+            stop_after,
+            checkpoint_dir,
+            resume,
+            json: true,
+        };
+        let full = run(&base(None, None, false)).expect("full run");
+        let stopped = run(&base(
+            Some(80),
+            Some(dir.to_string_lossy().into_owned()),
+            false,
+        ))
+        .expect("interrupted run");
+        assert!(stopped.contains("\"interrupted\": true"), "{stopped}");
+        let resumed =
+            run(&base(None, Some(dir.to_string_lossy().into_owned()), true)).expect("resumed run");
+        assert_eq!(resumed, full, "resume diverged from the full run");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

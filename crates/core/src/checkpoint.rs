@@ -371,7 +371,9 @@ fn io_err(path: &Path, e: &std::io::Error) -> CheckpointError {
     }
 }
 
-fn esc(s: &str) -> String {
+/// JSON string escaper shared by the checkpoint writers (the stream
+/// module's watermark store reuses it).
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -413,7 +415,7 @@ fn parse_redirect(s: &str) -> Option<RedirectClass> {
     })
 }
 
-fn parse_squat_type(s: &str) -> Option<SquatType> {
+pub(crate) fn parse_squat_type(s: &str) -> Option<SquatType> {
     SquatType::ALL.into_iter().find(|t| t.name() == s)
 }
 

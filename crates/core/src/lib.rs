@@ -15,7 +15,11 @@
 //!    features) and [`train`] (NB / KNN / RF with 10-fold CV),
 //! 5. **In-the-wild detection** (§6) — stage 3: classify every crawled
 //!    page, simulate manual verification, and run all the §6 analyses
-//!    ([`analysis`]).
+//!    ([`analysis`]),
+//! 6. **Streaming watch** — [`stream`]: the `squatphi watch` daemon
+//!    consumes a seeded registration feed continuously through bounded
+//!    ingest → detect → crawl stages with watermark checkpoints
+//!    ([`SquatPhi::try_watch`](pipeline::SquatPhi::try_watch)).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +34,7 @@ pub mod features;
 pub mod pipeline;
 pub mod reinforce;
 pub mod snapshots;
+pub mod stream;
 pub mod supervise;
 pub mod train;
 
@@ -39,6 +44,10 @@ pub use config::SimConfig;
 pub use fault::{FaultCounts, PipelineFaultPlan};
 pub use features::FeatureExtractor;
 pub use pipeline::{Detection, PipelineResult, SquatPhi, StageTimings};
+pub use stream::{
+    WatchConfig, WatchConfigBuilder, WatchConfigError, WatchCounters, WatchError, WatchMetrics,
+    WatchOptions, WatchSummary,
+};
 pub use supervise::{
     PipelineError, PipelineErrorKind, PipelineStage, QuarantineEntry, RunOptions, SupervisionReport,
 };

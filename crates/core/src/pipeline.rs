@@ -4,8 +4,8 @@
 //! under a [`Supervisor`] that isolates per-record analyzer panics,
 //! degrades pages whose visual path fails, and (when a checkpoint
 //! directory is configured) persists completed stage outputs so an
-//! interrupted run resumes without recomputation. [`SquatPhi::run`] is
-//! the legacy infallible wrapper.
+//! interrupted run resumes without recomputation. The panicking
+//! [`SquatPhi::run`] wrapper is deprecated in favor of `try_run`.
 
 use crate::artifact::{content_key, AnalysisSnapshot};
 use crate::checkpoint::{CheckpointStore, Loaded};
@@ -43,8 +43,8 @@ pub struct Detection {
 }
 
 /// Wall-clock time per pipeline stage (the four stages of
-/// [`SquatPhi::run`]), aggregated from the stages' own instrumentation
-/// where available.
+/// [`SquatPhi::try_run`]), aggregated from the stages' own
+/// instrumentation where available.
 #[derive(Debug, Clone, Default)]
 pub struct StageTimings {
     /// Stage 1: snapshot synthesis, detector index build and the scan.
@@ -249,6 +249,10 @@ impl SquatPhi {
     /// Thin wrapper over [`SquatPhi::try_run`] with default
     /// [`RunOptions`] (no faults, no checkpoints), under which every
     /// stage is infallible in practice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SquatPhi::try_run and handle the PipelineError"
+    )]
     pub fn run(config: &SimConfig) -> PipelineResult {
         match Self::try_run(config, &RunOptions::default()) {
             Ok(result) => result,
@@ -767,7 +771,17 @@ mod tests {
     fn run() -> &'static PipelineResult {
         use std::sync::OnceLock;
         static RESULT: OnceLock<PipelineResult> = OnceLock::new();
-        RESULT.get_or_init(|| SquatPhi::run(&SimConfig::tiny()))
+        RESULT.get_or_init(|| {
+            SquatPhi::try_run(&SimConfig::tiny(), &RunOptions::default())
+                .expect("tiny pipeline runs clean")
+        })
+    }
+
+    #[test]
+    fn deprecated_run_wrapper_matches_try_run() {
+        #[allow(deprecated)]
+        let legacy = SquatPhi::run(&SimConfig::tiny());
+        assert_eq!(legacy.fingerprint(), run().fingerprint());
     }
 
     #[test]

@@ -148,12 +148,13 @@ pub fn wild_error_count(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SimConfig, SquatPhi};
+    use crate::{RunOptions, SimConfig, SquatPhi};
 
     #[test]
     fn reinforcement_does_not_hurt_and_usually_helps() {
         let config = SimConfig::tiny();
-        let result = SquatPhi::run(&config);
+        let result =
+            SquatPhi::try_run(&config, &RunOptions::default()).expect("tiny pipeline runs clean");
 
         // Rebuild the base ground-truth set the pipeline trained on.
         let top8 = result.feed.top8(&result.registry);

@@ -106,11 +106,12 @@ fn classify_live(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SimConfig, SquatPhi};
+    use crate::{RunOptions, SimConfig, SquatPhi};
 
     #[test]
     fn recrawl_series_decays_but_survives() {
-        let result = SquatPhi::run(&SimConfig::tiny());
+        let result = SquatPhi::try_run(&SimConfig::tiny(), &RunOptions::default())
+            .expect("tiny pipeline runs clean");
         let hits_before = result.extractor.analyzer().metrics().cache_hits;
         let series = recrawl_and_classify(&result, 4);
         // Unchanged snapshot pages are served from the shared cache.

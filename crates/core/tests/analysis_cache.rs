@@ -5,7 +5,7 @@
 
 use squatphi::evasion;
 use squatphi::pipeline::PipelineResult;
-use squatphi::{SimConfig, SquatPhi};
+use squatphi::{RunOptions, SimConfig, SquatPhi};
 use squatphi_dnsdb::SnapshotConfig;
 use squatphi_feeds::FeedConfig;
 use squatphi_web::WorldConfig;
@@ -74,8 +74,10 @@ fn fingerprint(r: &PipelineResult) -> Vec<String> {
 
 #[test]
 fn cache_is_invisible_in_every_pipeline_output() {
-    let with_cache = SquatPhi::run(&micro(true));
-    let without_cache = SquatPhi::run(&micro(false));
+    let with_cache = SquatPhi::try_run(&micro(true), &RunOptions::default())
+        .expect("cache-on pipeline runs clean");
+    let without_cache = SquatPhi::try_run(&micro(false), &RunOptions::default())
+        .expect("cache-off pipeline runs clean");
 
     assert_eq!(
         fingerprint(&with_cache),

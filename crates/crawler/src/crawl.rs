@@ -192,7 +192,7 @@ impl PageCapture {
 }
 
 /// What the crawl concluded about one `(domain, device)` pair — the
-/// structured replacement for ad-hoc `is_live()` probing.
+/// structured replacement for ad-hoc boolean liveness probing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrawlOutcome {
     /// A page was captured.
@@ -252,12 +252,6 @@ impl CrawlRecord {
     pub fn live(&self) -> bool {
         self.outcome(Device::Web) != CrawlOutcome::Dead
             || self.outcome(Device::Mobile) != CrawlOutcome::Dead
-    }
-
-    /// Whether either profile got any page.
-    #[deprecated(note = "use `outcome(device)` or `live()` instead")]
-    pub fn is_live(&self) -> bool {
-        self.live()
     }
 }
 
@@ -586,9 +580,6 @@ mod tests {
                     assert!(r.web.is_none());
                 }
             }
-            #[allow(deprecated)]
-            let legacy = r.is_live();
-            assert_eq!(legacy, r.live());
         }
         assert!(seen_live && seen_dead, "both outcomes present at scale");
     }

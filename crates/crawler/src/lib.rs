@@ -34,6 +34,7 @@ pub mod crawl;
 pub mod error;
 pub mod metrics;
 pub mod middleware;
+pub mod schedule;
 pub mod stats;
 pub mod transport;
 
@@ -49,5 +50,6 @@ pub use middleware::{
     DeadlineTransport, FaultMode, FaultPlan, RetryPolicy, RetryTransport, StackedTransport,
     TransportStack,
 };
+pub use schedule::RecrawlScheduler;
 pub use stats::CrawlStats;
 pub use transport::{InProcessTransport, Transport};

@@ -13,16 +13,21 @@
 //!   [`squatphi_squat::SquatDetector`] over every record (Figure 2),
 //! * [`probe`] — the active-probing path: an async authoritative UDP
 //!   server serving the snapshot zone plus a concurrent probing client,
-//!   mirroring how ActiveDNS actually produces its records.
+//!   mirroring how ActiveDNS actually produces its records,
+//! * [`events`] — the live-feed counterpart of [`synth`]: a seeded,
+//!   random-access stream of registration / churn / feed events on a
+//!   virtual timeline, consumed by the `squatphi watch` daemon.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod probe;
 pub mod scan;
 pub mod store;
 pub mod synth;
 
+pub use events::{EventStream, EventStreamConfig, StreamEvent, TimedEvent};
 pub use scan::{
     scan, scan_with_metrics, try_scan_with_metrics, ScanError, ScanMetrics, ScanOutcome,
     SquatRecord, WorkerMetrics,

@@ -1051,12 +1051,15 @@ fn table13(result: &PipelineResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use squatphi::{SimConfig, SquatPhi};
+    use squatphi::{RunOptions, SimConfig, SquatPhi};
     use std::sync::OnceLock;
 
     fn result() -> &'static PipelineResult {
         static R: OnceLock<PipelineResult> = OnceLock::new();
-        R.get_or_init(|| SquatPhi::run(&SimConfig::tiny()))
+        R.get_or_init(|| {
+            SquatPhi::try_run(&SimConfig::tiny(), &RunOptions::default())
+                .expect("tiny pipeline runs clean")
+        })
     }
 
     #[test]

@@ -299,11 +299,12 @@ impl RunSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use squatphi::{SimConfig, SquatPhi};
+    use squatphi::{RunOptions, SimConfig, SquatPhi};
 
     #[test]
     fn summary_serializes_and_is_consistent() {
-        let result = SquatPhi::run(&SimConfig::tiny());
+        let result = SquatPhi::try_run(&SimConfig::tiny(), &RunOptions::default())
+            .expect("tiny pipeline runs clean");
         let summary = RunSummary::collect(&result);
         assert_eq!(summary.squatting_domains, result.scan.total_matches());
         assert_eq!(summary.models.len(), 3);

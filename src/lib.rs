@@ -1,2 +1,18 @@
 //! Workspace façade. See README.md.
+//!
+//! The service surface lives in the `squatphi` core crate; the façade
+//! re-exports its entry points so downstream code can depend on the
+//! workspace root alone:
+//!
+//! * batch pipeline — [`SquatPhi::try_run`] over a [`SimConfig`] with
+//!   [`RunOptions`], failing with a structured [`PipelineError`];
+//! * streaming daemon — [`SquatPhi::try_watch`] over a validated
+//!   [`WatchConfig`] with [`WatchOptions`], failing with [`WatchError`].
+
 pub use squatphi as core;
+
+pub use squatphi::{
+    CheckpointError, PipelineError, PipelineErrorKind, PipelineResult, RunOptions, SimConfig,
+    SquatPhi, SupervisionReport, WatchConfig, WatchConfigBuilder, WatchConfigError, WatchCounters,
+    WatchError, WatchMetrics, WatchOptions, WatchSummary,
+};

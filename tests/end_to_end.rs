@@ -3,13 +3,16 @@
 
 use squatphi::analysis;
 use squatphi::pipeline::PipelineResult;
-use squatphi::{SimConfig, SquatPhi};
+use squatphi::{RunOptions, SimConfig, SquatPhi};
 use squatphi_web::{Device, SiteBehavior};
 use std::sync::OnceLock;
 
 fn result() -> &'static PipelineResult {
     static R: OnceLock<PipelineResult> = OnceLock::new();
-    R.get_or_init(|| SquatPhi::run(&SimConfig::tiny()))
+    R.get_or_init(|| {
+        SquatPhi::try_run(&SimConfig::tiny(), &RunOptions::default())
+            .expect("tiny pipeline runs clean")
+    })
 }
 
 #[test]
@@ -153,7 +156,8 @@ fn analysis_counters_reconcile_and_split_matches_training() {
 #[test]
 fn pipeline_is_deterministic() {
     // A second tiny run must agree with the shared one on headline counts.
-    let again = SquatPhi::run(&SimConfig::tiny());
+    let again = SquatPhi::try_run(&SimConfig::tiny(), &RunOptions::default())
+        .expect("tiny pipeline runs clean");
     let r = result();
     assert_eq!(again.scan.total_matches(), r.scan.total_matches());
     assert_eq!(again.confirmed_domains().len(), r.confirmed_domains().len());
