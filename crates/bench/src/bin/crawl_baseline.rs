@@ -20,8 +20,8 @@ use squatphi_crawler::{
     RetryPolicy, TransportSnapshot, TransportStack,
 };
 use squatphi_squat::{BrandRegistry, SquatType};
+use squatphi_telemetry::{Json, Registry};
 use squatphi_web::{WebWorld, WorldConfig};
-use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,17 +70,14 @@ fn main() {
         registry.len()
     );
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"workload\": {{");
-    let _ = writeln!(json, "    \"domains\": {},", jobs.len());
-    let _ = writeln!(json, "    \"brands\": {},", registry.len());
-    let _ = writeln!(json, "    \"seed\": 1");
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"iterations\": {iterations},");
-    let _ = writeln!(json, "  \"runs\": [");
+    let mut workload_obj = Json::obj();
+    workload_obj.push("domains", Json::U64(jobs.len() as u64));
+    workload_obj.push("brands", Json::U64(registry.len() as u64));
+    workload_obj.push("seed", Json::U64(1));
 
     let thread_counts = [1usize, 2, 4, 8];
-    for (ti, &threads) in thread_counts.iter().enumerate() {
+    let mut runs = Vec::new();
+    for &threads in &thread_counts {
         let cfg = CrawlConfig::builder()
             .workers(threads)
             .build()
@@ -120,48 +117,29 @@ fn main() {
             rate(plain_best),
             rate(stack_best)
         );
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"threads\": {threads},");
-        let _ = writeln!(
-            json,
-            "      \"plain_wall_ms\": {:.3},",
-            plain_best.as_secs_f64() * 1e3
-        );
-        let _ = writeln!(
-            json,
-            "      \"plain_domains_per_sec\": {:.1},",
-            rate(plain_best)
-        );
-        let _ = writeln!(
-            json,
-            "      \"stack_wall_ms\": {:.3},",
-            stack_best.as_secs_f64() * 1e3
-        );
-        let _ = writeln!(
-            json,
-            "      \"stack_domains_per_sec\": {:.1},",
-            rate(stack_best)
-        );
-        let _ = writeln!(json, "      \"stack_attempts\": {},", snapshot.attempts);
-        let _ = writeln!(json, "      \"stack_successes\": {},", snapshot.successes);
-        let _ = writeln!(json, "      \"stack_retries\": {},", snapshot.retries);
-        let _ = writeln!(
-            json,
-            "      \"stack_errors_total\": {}",
-            snapshot.errors_total()
-        );
-        let _ = writeln!(
-            json,
-            "    }}{}",
-            if ti + 1 < thread_counts.len() {
-                ","
-            } else {
-                ""
-            }
-        );
+        // Counters come back out of the canonical transport telemetry
+        // export, so this file cannot drift from the `--json` schema.
+        let reg = Registry::new();
+        snapshot.export(&reg.scope("transport"));
+        let snap = reg.snapshot();
+        let mut run = Json::obj();
+        run.push("threads", Json::U64(threads as u64));
+        run.push("plain_wall_ms", Json::F64(plain_best.as_secs_f64() * 1e3));
+        run.push("plain_domains_per_sec", Json::F64(rate(plain_best)));
+        run.push("stack_wall_ms", Json::F64(stack_best.as_secs_f64() * 1e3));
+        run.push("stack_domains_per_sec", Json::F64(rate(stack_best)));
+        run.push("stack_attempts", snap.json_value("transport.attempts"));
+        run.push("stack_successes", snap.json_value("transport.successes"));
+        run.push("stack_retries", snap.json_value("transport.retries"));
+        run.push("stack_errors_total", Json::U64(snapshot.errors_total()));
+        runs.push(run);
     }
-    let _ = writeln!(json, "  ]");
-    json.push_str("}\n");
+
+    let mut doc = Json::obj();
+    doc.push("workload", workload_obj);
+    doc.push("iterations", Json::U64(iterations as u64));
+    doc.push("runs", Json::Arr(runs));
+    let json = doc.render() + "\n";
 
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("crawl_baseline: cannot write {out_path}: {e}");

@@ -13,9 +13,9 @@
 
 use squatphi::FeatureExtractor;
 use squatphi_squat::BrandRegistry;
+use squatphi_telemetry::Json;
 use squatphi_web::behavior::{Cloaking, LifetimePattern, PhishingProfile, ScamKind};
 use squatphi_web::pages;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 fn corpus(registry: &BrandRegistry) -> Vec<String> {
@@ -60,16 +60,13 @@ fn main() {
         corpus.len()
     );
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"workload\": {{");
-    let _ = writeln!(json, "    \"distinct_pages\": {},", corpus.len());
-    let _ = writeln!(json, "    \"brands\": {}", registry.len());
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"iterations\": {iterations},");
-    let _ = writeln!(json, "  \"runs\": [");
+    let mut workload_obj = Json::obj();
+    workload_obj.push("distinct_pages", Json::U64(corpus.len() as u64));
+    workload_obj.push("brands", Json::U64(registry.len() as u64));
 
     let batch_sizes = [1usize, 64, 512];
-    for (bi, &size) in batch_sizes.iter().enumerate() {
+    let mut runs = Vec::new();
+    for &size in &batch_sizes {
         let htmls: Vec<&str> = (0..size)
             .map(|i| corpus[i % corpus.len()].as_str())
             .collect();
@@ -107,22 +104,25 @@ fn main() {
             m.cache_hits,
             m.cache_misses,
         );
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"batch\": {size},");
-        let _ = writeln!(json, "      \"threads\": {threads},");
-        let _ = writeln!(json, "      \"cold_ms\": {:.3},", cold_best * 1e3);
-        let _ = writeln!(json, "      \"warm_ms\": {:.3},", warm_best * 1e3);
-        let _ = writeln!(json, "      \"speedup\": {speedup:.2},");
-        let _ = writeln!(json, "      \"cache_hits\": {},", m.cache_hits);
-        let _ = writeln!(json, "      \"cache_misses\": {}", m.cache_misses);
-        let _ = writeln!(
-            json,
-            "    }}{}",
-            if bi + 1 < batch_sizes.len() { "," } else { "" }
-        );
+        // Cache counters are read back from the analyzer's live telemetry
+        // registry — the same counters `--json` surfaces serialize.
+        let snap = fx.analyzer().telemetry().snapshot();
+        let mut run = Json::obj();
+        run.push("batch", Json::U64(size as u64));
+        run.push("threads", Json::U64(threads as u64));
+        run.push("cold_ms", Json::F64(cold_best * 1e3));
+        run.push("warm_ms", Json::F64(warm_best * 1e3));
+        run.push("speedup", Json::F64(speedup));
+        run.push("cache_hits", snap.json_value("analysis.cache_hits"));
+        run.push("cache_misses", snap.json_value("analysis.cache_misses"));
+        runs.push(run);
     }
-    let _ = writeln!(json, "  ]");
-    json.push_str("}\n");
+
+    let mut doc = Json::obj();
+    doc.push("workload", workload_obj);
+    doc.push("iterations", Json::U64(iterations as u64));
+    doc.push("runs", Json::Arr(runs));
+    let json = doc.render() + "\n";
 
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("features_baseline: cannot write {out_path}: {e}");

@@ -5,10 +5,19 @@
 //! cargo run --release -p squatphi-bench --bin scan_baseline [out.json] [--assert-scaling]
 //! ```
 //!
-//! The workload matches `benches/scan.rs` (50k-record synthetic snapshot,
-//! paper-scale registry). Numbers are machine-dependent; the file is a
-//! trajectory record, not a CI gate — compare ratios, not absolutes.
-//! `BENCH_QUICK=1` runs a single iteration for smoke testing.
+//! The workload is a 500k-record synthetic snapshot over the paper-scale
+//! registry — an order of magnitude past the unit-bench size, so
+//! per-block overheads (sharding, dedupe, worker handoff) show up in the
+//! numbers instead of drowning in startup cost. Numbers are
+//! machine-dependent; the file is a trajectory record, not a CI gate —
+//! compare ratios, not absolutes. `BENCH_QUICK=1` runs a single
+//! iteration for smoke testing.
+//!
+//! Per-run counters are read back from the same telemetry registry
+//! export every other surface uses (`ScanOutcome::export` +
+//! `ScanMetrics::export`) and rendered with the shared JSON encoder, so
+//! the baseline cannot drift from the `--json` schema. Timing values are
+//! deliberately kept — measuring them is the point of a benchmark.
 //!
 //! `--assert-scaling` exits non-zero if the 8-thread records/sec falls
 //! below the 1-thread number (the flat-scaling regression PR 6 fixed);
@@ -16,7 +25,7 @@
 
 use squatphi_dnsdb::{scan_with_metrics, synth, ScanMetrics, SnapshotConfig};
 use squatphi_squat::{BrandRegistry, SquatDetector};
-use std::fmt::Write as _;
+use squatphi_telemetry::{Json, Registry};
 
 fn main() {
     let mut out_path = "BENCH_scan.json".to_string();
@@ -29,16 +38,16 @@ fn main() {
         }
     }
     let quick = std::env::var_os("BENCH_QUICK").is_some();
-    // Best-of-N: each scan is ~25 ms, so a generous N costs little and
-    // keeps a noisy neighbour on the benchmark box from masquerading as
-    // a throughput regression.
+    // Best-of-N: a 500k-record scan is a few hundred ms, so a healthy N
+    // still finishes in seconds and keeps a noisy neighbour on the
+    // benchmark box from masquerading as a throughput regression.
     let iterations = if quick { 1 } else { 12 };
 
     let registry = BrandRegistry::paper();
     let detector = SquatDetector::new(&registry);
     let cfg = SnapshotConfig {
-        benign_records: 50_000,
-        squatting_records: 200,
+        benign_records: 500_000,
+        squatting_records: 2_000,
         subdomain_fraction: 0.25,
         seed: 1,
     };
@@ -49,23 +58,16 @@ fn main() {
         registry.len()
     );
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"workload\": {{");
-    let _ = writeln!(json, "    \"records\": {},", store.len());
-    let _ = writeln!(json, "    \"brands\": {},", registry.len());
-    let _ = writeln!(
-        json,
-        "    \"squatting_records\": {},",
-        cfg.squatting_records
-    );
-    let _ = writeln!(json, "    \"seed\": {}", cfg.seed);
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"iterations\": {iterations},");
-    let _ = writeln!(json, "  \"runs\": [");
+    let mut workload = Json::obj();
+    workload.push("records", Json::U64(store.len() as u64));
+    workload.push("brands", Json::U64(registry.len() as u64));
+    workload.push("squatting_records", Json::U64(cfg.squatting_records as u64));
+    workload.push("seed", Json::U64(cfg.seed));
 
     let thread_counts = [1usize, 2, 4, 8];
     let mut per_thread_rps = Vec::new();
-    for (ti, &threads) in thread_counts.iter().enumerate() {
+    let mut runs = Vec::new();
+    for &threads in &thread_counts {
         // Best-of-N wall clock; counters are identical across iterations.
         let mut best: Option<ScanMetrics> = None;
         let mut matches = 0usize;
@@ -85,46 +87,38 @@ fn main() {
             m.actual_workers(),
             m.requested_workers,
         );
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"threads\": {threads},");
-        let _ = writeln!(
-            json,
-            "      \"records_per_sec\": {:.1},",
-            m.records_per_sec()
+        // The run row is a view over the canonical telemetry export, not
+        // a hand-maintained parallel schema.
+        let reg = Registry::new();
+        m.export(&reg.scope("scan"));
+        let snap = reg.snapshot();
+        let mut run = Json::obj();
+        run.push("threads", Json::U64(threads as u64));
+        run.push("records_per_sec", snap.json_value("scan.records_per_sec"));
+        run.push(
+            "wall_ms",
+            Json::F64(snap.u64_or_zero("scan.wall_nanos") as f64 / 1e6),
         );
-        let _ = writeln!(
-            json,
-            "      \"wall_ms\": {:.3},",
-            m.wall.as_secs_f64() * 1e3
-        );
-        let _ = writeln!(json, "      \"matches\": {matches},");
-        let _ = writeln!(
-            json,
-            "      \"requested_workers\": {},",
-            m.requested_workers
-        );
-        let _ = writeln!(json, "      \"actual_workers\": {},", m.actual_workers());
-        let _ = writeln!(json, "      \"probes\": {},", m.probes());
-        let _ = writeln!(json, "      \"deep_probes\": {},", m.deep_probes());
-        let _ = writeln!(
-            json,
-            "      \"allocations_avoided\": {},",
-            m.allocations_avoided()
-        );
-        let _ = writeln!(json, "      \"invalid\": {},", m.invalid());
-        let _ = writeln!(json, "      \"dedupe_collisions\": {}", m.dedupe_collisions);
-        let _ = writeln!(
-            json,
-            "    }}{}",
-            if ti + 1 < thread_counts.len() {
-                ","
-            } else {
-                ""
-            }
-        );
+        run.push("matches", Json::U64(matches as u64));
+        for (key, name) in [
+            ("requested_workers", "scan.exec.requested_workers"),
+            ("actual_workers", "scan.exec.actual_workers"),
+            ("probes", "scan.exec.probes"),
+            ("deep_probes", "scan.exec.deep_probes"),
+            ("allocations_avoided", "scan.exec.allocations_avoided"),
+            ("invalid", "scan.exec.invalid"),
+            ("dedupe_collisions", "scan.dedupe_collisions"),
+        ] {
+            run.push(key, snap.json_value(name));
+        }
+        runs.push(run);
     }
-    let _ = writeln!(json, "  ]");
-    json.push_str("}\n");
+
+    let mut doc = Json::obj();
+    doc.push("workload", workload);
+    doc.push("iterations", Json::U64(iterations as u64));
+    doc.push("runs", Json::Arr(runs));
+    let json = doc.render() + "\n";
 
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("scan_baseline: cannot write {out_path}: {e}");

@@ -17,8 +17,8 @@ pub enum Command {
         /// Domains to classify.
         domains: Vec<String>,
     },
-    /// `squatphi scan <zonefile> [--type TYPE] [--threads N]` — scan a
-    /// zone file for squatting domains.
+    /// `squatphi scan <zonefile> [--type TYPE] [--threads N] [--json]
+    /// [--timings]` — scan a zone file for squatting domains.
     Scan {
         /// Zone file path.
         path: String,
@@ -26,11 +26,17 @@ pub enum Command {
         type_filter: Option<String>,
         /// Scan worker threads.
         threads: usize,
+        /// Emit the telemetry snapshot as JSON instead of the report.
+        json: bool,
+        /// Keep wall-clock timing values in the JSON (breaks two-run
+        /// byte-identity, so it is opt-in).
+        timings: bool,
     },
     /// `squatphi crawl <zonefile> [--threads N] [--retries N]
-    /// [--chaos MODE[:CLASS]] [--seed N]` — scan a zone file, rebuild
-    /// the web world for the matches, and crawl it through the full
-    /// transport middleware stack (optionally under fault injection).
+    /// [--chaos MODE[:CLASS]] [--seed N] [--json] [--timings]` — scan a
+    /// zone file, rebuild the web world for the matches, and crawl it
+    /// through the full transport middleware stack (optionally under
+    /// fault injection).
     Crawl {
         /// Zone file path.
         path: String,
@@ -42,6 +48,10 @@ pub enum Command {
         plan: FaultPlan,
         /// World + chaos seed.
         seed: u64,
+        /// Emit the telemetry snapshot as JSON instead of the report.
+        json: bool,
+        /// Keep wall-clock timing values in the JSON (opt-in).
+        timings: bool,
     },
     /// `squatphi page <file.html> [--brand LABEL]` — audit one page:
     /// forms, OCR text, JS indicators, evasion vs the brand page, and a
@@ -98,6 +108,9 @@ pub enum Command {
         resume: bool,
         /// Emit the machine-readable JSON summary instead of the report.
         json: bool,
+        /// Keep wall-clock timing values in the JSON (opt-in; virtual
+        /// `backoff_ns` totals are deterministic and always included).
+        timings: bool,
     },
     /// `squatphi help`.
     Help,
@@ -126,10 +139,10 @@ squatphi — squatting-phishing tooling (IMC '18 reproduction)
 USAGE:
   squatphi gen <brand> [--limit N]          candidate squatting domains
   squatphi classify <domain>...             classify domains against 702 brands
-  squatphi scan <zone-file> [--type T] [--threads N]
+  squatphi scan <zone-file> [--type T] [--threads N] [--json] [--timings]
                                             scan a zone file for squatting
   squatphi crawl <zone-file> [--threads N] [--retries N]
-                 [--chaos MODE[:CLASS]] [--seed N]
+                 [--chaos MODE[:CLASS]] [--seed N] [--json] [--timings]
                                             scan, then crawl the matches through
                                             the fault-tolerant transport stack
                                             (MODE: none | first-K | every-K |
@@ -144,11 +157,16 @@ USAGE:
                                             exits non-zero on any violation
   squatphi watch [--seed N] [--events N] [--brands N] [--threads N]
                  [--stop-after N] [--checkpoint DIR] [--resume] [--json]
+                 [--timings]
                                             streaming detection daemon: ingest
                                             the seeded registration feed through
                                             bounded detect + re-crawl stages
                                             with watermark checkpoints
   squatphi help                             this text
+
+Every --json surface strips wall-clock timing values by default (one
+telemetry-layer rule), so two identical runs emit byte-identical JSON;
+pass --timings to keep them.
 ";
 
 /// Parses argv (without the program name).
@@ -194,6 +212,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut path = None;
             let mut type_filter = None;
             let mut threads = 8usize;
+            let mut json = false;
+            let mut timings = false;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -213,6 +233,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .and_then(|s| s.parse().ok())
                             .ok_or_else(|| err("--threads needs a positive integer"))?;
                     }
+                    "--json" => json = true,
+                    "--timings" => timings = true,
                     other if path.is_none() => path = Some(other.to_string()),
                     other => return Err(err(format!("unexpected argument {other:?}"))),
                 }
@@ -222,6 +244,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 path: path.ok_or_else(|| err("scan needs a zone-file path"))?,
                 type_filter,
                 threads: threads.max(1),
+                json,
+                timings,
             })
         }
         "crawl" => {
@@ -230,6 +254,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut retries = 1usize;
             let mut chaos: Option<String> = None;
             let mut seed = 0u64;
+            let mut json = false;
+            let mut timings = false;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -264,6 +290,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .and_then(|s| s.parse().ok())
                             .ok_or_else(|| err("--seed needs an integer"))?;
                     }
+                    "--json" => json = true,
+                    "--timings" => timings = true,
                     other if path.is_none() => path = Some(other.to_string()),
                     other => return Err(err(format!("unexpected argument {other:?}"))),
                 }
@@ -276,6 +304,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 retries,
                 plan,
                 seed,
+                json,
+                timings,
             })
         }
         "page" => {
@@ -382,6 +412,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut checkpoint_dir = None;
             let mut resume = false;
             let mut json = false;
+            let mut timings = false;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -436,6 +467,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--resume" => resume = true,
                     "--json" => json = true,
+                    "--timings" => timings = true,
                     other => return Err(err(format!("unexpected argument {other:?}"))),
                 }
                 i += 1;
@@ -452,6 +484,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 checkpoint_dir,
                 resume,
                 json,
+                timings,
             })
         }
         other => Err(err(format!(
@@ -543,7 +576,19 @@ mod tests {
             Command::Scan {
                 path: "zone.txt".into(),
                 type_filter: Some("Combo".into()),
-                threads: 4
+                threads: 4,
+                json: false,
+                timings: false
+            }
+        );
+        assert_eq!(
+            parse_args(&args("scan zone.txt --json --timings")).unwrap(),
+            Command::Scan {
+                path: "zone.txt".into(),
+                type_filter: None,
+                threads: 8,
+                json: true,
+                timings: true
             }
         );
         assert!(parse_args(&args("scan --type Combo")).is_err());
@@ -558,12 +603,15 @@ mod tests {
                 threads: 8,
                 retries: 1,
                 plan: FaultPlan::none(),
-                seed: 0
+                seed: 0,
+                json: false,
+                timings: false
             }
         );
         assert_eq!(
             parse_args(&args(
-                "crawl zone.txt --threads 4 --retries 0 --chaos every-2:timeout --seed 9"
+                "crawl zone.txt --threads 4 --retries 0 --chaos every-2:timeout --seed 9 \
+                 --json --timings"
             ))
             .unwrap(),
             Command::Crawl {
@@ -573,7 +621,9 @@ mod tests {
                 plan: FaultPlan::fail_every(2)
                     .with_class(FetchClass::Timeout)
                     .with_seed(9),
-                seed: 9
+                seed: 9,
+                json: true,
+                timings: true
             }
         );
         assert!(parse_args(&args("crawl")).is_err());
@@ -658,13 +708,14 @@ mod tests {
                 stop_after: None,
                 checkpoint_dir: None,
                 resume: false,
-                json: false
+                json: false,
+                timings: false
             }
         );
         assert_eq!(
             parse_args(&args(
                 "watch --seed 7 --events 500 --brands 12 --threads 2 \
-                 --stop-after 100 --checkpoint ckpt --resume --json"
+                 --stop-after 100 --checkpoint ckpt --resume --json --timings"
             ))
             .unwrap(),
             Command::Watch {
@@ -675,7 +726,8 @@ mod tests {
                 stop_after: Some(100),
                 checkpoint_dir: Some("ckpt".into()),
                 resume: true,
-                json: true
+                json: true,
+                timings: true
             }
         );
         assert!(parse_args(&args("watch --events 0")).is_err());

@@ -28,14 +28,18 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             path,
             type_filter,
             threads,
-        } => scan_zone(path, type_filter.as_deref(), *threads),
+            json,
+            timings,
+        } => scan_zone(path, type_filter.as_deref(), *threads, *json, *timings),
         Command::Crawl {
             path,
             threads,
             retries,
             plan,
             seed,
-        } => crawl_zone(path, *threads, *retries, *plan, *seed),
+            json,
+            timings,
+        } => crawl_zone(path, *threads, *retries, *plan, *seed, *json, *timings),
         Command::Page { path, brand } => page(path, brand.as_deref()),
         Command::Render { path, width } => render(path, *width),
         Command::Conformance {
@@ -54,6 +58,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             checkpoint_dir,
             resume,
             json,
+            timings,
         } => watch(
             *seed,
             *events,
@@ -63,6 +68,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             checkpoint_dir.as_deref(),
             *resume,
             *json,
+            *timings,
         ),
     }
 }
@@ -81,6 +87,7 @@ fn watch(
     checkpoint_dir: Option<&str>,
     resume: bool,
     json: bool,
+    timings: bool,
 ) -> Result<String, String> {
     let config = WatchConfig::builder()
         .seed(seed)
@@ -96,7 +103,7 @@ fn watch(
     };
     let summary = SquatPhi::try_watch(&config, &opts).map_err(|e| e.to_string())?;
     if json {
-        return Ok(summary.to_json());
+        return Ok(summary.to_json_with_timings(timings));
     }
     let mut out = String::new();
     let _ = writeln!(
@@ -252,12 +259,38 @@ fn classify(domains: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn scan_zone(path: &str, type_filter: Option<&str>, threads: usize) -> Result<String, String> {
+/// Renders a registry snapshot as the `--json` output, applying the one
+/// telemetry-layer `--timings` rule: wall-clock values are zeroed unless
+/// the caller opted in, so default output is two-run byte-identical.
+fn snapshot_json(reg: &squatphi_telemetry::Registry, timings: bool) -> String {
+    let mut snap = reg.snapshot();
+    if !timings {
+        snap.strip_timings();
+    }
+    let mut out = snap.render();
+    out.push('\n');
+    out
+}
+
+fn scan_zone(
+    path: &str,
+    type_filter: Option<&str>,
+    threads: usize,
+    json: bool,
+    timings: bool,
+) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let store = RecordStore::from_zone(&text).map_err(|e| format!("{path}: {e}"))?;
     let registry = registry();
     let detector = SquatDetector::new(&registry);
     let (outcome, metrics) = scan_with_metrics(&store, &registry, &detector, threads);
+    if json {
+        let reg = squatphi_telemetry::Registry::new();
+        let scope = reg.scope("scan");
+        outcome.export(&scope);
+        metrics.export(&scope);
+        return Ok(snapshot_json(&reg, timings));
+    }
     let mut out = format!(
         "scanned {} records: {} squatting domains ({} invalid records skipped)\n",
         outcome.scanned,
@@ -303,6 +336,8 @@ fn crawl_zone(
     retries: usize,
     plan: FaultPlan,
     seed: u64,
+    json: bool,
+    timings: bool,
 ) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let store = RecordStore::from_zone(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -310,6 +345,11 @@ fn crawl_zone(
     let detector = SquatDetector::new(&registry);
     let (outcome, _) = scan_with_metrics(&store, &registry, &detector, threads);
     if outcome.matches.is_empty() {
+        if json {
+            let reg = squatphi_telemetry::Registry::new();
+            squatphi_crawler::CrawlStats::default().export(&reg.scope("crawl"));
+            return Ok(snapshot_json(&reg, timings));
+        }
         return Ok(format!(
             "scanned {} records: no squatting domains to crawl\n",
             outcome.scanned
@@ -345,6 +385,11 @@ fn crawl_zone(
         .build()
         .map_err(|e| e.to_string())?;
     let (records, stats) = crawl_all(&jobs, &registry, &stack, &cfg);
+    if json {
+        let reg = squatphi_telemetry::Registry::new();
+        stats.export(&reg.scope("crawl"));
+        return Ok(snapshot_json(&reg, timings));
+    }
 
     let mut out = format!(
         "scanned {} records: crawling {} squatting domains over {} workers\n",
@@ -530,6 +575,8 @@ mod tests {
             path: path.to_string_lossy().into_owned(),
             type_filter: None,
             threads: 2,
+            json: false,
+            timings: false,
         })
         .expect("runs");
         assert!(out.contains("2 squatting domains"), "{out}");
@@ -541,12 +588,77 @@ mod tests {
             path: path.to_string_lossy().into_owned(),
             type_filter: Some("Combo".into()),
             threads: 2,
+            json: false,
+            timings: false,
         })
         .expect("runs");
         assert!(combo_only.contains("paypal-cash.com"));
         assert!(!combo_only
             .lines()
             .any(|l| l.contains("faceb00k.pw") && l.contains("Homograph")));
+    }
+
+    #[test]
+    fn scan_json_is_stripped_and_deterministic() {
+        let dir = std::env::temp_dir().join("squatphi-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("scan-json-zone.txt");
+        std::fs::write(
+            &path,
+            "faceb00k.pw.\t300\tIN\tA\t203.0.113.1\n\
+             paypal-cash.com.\t300\tIN\tA\t203.0.113.3\n",
+        )
+        .expect("write");
+        let scan = |timings| {
+            run(&Command::Scan {
+                path: path.to_string_lossy().into_owned(),
+                type_filter: None,
+                threads: 2,
+                json: true,
+                timings,
+            })
+            .expect("runs")
+        };
+        let a = scan(false);
+        // Default JSON strips wall-clock values, so two runs diff clean.
+        assert_eq!(a, scan(false));
+        assert!(a.contains("\"matches\": 2"), "{a}");
+        assert!(a.contains("\"wall_nanos\": 0"), "{a}");
+        assert!(a.contains("\"records_per_sec\": 0.000000"), "{a}");
+        // --timings keeps the same schema with live values.
+        let timed = scan(true);
+        assert!(!timed.contains("\"wall_nanos\": 0"), "{timed}");
+    }
+
+    #[test]
+    fn crawl_json_is_stripped_and_deterministic() {
+        let dir = std::env::temp_dir().join("squatphi-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("crawl-json-zone.txt");
+        std::fs::write(
+            &path,
+            "faceb00k.pw.\t300\tIN\tA\t203.0.113.1\n\
+             paypal-cash.com.\t300\tIN\tA\t203.0.113.3\n",
+        )
+        .expect("write");
+        let crawl = || {
+            run(&Command::Crawl {
+                path: path.to_string_lossy().into_owned(),
+                threads: 1,
+                retries: 1,
+                plan: FaultPlan::fail_every(2),
+                seed: 3,
+                json: true,
+                timings: false,
+            })
+            .expect("runs")
+        };
+        let a = crawl();
+        assert_eq!(a, crawl());
+        assert!(a.contains("\"transport\""), "{a}");
+        assert!(a.contains("\"attempts\""), "{a}");
+        // Virtual backoff totals are deterministic and survive stripping.
+        assert!(a.contains("\"backoff_ns\""), "{a}");
     }
 
     #[test]
@@ -570,6 +682,8 @@ mod tests {
                 retries: 1,
                 plan: chaos,
                 seed: 3,
+                json: false,
+                timings: false,
             })
             .expect("runs")
         };
@@ -595,6 +709,7 @@ mod tests {
             checkpoint_dir: None,
             resume: false,
             json,
+            timings: false,
         };
         let out = run(&cmd(false)).expect("runs");
         assert!(out.contains("watch: seed 11 over 200 events"), "{out}");
@@ -620,6 +735,7 @@ mod tests {
             checkpoint_dir,
             resume,
             json: true,
+            timings: false,
         };
         let full = run(&base(None, None, false)).expect("full run");
         let stopped = run(&base(
@@ -654,7 +770,9 @@ mod tests {
         assert!(run(&Command::Scan {
             path: "/nonexistent/zone".into(),
             type_filter: None,
-            threads: 1
+            threads: 1,
+            json: false,
+            timings: false
         })
         .is_err());
         assert!(run(&Command::Render {

@@ -1,12 +1,14 @@
 //! Harness results and their text/JSON renderings.
 //!
-//! JSON is hand-rolled like `squatphi-experiments::summary` (the workspace
-//! builds without registry access, so no serde). The default rendering is
-//! byte-deterministic for a given seed and budget: per-oracle wall-clock
-//! nanos exist in the struct but are only serialized when the caller
-//! explicitly opts in (`--timings`), so two identical runs diff clean.
+//! JSON goes through the shared [`squatphi_telemetry::Json`] encoder (the
+//! workspace builds without registry access, so no serde). The default
+//! rendering is byte-deterministic for a given seed and budget: per-oracle
+//! wall-clock nanos exist in the struct but are only serialized when the
+//! caller explicitly opts in (`--timings`), so two identical runs diff
+//! clean — the same opt-in rule every other `--json` surface applies.
 
 use squatphi_squat::SquatType;
+use squatphi_telemetry::Json;
 use std::fmt::Write as _;
 
 /// One violating input, minimized by the shrinking loop before reporting.
@@ -73,50 +75,50 @@ impl ConformanceReport {
         self.oracles.iter().map(|o| o.violations.len()).sum()
     }
 
-    /// Pretty JSON (two-space indent). `with_timings` adds per-oracle
-    /// `nanos`; without it the output is a pure function of seed+budget.
+    /// Pretty JSON (two-space indent, shared telemetry encoder).
+    /// `with_timings` adds per-oracle `nanos`; without it the output is a
+    /// pure function of seed+budget.
     pub fn to_json(&self, with_timings: bool) -> String {
-        let mut oracles = String::new();
-        for (i, o) in self.oracles.iter().enumerate() {
-            let mut violations = String::new();
-            for (j, v) in o.violations.iter().enumerate() {
-                let _ = write!(
-                    violations,
-                    "\n        {{\n          \"oracle\": \"{}\",\n          \"input\": \"{}\",\n          \"detail\": \"{}\"\n        }}{}",
-                    json_escape(v.oracle),
-                    json_escape(&v.input),
-                    json_escape(&v.detail),
-                    if j + 1 < o.violations.len() { "," } else { "\n      " },
-                );
-            }
-            let nanos = if with_timings {
-                format!(",\n      \"nanos\": {}", o.nanos)
-            } else {
-                String::new()
-            };
-            let _ = write!(
-                oracles,
-                "\n    {{\n      \"name\": \"{}\",\n      \"cases\": {},\n      \"violations\": [{}]{}\n    }}{}",
-                json_escape(o.name),
-                o.cases,
-                violations,
-                nanos,
-                if i + 1 < self.oracles.len() { "," } else { "\n  " },
-            );
+        let mut coverage = Json::obj();
+        for (ty, n) in SquatType::ALL.iter().zip(self.type_coverage.iter()) {
+            coverage.push(ty.name(), Json::U64(*n));
         }
-        let coverage = SquatType::ALL
+        let oracles = self
+            .oracles
             .iter()
-            .zip(self.type_coverage.iter())
-            .map(|(ty, n)| format!("    \"{}\": {n}", ty.name()))
-            .collect::<Vec<_>>()
-            .join(",\n");
-        format!(
-            "{{\n  \"seed\": {},\n  \"budget\": \"{}\",\n  \"cases\": {},\n  \"violations\": {},\n  \"type_coverage\": {{\n{coverage}\n  }},\n  \"oracles\": [{oracles}]\n}}",
-            self.seed,
-            json_escape(self.budget),
-            self.total_cases(),
-            self.total_violations(),
-        )
+            .map(|o| {
+                let mut entry = Json::obj();
+                entry.push("name", Json::Str(o.name.to_string()));
+                entry.push("cases", Json::U64(o.cases));
+                entry.push(
+                    "violations",
+                    Json::Arr(
+                        o.violations
+                            .iter()
+                            .map(|v| {
+                                let mut violation = Json::obj();
+                                violation.push("oracle", Json::Str(v.oracle.to_string()));
+                                violation.push("input", Json::Str(v.input.clone()));
+                                violation.push("detail", Json::Str(v.detail.clone()));
+                                violation
+                            })
+                            .collect(),
+                    ),
+                );
+                if with_timings {
+                    entry.push("nanos", Json::U64(o.nanos as u64));
+                }
+                entry
+            })
+            .collect();
+        let mut doc = Json::obj();
+        doc.push("seed", Json::U64(self.seed));
+        doc.push("budget", Json::Str(self.budget.to_string()));
+        doc.push("cases", Json::U64(self.total_cases()));
+        doc.push("violations", Json::U64(self.total_violations() as u64));
+        doc.push("type_coverage", coverage);
+        doc.push("oracles", Json::Arr(oracles));
+        doc.render()
     }
 
     /// Human-readable table, `ScanMetrics` report style.
@@ -164,25 +166,6 @@ impl ConformanceReport {
         }
         out
     }
-}
-
-/// Escapes a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -244,6 +227,10 @@ mod tests {
 
     #[test]
     fn escape_covers_controls() {
-        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+        // The report leans on the shared telemetry escaper.
+        assert_eq!(
+            squatphi_telemetry::escape("a\"b\\c\nd\u{1}"),
+            "a\\\"b\\\\c\\nd\\u0001"
+        );
     }
 }

@@ -28,8 +28,8 @@ use squatphi_imghash::{perceptual_hash, ImageHash};
 use squatphi_nlp::{remove_stopwords, tokenize};
 use squatphi_ocr::{try_recognize, OcrConfig};
 use squatphi_render::{render_page, try_render_page, Bitmap, RenderOptions};
+use squatphi_telemetry::{Counter, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -170,24 +170,45 @@ impl AnalysisCache {
     }
 }
 
-/// Shared atomic counters behind [`AnalysisSnapshot`].
-#[derive(Default)]
+/// Shared counters behind [`AnalysisSnapshot`], homed in a telemetry
+/// [`Registry`] under the `analysis.` scope.
 struct AnalysisMetrics {
-    pages: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    collisions: AtomicU64,
-    parse_nanos: AtomicU64,
-    extract_nanos: AtomicU64,
-    render_nanos: AtomicU64,
-    hash_nanos: AtomicU64,
-    ocr_nanos: AtomicU64,
-    embed_nanos: AtomicU64,
+    registry: Registry,
+    pages: Counter,
+    hits: Counter,
+    misses: Counter,
+    collisions: Counter,
+    parse_nanos: Counter,
+    extract_nanos: Counter,
+    render_nanos: Counter,
+    hash_nanos: Counter,
+    ocr_nanos: Counter,
+    embed_nanos: Counter,
+}
+
+impl Default for AnalysisMetrics {
+    fn default() -> Self {
+        let registry = Registry::new();
+        let scope = registry.scope("analysis");
+        AnalysisMetrics {
+            pages: scope.counter("pages"),
+            hits: scope.counter("cache_hits"),
+            misses: scope.counter("cache_misses"),
+            collisions: scope.counter("key_collisions"),
+            parse_nanos: scope.counter("parse_nanos"),
+            extract_nanos: scope.counter("extract_nanos"),
+            render_nanos: scope.counter("render_nanos"),
+            hash_nanos: scope.counter("hash_nanos"),
+            ocr_nanos: scope.counter("ocr_nanos"),
+            embed_nanos: scope.counter("embed_nanos"),
+            registry,
+        }
+    }
 }
 
 impl AnalysisMetrics {
-    fn add_nanos(counter: &AtomicU64, d: Duration) {
-        counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    fn add_nanos(counter: &Counter, d: Duration) {
+        counter.add(d.as_nanos() as u64);
     }
 }
 
@@ -222,9 +243,47 @@ pub struct AnalysisSnapshot {
 
 impl AnalysisSnapshot {
     /// The reconciliation invariant: every page is either a hit or a
-    /// miss, nothing double-counts and nothing is lost.
+    /// miss, nothing double-counts and nothing is lost. Checked
+    /// declaratively against the exported telemetry
+    /// (`analysis.cache_conservation`).
     pub fn reconciles(&self) -> bool {
-        self.pages == self.cache_hits + self.cache_misses
+        let reg = Registry::new();
+        self.export(&reg.scope("analysis"));
+        squatphi_telemetry::invariants::analysis_invariants().all_hold(&reg.snapshot())
+    }
+
+    /// Publishes the snapshot into a telemetry scope (canonically
+    /// `analysis`). The nano counters use timing-rule names, so default
+    /// `--json` output zeroes them.
+    pub fn export(&self, scope: &squatphi_telemetry::Scope) {
+        scope.set_u64("pages", self.pages);
+        scope.set_u64("cache_hits", self.cache_hits);
+        scope.set_u64("cache_misses", self.cache_misses);
+        scope.set_u64("key_collisions", self.key_collisions);
+        scope.set_u64("parse_nanos", self.parse_nanos);
+        scope.set_u64("extract_nanos", self.extract_nanos);
+        scope.set_u64("render_nanos", self.render_nanos);
+        scope.set_u64("hash_nanos", self.hash_nanos);
+        scope.set_u64("ocr_nanos", self.ocr_nanos);
+        scope.set_u64("embed_nanos", self.embed_nanos);
+    }
+
+    /// Reads a snapshot back from an exported scope — the inverse of
+    /// [`AnalysisSnapshot::export`].
+    pub fn from_snapshot(snap: &squatphi_telemetry::Snapshot, prefix: &str) -> AnalysisSnapshot {
+        let get = |leaf: &str| snap.u64_or_zero(&format!("{prefix}.{leaf}"));
+        AnalysisSnapshot {
+            pages: get("pages"),
+            cache_hits: get("cache_hits"),
+            cache_misses: get("cache_misses"),
+            key_collisions: get("key_collisions"),
+            parse_nanos: get("parse_nanos"),
+            extract_nanos: get("extract_nanos"),
+            render_nanos: get("render_nanos"),
+            hash_nanos: get("hash_nanos"),
+            ocr_nanos: get("ocr_nanos"),
+            embed_nanos: get("embed_nanos"),
+        }
     }
 
     /// Fraction of analyze calls served from the cache.
@@ -334,22 +393,22 @@ impl PageAnalyzer {
     /// artifact is shared, never recomputed, and identical to what an
     /// uncached analyzer would produce.
     pub fn analyze(&self, html: &str) -> Arc<PageArtifact> {
-        self.metrics.pages.fetch_add(1, Ordering::Relaxed);
+        self.metrics.pages.inc();
         let Some(cache) = &self.cache else {
-            self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.misses.inc();
             return Arc::new(self.derive(content_key(DEFAULT_CACHE_SEED, html.as_bytes()), html));
         };
         let key = content_key(cache.seed, html.as_bytes());
         match cache.lookup(key, html) {
             Lookup::Hit(artifact) => {
-                self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.hits.inc();
                 artifact
             }
             found => {
                 if matches!(found, Lookup::Collision) {
-                    self.metrics.collisions.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.collisions.inc();
                 }
-                self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.misses.inc();
                 let artifact = Arc::new(self.derive(key, html));
                 cache.insert(key, html, artifact.clone());
                 artifact
@@ -364,8 +423,8 @@ impl PageAnalyzer {
     /// shadow) an unpoisoned request for the same HTML. Counts as one
     /// page and one miss, keeping `AnalysisSnapshot::reconciles` exact.
     pub fn analyze_forced_degraded(&self, html: &str) -> Arc<PageArtifact> {
-        self.metrics.pages.fetch_add(1, Ordering::Relaxed);
-        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.pages.inc();
+        self.metrics.misses.inc();
         let seed = self
             .cache
             .as_ref()
@@ -396,19 +455,23 @@ impl PageAnalyzer {
     /// Reads the counters.
     pub fn metrics(&self) -> AnalysisSnapshot {
         let m = &self.metrics;
-        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         AnalysisSnapshot {
-            pages: load(&m.pages),
-            cache_hits: load(&m.hits),
-            cache_misses: load(&m.misses),
-            key_collisions: load(&m.collisions),
-            parse_nanos: load(&m.parse_nanos),
-            extract_nanos: load(&m.extract_nanos),
-            render_nanos: load(&m.render_nanos),
-            hash_nanos: load(&m.hash_nanos),
-            ocr_nanos: load(&m.ocr_nanos),
-            embed_nanos: load(&m.embed_nanos),
+            pages: m.pages.get(),
+            cache_hits: m.hits.get(),
+            cache_misses: m.misses.get(),
+            key_collisions: m.collisions.get(),
+            parse_nanos: m.parse_nanos.get(),
+            extract_nanos: m.extract_nanos.get(),
+            render_nanos: m.render_nanos.get(),
+            hash_nanos: m.hash_nanos.get(),
+            ocr_nanos: m.ocr_nanos.get(),
+            embed_nanos: m.embed_nanos.get(),
         }
+    }
+
+    /// The registry the analysis counters live in (`analysis.` scope).
+    pub fn telemetry(&self) -> &Registry {
+        &self.metrics.registry
     }
 
     /// The full single-pass derivation (cache miss path). When the

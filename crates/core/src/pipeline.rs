@@ -62,6 +62,18 @@ impl StageTimings {
     pub fn total(&self) -> Duration {
         self.scan + self.crawl + self.train + self.detect
     }
+
+    /// Publishes the stage wall clocks into a telemetry scope (canonically
+    /// `timings`). All names carry the `_nanos` timing suffix, so the
+    /// unified `--timings` rule strips them from default output.
+    pub fn export(&self, scope: &squatphi_telemetry::Scope) {
+        let nanos = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        scope.set_u64("scan_nanos", nanos(self.scan));
+        scope.set_u64("crawl_nanos", nanos(self.crawl));
+        scope.set_u64("train_nanos", nanos(self.train));
+        scope.set_u64("detect_nanos", nanos(self.detect));
+        scope.set_u64("total_nanos", nanos(self.total()));
+    }
 }
 
 /// Everything the pipeline produced — the inputs to every §6 table and
@@ -226,6 +238,29 @@ impl PipelineResult {
         }
         h
     }
+
+    /// Exports every metrics surface of the run into one fresh telemetry
+    /// registry: `scan.`, `crawl.` (with `crawl.transport.`), `analysis.`,
+    /// `supervision.` and `timings.`. This is the registry the `repro`
+    /// summary, the conformance harness and the bench writers read from.
+    pub fn telemetry(&self) -> squatphi_telemetry::Registry {
+        let reg = squatphi_telemetry::Registry::new();
+        let scan = reg.scope("scan");
+        self.scan.export(&scan);
+        self.scan_metrics.export(&scan);
+        self.crawl_stats.export(&reg.scope("crawl"));
+        self.analysis.export(&reg.scope("analysis"));
+        self.supervision.export(&reg.scope("supervision"));
+        self.timings.export(&reg.scope("timings"));
+        reg
+    }
+
+    /// Checks every pipeline conservation identity against the exported
+    /// telemetry in one central pass; `Err` lists all violations.
+    pub fn check_invariants(&self) -> Result<(), Vec<squatphi_telemetry::Violation>> {
+        squatphi_telemetry::invariants::pipeline_invariants()
+            .check_all(&self.telemetry().snapshot())
+    }
 }
 
 /// The system façade.
@@ -244,22 +279,6 @@ fn fail(
 }
 
 impl SquatPhi {
-    /// Runs the full pipeline under `config`, panicking on any error.
-    ///
-    /// Thin wrapper over [`SquatPhi::try_run`] with default
-    /// [`RunOptions`] (no faults, no checkpoints), under which every
-    /// stage is infallible in practice.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SquatPhi::try_run and handle the PipelineError"
-    )]
-    pub fn run(config: &SimConfig) -> PipelineResult {
-        match Self::try_run(config, &RunOptions::default()) {
-            Ok(result) => result,
-            Err(e) => panic!("pipeline failed: {e}"),
-        }
-    }
-
     /// Runs the full pipeline under `config` with supervised stages.
     ///
     /// Per-record analyzer panics in the train/detect stages are caught,
@@ -778,10 +797,26 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_run_wrapper_matches_try_run() {
-        #[allow(deprecated)]
-        let legacy = SquatPhi::run(&SimConfig::tiny());
-        assert_eq!(legacy.fingerprint(), run().fingerprint());
+    fn pipeline_invariants_hold_centrally() {
+        let r = run();
+        if let Err(violations) = r.check_invariants() {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            panic!("{} invariant violations", violations.len());
+        }
+        // The exported registry carries every stage scope.
+        let snap = r.telemetry().snapshot();
+        for name in [
+            "scan.matches",
+            "crawl.web_live",
+            "crawl.transport.attempts",
+            "analysis.pages",
+            "supervision.retries",
+            "timings.total_nanos",
+        ] {
+            assert!(snap.get_u64(name).is_some(), "missing {name}");
+        }
     }
 
     #[test]

@@ -445,21 +445,68 @@ impl WatchCounters {
     /// * detected == first crawls + purged + duplicates + candidate
     ///   backlog (candidate accounting),
     /// * crawl jobs == first crawls + re-crawls.
+    ///
+    /// Checked declaratively against the exported telemetry
+    /// (`squatphi_telemetry::invariants::watch_invariants`).
     pub fn reconciles(&self, ingest_depth: usize, candidate_depth: usize) -> bool {
-        self.injected == self.accepted + self.dropped()
-            && self.accepted == self.processed + ingest_depth as u64
-            && self.processed
-                == self.registrations
-                    + self.churn_hits
-                    + self.churn_misses
-                    + self.feed_hits
-                    + self.feed_misses
-            && self.detected
-                == self.first_crawls
-                    + self.purged_candidates
-                    + self.duplicate_candidates
-                    + candidate_depth as u64
-            && self.crawl_jobs == self.first_crawls + self.recrawls
+        self.violations(ingest_depth, candidate_depth).is_empty()
+    }
+
+    /// The violated identities, if any — the structured report behind
+    /// [`WatchCounters::reconciles`].
+    pub fn violations(
+        &self,
+        ingest_depth: usize,
+        candidate_depth: usize,
+    ) -> Vec<squatphi_telemetry::Violation> {
+        let reg = squatphi_telemetry::Registry::new();
+        let watch = reg.scope("watch");
+        self.export(&watch.scope("counters"));
+        let queues = watch.scope("queues");
+        queues.set_u64("ingest_depth", ingest_depth as u64);
+        queues.set_u64("candidate_depth", candidate_depth as u64);
+        squatphi_telemetry::invariants::watch_invariants()
+            .check_all(&reg.snapshot())
+            .err()
+            .unwrap_or_default()
+    }
+
+    /// Publishes the counters into a telemetry scope (canonically
+    /// `watch.counters`), in declaration order under sorted names.
+    pub fn export(&self, scope: &squatphi_telemetry::Scope) {
+        for (name, value) in self.fields() {
+            scope.set_u64(name, value);
+        }
+    }
+
+    /// Field names and values in declaration (JSON) order — the single
+    /// source for export and encoding.
+    fn fields(&self) -> [(&'static str, u64); 23] {
+        [
+            ("injected", self.injected),
+            ("accepted", self.accepted),
+            ("dropped_registrations", self.dropped_registrations),
+            ("dropped_churn", self.dropped_churn),
+            ("dropped_feed", self.dropped_feed),
+            ("processed", self.processed),
+            ("registrations", self.registrations),
+            ("churn_hits", self.churn_hits),
+            ("churn_misses", self.churn_misses),
+            ("feed_hits", self.feed_hits),
+            ("feed_misses", self.feed_misses),
+            ("detected", self.detected),
+            ("detect_stalls", self.detect_stalls),
+            ("purged_candidates", self.purged_candidates),
+            ("duplicate_candidates", self.duplicate_candidates),
+            ("crawl_jobs", self.crawl_jobs),
+            ("first_crawls", self.first_crawls),
+            ("recrawls", self.recrawls),
+            ("live_found", self.live_found),
+            ("dead_found", self.dead_found),
+            ("takedowns", self.takedowns),
+            ("churn_takedowns", self.churn_takedowns),
+            ("blacklisted", self.blacklisted),
+        ]
     }
 }
 
@@ -546,87 +593,142 @@ impl WatchSummary {
         )
     }
 
+    /// Exports everything into a fresh telemetry registry: run header and
+    /// queue gauges under `watch.`, stage counters under `watch.counters.`,
+    /// transport counters under `watch.transport.`, and the per-sweep
+    /// history length under `watch.sweeps`. [`WatchSummary::to_json`] reads
+    /// back from the snapshot of this registry, so the summary is a typed
+    /// view over it, not a parallel bookkeeping system.
+    pub fn telemetry(&self) -> squatphi_telemetry::Registry {
+        let reg = squatphi_telemetry::Registry::new();
+        let watch = reg.scope("watch");
+        watch.set_u64("seed", self.seed);
+        watch.set_u64("events", self.events);
+        watch.set_bool("interrupted", self.interrupted);
+        watch.set_u64("watermark", self.watermark);
+        watch.set_u64("tick", self.tick);
+        watch.set_u64("state_fingerprint", self.state_fingerprint);
+        watch.set_bool("reconciles", self.reconciles());
+        watch.set_u64("sweeps", self.metrics.len() as u64);
+        self.counters.export(&watch.scope("counters"));
+        let queues = watch.scope("queues");
+        queues.set_u64("ingest_depth", self.ingest_depth);
+        queues.set_u64("candidate_depth", self.candidate_depth);
+        queues.set_u64("tracked", self.tracked);
+        queues.set_u64("pending_recrawls", self.pending_recrawls);
+        self.transport.export(&watch.scope("transport"));
+        reg
+    }
+
     /// Deterministic pretty-printed JSON (stable field order, no
-    /// wall-clock anywhere).
+    /// wall-clock anywhere), rendered by the shared telemetry encoder
+    /// from the exported registry snapshot. Equivalent to
+    /// [`WatchSummary::to_json_with_timings`]`(false)`.
     pub fn to_json(&self) -> String {
-        let c = &self.counters;
-        let t = &self.transport;
-        let metrics = self
-            .metrics
-            .iter()
-            .map(|m| {
-                format!(
-                    "    {{\"tick\": {}, \"injected\": {}, \"processed\": {}, \"ingest_depth\": {}, \"candidate_depth\": {}, \"dropped\": {}, \"stalls\": {}, \"detected\": {}, \"tracked\": {}, \"blacklisted\": {}}}",
-                    m.tick,
-                    m.injected,
-                    m.processed,
-                    m.ingest_depth,
-                    m.candidate_depth,
-                    m.dropped,
-                    m.stalls,
-                    m.detected,
-                    m.tracked,
-                    m.blacklisted,
-                )
-            })
-            .collect::<Vec<_>>()
-            .join(",\n");
-        format!(
-            "{{\n  \"watch\": {{\"seed\": {}, \"events\": {}, \"interrupted\": {}, \"watermark\": {}, \"tick\": {}, \"state_fingerprint\": {}, \"reconciles\": {}}},\n  \"counters\": {},\n  \"queues\": {{\"ingest_depth\": {}, \"candidate_depth\": {}, \"tracked\": {}, \"pending_recrawls\": {}}},\n  \"transport\": {{\"attempts\": {}, \"successes\": {}, \"retries\": {}, \"backoff_ns\": {}, \"errors\": [{}, {}, {}, {}], \"breaker_trips\": {}, \"breaker_short_circuits\": {}}},\n  \"metrics\": [\n{}\n  ]\n}}\n",
-            self.seed,
-            self.events,
-            self.interrupted,
-            self.watermark,
-            self.tick,
-            self.state_fingerprint,
-            self.reconciles(),
-            counters_json(c),
-            self.ingest_depth,
-            self.candidate_depth,
-            self.tracked,
-            self.pending_recrawls,
-            t.attempts,
-            t.successes,
-            t.retries,
-            t.backoff_ns,
-            t.errors[0],
-            t.errors[1],
-            t.errors[2],
-            t.errors[3],
-            t.breaker_trips,
-            t.breaker_short_circuits,
-            metrics,
-        )
+        self.to_json_with_timings(false)
+    }
+
+    /// Like [`WatchSummary::to_json`] but with the workspace-wide
+    /// `--timings` rule applied explicitly: unless `timings` is set, any
+    /// timing-named entry in the exported snapshot is zeroed. The watch
+    /// registry holds no wall-clock values today (`backoff_ns` is virtual
+    /// simulated-clock time, deliberately not a timing name), so both
+    /// forms currently render identically — the flag exists so every
+    /// `--json` surface obeys one rule, including any timing metric a
+    /// later change exports here.
+    pub fn to_json_with_timings(&self, timings: bool) -> String {
+        use squatphi_telemetry::Json;
+        let mut snap = self.telemetry().snapshot();
+        if !timings {
+            snap.strip_timings();
+        }
+        let mut header = Json::obj();
+        for leaf in [
+            "seed",
+            "events",
+            "interrupted",
+            "watermark",
+            "tick",
+            "state_fingerprint",
+            "reconciles",
+        ] {
+            header.push(leaf, snap.json_value(&format!("watch.{leaf}")));
+        }
+        let mut counters = Json::obj();
+        for (name, _) in self.counters.fields() {
+            counters.push(name, snap.json_value(&format!("watch.counters.{name}")));
+        }
+        let mut queues = Json::obj();
+        for leaf in [
+            "ingest_depth",
+            "candidate_depth",
+            "tracked",
+            "pending_recrawls",
+        ] {
+            queues.push(leaf, snap.json_value(&format!("watch.queues.{leaf}")));
+        }
+        let mut transport = Json::obj();
+        for leaf in ["attempts", "successes", "retries", "backoff_ns"] {
+            transport.push(leaf, snap.json_value(&format!("watch.transport.{leaf}")));
+        }
+        transport.push(
+            "errors",
+            Json::Arr(
+                ["timeout", "refused", "truncated", "injected"]
+                    .iter()
+                    .map(|class| snap.json_value(&format!("watch.transport.errors.{class}")))
+                    .collect(),
+            ),
+        );
+        for leaf in ["breaker_trips", "breaker_short_circuits"] {
+            transport.push(leaf, snap.json_value(&format!("watch.transport.{leaf}")));
+        }
+        let mut doc = Json::obj();
+        doc.push("watch", header);
+        doc.push("counters", counters);
+        doc.push("queues", queues);
+        doc.push("transport", transport);
+        doc.push(
+            "metrics",
+            Json::Arr(self.metrics.iter().map(WatchMetrics::to_json).collect()),
+        );
+        let mut out = doc.render();
+        out.push('\n');
+        out
     }
 }
 
+/// Compact single-line counters object for the checkpoint format (the
+/// checkpoint parser expects one line; field order comes from
+/// [`WatchCounters::fields`]).
 fn counters_json(c: &WatchCounters) -> String {
-    format!(
-        "{{\"injected\": {}, \"accepted\": {}, \"dropped_registrations\": {}, \"dropped_churn\": {}, \"dropped_feed\": {}, \"processed\": {}, \"registrations\": {}, \"churn_hits\": {}, \"churn_misses\": {}, \"feed_hits\": {}, \"feed_misses\": {}, \"detected\": {}, \"detect_stalls\": {}, \"purged_candidates\": {}, \"duplicate_candidates\": {}, \"crawl_jobs\": {}, \"first_crawls\": {}, \"recrawls\": {}, \"live_found\": {}, \"dead_found\": {}, \"takedowns\": {}, \"churn_takedowns\": {}, \"blacklisted\": {}}}",
-        c.injected,
-        c.accepted,
-        c.dropped_registrations,
-        c.dropped_churn,
-        c.dropped_feed,
-        c.processed,
-        c.registrations,
-        c.churn_hits,
-        c.churn_misses,
-        c.feed_hits,
-        c.feed_misses,
-        c.detected,
-        c.detect_stalls,
-        c.purged_candidates,
-        c.duplicate_candidates,
-        c.crawl_jobs,
-        c.first_crawls,
-        c.recrawls,
-        c.live_found,
-        c.dead_found,
-        c.takedowns,
-        c.churn_takedowns,
-        c.blacklisted,
-    )
+    let body = c
+        .fields()
+        .iter()
+        .map(|(name, value)| format!("\"{name}\": {value}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
+impl WatchMetrics {
+    /// One per-sweep snapshot as a JSON object (shared-encoder leaf of
+    /// [`WatchSummary::to_json`]'s `metrics` array).
+    pub fn to_json(&self) -> squatphi_telemetry::Json {
+        use squatphi_telemetry::Json;
+        let mut obj = Json::obj();
+        obj.push("tick", Json::U64(self.tick));
+        obj.push("injected", Json::U64(self.injected));
+        obj.push("processed", Json::U64(self.processed));
+        obj.push("ingest_depth", Json::U64(self.ingest_depth));
+        obj.push("candidate_depth", Json::U64(self.candidate_depth));
+        obj.push("dropped", Json::U64(self.dropped));
+        obj.push("stalls", Json::U64(self.stalls));
+        obj.push("detected", Json::U64(self.detected));
+        obj.push("tracked", Json::U64(self.tracked));
+        obj.push("blacklisted", Json::U64(self.blacklisted));
+        obj
+    }
 }
 
 // ---------------------------------------------------------------------------

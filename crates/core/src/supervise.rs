@@ -261,11 +261,47 @@ impl SupervisionReport {
 
     /// The conservation identity: every injected fault is accounted for
     /// exactly once as quarantined, recovered, degraded or truncated —
-    /// nothing double-counts, nothing vanishes.
+    /// nothing double-counts, nothing vanishes. Checked declaratively
+    /// against the exported telemetry (`supervision.*_accounted`).
     pub fn reconciles(&self) -> bool {
-        self.injected.analyzer_panics == self.quarantined_injected() + self.recovered
-            && self.degraded == self.injected.poisoned_pages + self.degraded_natural
-            && self.injected.truncated_records == self.truncated
+        let reg = squatphi_telemetry::Registry::new();
+        self.export(&reg.scope("supervision"));
+        squatphi_telemetry::invariants::supervision_invariants().all_hold(&reg.snapshot())
+    }
+
+    /// Publishes the report into a telemetry scope (canonically
+    /// `supervision`). Stage lists export as counts; the entry detail
+    /// stays on the struct, which remains the typed view.
+    pub fn export(&self, scope: &squatphi_telemetry::Scope) {
+        let injected = scope.scope("injected");
+        injected.set_u64("analyzer_panics", self.injected.analyzer_panics);
+        injected.set_u64("poisoned_pages", self.injected.poisoned_pages);
+        injected.set_u64("truncated_records", self.injected.truncated_records);
+        scope.set_u64("quarantined", self.quarantined.len() as u64);
+        scope.set_u64("quarantined_injected", self.quarantined_injected());
+        scope.set_u64("recovered", self.recovered);
+        scope.set_u64("recovered_natural", self.recovered_natural);
+        scope.set_u64("degraded", self.degraded);
+        scope.set_u64("degraded_natural", self.degraded_natural);
+        scope.set_u64("truncated", self.truncated);
+        scope.set_u64("retries", self.retries);
+        scope.set_u64("resumed_stages", self.resumed_stages.len() as u64);
+        scope.set_u64("checkpointed_stages", self.checkpointed_stages.len() as u64);
+        scope.set_u64(
+            "invalidated_checkpoints",
+            self.invalidated_checkpoints.len() as u64,
+        );
+    }
+
+    /// The violations, if any — the structured report behind
+    /// [`SupervisionReport::reconciles`].
+    pub fn violations(&self) -> Vec<squatphi_telemetry::Violation> {
+        let reg = squatphi_telemetry::Registry::new();
+        self.export(&reg.scope("supervision"));
+        squatphi_telemetry::invariants::supervision_invariants()
+            .check_all(&reg.snapshot())
+            .err()
+            .unwrap_or_default()
     }
 
     /// One-line human report, for CLI/stderr surfaces.

@@ -27,93 +27,128 @@
 //!   breaker without reaching the inner transport.
 
 use crate::error::FetchClass;
-use std::sync::atomic::{AtomicU64, Ordering};
+use squatphi_telemetry::{Counter, Registry, Scope, Snapshot};
 use std::time::Duration;
 
-/// Shared atomic counters for one transport stack / crawl.
-#[derive(Debug, Default)]
+/// Telemetry leaf names for the four [`FetchClass`] indexes, paper order.
+const CLASS_NAMES: [&str; 4] = ["timeout", "refused", "truncated", "injected"];
+
+/// Shared counters for one transport stack / crawl, backed by a
+/// [`Registry`] under the `transport.` scope. The record methods are the
+/// same lock-free atomic adds as before; what changed is that the cells
+/// now live in a telemetry registry, so the same numbers surface in
+/// snapshots, JSON reports and invariant checks without copying.
+#[derive(Debug)]
 pub struct TransportMetrics {
-    attempts: AtomicU64,
-    successes: AtomicU64,
-    retries: AtomicU64,
-    backoff_ns: AtomicU64,
-    errors: [AtomicU64; 4],
-    injected: [AtomicU64; 4],
-    breaker_trips: AtomicU64,
-    breaker_short_circuits: AtomicU64,
-    fetch_deadline_hits: AtomicU64,
-    crawl_deadline_hits: AtomicU64,
+    registry: Registry,
+    attempts: Counter,
+    successes: Counter,
+    retries: Counter,
+    backoff_ns: Counter,
+    errors: [Counter; 4],
+    injected: [Counter; 4],
+    breaker_trips: Counter,
+    breaker_short_circuits: Counter,
+    fetch_deadline_hits: Counter,
+    crawl_deadline_hits: Counter,
+}
+
+impl Default for TransportMetrics {
+    fn default() -> Self {
+        TransportMetrics::new()
+    }
 }
 
 impl TransportMetrics {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters in a private registry.
     pub fn new() -> Self {
-        TransportMetrics::default()
+        let registry = Registry::new();
+        let scope = registry.scope("transport");
+        let errors_scope = scope.scope("errors");
+        let injected_scope = scope.scope("injected");
+        TransportMetrics {
+            attempts: scope.counter("attempts"),
+            successes: scope.counter("successes"),
+            retries: scope.counter("retries"),
+            backoff_ns: scope.counter("backoff_ns"),
+            errors: CLASS_NAMES.map(|name| errors_scope.counter(name)),
+            injected: CLASS_NAMES.map(|name| injected_scope.counter(name)),
+            breaker_trips: scope.counter("breaker_trips"),
+            breaker_short_circuits: scope.counter("breaker_short_circuits"),
+            fetch_deadline_hits: scope.counter("fetch_deadline_hits"),
+            crawl_deadline_hits: scope.counter("crawl_deadline_hits"),
+            registry,
+        }
+    }
+
+    /// The backing registry (counters live under `transport.`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// One engine-issued fetch.
     pub fn record_attempt(&self) {
-        self.attempts.fetch_add(1, Ordering::Relaxed);
+        self.attempts.inc();
     }
 
     /// A fetch that returned `Ok` to the engine.
     pub fn record_success(&self) {
-        self.successes.fetch_add(1, Ordering::Relaxed);
+        self.successes.inc();
     }
 
     /// One extra attempt after a failure, with the (virtual) backoff
     /// that preceded it (`Duration::ZERO` for the engine's immediate
     /// retries).
     pub fn record_retry(&self, backoff: Duration) {
-        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.retries.inc();
         let ns = u64::try_from(backoff.as_nanos()).unwrap_or(u64::MAX);
-        self.backoff_ns.fetch_add(ns, Ordering::Relaxed);
+        self.backoff_ns.add(ns);
     }
 
     /// A fault consumed at some layer (see module docs for the
     /// exactly-once rule).
     pub fn record_error(&self, class: FetchClass) {
-        self.errors[class.index()].fetch_add(1, Ordering::Relaxed);
+        self.errors[class.index()].inc();
     }
 
     /// A fault injected by a chaos plan.
     pub fn record_injected(&self, class: FetchClass) {
-        self.injected[class.index()].fetch_add(1, Ordering::Relaxed);
+        self.injected[class.index()].inc();
     }
 
     /// A circuit breaker opening.
     pub fn record_breaker_trip(&self) {
-        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        self.breaker_trips.inc();
     }
 
     /// A fetch rejected by an open breaker.
     pub fn record_breaker_short_circuit(&self) {
-        self.breaker_short_circuits.fetch_add(1, Ordering::Relaxed);
+        self.breaker_short_circuits.inc();
     }
 
     /// A per-fetch deadline firing.
     pub fn record_fetch_deadline(&self) {
-        self.fetch_deadline_hits.fetch_add(1, Ordering::Relaxed);
+        self.fetch_deadline_hits.inc();
     }
 
     /// The whole-crawl budget firing.
     pub fn record_crawl_deadline(&self) {
-        self.crawl_deadline_hits.fetch_add(1, Ordering::Relaxed);
+        self.crawl_deadline_hits.inc();
     }
 
     /// A consistent copy of all counters.
     pub fn snapshot(&self) -> TransportSnapshot {
         TransportSnapshot {
-            attempts: self.attempts.load(Ordering::Relaxed),
-            successes: self.successes.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            backoff_ns: self.backoff_ns.load(Ordering::Relaxed),
-            errors: self.errors.each_ref().map(|c| c.load(Ordering::Relaxed)),
-            injected: self.injected.each_ref().map(|c| c.load(Ordering::Relaxed)),
-            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
-            breaker_short_circuits: self.breaker_short_circuits.load(Ordering::Relaxed),
-            fetch_deadline_hits: self.fetch_deadline_hits.load(Ordering::Relaxed),
-            crawl_deadline_hits: self.crawl_deadline_hits.load(Ordering::Relaxed),
+            attempts: self.attempts.get(),
+            successes: self.successes.get(),
+            retries: self.retries.get(),
+            backoff_ns: self.backoff_ns.get(),
+            errors: self.errors.each_ref().map(Counter::get),
+            injected: self.injected.each_ref().map(Counter::get),
+            breaker_trips: self.breaker_trips.get(),
+            breaker_short_circuits: self.breaker_short_circuits.get(),
+            fetch_deadline_hits: self.fetch_deadline_hits.get(),
+            crawl_deadline_hits: self.crawl_deadline_hits.get(),
         }
     }
 }
@@ -163,6 +198,44 @@ impl TransportSnapshot {
     /// Injected faults of one class.
     pub fn injected_of(&self, class: FetchClass) -> u64 {
         self.injected[class.index()]
+    }
+
+    /// Publishes the snapshot into a telemetry scope (canonically
+    /// `transport`, or `crawl.transport` / `watch.transport` when nested
+    /// under a stage).
+    pub fn export(&self, scope: &Scope) {
+        scope.set_u64("attempts", self.attempts);
+        scope.set_u64("successes", self.successes);
+        scope.set_u64("retries", self.retries);
+        scope.set_u64("backoff_ns", self.backoff_ns);
+        let errors = scope.scope("errors");
+        let injected = scope.scope("injected");
+        for (i, name) in CLASS_NAMES.iter().enumerate() {
+            errors.set_u64(name, self.errors[i]);
+            injected.set_u64(name, self.injected[i]);
+        }
+        scope.set_u64("breaker_trips", self.breaker_trips);
+        scope.set_u64("breaker_short_circuits", self.breaker_short_circuits);
+        scope.set_u64("fetch_deadline_hits", self.fetch_deadline_hits);
+        scope.set_u64("crawl_deadline_hits", self.crawl_deadline_hits);
+    }
+
+    /// Reads a snapshot back from an exported scope — the inverse of
+    /// [`TransportSnapshot::export`].
+    pub fn from_snapshot(snap: &Snapshot, prefix: &str) -> TransportSnapshot {
+        let get = |leaf: &str| snap.u64_or_zero(&format!("{prefix}.{leaf}"));
+        TransportSnapshot {
+            attempts: get("attempts"),
+            successes: get("successes"),
+            retries: get("retries"),
+            backoff_ns: get("backoff_ns"),
+            errors: CLASS_NAMES.map(|name| get(&format!("errors.{name}"))),
+            injected: CLASS_NAMES.map(|name| get(&format!("injected.{name}"))),
+            breaker_trips: get("breaker_trips"),
+            breaker_short_circuits: get("breaker_short_circuits"),
+            fetch_deadline_hits: get("fetch_deadline_hits"),
+            crawl_deadline_hits: get("crawl_deadline_hits"),
+        }
     }
 
     /// One-line report (`repro` and the `crawl` CLI command print this).
@@ -218,6 +291,26 @@ mod tests {
         assert_eq!(s.fetch_deadline_hits, 1);
         assert_eq!(s.crawl_deadline_hits, 1);
         assert!(s.report_line().contains("2 attempts"));
+    }
+
+    #[test]
+    fn export_round_trips_through_a_snapshot() {
+        let m = TransportMetrics::new();
+        m.record_attempt();
+        m.record_retry(Duration::from_millis(1));
+        m.record_error(FetchClass::ConnectionRefused);
+        m.record_injected(FetchClass::Truncated);
+        m.record_crawl_deadline();
+        let snap = m.snapshot();
+        // The live counters already sit in the backing registry under
+        // `transport.`; re-exporting the plain snapshot must agree.
+        let live = m.registry().snapshot();
+        assert_eq!(live.get_u64("transport.attempts"), Some(1));
+        assert_eq!(live.get_u64("transport.errors.refused"), Some(1));
+        let reg = Registry::new();
+        snap.export(&reg.scope("crawl.transport"));
+        let round = TransportSnapshot::from_snapshot(&reg.snapshot(), "crawl.transport");
+        assert_eq!(round, snap);
     }
 
     #[test]

@@ -71,6 +71,35 @@ impl CrawlStats {
             self.web_no_redirect as f64 / self.web_live as f64
         }
     }
+
+    /// Publishes the aggregates into a telemetry scope (canonically
+    /// `crawl`); the transport counters land under its `transport.`
+    /// subscope.
+    pub fn export(&self, scope: &squatphi_telemetry::Scope) {
+        scope.set_u64("total", self.total as u64);
+        scope.set_u64("web_live", self.web_live as u64);
+        scope.set_u64("mobile_live", self.mobile_live as u64);
+        scope.set_u64("web_no_redirect", self.web_no_redirect as u64);
+        scope.set_u64("web_redirect_original", self.web_redirect_original as u64);
+        scope.set_u64("web_redirect_market", self.web_redirect_market as u64);
+        scope.set_u64("web_redirect_other", self.web_redirect_other as u64);
+        scope.set_u64("mobile_no_redirect", self.mobile_no_redirect as u64);
+        scope.set_u64(
+            "mobile_redirect_original",
+            self.mobile_redirect_original as u64,
+        );
+        scope.set_u64("mobile_redirect_market", self.mobile_redirect_market as u64);
+        scope.set_u64("mobile_redirect_other", self.mobile_redirect_other as u64);
+        self.transport.export(&scope.scope("transport"));
+    }
+
+    /// Whether every live fetch is counted in exactly one redirect class —
+    /// checked declaratively against the exported telemetry.
+    pub fn reconciles(&self) -> bool {
+        let reg = squatphi_telemetry::Registry::new();
+        self.export(&reg.scope("crawl"));
+        squatphi_telemetry::invariants::crawl_invariants().all_hold(&reg.snapshot())
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +138,15 @@ mod tests {
         assert_eq!(s.web_no_redirect, 1);
         assert_eq!(s.web_redirect_market, 1);
         assert_eq!(s.web_redirect_original, 1);
+        assert!(s.reconciles());
+    }
+
+    #[test]
+    fn redirect_leak_fails_reconciliation() {
+        let mut s = CrawlStats::from_records(&[rec("a.com", true, RedirectClass::None)]);
+        // A live fetch with no redirect class accounted for.
+        s.web_live += 1;
+        assert!(!s.reconciles());
     }
 
     #[test]

@@ -70,6 +70,9 @@ pub struct ScanOutcome {
     pub invalid: usize,
 }
 
+/// Telemetry leaf names for [`ScanOutcome::by_type`], paper order.
+const TYPE_NAMES: [&str; 5] = ["homograph", "bits", "typo", "combo", "wrong_tld"];
+
 impl ScanOutcome {
     /// Total squatting domains found.
     pub fn total_matches(&self) -> usize {
@@ -79,6 +82,24 @@ impl ScanOutcome {
     /// Count for one squatting type.
     pub fn count(&self, ty: SquatType) -> usize {
         self.by_type[type_index(ty)]
+    }
+
+    /// Publishes the outcome into a telemetry scope (canonically `scan`).
+    /// Everything exported here is deterministic and thread-count
+    /// invariant; execution-shape data lives in [`ScanMetrics::export`]'s
+    /// `exec.` subscope.
+    pub fn export(&self, scope: &squatphi_telemetry::Scope) {
+        scope.set_u64("scanned", self.scanned as u64);
+        scope.set_u64("invalid", self.invalid as u64);
+        scope.set_u64("matches", self.matches.len() as u64);
+        let by_type = scope.scope("by_type");
+        for (name, count) in TYPE_NAMES.iter().zip(self.by_type.iter()) {
+            by_type.set_u64(name, *count as u64);
+        }
+        scope.set_u64(
+            "by_brand_total",
+            self.by_brand.iter().map(|c| *c as u64).sum(),
+        );
     }
 }
 
@@ -197,6 +218,46 @@ impl ScanMetrics {
         } else {
             0.0
         }
+    }
+
+    /// Publishes the instrumentation into the same scope as
+    /// [`ScanOutcome::export`]. Aggregates that must reconcile with the
+    /// outcome (`exec.records`, `exec.invalid`) and merge statistics land
+    /// at the top level; per-run execution shape (worker counts, the
+    /// worker duration histogram) goes under `exec.` so invariance tests
+    /// can drop it, and wall-clock values use timing-rule names so default
+    /// output strips them.
+    pub fn export(&self, scope: &squatphi_telemetry::Scope) {
+        scope.set_u64("dedupe_collisions", self.dedupe_collisions as u64);
+        scope.set_u64(
+            "wall_nanos",
+            u64::try_from(self.wall.as_nanos()).unwrap_or(u64::MAX),
+        );
+        scope.set_f64("records_per_sec", self.records_per_sec());
+        let exec = scope.scope("exec");
+        exec.set_u64("requested_workers", self.requested_workers as u64);
+        exec.set_u64("actual_workers", self.actual_workers() as u64);
+        exec.set_u64("records", self.records() as u64);
+        exec.set_u64("invalid", self.invalid() as u64);
+        exec.set_u64("blocks", self.workers.iter().map(|w| w.blocks as u64).sum());
+        exec.set_u64("probes", self.probes());
+        exec.set_u64("deep_probes", self.deep_probes());
+        exec.set_u64("allocations_avoided", self.allocations_avoided());
+        let durations = exec.histogram("worker_durations");
+        for w in &self.workers {
+            durations.record(w.elapsed);
+        }
+    }
+
+    /// Whether the scan's conservation identities hold for an exported
+    /// snapshot — the declarative replacement for the ad-hoc assertions
+    /// that used to live in every consumer.
+    pub fn reconciles(outcome: &ScanOutcome, metrics: &ScanMetrics) -> bool {
+        let reg = squatphi_telemetry::Registry::new();
+        let scope = reg.scope("scan");
+        outcome.export(&scope);
+        metrics.export(&scope);
+        squatphi_telemetry::invariants::scan_invariants().all_hold(&reg.snapshot())
     }
 }
 
@@ -690,6 +751,29 @@ mod tests {
         let out = scan(&store, &reg, &det, 1);
         assert_eq!(out.invalid, 1);
         assert_eq!(out.total_matches(), 1);
+    }
+
+    #[test]
+    fn exported_telemetry_reconciles_and_is_thread_invariant() {
+        let reg = BrandRegistry::with_size(20);
+        let (store, _) = generate(&SnapshotConfig::tiny(), &reg);
+        let det = SquatDetector::new(&reg);
+        let mut renders = Vec::new();
+        for threads in [1, 4, 8] {
+            let (out, metrics) = scan_with_metrics(&store, &reg, &det, threads);
+            assert!(ScanMetrics::reconciles(&out, &metrics), "threads={threads}");
+            let telemetry = squatphi_telemetry::Registry::new();
+            let scope = telemetry.scope("scan");
+            out.export(&scope);
+            metrics.export(&scope);
+            let mut snap = telemetry.snapshot();
+            snap.strip_timings();
+            // Execution shape (worker counts, block tallies) legitimately
+            // varies with the thread count; everything else must not.
+            renders.push(snap.retain(|n| !n.starts_with("scan.exec.")).render());
+        }
+        assert_eq!(renders[0], renders[1]);
+        assert_eq!(renders[0], renders[2]);
     }
 
     #[test]

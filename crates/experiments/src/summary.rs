@@ -1,16 +1,19 @@
 //! Machine-readable run summary (serialized by `repro --json`).
 //!
-//! JSON emission is hand-rolled: the summary is a small, fixed shape and
-//! the workspace builds without registry access, so a serde dependency
-//! would buy nothing but a vendored stub. The output matches what
-//! `serde_json::to_string_pretty` produced for the old derive (tuples as
-//! arrays, two-space indent), so downstream consumers are unaffected.
+//! The summary is a typed view over the pipeline's exported telemetry:
+//! [`RunSummary::collect`] reads the migrated stage counters back from
+//! [`PipelineResult::telemetry`]'s registry snapshot (scan, crawl
+//! transport, analysis, supervision) and takes only the ML-specific
+//! numbers (models, detections, blacklist coverage) from the result
+//! directly. JSON emission goes through the shared
+//! [`squatphi_telemetry::Json`] encoder; timing fields are stripped by
+//! the one telemetry-layer rule unless `repro --timings` asked for them.
 
 use squatphi::analysis;
 use squatphi::artifact::AnalysisSnapshot;
 use squatphi::pipeline::PipelineResult;
-use squatphi::SupervisionReport;
 use squatphi_crawler::TransportSnapshot;
+use squatphi_telemetry::{invariants, Json, Registry, Snapshot};
 use squatphi_web::Device;
 
 /// Headline numbers of one pipeline run — everything a dashboard or a
@@ -77,35 +80,37 @@ pub struct SupervisionSummary {
 }
 
 impl SupervisionSummary {
-    fn collect(report: &SupervisionReport) -> Self {
+    /// Reads the supervision block back from an exported `supervision.`
+    /// scope; `reconciles` is the central invariant check over the same
+    /// snapshot.
+    fn from_snapshot(snap: &Snapshot) -> Self {
         SupervisionSummary {
-            injected_panics: report.injected.analyzer_panics,
-            injected_poisons: report.injected.poisoned_pages,
-            injected_truncations: report.injected.truncated_records,
-            quarantined: report.quarantined.len(),
-            recovered: report.recovered,
-            degraded: report.degraded,
-            degraded_natural: report.degraded_natural,
-            truncated: report.truncated,
-            retries: report.retries,
-            reconciles: report.reconciles(),
+            injected_panics: snap.u64_or_zero("supervision.injected.analyzer_panics"),
+            injected_poisons: snap.u64_or_zero("supervision.injected.poisoned_pages"),
+            injected_truncations: snap.u64_or_zero("supervision.injected.truncated_records"),
+            quarantined: snap.u64_or_zero("supervision.quarantined") as usize,
+            recovered: snap.u64_or_zero("supervision.recovered"),
+            degraded: snap.u64_or_zero("supervision.degraded"),
+            degraded_natural: snap.u64_or_zero("supervision.degraded_natural"),
+            truncated: snap.u64_or_zero("supervision.truncated"),
+            retries: snap.u64_or_zero("supervision.retries"),
+            reconciles: invariants::supervision_invariants().all_hold(snap),
         }
     }
 
-    fn to_json(&self) -> String {
-        format!(
-            "{{\n    \"injected_panics\": {},\n    \"injected_poisons\": {},\n    \"injected_truncations\": {},\n    \"quarantined\": {},\n    \"recovered\": {},\n    \"degraded\": {},\n    \"degraded_natural\": {},\n    \"truncated\": {},\n    \"retries\": {},\n    \"reconciles\": {}\n  }}",
-            self.injected_panics,
-            self.injected_poisons,
-            self.injected_truncations,
-            self.quarantined,
-            self.recovered,
-            self.degraded,
-            self.degraded_natural,
-            self.truncated,
-            self.retries,
-            self.reconciles,
-        )
+    fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.push("injected_panics", Json::U64(self.injected_panics));
+        obj.push("injected_poisons", Json::U64(self.injected_poisons));
+        obj.push("injected_truncations", Json::U64(self.injected_truncations));
+        obj.push("quarantined", Json::U64(self.quarantined as u64));
+        obj.push("recovered", Json::U64(self.recovered));
+        obj.push("degraded", Json::U64(self.degraded));
+        obj.push("degraded_natural", Json::U64(self.degraded_natural));
+        obj.push("truncated", Json::U64(self.truncated));
+        obj.push("retries", Json::U64(self.retries));
+        obj.push("reconciles", Json::Bool(self.reconciles));
+        obj
     }
 }
 
@@ -124,6 +129,18 @@ pub struct ModelSummary {
     pub accuracy: f64,
 }
 
+impl ModelSummary {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.push("name", Json::Str(self.name.clone()));
+        obj.push("fpr", Json::F64(self.fpr));
+        obj.push("fnr", Json::F64(self.fnr));
+        obj.push("auc", Json::F64(self.auc));
+        obj.push("accuracy", Json::F64(self.accuracy));
+        obj
+    }
+}
+
 /// Web/mobile pair.
 #[derive(Debug)]
 pub struct DeviceCounts {
@@ -133,45 +150,20 @@ pub struct DeviceCounts {
     pub mobile: usize,
 }
 
-/// Escapes a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Formats a float as a JSON number (non-finite values become 0,
-/// which cannot occur for the rates/AUCs stored here).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "0".into()
-    }
-}
-
 impl DeviceCounts {
-    fn to_json(&self, indent: &str) -> String {
-        format!(
-            "{{\n{indent}  \"web\": {},\n{indent}  \"mobile\": {}\n{indent}}}",
-            self.web, self.mobile
-        )
+    fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.push("web", Json::U64(self.web as u64));
+        obj.push("mobile", Json::U64(self.mobile as u64));
+        obj
     }
 }
 
 impl RunSummary {
-    /// Collects the summary from a pipeline result.
+    /// Collects the summary from a pipeline result, reading every
+    /// migrated stage counter back from the result's telemetry registry.
     pub fn collect(result: &PipelineResult) -> Self {
+        let snap = result.telemetry().snapshot();
         let brands: std::collections::HashSet<usize> = result
             .web_detections
             .iter()
@@ -179,13 +171,15 @@ impl RunSummary {
             .filter(|d| d.confirmed)
             .map(|d| d.brand)
             .collect();
+        let by_type = ["homograph", "bits", "typo", "combo", "wrong_tld"]
+            .map(|name| snap.u64_or_zero(&format!("scan.by_type.{name}")) as usize);
         RunSummary {
-            records_scanned: result.scan.scanned,
-            squatting_domains: result.scan.total_matches(),
-            squatting_by_type: result.scan.by_type,
-            web_live: result.crawl_stats.web_live,
-            crawl_transport: result.crawl_stats.transport.clone(),
-            analysis: result.analysis.clone(),
+            records_scanned: snap.u64_or_zero("scan.scanned") as usize,
+            squatting_domains: snap.u64_or_zero("scan.matches") as usize,
+            squatting_by_type: by_type,
+            web_live: snap.u64_or_zero("crawl.web_live") as usize,
+            crawl_transport: TransportSnapshot::from_snapshot(&snap, "crawl.transport"),
+            analysis: AnalysisSnapshot::from_snapshot(&snap, "analysis"),
             train_split: result.train_split,
             models: result
                 .eval
@@ -210,89 +204,104 @@ impl RunSummary {
             confirmed_domains: result.confirmed_domains().len(),
             targeted_brands: brands.len(),
             blacklist: analysis::blacklist_coverage(result),
-            supervision: SupervisionSummary::collect(&result.supervision),
+            supervision: SupervisionSummary::from_snapshot(&snap),
         }
     }
 
-    /// Zeroes the wall-clock-dependent analyzer counters (the six
-    /// per-stage nano totals), so two runs of the same config serialize
-    /// byte-identically. Counts (pages, hits, misses) are untouched.
-    /// `repro` calls this unless `--timings` is passed.
+    /// Zeroes the wall-clock-dependent counters via the telemetry layer's
+    /// timing rule — the same rule every CLI surface applies — so two
+    /// runs of the same config serialize byte-identically. Counts (pages,
+    /// hits, misses) are untouched. `repro` calls this unless `--timings`
+    /// is passed.
     pub fn strip_timings(&mut self) {
-        self.analysis.parse_nanos = 0;
-        self.analysis.extract_nanos = 0;
-        self.analysis.render_nanos = 0;
-        self.analysis.hash_nanos = 0;
-        self.analysis.ocr_nanos = 0;
-        self.analysis.embed_nanos = 0;
+        let reg = Registry::new();
+        self.analysis.export(&reg.scope("analysis"));
+        let mut snap = reg.snapshot();
+        snap.strip_timings();
+        self.analysis = AnalysisSnapshot::from_snapshot(&snap, "analysis");
     }
 
     /// Pretty-printed JSON (two-space indent, fields in declaration
-    /// order, tuples as arrays).
+    /// order, tuples as arrays), rendered by the shared telemetry
+    /// encoder.
     pub fn to_json_pretty(&self) -> String {
-        let by_type = self
-            .squatting_by_type
-            .iter()
-            .map(|n| format!("    {n}"))
-            .collect::<Vec<_>>()
-            .join(",\n");
-        let models = self
-            .models
-            .iter()
-            .map(|m| {
-                format!(
-                    "    {{\n      \"name\": \"{}\",\n      \"fpr\": {},\n      \"fnr\": {},\n      \"auc\": {},\n      \"accuracy\": {}\n    }}",
-                    json_escape(&m.name),
-                    json_f64(m.fpr),
-                    json_f64(m.fnr),
-                    json_f64(m.auc),
-                    json_f64(m.accuracy),
-                )
-            })
-            .collect::<Vec<_>>()
-            .join(",\n");
-        let (pt, vt, ec, un) = self.blacklist;
         let t = &self.crawl_transport;
-        let arr4 = |a: &[u64; 4]| a.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
-        let transport = format!(
-            "{{\n    \"attempts\": {},\n    \"successes\": {},\n    \"retries\": {},\n    \"errors\": [{}],\n    \"injected\": [{}],\n    \"breaker_trips\": {},\n    \"breaker_short_circuits\": {},\n    \"fetch_deadline_hits\": {},\n    \"crawl_deadline_hits\": {}\n  }}",
-            t.attempts,
-            t.successes,
-            t.retries,
-            arr4(&t.errors),
-            arr4(&t.injected),
-            t.breaker_trips,
-            t.breaker_short_circuits,
-            t.fetch_deadline_hits,
-            t.crawl_deadline_hits,
+        let arr4 = |a: &[u64; 4]| Json::Arr(a.iter().map(|v| Json::U64(*v)).collect());
+        let mut transport = Json::obj();
+        transport.push("attempts", Json::U64(t.attempts));
+        transport.push("successes", Json::U64(t.successes));
+        transport.push("retries", Json::U64(t.retries));
+        transport.push("errors", arr4(&t.errors));
+        transport.push("injected", arr4(&t.injected));
+        transport.push("breaker_trips", Json::U64(t.breaker_trips));
+        transport.push(
+            "breaker_short_circuits",
+            Json::U64(t.breaker_short_circuits),
         );
+        transport.push("fetch_deadline_hits", Json::U64(t.fetch_deadline_hits));
+        transport.push("crawl_deadline_hits", Json::U64(t.crawl_deadline_hits));
+
         let a = &self.analysis;
-        let analysis = format!(
-            "{{\n    \"pages\": {},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"key_collisions\": {},\n    \"parse_nanos\": {},\n    \"extract_nanos\": {},\n    \"render_nanos\": {},\n    \"hash_nanos\": {},\n    \"ocr_nanos\": {},\n    \"embed_nanos\": {}\n  }}",
-            a.pages,
-            a.cache_hits,
-            a.cache_misses,
-            a.key_collisions,
-            a.parse_nanos,
-            a.extract_nanos,
-            a.render_nanos,
-            a.hash_nanos,
-            a.ocr_nanos,
-            a.embed_nanos,
+        let mut analysis = Json::obj();
+        analysis.push("pages", Json::U64(a.pages));
+        analysis.push("cache_hits", Json::U64(a.cache_hits));
+        analysis.push("cache_misses", Json::U64(a.cache_misses));
+        analysis.push("key_collisions", Json::U64(a.key_collisions));
+        analysis.push("parse_nanos", Json::U64(a.parse_nanos));
+        analysis.push("extract_nanos", Json::U64(a.extract_nanos));
+        analysis.push("render_nanos", Json::U64(a.render_nanos));
+        analysis.push("hash_nanos", Json::U64(a.hash_nanos));
+        analysis.push("ocr_nanos", Json::U64(a.ocr_nanos));
+        analysis.push("embed_nanos", Json::U64(a.embed_nanos));
+
+        let (pt, vt, ec, un) = self.blacklist;
+        let mut doc = Json::obj();
+        doc.push("records_scanned", Json::U64(self.records_scanned as u64));
+        doc.push(
+            "squatting_domains",
+            Json::U64(self.squatting_domains as u64),
         );
-        format!(
-            "{{\n  \"records_scanned\": {},\n  \"squatting_domains\": {},\n  \"squatting_by_type\": [\n{by_type}\n  ],\n  \"web_live\": {},\n  \"crawl_transport\": {transport},\n  \"analysis\": {analysis},\n  \"supervision\": {},\n  \"train_split\": [\n    {},\n    {}\n  ],\n  \"models\": [\n{models}\n  ],\n  \"flagged\": {},\n  \"confirmed\": {},\n  \"confirmed_domains\": {},\n  \"targeted_brands\": {},\n  \"blacklist\": [\n    {pt},\n    {vt},\n    {ec},\n    {un}\n  ]\n}}",
-            self.records_scanned,
-            self.squatting_domains,
-            self.web_live,
-            self.supervision.to_json(),
-            self.train_split.0,
-            self.train_split.1,
-            self.flagged.to_json("  "),
-            self.confirmed.to_json("  "),
-            self.confirmed_domains,
-            self.targeted_brands,
-        )
+        doc.push(
+            "squatting_by_type",
+            Json::Arr(
+                self.squatting_by_type
+                    .iter()
+                    .map(|n| Json::U64(*n as u64))
+                    .collect(),
+            ),
+        );
+        doc.push("web_live", Json::U64(self.web_live as u64));
+        doc.push("crawl_transport", transport);
+        doc.push("analysis", analysis);
+        doc.push("supervision", self.supervision.to_json());
+        doc.push(
+            "train_split",
+            Json::Arr(vec![
+                Json::U64(self.train_split.0 as u64),
+                Json::U64(self.train_split.1 as u64),
+            ]),
+        );
+        doc.push(
+            "models",
+            Json::Arr(self.models.iter().map(ModelSummary::to_json).collect()),
+        );
+        doc.push("flagged", self.flagged.to_json());
+        doc.push("confirmed", self.confirmed.to_json());
+        doc.push(
+            "confirmed_domains",
+            Json::U64(self.confirmed_domains as u64),
+        );
+        doc.push("targeted_brands", Json::U64(self.targeted_brands as u64));
+        doc.push(
+            "blacklist",
+            Json::Arr(vec![
+                Json::U64(pt as u64),
+                Json::U64(vt as u64),
+                Json::U64(ec as u64),
+                Json::U64(un as u64),
+            ]),
+        );
+        doc.render()
     }
 }
 
@@ -307,6 +316,8 @@ mod tests {
             .expect("tiny pipeline runs clean");
         let summary = RunSummary::collect(&result);
         assert_eq!(summary.squatting_domains, result.scan.total_matches());
+        assert_eq!(summary.records_scanned, result.scan.scanned);
+        assert_eq!(summary.squatting_by_type, result.scan.by_type);
         assert_eq!(summary.models.len(), 3);
         assert!(summary.confirmed.web <= summary.flagged.web);
         let json = summary.to_json_pretty();
@@ -315,6 +326,7 @@ mod tests {
         // The crawl stage runs over the middleware-aware engine, so the
         // transport counters are populated and serialized.
         assert!(summary.crawl_transport.attempts > 0);
+        assert_eq!(summary.crawl_transport, result.crawl_stats.transport);
         assert!(json.contains("\"crawl_transport\""));
         assert!(json.contains("\"breaker_trips\""));
         // Page-analysis counters reconcile exactly and are serialized.
@@ -343,9 +355,11 @@ mod tests {
 
     #[test]
     fn json_escaping_and_floats_are_wellformed() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
-        assert_eq!(json_f64(0.25), "0.25");
-        assert_eq!(json_f64(f64::NAN), "0");
+        // The summary leans on the shared telemetry encoder; spot-check
+        // its escaping and float policy from this consumer's side.
+        assert_eq!(squatphi_telemetry::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(squatphi_telemetry::escape("\u{1}"), "\\u0001");
+        assert_eq!(squatphi_telemetry::fmt_f64(0.25), "0.250000");
+        assert_eq!(squatphi_telemetry::fmt_f64(f64::NAN), "0.000000");
     }
 }

@@ -98,6 +98,27 @@ impl ClassifyStats {
         self.deep_probes += other.deep_probes;
         self.allocations_avoided += other.allocations_avoided;
     }
+
+    /// Publishes the counters into a telemetry scope. The struct itself
+    /// stays a plain stack value — the classify hot path must not touch an
+    /// atomic per probe — so workers accumulate locally and export once.
+    pub fn export(&self, scope: &squatphi_telemetry::Scope) {
+        scope.counter("probes").add(self.probes);
+        scope.counter("deep_probes").add(self.deep_probes);
+        scope
+            .counter("allocations_avoided")
+            .add(self.allocations_avoided);
+    }
+
+    /// Reads the counters back from a snapshot scope — the inverse of
+    /// [`ClassifyStats::export`].
+    pub fn from_snapshot(snap: &squatphi_telemetry::Snapshot, prefix: &str) -> ClassifyStats {
+        ClassifyStats {
+            probes: snap.u64_or_zero(&format!("{prefix}.probes")),
+            deep_probes: snap.u64_or_zero(&format!("{prefix}.deep_probes")),
+            allocations_avoided: snap.u64_or_zero(&format!("{prefix}.allocations_avoided")),
+        }
+    }
 }
 
 /// Precomputed fingerprint index over the brand registry for O(len)

@@ -1,0 +1,240 @@
+//! Declarative conservation identities.
+//!
+//! Every pipeline stage conserves *something*: records in equals records out,
+//! pages equal cache hits plus misses, detections split exactly into crawl
+//! outcomes. Before this crate those identities were re-derived by hand in 15
+//! scattered `reconciles()` methods. Here an identity is data — two lists of
+//! terms that must sum equal against a snapshot — and a failed check is a
+//! structured [`Violation`] naming each term's resolved value, not a bare
+//! `false`.
+
+use std::fmt;
+
+use crate::snapshot::Snapshot;
+
+/// One side's addend: a metric name resolved against the snapshot (missing
+/// names read as zero), or a literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    Metric(String),
+    Const(u64),
+}
+
+impl Term {
+    fn resolve(&self, snap: &Snapshot) -> (String, u64) {
+        match self {
+            Term::Metric(name) => (name.clone(), snap.u64_or_zero(name)),
+            Term::Const(v) => (format!("const:{v}"), *v),
+        }
+    }
+}
+
+/// A named identity `sum(lhs) == sum(rhs)` over snapshot metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invariant {
+    pub name: String,
+    pub lhs: Vec<Term>,
+    pub rhs: Vec<Term>,
+}
+
+impl Invariant {
+    /// The common case: every term is a metric name.
+    pub fn sum_eq(name: &str, lhs: &[&str], rhs: &[&str]) -> Invariant {
+        Invariant {
+            name: name.to_string(),
+            lhs: lhs.iter().map(|n| Term::Metric((*n).to_string())).collect(),
+            rhs: rhs.iter().map(|n| Term::Metric((*n).to_string())).collect(),
+        }
+    }
+
+    pub fn check(&self, snap: &Snapshot) -> Result<(), Violation> {
+        let lhs: Vec<(String, u64)> = self.lhs.iter().map(|t| t.resolve(snap)).collect();
+        let rhs: Vec<(String, u64)> = self.rhs.iter().map(|t| t.resolve(snap)).collect();
+        let lhs_total: u64 = lhs.iter().map(|(_, v)| *v).sum();
+        let rhs_total: u64 = rhs.iter().map(|(_, v)| *v).sum();
+        if lhs_total == rhs_total {
+            Ok(())
+        } else {
+            Err(Violation {
+                invariant: self.name.clone(),
+                lhs,
+                rhs,
+                lhs_total,
+                rhs_total,
+            })
+        }
+    }
+
+    pub fn holds(&self, snap: &Snapshot) -> bool {
+        self.check(snap).is_ok()
+    }
+}
+
+/// A failed identity with every term's resolved value — enough context to
+/// diagnose which counter leaked without re-running under a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    pub invariant: String,
+    pub lhs: Vec<(String, u64)>,
+    pub rhs: Vec<(String, u64)>,
+    pub lhs_total: u64,
+    pub rhs_total: u64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant {} violated: {} != {} (",
+            self.invariant, self.lhs_total, self.rhs_total
+        )?;
+        for (i, (name, value)) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        write!(f, " vs ")?;
+        for (i, (name, value)) in self.rhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// An ordered collection of invariants checked together against one snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InvariantSet {
+    invariants: Vec<Invariant>,
+}
+
+impl InvariantSet {
+    pub fn new() -> InvariantSet {
+        InvariantSet::default()
+    }
+
+    pub fn push(&mut self, invariant: Invariant) -> &mut InvariantSet {
+        self.invariants.push(invariant);
+        self
+    }
+
+    pub fn with(mut self, invariant: Invariant) -> InvariantSet {
+        self.invariants.push(invariant);
+        self
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Invariant> {
+        self.invariants.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.invariants.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.invariants.is_empty()
+    }
+
+    /// Check every invariant; `Err` carries every violation, not just the
+    /// first, so one report covers the whole reconciliation.
+    pub fn check_all(&self, snap: &Snapshot) -> Result<(), Vec<Violation>> {
+        let violations: Vec<Violation> = self
+            .invariants
+            .iter()
+            .filter_map(|inv| inv.check(snap).err())
+            .collect();
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// True when every identity holds — the drop-in replacement for the old
+    /// boolean `reconciles()` surfaces.
+    pub fn all_hold(&self, snap: &Snapshot) -> bool {
+        self.check_all(snap).is_ok()
+    }
+}
+
+impl FromIterator<Invariant> for InvariantSet {
+    fn from_iter<I: IntoIterator<Item = Invariant>>(iter: I) -> InvariantSet {
+        InvariantSet {
+            invariants: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Value;
+
+    fn snap(pairs: &[(&str, u64)]) -> Snapshot {
+        let mut s = Snapshot::new();
+        for (name, value) in pairs {
+            s.insert(*name, Value::U64(*value));
+        }
+        s
+    }
+
+    #[test]
+    fn holding_invariant_passes() {
+        let s = snap(&[("injected", 10), ("accepted", 7), ("dropped", 3)]);
+        let inv = Invariant::sum_eq("ingest", &["injected"], &["accepted", "dropped"]);
+        assert!(inv.check(&s).is_ok());
+    }
+
+    #[test]
+    fn violation_names_every_term() {
+        let s = snap(&[("pages", 10), ("hits", 4), ("misses", 5)]);
+        let inv = Invariant::sum_eq("cache", &["pages"], &["hits", "misses"]);
+        let violation = inv.check(&s).unwrap_err();
+        assert_eq!(violation.lhs_total, 10);
+        assert_eq!(violation.rhs_total, 9);
+        assert_eq!(
+            violation.rhs,
+            vec![("hits".to_string(), 4), ("misses".to_string(), 5)]
+        );
+        let text = violation.to_string();
+        assert!(text.contains("invariant cache violated: 10 != 9"));
+        assert!(text.contains("hits=4 + misses=5"));
+    }
+
+    #[test]
+    fn missing_metric_reads_as_zero() {
+        let s = snap(&[("total", 0)]);
+        let inv = Invariant::sum_eq("empty", &["total"], &["absent_a", "absent_b"]);
+        assert!(inv.check(&s).is_ok());
+    }
+
+    #[test]
+    fn set_reports_all_violations() {
+        let s = snap(&[("a", 1), ("b", 2), ("c", 3)]);
+        let set = InvariantSet::new()
+            .with(Invariant::sum_eq("good", &["c"], &["a", "b"]))
+            .with(Invariant::sum_eq("bad1", &["a"], &["b"]))
+            .with(Invariant::sum_eq("bad2", &["b"], &["c"]));
+        let violations = set.check_all(&s).unwrap_err();
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].invariant, "bad1");
+        assert_eq!(violations[1].invariant, "bad2");
+        assert!(!set.all_hold(&s));
+    }
+
+    #[test]
+    fn const_terms_resolve() {
+        let s = snap(&[("x", 5)]);
+        let inv = Invariant {
+            name: "const".to_string(),
+            lhs: vec![Term::Metric("x".to_string())],
+            rhs: vec![Term::Const(5)],
+        };
+        assert!(inv.holds(&s));
+    }
+}

@@ -1,0 +1,181 @@
+//! The one JSON encoder every metrics surface in the workspace emits through.
+//!
+//! The workspace builds offline with no serde; before this crate existed each
+//! metrics struct hand-rolled its own encoder (ten copies, each with its own
+//! escaping and float rules). `Json` is an ordered document value: objects
+//! preserve insertion order, so callers control field layout explicitly and
+//! two runs of the same code render byte-identical output.
+
+use std::fmt::Write as _;
+
+/// An ordered JSON document value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    /// Rendered with [`fmt_f64`]: fixed precision, non-finite values map to 0.
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object; keys are rendered in the order pushed.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Empty object, ready for [`Json::push`].
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a field to an object. Panics if `self` is not an object: that
+    /// is a programming error in an encoder, not a data condition.
+    pub fn push(&mut self, key: &str, value: Json) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("Json::push on non-object"),
+        }
+        self
+    }
+
+    /// Render as pretty-printed JSON: two-space indent, `"key": value`,
+    /// trailing newline omitted (callers add one when writing files).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => out.push_str(&fmt_f64(*v)),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic float formatting: six fractional digits, and non-finite
+/// values (NaN, ±inf from empty-denominator rates) render as `0.000000` so
+/// output never contains tokens JSON parsers reject.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.000000".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_object_in_insertion_order() {
+        let mut inner = Json::obj();
+        inner.push("b", Json::U64(2));
+        inner.push("a", Json::U64(1));
+        let mut doc = Json::obj();
+        doc.push("z", inner);
+        doc.push("list", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        let text = doc.render();
+        assert_eq!(
+            text,
+            "{\n  \"z\": {\n    \"b\": 2,\n    \"a\": 1\n  },\n  \"list\": [\n    true,\n    null\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters_and_quotes() {
+        assert_eq!(escape("a\"b\\c\n\u{1}"), "a\\\"b\\\\c\\n\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_zero() {
+        assert_eq!(fmt_f64(f64::NAN), "0.000000");
+        assert_eq!(fmt_f64(f64::INFINITY), "0.000000");
+        assert_eq!(fmt_f64(0.25), "0.250000");
+    }
+
+    #[test]
+    fn empty_containers_render_compact() {
+        assert_eq!(Json::obj().render(), "{}");
+        assert_eq!(Json::Arr(vec![]).render(), "[]");
+    }
+}

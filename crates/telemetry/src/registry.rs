@@ -1,0 +1,383 @@
+//! The registry: a process-local, thread-safe home for every metric a run
+//! produces. Snapshots are deterministic — names are sorted and values read
+//! atomically — so two identical runs snapshot byte-identically.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::snapshot::{Snapshot, Value};
+
+/// Log2 bucket upper bounds (nanoseconds) for duration histograms: 1us, 16us,
+/// 256us, 4ms, 65ms, 1s, and overflow. Coarse on purpose — buckets exist to
+/// spot order-of-magnitude shifts, not to replace a profiler.
+const BUCKET_BOUNDS_NANOS: [u64; 6] = [1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26, 1 << 30];
+
+#[derive(Default)]
+struct State {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Value>,
+    histograms: BTreeMap<String, Arc<HistogramCells>>,
+}
+
+/// Shared metric registry. Cheap to clone; clones observe the same metrics.
+#[derive(Clone, Default)]
+pub struct Registry {
+    state: Arc<Mutex<State>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter with this dotted name.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut state = self.state.lock().expect("telemetry registry poisoned");
+        let cell = state
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Counter { cell }
+    }
+
+    /// Get or create a duration histogram with this dotted name. By the
+    /// workspace timing rule the name's last segment must end in
+    /// `_durations` so `--timings` stripping covers its buckets.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        debug_assert!(
+            name.rsplit('.')
+                .next()
+                .is_some_and(|leaf| leaf.ends_with("_durations")),
+            "histogram names must end in _durations: {name}"
+        );
+        let mut state = self.state.lock().expect("telemetry registry poisoned");
+        let cells = state
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCells::default()))
+            .clone();
+        Histogram { cells }
+    }
+
+    /// Set a gauge. Last write wins; snapshots read the current value.
+    pub fn set_u64(&self, name: &str, value: u64) {
+        self.set(name, Value::U64(value));
+    }
+
+    pub fn set_i64(&self, name: &str, value: i64) {
+        self.set(name, Value::I64(value));
+    }
+
+    pub fn set_f64(&self, name: &str, value: f64) {
+        self.set(name, Value::F64(value));
+    }
+
+    pub fn set_bool(&self, name: &str, value: bool) {
+        self.set(name, Value::Bool(value));
+    }
+
+    pub fn set_str(&self, name: &str, value: &str) {
+        self.set(name, Value::Str(value.to_string()));
+    }
+
+    fn set(&self, name: &str, value: Value) {
+        let mut state = self.state.lock().expect("telemetry registry poisoned");
+        state.gauges.insert(name.to_string(), value);
+    }
+
+    /// A view of this registry that prefixes every metric name with
+    /// `prefix.`. Scopes nest: `reg.scope("watch").scope("counters")`.
+    pub fn scope(&self, prefix: &str) -> Scope {
+        Scope {
+            registry: self.clone(),
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Start a span timer; on drop it adds its elapsed monotonic nanos to the
+    /// counter `<name>_nanos`. Spans nest by name: `span.child("parse")`
+    /// records under `<name>.parse_nanos`.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            registry: self.clone(),
+            name: name.to_string(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Sorted point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let state = self.state.lock().expect("telemetry registry poisoned");
+        let mut snap = Snapshot::new();
+        // Gauges first so a counter registered under the same name wins —
+        // counters are the stronger (monotonic) claim to a name.
+        for (name, value) in &state.gauges {
+            snap.insert(name.clone(), value.clone());
+        }
+        for (name, cell) in &state.counters {
+            snap.insert(name.clone(), Value::U64(cell.load(Ordering::SeqCst)));
+        }
+        for (name, cells) in &state.histograms {
+            snap.insert(
+                format!("{name}.count"),
+                Value::U64(cells.count.load(Ordering::SeqCst)),
+            );
+            snap.insert(
+                format!("{name}.sum_nanos"),
+                Value::U64(cells.sum_nanos.load(Ordering::SeqCst)),
+            );
+            for (i, bucket) in cells.buckets.iter().enumerate() {
+                let label = bucket_label(i);
+                snap.insert(
+                    format!("{name}.{label}"),
+                    Value::U64(bucket.load(Ordering::SeqCst)),
+                );
+            }
+        }
+        snap
+    }
+}
+
+fn bucket_label(index: usize) -> String {
+    match BUCKET_BOUNDS_NANOS.get(index) {
+        Some(bound) => format!("le_{bound}"),
+        None => "le_inf".to_string(),
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("telemetry registry poisoned");
+        f.debug_struct("Registry")
+            .field("counters", &state.counters.len())
+            .field("gauges", &state.gauges.len())
+            .field("histograms", &state.histograms.len())
+            .finish()
+    }
+}
+
+/// Handle to a monotonic counter. Clone-able, lock-free on the hot path.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::SeqCst)
+    }
+}
+
+#[derive(Default)]
+struct HistogramCells {
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    buckets: [AtomicU64; BUCKET_BOUNDS_NANOS.len() + 1],
+}
+
+/// Handle to a duration histogram.
+#[derive(Clone)]
+pub struct Histogram {
+    cells: Arc<HistogramCells>,
+}
+
+impl Histogram {
+    pub fn record_nanos(&self, nanos: u64) {
+        self.cells.count.fetch_add(1, Ordering::Relaxed);
+        self.cells.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let idx = BUCKET_BOUNDS_NANOS
+            .iter()
+            .position(|bound| nanos <= *bound)
+            .unwrap_or(BUCKET_BOUNDS_NANOS.len());
+        self.cells.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record(&self, elapsed: std::time::Duration) {
+        self.record_nanos(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::SeqCst)
+    }
+}
+
+/// Name-prefixing view of a registry; see [`Registry::scope`].
+#[derive(Clone)]
+pub struct Scope {
+    registry: Registry,
+    prefix: String,
+}
+
+impl Scope {
+    fn full(&self, name: &str) -> String {
+        format!("{}.{name}", self.prefix)
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(&self.full(name))
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(&self.full(name))
+    }
+
+    pub fn set_u64(&self, name: &str, value: u64) {
+        self.registry.set_u64(&self.full(name), value);
+    }
+
+    pub fn set_i64(&self, name: &str, value: i64) {
+        self.registry.set_i64(&self.full(name), value);
+    }
+
+    pub fn set_f64(&self, name: &str, value: f64) {
+        self.registry.set_f64(&self.full(name), value);
+    }
+
+    pub fn set_bool(&self, name: &str, value: bool) {
+        self.registry.set_bool(&self.full(name), value);
+    }
+
+    pub fn set_str(&self, name: &str, value: &str) {
+        self.registry.set_str(&self.full(name), value);
+    }
+
+    pub fn scope(&self, prefix: &str) -> Scope {
+        self.registry.scope(&self.full(prefix))
+    }
+
+    pub fn span(&self, name: &str) -> Span {
+        self.registry.span(&self.full(name))
+    }
+}
+
+/// RAII span timer; see [`Registry::span`]. Dropping records elapsed nanos.
+pub struct Span {
+    registry: Registry,
+    name: String,
+    started: Instant,
+}
+
+impl Span {
+    /// Nested child span recording under `<parent>.<name>_nanos`.
+    pub fn child(&self, name: &str) -> Span {
+        self.registry.span(&format!("{}.{name}", self.name))
+    }
+
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.registry
+            .counter(&format!("{}_nanos", self.name))
+            .add(nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_across_clones_and_threads() {
+        let reg = Registry::new();
+        let counter = reg.counter("test.hits");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("test.hits").get(), 4000);
+        assert_eq!(reg.snapshot().get_u64("test.hits"), Some(4000));
+    }
+
+    #[test]
+    fn scopes_prefix_names() {
+        let reg = Registry::new();
+        let scope = reg.scope("watch").scope("counters");
+        scope.counter("injected").add(7);
+        scope.set_bool("interrupted", false);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get_u64("watch.counters.injected"), Some(7));
+        assert_eq!(
+            snap.get("watch.counters.interrupted"),
+            Some(&Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn span_records_nanos_counter() {
+        let reg = Registry::new();
+        {
+            let span = reg.span("stage.scan");
+            let _child = span.child("parse");
+        }
+        let snap = reg.snapshot();
+        assert!(snap.get_u64("stage.scan_nanos").is_some());
+        assert!(snap.get_u64("stage.scan.parse_nanos").is_some());
+        // Both names fall under the timing rule, so default output strips them.
+        let mut stripped = snap.clone();
+        stripped.strip_timings();
+        assert_eq!(stripped.get_u64("stage.scan_nanos"), Some(0));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_free_and_stripped() {
+        let reg = Registry::new();
+        let hist = reg.histogram("scan.exec.worker_durations");
+        hist.record_nanos(500); // le_1024
+        hist.record_nanos(2_000_000); // le_4194304
+        hist.record_nanos(u64::MAX); // le_inf
+        let snap = reg.snapshot();
+        assert_eq!(snap.get_u64("scan.exec.worker_durations.count"), Some(3));
+        assert_eq!(snap.get_u64("scan.exec.worker_durations.le_1024"), Some(1));
+        assert_eq!(
+            snap.get_u64("scan.exec.worker_durations.le_4194304"),
+            Some(1)
+        );
+        assert_eq!(snap.get_u64("scan.exec.worker_durations.le_inf"), Some(1));
+        let mut stripped = snap;
+        stripped.strip_timings();
+        assert_eq!(
+            stripped.get_u64("scan.exec.worker_durations.count"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let reg = Registry::new();
+        reg.set_u64("a.depth", 3);
+        reg.set_u64("a.depth", 9);
+        assert_eq!(reg.snapshot().get_u64("a.depth"), Some(9));
+    }
+}

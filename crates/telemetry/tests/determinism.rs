@@ -1,0 +1,104 @@
+//! End-to-end determinism guarantees of the exported registries: the
+//! properties the CI `telemetry` job checks on the release binaries,
+//! asserted here at the library layer so a regression fails fast in
+//! `cargo test`.
+//!
+//! Two guarantees, per ROADMAP: (1) two identical runs export
+//! byte-identical snapshots once timings are stripped; (2) worker-thread
+//! count never leaks into the exported numbers outside the explicitly
+//! execution-shaped `scan.exec.` scope.
+
+use squatphi::{SquatPhi, WatchConfig, WatchOptions};
+use squatphi_dnsdb::{scan_with_metrics, synth, SnapshotConfig};
+use squatphi_squat::{BrandRegistry, SquatDetector};
+use squatphi_telemetry::{invariants, Registry, Snapshot};
+
+fn scan_snapshot(threads: usize) -> Snapshot {
+    let registry = BrandRegistry::with_size(24);
+    let detector = SquatDetector::new(&registry);
+    let cfg = SnapshotConfig {
+        benign_records: 4_000,
+        squatting_records: 60,
+        subdomain_fraction: 0.25,
+        seed: 11,
+    };
+    let (store, _) = synth::generate(&cfg, &registry);
+    let (outcome, metrics) = scan_with_metrics(&store, &registry, &detector, threads);
+    let reg = Registry::new();
+    let scope = reg.scope("scan");
+    outcome.export(&scope);
+    metrics.export(&scope);
+    reg.snapshot()
+}
+
+fn watch_snapshot(threads: usize) -> Snapshot {
+    let config = WatchConfig::builder()
+        .seed(7)
+        .events(300)
+        .brands(12)
+        .threads(threads)
+        .build()
+        .expect("valid watch config");
+    let summary = SquatPhi::try_watch(&config, &WatchOptions::default()).expect("watch runs clean");
+    summary.telemetry().snapshot()
+}
+
+#[test]
+fn scan_registry_two_runs_are_byte_identical() {
+    let mut a = scan_snapshot(4);
+    let mut b = scan_snapshot(4);
+    a.strip_timings();
+    b.strip_timings();
+    assert_eq!(a.render(), b.render());
+    // The timing keys survive stripping (zeroed, not removed).
+    assert_eq!(a.get_u64("scan.wall_nanos"), Some(0));
+}
+
+#[test]
+fn scan_registry_is_thread_invariant_outside_exec_scope() {
+    let renders: Vec<String> = [1usize, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let snap = scan_snapshot(threads);
+            // Every identity must hold at every thread count.
+            assert!(
+                invariants::scan_invariants().all_hold(&snap),
+                "scan invariants violated at {threads} threads"
+            );
+            let mut core = snap.retain(|name| !name.starts_with("scan.exec."));
+            core.strip_timings();
+            core.render()
+        })
+        .collect();
+    assert_eq!(renders[0], renders[1], "1 vs 4 threads");
+    assert_eq!(renders[1], renders[2], "4 vs 8 threads");
+}
+
+#[test]
+fn watch_registry_two_runs_are_byte_identical() {
+    let a = watch_snapshot(2);
+    let b = watch_snapshot(2);
+    assert_eq!(a.render(), b.render());
+    // Virtual-clock backoff totals are deterministic, so they are present
+    // unstripped in byte-identity-checked output.
+    assert!(a.get_u64("watch.transport.backoff_ns").is_some());
+}
+
+#[test]
+fn watch_registry_is_thread_invariant() {
+    // The watch pipeline promises thread count affects nothing observable
+    // at all — no exec-style carve-out needed.
+    let renders: Vec<String> = [1usize, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let snap = watch_snapshot(threads);
+            assert!(
+                invariants::watch_invariants().all_hold(&snap),
+                "watch invariants violated at {threads} threads"
+            );
+            snap.render()
+        })
+        .collect();
+    assert_eq!(renders[0], renders[1], "1 vs 4 threads");
+    assert_eq!(renders[1], renders[2], "4 vs 8 threads");
+}
