@@ -468,6 +468,28 @@ fn page(path: &str, brand_label: Option<&str>) -> Result<String, String> {
             "evasion vs {}: layout distance {}, string obfuscated {}, code obfuscated {}",
             brand.label, m.layout_distance, m.string_obfuscated, m.code_obfuscated
         );
+    } else if !artifact.degraded {
+        // No brand named: report the visually closest monitored brand via
+        // the Hamming-space index. The 64 most-popular brands keep the
+        // audit fast; a perfect visual clone of a monitored page is found
+        // regardless of obfuscation elsewhere.
+        let analyzer = extractor.analyzer();
+        let brand_index =
+            squatphi::artifact::BrandHashIndex::build(registry.brands().iter().take(64).map(|b| {
+                let page = squatphi_web::pages::brand_login_page(b);
+                (b.id, analyzer.analyze(&page).image_hash)
+            }));
+        if let Some(m) = brand_index.nearest_brand(&artifact.image_hash) {
+            let label = registry
+                .get(m.brand)
+                .map(|b| b.label.as_str())
+                .unwrap_or("?");
+            let _ = writeln!(
+                out,
+                "nearest brand page: {} (layout distance {})",
+                label, m.distance
+            );
+        }
     }
 
     // Classifier score (model trained on the synthetic ground-truth feed;

@@ -25,6 +25,12 @@
 //!   every completed run's report reconciles, and an interrupted +
 //!   resumed checkpointed run fingerprints identically to an
 //!   uninterrupted one with no partial checkpoint files.
+//! * **pHash index** — seeded hash corpora (uniform, clustered, and
+//!   bucket-flooding degenerate distributions) through
+//!   `imghash::index::HashIndex` vs the preserved linear oracle:
+//!   set-identical `within` results at radii 0..=16, identical k-NN
+//!   under the insertion-order tie-break, and an exactly-reconciling
+//!   probe ledger.
 //!
 //! Violating inputs are minimized by a greedy delta-debugging loop
 //! ([`shrink`]) before they are reported, so a red run hands you the
@@ -45,6 +51,7 @@
 mod differential;
 mod fuzz;
 pub mod justify;
+mod phash_index;
 mod report;
 mod roundtrip;
 mod scan_diff;
@@ -105,6 +112,8 @@ impl Budget {
                 html_fuzz_cases: 300,
                 supervision_plans: 2,
                 scan_diff_negatives: 1500,
+                phash_corpus: 2500,
+                phash_queries: 40,
             },
             Budget::Full => Params {
                 registry_size: None,
@@ -117,6 +126,8 @@ impl Budget {
                 html_fuzz_cases: 1500,
                 supervision_plans: 3,
                 scan_diff_negatives: 8000,
+                phash_corpus: 20_000,
+                phash_queries: 120,
             },
         }
     }
@@ -150,6 +161,11 @@ pub(crate) struct Params {
     /// differential (`scan-diff`), on top of the exhaustive generated
     /// candidates and the snapshot-level scan it always runs.
     pub scan_diff_negatives: usize,
+    /// Entries per corpus family for the pHash-index differential
+    /// (`phash-index`); the degenerate corpora use a quarter of this.
+    pub phash_corpus: usize,
+    /// Queries per corpus family for the pHash-index differential.
+    pub phash_queries: usize,
 }
 
 /// One harness invocation: a seed and a budget.
@@ -196,6 +212,9 @@ pub fn run(config: &ConformanceConfig) -> ConformanceReport {
     }));
     report.push(timed("scan-diff", || {
         scan_diff::run_scan_diff(config.seed, &params)
+    }));
+    report.push(timed("phash-index", || {
+        phash_index::run_phash_index(config.seed, &params)
     }));
     report
 }

@@ -1,0 +1,185 @@
+//! The pHash-index differential oracle (`phash-index`).
+//!
+//! `imghash::index::HashIndex` (multi-index hashing with a BK-tree
+//! fallback) carries the same compatibility contract the scan rebuild
+//! did: **set-identical answers** to the preserved linear scan
+//! (`imghash::index::linear`), at every radius, under the documented
+//! tie-breaks (`within` → ascending insertion id; `nearest` → `(distance,
+//! insertion id)`). This oracle streams seeded corpora through both:
+//!
+//! * **uniform** — random 64-bit hashes (the MIH fast path),
+//! * **clustered** — hashes within a few flips of a small center set
+//!   (bucket skew without degeneracy),
+//! * **all-zeros / all-ones** — every entry identical (the adversarial
+//!   distribution that floods MIH buckets and must take the BK-tree
+//!   fallback without changing a single answer).
+//!
+//! Each query compares `within` at radii 0..=16 and `nearest` at several
+//! `k`, element-for-element (id, hash *and* distance). On top, the
+//! `phash.index.probes == verified + pruned` conservation identity must
+//! hold on every index after its query stream.
+
+use crate::report::Violation;
+use crate::Params;
+use rand::prelude::*;
+use squatphi_imghash::index::{linear, HashIndex, Neighbor};
+use squatphi_imghash::ImageHash;
+
+const ORACLE: &str = "phash-index";
+
+/// Formats a neighbor list compactly for violation details.
+fn brief(ns: &[Neighbor]) -> String {
+    let shown: Vec<String> = ns
+        .iter()
+        .take(6)
+        .map(|n| format!("#{}@{}", n.id, n.distance))
+        .collect();
+    let more = ns.len().saturating_sub(6);
+    if more > 0 {
+        format!("[{} …+{more}] ({} total)", shown.join(" "), ns.len())
+    } else {
+        format!("[{}]", shown.join(" "))
+    }
+}
+
+fn mismatch(
+    kind: &str,
+    corpus: &str,
+    query: u64,
+    arg: u64,
+    got: &[Neighbor],
+    want: &[Neighbor],
+) -> Violation {
+    Violation {
+        oracle: ORACLE,
+        input: format!("{corpus} corpus, query {query:016x}, {kind} {arg}"),
+        detail: format!("index {} != linear {}", brief(got), brief(want)),
+    }
+}
+
+/// One seeded corpus family: its name and entries.
+fn corpora(seed: u64, params: &Params) -> Vec<(&'static str, Vec<ImageHash>)> {
+    let n = params.phash_corpus;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7068_6173_682d_6978); // "phash-ix"
+    let uniform: Vec<ImageHash> = (0..n).map(|_| ImageHash(rng.gen())).collect();
+
+    let centers: Vec<u64> = (0..(n / 50).max(1)).map(|_| rng.gen()).collect();
+    let clustered: Vec<ImageHash> = (0..n)
+        .map(|_| {
+            let mut h = centers[rng.gen_range(0..centers.len())];
+            for _ in 0..rng.gen_range(0..=6usize) {
+                h ^= 1u64 << rng.gen_range(0..64u32);
+            }
+            ImageHash(h)
+        })
+        .collect();
+
+    // Degenerate corpora are smaller: every query touches every entry,
+    // so the comparison cost is quadratic in their size.
+    let deg = (n / 4).max(8);
+    vec![
+        ("uniform", uniform),
+        ("clustered", clustered),
+        ("all-zeros", vec![ImageHash(0); deg]),
+        ("all-ones", vec![ImageHash(u64::MAX); deg]),
+    ]
+}
+
+/// Seeded queries for one corpus: members, near-members, random hashes,
+/// and near-degenerate probes so the zeros/ones corpora see non-empty
+/// results at small radii too.
+fn queries(rng: &mut StdRng, corpus: &[ImageHash], count: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        out.push(match i % 4 {
+            0 => corpus[rng.gen_range(0..corpus.len())].0,
+            1 => {
+                let mut h = corpus[rng.gen_range(0..corpus.len())].0;
+                for _ in 0..rng.gen_range(1..=10usize) {
+                    h ^= 1u64 << rng.gen_range(0..64u32);
+                }
+                h
+            }
+            2 => rng.gen(),
+            _ => {
+                // A handful of set bits: close to all-zeros, far from
+                // all-ones — exercises empty and full result sets.
+                let mut h = 0u64;
+                for _ in 0..rng.gen_range(0..=16usize) {
+                    h |= 1u64 << rng.gen_range(0..64u32);
+                }
+                h
+            }
+        });
+    }
+    out
+}
+
+/// Streams every corpus family through `HashIndex` vs `linear`.
+pub(crate) fn run_phash_index(seed: u64, params: &Params) -> (u64, Vec<Violation>) {
+    let mut cases = 0u64;
+    let mut violations = Vec::new();
+
+    for (name, corpus) in corpora(seed, params) {
+        let index = HashIndex::from_hashes(corpus.iter().copied());
+        let mut rng = StdRng::seed_from_u64(seed ^ name.len() as u64 ^ 0xcafe);
+        for query in queries(&mut rng, &corpus, params.phash_queries) {
+            let q = ImageHash(query);
+            for radius in 0..=16u32 {
+                cases += 1;
+                let got = index.within(&q, radius);
+                let want = linear::within(&corpus, &q, radius);
+                if got != want {
+                    violations.push(mismatch("radius", name, query, radius as u64, &got, &want));
+                }
+            }
+            for k in [1usize, 5, 17] {
+                cases += 1;
+                let got = index.nearest(&q, k);
+                let want = linear::nearest(&corpus, &q, k);
+                if got != want {
+                    violations.push(mismatch("k", name, query, k as u64, &got, &want));
+                }
+            }
+        }
+        // The probe ledger must reconcile after the whole query stream.
+        cases += 1;
+        let snap = index.telemetry().snapshot();
+        if let Err(vs) = squatphi_telemetry::invariants::phash_index_invariants().check_all(&snap) {
+            for v in vs {
+                violations.push(Violation {
+                    oracle: ORACLE,
+                    input: format!("{name} corpus telemetry"),
+                    detail: v.to_string(),
+                });
+            }
+        }
+    }
+
+    (cases, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Budget;
+
+    fn tiny_params() -> Params {
+        let mut p = Budget::Ci.params();
+        p.phash_corpus = 400;
+        p.phash_queries = 12;
+        p
+    }
+
+    #[test]
+    fn phash_index_is_clean_and_deterministic() {
+        let p = tiny_params();
+        let (cases_a, va) = run_phash_index(7, &p);
+        let (cases_b, vb) = run_phash_index(7, &p);
+        assert_eq!(cases_a, cases_b);
+        assert_eq!(va, vb);
+        assert!(va.is_empty(), "violations: {va:#?}");
+        // 4 corpora × 12 queries × (17 radii + 3 k) + 4 ledger checks.
+        assert_eq!(cases_a, 4 * 12 * 20 + 4);
+    }
+}

@@ -37,6 +37,7 @@ fn ci_budget_run_is_violation_free() {
         "html-fuzz",
         "supervision",
         "scan-diff",
+        "phash-index",
     ] {
         assert!(names.contains(&expected), "oracle {expected} missing");
         let o = report.oracles.iter().find(|o| o.name == expected).unwrap();

@@ -587,6 +587,100 @@ impl PageAnalyzer {
     }
 }
 
+/// Hamming-space index over the monitored brands' login-page hashes —
+/// the "which brand does this page visually imitate?" lookup the snapshot
+/// re-classifier and the `page` CLI use. A thin wrapper over
+/// [`squatphi_imghash::index::HashIndex`] that maps insertion ids back to
+/// brand ids; ties follow the index's insertion-order rule, so the brand
+/// inserted first wins at equal distance.
+pub struct BrandHashIndex {
+    index: squatphi_imghash::index::HashIndex,
+    brands: Vec<usize>,
+}
+
+/// One brand lookup result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrandMatch {
+    /// Brand id (insertion order breaks ties).
+    pub brand: usize,
+    /// The brand page's perceptual hash.
+    pub hash: ImageHash,
+    /// Hamming distance from the query page (0..=64).
+    pub distance: u32,
+}
+
+impl std::fmt::Debug for BrandHashIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrandHashIndex")
+            .field("brands", &self.brands.len())
+            .finish()
+    }
+}
+
+impl BrandHashIndex {
+    /// Builds the index from `(brand id, login-page hash)` pairs, in
+    /// iteration order. Counters land in a private registry; use
+    /// [`Self::in_registry`] to share the pipeline's.
+    pub fn build<I: IntoIterator<Item = (usize, ImageHash)>>(entries: I) -> BrandHashIndex {
+        Self::in_registry(&Registry::new(), entries)
+    }
+
+    /// Builds the index with its `phash.index.*` counters registered in
+    /// `registry`.
+    pub fn in_registry<I: IntoIterator<Item = (usize, ImageHash)>>(
+        registry: &Registry,
+        entries: I,
+    ) -> BrandHashIndex {
+        let mut index = squatphi_imghash::index::HashIndex::in_registry(registry);
+        let mut brands = Vec::new();
+        for (brand, hash) in entries {
+            index.insert(hash);
+            brands.push(brand);
+        }
+        BrandHashIndex { index, brands }
+    }
+
+    /// Number of indexed brand pages.
+    pub fn len(&self) -> usize {
+        self.brands.len()
+    }
+
+    /// True when no brand pages were indexed.
+    pub fn is_empty(&self) -> bool {
+        self.brands.is_empty()
+    }
+
+    /// The registry holding this index's `phash.index.*` counters.
+    pub fn telemetry(&self) -> &Registry {
+        self.index.telemetry()
+    }
+
+    /// The visually closest brand page, or `None` on an empty index.
+    pub fn nearest_brand(&self, page_hash: &ImageHash) -> Option<BrandMatch> {
+        self.index
+            .nearest(page_hash, 1)
+            .first()
+            .map(|n| BrandMatch {
+                brand: self.brands[n.id as usize],
+                hash: n.hash,
+                distance: n.distance,
+            })
+    }
+
+    /// Every brand page within Hamming `radius`, in insertion order.
+    pub fn brands_within(&self, page_hash: &ImageHash, radius: u32) -> Vec<BrandMatch> {
+        self.index
+            .within(page_hash, radius)
+            .into_iter()
+            .map(|n| BrandMatch {
+                brand: self.brands[n.id as usize],
+                hash: n.hash,
+                distance: n.distance,
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -711,5 +805,40 @@ mod tests {
         assert!(line.contains("1 pages"), "{line}");
         assert!(line.contains("0 cache hits"), "{line}");
         assert!(line.contains("1 misses"), "{line}");
+    }
+
+    #[test]
+    fn brand_index_finds_the_imitated_brand() {
+        let analyzer = PageAnalyzer::new();
+        let reg = BrandRegistry::with_size(8);
+        let index = BrandHashIndex::build(reg.brands().iter().map(|b| {
+            let page = pages::brand_login_page(b);
+            (b.id, analyzer.analyze(&page).image_hash)
+        }));
+        assert_eq!(index.len(), 8);
+        // A brand page queried against the index is its own nearest
+        // neighbor at distance 0.
+        let paypal = reg.by_label("paypal").unwrap();
+        let hash = analyzer
+            .analyze(&pages::brand_login_page(paypal))
+            .image_hash;
+        let m = index.nearest_brand(&hash).expect("non-empty index");
+        assert_eq!((m.brand, m.distance), (paypal.id, 0));
+        assert!(index
+            .brands_within(&hash, 0)
+            .iter()
+            .any(|m| m.brand == paypal.id));
+        // The probe ledger reconciles.
+        let snap = index.telemetry().snapshot();
+        assert!(squatphi_telemetry::invariants::phash_index_invariants().all_hold(&snap));
+        assert_eq!(snap.u64_or_zero("phash.index.inserts"), 8);
+    }
+
+    #[test]
+    fn empty_brand_index_returns_none() {
+        let index = BrandHashIndex::build(std::iter::empty());
+        assert!(index.is_empty());
+        assert_eq!(index.nearest_brand(&ImageHash(1)), None);
+        assert!(index.brands_within(&ImageHash(1), 64).is_empty());
     }
 }

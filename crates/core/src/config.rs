@@ -31,6 +31,11 @@ pub struct SimConfig {
     /// (off = re-derive every page; outputs are byte-identical either
     /// way, only speed and the hit/miss counters change).
     pub analysis_cache: bool,
+    /// Visual-similarity lookups through the multi-index Hamming-space
+    /// `imghash::index::HashIndex` (off = the preserved linear scan;
+    /// results are set-identical either way, only speed and the
+    /// `phash.index.*` counters change).
+    pub phash_index: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -50,6 +55,7 @@ impl SimConfig {
             sampled_benign: 1_565,
             cv_folds: 10,
             analysis_cache: true,
+            phash_index: true,
             seed: 2018,
         }
     }
@@ -79,6 +85,7 @@ impl SimConfig {
             sampled_benign: 60,
             cv_folds: 3,
             analysis_cache: true,
+            phash_index: true,
             seed: 14,
         }
     }
@@ -106,6 +113,7 @@ impl SimConfig {
             sampled_benign: 150,
             cv_folds: 5,
             analysis_cache: true,
+            phash_index: true,
             seed: 14,
         }
     }

@@ -8,6 +8,7 @@
 //! only to hand-roll that amortization and are gone.
 
 use crate::artifact::{PageAnalyzer, PageArtifact};
+use squatphi_imghash::{index, ImageHash};
 
 /// Per-page evasion measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,17 +43,66 @@ pub fn measure(
 }
 
 /// Measures already-analyzed artifacts — the zero-recompute path when
-/// the caller holds artifacts from the pipeline.
+/// the caller holds artifacts from the pipeline. Delegates to the corpus
+/// path with a one-page corpus, so there is exactly one measurement
+/// implementation.
 pub fn measure_artifacts(
     page: &PageArtifact,
     brand: &PageArtifact,
     brand_label: &str,
 ) -> EvasionMeasurement {
-    EvasionMeasurement {
-        layout_distance: page.image_hash.distance(&brand.image_hash),
-        string_obfuscated: !page.text_lower.contains(&brand_label.to_ascii_lowercase()),
-        code_obfuscated: page.js.is_obfuscated(),
-    }
+    measure_corpus(std::iter::once(page), brand, brand_label, false)
+        .pop()
+        .expect("one page in, one measurement out")
+}
+
+/// Layout distances from `brand_hash` to every page hash, in corpus order.
+///
+/// `indexed` routes through the Hamming-space [`index::HashIndex`] — one
+/// radius-64 query over a corpus index replaces the per-page pairwise
+/// loop — while `false` keeps the preserved [`index::linear`] oracle. The
+/// two are set-identical by construction (the conformance `phash-index`
+/// oracle pins it), so the flag only changes speed and counters.
+pub fn layout_distances(
+    page_hashes: &[ImageHash],
+    brand_hash: ImageHash,
+    indexed: bool,
+) -> Vec<u32> {
+    let neighbors = if indexed {
+        index::HashIndex::from_hashes(page_hashes.iter().copied()).within(&brand_hash, 64)
+    } else {
+        index::linear::within(page_hashes, &brand_hash, 64)
+    };
+    // Radius 64 covers the whole Hamming cube and both paths emit
+    // ascending insertion ids, so this is exactly corpus order.
+    debug_assert_eq!(neighbors.len(), page_hashes.len());
+    neighbors.into_iter().map(|n| n.distance).collect()
+}
+
+/// Measures a whole corpus of pages against one brand page — the bulk
+/// path behind Figures 8-9 and Tables 6/11. Layout distances go through
+/// [`layout_distances`]; string/code indicators are per-page.
+pub fn measure_corpus<'a, I>(
+    pages: I,
+    brand: &PageArtifact,
+    brand_label: &str,
+    indexed: bool,
+) -> Vec<EvasionMeasurement>
+where
+    I: IntoIterator<Item = &'a PageArtifact>,
+{
+    let pages: Vec<&PageArtifact> = pages.into_iter().collect();
+    let hashes: Vec<ImageHash> = pages.iter().map(|p| p.image_hash).collect();
+    let label_lower = brand_label.to_ascii_lowercase();
+    layout_distances(&hashes, brand.image_hash, indexed)
+        .into_iter()
+        .zip(&pages)
+        .map(|(layout_distance, page)| EvasionMeasurement {
+            layout_distance,
+            string_obfuscated: !page.text_lower.contains(&label_lower),
+            code_obfuscated: page.js.is_obfuscated(),
+        })
+        .collect()
 }
 
 /// Aggregate of a set of measurements (one Table 11 row).
@@ -182,6 +232,47 @@ mod tests {
         assert_eq!(
             EvasionSummary::from_measurements(&[]),
             EvasionSummary::default()
+        );
+    }
+
+    #[test]
+    fn corpus_path_matches_pairwise_with_index_on_and_off() {
+        let analyzer = PageAnalyzer::new();
+        let reg = BrandRegistry::with_size(5);
+        let brand = reg.by_label("paypal").unwrap();
+        let brand_artifact = analyzer.analyze(&pages::brand_login_page(brand));
+        let artifacts: Vec<_> = (0..4u8)
+            .map(|i| {
+                let p = profile(i % 4, i % 2 == 0, i % 3 == 0);
+                analyzer.analyze(&pages::phishing_page(brand, &p, "h.com", i as u64))
+            })
+            .collect();
+        let pairwise: Vec<EvasionMeasurement> = artifacts
+            .iter()
+            .map(|a| measure_artifacts(a, &brand_artifact, "paypal"))
+            .collect();
+        for indexed in [false, true] {
+            let bulk = measure_corpus(
+                artifacts.iter().map(|a| a.as_ref()),
+                &brand_artifact,
+                "paypal",
+                indexed,
+            );
+            assert_eq!(bulk, pairwise, "indexed = {indexed}");
+        }
+    }
+
+    #[test]
+    fn layout_distances_index_matches_linear() {
+        let hashes: Vec<ImageHash> = [0u64, 1, 0xFF, u64::MAX, 0x5555_5555_5555_5555]
+            .iter()
+            .copied()
+            .map(ImageHash)
+            .collect();
+        let query = ImageHash(0b1010);
+        assert_eq!(
+            layout_distances(&hashes, query, true),
+            layout_distances(&hashes, query, false),
         );
     }
 

@@ -115,6 +115,11 @@ pub struct PipelineResult {
     pub analysis: AnalysisSnapshot,
     /// Fault / quarantine / checkpoint accounting for this run.
     pub supervision: SupervisionReport,
+    /// Whether visual-similarity consumers (fig8/fig9, Tables 6/11, the
+    /// snapshot re-classifier) route through `imghash::index::HashIndex`
+    /// or the preserved linear oracle (`SimConfig::phash_index`). Results
+    /// are set-identical either way.
+    pub phash_index: bool,
 }
 
 impl PipelineResult {
@@ -622,6 +627,7 @@ impl SquatPhi {
             mobile_detections,
             analysis,
             supervision,
+            phash_index: config.phash_index,
         })
     }
 }

@@ -12,6 +12,7 @@
 //! unchanged since the original crawl cost a cache probe, not a
 //! re-render.
 
+use crate::artifact::BrandHashIndex;
 use crate::features::FeatureExtractor;
 use crate::pipeline::PipelineResult;
 use crate::supervise::{PipelineError, PipelineErrorKind, PipelineStage};
@@ -22,6 +23,25 @@ use squatphi_web::Device;
 /// Classifier-confirmed liveness of the detected phishing set per
 /// snapshot: `[(web_live, mobile_live); 4]`.
 pub type SnapshotSeries = [(usize, usize); 4];
+
+/// A classifier-live page counts as a *visual* brand match when some
+/// monitored brand page sits within this pHash radius — the same band the
+/// paper's Figure 8 example puts a lightly-obfuscated clone in.
+pub const VISUAL_MATCH_RADIUS: u32 = 8;
+
+/// Everything the follow-up crawls produce: the classifier liveness
+/// series plus, per snapshot, how many classifier-live pages still
+/// visually match a monitored brand page (via [`BrandHashIndex`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// Classifier-confirmed liveness per snapshot.
+    pub series: SnapshotSeries,
+    /// Per snapshot, classifier-live web pages within
+    /// [`VISUAL_MATCH_RADIUS`] of some brand page.
+    pub visual_matches: [usize; 4],
+    /// Brand pages indexed for the visual-match lookups.
+    pub indexed_brands: usize,
+}
 
 /// Re-crawls every confirmed phishing domain in all four snapshots and
 /// re-classifies the captured pages, exactly like the paper's follow-up
@@ -37,11 +57,24 @@ pub fn recrawl_and_classify(result: &PipelineResult, threads: usize) -> Snapshot
 
 /// Fallible snapshot re-crawl: crawl-configuration problems surface as a
 /// structured [`PipelineError`] attributed to the crawl stage instead of
-/// panicking mid-series.
+/// panicking mid-series. Thin wrapper over
+/// [`try_recrawl_and_classify_detailed`] for callers that only want the
+/// liveness series.
 pub fn try_recrawl_and_classify(
     result: &PipelineResult,
     threads: usize,
 ) -> Result<SnapshotSeries, PipelineError> {
+    try_recrawl_and_classify_detailed(result, threads).map(|report| report.series)
+}
+
+/// The full follow-up-crawl report: classifier liveness per snapshot plus
+/// visual brand-match counts through a [`BrandHashIndex`] built once over
+/// the monitored brands' login pages (analyzed through the shared,
+/// cache-fronted analyzer, so the brand pages cost cache probes).
+pub fn try_recrawl_and_classify_detailed(
+    result: &PipelineResult,
+    threads: usize,
+) -> Result<SnapshotReport, PipelineError> {
     let extractor = &result.extractor;
     let transport = InProcessTransport::new(result.world.clone());
 
@@ -56,8 +89,19 @@ pub fn try_recrawl_and_classify(
         .map(|r| (r.domain.clone(), r.brand, r.squat_type))
         .collect();
 
-    let mut series = [(0usize, 0usize); 4];
-    for (snapshot, slot) in series.iter_mut().enumerate() {
+    let analyzer = extractor.analyzer();
+    let brand_index = BrandHashIndex::build(result.registry.brands().iter().filter_map(|b| {
+        let page = result.world.brand_page(b.id)?;
+        let artifact = analyzer.analyze(page);
+        (!artifact.degraded).then_some((b.id, artifact.image_hash))
+    }));
+
+    let mut report = SnapshotReport {
+        series: [(0, 0); 4],
+        visual_matches: [0; 4],
+        indexed_brands: brand_index.len(),
+    };
+    for snapshot in 0..4 {
         let cfg = CrawlConfig::builder()
             .workers(threads.max(1))
             .snapshot(snapshot as u8)
@@ -68,18 +112,22 @@ pub fn try_recrawl_and_classify(
                 completed: PipelineStage::ALL.to_vec(),
             })?;
         let (records, _) = crawl_all(&jobs, &result.registry, &transport, &cfg);
-        *slot = classify_live(&records, extractor, result, threads);
+        let (live, visual) = classify_live(&records, extractor, result, &brand_index, threads);
+        report.series[snapshot] = live;
+        report.visual_matches[snapshot] = visual;
     }
-    Ok(series)
+    Ok(report)
 }
 
 fn classify_live(
     records: &[squatphi_crawler::CrawlRecord],
     extractor: &FeatureExtractor,
     result: &PipelineResult,
+    brand_index: &BrandHashIndex,
     threads: usize,
-) -> (usize, usize) {
+) -> ((usize, usize), usize) {
     let mut live = (0usize, 0usize);
+    let mut visual = 0usize;
     for device in [Device::Web, Device::Mobile] {
         let htmls: Vec<&str> = records
             .iter()
@@ -96,11 +144,30 @@ fn classify_live(
             .filter(|v| result.model.score(v) >= 0.5)
             .count();
         match device {
-            Device::Web => live.0 = count,
+            Device::Web => {
+                live.0 = count;
+                // Visual confirmation (web profile only — the mobile
+                // capture shares the template): a live page whose
+                // screenshot still sits within VISUAL_MATCH_RADIUS of a
+                // brand page is an unambiguous ongoing impersonation.
+                let analyzer = extractor.analyzer();
+                visual = htmls
+                    .iter()
+                    .zip(&vectors)
+                    .filter(|(_, v)| result.model.score(v) >= 0.5)
+                    .filter(|(html, _)| {
+                        let artifact = analyzer.analyze(html);
+                        !artifact.degraded
+                            && !brand_index
+                                .brands_within(&artifact.image_hash, VISUAL_MATCH_RADIUS)
+                                .is_empty()
+                    })
+                    .count();
+            }
             Device::Mobile => live.1 = count,
         }
     }
-    live
+    (live, visual)
 }
 
 #[cfg(test)]
@@ -113,7 +180,23 @@ mod tests {
         let result = SquatPhi::try_run(&SimConfig::tiny(), &RunOptions::default())
             .expect("tiny pipeline runs clean");
         let hits_before = result.extractor.analyzer().metrics().cache_hits;
-        let series = recrawl_and_classify(&result, 4);
+        let report =
+            try_recrawl_and_classify_detailed(&result, 4).expect("detailed re-crawl runs clean");
+        let series = report.series;
+        // The brand index covered the registry and visual matches can
+        // never exceed the classifier-live web pages they refine.
+        assert!(report.indexed_brands > 0, "no brand pages indexed");
+        for (snapshot, &visual) in report.visual_matches.iter().enumerate() {
+            assert!(
+                visual <= series[snapshot].0,
+                "snapshot {snapshot}: {visual} visual matches > {} live",
+                series[snapshot].0
+            );
+        }
+        assert!(
+            report.visual_matches[0] > 0,
+            "no first-snapshot phishing page visually matches its brand"
+        );
         // Unchanged snapshot pages are served from the shared cache.
         assert!(
             result.extractor.analyzer().metrics().cache_hits > hits_before,

@@ -33,6 +33,7 @@ fn micro(analysis_cache: bool) -> SimConfig {
         sampled_benign: 60,
         cv_folds: 3,
         analysis_cache,
+        phash_index: true,
         seed: 14,
     }
 }

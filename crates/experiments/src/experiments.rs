@@ -39,7 +39,7 @@ pub fn run_experiment(id: &str, result: &PipelineResult) -> Option<String> {
         "fig6" => fig6(result),
         "fig7" => fig7(result),
         "table5" => table5(result),
-        "fig8" => fig8(),
+        "fig8" => fig8(result.phash_index),
         "fig9" => fig9(result),
         "table6" => table6(result),
         "table7" => table7(result),
@@ -446,7 +446,7 @@ fn table5(result: &PipelineResult) -> String {
 
 /// Figure 8: layout-obfuscation example — image-hash distances of
 /// increasingly obfuscated paypal phishing pages (paper: 7 / 24 / 38).
-fn fig8() -> String {
+fn fig8(indexed: bool) -> String {
     let registry = BrandRegistry::with_size(10);
     let brand = registry.by_label("paypal").expect("paypal");
     let original = pages::brand_login_page(brand);
@@ -454,24 +454,27 @@ fn fig8() -> String {
     // analyzer; the four variants below still share its cache.
     let analyzer = squatphi::artifact::PageAnalyzer::new();
     let orig_hash = analyzer.analyze(&original).image_hash;
-    let mut points = Vec::new();
-    for intensity in 0..4u8 {
-        let profile = PhishingProfile {
-            brand: brand.id,
-            scam: ScamKind::FakeLogin,
-            layout_obfuscation: intensity,
-            string_obfuscation: false,
-            code_obfuscation: false,
-            cloaking: Cloaking::None,
-            lifetime: LifetimePattern::Stable,
-        };
-        let html = pages::phishing_page(brand, &profile, "paypal-cash.com", 8);
-        let h = analyzer.analyze(&html).image_hash;
-        points.push((
-            format!("intensity {intensity}"),
-            orig_hash.distance(&h).to_string(),
-        ));
-    }
+    let variant_hashes: Vec<_> = (0..4u8)
+        .map(|intensity| {
+            let profile = PhishingProfile {
+                brand: brand.id,
+                scam: ScamKind::FakeLogin,
+                layout_obfuscation: intensity,
+                string_obfuscation: false,
+                code_obfuscation: false,
+                cloaking: Cloaking::None,
+                lifetime: LifetimePattern::Stable,
+            };
+            let html = pages::phishing_page(brand, &profile, "paypal-cash.com", 8);
+            analyzer.analyze(&html).image_hash
+        })
+        .collect();
+    let points: Vec<(String, String)> =
+        squatphi::evasion::layout_distances(&variant_hashes, orig_hash, indexed)
+            .into_iter()
+            .enumerate()
+            .map(|(intensity, d)| (format!("intensity {intensity}"), d.to_string()))
+            .collect();
     let mut s = series(
         "Figure 8 — image-hash distance of paypal phishing variants to the real page",
         "Variant",
@@ -493,14 +496,19 @@ fn fig9(result: &PipelineResult) -> String {
         };
         let brand_page = result.world.brand_page(brand.id).expect("brand page");
         let bh = analyzer.analyze(brand_page).image_hash;
-        let ds: Vec<f64> = result
+        let page_hashes: Vec<_> = result
             .feed
             .entries
             .iter()
             .filter(|e| e.brand == brand.id && e.still_phishing)
             .take(60)
-            .map(|e| analyzer.analyze(&e.html).image_hash.distance(&bh) as f64)
+            .map(|e| analyzer.analyze(&e.html).image_hash)
             .collect();
+        let ds: Vec<f64> =
+            squatphi::evasion::layout_distances(&page_hashes, bh, result.phash_index)
+                .into_iter()
+                .map(f64::from)
+                .collect();
         if ds.is_empty() {
             continue;
         }
@@ -530,14 +538,21 @@ fn table6(result: &PipelineResult) -> String {
             continue;
         };
         let brand_page = result.world.brand_page(brand.id).expect("brand page");
-        let ms: Vec<squatphi::evasion::EvasionMeasurement> = result
+        let brand_artifact = analyzer.analyze(brand_page);
+        let artifacts: Vec<_> = result
             .feed
             .entries
             .iter()
             .filter(|e| e.brand == brand.id && e.still_phishing)
             .take(80)
-            .map(|e| squatphi::evasion::measure(analyzer, &e.html, brand_page, label))
+            .map(|e| analyzer.analyze(&e.html))
             .collect();
+        let ms = squatphi::evasion::measure_corpus(
+            artifacts.iter().map(|a| a.as_ref()),
+            &brand_artifact,
+            label,
+            result.phash_index,
+        );
         if ms.is_empty() {
             continue;
         }
@@ -930,50 +945,59 @@ fn fig17(result: &PipelineResult) -> String {
 /// 37.5%).
 fn table11(result: &PipelineResult) -> String {
     let analyzer = result.extractor.analyzer();
-    // Squatting phishing: measure a sample of confirmed live pages.
-    let mut squat_ms = Vec::new();
-    for d in result.confirmed(Device::Web).iter().take(200) {
-        let Some(brand) = result.registry.get(d.brand) else {
-            continue;
-        };
-        let Some(brand_page) = result.world.brand_page(brand.id) else {
-            continue;
-        };
-        if let squatphi_web::ServeResult::Page(html) = result.world.serve(&d.domain, Device::Web, 0)
-        {
-            squat_ms.push(squatphi::evasion::measure(
-                analyzer,
-                &html,
-                brand_page,
+    // Both sets group pages by brand so each brand's corpus goes through
+    // one bulk `measure_corpus` call (one index build / one radius query
+    // per brand instead of a pairwise loop). BTreeMap keeps brand order —
+    // and therefore the measurement order the summary sums over —
+    // deterministic and identical with the index on or off.
+    let measure_grouped = |pages: Vec<(usize, String)>| {
+        let mut by_brand: std::collections::BTreeMap<usize, Vec<String>> =
+            std::collections::BTreeMap::new();
+        for (brand, html) in pages {
+            by_brand.entry(brand).or_default().push(html);
+        }
+        let mut ms = Vec::new();
+        for (brand_id, htmls) in by_brand {
+            let Some(brand) = result.registry.get(brand_id) else {
+                continue;
+            };
+            let Some(brand_page) = result.world.brand_page(brand_id) else {
+                continue;
+            };
+            let brand_artifact = analyzer.analyze(brand_page);
+            let artifacts: Vec<_> = htmls.iter().map(|h| analyzer.analyze(h)).collect();
+            ms.extend(squatphi::evasion::measure_corpus(
+                artifacts.iter().map(|a| a.as_ref()),
+                &brand_artifact,
                 &brand.label,
+                result.phash_index,
             ));
         }
-    }
-    let squat = squatphi::evasion::EvasionSummary::from_measurements(&squat_ms);
+        ms
+    };
+
+    // Squatting phishing: measure a sample of confirmed live pages.
+    let squat_pages: Vec<(usize, String)> = result
+        .confirmed(Device::Web)
+        .iter()
+        .take(200)
+        .filter_map(|d| match result.world.serve(&d.domain, Device::Web, 0) {
+            squatphi_web::ServeResult::Page(html) => Some((d.brand, html)),
+            _ => None,
+        })
+        .collect();
+    let squat = squatphi::evasion::EvasionSummary::from_measurements(&measure_grouped(squat_pages));
 
     // Non-squatting: the feed's still-phishing, non-squatting entries.
-    let mut ns_ms = Vec::new();
-    for e in result
+    let ns_pages: Vec<(usize, String)> = result
         .feed
         .entries
         .iter()
         .filter(|e| e.still_phishing && e.squat_type.is_none())
         .take(300)
-    {
-        let Some(brand) = result.registry.get(e.brand) else {
-            continue;
-        };
-        let Some(brand_page) = result.world.brand_page(brand.id) else {
-            continue;
-        };
-        ns_ms.push(squatphi::evasion::measure(
-            analyzer,
-            &e.html,
-            brand_page,
-            &brand.label,
-        ));
-    }
-    let ns = squatphi::evasion::EvasionSummary::from_measurements(&ns_ms);
+        .map(|e| (e.brand, e.html.clone()))
+        .collect();
+    let ns = squatphi::evasion::EvasionSummary::from_measurements(&measure_grouped(ns_pages));
 
     let row = |name: &str, s: &squatphi::evasion::EvasionSummary| {
         vec![
@@ -1103,7 +1127,8 @@ mod tests {
 
     #[test]
     fn fig8_distances_monotone_overall() {
-        let out = fig8();
+        let out = fig8(true);
+        assert_eq!(out, fig8(false), "index-on and linear fig8 diverged");
         // Parse the distances back out.
         let ds: Vec<u32> = out
             .lines()

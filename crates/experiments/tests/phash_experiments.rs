@@ -1,0 +1,79 @@
+//! Index transparency for the paper experiments: the pHash NN index is a
+//! pure speedup, so every visual-similarity experiment (Fig 8/9, Tables
+//! 6/11) must print byte-identical reports with `phash_index` on and off,
+//! and two identical index-on runs must agree with each other. Mirrors
+//! the `analysis_cache` transparency gate in `crates/core/tests/`.
+
+use squatphi::pipeline::PipelineResult;
+use squatphi::{RunOptions, SimConfig, SquatPhi};
+use squatphi_dnsdb::SnapshotConfig;
+use squatphi_experiments::experiments::run_experiment;
+use squatphi_feeds::FeedConfig;
+use squatphi_web::WorldConfig;
+
+/// Smaller than `SimConfig::tiny()` — this test runs the pipeline three
+/// times (index-on twice for determinism, index-off once for parity).
+fn micro(phash_index: bool) -> SimConfig {
+    SimConfig {
+        snapshot: SnapshotConfig {
+            benign_records: 500,
+            squatting_records: 220,
+            subdomain_fraction: 0.2,
+            seed: 21,
+        },
+        world: WorldConfig {
+            phishing_domains: 36,
+            seed: 22,
+            ..WorldConfig::default()
+        },
+        feed: FeedConfig {
+            total_urls: 220,
+            seed: 23,
+        },
+        brands: 25,
+        threads: 4,
+        sampled_benign: 50,
+        cv_folds: 3,
+        analysis_cache: true,
+        phash_index,
+        seed: 24,
+    }
+}
+
+/// The experiments whose lookups route through the index.
+const VISUAL_EXPERIMENTS: &[&str] = &["fig8", "fig9", "table6", "table11"];
+
+fn reports(result: &PipelineResult) -> Vec<(String, String)> {
+    VISUAL_EXPERIMENTS
+        .iter()
+        .map(|id| {
+            (
+                id.to_string(),
+                run_experiment(id, result).unwrap_or_else(|| panic!("experiment {id} missing")),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn visual_experiments_identical_with_index_on_and_off() {
+    let on = SquatPhi::try_run(&micro(true), &RunOptions::default())
+        .expect("index-on pipeline runs clean");
+    let off = SquatPhi::try_run(&micro(false), &RunOptions::default())
+        .expect("index-off pipeline runs clean");
+    for ((id, a), (_, b)) in reports(&on).into_iter().zip(reports(&off)) {
+        assert_eq!(a, b, "experiment {id} diverged between index and linear");
+        assert!(!a.is_empty(), "experiment {id} printed nothing");
+    }
+}
+
+#[test]
+fn visual_experiments_are_two_run_deterministic() {
+    let a = SquatPhi::try_run(&micro(true), &RunOptions::default()).expect("first run");
+    let b = SquatPhi::try_run(&micro(true), &RunOptions::default()).expect("second run");
+    assert_eq!(
+        reports(&a),
+        reports(&b),
+        "identical index-on runs printed different reports"
+    );
+}

@@ -13,16 +13,40 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod index;
+
 use squatphi_render::Bitmap;
 
 /// A 64-bit perceptual hash.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Ordering is plain `u64` ordering of the raw bits; the index uses it only
+/// for deterministic tie-breaking, never as a similarity measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ImageHash(pub u64);
 
+/// Hamming distance between two raw 64-bit hash words (0..=64).
+///
+/// The one shared distance path: [`ImageHash::distance`], [`phash_distance`],
+/// the [`index::HashIndex`] verifier and the [`index::linear`] oracle all
+/// delegate here, so production and oracle cannot diverge.
+pub fn hamming64(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
 impl ImageHash {
+    /// Construct a hash from its raw 64-bit word.
+    pub fn from_bits(bits: u64) -> ImageHash {
+        ImageHash(bits)
+    }
+
+    /// The raw 64-bit word.
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
     /// Hamming distance to another hash (0..=64).
     pub fn distance(&self, other: &ImageHash) -> u32 {
-        (self.0 ^ other.0).count_ones()
+        hamming64(self.0, other.0)
     }
 }
 
@@ -187,6 +211,15 @@ mod tests {
     fn display_is_hex() {
         let s = ImageHash(0xDEAD_BEEF).to_string();
         assert_eq!(s, "00000000deadbeef");
+    }
+
+    #[test]
+    fn from_bits_round_trips_and_orders_by_raw_word() {
+        let a = ImageHash::from_bits(0x1);
+        let b = ImageHash::from_bits(0x2);
+        assert_eq!(a.to_bits(), 0x1);
+        assert!(a < b);
+        assert_eq!(a.distance(&b), hamming64(0x1, 0x2));
     }
 
     #[test]

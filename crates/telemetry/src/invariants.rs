@@ -156,6 +156,18 @@ pub fn watch_invariants() -> InvariantSet {
         ))
 }
 
+/// Visual-similarity index identities (`phash.index.` scope, exported by
+/// `imghash::index::HashIndex`): every candidate the index examines is
+/// either verified (within the radius) or pruned — the probe ledger leaks
+/// nothing, on the multi-index path and the BK-tree fallback alike.
+pub fn phash_index_invariants() -> InvariantSet {
+    InvariantSet::new().with(Invariant::sum_eq(
+        "phash.index.probe_conservation",
+        &["phash.index.probes"],
+        &["phash.index.verified", "phash.index.pruned"],
+    ))
+}
+
 /// Every identity the batch pipeline must satisfy end-to-end — what
 /// `PipelineResult::check_invariants` runs.
 pub fn pipeline_invariants() -> InvariantSet {
@@ -164,6 +176,7 @@ pub fn pipeline_invariants() -> InvariantSet {
         .chain(analysis_invariants().iter())
         .chain(supervision_invariants().iter())
         .chain(crawl_invariants().iter())
+        .chain(phash_index_invariants().iter())
         .cloned()
         .collect()
 }
@@ -181,6 +194,7 @@ mod tests {
             (supervision_invariants(), "supervision."),
             (crawl_invariants(), "crawl."),
             (watch_invariants(), "watch."),
+            (phash_index_invariants(), "phash.index."),
         ] {
             assert!(!set.is_empty());
             for inv in set.iter() {
@@ -193,6 +207,7 @@ mod tests {
                 + analysis_invariants().len()
                 + supervision_invariants().len()
                 + crawl_invariants().len()
+                + phash_index_invariants().len()
         );
     }
 
@@ -202,6 +217,17 @@ mod tests {
         let snap = Snapshot::new();
         assert!(pipeline_invariants().all_hold(&snap));
         assert!(watch_invariants().all_hold(&snap));
+    }
+
+    #[test]
+    fn leaked_index_probe_is_caught() {
+        let mut snap = Snapshot::new();
+        snap.insert("phash.index.probes", Value::U64(10));
+        snap.insert("phash.index.verified", Value::U64(6));
+        snap.insert("phash.index.pruned", Value::U64(3));
+        // One probe neither verified nor pruned.
+        let violations = phash_index_invariants().check_all(&snap).unwrap_err();
+        assert_eq!(violations[0].invariant, "phash.index.probe_conservation");
     }
 
     #[test]
