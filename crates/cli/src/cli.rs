@@ -1,5 +1,6 @@
 //! Argument parsing for the `squatphi` binary (std-only, no clap).
 
+use squatphi::DiskFaultPlan;
 use squatphi_crawler::{FaultPlan, FetchClass};
 
 /// A parsed invocation.
@@ -88,7 +89,8 @@ pub enum Command {
         report: Option<String>,
     },
     /// `squatphi watch [--seed N] [--events N] [--brands N] [--threads N]
-    /// [--stop-after N] [--checkpoint DIR] [--resume] [--json]` — run the
+    /// [--stop-after N] [--checkpoint DIR] [--resume]
+    /// [--disk-faults SPEC] [--disk-fault-seed N] [--json]` — run the
     /// streaming detection daemon over the seeded registration feed.
     Watch {
         /// Stream + world seed.
@@ -106,6 +108,8 @@ pub enum Command {
         checkpoint_dir: Option<String>,
         /// Resume from the watermark checkpoint.
         resume: bool,
+        /// Seeded disk-fault plan injected under the checkpoint store.
+        disk_faults: DiskFaultPlan,
         /// Emit the machine-readable JSON summary instead of the report.
         json: bool,
         /// Keep wall-clock timing values in the JSON (opt-in; virtual
@@ -156,12 +160,16 @@ USAGE:
                                             (differential, round-trip, fuzz);
                                             exits non-zero on any violation
   squatphi watch [--seed N] [--events N] [--brands N] [--threads N]
-                 [--stop-after N] [--checkpoint DIR] [--resume] [--json]
+                 [--stop-after N] [--checkpoint DIR] [--resume]
+                 [--disk-faults SPEC] [--disk-fault-seed N] [--json]
                  [--timings]
                                             streaming detection daemon: ingest
                                             the seeded registration feed through
                                             bounded detect + re-crawl stages
                                             with watermark checkpoints
+                                            (SPEC: comma-separated torn-at-byte-N |
+                                            bitflip-permille-P | enospc-after-N |
+                                            crash-at-write-K clauses, or none)
   squatphi help                             this text
 
 Every --json surface strips wall-clock timing values by default (one
@@ -411,6 +419,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut stop_after = None;
             let mut checkpoint_dir = None;
             let mut resume = false;
+            let mut disk_faults_spec: Option<String> = None;
+            let mut disk_fault_seed = 0u64;
             let mut json = false;
             let mut timings = false;
             let rest: Vec<&String> = it.collect();
@@ -466,6 +476,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         );
                     }
                     "--resume" => resume = true,
+                    "--disk-faults" => {
+                        i += 1;
+                        disk_faults_spec = Some(
+                            rest.get(i)
+                                .ok_or_else(|| err("--disk-faults needs a plan spec"))?
+                                .to_string(),
+                        );
+                    }
+                    "--disk-fault-seed" => {
+                        i += 1;
+                        disk_fault_seed = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("--disk-fault-seed needs an integer"))?;
+                    }
                     "--json" => json = true,
                     "--timings" => timings = true,
                     other => return Err(err(format!("unexpected argument {other:?}"))),
@@ -475,6 +500,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if resume && checkpoint_dir.is_none() {
                 return Err(err("--resume requires --checkpoint DIR"));
             }
+            let disk_faults = DiskFaultPlan::parse(disk_faults_spec.as_deref().unwrap_or("none"))
+                .map_err(|e| err(format!("--disk-faults: {e}")))?
+                .with_seed(disk_fault_seed);
+            if !disk_faults.is_none() && checkpoint_dir.is_none() {
+                return Err(err("--disk-faults requires --checkpoint DIR"));
+            }
             Ok(Command::Watch {
                 seed,
                 events,
@@ -483,6 +514,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 stop_after,
                 checkpoint_dir,
                 resume,
+                disk_faults,
                 json,
                 timings,
             })
@@ -708,6 +740,7 @@ mod tests {
                 stop_after: None,
                 checkpoint_dir: None,
                 resume: false,
+                disk_faults: DiskFaultPlan::none(),
                 json: false,
                 timings: false
             }
@@ -726,6 +759,7 @@ mod tests {
                 stop_after: Some(100),
                 checkpoint_dir: Some("ckpt".into()),
                 resume: true,
+                disk_faults: DiskFaultPlan::none(),
                 json: true,
                 timings: true
             }
@@ -734,6 +768,31 @@ mod tests {
         assert!(parse_args(&args("watch --resume")).is_err());
         assert!(parse_args(&args("watch --stop-after")).is_err());
         assert!(parse_args(&args("watch bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_watch_disk_faults() {
+        let cmd = parse_args(&args(
+            "watch --checkpoint ckpt --disk-faults torn-at-byte-60,crash-at-write-2 \
+             --disk-fault-seed 9",
+        ))
+        .unwrap();
+        let Command::Watch { disk_faults, .. } = cmd else {
+            panic!("parsed a non-watch command");
+        };
+        assert_eq!(
+            disk_faults,
+            DiskFaultPlan::parse("torn-at-byte-60,crash-at-write-2")
+                .unwrap()
+                .with_seed(9)
+        );
+        // Bad clauses are rejected with the offending clause named.
+        let e = parse_args(&args("watch --checkpoint ckpt --disk-faults melt-cpu-5")).unwrap_err();
+        assert!(e.0.contains("melt-cpu-5"), "{e}");
+        // Disk faults only act on the checkpoint store, so they require one.
+        assert!(parse_args(&args("watch --disk-faults torn-at-byte-60")).is_err());
+        assert!(parse_args(&args("watch --disk-faults")).is_err());
+        assert!(parse_args(&args("watch --disk-fault-seed x")).is_err());
     }
 
     #[test]

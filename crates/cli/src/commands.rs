@@ -2,7 +2,7 @@
 //! `String` so tests can assert on output without process spawning.
 
 use crate::cli::Command;
-use squatphi::{FeatureExtractor, SquatPhi, WatchConfig, WatchOptions};
+use squatphi::{DiskFaultPlan, FeatureExtractor, SquatPhi, WatchConfig, WatchOptions};
 use squatphi_crawler::{
     crawl_all, CircuitBreakerPolicy, CrawlConfig, CrawlOutcome, DeadlinePolicy, FaultPlan,
     InProcessTransport, RetryPolicy, TransportStack,
@@ -57,6 +57,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             stop_after,
             checkpoint_dir,
             resume,
+            disk_faults,
             json,
             timings,
         } => watch(
@@ -67,6 +68,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             *stop_after,
             checkpoint_dir.as_deref(),
             *resume,
+            *disk_faults,
             *json,
             *timings,
         ),
@@ -86,6 +88,7 @@ fn watch(
     stop_after: Option<u64>,
     checkpoint_dir: Option<&str>,
     resume: bool,
+    disk_faults: DiskFaultPlan,
     json: bool,
     timings: bool,
 ) -> Result<String, String> {
@@ -100,6 +103,7 @@ fn watch(
         checkpoint_dir: checkpoint_dir.map(PathBuf::from),
         resume,
         stop_after,
+        disk_faults,
     };
     let summary = SquatPhi::try_watch(&config, &opts).map_err(|e| e.to_string())?;
     if json {
@@ -120,6 +124,17 @@ fn watch(
         }
     );
     let _ = writeln!(out, "  {}", summary.report_line());
+    if checkpoint_dir.is_some() {
+        let _ = writeln!(out, "  durability: {}", summary.durability.report_line());
+    }
+    if let Some(detail) = &summary.recovered_checkpoint {
+        let _ = writeln!(
+            out,
+            "  recovered checkpoint: resumed from an older generation ({detail})"
+        );
+    } else if summary.resumed {
+        let _ = writeln!(out, "  resumed from the watermark checkpoint");
+    }
     let c = &summary.counters;
     let _ = writeln!(
         out,
@@ -730,6 +745,7 @@ mod tests {
             stop_after: None,
             checkpoint_dir: None,
             resume: false,
+            disk_faults: DiskFaultPlan::none(),
             json,
             timings: false,
         };
@@ -756,6 +772,7 @@ mod tests {
             stop_after,
             checkpoint_dir,
             resume,
+            disk_faults: DiskFaultPlan::none(),
             json: true,
             timings: false,
         };
@@ -770,6 +787,35 @@ mod tests {
         let resumed =
             run(&base(None, Some(dir.to_string_lossy().into_owned()), true)).expect("resumed run");
         assert_eq!(resumed, full, "resume diverged from the full run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_resume_after_torn_checkpoints_is_a_structured_error() {
+        let dir =
+            std::env::temp_dir().join(format!("squatphi-cli-watch-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = |resume: bool, disk_faults| Command::Watch {
+            seed: 11,
+            events: 200,
+            brands: 12,
+            threads: 2,
+            stop_after: (!resume).then_some(80),
+            checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+            resume,
+            disk_faults,
+            json: true,
+            timings: false,
+        };
+        // Torn writes are silent: the interrupted run still completes, but
+        // every checkpoint generation it left behind is damaged.
+        let torn = DiskFaultPlan::parse("torn-at-byte-60").unwrap();
+        run(&base(false, torn)).expect("torn writes do not fail the run");
+        // Resuming against the all-damaged store is a structured error, not
+        // a silent recompute.
+        let err = run(&base(true, DiskFaultPlan::none())).unwrap_err();
+        assert!(err.contains("unrecoverable"), "{err}");
+        assert!(err.contains("watch"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -25,6 +25,12 @@
 //!   every completed run's report reconciles, and an interrupted +
 //!   resumed checkpointed run fingerprints identically to an
 //!   uninterrupted one with no partial checkpoint files.
+//! * **Durability** — exhaustive single-byte damage (bitflips and
+//!   truncations at every offset) over a real two-generation
+//!   `DurableStore`: the reader never panics, any single damaged
+//!   generation recovers the older body byte-exactly, both-damaged
+//!   stores classify `Unrecoverable`, and the read ledger reconciles
+//!   after every load.
 //! * **pHash index** — seeded hash corpora (uniform, clustered, and
 //!   bucket-flooding degenerate distributions) through
 //!   `imghash::index::HashIndex` vs the preserved linear oracle:
@@ -49,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod differential;
+mod durability;
 mod fuzz;
 pub mod justify;
 mod phash_index;
@@ -111,6 +118,7 @@ impl Budget {
                 dns_fuzz_cases: 700,
                 html_fuzz_cases: 300,
                 supervision_plans: 2,
+                durability_bodies: 2,
                 scan_diff_negatives: 1500,
                 phash_corpus: 2500,
                 phash_queries: 40,
@@ -125,6 +133,7 @@ impl Budget {
                 dns_fuzz_cases: 5000,
                 html_fuzz_cases: 1500,
                 supervision_plans: 3,
+                durability_bodies: 6,
                 scan_diff_negatives: 8000,
                 phash_corpus: 20_000,
                 phash_queries: 120,
@@ -157,6 +166,9 @@ pub(crate) struct Params {
     /// plan is one full `try_run`; one checkpoint/resume scenario rides
     /// on top).
     pub supervision_plans: usize,
+    /// Seeded store bodies for the durability oracle; the byte-level
+    /// damage sweep per body is exhaustive, so this scales total work.
+    pub durability_bodies: usize,
     /// Seeded random domains for the legacy↔fingerprint matcher
     /// differential (`scan-diff`), on top of the exhaustive generated
     /// candidates and the snapshot-level scan it always runs.
@@ -209,6 +221,9 @@ pub fn run(config: &ConformanceConfig) -> ConformanceReport {
     report.push(timed("html-fuzz", || fuzz::run_html(config.seed, &params)));
     report.push(timed("supervision", || {
         supervision::run_supervision(config.seed, &params)
+    }));
+    report.push(timed("durability", || {
+        durability::run_durability(config.seed, &params)
     }));
     report.push(timed("scan-diff", || {
         scan_diff::run_scan_diff(config.seed, &params)

@@ -2,23 +2,27 @@
 //! outputs so `--resume` replays completed stages from disk with
 //! byte-identical final output.
 //!
-//! Format: one hand-rolled JSON file per stage (`scan.ckpt.json`,
-//! `crawl.ckpt.json`, `train.ckpt.json`) in the `--checkpoint-dir`. Every
-//! file carries a `version` and a `config_hash` — a seeded content hash
-//! over the canonical [`SimConfig`] *and* the fault plan (worker threads
-//! and the analysis-cache toggle are excluded: both are output-neutral).
-//! A checkpoint whose hash does not match the current run is **stale**
-//! and silently recomputed (surfaced in the supervision report's
-//! `invalidated_checkpoints`), so resuming under a changed config can
-//! never splice incompatible stage outputs together. Corrupt files
-//! (truncated JSON, bad field shapes) are treated the same way; only
-//! real I/O failures become [`CheckpointError`]s.
+//! Persistence routes through [`squatphi_durability::DurableStore`]: one
+//! generational, checksummed state per stage (`scan.g<N>.ckpt`,
+//! `crawl.g<N>.ckpt`, `train.g<N>.ckpt`) in the `--checkpoint-dir`, with
+//! the latest two generations kept. The store is bound to a
+//! `config_hash` — a seeded content hash over the canonical
+//! [`SimConfig`] *and* the fault plan (worker threads, the
+//! analysis-cache toggle and the *disk*-fault plan are excluded: all
+//! output-neutral) — so a checkpoint written under another config
+//! classifies as **stale** and is silently recomputed (surfaced in the
+//! supervision report's `invalidated_checkpoints`); resuming under a
+//! changed config can never splice incompatible stage outputs together.
 //!
-//! Writes are atomic: the file is written to `<name>.tmp` and renamed
-//! into place, so a crash mid-write leaves either the old checkpoint or
-//! none — never a partial one. Floats round-trip losslessly as
-//! `f64::to_bits` integers, which is what makes resumed runs
-//! *byte-identical* rather than merely close.
+//! Damage is classified, never papered over: a corrupt or torn newest
+//! generation falls back to the previous one ([`Loaded::Recovered`],
+//! surfaced in the supervision report), and a store whose every
+//! generation is damaged is a structured
+//! [`CheckpointError::Unrecoverable`] — state that was durably written
+//! and then lost must not silently recompute. Bodies are the hand-rolled
+//! JSON codecs below; floats round-trip losslessly as `f64::to_bits`
+//! integers, which is what makes resumed runs *byte-identical* rather
+//! than merely close.
 //!
 //! The world, feed and feature extractor are deliberately **not**
 //! checkpointed: they rebuild deterministically from the config, and the
@@ -32,9 +36,14 @@ use crate::train::{EvalReport, ModelEval};
 use squatphi_crawler::{CrawlRecord, CrawlStats, PageCapture, RedirectClass, TransportSnapshot};
 use squatphi_dnsdb::{ScanMetrics, ScanOutcome, SquatRecord, WorkerMetrics};
 use squatphi_domain::DomainName;
+use squatphi_durability::{
+    render_classes, DiskFaultPlan, DurabilityStats, DurableStore, FaultVfs, LoadOutcome, RealVfs,
+    StoreError, Vfs,
+};
 use squatphi_ml::{Metrics, RandomForest, RocCurve};
 use squatphi_squat::SquatType;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Checkpoint format version; bumped on any codec change so old files
@@ -44,8 +53,10 @@ const VERSION: u64 = 2;
 /// Seed of the config-hash content key.
 const HASH_SEED: u64 = 0xc4ec_4b01;
 
-/// Checkpoint persistence failure (I/O only — stale or corrupt files are
-/// recomputed, not fatal).
+/// Checkpoint persistence failure. Stale checkpoints are recomputed, and
+/// damage with a surviving older generation is recovered — but a store
+/// whose every generation is damaged is a structured error, never a
+/// silent recompute.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
     /// Reading or writing the checkpoint directory failed.
@@ -55,12 +66,29 @@ pub enum CheckpointError {
         /// Stringified OS error.
         message: String,
     },
+    /// Every on-disk generation of a checkpoint is damaged: state that
+    /// was durably written has been lost, and resuming from it would
+    /// silently recompute over the damage.
+    Unrecoverable {
+        /// The checkpoint name (stage name or `watch`).
+        name: String,
+        /// The checkpoint directory.
+        dir: String,
+        /// Per-generation damage classification, newest first
+        /// (e.g. `g4 torn, g3 corrupt_body`).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::Io { path, message } => write!(f, "io error on {path}: {message}"),
+            CheckpointError::Unrecoverable { name, dir, detail } => write!(
+                f,
+                "checkpoint {name:?} in {dir} is unrecoverable ({detail}); \
+                 delete its generation files or rerun without --resume to recompute"
+            ),
         }
     }
 }
@@ -71,11 +99,32 @@ impl std::error::Error for CheckpointError {}
 pub(crate) enum Loaded<T> {
     /// No checkpoint on disk (or `--resume` not requested).
     Missing,
-    /// A checkpoint exists but is stale (config-hash mismatch) or
-    /// corrupt; the stage recomputes and overwrites it.
+    /// A checkpoint exists but was written under a different config or
+    /// format version; the stage recomputes and overwrites it.
     Stale,
-    /// A valid checkpoint.
+    /// The newest generation verified and decoded.
     Value(T),
+    /// The newest generation(s) were damaged; an older one verified. The
+    /// string is the skipped-damage classification, newest first.
+    Recovered(T, String),
+}
+
+/// Maps a store-level failure into the checkpoint error taxonomy.
+pub(crate) fn store_err(e: StoreError) -> CheckpointError {
+    match e {
+        StoreError::Io { path, message } => CheckpointError::Io { path, message },
+    }
+}
+
+/// The write path every durable state in the workspace shares: the real
+/// filesystem, or the same wrapped in a seeded [`FaultVfs`] when a
+/// disk-fault plan is active.
+pub(crate) fn vfs_for(disk_faults: &DiskFaultPlan) -> Arc<dyn Vfs> {
+    if disk_faults.is_none() {
+        Arc::new(RealVfs)
+    } else {
+        Arc::new(FaultVfs::new(Arc::new(RealVfs), *disk_faults))
+    }
 }
 
 /// Canonical config hash binding checkpoints to the run that wrote them.
@@ -104,9 +153,12 @@ pub(crate) fn config_hash(config: &SimConfig, faults: &PipelineFaultPlan) -> u64
     content_key(HASH_SEED, canon.as_bytes())
 }
 
-/// One run's checkpoint directory, bound to its config hash.
+/// One run's checkpoint directory, bound to its config hash. A thin
+/// stage-codec layer over the workspace-wide [`DurableStore`]: the store
+/// owns atomicity, checksums, generations and damage classification;
+/// this type owns only what a stage body *means*.
 pub(crate) struct CheckpointStore {
-    dir: PathBuf,
+    store: DurableStore,
     hash: u64,
 }
 
@@ -115,49 +167,61 @@ impl CheckpointStore {
         dir: &Path,
         config: &SimConfig,
         faults: &PipelineFaultPlan,
+        disk_faults: &DiskFaultPlan,
     ) -> Result<Self, CheckpointError> {
-        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
-        Ok(CheckpointStore {
-            dir: dir.to_path_buf(),
-            hash: config_hash(config, faults),
+        let hash = config_hash(config, faults);
+        let store = DurableStore::open(dir, hash, vfs_for(disk_faults)).map_err(store_err)?;
+        Ok(CheckpointStore { store, hash })
+    }
+
+    /// The durable-state ledger for this run's checkpoint directory.
+    pub(crate) fn stats(&self) -> DurabilityStats {
+        self.store.stats()
+    }
+
+    /// Durably commits one stage body as the next generation.
+    fn save(&self, stage: PipelineStage, body: &str) -> Result<(), CheckpointError> {
+        self.store
+            .save(stage.name(), body)
+            .map(|_generation| ())
+            .map_err(store_err)
+    }
+
+    /// Loads the newest verifiable generation of a stage, decoding the
+    /// JSON body with `decode` (shape failures classify as corrupt and
+    /// fall back to the previous generation).
+    fn load_stage<T>(
+        &self,
+        stage: PipelineStage,
+        decode: impl Fn(&json::Value) -> Option<T>,
+    ) -> Result<Loaded<T>, CheckpointError> {
+        let outcome = self
+            .store
+            .load_with(stage.name(), |body| {
+                json::parse(body).ok().and_then(|v| decode(&v))
+            })
+            .map_err(store_err)?;
+        Ok(match outcome {
+            LoadOutcome::Missing => Loaded::Missing,
+            LoadOutcome::Stale { .. } => Loaded::Stale,
+            LoadOutcome::Valid(v) => Loaded::Value(v),
+            LoadOutcome::Recovered { value, skipped, .. } => {
+                Loaded::Recovered(value, render_classes(&skipped))
+            }
+            LoadOutcome::Unrecoverable { classes } => {
+                return Err(CheckpointError::Unrecoverable {
+                    name: stage.name().to_string(),
+                    dir: self.store.dir().display().to_string(),
+                    detail: render_classes(&classes),
+                })
+            }
         })
     }
 
-    fn path(&self, stage: PipelineStage) -> PathBuf {
-        self.dir.join(format!("{}.ckpt.json", stage.name()))
-    }
-
-    /// Atomic write: temp file + rename, so a crash mid-write never
-    /// leaves a partial checkpoint behind.
-    fn write_atomic(&self, stage: PipelineStage, body: &str) -> Result<(), CheckpointError> {
-        let tmp = self.dir.join(format!("{}.ckpt.json.tmp", stage.name()));
-        std::fs::write(&tmp, body).map_err(|e| io_err(&tmp, &e))?;
-        let dest = self.path(stage);
-        std::fs::rename(&tmp, &dest).map_err(|e| io_err(&dest, &e))?;
-        Ok(())
-    }
-
-    /// Reads and hash-validates a stage file. Parse/shape failures are
-    /// [`Loaded::Stale`]; only I/O failures error.
-    fn read(&self, stage: PipelineStage) -> Result<Loaded<json::Value>, CheckpointError> {
-        let path = self.path(stage);
-        let text = match std::fs::read_to_string(&path) {
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Loaded::Missing),
-            Err(e) => return Err(io_err(&path, &e)),
-            Ok(t) => t,
-        };
-        let Ok(value) = json::parse(&text) else {
-            return Ok(Loaded::Stale);
-        };
-        let fresh = value.get("version").and_then(json::Value::as_u64) == Some(VERSION)
-            && value.get("config_hash").and_then(json::Value::as_u64) == Some(self.hash);
-        Ok(if fresh {
-            Loaded::Value(value)
-        } else {
-            Loaded::Stale
-        })
-    }
-
+    /// Informational body header. Freshness is enforced by the durable
+    /// store's own config binding (the config hash doubles as the store
+    /// config, and `VERSION` is folded into it), so these fields exist
+    /// for humans inspecting a checkpoint, not for validation.
     fn header(&self, stage: PipelineStage) -> String {
         format!(
             "\"version\": {VERSION},\n\"config_hash\": {},\n\"stage\": \"{}\"",
@@ -221,16 +285,11 @@ impl CheckpointStore {
             metrics.wall.as_nanos() as u64,
             workers,
         );
-        self.write_atomic(PipelineStage::Scan, &body)
+        self.save(PipelineStage::Scan, &body)
     }
 
     pub(crate) fn load_scan(&self) -> Result<Loaded<(ScanOutcome, ScanMetrics)>, CheckpointError> {
-        let v = match self.read(PipelineStage::Scan)? {
-            Loaded::Value(v) => v,
-            Loaded::Missing => return Ok(Loaded::Missing),
-            Loaded::Stale => return Ok(Loaded::Stale),
-        };
-        Ok(decode_scan(&v).map_or(Loaded::Stale, Loaded::Value))
+        self.load_stage(PipelineStage::Scan, decode_scan)
     }
 
     // -- crawl --------------------------------------------------------------
@@ -292,19 +351,14 @@ impl CheckpointStore {
             transport,
             records_json,
         );
-        self.write_atomic(PipelineStage::Crawl, &body)
+        self.save(PipelineStage::Crawl, &body)
     }
 
     #[allow(clippy::type_complexity)]
     pub(crate) fn load_crawl(
         &self,
     ) -> Result<Loaded<(Vec<CrawlRecord>, CrawlStats, u64)>, CheckpointError> {
-        let v = match self.read(PipelineStage::Crawl)? {
-            Loaded::Value(v) => v,
-            Loaded::Missing => return Ok(Loaded::Missing),
-            Loaded::Stale => return Ok(Loaded::Stale),
-        };
-        Ok(decode_crawl(&v).map_or(Loaded::Stale, Loaded::Value))
+        self.load_stage(PipelineStage::Crawl, decode_crawl)
     }
 
     // -- train --------------------------------------------------------------
@@ -348,26 +402,14 @@ impl CheckpointStore {
             models,
             esc(&model.encode()),
         );
-        self.write_atomic(PipelineStage::Train, &body)
+        self.save(PipelineStage::Train, &body)
     }
 
     #[allow(clippy::type_complexity)]
     pub(crate) fn load_train(
         &self,
     ) -> Result<Loaded<((usize, usize), EvalReport, RandomForest)>, CheckpointError> {
-        let v = match self.read(PipelineStage::Train)? {
-            Loaded::Value(v) => v,
-            Loaded::Missing => return Ok(Loaded::Missing),
-            Loaded::Stale => return Ok(Loaded::Stale),
-        };
-        Ok(decode_train(&v).map_or(Loaded::Stale, Loaded::Value))
-    }
-}
-
-fn io_err(path: &Path, e: &std::io::Error) -> CheckpointError {
-    CheckpointError::Io {
-        path: path.display().to_string(),
-        message: e.to_string(),
+        self.load_stage(PipelineStage::Train, decode_train)
     }
 }
 
@@ -849,6 +891,7 @@ pub(crate) mod json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn tempdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("squatphi-ckpt-{}-{tag}", std::process::id()));
@@ -858,9 +901,22 @@ mod tests {
 
     fn store(tag: &str) -> (CheckpointStore, PathBuf) {
         let dir = tempdir(tag);
-        let s =
-            CheckpointStore::open(&dir, &SimConfig::tiny(), &PipelineFaultPlan::none()).unwrap();
+        let s = CheckpointStore::open(
+            &dir,
+            &SimConfig::tiny(),
+            &PipelineFaultPlan::none(),
+            &DiskFaultPlan::none(),
+        )
+        .unwrap();
         (s, dir)
+    }
+
+    /// Overwrites one on-disk generation with damage, through the same
+    /// durable-write path production uses.
+    fn corrupt(dir: &Path, name: &str) {
+        RealVfs
+            .write(&dir.join(name), b"{\"version\": 1, tru")
+            .unwrap();
     }
 
     #[test]
@@ -951,7 +1007,7 @@ mod tests {
     }
 
     #[test]
-    fn stale_and_corrupt_checkpoints_are_recomputed_not_fatal() {
+    fn stale_checkpoints_are_recomputed_not_fatal() {
         let (store, dir) = store("stale");
         let records: Vec<CrawlRecord> = Vec::new();
         store
@@ -960,14 +1016,53 @@ mod tests {
         // A different config must not load this checkpoint.
         let mut other_cfg = SimConfig::tiny();
         other_cfg.seed = 4242;
-        let other = CheckpointStore::open(&dir, &other_cfg, &PipelineFaultPlan::none()).unwrap();
+        let other = CheckpointStore::open(
+            &dir,
+            &other_cfg,
+            &PipelineFaultPlan::none(),
+            &DiskFaultPlan::none(),
+        )
+        .unwrap();
         assert!(matches!(other.load_crawl().unwrap(), Loaded::Stale));
-        // Corrupt file → Stale, not an error.
-        std::fs::write(dir.join("crawl.ckpt.json"), "{\"version\": 1, tru").unwrap();
-        assert!(matches!(store.load_crawl().unwrap(), Loaded::Stale));
-        // Missing file → Missing.
-        std::fs::remove_file(dir.join("crawl.ckpt.json")).unwrap();
-        assert!(matches!(store.load_crawl().unwrap(), Loaded::Missing));
+        // Missing checkpoint → Missing.
+        assert!(matches!(store.load_scan().unwrap(), Loaded::Missing));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_newest_generation_recovers_from_the_previous() {
+        let (store, dir) = store("recover");
+        let records: Vec<CrawlRecord> = Vec::new();
+        let stats = CrawlStats::from_records(&records);
+        store.save_crawl(&records, &stats, 1).unwrap();
+        store.save_crawl(&records, &stats, 2).unwrap();
+        corrupt(&dir, "crawl.g2.ckpt");
+        match store.load_crawl().unwrap() {
+            Loaded::Recovered((_, _, truncated), detail) => {
+                assert_eq!(truncated, 1, "recovery must serve the older generation");
+                assert!(detail.contains("g2"), "damage detail missing: {detail}");
+            }
+            _ => panic!("expected recovery from the previous generation"),
+        }
+        assert!(store.stats().reconciles());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fully_damaged_checkpoint_is_a_structured_error_not_a_silent_recompute() {
+        let (store, dir) = store("unrecoverable");
+        let records: Vec<CrawlRecord> = Vec::new();
+        store
+            .save_crawl(&records, &CrawlStats::from_records(&records), 0)
+            .unwrap();
+        corrupt(&dir, "crawl.g1.ckpt");
+        match store.load_crawl() {
+            Err(CheckpointError::Unrecoverable { name, detail, .. }) => {
+                assert_eq!(name, "crawl");
+                assert!(detail.contains("g1"), "damage detail missing: {detail}");
+            }
+            other => panic!("expected an unrecoverable error, got {:?}", other.is_ok()),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

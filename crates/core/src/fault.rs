@@ -128,33 +128,27 @@ impl PipelineFaultPlan {
 
     /// Parses the `--faults` grammar: `none` or a comma-separated list of
     /// `panic-permille-P` / `flaky-permille-P` / `poison-permille-P` /
-    /// `truncate-permille-P` clauses (`P` ∈ 0..=1000).
+    /// `truncate-permille-P` clauses (`P` ∈ 0..=1000). Tokenization is
+    /// the shared seeded-plan grammar in [`squatphi_durability::grammar`]
+    /// (the same one `DiskFaultPlan` uses), so error wording names the
+    /// offending clause consistently across both fault surfaces.
     pub fn parse(spec: &str) -> Result<Self, String> {
-        let spec = spec.trim();
         let mut plan = Self::none();
-        if spec.is_empty() || spec == "none" {
-            return Ok(plan);
-        }
-        for clause in spec.split(',') {
-            let clause = clause.trim();
-            let (class, permille) = clause
-                .rsplit_once('-')
-                .ok_or_else(|| format!("fault clause {clause:?}: expected CLASS-permille-P"))?;
-            let permille: u16 = permille
-                .parse()
-                .map_err(|_| format!("fault clause {clause:?}: permille is not a number"))?;
-            if permille > 1000 {
-                return Err(format!("fault clause {clause:?}: permille exceeds 1000"));
-            }
-            match class {
+        for clause in squatphi_durability::grammar::parse_clauses("fault", spec)? {
+            let permille = u16::try_from(clause.value)
+                .ok()
+                .filter(|p| *p <= 1000)
+                .ok_or_else(|| format!("fault clause {:?}: permille exceeds 1000", clause.text))?;
+            match clause.kind.as_str() {
                 "panic-permille" => plan.panic_permille = permille,
                 "flaky-permille" => plan.flaky_permille = permille,
                 "poison-permille" => plan.poison_permille = permille,
                 "truncate-permille" => plan.truncate_permille = permille,
                 other => {
                     return Err(format!(
-                        "fault clause {clause:?}: unknown class {other:?} \
-                         (expected panic|flaky|poison|truncate -permille)"
+                        "fault clause {:?}: unknown class {other:?} \
+                         (expected panic|flaky|poison|truncate -permille)",
+                        clause.text
                     ))
                 }
             }

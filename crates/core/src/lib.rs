@@ -44,6 +44,7 @@ pub use config::SimConfig;
 pub use fault::{FaultCounts, PipelineFaultPlan};
 pub use features::FeatureExtractor;
 pub use pipeline::{Detection, PipelineResult, SquatPhi, StageTimings};
+pub use squatphi_durability::{DiskFaultPlan, DurabilityStats};
 pub use stream::{
     WatchConfig, WatchConfigBuilder, WatchConfigError, WatchCounters, WatchError, WatchMetrics,
     WatchOptions, WatchSummary,

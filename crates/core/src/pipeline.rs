@@ -18,6 +18,7 @@ use crate::supervise::{
 use crate::train::{self, EvalReport};
 use squatphi_crawler::{crawl_all, CrawlConfig, CrawlRecord, CrawlStats, InProcessTransport};
 use squatphi_dnsdb::{synth, try_scan_with_metrics, ScanMetrics, ScanOutcome};
+use squatphi_durability::DurabilityStats;
 use squatphi_feeds::{FeedConfig, GroundTruthFeed};
 use squatphi_ml::{Classifier, Dataset, RandomForest};
 use squatphi_squat::{BrandRegistry, SquatDetector, SquatType};
@@ -115,6 +116,11 @@ pub struct PipelineResult {
     pub analysis: AnalysisSnapshot,
     /// Fault / quarantine / checkpoint accounting for this run.
     pub supervision: SupervisionReport,
+    /// Durable-store ledger for the run's checkpoint directory (zero
+    /// when checkpointing is off). Like the timings, this is bookkeeping
+    /// about *how* the run persisted, not *what* it computed — excluded
+    /// from [`PipelineResult::fingerprint`].
+    pub durability: DurabilityStats,
     /// Whether visual-similarity consumers (fig8/fig9, Tables 6/11, the
     /// snapshot re-classifier) route through `imghash::index::HashIndex`
     /// or the preserved linear oracle (`SimConfig::phash_index`). Results
@@ -257,6 +263,7 @@ impl PipelineResult {
         self.analysis.export(&reg.scope("analysis"));
         self.supervision.export(&reg.scope("supervision"));
         self.timings.export(&reg.scope("timings"));
+        self.durability.export(&reg.scope("durability"));
         reg
     }
 
@@ -314,13 +321,15 @@ impl SquatPhi {
         let supervisor = Supervisor::new(opts);
         let store = match &opts.checkpoint_dir {
             Some(dir) => Some(
-                CheckpointStore::open(dir, config, &opts.faults).map_err(|e| {
-                    fail(
-                        PipelineStage::Scan,
-                        &completed,
-                        PipelineErrorKind::Checkpoint(e),
-                    )
-                })?,
+                CheckpointStore::open(dir, config, &opts.faults, &opts.disk_faults).map_err(
+                    |e| {
+                        fail(
+                            PipelineStage::Scan,
+                            &completed,
+                            PipelineErrorKind::Checkpoint(e),
+                        )
+                    },
+                )?,
             ),
             None => None,
         };
@@ -344,6 +353,11 @@ impl SquatPhi {
                     {
                         Loaded::Value(v) => {
                             supervisor.note_resumed(PipelineStage::Scan);
+                            resumed = Some(v);
+                        }
+                        Loaded::Recovered(v, detail) => {
+                            supervisor.note_resumed(PipelineStage::Scan);
+                            supervisor.note_recovered_checkpoint(PipelineStage::Scan, detail);
                             resumed = Some(v);
                         }
                         Loaded::Stale => supervisor.note_invalidated(PipelineStage::Scan),
@@ -414,6 +428,12 @@ impl SquatPhi {
                             // Replay the fault accounting of the run that
                             // wrote the checkpoint (the records are
                             // already truncated on disk).
+                            supervisor.note_truncated_bulk(truncated);
+                            resumed = Some((records, stats));
+                        }
+                        Loaded::Recovered((records, stats, truncated), detail) => {
+                            supervisor.note_resumed(PipelineStage::Crawl);
+                            supervisor.note_recovered_checkpoint(PipelineStage::Crawl, detail);
                             supervisor.note_truncated_bulk(truncated);
                             resumed = Some((records, stats));
                         }
@@ -523,6 +543,11 @@ impl SquatPhi {
                             supervisor.note_resumed(PipelineStage::Train);
                             resumed = Some(v);
                         }
+                        Loaded::Recovered(v, detail) => {
+                            supervisor.note_resumed(PipelineStage::Train);
+                            supervisor.note_recovered_checkpoint(PipelineStage::Train, detail);
+                            resumed = Some(v);
+                        }
                         Loaded::Stale => supervisor.note_invalidated(PipelineStage::Train),
                         Loaded::Missing => {}
                     }
@@ -609,6 +634,10 @@ impl SquatPhi {
         }
         let analysis = extractor.analyzer().metrics();
         let supervision = supervisor.report();
+        let durability = store
+            .as_ref()
+            .map(CheckpointStore::stats)
+            .unwrap_or_default();
 
         Ok(PipelineResult {
             registry,
@@ -627,6 +656,7 @@ impl SquatPhi {
             mobile_detections,
             analysis,
             supervision,
+            durability,
             phash_index: config.phash_index,
         })
     }

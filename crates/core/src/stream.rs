@@ -26,16 +26,20 @@
 //! Determinism contract: the whole run is a pure function of
 //! `(WatchConfig, stop point)` — same seed and same `stop_after` produce
 //! a byte-identical [`WatchSummary::to_json`], at any worker-thread
-//! count. The watermark checkpoint (`watch.ckpt.json`, reusing the
+//! count. The watermark checkpoint (generational `watch.g<N>.ckpt` files
+//! persisted through [`squatphi_durability::DurableStore`], reusing the
 //! [`crate::checkpoint`] codec conventions) round-trips the full daemon
 //! state, so killing the daemon at a checkpoint and resuming reproduces
 //! the uninterrupted run's [`WatchSummary::state_fingerprint`] exactly.
+//! Because the run is a pure function of its inputs, resuming from *any*
+//! verified generation — including an older one recovered after the
+//! newest was damaged — still converges on the identical final summary.
 //!
 //! [`SquatPhi::try_run`]: crate::pipeline::SquatPhi::try_run
 //! [`SquatPhi:: try_watch`]: crate::pipeline::SquatPhi
 
 use crate::artifact::content_key;
-use crate::checkpoint::{esc, json, parse_squat_type, CheckpointError};
+use crate::checkpoint::{esc, json, parse_squat_type, store_err, vfs_for, CheckpointError, Loaded};
 use crate::pipeline::SquatPhi;
 use squatphi_crawler::{
     crawl_all, CircuitBreakerPolicy, Clock, CrawlConfig, InProcessTransport, RecrawlScheduler,
@@ -43,6 +47,9 @@ use squatphi_crawler::{
 };
 use squatphi_dnsdb::{EventStream, EventStreamConfig, StreamEvent};
 use squatphi_domain::DomainName;
+use squatphi_durability::{
+    render_classes, DiskFaultPlan, DurabilityStats, DurableStore, LoadOutcome,
+};
 use squatphi_feeds::{Blacklists, PhishKind};
 use squatphi_squat::{BrandRegistry, SquatDetector, SquatMatch, SquatType};
 use squatphi_web::{WebWorld, WorldConfig};
@@ -343,14 +350,19 @@ impl std::error::Error for WatchConfigError {}
 /// interruption (the watch analog of [`crate::RunOptions`]).
 #[derive(Debug, Clone, Default)]
 pub struct WatchOptions {
-    /// Directory for the watermark checkpoint (`watch.ckpt.json`);
-    /// `None` disables persistence.
+    /// Directory for the watermark checkpoint (generational
+    /// `watch.g<N>.ckpt` files); `None` disables persistence.
     pub checkpoint_dir: Option<PathBuf>,
     /// Resume from the checkpoint if one matches the config hash.
     pub resume: bool,
     /// Stop (with a checkpoint, when persistence is on) once this many
     /// events have been injected — the deterministic kill stand-in.
     pub stop_after: Option<u64>,
+    /// Seeded disk-fault plan injected under every durable write
+    /// (default: none). Output-neutral: deliberately excluded from the
+    /// config hash so a no-fault resume can load checkpoints a faulted
+    /// run committed.
+    pub disk_faults: DiskFaultPlan,
 }
 
 /// Why a watch run could not proceed.
@@ -568,6 +580,18 @@ pub struct WatchSummary {
     pub transport: TransportSnapshot,
     /// Rolling per-sweep metrics history.
     pub metrics: Vec<WatchMetrics>,
+    /// Whether this run restored state from a checkpoint. Deliberately
+    /// not part of [`WatchSummary::to_json`]: a resumed run's JSON must
+    /// stay byte-identical to the uninterrupted run's.
+    pub resumed: bool,
+    /// Damage classification when the resume had to skip damaged
+    /// generations and recover from an older one (e.g. `g4 torn`).
+    /// Surfaced on stderr by the CLI, never in the JSON summary.
+    pub recovered_checkpoint: Option<String>,
+    /// Durable-store ledger for the run (zero when persistence is off).
+    /// Exported under `durability.` in [`WatchSummary::telemetry`];
+    /// excluded from the JSON summary for the same byte-identity reason.
+    pub durability: DurabilityStats,
 }
 
 impl WatchSummary {
@@ -617,6 +641,7 @@ impl WatchSummary {
         queues.set_u64("tracked", self.tracked);
         queues.set_u64("pending_recrawls", self.pending_recrawls);
         self.transport.export(&watch.scope("transport"));
+        self.durability.export(&reg.scope("durability"));
         reg
     }
 
@@ -904,7 +929,9 @@ impl SquatPhi {
             ));
         }
         let store = match &opts.checkpoint_dir {
-            Some(dir) => Some(WatchStore::open(dir, config).map_err(WatchError::Checkpoint)?),
+            Some(dir) => Some(
+                WatchStore::open(dir, config, &opts.disk_faults).map_err(WatchError::Checkpoint)?,
+            ),
             None => None,
         };
         let registry = BrandRegistry::with_size(config.brands);
@@ -917,10 +944,21 @@ impl SquatPhi {
             config,
             state: WatchState::default(),
         };
+        let mut resumed = false;
+        let mut recovered_checkpoint = None;
         if opts.resume {
             if let Some(s) = &store {
-                if let Some(loaded) = s.load().map_err(WatchError::Checkpoint)? {
-                    runner.state = loaded;
+                match s.load().map_err(WatchError::Checkpoint)? {
+                    Loaded::Value(loaded) => {
+                        runner.state = loaded;
+                        resumed = true;
+                    }
+                    Loaded::Recovered(loaded, detail) => {
+                        runner.state = loaded;
+                        resumed = true;
+                        recovered_checkpoint = Some(detail);
+                    }
+                    Loaded::Missing | Loaded::Stale => {}
                 }
             }
         }
@@ -961,6 +999,7 @@ impl SquatPhi {
             }
         }
 
+        let durability = store.as_ref().map(WatchStore::stats).unwrap_or_default();
         let state = runner.state;
         Ok(WatchSummary {
             seed: config.seed,
@@ -976,6 +1015,9 @@ impl SquatPhi {
             counters: state.counters,
             transport: state.transport,
             metrics: state.metrics,
+            resumed,
+            recovered_checkpoint,
+            durability,
         })
     }
 }
@@ -1333,24 +1375,29 @@ fn watch_config_hash(config: &WatchConfig) -> u64 {
     content_key(HASH_SEED, canon.as_bytes())
 }
 
-/// The watch watermark store: one atomic `watch.ckpt.json` per
-/// checkpoint directory, invalidated by config-hash mismatch.
+/// The watch watermark store: generational `watch.g<N>.ckpt` files per
+/// checkpoint directory, persisted through the workspace-wide
+/// [`DurableStore`] (checksummed, fsynced, last two generations kept)
+/// and invalidated by config-hash mismatch.
 struct WatchStore {
-    dir: PathBuf,
+    store: DurableStore,
     hash: u64,
 }
 
 impl WatchStore {
-    fn open(dir: &Path, config: &WatchConfig) -> Result<Self, CheckpointError> {
-        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
-        Ok(WatchStore {
-            dir: dir.to_path_buf(),
-            hash: watch_config_hash(config),
-        })
+    fn open(
+        dir: &Path,
+        config: &WatchConfig,
+        disk_faults: &DiskFaultPlan,
+    ) -> Result<Self, CheckpointError> {
+        let hash = watch_config_hash(config);
+        let store = DurableStore::open(dir, hash, vfs_for(disk_faults)).map_err(store_err)?;
+        Ok(WatchStore { store, hash })
     }
 
-    fn path(&self) -> PathBuf {
-        self.dir.join("watch.ckpt.json")
+    /// The durable-state ledger for this run's checkpoint directory.
+    fn stats(&self) -> DurabilityStats {
+        self.store.stats()
     }
 
     fn save(&self, state: &WatchState) -> Result<(), CheckpointError> {
@@ -1458,31 +1505,39 @@ impl WatchStore {
             schedule,
             metrics,
         );
-        let tmp = self.dir.join("watch.ckpt.json.tmp");
-        std::fs::write(&tmp, &body).map_err(|e| io_err(&tmp, &e))?;
-        let dest = self.path();
-        std::fs::rename(&tmp, &dest).map_err(|e| io_err(&dest, &e))?;
-        Ok(())
+        self.store
+            .save("watch", &body)
+            .map(|_generation| ())
+            .map_err(store_err)
     }
 
-    /// Loads the watermark state; `None` when missing, stale (config
-    /// hash mismatch) or malformed — the daemon then starts fresh.
-    fn load(&self) -> Result<Option<WatchState>, CheckpointError> {
-        let path = self.path();
-        let text = match std::fs::read_to_string(&path) {
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(io_err(&path, &e)),
-            Ok(t) => t,
-        };
-        let Ok(v) = json::parse(&text) else {
-            return Ok(None);
-        };
-        if v.get("version").and_then(json::Value::as_u64) != Some(WATCH_VERSION)
-            || v.get("config_hash").and_then(json::Value::as_u64) != Some(self.hash)
-        {
-            return Ok(None);
-        }
-        Ok(decode_state(&v))
+    /// Loads the newest verifiable watermark generation. Missing and
+    /// stale outcomes start the daemon fresh; damage with a surviving
+    /// older generation recovers (the run re-derives the lost tail
+    /// deterministically); damage with no survivor is a structured
+    /// [`CheckpointError::Unrecoverable`], never a silent cold start.
+    fn load(&self) -> Result<Loaded<WatchState>, CheckpointError> {
+        let outcome = self
+            .store
+            .load_with("watch", |body| {
+                json::parse(body).ok().and_then(|v| decode_state(&v))
+            })
+            .map_err(store_err)?;
+        Ok(match outcome {
+            LoadOutcome::Missing => Loaded::Missing,
+            LoadOutcome::Stale { .. } => Loaded::Stale,
+            LoadOutcome::Valid(v) => Loaded::Value(v),
+            LoadOutcome::Recovered { value, skipped, .. } => {
+                Loaded::Recovered(value, render_classes(&skipped))
+            }
+            LoadOutcome::Unrecoverable { classes } => {
+                return Err(CheckpointError::Unrecoverable {
+                    name: "watch".to_string(),
+                    dir: self.store.dir().display().to_string(),
+                    detail: render_classes(&classes),
+                })
+            }
+        })
     }
 }
 
@@ -1611,13 +1666,6 @@ fn decode_ip(v: &json::Value) -> Option<Ipv4Addr> {
     Some(Ipv4Addr::new(octet(0)?, octet(1)?, octet(2)?, octet(3)?))
 }
 
-fn io_err(path: &Path, e: &std::io::Error) -> CheckpointError {
-    CheckpointError::Io {
-        path: path.display().to_string(),
-        message: e.to_string(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1742,7 +1790,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("squatphi-watch-rt-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let config = tiny();
-        let store = WatchStore::open(&dir, &config).expect("open store");
+        let store = WatchStore::open(&dir, &config, &DiskFaultPlan::none()).expect("open store");
         // Build a non-trivial state by running half the stream.
         let opts = WatchOptions {
             checkpoint_dir: Some(dir.clone()),
@@ -1750,8 +1798,11 @@ mod tests {
             ..WatchOptions::default()
         };
         let partial = SquatPhi::try_watch(&config, &opts).expect("partial run");
-        let loaded = store.load().expect("load").expect("state present");
+        let Loaded::Value(loaded) = store.load().expect("load") else {
+            panic!("expected a valid checkpoint");
+        };
         assert_eq!(loaded.fingerprint(), partial.state_fingerprint);
+        assert!(partial.durability.reconciles());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1773,20 +1824,100 @@ mod tests {
             .events(240)
             .build()
             .expect("other config");
-        let store = WatchStore::open(&dir, &other).expect("open store");
-        assert!(store.load().expect("load").is_none());
+        let store = WatchStore::open(&dir, &other, &DiskFaultPlan::none()).expect("open store");
+        assert!(matches!(store.load().expect("load"), Loaded::Stale));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Overwrites one on-disk generation with damage, through the same
+    /// durable-write path production uses.
+    fn corrupt_generation(dir: &Path, name: &str) {
+        use squatphi_durability::{RealVfs, Vfs};
+        RealVfs
+            .write(&dir.join(name), b"{not json")
+            .expect("corrupt");
+    }
+
+    /// Newest generation on disk for the watch checkpoint.
+    fn newest_generation(dir: &Path) -> u64 {
+        std::fs::read_dir(dir)
+            .expect("read_dir")
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().to_string_lossy().into_owned();
+                let gen = name.strip_prefix("watch.g")?.strip_suffix(".ckpt")?;
+                gen.parse::<u64>().ok()
+            })
+            .max()
+            .expect("at least one generation")
+    }
+
+    #[test]
+    fn damaged_newest_generation_resumes_from_the_previous_and_converges() {
+        let dir =
+            std::env::temp_dir().join(format!("squatphi-watch-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = tiny();
+        let baseline =
+            SquatPhi::try_watch(&config, &WatchOptions::default()).expect("uninterrupted run");
+        let opts = WatchOptions {
+            checkpoint_dir: Some(dir.clone()),
+            stop_after: Some(120),
+            ..WatchOptions::default()
+        };
+        SquatPhi::try_watch(&config, &opts).expect("partial run");
+        let newest = newest_generation(&dir);
+        assert!(newest >= 2, "cadence 32 over 120 events makes >= 2 gens");
+        corrupt_generation(&dir, &format!("watch.g{newest}.ckpt"));
+        // Resume to completion: recovery restarts from the older
+        // generation and — the run being a pure function of its inputs —
+        // still converges on the byte-identical uninterrupted summary.
+        let resumed = SquatPhi::try_watch(
+            &config,
+            &WatchOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..WatchOptions::default()
+            },
+        )
+        .expect("resumed run");
+        assert!(resumed.resumed);
+        let detail = resumed.recovered_checkpoint.as_deref().unwrap_or_default();
+        assert!(detail.contains(&format!("g{newest}")), "detail: {detail}");
+        assert_eq!(resumed.to_json(), baseline.to_json());
+        assert_eq!(resumed.state_fingerprint, baseline.state_fingerprint);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corrupt_checkpoint_is_ignored() {
+    fn fully_damaged_checkpoint_is_a_structured_error() {
         let dir =
             std::env::temp_dir().join(format!("squatphi-watch-corrupt-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        std::fs::write(dir.join("watch.ckpt.json"), "{not json").expect("write");
-        let store = WatchStore::open(&dir, &tiny()).expect("open store");
-        assert!(store.load().expect("load").is_none());
+        let config = tiny();
+        let store = WatchStore::open(&dir, &config, &DiskFaultPlan::none()).expect("open store");
+        corrupt_generation(&dir, "watch.g1.ckpt");
+        match store.load() {
+            Err(CheckpointError::Unrecoverable { name, detail, .. }) => {
+                assert_eq!(name, "watch");
+                assert!(detail.contains("g1"), "detail: {detail}");
+            }
+            other => panic!("expected unrecoverable, got ok={}", other.is_ok()),
+        }
+        // And the service surface: --resume against it is a structured
+        // WatchError, never a silent full recompute.
+        let err = SquatPhi::try_watch(
+            &config,
+            &WatchOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..WatchOptions::default()
+            },
+        )
+        .expect_err("resume over unrecoverable state must fail");
+        assert!(matches!(
+            err,
+            WatchError::Checkpoint(CheckpointError::Unrecoverable { .. })
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

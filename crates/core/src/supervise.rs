@@ -32,6 +32,7 @@ use crate::checkpoint::CheckpointError;
 use crate::fault::{FaultCounts, PageFault, PipelineFaultPlan};
 use crate::features::FeatureExtractor;
 use parking_lot::Mutex;
+use squatphi_durability::DiskFaultPlan;
 use squatphi_nlp::SparseVec;
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
@@ -191,6 +192,11 @@ pub struct RunOptions {
     /// checkpoint is written — the deterministic stand-in for `kill -9`
     /// in resume tests.
     pub stop_after: Option<PipelineStage>,
+    /// Seeded disk-fault plan injected under every durable checkpoint
+    /// write (default: none). Output-neutral and excluded from the
+    /// checkpoint config hash, so a no-fault resume can load checkpoints
+    /// a faulted run committed.
+    pub disk_faults: DiskFaultPlan,
 }
 
 impl Default for RunOptions {
@@ -203,6 +209,7 @@ impl Default for RunOptions {
             quarantine_limit: 4096,
             faults: PipelineFaultPlan::none(),
             stop_after: None,
+            disk_faults: DiskFaultPlan::none(),
         }
     }
 }
@@ -248,9 +255,15 @@ pub struct SupervisionReport {
     pub resumed_stages: Vec<&'static str>,
     /// Stages whose outputs were checkpointed this run.
     pub checkpointed_stages: Vec<&'static str>,
-    /// Stages whose on-disk checkpoint existed but was stale or corrupt
-    /// and got recomputed.
+    /// Stages whose on-disk checkpoint existed but was stale and got
+    /// recomputed (honest config-change invalidation, not damage).
     pub invalidated_checkpoints: Vec<&'static str>,
+    /// Stages resumed from an *older* checkpoint generation after the
+    /// newest was damaged, with the per-generation damage classification
+    /// (e.g. `("crawl", "g4 torn")`). Empty on healthy runs; a stage
+    /// with no surviving generation is a [`PipelineErrorKind::Checkpoint`]
+    /// error instead, never a silent recompute.
+    pub recovered_checkpoints: Vec<(&'static str, String)>,
 }
 
 impl SupervisionReport {
@@ -290,6 +303,10 @@ impl SupervisionReport {
         scope.set_u64(
             "invalidated_checkpoints",
             self.invalidated_checkpoints.len() as u64,
+        );
+        scope.set_u64(
+            "recovered_checkpoints",
+            self.recovered_checkpoints.len() as u64,
         );
     }
 
@@ -337,6 +354,15 @@ impl SupervisionReport {
                 "; invalidated: {}",
                 self.invalidated_checkpoints.join(", ")
             ));
+        }
+        if !self.recovered_checkpoints.is_empty() {
+            let detail = self
+                .recovered_checkpoints
+                .iter()
+                .map(|(stage, classes)| format!("{stage} ({classes})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            line.push_str(&format!("; recovered checkpoints: {detail}"));
         }
         line
     }
@@ -440,6 +466,7 @@ pub(crate) struct Supervisor {
     resumed: Mutex<Vec<&'static str>>,
     checkpointed: Mutex<Vec<&'static str>>,
     invalidated: Mutex<Vec<&'static str>>,
+    recovered_ckpts: Mutex<Vec<(&'static str, String)>>,
 }
 
 impl Supervisor {
@@ -466,6 +493,7 @@ impl Supervisor {
             resumed: Mutex::new(Vec::new()),
             checkpointed: Mutex::new(Vec::new()),
             invalidated: Mutex::new(Vec::new()),
+            recovered_ckpts: Mutex::new(Vec::new()),
         }
     }
 
@@ -479,6 +507,12 @@ impl Supervisor {
 
     pub(crate) fn note_invalidated(&self, stage: PipelineStage) {
         self.invalidated.lock().push(stage.name());
+    }
+
+    /// Records a stage that resumed from an older checkpoint generation
+    /// after the newest was damaged (`detail` is the classification).
+    pub(crate) fn note_recovered_checkpoint(&self, stage: PipelineStage, detail: String) {
+        self.recovered_ckpts.lock().push((stage.name(), detail));
     }
 
     /// Records one crawl record truncated by the fault plan.
@@ -729,6 +763,7 @@ impl Supervisor {
             resumed_stages: self.resumed.lock().clone(),
             checkpointed_stages: self.checkpointed.lock().clone(),
             invalidated_checkpoints: self.invalidated.lock().clone(),
+            recovered_checkpoints: self.recovered_ckpts.lock().clone(),
         }
     }
 }

@@ -75,6 +75,7 @@ fn resume_reproduces_the_uninterrupted_fingerprint_at_any_kill_point() {
                 checkpoint_dir: Some(dir.clone()),
                 resume: false,
                 stop_after: Some(kill_at),
+                ..WatchOptions::default()
             },
         )
         .expect("interrupted run");
@@ -87,6 +88,7 @@ fn resume_reproduces_the_uninterrupted_fingerprint_at_any_kill_point() {
                 checkpoint_dir: Some(dir.clone()),
                 resume: true,
                 stop_after: None,
+                ..WatchOptions::default()
             },
         )
         .expect("resumed run");

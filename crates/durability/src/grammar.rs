@@ -1,0 +1,97 @@
+//! Shared clause grammar for seeded fault plans.
+//!
+//! Both fault surfaces in the workspace — the pipeline-level
+//! `PipelineFaultPlan` in `squatphi::fault` (`CLASS-permille-P`) and the
+//! disk-level [`DiskFaultPlan`](crate::plan) (`torn-at-byte-N`, …) — use
+//! the same spec shape: a comma-separated list of `kind-N` clauses where
+//! `kind` is a dashed identifier and `N` a trailing decimal. This module
+//! is the one parser for that shape, so the two grammars cannot drift;
+//! plan-specific kind validation stays with each plan, but the
+//! tokenizing, the `none` escape hatch, and the error wording that names
+//! the offending clause live here.
+
+/// One parsed `kind-N` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// The clause exactly as written (trimmed), for error messages.
+    pub text: String,
+    /// Everything before the final `-` (e.g. `panic-permille`,
+    /// `crash-at-write`).
+    pub kind: String,
+    /// The trailing decimal value.
+    pub value: u64,
+}
+
+/// Splits `spec` into [`Clause`]s.
+///
+/// `label` names the grammar in error messages (`"fault"` for the
+/// pipeline plan, `"disk-fault"` for the disk plan) so a bad clause in a
+/// combined CLI invocation is attributable. An empty spec or the literal
+/// `none` parses to no clauses.
+pub fn parse_clauses(label: &str, spec: &str) -> Result<Vec<Clause>, String> {
+    let spec = spec.trim();
+    if spec.is_empty() || spec == "none" {
+        return Ok(Vec::new());
+    }
+    let mut clauses = Vec::new();
+    for raw in spec.split(',') {
+        let text = raw.trim();
+        if text.is_empty() {
+            return Err(format!("{label} clause {raw:?}: empty clause"));
+        }
+        let Some((kind, number)) = text.rsplit_once('-') else {
+            return Err(format!(
+                "{label} clause {text:?}: expected `kind-N` with a trailing decimal value"
+            ));
+        };
+        if kind.is_empty() {
+            return Err(format!(
+                "{label} clause {text:?}: missing clause kind before the value"
+            ));
+        }
+        let value = number.parse::<u64>().map_err(|_| {
+            format!("{label} clause {text:?}: {number:?} after the last `-` is not a number")
+        })?;
+        clauses.push(Clause {
+            text: text.to_string(),
+            kind: kind.to_string(),
+            value,
+        });
+    }
+    Ok(clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_none_parse_to_no_clauses() {
+        assert_eq!(parse_clauses("fault", "").unwrap(), Vec::new());
+        assert_eq!(parse_clauses("fault", "none").unwrap(), Vec::new());
+        assert_eq!(parse_clauses("fault", "  none  ").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn splits_kind_and_value_at_the_last_dash() {
+        let clauses = parse_clauses("disk-fault", "crash-at-write-3, torn-at-byte-16").unwrap();
+        assert_eq!(clauses.len(), 2);
+        assert_eq!(clauses[0].kind, "crash-at-write");
+        assert_eq!(clauses[0].value, 3);
+        assert_eq!(clauses[1].kind, "torn-at-byte");
+        assert_eq!(clauses[1].value, 16);
+    }
+
+    #[test]
+    fn errors_name_the_offending_clause_and_grammar() {
+        let err = parse_clauses("disk-fault", "torn-at-byte-x").unwrap_err();
+        assert!(err.contains("disk-fault clause"), "{err}");
+        assert!(err.contains("torn-at-byte-x"), "{err}");
+        let err = parse_clauses("fault", "panic-permille-10,,flaky-permille-5").unwrap_err();
+        assert!(err.contains("empty clause"), "{err}");
+        let err = parse_clauses("fault", "-10").unwrap_err();
+        assert!(err.contains("missing clause kind"), "{err}");
+        let err = parse_clauses("fault", "justaword").unwrap_err();
+        assert!(err.contains("expected `kind-N`"), "{err}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests for the `StateFile` codec and generational
+//! reader ([`squatphi_durability::store`]).
+//!
+//! The contract under test is the corruption-tolerance half of the
+//! crash-consistency story: for *any* single-byte mutation or truncation
+//! of *any* generation file, the reader never panics, never returns
+//! mangled data as valid, and recovers to the last good generation (or
+//! honestly reports the store unrecoverable when every generation is
+//! damaged) — with the `durability.*` ledger reconciling either way.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use squatphi_durability::{DurableStore, LoadOutcome, RealVfs, Vfs};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> TempDir {
+        static INVOCATION: AtomicU64 = AtomicU64::new(0);
+        let n = INVOCATION.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "squatphi-durability-prop-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn decode(body: &str) -> Option<String> {
+    Some(body.to_string())
+}
+
+/// Builds a two-generation store: g1 = `old`, g2 = `new`.
+fn two_generations(dir: &Path, old: &str, new: &str) -> DurableStore {
+    let store = DurableStore::open_real(dir, 0x5eed_c0de).unwrap();
+    store.save("state", old).unwrap();
+    store.save("state", new).unwrap();
+    store
+}
+
+/// The checked-in `properties.proptest-regressions` must actually be
+/// found and parsed by the runner — a silently-missing regression file
+/// would quietly stop replaying known-bad inputs.
+#[test]
+fn regression_file_is_loaded() {
+    let seeds = proptest::regressions::load_for_source(file!(), env!("CARGO_MANIFEST_DIR"));
+    assert!(
+        !seeds.is_empty(),
+        "crates/durability/tests/properties.proptest-regressions exists but no seeds were loaded"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // ---- single-byte mutations ---------------------------------------------
+
+    /// Flipping any bit of the NEWEST generation is detected and the
+    /// reader falls back to the previous generation.
+    #[test]
+    fn mutated_newest_generation_recovers_to_previous(
+        old in "[ -~]{0,120}",
+        new in "[ -~]{0,120}",
+        pos in any::<u32>(),
+        bit in 0u8..8,
+    ) {
+        let tmp = TempDir::new();
+        let store = two_generations(&tmp.0, &old, &new);
+        let path = tmp.0.join("state.g2.ckpt");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = pos as usize % bytes.len();
+        bytes[target] ^= 1 << bit;
+        RealVfs.write(&path, &bytes).unwrap();
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| store.load_with("state", decode)));
+        let outcome = outcome.expect("reader panicked on a single-byte mutation");
+        match outcome.unwrap() {
+            LoadOutcome::Recovered { value, generation, .. } => {
+                prop_assert_eq!(value, old.clone(), "recovered to the wrong body");
+                prop_assert_eq!(generation, 1);
+            }
+            other => prop_assert!(false, "expected recovery, got {:?}", other),
+        }
+        prop_assert!(store.stats().reconciles(), "ledger does not reconcile");
+    }
+
+    /// Flipping any bit of the OLDER generation leaves the newest one
+    /// serving reads, untouched.
+    #[test]
+    fn mutated_older_generation_is_ignored(
+        old in "[ -~]{0,120}",
+        new in "[ -~]{0,120}",
+        pos in any::<u32>(),
+        bit in 0u8..8,
+    ) {
+        let tmp = TempDir::new();
+        let store = two_generations(&tmp.0, &old, &new);
+        let path = tmp.0.join("state.g1.ckpt");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = pos as usize % bytes.len();
+        bytes[target] ^= 1 << bit;
+        RealVfs.write(&path, &bytes).unwrap();
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| store.load_with("state", decode)));
+        let outcome = outcome.expect("reader panicked on a single-byte mutation");
+        prop_assert_eq!(outcome.unwrap(), LoadOutcome::Valid(new.clone()));
+        prop_assert!(store.stats().reconciles());
+    }
+
+    // ---- truncations -------------------------------------------------------
+
+    /// Truncating the newest generation at any point recovers to the
+    /// previous generation (a full-length "truncation" stays valid).
+    #[test]
+    fn truncated_newest_generation_recovers(
+        old in "[ -~]{0,120}",
+        new in "[ -~]{0,120}",
+        cut in any::<u32>(),
+    ) {
+        let tmp = TempDir::new();
+        let store = two_generations(&tmp.0, &old, &new);
+        let path = tmp.0.join("state.g2.ckpt");
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = cut as usize % (bytes.len() + 1);
+        RealVfs.write(&path, &bytes[..cut]).unwrap();
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| store.load_with("state", decode)));
+        let outcome = outcome.expect("reader panicked on a truncation");
+        match outcome.unwrap() {
+            LoadOutcome::Valid(value) => {
+                prop_assert_eq!(cut, bytes.len(), "short file classified valid");
+                prop_assert_eq!(value, new.clone());
+            }
+            LoadOutcome::Recovered { value, .. } => {
+                prop_assert!(cut < bytes.len());
+                prop_assert_eq!(value, old.clone());
+            }
+            other => prop_assert!(false, "expected valid or recovery, got {:?}", other),
+        }
+        prop_assert!(store.stats().reconciles());
+    }
+
+    // ---- total damage ------------------------------------------------------
+
+    /// Damaging every generation never panics: the store reports
+    /// unrecoverable rather than inventing or silently dropping state.
+    #[test]
+    fn damaging_every_generation_is_reported_not_papered_over(
+        old in "[ -~]{0,120}",
+        new in "[ -~]{0,120}",
+        pos1 in any::<u32>(),
+        pos2 in any::<u32>(),
+        bit in 0u8..8,
+    ) {
+        let tmp = TempDir::new();
+        let store = two_generations(&tmp.0, &old, &new);
+        for (gen, pos) in [(1u64, pos1), (2, pos2)] {
+            let path = tmp.0.join(format!("state.g{gen}.ckpt"));
+            let mut bytes = std::fs::read(&path).unwrap();
+            let target = pos as usize % bytes.len();
+            bytes[target] ^= 1 << bit;
+            RealVfs.write(&path, &bytes).unwrap();
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| store.load_with("state", decode)));
+        let outcome = outcome.expect("reader panicked with every generation damaged");
+        match outcome.unwrap() {
+            LoadOutcome::Unrecoverable { classes } => {
+                prop_assert_eq!(classes.len(), 2, "both generations should be classified");
+            }
+            other => prop_assert!(false, "expected unrecoverable, got {:?}", other),
+        }
+        prop_assert!(store.stats().reconciles());
+    }
+
+    // ---- round-trip sanity over arbitrary bodies ---------------------------
+
+    /// Unmutated stores round-trip any printable body exactly, over any
+    /// number of rewrites, and the ledger accounts every read.
+    #[test]
+    fn clean_stores_round_trip(
+        bodies in proptest::collection::vec("[ -~]{0,80}", 1..6),
+    ) {
+        let tmp = TempDir::new();
+        let store = DurableStore::open_real(&tmp.0, 7).unwrap();
+        for body in &bodies {
+            store.save("state", body).unwrap();
+            let loaded = store.load_with("state", decode).unwrap();
+            prop_assert_eq!(loaded, LoadOutcome::Valid(body.clone()));
+        }
+        let stats = store.stats();
+        prop_assert_eq!(stats.reads, bodies.len() as u64);
+        prop_assert_eq!(stats.valid, bodies.len() as u64);
+        prop_assert_eq!(stats.writes, bodies.len() as u64);
+        prop_assert!(stats.reconciles());
+    }
+}

@@ -15,11 +15,13 @@
 //! repro --checkpoint-dir ckpt --resume … # replay completed stages
 //! repro --stop-after crawl …             # deterministic kill stand-in
 //! repro --faults panic-permille-50 …     # seeded fault injection
+//! repro --disk-faults torn-at-byte-40 …  # seeded disk faults under the
+//!                                        # checkpoint store (DESIGN.md §16)
 //! repro --fail-fast …                    # first panic aborts the run
 //! repro --timings …                      # keep nanos in --json output
 //! ```
 
-use squatphi::{PipelineFaultPlan, PipelineStage, RunOptions, SimConfig, SquatPhi};
+use squatphi::{DiskFaultPlan, PipelineFaultPlan, PipelineStage, RunOptions, SimConfig, SquatPhi};
 use squatphi_experiments::summary::RunSummary;
 use squatphi_experiments::{run_experiment, EXPERIMENT_IDS};
 
@@ -32,6 +34,8 @@ fn main() {
     let mut opts = RunOptions::default();
     let mut fault_spec: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut disk_fault_spec: Option<String> = None;
+    let mut disk_fault_seed: Option<u64> = None;
     let mut timings = false;
     let mut i = 0;
     while i < args.len() {
@@ -97,6 +101,22 @@ fn main() {
                         .unwrap_or_else(|| die("--fault-seed needs an integer")),
                 );
             }
+            "--disk-faults" => {
+                i += 1;
+                disk_fault_spec = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--disk-faults needs a plan spec")),
+                );
+            }
+            "--disk-fault-seed" => {
+                i += 1;
+                disk_fault_seed = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--disk-fault-seed needs an integer")),
+                );
+            }
             "--stop-after" => {
                 i += 1;
                 let name = args
@@ -124,8 +144,18 @@ fn main() {
     if let Some(seed) = fault_seed {
         opts.faults = opts.faults.with_seed(seed);
     }
+    if let Some(spec) = disk_fault_spec {
+        opts.disk_faults = DiskFaultPlan::parse(&spec)
+            .unwrap_or_else(|e| die(&format!("bad --disk-faults plan: {e}")));
+    }
+    if let Some(seed) = disk_fault_seed {
+        opts.disk_faults = opts.disk_faults.with_seed(seed);
+    }
     if opts.resume && opts.checkpoint_dir.is_none() {
         die("--resume requires --checkpoint-dir");
+    }
+    if !opts.disk_faults.is_none() && opts.checkpoint_dir.is_none() {
+        die("--disk-faults requires --checkpoint-dir (they act on the checkpoint store)");
     }
     if ids.is_empty() && json_path.is_none() && opts.stop_after.is_none() {
         die("nothing to run: pass experiment ids or `all`");
@@ -176,6 +206,9 @@ fn main() {
     );
     eprintln!("[repro] page analysis: {}", result.analysis.report_line());
     eprintln!("[repro] supervision: {}", result.supervision.report_line());
+    if opts.checkpoint_dir.is_some() {
+        eprintln!("[repro] durability: {}", result.durability.report_line());
+    }
     eprintln!(
         "[repro] training set: {} phishing / {} benign",
         result.train_split.0, result.train_split.1

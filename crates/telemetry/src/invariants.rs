@@ -168,6 +168,26 @@ pub fn phash_index_invariants() -> InvariantSet {
     ))
 }
 
+/// Durable-state identities (`durability.` scope, exported by
+/// `squatphi_durability::DurabilityStats`): every checkpoint read
+/// resolves to exactly one outcome — served by the newest generation,
+/// recovered from an older one, recomputed (cold start or stale
+/// config), or reported unrecoverable. A read that fell through the
+/// classifier without being accounted is exactly the "silent corruption
+/// fallback" failure mode this scope exists to rule out.
+pub fn durability_invariants() -> InvariantSet {
+    InvariantSet::new().with(Invariant::sum_eq(
+        "durability.reads_accounted",
+        &["durability.reads"],
+        &[
+            "durability.valid",
+            "durability.recovered",
+            "durability.recomputed",
+            "durability.unrecoverable",
+        ],
+    ))
+}
+
 /// Every identity the batch pipeline must satisfy end-to-end — what
 /// `PipelineResult::check_invariants` runs.
 pub fn pipeline_invariants() -> InvariantSet {
@@ -177,6 +197,7 @@ pub fn pipeline_invariants() -> InvariantSet {
         .chain(supervision_invariants().iter())
         .chain(crawl_invariants().iter())
         .chain(phash_index_invariants().iter())
+        .chain(durability_invariants().iter())
         .cloned()
         .collect()
 }
@@ -195,6 +216,7 @@ mod tests {
             (crawl_invariants(), "crawl."),
             (watch_invariants(), "watch."),
             (phash_index_invariants(), "phash.index."),
+            (durability_invariants(), "durability."),
         ] {
             assert!(!set.is_empty());
             for inv in set.iter() {
@@ -208,7 +230,19 @@ mod tests {
                 + supervision_invariants().len()
                 + crawl_invariants().len()
                 + phash_index_invariants().len()
+                + durability_invariants().len()
         );
+    }
+
+    #[test]
+    fn unaccounted_durability_read_is_caught() {
+        let mut snap = Snapshot::new();
+        snap.insert("durability.reads", Value::U64(3));
+        snap.insert("durability.valid", Value::U64(1));
+        snap.insert("durability.recovered", Value::U64(1));
+        // One read neither valid, recovered, recomputed nor unrecoverable.
+        let violations = durability_invariants().check_all(&snap).unwrap_err();
+        assert_eq!(violations[0].invariant, "durability.reads_accounted");
     }
 
     #[test]

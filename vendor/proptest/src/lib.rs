@@ -172,6 +172,8 @@ pub mod strategy {
         Tuple1<A>,
         Tuple2<A, B>,
         Tuple3<A, B, C>,
+        Tuple4<A, B, C, D>,
+        Tuple5<A, B, C, D, E>,
     );
 
     /// Integer range strategy (`lo..hi`).
@@ -326,6 +328,8 @@ pub mod strategy {
     impl_tuple_strategy!(Tuple1: 0 A);
     impl_tuple_strategy!(Tuple2: 0 A, 1 B);
     impl_tuple_strategy!(Tuple3: 0 A, 1 B, 2 C);
+    impl_tuple_strategy!(Tuple4: 0 A, 1 B, 2 C, 3 D);
+    impl_tuple_strategy!(Tuple5: 0 A, 1 B, 2 C, 3 D, 4 E);
 }
 
 /// Uniform strategy over all of `T` (`any::<u16>()`, `any::<[u8; 4]>()`).
